@@ -1,0 +1,82 @@
+// Assurance-case confidence (paper ref [11], Sec. I "assurance cases can
+// be enriched with belief modeling"; the forecasting mean of Sec. IV).
+//
+// Measured: propagated confidence of a release argument for the Table I
+// perception system, its growth with field evidence, the rule-trust
+// sensitivity, and the weakest-leaf diagnosis.
+#include <cstdio>
+
+#include "evidence/subjective.hpp"
+
+int main() {
+  using namespace sysuq::evidence;
+
+  std::puts("==== assurance-case confidence propagation ====\n");
+
+  // Argument: "perception is safe for release" requires
+  //   (G1) sensor CPT adequately known       [field evidence]
+  //   (G2) unknown-object handling works     [test campaign]
+  //   (G3) redundancy degrades gracefully    [fault injection]
+  // combined conjunctively under an imperfect argumentation rule.
+  const auto build = [](double n_field, double n_tests, double n_fi,
+                        double rule_trust) {
+    AssuranceCase ac;
+    const auto g1 = ac.add_evidence(
+        "sensor CPT adequately known",
+        Opinion::from_evidence(0.98 * n_field, 0.02 * n_field));
+    const auto g2 = ac.add_evidence(
+        "unknown-object handling works",
+        Opinion::from_evidence(0.95 * n_tests, 0.05 * n_tests));
+    const auto g3 = ac.add_evidence(
+        "redundancy degrades gracefully",
+        Opinion::from_evidence(0.99 * n_fi, 0.01 * n_fi));
+    const auto root = ac.add_goal("perception safe for release",
+                                  AssuranceCase::Kind::kConjunction,
+                                  {g1, g2, g3}, rule_trust);
+    return std::pair{std::move(ac), root};
+  };
+
+  std::puts("(a) confidence vs accumulated evidence (rule trust 0.98):");
+  std::puts("  field obs   tests   fault inj   P(root)   uncertainty");
+  for (const double scale : {10.0, 100.0, 1000.0, 10000.0}) {
+    auto [ac, root] = build(scale, scale / 2, scale / 10, 0.98);
+    const auto o = ac.evaluate(root);
+    std::printf("  %9.0f  %6.0f   %9.0f   %.4f     %.4f\n", scale, scale / 2,
+                scale / 10, o.projected(), o.uncertainty());
+  }
+  std::puts("  -> shape: confidence rises and uncertainty falls with");
+  std::puts("     evidence, but saturates below 1 — the residual is the");
+  std::puts("     argumentation rule itself.\n");
+
+  std::puts("(b) rule-trust sensitivity (evidence fixed at 1000/500/100):");
+  std::puts("  rule trust   P(root)   uncertainty");
+  for (const double rt : {1.0, 0.98, 0.9, 0.7, 0.5}) {
+    auto [ac, root] = build(1000, 500, 100, rt);
+    const auto o = ac.evaluate(root);
+    std::printf("  %9.2f    %.4f     %.4f\n", rt, o.projected(), o.uncertainty());
+  }
+  std::puts("  -> shape: a shaky inference rule caps achievable confidence");
+  std::puts("     regardless of evidence volume (epistemic ceiling).\n");
+
+  std::puts("(c) weakest-leaf diagnosis (field 10000, tests 40, FI 1000):");
+  {
+    AssuranceCase ac;
+    const auto g1 = ac.add_evidence("sensor CPT adequately known",
+                                    Opinion::from_evidence(9800, 200));
+    const auto g2 = ac.add_evidence("unknown-object handling works",
+                                    Opinion::from_evidence(38, 2));
+    const auto g3 = ac.add_evidence("redundancy degrades gracefully",
+                                    Opinion::from_evidence(990, 10));
+    const auto root = ac.add_goal("perception safe for release",
+                                  AssuranceCase::Kind::kConjunction,
+                                  {g1, g2, g3}, 0.98);
+    const auto weakest = ac.weakest_leaf(root);
+    std::printf("  root %s\n  next evidence should target: \"%s\"\n",
+                ac.evaluate(root).to_string().c_str(),
+                ac.claim(weakest).c_str());
+  }
+  std::puts("\n  -> shape: the forecasting mean in action — the argument");
+  std::puts("     itself says where the next unit of evidence buys the most");
+  std::puts("     confidence (here: the under-tested ontological leg).");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E11 — Sec. V.B: "the number of parameters that need to be elicited in
+// the CPT grows exponentially with the number of parent nodes and their
+// states ... several techniques to deal with this problem are available
+// [37]-[39]."
+//
+// Measured: elicited-parameter counts full CPT vs noisy-OR vs ranked
+// nodes (Fenton et al. [37]); fidelity of the ranked-node compression;
+// and exact-inference cost versus parent count.
+#include <chrono>
+#include <cstdio>
+
+#include "bayesnet/builders.hpp"
+#include "bayesnet/inference.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace sysuq;
+
+  std::puts("==== E11: CPT parameter explosion and its mitigations ====\n");
+
+  // ---- parameter counts ----
+  std::puts("(a) elicited parameters for one binary child of n binary "
+            "parents:");
+  std::puts("  parents    full CPT    noisy-OR    ranked (w, sigma)");
+  for (const std::size_t n : {2u, 4u, 6u, 8u, 10u, 12u, 16u, 20u}) {
+    const std::size_t full =
+        bayesnet::full_cpt_parameter_count(std::vector<std::size_t>(n, 2), 2);
+    std::printf("  %7zu  %10zu  %10zu  %12zu\n", n, full, n + 1, n + 1);
+  }
+  std::puts("  -> shape: 2^n vs n+1 — the exponential elicitation burden the");
+  std::puts("     paper flags, removed by structured CPT families.\n");
+
+  // ---- ranked-node fidelity ----
+  std::puts("(b) ranked-node compression of a monotone expert CPT "
+            "(3 parents x 3 states, 5-state child):");
+  const std::vector<std::size_t> cards{3, 3, 3};
+  const auto ranked = bayesnet::ranked_node_cpt(cards, {2.0, 1.0, 1.0}, 5, 0.2);
+  std::printf("  rows generated: %zu from %zu parameters (vs %zu full)\n",
+              ranked.size(), cards.size() + 1,
+              bayesnet::full_cpt_parameter_count(cards, 5));
+  const auto mean_rank = [](const prob::Categorical& c) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < c.size(); ++i)
+      m += static_cast<double>(i) * c.p(i);
+    return m;
+  };
+  std::printf("  child mean rank sweep: low parents %.2f -> mixed %.2f -> "
+              "high parents %.2f (monotone)\n",
+              mean_rank(ranked.front()), mean_rank(ranked[ranked.size() / 2]),
+              mean_rank(ranked.back()));
+
+  // ---- inference cost vs parent count ----
+  std::puts("\n(c) exact VE cost for a noisy-OR child of n binary parents:");
+  std::puts("  parents   CPT rows    VE query (ms)");
+  for (const std::size_t n : {4u, 8u, 12u, 16u}) {
+    bayesnet::BayesianNetwork net;
+    std::vector<bayesnet::VariableId> parents;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = net.add_variable("p" + std::to_string(i), {"0", "1"});
+      net.set_cpt(id, {}, {prob::Categorical({0.9, 0.1})});
+      parents.push_back(id);
+    }
+    const auto child = net.add_variable("child", {"0", "1"});
+    net.set_cpt(child, parents,
+                bayesnet::noisy_or_cpt(std::vector<double>(n, 0.3), 0.01));
+    bayesnet::VariableElimination ve(net);
+    const auto t0 = Clock::now();
+    const auto q = ve.query(child);
+    const double ms = ms_since(t0);
+    std::printf("  %7zu  %9zu   %12.3f   (P(child=1) = %.4f)\n", n,
+                std::size_t{1} << n, ms, q.p(1));
+  }
+  std::puts("\n  -> shape: the CPT table itself is the bottleneck (2^n rows);");
+  std::puts("     with structured families the elicitation is linear while");
+  std::puts("     the numerics remain exact.");
+  return 0;
+}

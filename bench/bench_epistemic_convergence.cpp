@@ -1,0 +1,83 @@
+// E6 — Sec. III.B claim: "with each new observation, our distribution
+// parameters become more credible ... the epistemic uncertainty
+// decreases with every observation."
+//
+// Measured three ways:
+//   1. Beta posterior credible width over a Bernoulli parameter vs N;
+//   2. Dirichlet credible width over a CPT row vs N;
+//   3. the perception network's full CPT epistemic width via CptLearner.
+// All must decay ~1/sqrt(N).
+#include <cmath>
+#include <cstdio>
+
+#include "bayesnet/learning.hpp"
+#include "perception/table1.hpp"
+#include "prob/distribution.hpp"
+
+int main() {
+  using namespace sysuq;
+  prob::Rng rng(1111);
+
+  std::puts("==== E6: epistemic convergence with observations ====\n");
+
+  // ---- Beta posterior over a Bernoulli parameter (p = 0.9) ----
+  std::puts("Beta posterior over a classifier accuracy (true p = 0.9):");
+  std::puts("        N    mean     95% credible width   sqrt(N)*width");
+  prob::Beta post(1.0, 1.0);
+  std::size_t n = 0;
+  for (const std::size_t target : {10u, 100u, 1000u, 10000u, 100000u}) {
+    std::size_t succ = 0, fail = 0;
+    while (n < target) {
+      (rng.bernoulli(0.9) ? succ : fail) += 1;
+      ++n;
+    }
+    post = post.updated(succ, fail);
+    const auto [lo, hi] = post.central_interval(0.05);
+    std::printf("  %7zu   %.4f        %.4f            %7.3f\n", n, post.mean(),
+                hi - lo, std::sqrt(static_cast<double>(n)) * (hi - lo));
+  }
+
+  // ---- Dirichlet over the Table I unknown row ----
+  std::puts("\nDirichlet posterior over the Table I 'unknown' CPT row:");
+  std::puts("        N    mean credible width   sqrt(N)*width");
+  const auto row = perception::table1_unknown_row(
+      perception::Table1Repair::kDeficitToNone);
+  prob::Dirichlet dir({1.0, 1.0, 1.0, 1.0});
+  n = 0;
+  for (const std::size_t target : {10u, 100u, 1000u, 10000u, 100000u}) {
+    std::vector<std::size_t> counts(4, 0);
+    while (n < target) {
+      ++counts[row.sample(rng)];
+      ++n;
+    }
+    dir = dir.updated(counts);
+    const double w = dir.mean_credible_width();
+    std::printf("  %7zu        %.5f           %7.3f\n", n, w,
+                std::sqrt(static_cast<double>(n)) * w);
+  }
+
+  // ---- full-CPT learner on the Fig. 4 network ----
+  std::puts("\nCptLearner over the whole perception CPT (3 rows x 4 states):");
+  std::puts("        N    epistemic width   unvisited-row penalty visible?");
+  const auto truth = perception::table1_network();
+  bayesnet::CptLearner learner(truth, 1, 1.0);
+  n = 0;
+  for (const std::size_t target : {10u, 100u, 1000u, 10000u, 100000u}) {
+    while (n < target) {
+      learner.observe(truth.sample(rng));
+      ++n;
+    }
+    // The unknown row is visited ~10x less often than the car row — its
+    // Dirichlet stays wider, which the average width reflects.
+    const double w = learner.epistemic_width();
+    const double unknown_w = learner.row_posterior(2).mean_credible_width();
+    const double car_w = learner.row_posterior(0).mean_credible_width();
+    std::printf("  %7zu       %.5f        unknown row %.5f vs car row %.5f\n",
+                n, w, unknown_w, car_w);
+  }
+  std::puts("\n  -> shape: every width column decays ~1/sqrt(N); rarely");
+  std::puts("     visited rows (the ontologically interesting ones) keep the");
+  std::puts("     widest residual epistemic uncertainty — exactly the");
+  std::puts("     long-tail problem the paper's Sec. IV highlights.");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// E5 — Fig. 1: the cybernetic development loop and the good-regulator
+// theorem ("every good regulator of a system must be a model of that
+// system", Conant & Ashby).
+//
+// The development organization regulates a deployed perception system by
+// observing it in the field, refining its codified model, and re-deriving
+// its operating policy. Measured: model gap vs regulation regret — the
+// theorem predicts they fall together.
+#include <cstdio>
+
+#include "core/cybernetic.hpp"
+#include "prob/statistics.hpp"
+
+int main() {
+  using namespace sysuq;
+
+  std::puts("==== E5: Fig. 1 — cybernetic development loop ====\n");
+  // A harder regulation problem than the 2-class demo: four modeled
+  // classes, a mediocre sensor, and cheap abstention — the optimal policy
+  // depends on fine CPT detail, so model fidelity matters for longer.
+  perception::WorldModel modeled({"car", "pedestrian", "cyclist", "truck"},
+                                 {0.45, 0.25, 0.2, 0.1});
+  const perception::TrueWorld world(modeled, {"unknown_object"}, 0.05);
+  const auto sensor = perception::ConfusionSensor::make_default(4, 1, 0.65, 0.8);
+  const core::DecisionCosts costs{1.0, 0.15, 0.0};
+
+  std::puts("observations  model gap (TV)  actual cost  oracle cost   regret");
+  core::CyberneticLoop loop(world, sensor, costs);
+  prob::Rng rng(20200311);
+  const auto trace =
+      loop.run({10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000}, rng);
+  std::vector<double> gaps, regrets;
+  for (const auto& cp : trace) {
+    std::printf("%12zu      %8.4f      %8.4f     %8.4f   %8.4f\n",
+                cp.observations, cp.model_gap, cp.actual_cost, cp.oracle_cost,
+                cp.regret);
+    gaps.push_back(cp.model_gap);
+    regrets.push_back(cp.regret);
+  }
+
+  // Correlation between model fidelity and regulation quality across the
+  // trace — the quantitative form of the good-regulator theorem.
+  try {
+    const double corr = prob::pearson_correlation(gaps, regrets);
+    std::printf("\ncorr(model gap, regret) over the trace: %+.3f\n", corr);
+  } catch (const std::exception&) {
+    std::puts("\ncorr(model gap, regret): undefined (degenerate trace)");
+  }
+  std::puts("  -> shape: regret decays as the model gap closes; a regulator");
+  std::puts("     is only as good as its model of the controlled system.");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E2 — Fig. 2: the modeling relation. One physical system (two-planet
+// universe), two formal systems:
+//
+//   model A (deterministic Newtonian ephemeris): exact for ideal point
+//     masses; its residual vs reality grows with the heterogeneity of the
+//     real body (epistemic idealization error, Sec. III.B);
+//   model B (frequentist occupancy): aleatory by construction, its
+//     epistemic estimation error shrinks ~1/sqrt(N) with observations.
+#include <cmath>
+#include <cstdio>
+
+#include "orbit/two_planet.hpp"
+#include "prob/statistics.hpp"
+
+int main() {
+  using namespace sysuq;
+  prob::Rng rng(20200310);
+
+  std::puts("==== E2: Fig. 2 — deterministic vs probabilistic model of the "
+            "same physical system ====\n");
+
+  // ---- model A: residual vs oblateness and horizon ----
+  std::puts("model A (point-mass ephemeris) residual |predicted - true|:");
+  std::puts("  oblateness      t=2        t=4        t=8");
+  for (const double obl : {0.0, 0.001, 0.005, 0.02, 0.05}) {
+    orbit::UniverseConfig cfg;
+    cfg.oblateness2 = obl;
+    orbit::TwoPlanetUniverse u(cfg);
+    orbit::DeterministicModel model(cfg.m1, cfg.m2, cfg.separation, cfg.gravity);
+    std::printf("  %8.3f  ", obl);
+    for (int phase = 0; phase < 3; ++phase) {
+      const int steps = phase == 0 ? 2000 : (phase == 1 ? 2000 : 4000);
+      for (int i = 0; i < steps; ++i) {
+        u.advance(1e-3);
+        model.advance(1e-3);
+      }
+      std::printf("%10.6f ",
+                  model.predicted_position(0).distance(
+                      u.state().bodies[0].position));
+    }
+    std::puts("");
+  }
+  std::puts("  -> shape: residual == integrator noise at 0, grows with the");
+  std::puts("     unmodeled heterogeneity and with horizon (epistemic gap).\n");
+
+  // ---- model B: occupancy estimation error vs N ----
+  std::puts("model B (frequentist occupancy) epistemic gap vs observations:");
+  std::puts("       N     TV(replicas)   sqrt(N)*TV   P(frame [0,0.5]^2)");
+  for (const std::size_t n : {100u, 400u, 1600u, 6400u, 25600u, 102400u}) {
+    // Average over a few replica pairs to smooth the table.
+    prob::RunningStats tv;
+    double frame = 0.0;
+    for (std::uint64_t rep = 0; rep < 3; ++rep) {
+      orbit::UniverseConfig cfg;
+      orbit::TwoPlanetUniverse u1(cfg), u2(cfg);
+      orbit::FrequentistModel m1(2.0, 10), m2(2.0, 10);
+      prob::Rng r1 = rng.split(n * 10 + rep * 2);
+      prob::Rng r2 = rng.split(n * 10 + rep * 2 + 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Random inter-observation gaps: the replicas sample the orbit at
+        // independent phases, so each histogram is a genuine i.i.d.-style
+        // draw from the occupancy law (not a shared trajectory prefix).
+        u1.advance(r1.uniform(0.004, 0.020));
+        u2.advance(r2.uniform(0.004, 0.020));
+        m1.observe(u1.observe_position(0, r1, 0.05));
+        m2.observe(u2.observe_position(0, r2, 0.05));
+      }
+      tv.add(m1.distance(m2));
+      frame = m1.frame_probability(0.0, 0.5, 0.0, 0.5);
+    }
+    std::printf("  %7zu     %8.4f      %7.3f        %.4f\n", n, tv.mean(),
+                std::sqrt(static_cast<double>(n)) * tv.mean(), frame);
+  }
+  std::puts("  -> shape: TV ~ c/sqrt(N) (sqrt(N)*TV roughly flat): the");
+  std::puts("     paper's 'epistemic uncertainty decreases with every");
+  std::puts("     observation', converging on the aleatory occupancy law.");
+
+  // ---- both models answer different questions about the same system ----
+  std::puts("\nthe two formal systems serve different purposes (Sec. II.A):");
+  orbit::UniverseConfig cfg;
+  orbit::TwoPlanetUniverse u(cfg);
+  orbit::DeterministicModel model(cfg.m1, cfg.m2, cfg.separation, cfg.gravity);
+  orbit::FrequentistModel occupancy(2.0, 10);
+  prob::Rng ro = rng.split(999);
+  for (int i = 0; i < 60000; ++i) {
+    u.advance(1e-3);
+    model.advance(1e-3);
+    if (i % 10 == 0) occupancy.observe(u.observe_position(0, ro, 0.02));
+  }
+  std::printf("  model A answers: position at t=60 -> (%.4f, %.4f)\n",
+              model.predicted_position(0).x, model.predicted_position(0).y);
+  std::printf("  model B answers: P(planet in upper-right frame) = %.4f\n",
+              occupancy.frame_probability(0.0, 2.0, 0.0, 2.0));
+  return 0;
+}

@@ -1,0 +1,61 @@
+// The long-tail validation challenge (paper refs [30], [31]): how the
+// scenario distribution's tail exponent governs the exposure needed to
+// bound ontological uncertainty.
+//
+// Measured: expected unseen scenario mass vs exposure for several Zipf
+// exponents, the exposure needed for a target residual, and the decay of
+// the discovery rate (the marginal value of one more test mile).
+#include <cstdio>
+
+#include "core/longtail.hpp"
+
+int main() {
+  using namespace sysuq::core;
+
+  std::puts("==== the long-tail validation challenge ====\n");
+  constexpr std::size_t kScenarios = 100000;
+
+  std::puts("(a) expected unseen scenario mass vs exposure (100k ranked "
+            "scenario classes):");
+  std::printf("  %12s", "exposure N");
+  for (const double s : {2.5, 1.5, 1.1, 1.01})
+    std::printf("   Zipf(%.2f)", s);
+  std::puts("");
+  for (const std::size_t n : {100u, 1000u, 10000u, 100000u, 1000000u,
+                              10000000u}) {
+    std::printf("  %12zu", n);
+    for (const double s : {2.5, 1.5, 1.1, 1.01}) {
+      std::printf("   %9.5f", expected_missing_mass(zipf_distribution(kScenarios, s), n));
+    }
+    std::puts("");
+  }
+  std::puts("  -> shape: light tails validate in thousands of encounters;");
+  std::puts("     near-harmonic tails still hide percent-level mass after");
+  std::puts("     ten million — Koopman's heavy-tail safety ceiling.\n");
+
+  std::puts("(b) exposure needed for residual unseen mass <= target:");
+  std::puts("  target      Zipf(2.5)     Zipf(1.5)     Zipf(1.1)");
+  for (const double target : {0.10, 0.05, 0.02, 0.01}) {
+    std::printf("  %6.2f", target);
+    for (const double s : {2.5, 1.5, 1.1}) {
+      const auto n = observations_for_missing_mass(
+          zipf_distribution(kScenarios, s), target);
+      std::printf("  %12zu", n);
+    }
+    std::puts("");
+  }
+
+  std::puts("\n(c) discovery rate (marginal unseen mass removed by the next");
+  std::puts("    encounter), Zipf(1.1):");
+  std::puts("      N          rate          encounters per 1e-6 progress");
+  const auto z = zipf_distribution(kScenarios, 1.1);
+  for (const std::size_t n : {100u, 10000u, 1000000u}) {
+    const double r = discovery_rate(z, n);
+    std::printf("  %9zu   %.3e     %.0f\n", n, r, 1e-6 / r);
+  }
+  std::puts("\n  -> shape: the discovery rate collapses with exposure — field");
+  std::puts("     observation alone cannot close ontological uncertainty in");
+  std::puts("     heavy-tailed domains; the paper's case for combining all");
+  std::puts("     four means instead of validating by brute force.");
+  return 0;
+}

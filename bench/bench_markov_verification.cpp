@@ -1,0 +1,107 @@
+// Probabilistic formal verification (paper refs [9], [10] — uncertainty
+// removal by model checking), on a degraded-mode automated-driving
+// supervisor modeled as a DTMC.
+//
+// Measured: PCTL bounded reachability of the hazardous state, the effect
+// of a monitor (safety property as bounded until), and guaranteed
+// interval bounds when the transition probabilities carry epistemic
+// imprecision (interval DTMC).
+#include <cstdio>
+
+#include "markov/dtmc.hpp"
+#include "markov/mdp.hpp"
+
+int main() {
+  using namespace sysuq;
+
+  std::puts("==== probabilistic model checking of a degraded-mode "
+            "supervisor ====\n");
+
+  // States: nominal -> degraded -> {recovered=nominal, mrm (minimal risk
+  // manoeuvre), hazard}. The MRM is absorbing-safe; hazard absorbing-bad.
+  markov::Dtmc c;
+  const auto nominal = c.add_state("nominal");
+  const auto degraded = c.add_state("degraded");
+  const auto mrm = c.add_state("mrm");
+  const auto hazard = c.add_state("hazard");
+  c.set_transition(nominal, nominal, 0.985);
+  c.set_transition(nominal, degraded, 0.015);
+  c.set_transition(degraded, nominal, 0.70);
+  c.set_transition(degraded, degraded, 0.20);
+  c.set_transition(degraded, mrm, 0.09);
+  c.set_transition(degraded, hazard, 0.01);
+  c.set_transition(mrm, mrm, 1.0);
+  c.set_transition(hazard, hazard, 1.0);
+  c.validate();
+
+  std::puts("(a) PCTL: P[F<=k hazard] from nominal:");
+  std::puts("      k      P(hazard)   P(mrm)");
+  for (const std::size_t k : {10u, 100u, 1000u, 10000u}) {
+    const double ph = c.bounded_reachability({hazard}, k)[nominal];
+    const double pm = c.bounded_reachability({mrm}, k)[nominal];
+    std::printf("  %6zu    %.6f    %.6f\n", k, ph, pm);
+  }
+  const double ult = c.reachability({hazard})[nominal];
+  std::printf("  unbounded P(hazard) = %.6f (vs MRM %.6f)\n\n", ult,
+              c.reachability({mrm})[nominal]);
+
+  std::printf("(b) expected steps to leave service (MRM or hazard): %.1f\n\n",
+              c.expected_steps_to({mrm, hazard})[nominal]);
+
+  // ---- interval verification under epistemic imprecision ----
+  std::puts("(c) interval DTMC: hazard-exit probability known only to a band");
+  std::puts("    eps    P[F<=1000 hazard] guaranteed bounds");
+  for (const double eps : {0.0, 0.002, 0.005, 0.008}) {
+    markov::IntervalDtmc ic({"nominal", "degraded", "mrm", "hazard"});
+    const auto band = [eps](double p) {
+      return prob::ProbInterval(std::max(0.0, p - eps), std::min(1.0, p + eps));
+    };
+    ic.set_transition(0, 0, band(0.985));
+    ic.set_transition(0, 1, band(0.015));
+    ic.set_transition(1, 0, band(0.70));
+    ic.set_transition(1, 1, band(0.20));
+    ic.set_transition(1, 2, band(0.09));
+    ic.set_transition(1, 3, band(0.01));
+    ic.set_transition(2, 2, prob::ProbInterval(1.0));
+    ic.set_transition(3, 3, prob::ProbInterval(1.0));
+    const auto b = ic.bounded_reachability({3}, 1000)[0];
+    std::printf("  %.3f   [%.6f, %.6f]  width %.6f\n", eps, b.lo(), b.hi(),
+                b.width());
+  }
+  std::puts("\n  -> shape: eps = 0 reproduces the point chain; small CPT-level");
+  std::puts("     imprecision inflates the verified hazard bound severely over");
+  std::puts("     long horizons — why the paper insists epistemic uncertainty");
+  std::puts("     must enter the safety argument explicitly.\n");
+
+  // ---- MDP: synthesize the policy that bounds the hazard ----
+  std::puts("(d) MDP policy synthesis: when should the degraded supervisor");
+  std::puts("    hand over (MRM) instead of continuing?");
+  std::puts("    P(hazard|continue step)   min P(hazard)   optimal action");
+  for (const double risk : {0.0001, 0.0005, 0.002, 0.01, 0.05}) {
+    markov::Mdp m;
+    const auto drive = m.add_state("drive");
+    const auto deg = m.add_state("degraded");
+    const auto arrive = m.add_state("arrived");
+    const auto safe = m.add_state("mrm_stop");
+    const auto hz = m.add_state("hazard");
+    // Trips complete: driving reaches the destination eventually, so
+    // continuing through a degradation is not automatically fatal.
+    (void)m.add_action(drive, "drive",
+                       {{drive, 0.93}, {deg, 0.02}, {arrive, 0.05}});
+    (void)m.add_action(deg, "continue",
+                       {{drive, 0.8 - risk}, {deg, 0.2}, {hz, risk}});
+    (void)m.add_action(deg, "mrm", {{safe, 0.998}, {hz, 0.002}});
+    (void)m.add_action(arrive, "stay", {{arrive, 1.0}});
+    (void)m.add_action(safe, "stay", {{safe, 1.0}});
+    (void)m.add_action(hz, "stay", {{hz, 1.0}});
+    const auto v = m.reachability({hz}, /*maximize=*/false);
+    const auto pol = m.optimal_policy({hz}, false);
+    std::printf("    %10.4f                %.6f        %s\n", risk, v[deg],
+                m.action_name(deg, pol[deg]).c_str());
+  }
+  std::puts("\n  -> shape: with completable trips, the risk-minimal policy");
+  std::puts("     continues through cheap degradations and hands over once");
+  std::puts("     the per-step risk outweighs the handover risk — tolerance");
+  std::puts("     as a synthesized *policy*, not just an architecture.");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Google-benchmark microbenchmarks of the library's hot paths: factor
+// products, variable elimination, Dempster combination, fault-tree
+// evaluation and credal propagation. Complements the paper-shaped
+// experiment benches (E1-E11) with per-operation cost curves.
+#include <benchmark/benchmark.h>
+
+#include "bayesnet/inference.hpp"
+#include "evidence/credal.hpp"
+#include "evidence/mass.hpp"
+#include "fta/analysis.hpp"
+#include "orbit/nbody.hpp"
+#include "markov/hmm.hpp"
+#include "perception/table1.hpp"
+#include "prob/polychaos.hpp"
+#include "prob/rng.hpp"
+
+namespace {
+
+using namespace sysuq;
+
+void BM_FactorProduct(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  prob::Rng rng(1);
+  // Two factors sharing one variable, each over `n` binary variables.
+  std::vector<bayesnet::VariableId> sa, sb;
+  for (std::size_t i = 0; i < n; ++i) sa.push_back(i);
+  for (std::size_t i = n - 1; i < 2 * n - 1; ++i) sb.push_back(i);
+  std::vector<std::size_t> cards(n, 2);
+  std::vector<double> va(std::size_t{1} << n), vb(std::size_t{1} << n);
+  for (double& v : va) v = rng.uniform();
+  for (double& v : vb) v = rng.uniform();
+  const bayesnet::Factor a(sa, cards, va), b(sb, cards, vb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.product(b));
+  }
+}
+BENCHMARK(BM_FactorProduct)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_VariableEliminationTable1(benchmark::State& state) {
+  const auto net = perception::table1_network();
+  const bayesnet::VariableElimination ve(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ve.query(0, {{1, 3}}));
+  }
+}
+BENCHMARK(BM_VariableEliminationTable1);
+
+void BM_LikelihoodWeighting(benchmark::State& state) {
+  const auto net = perception::table1_network();
+  prob::Rng rng(7);
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bayesnet::likelihood_weighting(net, 0, {{1, 3}}, samples, rng));
+  }
+}
+BENCHMARK(BM_LikelihoodWeighting)->Arg(1000)->Arg(10000);
+
+void BM_DempsterCombine(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < k; ++i) names.push_back("h" + std::to_string(i));
+  const evidence::Frame frame(names);
+  prob::Rng rng(3);
+  std::map<evidence::FocalSet, double> ma, mb;
+  for (int i = 0; i < 8; ++i) {
+    ma[1 + rng.uniform_index(frame.theta())] += rng.uniform() + 0.01;
+    mb[1 + rng.uniform_index(frame.theta())] += rng.uniform() + 0.01;
+  }
+  double ta = 0.0, tb = 0.0;
+  for (auto& [s, v] : ma) ta += v;
+  for (auto& [s, v] : mb) tb += v;
+  for (auto& [s, v] : ma) v /= ta;
+  for (auto& [s, v] : mb) v /= tb;
+  const evidence::MassFunction a(frame, ma), b(frame, mb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evidence::dempster_combine(a, b));
+  }
+}
+BENCHMARK(BM_DempsterCombine)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FtaExactProbability(benchmark::State& state) {
+  const auto channels = static_cast<std::size_t>(state.range(0));
+  fta::FaultTree t;
+  const auto power = t.add_basic_event("power", 0.01);
+  std::vector<fta::NodeId> chans;
+  for (std::size_t c = 0; c < channels; ++c) {
+    const auto cam = t.add_basic_event("cam" + std::to_string(c), 0.05);
+    chans.push_back(
+        t.add_gate("ch" + std::to_string(c), fta::GateType::kOr, {power, cam}));
+  }
+  t.set_top(t.add_gate("voter", fta::GateType::kKooN, chans, channels / 2 + 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fta::exact_top_probability(t));
+  }
+}
+BENCHMARK(BM_FtaExactProbability)->Arg(3)->Arg(7)->Arg(11);
+
+void BM_CredalPosterior(benchmark::State& state) {
+  const auto net = perception::table1_network();
+  const auto prior =
+      evidence::IntervalDistribution::widened(net.cpt_rows(0)[0], 0.03);
+  std::vector<evidence::IntervalDistribution> rows;
+  for (const auto& r : net.cpt_rows(1))
+    rows.push_back(evidence::IntervalDistribution::widened(r, 0.03));
+  const evidence::IntervalCpt cpt(rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evidence::credal_chain_posterior(prior, cpt, 3));
+  }
+}
+BENCHMARK(BM_CredalPosterior);
+
+void BM_NBodyVerletStep(benchmark::State& state) {
+  // Not strictly a UQ path, but the ground-truth generator's cost bounds
+  // every orbit experiment.
+  orbit::GravityParams g{};
+  auto s = orbit::make_circular_binary(1.0, 0.5, 1.0, g);
+  for (auto _ : state) {
+    orbit::verlet_step(s, 1e-3, g);
+    benchmark::DoNotOptimize(s.bodies[0].position);
+  }
+}
+BENCHMARK(BM_NBodyVerletStep);
+
+void BM_HmmFilter(benchmark::State& state) {
+  const auto net = perception::table1_network();
+  const auto& prior = net.cpt_rows(0)[0];
+  std::vector<prob::Categorical> trans(3, prior);
+  const markov::Hmm hmm(prior, trans, net.cpt_rows(1));
+  prob::Rng rng(5);
+  const auto tr = hmm.sample(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmm.filter(tr.observations));
+  }
+}
+BENCHMARK(BM_HmmFilter)->Arg(100)->Arg(1000);
+
+void BM_Pce1DProjection(benchmark::State& state) {
+  const auto order = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob::PolynomialChaos1D(
+        prob::PolyBasis::kHermite, order,
+        [](double x) { return std::sin(x) + x * x; }, 4));
+  }
+}
+BENCHMARK(BM_Pce1DProjection)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

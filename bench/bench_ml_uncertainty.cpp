@@ -1,0 +1,105 @@
+// Uncertainty-aware ML (paper refs [5], [6]; the tolerance mean): the
+// Bayesian feature classifier's exact aleatory/epistemic decomposition
+// and its out-of-distribution (ontological) channel.
+//
+// Measured: epistemic decay with training data, the decomposition on
+// in-distribution / boundary / OOD probes, and the safety effect of
+// abstention thresholds.
+#include <cstdio>
+
+#include "perception/bayes_classifier.hpp"
+#include "prob/statistics.hpp"
+
+int main() {
+  using namespace sysuq;
+  using perception::ClassDistribution;
+  using perception::Feature;
+
+  const ClassDistribution kCar{{0.0, 0.0}, 0.5};
+  const ClassDistribution kPed{{4.0, 0.0}, 0.5};
+  const ClassDistribution kCyc{{0.0, 4.0}, 0.5};
+  const ClassDistribution kNovel{{8.0, 8.0}, 0.5};
+  const ClassDistribution kAll[] = {kCar, kPed, kCyc};
+
+  prob::Rng rng(606);
+
+  std::puts("==== uncertainty-aware classifier (Bayesian, closed-form) ====\n");
+
+  // ---- epistemic decay ----
+  std::puts("(a) posterior mean-uncertainty tau vs training examples:");
+  std::puts("      N/class    tau       sigma/sqrt(N)");
+  perception::BayesClassifier clf(3, 0.5, 10.0, prob::Categorical::uniform(3));
+  std::size_t trained = 0;
+  for (const std::size_t target : {2u, 8u, 32u, 128u, 512u}) {
+    while (trained < target) {
+      for (std::size_t c = 0; c < 3; ++c)
+        clf.train(c, perception::sample_feature(kAll[c], rng));
+      ++trained;
+    }
+    std::printf("  %9zu    %.4f     %.4f\n", trained, clf.posterior_tau(0),
+                0.5 / std::sqrt(static_cast<double>(trained)));
+  }
+  std::puts("  -> shape: tau ~ sigma/sqrt(N) — the paper's epistemic decay,");
+  std::puts("     now inside the ML component itself.\n");
+
+  // ---- decomposition on three probe types ----
+  std::puts("(b) entropy decomposition at three probes (512 samples/class):");
+  std::puts("  probe                total     aleatory  epistemic");
+  struct Probe {
+    const char* name;
+    Feature f;
+  };
+  const Probe probes[] = {
+      {"class centre (car)", {0.0, 0.0}},
+      {"decision boundary", {2.0, 0.0}},
+      {"far OOD (novel)", {8.0, 8.0}},
+  };
+  for (const auto& p : probes) {
+    prob::Rng r(707);
+    const auto d = clf.decompose(p.f, 400, r);
+    std::printf("  %-20s %.4f    %.4f    %.4f\n", p.name, d.total, d.aleatory,
+                d.epistemic);
+  }
+  std::printf("  OOD scores: centre %.1f, boundary %.1f, novel %.1f\n",
+              clf.ood_score({0.0, 0.0}), clf.ood_score({2.0, 0.0}),
+              clf.ood_score({8.0, 8.0}));
+  std::puts("  -> shape: boundary = aleatory (classes genuinely overlap);");
+  std::puts("     OOD is flagged by the Mahalanobis channel, not by entropy");
+  std::puts("     alone — the distinction the paper's taxonomy demands.\n");
+
+  // ---- abstention sweep ----
+  std::puts("(c) abstention threshold sweep (10% novel objects in stream):");
+  std::puts("  ood-thresh   accuracy   hazard    novel-caught");
+  for (const double thr : {4.0, 9.0, 16.0, 36.0, 100.0}) {
+    std::size_t correct = 0, hazard = 0, novel = 0, caught = 0;
+    const std::size_t n = 20000;
+    prob::Rng r(808);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool is_novel = r.bernoulli(0.10);
+      const std::size_t c = is_novel ? 3 : r.uniform_index(3);
+      const Feature f = perception::sample_feature(
+          is_novel ? kNovel : kAll[c], r);
+      const std::size_t label = clf.classify(f, thr, 0.5);
+      if (is_novel) {
+        ++novel;
+        if (label == 3) {
+          ++caught;
+        } else {
+          ++hazard;
+        }
+      } else if (label == c) {
+        ++correct;
+      } else if (label != 3) {
+        ++hazard;
+      }
+    }
+    std::printf("  %9.1f    %.4f    %.4f    %.3f\n", thr,
+                static_cast<double>(correct) / (n - novel),
+                static_cast<double>(hazard) / n,
+                static_cast<double>(caught) / novel);
+  }
+  std::puts("\n  -> shape: a tight OOD gate converts ontological exposure into");
+  std::puts("     abstentions at negligible accuracy cost; opening it trades");
+  std::puts("     availability for hazard — the tolerance mean's dial.");
+  return 0;
+}

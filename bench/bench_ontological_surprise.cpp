@@ -1,0 +1,167 @@
+// E7 — Sec. III.C: "at some point we observe a behavior of the planets
+// that contradicts the prediction by the models due to the influence of a
+// third planet."
+//
+// Measured: detection latency and residual jump vs the hidden planet's
+// mass, using the dynamics-level acceleration residual + SurpriseMonitor;
+// plus the conditional-entropy surprise factor before/after the event on
+// a discretized predicted-vs-observed occupancy joint.
+#include <cstdio>
+#include <vector>
+
+#include "core/decomposition.hpp"
+#include "orbit/kalman.hpp"
+#include "orbit/two_planet.hpp"
+#include "prob/information.hpp"
+#include "prob/statistics.hpp"
+
+namespace {
+
+using namespace sysuq;
+
+struct Detection {
+  bool detected = false;
+  double latency_time = 0.0;   // simulation time between injection and alarm
+  double residual_jump = 0.0;  // alarm residual / adaptive level
+};
+
+// Realistic setting: positions are *observed* through a noisy channel at
+// a finite cadence (astrometry), so the dynamics residual has a noise
+// floor; a hidden planet is detectable only if its pull rises above it.
+Detection run_detection(double mass, double obs_sigma, std::uint64_t seed) {
+  orbit::UniverseConfig cfg;
+  cfg.third = orbit::UniverseConfig::ThirdPlanet{mass, {1.5, 0.0}, {0.0, 0.6},
+                                                 40.0};
+  orbit::TwoPlanetUniverse u(cfg);
+  orbit::SurpriseMonitor monitor(500, 6.0, 3);
+  prob::Rng rng(seed);
+  const double dt = 1e-3;
+  const std::size_t cadence = 50;  // one observation per 0.05 time units
+  std::vector<orbit::Vec2> p0, p1;
+  double injected_at = -1.0;
+  Detection out;
+  for (std::size_t i = 1; i <= 120000; ++i) {
+    u.advance(dt);
+    if (u.third_planet_present() && injected_at < 0.0) injected_at = u.time();
+    if (i % cadence != 0) continue;
+    p0.push_back(u.observe_position(0, rng, obs_sigma));
+    p1.push_back(u.observe_position(1, rng, obs_sigma));
+    const std::size_t k = p0.size();
+    if (k < 3) continue;
+    const double res = orbit::acceleration_residual(
+        p0[k - 3], p0[k - 2], p0[k - 1], dt * cadence, p1[k - 2], cfg.m2, 0.0,
+        cfg.gravity);
+    if (monitor.feed(res)) {
+      out.detected = true;
+      out.latency_time = u.time() - injected_at;
+      out.residual_jump = res / monitor.level();
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("==== E7: ontological surprise — the hidden third planet ====\n");
+  std::puts("detection via anomalous acceleration under noisy astrometry");
+  std::puts("(cadence 0.05 t.u., position noise sigma = 1e-6; alarm at 6x");
+  std::puts("adaptive level, 3 consecutive; injection at t = 40):\n");
+  std::puts("  planet mass   detected   latency (time)   residual jump (x "
+            "level)");
+  for (const double mass : {0.0005, 0.002, 0.01, 0.02, 0.05, 0.2, 0.5}) {
+    const auto d = run_detection(mass, 1e-6, 12345);
+    if (d.detected) {
+      std::printf("  %10.4f      yes        %8.2f           %10.1f\n", mass,
+                  d.latency_time, d.residual_jump);
+    } else {
+      std::printf("  %10.4f      no             -                  -\n", mass);
+    }
+  }
+  std::puts("\n  -> shape: heavy unmodeled structure is detected within a few");
+  std::puts("     observation cadences; featherweight planets hide below the");
+  std::puts("     astrometric noise floor — ontological uncertainty is");
+  std::puts("     bounded by observability, not by the monitor.\n");
+
+  // ---- conditional-entropy surprise factor before/after ----
+  // Discretize the planet's angular position into 8 sectors; the model
+  // predicts the next sector from the current one. Before the event the
+  // transition is deterministic at this resolution; afterwards the hidden
+  // planet scrambles it.
+  std::puts("surprise factor H(observed | predicted) on 8-sector occupancy:");
+  using namespace sysuq;
+  orbit::UniverseConfig cfg;
+  cfg.third = orbit::UniverseConfig::ThirdPlanet{0.5, {1.5, 0.0}, {0.0, 0.6},
+                                                 30.0};
+  orbit::TwoPlanetUniverse u(cfg);
+  orbit::DeterministicModel model(cfg.m1, cfg.m2, cfg.separation, cfg.gravity);
+  const auto sector = [](orbit::Vec2 p) {
+    const double a = std::atan2(p.y, p.x) + M_PI;
+    auto s = static_cast<std::size_t>(a / (2.0 * M_PI) * 8.0);
+    return std::min<std::size_t>(s, 7);
+  };
+  for (const char* phase : {"before injection (t<30)", "after injection (t>30)"}) {
+    std::vector<std::vector<double>> counts(8, std::vector<double>(8, 1e-9));
+    for (int i = 0; i < 30000; ++i) {
+      u.advance(1e-3);
+      model.advance(1e-3);
+      counts[sector(model.predicted_position(0))]
+            [sector(u.state().bodies[0].position)] += 1.0;
+    }
+    double total = 0.0;
+    for (const auto& row : counts)
+      for (double v : row) total += v;
+    for (auto& row : counts)
+      for (double& v : row) v /= total;
+    const prob::JointTable joint(counts);
+    std::printf("  %-26s H = %.4f nats (normalized %.4f)\n", phase,
+                core::surprise_factor(joint), core::normalized_surprise(joint));
+  }
+  std::puts("\n  -> shape: near-zero conditional entropy while the model is");
+  std::puts("     correct; a jump after the unmodeled planet appears — the");
+  std::puts("     paper's formal 'surprise factor' separating epistemic from");
+  std::puts("     ontological gaps (Sec. III.C).\n");
+
+  // ---- Kalman innovation view of the same event ----
+  // Filter the *model-A residual* (observed position minus the two-body
+  // ephemeris prediction): under the modeled dynamics this is zero-mean
+  // measurement noise, so a constant-velocity filter's normalized
+  // innovation squared (NIS, chi-square(2)) sits in its band — until the
+  // hidden planet makes the residual accelerate.
+  std::puts("Kalman NIS on the model-A residual (cadence 0.05, obs sigma "
+            "1e-4):");
+  {
+    orbit::UniverseConfig kcfg;
+    kcfg.third = orbit::UniverseConfig::ThirdPlanet{0.5, {1.5, 0.0}, {0.0, 0.6},
+                                                    20.0};
+    orbit::TwoPlanetUniverse ku(kcfg);
+    orbit::DeterministicModel ephemeris(kcfg.m1, kcfg.m2, kcfg.separation,
+                                        kcfg.gravity);
+    orbit::KalmanFilter2D kf(1e-6, 1e-4, 1e-6, 1e-6);
+    kf.initialize({0, 0}, {0, 0});
+    prob::Rng krng(777);
+    prob::RunningStats nis_before, nis_after;
+    const double dt = 1e-3;
+    const std::size_t cadence = 50;
+    for (std::size_t i = 1; i <= 40000; ++i) {
+      ku.advance(dt);
+      ephemeris.advance(dt);
+      if (i % cadence != 0) continue;
+      kf.predict(dt * cadence);
+      const auto obs = ku.observe_position(0, krng, 1e-4);
+      const auto residual = obs - ephemeris.predicted_position(0);
+      const double nis = kf.update(residual);
+      (ku.time() < 20.0 ? nis_before : nis_after).add(nis);
+    }
+    std::printf("  mean NIS before injection: %8.2f (chi-square(2) mean 2)\n",
+                nis_before.mean());
+    std::printf("  mean NIS after  injection: %8.2f (max %.0f)\n",
+                nis_after.mean(), nis_after.max());
+  }
+  std::puts("\n  -> shape: with the modeled dynamics subtracted, the residual");
+  std::puts("     is in the CV filter's model class and NIS stays in band;");
+  std::puts("     the hidden planet makes the residual accelerate and NIS");
+  std::puts("     explodes — the same ontological alarm in innovation form.");
+  return 0;
+}

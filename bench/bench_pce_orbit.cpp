@@ -1,0 +1,88 @@
+// Spectral propagation of parameter uncertainty through model A: the
+// deterministic Newtonian ephemeris with uncertain initial conditions.
+//
+// Sec. II's deterministic formal system stays deterministic — but when
+// its *parameters* carry epistemic uncertainty, the induced output
+// distribution is what the safety case needs. Polynomial chaos gives the
+// output mean/variance and Sobol attribution at a tiny fraction of the
+// Monte-Carlo cost.
+#include <chrono>
+#include <cstdio>
+
+#include "orbit/nbody.hpp"
+#include "prob/polychaos.hpp"
+#include "prob/rng.hpp"
+#include "prob/statistics.hpp"
+
+namespace {
+
+using namespace sysuq;
+
+// Planet-0 x-position at time T for perturbed initial conditions:
+// xi0 scales the tangential velocity, xi1 the separation.
+double orbit_model(double v_sigma, double sep_sigma, double xi0, double xi1,
+                   double horizon) {
+  const orbit::GravityParams g{};
+  auto s = orbit::make_circular_binary(1.0, 0.5, 1.0 + sep_sigma * xi1, g);
+  s.bodies[0].velocity.y *= 1.0 + v_sigma * xi0;
+  const double dt = 2e-3;
+  const auto steps = static_cast<std::size_t>(horizon / dt);
+  for (std::size_t i = 0; i < steps; ++i) orbit::rk4_step(s, dt, g);
+  return s.bodies[0].position.x;
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kHorizon = 4.0;
+  constexpr double kVSigma = 0.01;   // 1% velocity uncertainty
+  constexpr double kSepSigma = 0.005;  // 0.5% separation uncertainty
+
+  std::puts("==== PCE propagation through model A (uncertain initial "
+            "conditions) ====\n");
+
+  // ---- 1D: velocity uncertainty only, PCE vs Monte Carlo ----
+  std::puts("(a) x(T=4) with 1% Gaussian velocity uncertainty:");
+  std::puts("  method          model evals   mean        std dev");
+  const auto f1 = [&](double xi) {
+    return orbit_model(kVSigma, 0.0, xi, 0.0, kHorizon);
+  };
+  for (const std::size_t order : {1u, 2u, 4u, 6u}) {
+    const prob::PolynomialChaos1D pce(prob::PolyBasis::kHermite, order, f1, 2);
+    std::printf("  PCE order %zu     %8zu     %+.6f   %.6f\n", order,
+                order + 3, pce.mean(), std::sqrt(pce.variance()));
+  }
+  prob::Rng rng(31415);
+  for (const std::size_t n : {100u, 1000u, 10000u}) {
+    prob::RunningStats mc;
+    for (std::size_t i = 0; i < n; ++i) mc.add(f1(rng.gaussian()));
+    std::printf("  Monte Carlo     %8zu     %+.6f   %.6f\n", n, mc.mean(),
+                mc.stddev());
+  }
+  std::puts("  -> shape: the order-4 expansion (7 model runs) matches the");
+  std::puts("     10^4-run Monte-Carlo moments — spectral convergence on a");
+  std::puts("     smooth parametric response.\n");
+
+  // ---- 2D: Sobol attribution of the output variance ----
+  std::puts("(b) which initial-condition uncertainty dominates x(T)?");
+  std::puts("  horizon   Var[x(T)]    S1(velocity)  S1(separation)  "
+            "interaction");
+  for (const double horizon : {1.0, 2.0, 4.0, 8.0}) {
+    const prob::PolynomialChaosND pce(
+        prob::PolyBasis::kHermite, 2, 4,
+        [&](const std::vector<double>& xi) {
+          return orbit_model(kVSigma, kSepSigma, xi[0], xi[1], horizon);
+        },
+        2);
+    const double s0 = pce.sobol_first(0);
+    const double s1 = pce.sobol_first(1);
+    std::printf("  %7.1f   %.3e     %.4f        %.4f        %.4f\n", horizon,
+                pce.variance(), s0, s1, std::max(0.0, 1.0 - s0 - s1));
+  }
+  std::puts("\n  -> shape: variance grows with horizon (phase error");
+  std::puts("     accumulates); the Sobol split tells the domain analysis");
+  std::puts("     which measurement to improve — epistemic triage for");
+  std::puts("     continuous models, complementing the CPT sensitivity of");
+  std::puts("     the discrete layer.");
+  return 0;
+}

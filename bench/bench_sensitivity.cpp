@@ -1,0 +1,64 @@
+// CPT sensitivity analysis on the Table I network: which parameters the
+// safety-relevant queries actually depend on — the triage that tells the
+// uncertainty-removal loop where to spend its observations.
+#include <cstdio>
+
+#include "bayesnet/sensitivity.hpp"
+#include "perception/table1.hpp"
+
+namespace {
+
+const char* gt_state(std::size_t s) {
+  const char* names[] = {"car", "pedestrian", "unknown"};
+  return names[s];
+}
+const char* pc_state(std::size_t s) {
+  const char* names[] = {"car", "pedestrian", "car/pedestrian", "none"};
+  return names[s];
+}
+
+}  // namespace
+
+int main() {
+  using namespace sysuq;
+
+  std::puts("==== one-way CPT sensitivity of the Table I network ====\n");
+  const auto net = perception::table1_network();
+
+  struct Query {
+    const char* label;
+    bayesnet::VariableId var;
+    std::size_t state;
+    bayesnet::Evidence evidence;
+  };
+  const Query queries[] = {
+      {"P(perception = none)", 1, perception::kPercNone, {}},
+      {"P(gt = unknown | perception = none)", 0, perception::kGtUnknown,
+       {{1, perception::kPercNone}}},
+      {"P(perception = car)", 1, perception::kPercCar, {}},
+  };
+
+  for (const auto& q : queries) {
+    std::printf("query: %s — top 5 parameters by |d query / d theta|\n",
+                q.label);
+    const auto ranking = bayesnet::rank_parameters(net, q.var, q.state, q.evidence);
+    for (std::size_t i = 0; i < 5 && i < ranking.size(); ++i) {
+      const auto& p = ranking[i];
+      if (p.child == 0) {
+        std::printf("  %zu. prior P(gt = %s) = %.3f            d = %+7.4f\n",
+                    i + 1, gt_state(p.state), p.value, p.derivative);
+      } else {
+        std::printf("  %zu. P(perc = %s | gt = %s) = %.3f   d = %+7.4f\n",
+                    i + 1, pc_state(p.state), gt_state(p.row), p.value,
+                    p.derivative);
+      }
+    }
+    std::puts("");
+  }
+
+  std::puts("  -> shape: the 'none' diagnosis is dominated by the unknown");
+  std::puts("     prior and the unknown row's entries — the two places the");
+  std::puts("     paper marks as ontological; elicitation precision on the");
+  std::puts("     well-observed car/pedestrian rows matters far less.");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E1 — Table I: the perception CPT, its repair policies, and every
+// quantitative statement the paper's Sec. V makes about it.
+//
+// Reproduces: Table I (CPT of P(perception | ground truth)), the Sec. V
+// priors (0.6 / 0.3 / 0.1), and the uncertainty-type attribution of each
+// CPT region (aleatory prior, epistemic car/pedestrian column,
+// ontological unknown row).
+#include <cstdio>
+
+#include "bayesnet/inference.hpp"
+#include "bayesnet/io.hpp"
+#include "core/decomposition.hpp"
+#include "perception/table1.hpp"
+
+namespace {
+
+void print_marginal(const char* tag, const sysuq::prob::Categorical& m) {
+  std::printf("%-34s car=%.4f ped=%.4f car/ped=%.4f none=%.4f\n", tag, m.p(0),
+              m.p(1), m.p(2), m.p(3));
+}
+
+}  // namespace
+
+int main() {
+  using namespace sysuq;
+  using perception::Table1Repair;
+
+  std::puts("==== E1: Table I perception CPT (paper Sec. V, Fig. 4) ====\n");
+  std::puts("published unknown row (0, 0, 0.2, 0.7) sums to 0.9 -> repaired:");
+
+  struct Policy {
+    Table1Repair repair;
+    const char* name;
+  };
+  const Policy policies[] = {
+      {Table1Repair::kDeficitToNone, "deficit->none  (default)"},
+      {Table1Repair::kDeficitToCarPed, "deficit->car/ped"},
+      {Table1Repair::kRenormalize, "renormalize"},
+  };
+
+  for (const auto& policy : policies) {
+    const auto row = perception::table1_unknown_row(policy.repair);
+    std::printf("  %-26s (0, 0, %.4f, %.4f)\n", policy.name, row.p(2), row.p(3));
+  }
+
+  for (const auto& policy : policies) {
+    std::printf("\n---- repair policy: %s ----\n", policy.name);
+    const auto net = perception::table1_network(policy.repair);
+    bayesnet::VariableElimination ve(net);
+
+    print_marginal("P(perception):", ve.query(1));
+
+    // Diagnosis for every output state.
+    const char* outputs[] = {"car", "pedestrian", "car/pedestrian", "none"};
+    for (std::size_t o = 0; o < 4; ++o) {
+      const auto post = ve.query(0, {{1, o}});
+      std::printf("P(gt | perception=%-14s) car=%.4f ped=%.4f unknown=%.4f\n",
+                  outputs[o], post.p(0), post.p(1), post.p(2));
+    }
+
+    // Uncertainty attribution, as the paper assigns it:
+    //  * aleatory  — the world prior (how often each object occurs);
+    //  * epistemic — mass routed into the car/pedestrian indicator state;
+    //  * ontological — mass explained only by the unknown gt state.
+    const auto joint = ve.joint(1, 0);
+    const double aleatory = net.cpt_rows(0)[0].entropy();
+    const double epistemic_mass = ve.query(1).p(perception::kPercCarPedestrian);
+    const double onto_prior = net.cpt_rows(0)[0].p(perception::kGtUnknown);
+    const auto none_post = ve.query(0, {{1, perception::kPercNone}});
+    std::printf("aleatory prior entropy        : %.4f nats\n", aleatory);
+    std::printf("epistemic indicator mass      : %.4f (P(car/pedestrian))\n",
+                epistemic_mass);
+    std::printf("ontological prior / posterior : %.4f -> %.4f given 'none'\n",
+                onto_prior, none_post.p(perception::kGtUnknown));
+    std::printf("surprise factor H(gt | perc)  : %.4f nats (normalized %.4f)\n",
+                core::surprise_factor(joint), core::normalized_surprise(joint));
+  }
+
+  std::puts("\npaper-vs-measured: priors and CPT entries match Table I by");
+  std::puts("construction; posteriors below are the exact Bayes inversions");
+  std::puts("the paper's Sec. V argues qualitatively (unknown dominates the");
+  std::puts("'none' diagnosis; car/pedestrian flags epistemic ambiguity).");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E8 — Secs. IV & V: "uncertainty tolerance can typically be obtained by
+// using redundant architectures", and the BN warning that common parent
+// nodes (common causes) undermine the diversity.
+//
+// Measured: hazard rate vs sensor count x fusion rule x common-cause
+// correlation, plus the closed-world failure of naive Bayes on novel
+// objects.
+#include <cstdio>
+
+#include "perception/fusion.hpp"
+
+int main() {
+  using namespace sysuq;
+  prob::Rng rng(777);
+
+  std::puts("==== E8: uncertainty tolerance via redundancy ====\n");
+  perception::WorldModel modeled({"car", "pedestrian"}, {2.0 / 3.0, 1.0 / 3.0});
+  const perception::TrueWorld world(modeled, {"unknown_object"}, 0.05);
+  const auto sensor = perception::ConfusionSensor::make_default(2, 1, 0.9, 0.8);
+  constexpr std::size_t kN = 150000;
+
+  const struct {
+    perception::FusionRule rule;
+    const char* name;
+  } rules[] = {
+      {perception::FusionRule::kMajorityVote, "majority"},
+      {perception::FusionRule::kNaiveBayes, "naive-bayes"},
+      {perception::FusionRule::kDempster, "dempster"},
+  };
+
+  std::puts("independent sensors (no common cause):");
+  std::puts("  sensors  rule         hazard    accuracy  novel-caught");
+  for (const std::size_t k : {1u, 2u, 3u, 5u}) {
+    for (const auto& r : rules) {
+      perception::RedundantArchitecture arch{
+          std::vector<perception::ConfusionSensor>(k, sensor), r.rule, 0.0, 0.1};
+      prob::Rng rr = rng.split(k * 10 + static_cast<std::size_t>(r.rule));
+      const auto m = perception::simulate_fusion(arch, world, kN, rr);
+      std::printf("  %7zu  %-11s  %.5f   %.4f    %.3f\n", k, r.name,
+                  m.hazard_rate, m.accuracy, m.novel_caught);
+    }
+  }
+  std::puts("\n  -> shape: hazard falls with k for vote/DS; naive Bayes is");
+  std::puts("     accurate on modeled classes but its closed world never");
+  std::puts("     abstains on novel objects (novel-caught ~ 0) — the exact");
+  std::puts("     blind spot the paper's unknown state exists to expose.\n");
+
+  std::puts("common-cause ablation (3 sensors, majority vote):");
+  std::puts("  common-cause rate   hazard    hazard vs independent");
+  double independent_hazard = 0.0;
+  for (const double cc : {0.0, 0.1, 0.3, 0.6, 0.9}) {
+    perception::RedundantArchitecture arch{
+        {sensor, sensor, sensor}, perception::FusionRule::kMajorityVote, cc,
+        0.1};
+    prob::Rng rr = rng.split(1000 + static_cast<std::size_t>(cc * 100));
+    const auto m = perception::simulate_fusion(arch, world, kN, rr);
+    if (cc == 0.0) independent_hazard = m.hazard_rate;
+    std::printf("  %17.1f   %.5f        x%.2f\n", cc, m.hazard_rate,
+                m.hazard_rate / independent_hazard);
+  }
+  std::puts("\n  -> shape: hazard climbs monotonically toward the single-");
+  std::puts("     sensor rate as the common cause correlates the channels —");
+  std::puts("     the BN 'common parent node' effect of Sec. V, quantified.");
+  return 0;
+}

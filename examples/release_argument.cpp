@@ -1,0 +1,64 @@
+// Uncertainty forecasting end to end: build the quantitative release
+// argument for the Table I perception system by combining
+//
+//   * the evidential view of its CPT (residual epistemic imprecision),
+//   * long-tail analysis of the scenario distribution (ontological
+//     exposure forecast),
+//   * a subjective-logic assurance case over the collected evidence,
+//   * the formal release criteria of core::assess_release.
+#include <cstdio>
+
+#include "core/longtail.hpp"
+#include "core/means.hpp"
+#include "evidence/subjective.hpp"
+#include "perception/table1.hpp"
+
+int main() {
+  using namespace sysuq;
+
+  std::puts("== 1. scenario exposure forecast (long tail) ==");
+  const auto scenarios = core::zipf_distribution(50000, 1.3);
+  const std::size_t fleet_miles = 2'000'000;
+  const double unseen = core::expected_missing_mass(scenarios, fleet_miles);
+  std::printf("fleet exposure %zu encounters -> expected unseen scenario "
+              "mass %.5f\n",
+              fleet_miles, unseen);
+  std::printf("exposure needed for <= 0.001: %zu encounters\n\n",
+              core::observations_for_missing_mass(scenarios, 0.001));
+
+  std::puts("== 2. assurance case over the collected evidence ==");
+  evidence::AssuranceCase ac;
+  const auto cpt_known = ac.add_evidence(
+      "perception CPT known (field-calibrated)",
+      evidence::Opinion::from_evidence(98500, 1500));
+  const auto unknowns_handled = ac.add_evidence(
+      "unknown objects yield safe 'none' outputs",
+      evidence::Opinion::from_evidence(1930, 70));
+  const auto redundancy = ac.add_evidence(
+      "redundant channel masks single faults",
+      evidence::Opinion::from_evidence(4950, 50));
+  const auto root = ac.add_goal(
+      "perception subsystem safe for the declared ODD",
+      evidence::AssuranceCase::Kind::kConjunction,
+      {cpt_known, unknowns_handled, redundancy}, 0.97);
+  const auto opinion = ac.evaluate(root);
+  std::printf("root claim: %s\n", opinion.to_string().c_str());
+  std::printf("weakest leaf: \"%s\"\n\n", ac.claim(ac.weakest_leaf(root)).c_str());
+
+  std::puts("== 3. formal release criteria ==");
+  core::ReleaseEvidence ev;
+  ev.field_observations = 100000;
+  ev.epistemic_width = 0.008;   // from the Dirichlet CPT posteriors
+  ev.missing_mass = unseen;     // the long-tail forecast above
+  ev.hazardous_events = 7;
+  const auto decision = core::assess_release(ev, core::ReleaseCriteria{});
+  std::printf("hazard-rate 95%% upper bound: %.2e\n", decision.hazard_rate_upper);
+  std::printf("decision: %s\n", decision.ready ? "RELEASE" : "HOLD");
+  for (const auto& blocker : decision.blockers)
+    std::printf("  blocker: %s\n", blocker.c_str());
+
+  std::puts("\nthe three layers answer the paper's forecasting question —");
+  std::puts("'estimation of the present level and future occurrence of");
+  std::puts("uncertainties' — with numbers instead of judgement.");
+  return 0;
+}

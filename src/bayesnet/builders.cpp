@@ -1,0 +1,108 @@
+#include "bayesnet/builders.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "prob/special.hpp"
+
+namespace sysuq::bayesnet {
+
+std::vector<prob::Categorical> noisy_or_cpt(
+    const std::vector<double>& link_probabilities, double leak) {
+  if (link_probabilities.empty())
+    throw std::invalid_argument("noisy_or_cpt: no parents");
+  for (double p : link_probabilities) {
+    if (p < 0.0 || p > 1.0)
+      throw std::invalid_argument("noisy_or_cpt: link probability outside [0,1]");
+  }
+  if (leak < 0.0 || leak > 1.0)
+    throw std::invalid_argument("noisy_or_cpt: leak outside [0,1]");
+
+  const std::size_t n = link_probabilities.size();
+  const std::size_t rows = std::size_t{1} << n;
+  std::vector<prob::Categorical> out;
+  out.reserve(rows);
+  for (std::size_t cfg = 0; cfg < rows; ++cfg) {
+    double not_fire = 1.0 - leak;
+    // Bit i of cfg is parent i's state, with the LAST parent varying
+    // fastest: parent i corresponds to bit (n - 1 - i).
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool active = ((cfg >> (n - 1 - i)) & 1u) != 0;
+      if (active) not_fire *= 1.0 - link_probabilities[i];
+    }
+    out.emplace_back(std::vector<double>{not_fire, 1.0 - not_fire});
+  }
+  return out;
+}
+
+std::vector<prob::Categorical> ranked_node_cpt(
+    const std::vector<std::size_t>& parent_cards,
+    const std::vector<double>& weights, std::size_t child_card, double sigma) {
+  if (parent_cards.empty())
+    throw std::invalid_argument("ranked_node_cpt: no parents");
+  if (weights.size() != parent_cards.size())
+    throw std::invalid_argument("ranked_node_cpt: weight count mismatch");
+  if (child_card < 2)
+    throw std::invalid_argument("ranked_node_cpt: child_card < 2");
+  if (!(sigma > 0.0)) throw std::invalid_argument("ranked_node_cpt: sigma <= 0");
+  double wsum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("ranked_node_cpt: negative weight");
+    wsum += w;
+  }
+  if (!(wsum > 0.0))
+    throw std::invalid_argument("ranked_node_cpt: all weights zero");
+  for (std::size_t c : parent_cards) {
+    if (c < 2) throw std::invalid_argument("ranked_node_cpt: parent card < 2");
+  }
+
+  const std::size_t n = parent_cards.size();
+  std::size_t rows = 1;
+  for (std::size_t c : parent_cards) rows *= c;
+
+  // Midpoint of rank r on [0, 1] for a k-state ordinal variable.
+  const auto midpoint = [](std::size_t r, std::size_t k) {
+    return (static_cast<double>(r) + 0.5) / static_cast<double>(k);
+  };
+
+  std::vector<prob::Categorical> out;
+  out.reserve(rows);
+  std::vector<std::size_t> pstate(n, 0);
+  for (std::size_t row = 0; row < rows; ++row) {
+    double mu = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      mu += weights[i] * midpoint(pstate[i], parent_cards[i]);
+    mu /= wsum;
+
+    // Discretize TNormal(mu, sigma) on [0,1] over child_card equal bins,
+    // normalizing by the truncated mass.
+    const double z0 = prob::std_normal_cdf((0.0 - mu) / sigma);
+    const double z1 = prob::std_normal_cdf((1.0 - mu) / sigma);
+    const double mass = z1 - z0;
+    std::vector<double> probs(child_card);
+    for (std::size_t k = 0; k < child_card; ++k) {
+      const double lo = static_cast<double>(k) / static_cast<double>(child_card);
+      const double hi =
+          static_cast<double>(k + 1) / static_cast<double>(child_card);
+      const double plo = prob::std_normal_cdf((lo - mu) / sigma);
+      const double phi = prob::std_normal_cdf((hi - mu) / sigma);
+      probs[k] = (phi - plo) / mass;
+    }
+    out.push_back(prob::Categorical::normalized(std::move(probs)));
+
+    for (std::size_t k = n; k-- > 0;) {
+      if (++pstate[k] < parent_cards[k]) break;
+      pstate[k] = 0;
+    }
+  }
+  return out;
+}
+
+std::size_t full_cpt_parameter_count(const std::vector<std::size_t>& parent_cards,
+                                     std::size_t child_card) {
+  std::size_t rows = 1;
+  for (std::size_t c : parent_cards) rows *= c;
+  return rows * (child_card - 1);
+}
+
+}  // namespace sysuq::bayesnet

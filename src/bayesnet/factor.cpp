@@ -1,0 +1,198 @@
+#include "bayesnet/factor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sysuq::bayesnet {
+
+Factor::Factor(std::vector<VariableId> scope, std::vector<std::size_t> cards,
+               std::vector<double> values)
+    : scope_(std::move(scope)), cards_(std::move(cards)), values_(std::move(values)) {
+  if (scope_.size() != cards_.size())
+    throw std::invalid_argument("Factor: scope/cards size mismatch");
+  for (std::size_t i = 1; i < scope_.size(); ++i) {
+    if (scope_[i - 1] >= scope_[i])
+      throw std::invalid_argument("Factor: scope must be strictly increasing");
+  }
+  std::size_t expect = 1;
+  for (std::size_t c : cards_) {
+    if (c == 0) throw std::invalid_argument("Factor: zero cardinality");
+    expect *= c;
+  }
+  if (values_.size() != expect)
+    throw std::invalid_argument("Factor: value count mismatch");
+  for (double v : values_) {
+    if (!std::isfinite(v) || v < 0.0)
+      throw std::invalid_argument("Factor: values must be finite and >= 0");
+  }
+}
+
+Factor Factor::unit() { return Factor({}, {}, {1.0}); }
+
+bool Factor::contains(VariableId v) const {
+  return std::binary_search(scope_.begin(), scope_.end(), v);
+}
+
+std::size_t Factor::flat_index(const std::vector<std::size_t>& states) const {
+  if (states.size() != scope_.size())
+    throw std::invalid_argument("Factor: assignment size mismatch");
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < scope_.size(); ++i) {
+    if (states[i] >= cards_[i])
+      throw std::out_of_range("Factor: state out of range");
+    idx = idx * cards_[i] + states[i];
+  }
+  return idx;
+}
+
+double Factor::at(const std::vector<std::size_t>& states) const {
+  return values_[flat_index(states)];
+}
+
+Factor Factor::product(const Factor& other) const {
+  // Merge scopes (both sorted).
+  std::vector<VariableId> merged;
+  std::vector<std::size_t> merged_cards;
+  {
+    std::size_t i = 0, j = 0;
+    while (i < scope_.size() || j < other.scope_.size()) {
+      if (j == other.scope_.size() ||
+          (i < scope_.size() && scope_[i] < other.scope_[j])) {
+        merged.push_back(scope_[i]);
+        merged_cards.push_back(cards_[i]);
+        ++i;
+      } else if (i == scope_.size() || other.scope_[j] < scope_[i]) {
+        merged.push_back(other.scope_[j]);
+        merged_cards.push_back(other.cards_[j]);
+        ++j;
+      } else {  // shared variable
+        if (cards_[i] != other.cards_[j])
+          throw std::invalid_argument("Factor::product: cardinality mismatch");
+        merged.push_back(scope_[i]);
+        merged_cards.push_back(cards_[i]);
+        ++i;
+        ++j;
+      }
+    }
+  }
+
+  // Map merged positions back into each operand's scope.
+  std::vector<std::size_t> map_a(merged.size(), SIZE_MAX),
+      map_b(merged.size(), SIZE_MAX);
+  for (std::size_t k = 0; k < merged.size(); ++k) {
+    const auto ia = std::lower_bound(scope_.begin(), scope_.end(), merged[k]);
+    if (ia != scope_.end() && *ia == merged[k])
+      map_a[k] = static_cast<std::size_t>(ia - scope_.begin());
+    const auto ib =
+        std::lower_bound(other.scope_.begin(), other.scope_.end(), merged[k]);
+    if (ib != other.scope_.end() && *ib == merged[k])
+      map_b[k] = static_cast<std::size_t>(ib - other.scope_.begin());
+  }
+
+  std::size_t total_size = 1;
+  for (std::size_t c : merged_cards) total_size *= c;
+
+  std::vector<double> out(total_size);
+  std::vector<std::size_t> assign(merged.size(), 0);
+  std::vector<std::size_t> sa(scope_.size(), 0), sb(other.scope_.size(), 0);
+  for (std::size_t flat = 0; flat < total_size; ++flat) {
+    for (std::size_t k = 0; k < merged.size(); ++k) {
+      if (map_a[k] != SIZE_MAX) sa[map_a[k]] = assign[k];
+      if (map_b[k] != SIZE_MAX) sb[map_b[k]] = assign[k];
+    }
+    out[flat] = at(sa) * other.at(sb);
+    // Increment mixed-radix counter (last variable fastest).
+    for (std::size_t k = merged.size(); k-- > 0;) {
+      if (++assign[k] < merged_cards[k]) break;
+      assign[k] = 0;
+    }
+  }
+  return Factor(std::move(merged), std::move(merged_cards), std::move(out));
+}
+
+Factor Factor::marginalize(VariableId v) const {
+  const auto it = std::lower_bound(scope_.begin(), scope_.end(), v);
+  if (it == scope_.end() || *it != v)
+    throw std::invalid_argument("Factor::marginalize: variable not in scope");
+  const auto pos = static_cast<std::size_t>(it - scope_.begin());
+
+  std::vector<VariableId> new_scope;
+  std::vector<std::size_t> new_cards;
+  for (std::size_t i = 0; i < scope_.size(); ++i) {
+    if (i == pos) continue;
+    new_scope.push_back(scope_[i]);
+    new_cards.push_back(cards_[i]);
+  }
+  std::size_t new_size = 1;
+  for (std::size_t c : new_cards) new_size *= c;
+  std::vector<double> out(new_size, 0.0);
+
+  std::vector<std::size_t> assign(scope_.size(), 0);
+  for (std::size_t flat = 0; flat < values_.size(); ++flat) {
+    std::size_t nidx = 0;
+    for (std::size_t i = 0; i < scope_.size(); ++i) {
+      if (i == pos) continue;
+      nidx = nidx * cards_[i] + assign[i];
+    }
+    out[nidx] += values_[flat];
+    for (std::size_t k = scope_.size(); k-- > 0;) {
+      if (++assign[k] < cards_[k]) break;
+      assign[k] = 0;
+    }
+  }
+  return Factor(std::move(new_scope), std::move(new_cards), std::move(out));
+}
+
+Factor Factor::reduce(VariableId v, std::size_t state) const {
+  const auto it = std::lower_bound(scope_.begin(), scope_.end(), v);
+  if (it == scope_.end() || *it != v)
+    throw std::invalid_argument("Factor::reduce: variable not in scope");
+  const auto pos = static_cast<std::size_t>(it - scope_.begin());
+  if (state >= cards_[pos])
+    throw std::out_of_range("Factor::reduce: state out of range");
+
+  std::vector<VariableId> new_scope;
+  std::vector<std::size_t> new_cards;
+  for (std::size_t i = 0; i < scope_.size(); ++i) {
+    if (i == pos) continue;
+    new_scope.push_back(scope_[i]);
+    new_cards.push_back(cards_[i]);
+  }
+  std::size_t new_size = 1;
+  for (std::size_t c : new_cards) new_size *= c;
+  std::vector<double> out(new_size, 0.0);
+
+  std::vector<std::size_t> assign(scope_.size(), 0);
+  for (std::size_t flat = 0; flat < values_.size(); ++flat) {
+    if (assign[pos] == state) {
+      std::size_t nidx = 0;
+      for (std::size_t i = 0; i < scope_.size(); ++i) {
+        if (i == pos) continue;
+        nidx = nidx * cards_[i] + assign[i];
+      }
+      out[nidx] = values_[flat];
+    }
+    for (std::size_t k = scope_.size(); k-- > 0;) {
+      if (++assign[k] < cards_[k]) break;
+      assign[k] = 0;
+    }
+  }
+  return Factor(std::move(new_scope), std::move(new_cards), std::move(out));
+}
+
+Factor Factor::normalized() const {
+  const double sum = total();
+  if (!(sum > 0.0))
+    throw std::domain_error("Factor::normalized: zero total (impossible evidence)");
+  std::vector<double> out = values_;
+  for (double& v : out) v /= sum;
+  return Factor(scope_, cards_, std::move(out));
+}
+
+double Factor::total() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+}  // namespace sysuq::bayesnet

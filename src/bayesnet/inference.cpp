@@ -1,0 +1,239 @@
+#include "bayesnet/inference.hpp"
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace sysuq::bayesnet {
+
+VariableElimination::VariableElimination(const BayesianNetwork& net) : net_(net) {
+  net_.validate();
+}
+
+Factor VariableElimination::eliminate_all_but(
+    const std::vector<VariableId>& keep, const Evidence& evidence) const {
+  // Collect CPT factors, reduced by evidence.
+  std::list<Factor> factors;
+  for (VariableId v = 0; v < net_.size(); ++v) {
+    Factor f = net_.cpt_factor(v);
+    for (const auto& [ev, state] : evidence) {
+      if (f.contains(ev)) f = f.reduce(ev, state);
+    }
+    factors.push_back(std::move(f));
+  }
+
+  std::set<VariableId> keep_set(keep.begin(), keep.end());
+  for (const auto& [ev, _] : evidence) keep_set.insert(ev);  // already reduced
+
+  // Variables to eliminate.
+  std::set<VariableId> to_eliminate;
+  for (VariableId v = 0; v < net_.size(); ++v) {
+    if (!keep_set.contains(v)) to_eliminate.insert(v);
+  }
+
+  // Min-degree heuristic: repeatedly eliminate the variable whose
+  // combined factor has the smallest scope.
+  while (!to_eliminate.empty()) {
+    VariableId best = *to_eliminate.begin();
+    std::size_t best_size = SIZE_MAX;
+    for (VariableId v : to_eliminate) {
+      std::set<VariableId> scope;
+      for (const auto& f : factors) {
+        if (f.contains(v)) scope.insert(f.scope().begin(), f.scope().end());
+      }
+      if (scope.size() < best_size) {
+        best_size = scope.size();
+        best = v;
+      }
+    }
+
+    // Multiply all factors mentioning `best`, then sum it out.
+    Factor combined = Factor::unit();
+    for (auto it = factors.begin(); it != factors.end();) {
+      if (it->contains(best)) {
+        combined = combined.product(*it);
+        it = factors.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (combined.contains(best)) {
+      factors.push_back(combined.marginalize(best));
+    } else {
+      factors.push_back(std::move(combined));  // constant factor
+    }
+    to_eliminate.erase(best);
+  }
+
+  Factor result = Factor::unit();
+  for (const auto& f : factors) result = result.product(f);
+  return result;
+}
+
+prob::Categorical VariableElimination::query(VariableId query,
+                                             const Evidence& evidence) const {
+  if (evidence.contains(query)) {
+    // Querying an observed variable returns its point mass.
+    return prob::Categorical::delta(evidence.at(query),
+                                    net_.variable(query).cardinality());
+  }
+  const Factor f = eliminate_all_but({query}, evidence).normalized();
+  if (f.scope().size() != 1 || f.scope()[0] != query)
+    throw std::logic_error("VariableElimination: unexpected result scope");
+  return prob::Categorical(f.values());
+}
+
+double VariableElimination::evidence_probability(const Evidence& evidence) const {
+  const Factor f = eliminate_all_but({}, evidence);
+  return f.total();
+}
+
+prob::JointTable VariableElimination::joint(VariableId a, VariableId b,
+                                            const Evidence& evidence) const {
+  if (a == b) throw std::invalid_argument("VariableElimination::joint: a == b");
+  if (evidence.contains(a) || evidence.contains(b))
+    throw std::invalid_argument(
+        "VariableElimination::joint: query variable in evidence");
+  Factor f = eliminate_all_but({a, b}, evidence).normalized();
+  const std::size_t ca = net_.variable(a).cardinality();
+  const std::size_t cb = net_.variable(b).cardinality();
+  // Factor scope is sorted; map into (a-rows, b-cols).
+  const bool a_first = a < b;
+  std::vector<std::vector<double>> table(ca, std::vector<double>(cb, 0.0));
+  for (std::size_t i = 0; i < ca; ++i) {
+    for (std::size_t j = 0; j < cb; ++j) {
+      table[i][j] = a_first ? f.at({i, j}) : f.at({j, i});
+    }
+  }
+  return prob::JointTable(std::move(table));
+}
+
+namespace {
+
+// Iterates all full joint assignments, invoking fn(state, probability).
+template <typename Fn>
+void for_each_joint(const BayesianNetwork& net, Fn&& fn) {
+  net.validate();
+  const auto order = net.topological_order();
+  std::vector<std::size_t> state(net.size(), 0);
+  std::vector<std::size_t> cards(net.size());
+  for (VariableId v = 0; v < net.size(); ++v)
+    cards[v] = net.variable(v).cardinality();
+
+  std::size_t total = 1;
+  for (std::size_t c : cards) total *= c;
+
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    double p = 1.0;
+    for (VariableId v : order) {
+      const auto& ps = net.parents(v);
+      std::vector<std::size_t> pstates(ps.size());
+      for (std::size_t i = 0; i < ps.size(); ++i) pstates[i] = state[ps[i]];
+      p *= net.cpt_row(v, pstates).p(state[v]);
+      if (p == 0.0) break;
+    }
+    fn(state, p);
+    for (std::size_t k = net.size(); k-- > 0;) {
+      if (++state[k] < cards[k]) break;
+      state[k] = 0;
+    }
+  }
+}
+
+bool consistent(const std::vector<std::size_t>& state, const Evidence& evidence) {
+  for (const auto& [v, s] : evidence) {
+    if (state[v] != s) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+prob::Categorical enumerate_posterior(const BayesianNetwork& net,
+                                      VariableId query, const Evidence& evidence) {
+  std::vector<double> weights(net.variable(query).cardinality(), 0.0);
+  for_each_joint(net, [&](const std::vector<std::size_t>& state, double p) {
+    if (consistent(state, evidence)) weights[state[query]] += p;
+  });
+  return prob::Categorical::normalized(std::move(weights));
+}
+
+double enumerate_evidence_probability(const BayesianNetwork& net,
+                                      const Evidence& evidence) {
+  double total = 0.0;
+  for_each_joint(net, [&](const std::vector<std::size_t>& state, double p) {
+    if (consistent(state, evidence)) total += p;
+  });
+  return total;
+}
+
+MpeResult enumerate_mpe(const BayesianNetwork& net, const Evidence& evidence) {
+  MpeResult best{{}, -1.0};
+  double evidence_mass = 0.0;
+  for_each_joint(net, [&](const std::vector<std::size_t>& state, double p) {
+    if (!consistent(state, evidence)) return;
+    evidence_mass += p;
+    if (p > best.probability) {
+      best.probability = p;
+      best.assignment = state;
+    }
+  });
+  if (!(evidence_mass > 0.0))
+    throw std::domain_error("enumerate_mpe: impossible evidence");
+  best.probability /= evidence_mass;
+  return best;
+}
+
+prob::Categorical likelihood_weighting(const BayesianNetwork& net,
+                                       VariableId query, const Evidence& evidence,
+                                       std::size_t samples, prob::Rng& rng) {
+  if (samples == 0)
+    throw std::invalid_argument("likelihood_weighting: zero samples");
+  net.validate();
+  const auto order = net.topological_order();
+  std::vector<double> weights(net.variable(query).cardinality(), 0.0);
+  std::vector<std::size_t> state(net.size(), 0);
+  for (std::size_t s = 0; s < samples; ++s) {
+    double w = 1.0;
+    for (VariableId v : order) {
+      const auto& ps = net.parents(v);
+      std::vector<std::size_t> pstates(ps.size());
+      for (std::size_t i = 0; i < ps.size(); ++i) pstates[i] = state[ps[i]];
+      const auto& row = net.cpt_row(v, pstates);
+      const auto it = evidence.find(v);
+      if (it != evidence.end()) {
+        state[v] = it->second;
+        w *= row.p(it->second);
+      } else {
+        state[v] = row.sample(rng);
+      }
+    }
+    weights[state[query]] += w;
+  }
+  return prob::Categorical::normalized(std::move(weights));
+}
+
+prob::Categorical rejection_sampling(const BayesianNetwork& net, VariableId query,
+                                     const Evidence& evidence, std::size_t samples,
+                                     prob::Rng& rng, std::size_t* accepted) {
+  if (samples == 0)
+    throw std::invalid_argument("rejection_sampling: zero samples");
+  net.validate();
+  std::vector<double> counts(net.variable(query).cardinality(), 0.0);
+  std::size_t acc = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto state = net.sample(rng);
+    if (!consistent(state, evidence)) continue;
+    counts[state[query]] += 1.0;
+    ++acc;
+  }
+  if (accepted != nullptr) *accepted = acc;
+  if (acc == 0)
+    throw std::domain_error(
+        "rejection_sampling: no samples consistent with evidence");
+  return prob::Categorical::normalized(std::move(counts));
+}
+
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,84 @@
+// Inference over Bayesian networks.
+//
+// Three engines with one contract (posterior marginal of a query variable
+// given evidence):
+//  * VariableElimination — exact, the production path.
+//  * enumeration oracle — exact by brute force; the test oracle.
+//  * likelihood weighting / rejection sampling — approximate; used to
+//    demonstrate sampling-vs-exact tradeoffs in the Fig. 4 bench.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bayesnet/network.hpp"
+#include "prob/discrete.hpp"
+#include "prob/information.hpp"
+
+namespace sysuq::bayesnet {
+
+/// Exact posterior P(query | evidence) by variable elimination with a
+/// min-degree elimination ordering.
+class VariableElimination {
+ public:
+  explicit VariableElimination(const BayesianNetwork& net);
+
+  /// Posterior marginal of `query` given `evidence`. Throws
+  /// std::domain_error if the evidence has probability zero.
+  [[nodiscard]] prob::Categorical query(VariableId query,
+                                        const Evidence& evidence = {}) const;
+
+  /// Probability of the evidence, P(e).
+  [[nodiscard]] double evidence_probability(const Evidence& evidence) const;
+
+  /// Exact joint distribution of two distinct variables given evidence,
+  /// as a JointTable (rows = a, cols = b) — feeds the conditional-entropy
+  /// "surprise factor" measures.
+  [[nodiscard]] prob::JointTable joint(VariableId a, VariableId b,
+                                       const Evidence& evidence = {}) const;
+
+ private:
+  const BayesianNetwork& net_;
+
+  [[nodiscard]] Factor eliminate_all_but(const std::vector<VariableId>& keep,
+                                         const Evidence& evidence) const;
+};
+
+/// Exact posterior by full joint enumeration — O(prod of cardinalities).
+/// Only for small networks; serves as the ground-truth oracle in tests.
+[[nodiscard]] prob::Categorical enumerate_posterior(const BayesianNetwork& net,
+                                                    VariableId query,
+                                                    const Evidence& evidence = {});
+
+/// Probability of an evidence assignment by enumeration.
+[[nodiscard]] double enumerate_evidence_probability(const BayesianNetwork& net,
+                                                    const Evidence& evidence);
+
+/// Most probable explanation: the full joint assignment maximizing
+/// P(x | evidence), with its (conditional) probability. Exhaustive —
+/// intended for the small diagnostic networks this library builds;
+/// throws std::domain_error if the evidence is impossible.
+struct MpeResult {
+  std::vector<std::size_t> assignment;  ///< one state per variable
+  double probability;                   ///< P(assignment | evidence)
+};
+[[nodiscard]] MpeResult enumerate_mpe(const BayesianNetwork& net,
+                                      const Evidence& evidence = {});
+
+/// Approximate posterior by likelihood weighting with `samples` draws.
+[[nodiscard]] prob::Categorical likelihood_weighting(const BayesianNetwork& net,
+                                                     VariableId query,
+                                                     const Evidence& evidence,
+                                                     std::size_t samples,
+                                                     prob::Rng& rng);
+
+/// Approximate posterior by rejection sampling. Returns the accepted
+/// count through `accepted` if non-null (to expose the rejection rate).
+[[nodiscard]] prob::Categorical rejection_sampling(const BayesianNetwork& net,
+                                                   VariableId query,
+                                                   const Evidence& evidence,
+                                                   std::size_t samples,
+                                                   prob::Rng& rng,
+                                                   std::size_t* accepted = nullptr);
+
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,21 @@
+// Textual export of Bayesian networks: Graphviz DOT for structure and an
+// ASCII CPT rendering matching the paper's Table I layout.
+#pragma once
+
+#include <string>
+
+#include "bayesnet/network.hpp"
+
+namespace sysuq::bayesnet {
+
+/// Graphviz DOT source for the network structure.
+[[nodiscard]] std::string to_dot(const BayesianNetwork& net);
+
+/// ASCII rendering of one node's CPT: one row per parent configuration,
+/// one column per child state — the layout of the paper's Table I.
+[[nodiscard]] std::string cpt_table(const BayesianNetwork& net, VariableId child);
+
+/// Multi-line summary: nodes, edges, parameter count.
+[[nodiscard]] std::string describe(const BayesianNetwork& net);
+
+}  // namespace sysuq::bayesnet

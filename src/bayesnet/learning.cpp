@@ -1,0 +1,70 @@
+#include "bayesnet/learning.hpp"
+
+#include <stdexcept>
+
+namespace sysuq::bayesnet {
+
+CptLearner::CptLearner(const BayesianNetwork& net, VariableId child,
+                       double prior_alpha)
+    : child_(child),
+      parents_(net.parents(child)),
+      child_card_(net.variable(child).cardinality()) {
+  if (!(prior_alpha > 0.0))
+    throw std::invalid_argument("CptLearner: prior_alpha <= 0");
+  parent_cards_.reserve(parents_.size());
+  std::size_t rows = 1;
+  for (VariableId p : parents_) {
+    parent_cards_.push_back(net.variable(p).cardinality());
+    rows *= parent_cards_.back();
+  }
+  posteriors_.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    posteriors_.emplace_back(std::vector<double>(child_card_, prior_alpha));
+  }
+}
+
+std::size_t CptLearner::row_of(const std::vector<std::size_t>& full_state) const {
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < parents_.size(); ++i) {
+    const std::size_t s = full_state.at(parents_[i]);
+    if (s >= parent_cards_[i])
+      throw std::out_of_range("CptLearner: parent state out of range");
+    idx = idx * parent_cards_[i] + s;
+  }
+  return idx;
+}
+
+void CptLearner::observe(const std::vector<std::size_t>& full_state) {
+  const std::size_t child_state = full_state.at(child_);
+  if (child_state >= child_card_)
+    throw std::out_of_range("CptLearner: child state out of range");
+  std::vector<std::size_t> counts(child_card_, 0);
+  counts[child_state] = 1;
+  const std::size_t row = row_of(full_state);
+  posteriors_[row] = posteriors_[row].updated(counts);
+  ++observations_;
+}
+
+const prob::Dirichlet& CptLearner::row_posterior(std::size_t row) const {
+  if (row >= posteriors_.size()) throw std::out_of_range("CptLearner: row");
+  return posteriors_[row];
+}
+
+std::vector<prob::Categorical> CptLearner::posterior_mean_rows() const {
+  std::vector<prob::Categorical> rows;
+  rows.reserve(posteriors_.size());
+  for (const auto& d : posteriors_) rows.emplace_back(d.mean());
+  return rows;
+}
+
+double CptLearner::epistemic_width() const {
+  double total = 0.0;
+  for (const auto& d : posteriors_) total += d.mean_credible_width();
+  return total / static_cast<double>(posteriors_.size());
+}
+
+void CptLearner::commit(BayesianNetwork& net) const {
+  net.update_cpt_rows(child_, posterior_mean_rows());
+}
+
+}  // namespace sysuq::bayesnet

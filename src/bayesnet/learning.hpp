@@ -1,0 +1,66 @@
+// Bayesian CPT learning from observed joint states.
+//
+// The engine behind the paper's uncertainty-removal-during-use loop
+// (Sec. IV "field observation", Sec. V "the epistemic uncertainty can be
+// reduced by further observation and refinement"): each CPT row carries a
+// Dirichlet posterior whose credible-interval width is the row's residual
+// epistemic uncertainty.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bayesnet/network.hpp"
+#include "prob/distribution.hpp"
+
+namespace sysuq::bayesnet {
+
+/// Maintains Dirichlet posteriors over every CPT row of one node and can
+/// write the posterior-mean CPT back into the network.
+class CptLearner {
+ public:
+  /// Learner for `child`'s CPT in `net` with a symmetric Dirichlet prior
+  /// of `prior_alpha` pseudo-counts per child state.
+  CptLearner(const BayesianNetwork& net, VariableId child,
+             double prior_alpha = 1.0);
+
+  /// Records a fully observed network state (one field observation).
+  void observe(const std::vector<std::size_t>& full_state);
+
+  /// Total observations recorded.
+  [[nodiscard]] std::size_t observation_count() const { return observations_; }
+
+  /// Posterior over the CPT row for a given parent configuration index
+  /// (last parent varying fastest, matching BayesianNetwork layout).
+  [[nodiscard]] const prob::Dirichlet& row_posterior(std::size_t row) const;
+
+  /// Number of CPT rows tracked.
+  [[nodiscard]] std::size_t row_count() const { return posteriors_.size(); }
+
+  /// Posterior-mean CPT rows.
+  [[nodiscard]] std::vector<prob::Categorical> posterior_mean_rows() const;
+
+  /// Mean 95%-credible width across all rows, weighted by row visit
+  /// counts (unvisited rows keep the prior width): the node's scalar
+  /// epistemic uncertainty.
+  [[nodiscard]] double epistemic_width() const;
+
+  /// Writes the posterior-mean CPT into the network (uncertainty removal:
+  /// the codified model is refined from field data).
+  void commit(BayesianNetwork& net) const;
+
+  /// The node this learner tracks.
+  [[nodiscard]] VariableId child() const { return child_; }
+
+ private:
+  VariableId child_;
+  std::vector<VariableId> parents_;
+  std::vector<std::size_t> parent_cards_;
+  std::size_t child_card_;
+  std::vector<prob::Dirichlet> posteriors_;
+  std::size_t observations_ = 0;
+
+  [[nodiscard]] std::size_t row_of(const std::vector<std::size_t>& full_state) const;
+};
+
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,306 @@
+#include "bayesnet/network.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace sysuq::bayesnet {
+
+VariableId BayesianNetwork::add_variable(Variable v) {
+  if (by_name_.contains(v.name()))
+    throw std::invalid_argument("BayesianNetwork: duplicate variable '" +
+                                v.name() + "'");
+  const VariableId id = nodes_.size();
+  by_name_.emplace(v.name(), id);
+  nodes_.push_back(Node{std::move(v), std::nullopt, {}});
+  return id;
+}
+
+VariableId BayesianNetwork::add_variable(const std::string& name,
+                                         std::vector<std::string> states) {
+  return add_variable(Variable(name, std::move(states)));
+}
+
+void BayesianNetwork::check_id(VariableId id) const {
+  if (id >= nodes_.size())
+    throw std::out_of_range("BayesianNetwork: bad variable id");
+}
+
+std::size_t BayesianNetwork::parent_config_count(VariableId child) const {
+  std::size_t n = 1;
+  for (VariableId p : *nodes_[child].parents)
+    n *= nodes_[p].var.cardinality();
+  return n;
+}
+
+void BayesianNetwork::set_cpt(VariableId child, std::vector<VariableId> parents,
+                              std::vector<prob::Categorical> rows) {
+  check_id(child);
+  std::set<VariableId> seen;
+  for (VariableId p : parents) {
+    check_id(p);
+    if (p == child)
+      throw std::invalid_argument("BayesianNetwork::set_cpt: self-parent");
+    if (!seen.insert(p).second)
+      throw std::invalid_argument("BayesianNetwork::set_cpt: duplicate parent");
+  }
+  nodes_[child].parents = std::move(parents);
+  const std::size_t expect = parent_config_count(child);
+  if (rows.size() != expect) {
+    nodes_[child].parents.reset();
+    throw std::invalid_argument(
+        "BayesianNetwork::set_cpt: expected " + std::to_string(expect) +
+        " rows, got " + std::to_string(rows.size()));
+  }
+  for (const auto& r : rows) {
+    if (r.size() != nodes_[child].var.cardinality()) {
+      nodes_[child].parents.reset();
+      throw std::invalid_argument(
+          "BayesianNetwork::set_cpt: row size != child cardinality");
+    }
+  }
+  nodes_[child].rows = std::move(rows);
+}
+
+const Variable& BayesianNetwork::variable(VariableId id) const {
+  check_id(id);
+  return nodes_[id].var;
+}
+
+VariableId BayesianNetwork::id_of(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end())
+    throw std::invalid_argument("BayesianNetwork: no variable '" + name + "'");
+  return it->second;
+}
+
+bool BayesianNetwork::has_variable(const std::string& name) const {
+  return by_name_.contains(name);
+}
+
+const std::vector<VariableId>& BayesianNetwork::parents(VariableId id) const {
+  check_id(id);
+  if (!nodes_[id].parents)
+    throw std::logic_error("BayesianNetwork: CPT not set for '" +
+                           nodes_[id].var.name() + "'");
+  return *nodes_[id].parents;
+}
+
+std::vector<VariableId> BayesianNetwork::children(VariableId id) const {
+  check_id(id);
+  std::vector<VariableId> out;
+  for (VariableId c = 0; c < nodes_.size(); ++c) {
+    if (!nodes_[c].parents) continue;
+    const auto& ps = *nodes_[c].parents;
+    if (std::find(ps.begin(), ps.end(), id) != ps.end()) out.push_back(c);
+  }
+  return out;
+}
+
+std::size_t BayesianNetwork::row_index(
+    VariableId child, const std::vector<std::size_t>& parent_states) const {
+  const auto& ps = parents(child);
+  if (parent_states.size() != ps.size())
+    throw std::invalid_argument("BayesianNetwork: parent state count mismatch");
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const std::size_t card = nodes_[ps[i]].var.cardinality();
+    if (parent_states[i] >= card)
+      throw std::out_of_range("BayesianNetwork: parent state out of range");
+    idx = idx * card + parent_states[i];
+  }
+  return idx;
+}
+
+const prob::Categorical& BayesianNetwork::cpt_row(
+    VariableId child, const std::vector<std::size_t>& parent_states) const {
+  return nodes_[child].rows[row_index(child, parent_states)];
+}
+
+const std::vector<prob::Categorical>& BayesianNetwork::cpt_rows(
+    VariableId child) const {
+  check_id(child);
+  if (!nodes_[child].parents)
+    throw std::logic_error("BayesianNetwork: CPT not set for '" +
+                           nodes_[child].var.name() + "'");
+  return nodes_[child].rows;
+}
+
+Factor BayesianNetwork::cpt_factor(VariableId child) const {
+  const auto& ps = parents(child);
+
+  // Factor scope must be sorted by id; CPT layout is (parents..., child)
+  // with last varying fastest. Build the factor by enumerating the CPT and
+  // scattering into the sorted layout.
+  std::vector<VariableId> scope = ps;
+  scope.push_back(child);
+  std::vector<VariableId> sorted = scope;
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<std::size_t> sorted_cards(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    sorted_cards[i] = nodes_[sorted[i]].var.cardinality();
+
+  std::size_t total = 1;
+  for (std::size_t c : sorted_cards) total *= c;
+  std::vector<double> values(total, 0.0);
+
+  // position of each scope var in the sorted scope
+  std::vector<std::size_t> pos(scope.size());
+  for (std::size_t i = 0; i < scope.size(); ++i) {
+    pos[i] = static_cast<std::size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), scope[i]) -
+        sorted.begin());
+  }
+
+  const std::size_t child_card = nodes_[child].var.cardinality();
+  std::vector<std::size_t> pstate(ps.size(), 0);
+  const std::size_t nrows = nodes_[child].rows.size();
+  std::vector<std::size_t> sorted_state(sorted.size(), 0);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    for (std::size_t cstate = 0; cstate < child_card; ++cstate) {
+      for (std::size_t i = 0; i < ps.size(); ++i)
+        sorted_state[pos[i]] = pstate[i];
+      sorted_state[pos[ps.size()]] = cstate;
+      std::size_t flat = 0;
+      for (std::size_t i = 0; i < sorted.size(); ++i)
+        flat = flat * sorted_cards[i] + sorted_state[i];
+      values[flat] = nodes_[child].rows[r].p(cstate);
+    }
+    // advance parent mixed-radix counter (last parent fastest)
+    for (std::size_t k = ps.size(); k-- > 0;) {
+      if (++pstate[k] < nodes_[ps[k]].var.cardinality()) break;
+      pstate[k] = 0;
+    }
+  }
+  return Factor(std::move(sorted), std::move(sorted_cards), std::move(values));
+}
+
+void BayesianNetwork::validate() const {
+  if (nodes_.empty())
+    throw std::logic_error("BayesianNetwork::validate: empty network");
+  for (const auto& n : nodes_) {
+    if (!n.parents)
+      throw std::logic_error("BayesianNetwork::validate: CPT missing for '" +
+                             n.var.name() + "'");
+  }
+  (void)topological_order();  // throws on cycles
+}
+
+std::vector<VariableId> BayesianNetwork::topological_order() const {
+  std::vector<std::size_t> indegree(nodes_.size(), 0);
+  for (VariableId c = 0; c < nodes_.size(); ++c) {
+    if (!nodes_[c].parents)
+      throw std::logic_error("BayesianNetwork: CPT missing for '" +
+                             nodes_[c].var.name() + "'");
+    indegree[c] = nodes_[c].parents->size();
+  }
+  std::queue<VariableId> ready;
+  for (VariableId v = 0; v < nodes_.size(); ++v) {
+    if (indegree[v] == 0) ready.push(v);
+  }
+  std::vector<VariableId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const VariableId v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (VariableId c = 0; c < nodes_.size(); ++c) {
+      const auto& ps = *nodes_[c].parents;
+      for (VariableId p : ps) {
+        if (p == v && --indegree[c] == 0) ready.push(c);
+      }
+    }
+  }
+  if (order.size() != nodes_.size())
+    throw std::logic_error("BayesianNetwork: graph contains a cycle");
+  return order;
+}
+
+std::size_t BayesianNetwork::parameter_count() const {
+  std::size_t total = 0;
+  for (VariableId v = 0; v < nodes_.size(); ++v) {
+    if (!nodes_[v].parents)
+      throw std::logic_error("BayesianNetwork: CPT missing");
+    total += parent_config_count(v) * (nodes_[v].var.cardinality() - 1);
+  }
+  return total;
+}
+
+bool BayesianNetwork::d_separated(VariableId x, VariableId y,
+                                  const std::vector<VariableId>& z) const {
+  check_id(x);
+  check_id(y);
+  if (x == y) return false;
+  std::set<VariableId> zset(z.begin(), z.end());
+
+  // Bayes-ball: compute ancestors of Z, then BFS over (node, direction).
+  std::set<VariableId> z_ancestors = zset;
+  {
+    std::queue<VariableId> q;
+    for (VariableId v : zset) q.push(v);
+    while (!q.empty()) {
+      const VariableId v = q.front();
+      q.pop();
+      for (VariableId p : parents(v)) {
+        if (z_ancestors.insert(p).second) q.push(p);
+      }
+    }
+  }
+
+  // direction: true = visiting from a child (upward), false = from parent.
+  std::set<std::pair<VariableId, bool>> visited;
+  std::queue<std::pair<VariableId, bool>> q;
+  q.push({x, true});
+  while (!q.empty()) {
+    const auto [v, up] = q.front();
+    q.pop();
+    if (!visited.insert({v, up}).second) continue;
+    if (v == y) return false;  // active path reaches y
+
+    if (up && !zset.contains(v)) {
+      // Arrived from a child; can continue up to parents and down to children.
+      for (VariableId p : parents(v)) q.push({p, true});
+      for (VariableId c : children(v)) q.push({c, false});
+    } else if (!up) {
+      if (!zset.contains(v)) {
+        // Arrived from a parent via a chain; continue to children.
+        for (VariableId c : children(v)) q.push({c, false});
+      }
+      if (z_ancestors.contains(v)) {
+        // v is (an ancestor of) evidence: collider path may open upward.
+        for (VariableId p : parents(v)) q.push({p, true});
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::size_t> BayesianNetwork::sample(prob::Rng& rng) const {
+  const auto order = topological_order();
+  std::vector<std::size_t> state(nodes_.size(), 0);
+  for (VariableId v : order) {
+    const auto& ps = *nodes_[v].parents;
+    std::vector<std::size_t> pstates(ps.size());
+    for (std::size_t i = 0; i < ps.size(); ++i) pstates[i] = state[ps[i]];
+    state[v] = cpt_row(v, pstates).sample(rng);
+  }
+  return state;
+}
+
+void BayesianNetwork::update_cpt_rows(VariableId child,
+                                      std::vector<prob::Categorical> rows) {
+  check_id(child);
+  if (!nodes_[child].parents)
+    throw std::logic_error("BayesianNetwork::update_cpt_rows: CPT not set");
+  if (rows.size() != nodes_[child].rows.size())
+    throw std::invalid_argument("BayesianNetwork::update_cpt_rows: row count");
+  for (const auto& r : rows) {
+    if (r.size() != nodes_[child].var.cardinality())
+      throw std::invalid_argument("BayesianNetwork::update_cpt_rows: row size");
+  }
+  nodes_[child].rows = std::move(rows);
+}
+
+}  // namespace sysuq::bayesnet

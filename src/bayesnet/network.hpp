@@ -1,0 +1,113 @@
+// Bayesian networks: directed acyclic graphs of discrete variables with
+// conditional probability tables (CPTs).
+//
+// This is the graphical analysis model of the paper's Sec. V.B: "The BN is
+// a Directed Acyclic Graph that consists of nodes and edges. Every node is
+// a random variable... The effect of parent node on child node is
+// determined by conditional probabilities."
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bayesnet/factor.hpp"
+#include "bayesnet/variable.hpp"
+#include "prob/discrete.hpp"
+#include "prob/rng.hpp"
+
+namespace sysuq::bayesnet {
+
+/// Evidence: observed states for a subset of variables.
+using Evidence = std::map<VariableId, std::size_t>;
+
+/// A discrete Bayesian network under construction and query.
+///
+/// Build protocol: add all variables, then attach one CPT per variable
+/// with `set_cpt`. The network `validate()`s acyclicity and CPT coverage;
+/// queries require a validated (complete) network.
+class BayesianNetwork {
+ public:
+  /// Adds a variable; returns its id. Names must be unique.
+  VariableId add_variable(Variable v);
+
+  /// Convenience: adds a variable from name + state labels.
+  VariableId add_variable(const std::string& name,
+                          std::vector<std::string> states);
+
+  /// Attaches the CPT P(child | parents). `rows` holds one categorical
+  /// over the child's states per parent configuration, ordered with the
+  /// *last* parent varying fastest (matching Factor layout). A root node
+  /// passes empty `parents` and a single row (its prior).
+  void set_cpt(VariableId child, std::vector<VariableId> parents,
+               std::vector<prob::Categorical> rows);
+
+  /// Number of variables.
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Variable access.
+  [[nodiscard]] const Variable& variable(VariableId id) const;
+  [[nodiscard]] VariableId id_of(const std::string& name) const;
+  [[nodiscard]] bool has_variable(const std::string& name) const;
+
+  /// Parents of a node (empty for roots); requires a CPT to be set.
+  [[nodiscard]] const std::vector<VariableId>& parents(VariableId id) const;
+
+  /// Children of a node.
+  [[nodiscard]] std::vector<VariableId> children(VariableId id) const;
+
+  /// The CPT row for a child given a full parent-state assignment
+  /// (parallel to `parents(child)`).
+  [[nodiscard]] const prob::Categorical& cpt_row(
+      VariableId child, const std::vector<std::size_t>& parent_states) const;
+
+  /// All CPT rows of a child (last parent fastest).
+  [[nodiscard]] const std::vector<prob::Categorical>& cpt_rows(
+      VariableId child) const;
+
+  /// The CPT of `child` as a factor over {parents, child}.
+  [[nodiscard]] Factor cpt_factor(VariableId child) const;
+
+  /// Throws std::logic_error unless every variable has a CPT and the
+  /// graph is acyclic.
+  void validate() const;
+
+  /// Topological order (parents before children); validates first.
+  [[nodiscard]] std::vector<VariableId> topological_order() const;
+
+  /// Total number of free parameters: sum over nodes of
+  /// (#parent configurations) * (cardinality - 1). This is the quantity
+  /// whose exponential growth the paper flags ("the number of parameters
+  /// ... grows exponentially with the number of parent nodes").
+  [[nodiscard]] std::size_t parameter_count() const;
+
+  /// d-separation: true if X and Y are conditionally independent given Z
+  /// in the graph structure (Bayes-ball algorithm).
+  [[nodiscard]] bool d_separated(VariableId x, VariableId y,
+                                 const std::vector<VariableId>& z) const;
+
+  /// Draws a full joint sample in topological order.
+  [[nodiscard]] std::vector<std::size_t> sample(prob::Rng& rng) const;
+
+  /// Replaces the CPT rows of `child` keeping its parent set. Used by the
+  /// uncertainty-removal loop when field observations update the model.
+  void update_cpt_rows(VariableId child, std::vector<prob::Categorical> rows);
+
+ private:
+  struct Node {
+    Variable var;
+    std::optional<std::vector<VariableId>> parents;
+    std::vector<prob::Categorical> rows;
+  };
+
+  std::vector<Node> nodes_;
+  std::map<std::string, VariableId> by_name_;
+
+  [[nodiscard]] std::size_t parent_config_count(VariableId child) const;
+  [[nodiscard]] std::size_t row_index(
+      VariableId child, const std::vector<std::size_t>& parent_states) const;
+  void check_id(VariableId id) const;
+};
+
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,44 @@
+// One-way sensitivity analysis for Bayesian networks: how strongly a
+// posterior query depends on each CPT parameter.
+//
+// This operationalizes the paper's epistemic-uncertainty triage: CPT
+// entries the analysis is most sensitive to are where elicitation
+// imprecision hurts most, and where field observation (uncertainty
+// removal) should be spent first.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bayesnet/network.hpp"
+
+namespace sysuq::bayesnet {
+
+/// Sensitivity of one query to one CPT entry.
+struct ParameterSensitivity {
+  VariableId child;       ///< node whose CPT holds the parameter
+  std::size_t row;        ///< parent-configuration index
+  std::size_t state;      ///< child state of the entry
+  double value;           ///< current parameter value
+  double derivative;      ///< d query / d parameter (proportional co-variation)
+};
+
+/// Finite-difference derivative of P(query = qstate | evidence) with
+/// respect to the CPT entry (child, row, state), using proportional
+/// co-variation: the perturbed entry's complement is redistributed over
+/// the remaining states proportionally to their current values.
+[[nodiscard]] double query_sensitivity(const BayesianNetwork& net,
+                                       VariableId child, std::size_t row,
+                                       std::size_t state, VariableId query,
+                                       std::size_t qstate,
+                                       const Evidence& evidence = {},
+                                       double delta = 1e-5);
+
+/// All CPT parameters of the network ranked by |derivative| (descending)
+/// for the given query.
+[[nodiscard]] std::vector<ParameterSensitivity> rank_parameters(
+    const BayesianNetwork& net, VariableId query, std::size_t qstate,
+    const Evidence& evidence = {}, double delta = 1e-5);
+
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,28 @@
+// Plain-text serialization of Bayesian networks.
+//
+// Format (whitespace-separated tokens, '#' comments):
+//
+//   sysuq-bayesnet 1
+//   variable <name> <state> <state> ...
+//   cpt <child> | <parent> <parent> ...
+//   <p p p ...>          # one row per parent configuration,
+//   ...                  # last parent varying fastest
+//
+// Names must not contain whitespace (the in-memory model allows it; the
+// serializer rejects such networks explicitly).
+#pragma once
+
+#include <string>
+
+#include "bayesnet/network.hpp"
+
+namespace sysuq::bayesnet {
+
+/// Serializes a validated network to the text format.
+[[nodiscard]] std::string to_text(const BayesianNetwork& net);
+
+/// Parses a network from the text format; throws std::invalid_argument
+/// with a line-numbered message on malformed input.
+[[nodiscard]] BayesianNetwork from_text(const std::string& text);
+
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,36 @@
+#include "core/decomposition.hpp"
+
+#include <stdexcept>
+
+namespace sysuq::core {
+
+std::string UncertaintyBudget::dominant(double onto_threshold) const {
+  if (ontological > onto_threshold) return "ontological";
+  return epistemic > aleatory ? "epistemic" : "aleatory";
+}
+
+UncertaintyBudget decompose(
+    const std::vector<prob::Categorical>& ensemble_predictions,
+    double ontological_mass) {
+  if (ontological_mass < 0.0 || ontological_mass > 1.0)
+    throw std::invalid_argument("decompose: ontological_mass outside [0, 1]");
+  const auto d = prob::decompose_ensemble_entropy(ensemble_predictions);
+  UncertaintyBudget b;
+  b.aleatory = d.aleatory;
+  b.epistemic = d.epistemic;
+  b.ontological = ontological_mass;
+  return b;
+}
+
+double surprise_factor(const prob::JointTable& model_vs_system) {
+  // Convention: X = model prediction (rows), Y = system outcome (cols).
+  return prob::conditional_entropy_y_given_x(model_vs_system);
+}
+
+double normalized_surprise(const prob::JointTable& model_vs_system) {
+  const double h_system = model_vs_system.marginal_y().entropy();
+  if (h_system == 0.0) return 0.0;  // a deterministic system is never surprising
+  return surprise_factor(model_vs_system) / h_system;
+}
+
+}  // namespace sysuq::core

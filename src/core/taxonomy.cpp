@@ -1,0 +1,141 @@
+#include "core/taxonomy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sysuq::core {
+
+const char* to_string(UncertaintyType t) {
+  switch (t) {
+    case UncertaintyType::kAleatory: return "aleatory";
+    case UncertaintyType::kEpistemic: return "epistemic";
+    case UncertaintyType::kOntological: return "ontological";
+  }
+  return "?";
+}
+
+const char* to_string(Mean m) {
+  switch (m) {
+    case Mean::kPrevention: return "prevention";
+    case Mean::kRemoval: return "removal";
+    case Mean::kTolerance: return "tolerance";
+    case Mean::kForecasting: return "forecasting";
+  }
+  return "?";
+}
+
+const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kDesignTime: return "design-time";
+    case Phase::kRuntime: return "runtime";
+    case Phase::kOperation: return "operation";
+  }
+  return "?";
+}
+
+const std::vector<UncertaintyType>& all_uncertainty_types() {
+  static const std::vector<UncertaintyType> kAll{
+      UncertaintyType::kAleatory, UncertaintyType::kEpistemic,
+      UncertaintyType::kOntological};
+  return kAll;
+}
+
+const std::vector<Mean>& all_means() {
+  static const std::vector<Mean> kAll{Mean::kPrevention, Mean::kRemoval,
+                                      Mean::kTolerance, Mean::kForecasting};
+  return kAll;
+}
+
+void MethodRegistry::add(Method method) {
+  if (method.name.empty())
+    throw std::invalid_argument("MethodRegistry: empty method name");
+  if (method.addresses.empty())
+    throw std::invalid_argument("MethodRegistry: method addresses no type");
+  for (const auto& m : methods_) {
+    if (m.name == method.name)
+      throw std::invalid_argument("MethodRegistry: duplicate method '" +
+                                  method.name + "'");
+  }
+  methods_.push_back(std::move(method));
+}
+
+MethodRegistry MethodRegistry::paper_catalog() {
+  using T = UncertaintyType;
+  MethodRegistry r;
+  // Sec. IV, prevention.
+  r.add({"simple architectures (avoid emergent behavior)", Mean::kPrevention,
+         {T::kEpistemic, T::kOntological}, Phase::kDesignTime, "Sec. IV"});
+  r.add({"operational design domain restriction", Mean::kPrevention,
+         {T::kAleatory, T::kEpistemic, T::kOntological}, Phase::kDesignTime,
+         "Sec. IV"});
+  r.add({"well-known components", Mean::kPrevention, {T::kEpistemic},
+         Phase::kDesignTime, "abstract"});
+  // Sec. IV / V, removal.
+  r.add({"safety analysis with epistemic/ontological uncertainty",
+         Mean::kRemoval, {T::kEpistemic, T::kOntological}, Phase::kDesignTime,
+         "Sec. V (evidential BN, ref [8])"});
+  r.add({"design of experiment", Mean::kRemoval, {T::kEpistemic},
+         Phase::kDesignTime, "abstract"});
+  r.add({"field observation / continuous updates", Mean::kRemoval,
+         {T::kEpistemic, T::kOntological}, Phase::kOperation, "Sec. IV"});
+  r.add({"probabilistic formal verification", Mean::kRemoval,
+         {T::kAleatory, T::kEpistemic}, Phase::kDesignTime,
+         "Sec. I (refs [9], [10])"});
+  // Sec. IV, tolerance.
+  r.add({"redundant architectures with diverse uncertainties",
+         Mean::kTolerance, {T::kAleatory, T::kEpistemic}, Phase::kRuntime,
+         "Secs. IV, V"});
+  r.add({"machine learning with epistemic uncertainty output",
+         Mean::kTolerance, {T::kEpistemic}, Phase::kRuntime,
+         "Sec. I (refs [5], [6])"});
+  r.add({"saliency maps", Mean::kTolerance, {T::kEpistemic}, Phase::kRuntime,
+         "Sec. I (ref [7])"});
+  // Sec. IV, forecasting.
+  r.add({"residual uncertainty estimation", Mean::kForecasting,
+         {T::kEpistemic, T::kOntological}, Phase::kDesignTime, "Sec. IV"});
+  r.add({"assurance cases with belief modeling", Mean::kForecasting,
+         {T::kEpistemic}, Phase::kDesignTime, "Sec. I (ref [11])"});
+  r.add({"missing-mass (Good-Turing) forecasts of unseen events",
+         Mean::kForecasting, {T::kOntological}, Phase::kOperation,
+         "library extension of Sec. IV"});
+  return r;
+}
+
+std::vector<Method> MethodRegistry::by_mean(Mean m) const {
+  std::vector<Method> out;
+  for (const auto& method : methods_) {
+    if (method.mean == m) out.push_back(method);
+  }
+  return out;
+}
+
+std::vector<Method> MethodRegistry::by_type(UncertaintyType t) const {
+  std::vector<Method> out;
+  for (const auto& method : methods_) {
+    if (std::find(method.addresses.begin(), method.addresses.end(), t) !=
+        method.addresses.end())
+      out.push_back(method);
+  }
+  return out;
+}
+
+std::size_t MethodRegistry::coverage(Mean m, UncertaintyType t) const {
+  std::size_t n = 0;
+  for (const auto& method : methods_) {
+    if (method.mean != m) continue;
+    if (std::find(method.addresses.begin(), method.addresses.end(), t) !=
+        method.addresses.end())
+      ++n;
+  }
+  return n;
+}
+
+std::vector<UncertaintyType> MethodRegistry::uncovered_types() const {
+  std::vector<UncertaintyType> out;
+  for (const auto t : all_uncertainty_types()) {
+    if (by_type(t).empty()) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace sysuq::core

@@ -1,0 +1,82 @@
+// The paper's taxonomy (Fig. 3), executable: uncertainty types, means to
+// cope with them, and a registry of methods classified along both axes.
+//
+// "Analogous to the taxonomy of Laprie et al. we cluster methods into
+// uncertainty prevention, uncertainty removal, uncertainty tolerance and
+// uncertainty forecasting."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sysuq::core {
+
+/// The three uncertainty types of Sec. III.
+enum class UncertaintyType : std::uint8_t {
+  kAleatory,    ///< randomness of the chosen probabilistic model (III.A)
+  kEpistemic,   ///< known-unknown: parameter/accuracy gaps (III.B)
+  kOntological, ///< unknown-unknown: model incompleteness (III.C)
+};
+
+/// The four means of Sec. IV.
+enum class Mean : std::uint8_t {
+  kPrevention,   ///< avoid uncertainty (simple architectures, ODD limits)
+  kRemoval,      ///< reduce it (safety analysis, field observation)
+  kTolerance,    ///< operate despite it (redundancy, uncertainty-aware ML)
+  kForecasting,  ///< estimate the residual (release argumentation)
+};
+
+/// Lifecycle phase in which a method applies.
+enum class Phase : std::uint8_t { kDesignTime, kRuntime, kOperation };
+
+[[nodiscard]] const char* to_string(UncertaintyType t);
+[[nodiscard]] const char* to_string(Mean m);
+[[nodiscard]] const char* to_string(Phase p);
+
+/// All enumerators, for sweeps.
+[[nodiscard]] const std::vector<UncertaintyType>& all_uncertainty_types();
+[[nodiscard]] const std::vector<Mean>& all_means();
+
+/// A catalogued engineering method.
+struct Method {
+  std::string name;
+  Mean mean;
+  std::vector<UncertaintyType> addresses;
+  Phase phase;
+  std::string reference;  ///< paper section / citation it comes from
+};
+
+/// Registry of methods classified by (mean, type) — Fig. 3 made
+/// queryable. Ships with the paper's own catalog; extensible.
+class MethodRegistry {
+ public:
+  /// Empty registry.
+  MethodRegistry() = default;
+
+  /// The catalog assembled from the paper's Secs. I, IV and V.
+  [[nodiscard]] static MethodRegistry paper_catalog();
+
+  /// Registers a method; names must be unique.
+  void add(Method method);
+
+  [[nodiscard]] std::size_t size() const { return methods_.size(); }
+  [[nodiscard]] const std::vector<Method>& methods() const { return methods_; }
+
+  /// Methods employing a given mean.
+  [[nodiscard]] std::vector<Method> by_mean(Mean m) const;
+
+  /// Methods addressing a given uncertainty type.
+  [[nodiscard]] std::vector<Method> by_type(UncertaintyType t) const;
+
+  /// Number of catalogued methods covering the (mean, type) cell.
+  [[nodiscard]] std::size_t coverage(Mean m, UncertaintyType t) const;
+
+  /// Types with no method of any mean addressing them — taxonomy gaps.
+  [[nodiscard]] std::vector<UncertaintyType> uncovered_types() const;
+
+ private:
+  std::vector<Method> methods_;
+};
+
+}  // namespace sysuq::core

@@ -1,0 +1,282 @@
+#include "evidence/credal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sysuq::evidence {
+
+IntervalDistribution::IntervalDistribution(std::vector<prob::ProbInterval> bounds)
+    : b_(std::move(bounds)) {
+  if (b_.size() < 2)
+    throw std::invalid_argument("IntervalDistribution: need >= 2 states");
+  double lo_sum = 0.0, hi_sum = 0.0;
+  for (const auto& iv : b_) {
+    lo_sum += iv.lo();
+    hi_sum += iv.hi();
+  }
+  if (lo_sum > 1.0 + 1e-12 || hi_sum < 1.0 - 1e-12)
+    throw std::invalid_argument(
+        "IntervalDistribution: empty credal set (need sum lo <= 1 <= sum hi)");
+}
+
+IntervalDistribution IntervalDistribution::precise(const prob::Categorical& p) {
+  std::vector<prob::ProbInterval> b;
+  b.reserve(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) b.emplace_back(p.p(i));
+  return IntervalDistribution(std::move(b));
+}
+
+IntervalDistribution IntervalDistribution::vacuous(std::size_t k) {
+  return IntervalDistribution(
+      std::vector<prob::ProbInterval>(k, prob::ProbInterval::vacuous()));
+}
+
+IntervalDistribution IntervalDistribution::widened(const prob::Categorical& p,
+                                                   double eps) {
+  if (eps < 0.0) throw std::invalid_argument("IntervalDistribution: eps < 0");
+  std::vector<prob::ProbInterval> b;
+  b.reserve(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    b.emplace_back(std::max(0.0, p.p(i) - eps), std::min(1.0, p.p(i) + eps));
+  }
+  return IntervalDistribution(std::move(b));
+}
+
+const prob::ProbInterval& IntervalDistribution::bound(std::size_t i) const {
+  if (i >= b_.size()) throw std::out_of_range("IntervalDistribution::bound");
+  return b_[i];
+}
+
+bool IntervalDistribution::contains(const prob::Categorical& p) const {
+  if (p.size() != b_.size()) return false;
+  for (std::size_t i = 0; i < b_.size(); ++i) {
+    if (p.p(i) < b_[i].lo() - 1e-12 || p.p(i) > b_[i].hi() + 1e-12) return false;
+  }
+  return true;
+}
+
+double IntervalDistribution::max_width() const {
+  double w = 0.0;
+  for (const auto& iv : b_) w = std::max(w, iv.width());
+  return w;
+}
+
+double IntervalDistribution::mean_width() const {
+  double w = 0.0;
+  for (const auto& iv : b_) w += iv.width();
+  return w / static_cast<double>(b_.size());
+}
+
+prob::Categorical IntervalDistribution::center() const {
+  std::vector<double> mids(b_.size());
+  for (std::size_t i = 0; i < b_.size(); ++i) mids[i] = std::max(b_[i].mid(), 1e-12);
+  return prob::Categorical::normalized(std::move(mids));
+}
+
+namespace {
+
+// Sharp extremum of a linear functional over {p : lo <= p <= hi, sum = 1}:
+// start from the lower bounds, then spend the remaining budget on the
+// states with the best (maximize) / worst (minimize) coefficients.
+double extreme_expectation(const std::vector<prob::ProbInterval>& b,
+                           const std::vector<double>& c, bool maximize) {
+  const std::size_t k = b.size();
+  if (c.size() != k)
+    throw std::invalid_argument("extreme_expectation: coefficient size");
+  double budget = 1.0;
+  double value = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    budget -= b[i].lo();
+    value += b[i].lo() * c[i];
+  }
+  // budget >= 0 guaranteed by the constructor invariant (sum lo <= 1).
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t z) {
+    return maximize ? c[a] > c[z] : c[a] < c[z];
+  });
+  for (std::size_t idx : order) {
+    if (budget <= 0.0) break;
+    const double room = b[idx].width();
+    const double take = std::min(room, budget);
+    value += take * c[idx];
+    budget -= take;
+  }
+  return value;
+}
+
+// Sharp projection of the credal set onto coordinate i:
+// [max(lo_i, 1 - sum_{j != i} hi_j), min(hi_i, 1 - sum_{j != i} lo_j)].
+prob::ProbInterval coordinate_projection(
+    const std::vector<prob::ProbInterval>& b, std::size_t i) {
+  double lo_rest = 0.0, hi_rest = 0.0;
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    if (j == i) continue;
+    lo_rest += b[j].lo();
+    hi_rest += b[j].hi();
+  }
+  const double lo = std::clamp(std::max(b[i].lo(), 1.0 - hi_rest), 0.0, 1.0);
+  const double hi = std::clamp(std::min(b[i].hi(), 1.0 - lo_rest), 0.0, 1.0);
+  return {std::min(lo, hi), std::max(lo, hi)};
+}
+
+std::vector<prob::ProbInterval> bounds_of(const IntervalDistribution& d) {
+  std::vector<prob::ProbInterval> b;
+  b.reserve(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) b.push_back(d.bound(i));
+  return b;
+}
+
+}  // namespace
+
+double IntervalDistribution::lower_expectation(const std::vector<double>& c) const {
+  return extreme_expectation(b_, c, /*maximize=*/false);
+}
+
+double IntervalDistribution::upper_expectation(const std::vector<double>& c) const {
+  return extreme_expectation(b_, c, /*maximize=*/true);
+}
+
+IntervalCpt::IntervalCpt(std::vector<IntervalDistribution> rows)
+    : rows_(std::move(rows)) {
+  if (rows_.empty()) throw std::invalid_argument("IntervalCpt: no rows");
+  for (const auto& r : rows_) {
+    if (r.size() != rows_[0].size())
+      throw std::invalid_argument("IntervalCpt: inconsistent row sizes");
+  }
+}
+
+IntervalCpt IntervalCpt::precise(const std::vector<prob::Categorical>& rows) {
+  std::vector<IntervalDistribution> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(IntervalDistribution::precise(r));
+  return IntervalCpt(std::move(out));
+}
+
+const IntervalDistribution& IntervalCpt::row(std::size_t r) const {
+  if (r >= rows_.size()) throw std::out_of_range("IntervalCpt::row");
+  return rows_[r];
+}
+
+IntervalDistribution credal_chain_marginal(const IntervalDistribution& prior,
+                                           const IntervalCpt& cpt) {
+  if (cpt.row_count() != prior.size())
+    throw std::invalid_argument("credal_chain_marginal: row count != parent states");
+  const std::size_t ny = cpt.child_cardinality();
+  const std::size_t nx = prior.size();
+
+  std::vector<prob::ProbInterval> out;
+  out.reserve(ny);
+  for (std::size_t y = 0; y < ny; ++y) {
+    // Row-wise sharp projections of P(y | x).
+    std::vector<double> cmin(nx), cmax(nx);
+    for (std::size_t x = 0; x < nx; ++x) {
+      const auto proj = coordinate_projection(bounds_of(cpt.row(x)), y);
+      cmin[x] = proj.lo();
+      cmax[x] = proj.hi();
+    }
+    const double lo = std::clamp(prior.lower_expectation(cmin), 0.0, 1.0);
+    const double hi = std::clamp(prior.upper_expectation(cmax), 0.0, 1.0);
+    out.emplace_back(lo, hi);
+  }
+  // The per-state bounds are sharp individually; jointly they always admit
+  // a distribution (any feasible (p, q) pair yields one), so relax the
+  // constructor's simplex check via direct construction.
+  return IntervalDistribution(std::move(out));
+}
+
+IntervalDistribution credal_chain_posterior(const IntervalDistribution& prior,
+                                            const IntervalCpt& cpt,
+                                            std::size_t obs) {
+  if (cpt.row_count() != prior.size())
+    throw std::invalid_argument("credal_chain_posterior: row count mismatch");
+  if (obs >= cpt.child_cardinality())
+    throw std::out_of_range("credal_chain_posterior: observation state");
+  const std::size_t nx = prior.size();
+
+  // Per-row projections of q_x = P(y = obs | x).
+  std::vector<double> qmin(nx), qmax(nx);
+  for (std::size_t x = 0; x < nx; ++x) {
+    const auto proj = coordinate_projection(bounds_of(cpt.row(x)), obs);
+    qmin[x] = proj.lo();
+    qmax[x] = proj.hi();
+  }
+
+  // Evidence must be possible somewhere in the credal set.
+  const double max_evidence = prior.upper_expectation(qmax);
+  if (!(max_evidence > 0.0))
+    throw std::domain_error("credal_chain_posterior: evidence has zero upper "
+                            "probability");
+
+  const auto pb = bounds_of(prior);
+
+  // Upper (lower) bound of p_x0 q_x0 / sum_x p_x q_x via Dinkelbach over
+  // the linear-fractional program; q decouples per row: numerator state
+  // takes its extreme, all others the opposite extreme.
+  const auto bound_for = [&](std::size_t x0, bool maximize) {
+    std::vector<double> num_coeff(nx, 0.0), den_coeff(nx);
+    for (std::size_t x = 0; x < nx; ++x) {
+      den_coeff[x] = (x == x0) ? (maximize ? qmax[x] : qmin[x])
+                               : (maximize ? qmin[x] : qmax[x]);
+    }
+    num_coeff[x0] = den_coeff[x0];
+
+    double lambda = maximize ? 0.0 : 1.0;
+    for (int it = 0; it < 200; ++it) {
+      // Extremize N(p) - lambda * D(p) = sum_x p_x (num - lambda * den).
+      std::vector<double> c(nx);
+      for (std::size_t x = 0; x < nx; ++x)
+        c[x] = num_coeff[x] - lambda * den_coeff[x];
+      const double val = extreme_expectation(pb, c, maximize);
+      // Recover the extremizing p to update lambda.
+      // extreme_expectation is value-only; recompute N and D by re-running
+      // the same greedy selection.
+      std::vector<double> p(nx);
+      {
+        double budget = 1.0;
+        for (std::size_t x = 0; x < nx; ++x) {
+          p[x] = pb[x].lo();
+          budget -= pb[x].lo();
+        }
+        std::vector<std::size_t> order(nx);
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t z) {
+          return maximize ? c[a] > c[z] : c[a] < c[z];
+        });
+        for (std::size_t idx : order) {
+          if (budget <= 0.0) break;
+          const double take = std::min(pb[idx].width(), budget);
+          p[idx] += take;
+          budget -= take;
+        }
+      }
+      double num = 0.0, den = 0.0;
+      for (std::size_t x = 0; x < nx; ++x) {
+        num += p[x] * num_coeff[x];
+        den += p[x] * den_coeff[x];
+      }
+      if (den <= 1e-300) {
+        // Denominator can vanish at the extreme: the ratio saturates.
+        return maximize ? (num > 0.0 ? 1.0 : lambda) : 0.0;
+      }
+      const double new_lambda = num / den;
+      if (std::fabs(new_lambda - lambda) < 1e-13) return new_lambda;
+      lambda = new_lambda;
+      (void)val;
+    }
+    return lambda;
+  };
+
+  std::vector<prob::ProbInterval> out;
+  out.reserve(nx);
+  for (std::size_t x0 = 0; x0 < nx; ++x0) {
+    const double lo = std::clamp(bound_for(x0, false), 0.0, 1.0);
+    const double hi = std::clamp(bound_for(x0, true), 0.0, 1.0);
+    out.emplace_back(std::min(lo, hi), std::max(lo, hi));
+  }
+  return IntervalDistribution(std::move(out));
+}
+
+}  // namespace sysuq::evidence

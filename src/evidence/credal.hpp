@@ -1,0 +1,93 @@
+// Credal (interval-probability) distributions and their exact propagation
+// through interval-valued CPTs.
+//
+// This is the computational core of the paper's Sec. V.B proposal —
+// "an analysis method based on evidence theory in combination with
+// Bayesian networks" (after Simon, Weber & Evsukoff 2008): CPT entries
+// become intervals [lo, hi] carrying epistemic uncertainty about the
+// model parameters, and inference produces belief/plausibility *bounds*
+// on the outputs instead of point probabilities.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "prob/discrete.hpp"
+#include "prob/interval.hpp"
+
+namespace sysuq::evidence {
+
+/// An interval-valued distribution over k states: per-state probability
+/// boxes whose credal set {p : lo <= p <= hi, Σp = 1} must be non-empty
+/// (Σ lo <= 1 <= Σ hi, enforced at construction).
+class IntervalDistribution {
+ public:
+  explicit IntervalDistribution(std::vector<prob::ProbInterval> bounds);
+
+  /// Degenerate (precise) credal set containing exactly `p`.
+  [[nodiscard]] static IntervalDistribution precise(const prob::Categorical& p);
+
+  /// The vacuous credal set: every state in [0, 1].
+  [[nodiscard]] static IntervalDistribution vacuous(std::size_t k);
+
+  /// From a point distribution widened by ±eps (clamped to [0,1]).
+  [[nodiscard]] static IntervalDistribution widened(const prob::Categorical& p,
+                                                    double eps);
+
+  [[nodiscard]] std::size_t size() const { return b_.size(); }
+  [[nodiscard]] const prob::ProbInterval& bound(std::size_t i) const;
+
+  /// True if `p` lies inside the credal set.
+  [[nodiscard]] bool contains(const prob::Categorical& p) const;
+
+  /// Maximum interval width across states — scalar imprecision.
+  [[nodiscard]] double max_width() const;
+
+  /// Mean interval width across states.
+  [[nodiscard]] double mean_width() const;
+
+  /// A canonical point selection: midpoints renormalized to the simplex.
+  [[nodiscard]] prob::Categorical center() const;
+
+  /// Exact sharp lower/upper bound on the expectation Σ_i p_i c_i over
+  /// the credal set (linear program over box ∩ simplex, solved greedily).
+  [[nodiscard]] double lower_expectation(const std::vector<double>& c) const;
+  [[nodiscard]] double upper_expectation(const std::vector<double>& c) const;
+
+ private:
+  std::vector<prob::ProbInterval> b_;
+};
+
+/// An interval-valued CPT: one IntervalDistribution per parent
+/// configuration (layout as in BayesianNetwork: last parent fastest).
+class IntervalCpt {
+ public:
+  explicit IntervalCpt(std::vector<IntervalDistribution> rows);
+
+  /// Precise CPT from categoricals.
+  [[nodiscard]] static IntervalCpt precise(const std::vector<prob::Categorical>& rows);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t child_cardinality() const { return rows_[0].size(); }
+  [[nodiscard]] const IntervalDistribution& row(std::size_t r) const;
+
+ private:
+  std::vector<IntervalDistribution> rows_;
+};
+
+/// Exact bounds on the child marginal of a single-parent chain:
+///   P(y) = Σ_x P(x) P(y | x)
+/// with P(x) in a credal set and each CPT row in its own credal set.
+/// Returns one sharp interval per child state. This implements the
+/// two-node evidential inference of the paper's Fig. 4 example with
+/// interval CPTs.
+[[nodiscard]] IntervalDistribution credal_chain_marginal(
+    const IntervalDistribution& prior, const IntervalCpt& cpt);
+
+/// Exact bounds on the posterior P(x | y = obs) over the same credal
+/// sets, computed by fractional programming (Dinkelbach iteration over
+/// the linear-fractional objective). Sharp for the single-parent chain.
+[[nodiscard]] IntervalDistribution credal_chain_posterior(
+    const IntervalDistribution& prior, const IntervalCpt& cpt, std::size_t obs);
+
+}  // namespace sysuq::evidence

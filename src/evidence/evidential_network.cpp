@@ -1,0 +1,47 @@
+#include "evidence/evidential_network.hpp"
+
+#include <stdexcept>
+
+namespace sysuq::evidence {
+
+bayesnet::Variable powerset_variable(const std::string& name,
+                                     const Frame& frame) {
+  std::vector<std::string> states;
+  for (const FocalSet s : frame.all_nonempty_subsets())
+    states.push_back(frame.set_to_string(s));
+  return bayesnet::Variable(name, std::move(states));
+}
+
+prob::Categorical mass_to_categorical(const MassFunction& m) {
+  const Frame& frame = m.frame();
+  const auto subsets = frame.all_nonempty_subsets();
+  std::vector<double> p(subsets.size(), 0.0);
+  for (std::size_t i = 0; i < subsets.size(); ++i) p[i] = m.mass(subsets[i]);
+  return prob::Categorical::normalized(std::move(p));
+}
+
+MassFunction categorical_to_mass(const Frame& frame, const prob::Categorical& c) {
+  const auto subsets = frame.all_nonempty_subsets();
+  if (c.size() != subsets.size())
+    throw std::invalid_argument("categorical_to_mass: size mismatch");
+  std::map<FocalSet, double> m;
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    if (c.p(i) > 0.0) m[subsets[i]] = c.p(i);
+  }
+  return MassFunction(frame, std::move(m));
+}
+
+prob::ProbInterval belief_plausibility(const Frame& frame,
+                                       const prob::Categorical& powerset_marginal,
+                                       FocalSet query) {
+  const auto m = categorical_to_mass(frame, powerset_marginal);
+  return m.belief_interval(query);
+}
+
+std::size_t powerset_state_index(const Frame& frame, FocalSet s) {
+  if (s == 0 || !frame.contains(s))
+    throw std::invalid_argument("powerset_state_index: bad focal set");
+  return static_cast<std::size_t>(s) - 1;
+}
+
+}  // namespace sysuq::evidence

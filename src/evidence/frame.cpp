@@ -1,0 +1,77 @@
+#include "evidence/frame.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sysuq::evidence {
+
+Frame::Frame(std::vector<std::string> hypotheses) : names_(std::move(hypotheses)) {
+  if (names_.empty() || names_.size() > 64)
+    throw std::invalid_argument("Frame: need 1..64 hypotheses");
+  std::unordered_set<std::string> seen;
+  for (const auto& n : names_) {
+    if (n.empty()) throw std::invalid_argument("Frame: empty hypothesis name");
+    if (!seen.insert(n).second)
+      throw std::invalid_argument("Frame: duplicate hypothesis '" + n + "'");
+  }
+}
+
+FocalSet Frame::singleton(std::size_t i) const {
+  if (i >= names_.size()) throw std::out_of_range("Frame::singleton: index");
+  return FocalSet{1} << i;
+}
+
+FocalSet Frame::singleton(const std::string& name) const {
+  return singleton(index_of(name));
+}
+
+FocalSet Frame::theta() const {
+  return names_.size() == 64 ? ~FocalSet{0}
+                             : (FocalSet{1} << names_.size()) - 1;
+}
+
+FocalSet Frame::make_set(const std::vector<std::string>& names) const {
+  FocalSet s = 0;
+  for (const auto& n : names) s |= singleton(n);
+  return s;
+}
+
+std::size_t Frame::index_of(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end())
+    throw std::invalid_argument("Frame: no hypothesis '" + name + "'");
+  return static_cast<std::size_t>(std::distance(names_.begin(), it));
+}
+
+const std::string& Frame::name(std::size_t i) const {
+  if (i >= names_.size()) throw std::out_of_range("Frame::name: index");
+  return names_[i];
+}
+
+std::string Frame::set_to_string(FocalSet s) const {
+  if (!contains(s)) throw std::invalid_argument("Frame::set_to_string: bad set");
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if ((s >> i) & 1u) {
+      if (!first) out += ", ";
+      out += names_[i];
+      first = false;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<FocalSet> Frame::all_nonempty_subsets() const {
+  if (names_.size() > 20)
+    throw std::logic_error("Frame::all_nonempty_subsets: frame too large");
+  const FocalSet full = theta();
+  std::vector<FocalSet> out;
+  out.reserve(full);
+  for (FocalSet s = 1; s <= full; ++s) out.push_back(s);
+  return out;
+}
+
+}  // namespace sysuq::evidence

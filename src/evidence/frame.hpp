@@ -1,0 +1,69 @@
+// Frames of discernment for Dempster–Shafer evidence theory (Shafer 1976,
+// cited by the paper as the basis of its Sec. V.B analysis).
+//
+// A frame is a finite set of mutually exclusive hypotheses; subsets are
+// represented as 64-bit masks (`FocalSet`), so frames hold at most 64
+// hypotheses — far beyond any safety-analysis state space in practice.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sysuq::evidence {
+
+/// A subset of a frame's hypotheses, one bit per hypothesis.
+using FocalSet = std::uint64_t;
+
+/// Number of hypotheses in a focal set.
+[[nodiscard]] inline int set_cardinality(FocalSet s) {
+  return __builtin_popcountll(s);
+}
+
+/// True if a is a subset of b.
+[[nodiscard]] inline bool is_subset(FocalSet a, FocalSet b) {
+  return (a & ~b) == 0;
+}
+
+/// Named frame of discernment.
+class Frame {
+ public:
+  /// Constructs from unique, non-empty hypothesis names (1..64 of them).
+  explicit Frame(std::vector<std::string> hypotheses);
+
+  /// Number of hypotheses.
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  /// The singleton set {i}.
+  [[nodiscard]] FocalSet singleton(std::size_t i) const;
+
+  /// The singleton set for a named hypothesis.
+  [[nodiscard]] FocalSet singleton(const std::string& name) const;
+
+  /// The full set Θ (total ignorance focal element).
+  [[nodiscard]] FocalSet theta() const;
+
+  /// Builds a set from hypothesis names.
+  [[nodiscard]] FocalSet make_set(const std::vector<std::string>& names) const;
+
+  /// Index of a hypothesis by name; throws if absent.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+
+  /// Name of hypothesis i.
+  [[nodiscard]] const std::string& name(std::size_t i) const;
+
+  /// Human-readable "{a, b}" rendering of a focal set.
+  [[nodiscard]] std::string set_to_string(FocalSet s) const;
+
+  /// All non-empty subsets of Θ in increasing mask order (2^n - 1 sets);
+  /// useful for exhaustive iteration in tests and the evidential network.
+  [[nodiscard]] std::vector<FocalSet> all_nonempty_subsets() const;
+
+  /// True if `s` only uses bits within the frame.
+  [[nodiscard]] bool contains(FocalSet s) const { return is_subset(s, theta()); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace sysuq::evidence

@@ -1,0 +1,241 @@
+#include "evidence/mass.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sysuq::evidence {
+
+MassFunction::MassFunction(const Frame& frame, std::map<FocalSet, double> masses)
+    : frame_(&frame) {
+  double total = 0.0;
+  for (const auto& [set, mass] : masses) {
+    if (!std::isfinite(mass) || mass < 0.0)
+      throw std::invalid_argument("MassFunction: masses must be finite and >= 0");
+    if (mass == 0.0) continue;
+    if (set == 0)
+      throw std::invalid_argument("MassFunction: mass on empty set");
+    if (!frame.contains(set))
+      throw std::invalid_argument("MassFunction: focal set outside frame");
+    m_.emplace(set, mass);
+    total += mass;
+  }
+  if (std::fabs(total - 1.0) > 1e-9)
+    throw std::invalid_argument("MassFunction: masses must sum to 1");
+}
+
+MassFunction MassFunction::vacuous(const Frame& frame) {
+  return MassFunction(frame, {{frame.theta(), 1.0}});
+}
+
+MassFunction MassFunction::bayesian(const Frame& frame,
+                                    const prob::Categorical& p) {
+  if (p.size() != frame.size())
+    throw std::invalid_argument("MassFunction::bayesian: size mismatch");
+  std::map<FocalSet, double> m;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p.p(i) > 0.0) m[frame.singleton(i)] = p.p(i);
+  }
+  return MassFunction(frame, std::move(m));
+}
+
+MassFunction MassFunction::simple_support(const Frame& frame, FocalSet focal,
+                                          double s) {
+  if (s < 0.0 || s > 1.0)
+    throw std::invalid_argument("MassFunction::simple_support: s outside [0,1]");
+  if (focal == 0 || !frame.contains(focal))
+    throw std::invalid_argument("MassFunction::simple_support: bad focal set");
+  std::map<FocalSet, double> m;
+  if (s > 0.0) m[focal] += s;
+  if (s < 1.0) m[frame.theta()] += 1.0 - s;
+  return MassFunction(frame, std::move(m));
+}
+
+double MassFunction::mass(FocalSet a) const {
+  const auto it = m_.find(a);
+  return it == m_.end() ? 0.0 : it->second;
+}
+
+double MassFunction::belief(FocalSet a) const {
+  if (!frame_->contains(a))
+    throw std::invalid_argument("MassFunction::belief: set outside frame");
+  double b = 0.0;
+  for (const auto& [set, mass] : m_) {
+    if (is_subset(set, a)) b += mass;
+  }
+  return b;
+}
+
+double MassFunction::plausibility(FocalSet a) const {
+  if (!frame_->contains(a))
+    throw std::invalid_argument("MassFunction::plausibility: set outside frame");
+  double p = 0.0;
+  for (const auto& [set, mass] : m_) {
+    if ((set & a) != 0) p += mass;
+  }
+  return p;
+}
+
+double MassFunction::commonality(FocalSet a) const {
+  if (a == 0 || !frame_->contains(a))
+    throw std::invalid_argument("MassFunction::commonality: bad set");
+  double q = 0.0;
+  for (const auto& [set, mass] : m_) {
+    if (is_subset(a, set)) q += mass;
+  }
+  return q;
+}
+
+prob::ProbInterval MassFunction::belief_interval(FocalSet a) const {
+  // Clamp tiny floating residue so 0 <= Bel <= Pl <= 1 holds structurally.
+  const double bel = std::clamp(belief(a), 0.0, 1.0);
+  const double pl = std::clamp(plausibility(a), 0.0, 1.0);
+  return prob::ProbInterval(std::min(bel, pl), std::max(bel, pl));
+}
+
+prob::Categorical MassFunction::pignistic() const {
+  std::vector<double> p(frame_->size(), 0.0);
+  for (const auto& [set, mass] : m_) {
+    const double share = mass / static_cast<double>(set_cardinality(set));
+    for (std::size_t i = 0; i < frame_->size(); ++i) {
+      if ((set >> i) & 1u) p[i] += share;
+    }
+  }
+  return prob::Categorical::normalized(std::move(p));
+}
+
+MassFunction MassFunction::conditioned(FocalSet b) const {
+  if (b == 0 || !frame_->contains(b))
+    throw std::invalid_argument("MassFunction::conditioned: bad set");
+  return dempster_combine(*this, MassFunction(*frame_, {{b, 1.0}}));
+}
+
+MassFunction MassFunction::discounted(double alpha) const {
+  if (alpha < 0.0 || alpha > 1.0)
+    throw std::invalid_argument("MassFunction::discounted: alpha outside [0,1]");
+  std::map<FocalSet, double> out;
+  for (const auto& [set, mass] : m_) out[set] = (1.0 - alpha) * mass;
+  out[frame_->theta()] += alpha;
+  return MassFunction(*frame_, std::move(out));
+}
+
+bool MassFunction::is_bayesian() const {
+  for (const auto& [set, mass] : m_) {
+    (void)mass;
+    if (set_cardinality(set) != 1) return false;
+  }
+  return true;
+}
+
+double MassFunction::nonspecificity_mass() const {
+  double total = 0.0;
+  for (const auto& [set, mass] : m_) {
+    if (set_cardinality(set) > 1) total += mass;
+  }
+  return total;
+}
+
+double MassFunction::nonspecificity() const {
+  double n = 0.0;
+  for (const auto& [set, mass] : m_) {
+    n += mass * std::log2(static_cast<double>(set_cardinality(set)));
+  }
+  return n;
+}
+
+double MassFunction::conflict(const MassFunction& other) const {
+  if (frame_ != other.frame_ && frame_->size() != other.frame_->size())
+    throw std::invalid_argument("MassFunction::conflict: frame mismatch");
+  double k = 0.0;
+  for (const auto& [sa, ma] : m_) {
+    for (const auto& [sb, mb] : other.m_) {
+      if ((sa & sb) == 0) k += ma * mb;
+    }
+  }
+  return k;
+}
+
+std::string MassFunction::to_string() const {
+  std::string out;
+  for (const auto& [set, mass] : m_) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ": %.6g  ", mass);
+    out += frame_->set_to_string(set) + buf;
+  }
+  return out;
+}
+
+namespace {
+
+// Conjunctive combination core shared by the three rules; `on_conflict`
+// receives (A, B, mass) for each conflicting pair.
+template <typename ConflictFn>
+std::map<FocalSet, double> conjunctive(const MassFunction& a,
+                                       const MassFunction& b,
+                                       ConflictFn&& on_conflict) {
+  std::map<FocalSet, double> out;
+  for (const auto& [sa, ma] : a.focal_elements()) {
+    for (const auto& [sb, mb] : b.focal_elements()) {
+      const FocalSet inter = sa & sb;
+      const double mass = ma * mb;
+      if (inter != 0) {
+        out[inter] += mass;
+      } else {
+        on_conflict(sa, sb, mass);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MassFunction mass_from_belief(const Frame& frame,
+                              const std::function<double(FocalSet)>& belief) {
+  std::map<FocalSet, double> m;
+  for (const FocalSet a : frame.all_nonempty_subsets()) {
+    // Möbius inversion over the subset lattice of `a`.
+    double mass = 0.0;
+    // Iterate all subsets b of a (including empty, Bel(empty) = 0).
+    for (FocalSet b = a;; b = (b - 1) & a) {
+      if (b != 0) {
+        const int parity = set_cardinality(a & ~b) % 2 == 0 ? 1 : -1;
+        mass += parity * belief(b);
+      }
+      if (b == 0) break;
+    }
+    if (mass < -1e-9)
+      throw std::invalid_argument(
+          "mass_from_belief: not a belief function (negative mass on " +
+          frame.set_to_string(a) + ")");
+    if (mass > 1e-12) m[a] = mass;
+  }
+  return MassFunction(frame, std::move(m));
+}
+
+MassFunction dempster_combine(const MassFunction& a, const MassFunction& b) {
+  double conflict = 0.0;
+  auto out = conjunctive(a, b, [&](FocalSet, FocalSet, double m) { conflict += m; });
+  if (conflict >= 1.0 - 1e-12)
+    throw std::domain_error("dempster_combine: total conflict (K = 1)");
+  for (auto& [set, mass] : out) mass /= (1.0 - conflict);
+  return MassFunction(a.frame(), std::move(out));
+}
+
+MassFunction yager_combine(const MassFunction& a, const MassFunction& b) {
+  double conflict = 0.0;
+  auto out = conjunctive(a, b, [&](FocalSet, FocalSet, double m) { conflict += m; });
+  if (conflict > 0.0) out[a.frame().theta()] += conflict;
+  return MassFunction(a.frame(), std::move(out));
+}
+
+MassFunction dubois_prade_combine(const MassFunction& a, const MassFunction& b) {
+  std::map<FocalSet, double> transfers;
+  auto out = conjunctive(
+      a, b, [&](FocalSet sa, FocalSet sb, double m) { transfers[sa | sb] += m; });
+  for (const auto& [set, mass] : transfers) out[set] += mass;
+  return MassFunction(a.frame(), std::move(out));
+}
+
+}  // namespace sysuq::evidence

@@ -1,0 +1,122 @@
+// Basic belief assignments (mass functions) and the Dempster–Shafer
+// measures derived from them.
+//
+// In the paper's taxonomy the three uncertainty types map naturally onto
+// a mass function's structure:
+//   * mass on singletons        — aleatory (probabilistic) belief;
+//   * mass on larger subsets    — epistemic imprecision (we cannot decide
+//                                 between the contained hypotheses, like
+//                                 Table I's car/pedestrian output state);
+//   * mass on Θ (total set)     — acknowledged ignorance, the hook where
+//                                 ontological reservations enter a model.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "evidence/frame.hpp"
+#include "prob/discrete.hpp"
+#include "prob/interval.hpp"
+
+namespace sysuq::evidence {
+
+/// A basic belief assignment m : 2^Θ -> [0,1] with m(∅) = 0, Σ m = 1.
+class MassFunction {
+ public:
+  /// Builds from explicit (focal set, mass) pairs; validates normalization
+  /// and that no mass sits on the empty set. Zero-mass entries dropped.
+  MassFunction(const Frame& frame, std::map<FocalSet, double> masses);
+
+  /// The vacuous mass function m(Θ) = 1 — total ignorance.
+  [[nodiscard]] static MassFunction vacuous(const Frame& frame);
+
+  /// Bayesian mass function: all mass on singletons per a categorical.
+  [[nodiscard]] static MassFunction bayesian(const Frame& frame,
+                                             const prob::Categorical& p);
+
+  /// Simple support function: mass s on `focal`, 1-s on Θ.
+  [[nodiscard]] static MassFunction simple_support(const Frame& frame,
+                                                   FocalSet focal, double s);
+
+  [[nodiscard]] const Frame& frame() const { return *frame_; }
+  [[nodiscard]] const std::map<FocalSet, double>& focal_elements() const {
+    return m_;
+  }
+
+  /// m(A) — 0 if A is not focal.
+  [[nodiscard]] double mass(FocalSet a) const;
+
+  /// Belief Bel(A) = Σ_{B ⊆ A} m(B).
+  [[nodiscard]] double belief(FocalSet a) const;
+
+  /// Plausibility Pl(A) = Σ_{B ∩ A ≠ ∅} m(B) = 1 - Bel(¬A).
+  [[nodiscard]] double plausibility(FocalSet a) const;
+
+  /// Commonality Q(A) = Σ_{B ⊇ A} m(B).
+  [[nodiscard]] double commonality(FocalSet a) const;
+
+  /// The belief interval [Bel(A), Pl(A)] for A.
+  [[nodiscard]] prob::ProbInterval belief_interval(FocalSet a) const;
+
+  /// Pignistic transform BetP: each focal mass is split evenly over its
+  /// singletons; returns the resulting categorical over hypotheses.
+  [[nodiscard]] prob::Categorical pignistic() const;
+
+  /// Dempster conditioning on B (combination with the certain mass
+  /// m(B) = 1): focal elements are intersected with B and the conflict is
+  /// renormalized away. Throws std::domain_error when Pl(B) = 0.
+  [[nodiscard]] MassFunction conditioned(FocalSet b) const;
+
+  /// Shafer discounting: scales all focal masses by (1 - alpha) and moves
+  /// alpha to Θ. alpha in [0, 1] models source unreliability.
+  [[nodiscard]] MassFunction discounted(double alpha) const;
+
+  /// True if all mass is on singletons (purely aleatory/Bayesian).
+  [[nodiscard]] bool is_bayesian() const;
+
+  /// Total mass on non-singleton sets — a scalar measure of the
+  /// epistemic imprecision carried by this evidence.
+  [[nodiscard]] double nonspecificity_mass() const;
+
+  /// Hartley-based nonspecificity N(m) = Σ m(A) log2 |A| (0 for Bayesian
+  /// mass functions, log2 |Θ| for the vacuous one).
+  [[nodiscard]] double nonspecificity() const;
+
+  /// Degree of conflict K with another mass function:
+  /// K = Σ_{A ∩ B = ∅} m1(A) m2(B).
+  [[nodiscard]] double conflict(const MassFunction& other) const;
+
+  /// "A:mass, ..." rendering for reports.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  const Frame* frame_;
+  std::map<FocalSet, double> m_;
+};
+
+/// Reconstructs the mass function from a belief function by Möbius
+/// inversion: m(A) = sum_{B subseteq A} (-1)^{|A \ B|} Bel(B). `belief`
+/// is evaluated on every non-empty subset of the frame. Throws if the
+/// given set function is not a valid belief function (some mass would be
+/// negative or the total is not 1).
+[[nodiscard]] MassFunction mass_from_belief(
+    const Frame& frame, const std::function<double(FocalSet)>& belief);
+
+/// Dempster's rule of combination: conjunctive combination with conflict
+/// renormalization. Throws std::domain_error on total conflict (K = 1).
+[[nodiscard]] MassFunction dempster_combine(const MassFunction& a,
+                                            const MassFunction& b);
+
+/// Yager's rule: conflict mass is transferred to Θ instead of
+/// renormalizing (conservative under high conflict).
+[[nodiscard]] MassFunction yager_combine(const MassFunction& a,
+                                         const MassFunction& b);
+
+/// Dubois–Prade rule: conflicting pairs (A ∩ B = ∅) transfer their mass
+/// to the union A ∪ B (disjunctive repair of conflicts).
+[[nodiscard]] MassFunction dubois_prade_combine(const MassFunction& a,
+                                                const MassFunction& b);
+
+}  // namespace sysuq::evidence

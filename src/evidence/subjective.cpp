@@ -1,0 +1,206 @@
+#include "evidence/subjective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sysuq::evidence {
+
+namespace {
+constexpr double kTol = 1e-9;
+}
+
+Opinion::Opinion(double belief, double disbelief, double uncertainty,
+                 double base_rate)
+    : b_(belief), d_(disbelief), u_(uncertainty), a_(base_rate) {
+  if (!std::isfinite(b_) || !std::isfinite(d_) || !std::isfinite(u_) ||
+      b_ < -kTol || d_ < -kTol || u_ < -kTol)
+    throw std::invalid_argument("Opinion: components must be finite and >= 0");
+  if (std::fabs(b_ + d_ + u_ - 1.0) > 1e-9)
+    throw std::invalid_argument("Opinion: components must sum to 1");
+  if (a_ < 0.0 || a_ > 1.0)
+    throw std::invalid_argument("Opinion: base rate outside [0, 1]");
+  b_ = std::max(0.0, b_);
+  d_ = std::max(0.0, d_);
+  u_ = std::max(0.0, u_);
+}
+
+Opinion Opinion::vacuous(double base_rate) {
+  return {0.0, 0.0, 1.0, base_rate};
+}
+
+Opinion Opinion::dogmatic(double p, double base_rate) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("Opinion::dogmatic: p outside [0, 1]");
+  return {p, 1.0 - p, 0.0, base_rate};
+}
+
+Opinion Opinion::from_evidence(double r, double s, double base_rate) {
+  if (r < 0.0 || s < 0.0)
+    throw std::invalid_argument("Opinion::from_evidence: negative counts");
+  const double denom = r + s + 2.0;
+  return {r / denom, s / denom, 2.0 / denom, base_rate};
+}
+
+Opinion Opinion::fuse(const Opinion& o) const {
+  const double denom = u_ + o.u_ - u_ * o.u_;
+  if (denom < 1e-12) {
+    // Both dogmatic: average them.
+    return {(b_ + o.b_) / 2.0, (d_ + o.d_) / 2.0, 0.0, (a_ + o.a_) / 2.0};
+  }
+  const double b = (b_ * o.u_ + o.b_ * u_) / denom;
+  const double u = (u_ * o.u_) / denom;
+  const double d = std::max(0.0, 1.0 - b - u);
+  double a;
+  const double adenom = u_ + o.u_ - 2.0 * u_ * o.u_;
+  if (adenom < 1e-12) {
+    a = (a_ + o.a_) / 2.0;
+  } else {
+    a = (a_ * o.u_ + o.a_ * u_ - (a_ + o.a_) * u_ * o.u_) / adenom;
+  }
+  return {b, d, u, std::clamp(a, 0.0, 1.0)};
+}
+
+Opinion Opinion::average(const Opinion& o) const {
+  const double denom = u_ + o.u_;
+  if (denom < 1e-12) {
+    return {(b_ + o.b_) / 2.0, (d_ + o.d_) / 2.0, 0.0, (a_ + o.a_) / 2.0};
+  }
+  const double b = (b_ * o.u_ + o.b_ * u_) / denom;
+  const double u = (2.0 * u_ * o.u_) / denom;
+  const double d = std::max(0.0, 1.0 - b - u);
+  return {b, d, u, (a_ + o.a_) / 2.0};
+}
+
+Opinion Opinion::discount_by(const Opinion& trust) const {
+  return discount(trust.projected());
+}
+
+Opinion Opinion::discount(double g) const {
+  if (g < 0.0 || g > 1.0)
+    throw std::invalid_argument("Opinion::discount: g outside [0, 1]");
+  const double b = g * b_;
+  const double d = g * d_;
+  return {b, d, 1.0 - b - d, a_};
+}
+
+Opinion Opinion::conjoin(const Opinion& o) const {
+  const double a1 = a_, a2 = o.a_;
+  const double denom = 1.0 - a1 * a2;
+  double b, u;
+  if (denom < 1e-12) {
+    // Both base rates 1: degenerate; fall back to product of projections.
+    b = b_ * o.b_;
+    u = u_ * o.u_;
+  } else {
+    b = b_ * o.b_ +
+        ((1.0 - a1) * a2 * b_ * o.u_ + a1 * (1.0 - a2) * u_ * o.b_) / denom;
+    u = u_ * o.u_ + ((1.0 - a2) * b_ * o.u_ + (1.0 - a1) * u_ * o.b_) / denom;
+  }
+  const double d = std::clamp(1.0 - b - u, 0.0, 1.0);
+  // Renormalize against rounding.
+  const double total = b + d + u;
+  return {b / total, d / total, u / total, a1 * a2};
+}
+
+Opinion Opinion::disjoin(const Opinion& o) const {
+  const double a1 = a_, a2 = o.a_;
+  const double a_or = a1 + a2 - a1 * a2;
+  const double denom = a_or;
+  double d, u;
+  if (denom < 1e-12) {
+    d = d_ * o.d_;
+    u = u_ * o.u_;
+  } else {
+    d = d_ * o.d_ +
+        (a1 * (1.0 - a2) * d_ * o.u_ + (1.0 - a1) * a2 * u_ * o.d_) / denom;
+    u = u_ * o.u_ + (a2 * d_ * o.u_ + a1 * u_ * o.d_) / denom;
+  }
+  const double b = std::clamp(1.0 - d - u, 0.0, 1.0);
+  const double total = b + d + u;
+  return {b / total, d / total, u / total, std::clamp(a_or, 0.0, 1.0)};
+}
+
+std::string Opinion::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(b=%.3f d=%.3f u=%.3f a=%.2f | P=%.3f)", b_,
+                d_, u_, a_, projected());
+  return buf;
+}
+
+// ----------------------------------------------------------- AssuranceCase
+
+void AssuranceCase::check(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("AssuranceCase: node id");
+}
+
+AssuranceCase::NodeId AssuranceCase::add_evidence(const std::string& claim,
+                                                  Opinion opinion) {
+  if (claim.empty()) throw std::invalid_argument("AssuranceCase: empty claim");
+  nodes_.push_back(Node{claim, Kind::kLeaf, opinion, {}, 1.0});
+  return nodes_.size() - 1;
+}
+
+AssuranceCase::NodeId AssuranceCase::add_goal(const std::string& claim,
+                                              Kind kind,
+                                              std::vector<NodeId> children,
+                                              double rule_trust) {
+  if (claim.empty()) throw std::invalid_argument("AssuranceCase: empty claim");
+  if (kind == Kind::kLeaf)
+    throw std::invalid_argument("AssuranceCase: goals cannot be leaves");
+  if (children.empty())
+    throw std::invalid_argument("AssuranceCase: goal without support");
+  if (rule_trust < 0.0 || rule_trust > 1.0)
+    throw std::invalid_argument("AssuranceCase: rule_trust outside [0, 1]");
+  for (NodeId c : children) check(c);
+  nodes_.push_back(
+      Node{claim, kind, Opinion::vacuous(), std::move(children), rule_trust});
+  return nodes_.size() - 1;
+}
+
+const std::string& AssuranceCase::claim(NodeId id) const {
+  check(id);
+  return nodes_[id].claim;
+}
+
+Opinion AssuranceCase::evaluate(NodeId id) const {
+  return evaluate_with(id, SIZE_MAX, Opinion::vacuous());
+}
+
+Opinion AssuranceCase::evaluate_with(NodeId id, NodeId replaced,
+                                     const Opinion& replacement) const {
+  check(id);
+  const Node& n = nodes_[id];
+  if (id == replaced) return replacement;
+  if (n.kind == Kind::kLeaf) return n.opinion;
+  Opinion acc =
+      evaluate_with(n.children[0], replaced, replacement).discount(n.rule_trust);
+  for (std::size_t i = 1; i < n.children.size(); ++i) {
+    const Opinion child =
+        evaluate_with(n.children[i], replaced, replacement).discount(n.rule_trust);
+    acc = n.kind == Kind::kConjunction ? acc.conjoin(child) : acc.disjoin(child);
+  }
+  return acc;
+}
+
+AssuranceCase::NodeId AssuranceCase::weakest_leaf(NodeId root) const {
+  check(root);
+  const double base = evaluate(root).projected();
+  NodeId best = root;
+  double best_gain = -1.0;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].kind != Kind::kLeaf) continue;
+    const double boosted =
+        evaluate_with(root, id, Opinion::dogmatic(1.0, nodes_[id].opinion.base_rate()))
+            .projected();
+    const double gain = boosted - base;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace sysuq::evidence

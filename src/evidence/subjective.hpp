@@ -1,0 +1,116 @@
+// Subjective logic: binomial opinions and the operators needed for
+// assurance-case confidence propagation (the paper's ref [11], "DS theory
+// for argument confidence assessment", and Sec. I's "assurance cases can
+// be enriched with belief modeling").
+//
+// An opinion (b, d, u, a) splits the unit of probability mass into
+// belief, disbelief and *uncertainty* — the explicit epistemic slack that
+// point probabilities hide. Evidence counts map to opinions exactly as
+// Beta posteriors map to credible mass.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sysuq::evidence {
+
+/// A binomial opinion about one proposition.
+/// Invariant: b, d, u >= 0; b + d + u = 1; base rate a in [0, 1].
+class Opinion {
+ public:
+  Opinion(double belief, double disbelief, double uncertainty,
+          double base_rate = 0.5);
+
+  /// Total ignorance with the given base rate.
+  [[nodiscard]] static Opinion vacuous(double base_rate = 0.5);
+
+  /// Dogmatic (uncertainty-free) opinion with P(true) = p.
+  [[nodiscard]] static Opinion dogmatic(double p, double base_rate = 0.5);
+
+  /// From evidence counts: r observations supporting, s contradicting
+  /// (Jøsang's bijection with the Beta(r+1, s+1) posterior, prior
+  /// strength W = 2).
+  [[nodiscard]] static Opinion from_evidence(double r, double s,
+                                             double base_rate = 0.5);
+
+  [[nodiscard]] double belief() const { return b_; }
+  [[nodiscard]] double disbelief() const { return d_; }
+  [[nodiscard]] double uncertainty() const { return u_; }
+  [[nodiscard]] double base_rate() const { return a_; }
+
+  /// Projected probability P = b + a * u (pignistic analogue).
+  [[nodiscard]] double projected() const { return b_ + a_ * u_; }
+
+  /// Cumulative fusion (aggregating independent sources about the same
+  /// proposition).
+  [[nodiscard]] Opinion fuse(const Opinion& other) const;
+
+  /// Averaging fusion (dependent sources / same evidence seen twice).
+  [[nodiscard]] Opinion average(const Opinion& other) const;
+
+  /// Trust discounting by a functional-trust opinion: the referral
+  /// weakens belief and disbelief into uncertainty.
+  [[nodiscard]] Opinion discount_by(const Opinion& trust) const;
+
+  /// Discounting by a scalar trust probability g in [0, 1].
+  [[nodiscard]] Opinion discount(double g) const;
+
+  /// Multiplication: opinion on (this AND other) for independent
+  /// propositions.
+  [[nodiscard]] Opinion conjoin(const Opinion& other) const;
+
+  /// Comultiplication: opinion on (this OR other).
+  [[nodiscard]] Opinion disjoin(const Opinion& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double b_, d_, u_, a_;
+};
+
+/// A structured assurance argument: a goal supported by sub-goals
+/// (conjunctive or disjunctive) or by leaf evidence, each support edge
+/// optionally discounted by the confidence in the inference rule itself.
+class AssuranceCase {
+ public:
+  using NodeId = std::size_t;
+
+  /// How a goal's supports combine.
+  enum class Kind { kLeaf, kConjunction, kDisjunction };
+
+  /// Adds a leaf claim backed by direct evidence.
+  NodeId add_evidence(const std::string& claim, Opinion opinion);
+
+  /// Adds a goal over existing nodes. `rule_trust` discounts every
+  /// child's contribution (confidence in the argumentation step).
+  NodeId add_goal(const std::string& claim, Kind kind,
+                  std::vector<NodeId> children, double rule_trust = 1.0);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const std::string& claim(NodeId id) const;
+
+  /// Propagated opinion on a node's claim.
+  [[nodiscard]] Opinion evaluate(NodeId id) const;
+
+  /// The node whose uncertainty contributes most to the root's: found by
+  /// replacing each leaf with certainty and measuring the improvement —
+  /// the place where further evidence buys the most confidence.
+  [[nodiscard]] NodeId weakest_leaf(NodeId root) const;
+
+ private:
+  struct Node {
+    std::string claim;
+    Kind kind;
+    Opinion opinion{0.0, 0.0, 1.0};
+    std::vector<NodeId> children;
+    double rule_trust = 1.0;
+  };
+  std::vector<Node> nodes_;
+
+  void check(NodeId id) const;
+  [[nodiscard]] Opinion evaluate_with(NodeId id, NodeId replaced,
+                                      const Opinion& replacement) const;
+};
+
+}  // namespace sysuq::evidence

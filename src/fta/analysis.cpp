@@ -1,0 +1,353 @@
+#include "fta/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sysuq::fta {
+
+namespace {
+
+// ----------------------------------------------------------- cut sets
+
+// Expands a node into its family of cut sets (sets of basic events).
+// Exponential in the worst case, as MOCUS is; minimization happens after.
+std::vector<CutSet> expand(const FaultTree& t, NodeId node) {
+  if (t.is_basic_event(node)) return {CutSet{node}};
+  const auto& ch = t.children(node);
+  switch (t.gate_type(node)) {
+    case GateType::kOr: {
+      std::vector<CutSet> out;
+      for (NodeId c : ch) {
+        auto sub = expand(t, c);
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      return out;
+    }
+    case GateType::kAnd: {
+      std::vector<CutSet> out{CutSet{}};
+      for (NodeId c : ch) {
+        const auto sub = expand(t, c);
+        std::vector<CutSet> next;
+        next.reserve(out.size() * sub.size());
+        for (const auto& a : out) {
+          for (const auto& b : sub) {
+            CutSet u = a;
+            u.insert(b.begin(), b.end());
+            next.push_back(std::move(u));
+          }
+        }
+        out = std::move(next);
+      }
+      return out;
+    }
+    case GateType::kKooN: {
+      // OR over all k-subsets of children, AND within each subset.
+      const std::size_t n = ch.size();
+      const std::size_t k = t.koon_k(node);
+      std::vector<CutSet> out;
+      std::vector<std::size_t> idx(k);
+      // Iterate combinations.
+      for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+      while (true) {
+        // AND of the selected children.
+        std::vector<CutSet> partial{CutSet{}};
+        for (std::size_t i = 0; i < k; ++i) {
+          const auto sub = expand(t, ch[idx[i]]);
+          std::vector<CutSet> next;
+          for (const auto& a : partial) {
+            for (const auto& b : sub) {
+              CutSet u = a;
+              u.insert(b.begin(), b.end());
+              next.push_back(std::move(u));
+            }
+          }
+          partial = std::move(next);
+        }
+        out.insert(out.end(), partial.begin(), partial.end());
+        // Next combination.
+        std::size_t i = k;
+        while (i-- > 0) {
+          if (idx[i] != i + n - k) {
+            ++idx[i];
+            for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+            break;
+          }
+          if (i == 0) return out;
+        }
+      }
+    }
+    case GateType::kNot:
+      throw std::logic_error("minimal_cut_sets: non-coherent tree (NOT gate)");
+  }
+  throw std::logic_error("minimal_cut_sets: unknown gate type");
+}
+
+std::vector<CutSet> minimize(std::vector<CutSet> cuts) {
+  // Remove duplicates and supersets.
+  std::sort(cuts.begin(), cuts.end(),
+            [](const CutSet& a, const CutSet& b) {
+              return a.size() != b.size() ? a.size() < b.size() : a < b;
+            });
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  std::vector<CutSet> minimal;
+  for (const auto& c : cuts) {
+    bool dominated = false;
+    for (const auto& m : minimal) {
+      if (std::includes(c.begin(), c.end(), m.begin(), m.end())) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal.push_back(c);
+  }
+  return minimal;
+}
+
+// ------------------------------------------------ exact probability
+
+// Basic events that must be conditioned on for independence of the
+// bottom-up pass: events reachable from any node with multiple parents,
+// plus events referenced more than once.
+std::vector<NodeId> shared_events(const FaultTree& t) {
+  std::vector<std::size_t> refcount(t.size(), 0);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    if (t.is_gate(i)) {
+      for (NodeId c : t.children(i)) ++refcount[c];
+    }
+  }
+  // Propagate "shared" downward: any node under a multiply-referenced
+  // node contributes shared basic events.
+  std::vector<bool> shared(t.size(), false);
+  for (NodeId i = t.size(); i-- > 0;) {
+    bool s = refcount[i] > 1 || shared[i];
+    if (s) shared[i] = true;
+    if (t.is_gate(i) && shared[i]) {
+      for (NodeId c : t.children(i)) shared[c] = true;
+    }
+  }
+  // Re-propagate until fixpoint (children have lower ids, single backward
+  // pass over decreasing ids suffices since children precede parents).
+  std::vector<NodeId> out;
+  for (NodeId e : t.basic_events()) {
+    if (shared[e] || refcount[e] > 1) out.push_back(e);
+  }
+  return out;
+}
+
+double bottom_up(const FaultTree& t,
+                 const std::map<NodeId, bool>& fixed) {
+  std::vector<double> p(t.size(), 0.0);
+  for (NodeId i = 0; i < t.size(); ++i) {
+    if (t.is_basic_event(i)) {
+      const auto it = fixed.find(i);
+      p[i] = (it != fixed.end()) ? (it->second ? 1.0 : 0.0) : t.probability(i);
+      continue;
+    }
+    const auto& ch = t.children(i);
+    switch (t.gate_type(i)) {
+      case GateType::kAnd: {
+        double v = 1.0;
+        for (NodeId c : ch) v *= p[c];
+        p[i] = v;
+        break;
+      }
+      case GateType::kOr: {
+        double v = 1.0;
+        for (NodeId c : ch) v *= 1.0 - p[c];
+        p[i] = 1.0 - v;
+        break;
+      }
+      case GateType::kKooN: {
+        // DP over children: dp[j] = P(exactly j of the first i fail).
+        std::vector<double> dp(ch.size() + 1, 0.0);
+        dp[0] = 1.0;
+        for (std::size_t ci = 0; ci < ch.size(); ++ci) {
+          const double q = p[ch[ci]];
+          for (std::size_t j = ci + 1; j-- > 0;) {
+            dp[j + 1] += dp[j] * q;
+            dp[j] *= 1.0 - q;
+          }
+        }
+        double v = 0.0;
+        for (std::size_t j = t.koon_k(i); j <= ch.size(); ++j) v += dp[j];
+        p[i] = v;
+        break;
+      }
+      case GateType::kNot:
+        p[i] = 1.0 - p[t.children(i)[0]];
+        break;
+    }
+  }
+  return p[t.top()];
+}
+
+double conditioned(const FaultTree& t, const std::vector<NodeId>& to_fix,
+                   std::size_t next, std::map<NodeId, bool>& fixed) {
+  if (next == to_fix.size()) return bottom_up(t, fixed);
+  const NodeId e = to_fix[next];
+  const double pe = t.probability(e);
+  fixed[e] = true;
+  const double p1 = conditioned(t, to_fix, next + 1, fixed);
+  fixed[e] = false;
+  const double p0 = conditioned(t, to_fix, next + 1, fixed);
+  fixed.erase(e);
+  return pe * p1 + (1.0 - pe) * p0;
+}
+
+}  // namespace
+
+std::vector<CutSet> minimal_cut_sets(const FaultTree& tree) {
+  tree.validate();
+  if (!tree.is_coherent())
+    throw std::logic_error("minimal_cut_sets: non-coherent tree");
+  return minimize(expand(tree, tree.top()));
+}
+
+double exact_top_probability(const FaultTree& tree) {
+  tree.validate();
+  const auto shared = shared_events(tree);
+  if (shared.size() > 24)
+    throw std::logic_error("exact_top_probability: too many shared events");
+  std::map<NodeId, bool> fixed;
+  return conditioned(tree, shared, 0, fixed);
+}
+
+double rare_event_approximation(const FaultTree& tree) {
+  double total = 0.0;
+  for (const auto& cut : minimal_cut_sets(tree)) {
+    double prod = 1.0;
+    for (NodeId e : cut) prod *= tree.probability(e);
+    total += prod;
+  }
+  return total;
+}
+
+double min_cut_upper_bound(const FaultTree& tree) {
+  double surv = 1.0;
+  for (const auto& cut : minimal_cut_sets(tree)) {
+    double prod = 1.0;
+    for (NodeId e : cut) prod *= tree.probability(e);
+    surv *= 1.0 - prod;
+  }
+  return 1.0 - surv;
+}
+
+ImportanceMeasures importance(const FaultTree& tree, NodeId basic_event) {
+  if (!tree.is_basic_event(basic_event))
+    throw std::invalid_argument("importance: not a basic event");
+  FaultTree work = tree;  // value copy; we mutate probabilities
+  const double p = tree.probability(basic_event);
+  const double p_top = exact_top_probability(tree);
+
+  work.set_probability(basic_event, 1.0);
+  const double p_given_1 = exact_top_probability(work);
+  work.set_probability(basic_event, 0.0);
+  const double p_given_0 = exact_top_probability(work);
+
+  ImportanceMeasures m{};
+  m.birnbaum = p_given_1 - p_given_0;
+  if (!(p_top > 0.0))
+    throw std::domain_error("importance: P(top) = 0");
+  m.criticality = m.birnbaum * p / p_top;
+  m.raw = p_given_1 / p_top;
+  m.rrw = p_given_0 > 0.0 ? p_top / p_given_0
+                          : std::numeric_limits<double>::infinity();
+
+  // Fussell-Vesely: probability that at least one cut set containing the
+  // event occurs, evaluated exactly on a synthetic OR-of-ANDs tree.
+  std::vector<CutSet> cuts;
+  for (const auto& c : minimal_cut_sets(tree)) {
+    if (c.contains(basic_event)) cuts.push_back(c);
+  }
+  if (cuts.empty()) {
+    m.fussell_vesely = 0.0;
+    return m;
+  }
+  FaultTree fv;
+  std::unordered_map<NodeId, NodeId> remap;
+  for (NodeId e : tree.basic_events())
+    remap[e] = fv.add_basic_event(tree.name(e), tree.probability(e));
+  std::vector<NodeId> ands;
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    std::vector<NodeId> members;
+    for (NodeId e : cuts[i]) members.push_back(remap[e]);
+    if (members.size() == 1) {
+      ands.push_back(members[0]);
+    } else {
+      ands.push_back(fv.add_gate("cut" + std::to_string(i), GateType::kAnd,
+                                 std::move(members)));
+    }
+  }
+  const NodeId top = ands.size() == 1
+                         ? ands[0]
+                         : fv.add_gate("any_cut", GateType::kOr, std::move(ands));
+  fv.set_top(top);
+  m.fussell_vesely = exact_top_probability(fv) / p_top;
+  return m;
+}
+
+prob::ProbInterval interval_top_probability(
+    const FaultTree& tree, const std::vector<prob::ProbInterval>& bounds) {
+  tree.validate();
+  if (!tree.is_coherent())
+    throw std::logic_error("interval_top_probability: non-coherent tree");
+  const auto events = tree.basic_events();
+  if (bounds.size() != events.size())
+    throw std::invalid_argument("interval_top_probability: bounds size");
+  FaultTree lo = tree, hi = tree;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    lo.set_probability(events[i], bounds[i].lo());
+    hi.set_probability(events[i], bounds[i].hi());
+  }
+  // Coherent structure functions are monotone in every component
+  // probability, so the extremes are attained at the bound corners.
+  return {exact_top_probability(lo), exact_top_probability(hi)};
+}
+
+std::vector<double> sample_top_probabilities(
+    const FaultTree& tree,
+    const std::function<double(std::size_t, prob::Rng&)>& sampler,
+    std::size_t n, prob::Rng& rng) {
+  tree.validate();
+  if (n == 0) throw std::invalid_argument("sample_top_probabilities: n == 0");
+  const auto events = tree.basic_events();
+  FaultTree work = tree;
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      work.set_probability(events[i],
+                           std::clamp(sampler(i, rng), 0.0, 1.0));
+    }
+    out.push_back(exact_top_probability(work));
+  }
+  return out;
+}
+
+std::vector<std::pair<double, prob::ProbInterval>> fuzzy_top_probability(
+    const FaultTree& tree, const std::vector<prob::TriangularFuzzy>& fuzzy_probs,
+    std::size_t levels) {
+  tree.validate();
+  if (levels == 0) throw std::invalid_argument("fuzzy_top_probability: levels");
+  const auto events = tree.basic_events();
+  if (fuzzy_probs.size() != events.size())
+    throw std::invalid_argument("fuzzy_top_probability: fuzzy count");
+  std::vector<std::pair<double, prob::ProbInterval>> out;
+  out.reserve(levels);
+  for (std::size_t l = 1; l <= levels; ++l) {
+    const double alpha = static_cast<double>(l) / static_cast<double>(levels);
+    std::vector<prob::ProbInterval> bounds;
+    bounds.reserve(events.size());
+    for (const auto& f : fuzzy_probs) {
+      const auto [lo, hi] = f.alpha_cut(alpha);
+      bounds.emplace_back(std::clamp(lo, 0.0, 1.0), std::clamp(hi, 0.0, 1.0));
+    }
+    out.emplace_back(alpha, interval_top_probability(tree, bounds));
+  }
+  return out;
+}
+
+}  // namespace sysuq::fta

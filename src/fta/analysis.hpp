@@ -1,0 +1,77 @@
+// Quantitative fault-tree analysis: minimal cut sets, exact top-event
+// probability, approximations, and importance measures.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "fta/fault_tree.hpp"
+#include "prob/rng.hpp"
+
+namespace sysuq::fta {
+
+/// A cut set: a set of basic events whose joint occurrence causes the top
+/// event.
+using CutSet = std::set<NodeId>;
+
+/// Minimal cut sets by MOCUS-style top-down expansion followed by
+/// minimization. Requires a coherent tree (no NOT gates); KooN gates are
+/// expanded into their k-subsets.
+[[nodiscard]] std::vector<CutSet> minimal_cut_sets(const FaultTree& tree);
+
+/// Exact top-event probability assuming independent basic events.
+/// Shared (repeated) basic events are handled by Shannon conditioning;
+/// unshared subtrees evaluate bottom-up in closed form.
+[[nodiscard]] double exact_top_probability(const FaultTree& tree);
+
+/// Rare-event approximation from cut sets: sum of cut-set products.
+/// Upper-bounds the exact probability for coherent trees.
+[[nodiscard]] double rare_event_approximation(const FaultTree& tree);
+
+/// Min-cut upper bound: 1 - prod_k (1 - P(cut_k)). Exact when cut sets
+/// are disjoint; otherwise an upper bound for coherent trees.
+[[nodiscard]] double min_cut_upper_bound(const FaultTree& tree);
+
+/// Importance measures for one basic event.
+struct ImportanceMeasures {
+  double birnbaum;        ///< dP(top)/dp_i = P(top | x_i=1) - P(top | x_i=0)
+  double criticality;     ///< birnbaum * p_i / P(top)
+  double fussell_vesely;  ///< P(some cut set containing i occurs) / P(top)
+  double raw;             ///< risk achievement worth: P(top | x_i=1)/P(top)
+  double rrw;             ///< risk reduction worth:   P(top)/P(top | x_i=0)
+};
+
+/// Computes the standard importance measures for a basic event
+/// (coherent trees; throws if P(top) is 0 or 1 degenerate where a ratio
+/// would divide by zero).
+[[nodiscard]] ImportanceMeasures importance(const FaultTree& tree,
+                                            NodeId basic_event);
+
+/// Interval top-event probability for a coherent tree when each basic
+/// event's probability is only known to lie in an interval: by
+/// monotonicity of coherent structures, evaluate at all-lower and
+/// all-upper bounds. `bounds` is indexed parallel to tree.basic_events().
+[[nodiscard]] prob::ProbInterval interval_top_probability(
+    const FaultTree& tree, const std::vector<prob::ProbInterval>& bounds);
+
+/// Epistemic (parameter) uncertainty propagation a la probabilistic risk
+/// assessment: basic-event probabilities are themselves uncertain, drawn
+/// from `sampler(event_index, rng)` (clamped to [0, 1]); returns `n`
+/// samples of the exact top-event probability. Feed the result to
+/// prob::quantile for the PRA percentile curves.
+[[nodiscard]] std::vector<double> sample_top_probabilities(
+    const FaultTree& tree,
+    const std::function<double(std::size_t, prob::Rng&)>& sampler,
+    std::size_t n, prob::Rng& rng);
+
+/// Fuzzy top-event probability (Tanaka et al. 1983) for a coherent tree
+/// with triangular fuzzy basic-event probabilities: alpha-cut intervals of
+/// the top probability at the given resolution. Returns pairs
+/// (alpha, interval) for alpha = 1/levels .. 1.
+[[nodiscard]] std::vector<std::pair<double, prob::ProbInterval>>
+fuzzy_top_probability(const FaultTree& tree,
+                      const std::vector<prob::TriangularFuzzy>& fuzzy_probs,
+                      std::size_t levels = 10);
+
+}  // namespace sysuq::fta

@@ -1,0 +1,113 @@
+// Dynamic fault trees (Dugan, Bavuso & Boyd 1992 — the paper's cited FTA
+// extension [33]) and the continuous-time Markov chain engine they
+// compile to.
+//
+// Static FTA cannot express order-dependent failure logic (priority-AND)
+// or standby redundancy (spares) — exactly the "more complex aspects of
+// analysis" the paper grants the extensions. A DynamicFaultTree is
+// compiled by state-space generation into a CTMC and solved transiently
+// by uniformization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sysuq::fta {
+
+/// A finite continuous-time Markov chain (rate matrix form).
+class Ctmc {
+ public:
+  /// `rates[i][j]` is the transition rate i -> j (i != j, >= 0).
+  explicit Ctmc(std::vector<std::vector<double>> rates);
+
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] double rate(std::size_t from, std::size_t to) const;
+  /// Total exit rate of a state.
+  [[nodiscard]] double exit_rate(std::size_t s) const;
+
+  /// Transient distribution at time t from an initial distribution, via
+  /// uniformization with truncation error below `tol`.
+  [[nodiscard]] std::vector<double> transient(
+      const std::vector<double>& initial, double t, double tol = 1e-12) const;
+
+ private:
+  std::vector<std::vector<double>> q_;
+};
+
+/// Gate types of the dynamic fault tree layer.
+enum class DynGateType {
+  kAnd,    ///< all inputs failed
+  kOr,     ///< any input failed
+  kKooN,   ///< at least k inputs failed
+  kPand,   ///< all inputs failed, strictly in left-to-right order
+  kSpare,  ///< primary plus standby spares, exhausted in order
+};
+
+/// A dynamic fault tree over exponentially distributed basic events.
+///
+/// Restrictions (standard for state-space DFT tools): PAND and SPARE
+/// inputs must be basic events; each basic event feeds at most one SPARE
+/// gate; at most 20 basic events (state space 2^n).
+class DynamicFaultTree {
+ public:
+  using NodeId = std::size_t;
+
+  /// Adds a basic event with failure rate lambda > 0.
+  NodeId add_basic_event(const std::string& name, double lambda);
+
+  /// Adds a gate; for kKooN pass k; for kSpare pass the dormancy factor
+  /// alpha in [0, 1] (0 = cold spare, 1 = hot spare) — the first child is
+  /// the primary, the rest are spares in activation order.
+  NodeId add_gate(const std::string& name, DynGateType type,
+                  std::vector<NodeId> children, std::size_t k = 0,
+                  double dormancy = 1.0);
+
+  /// Declares the top event.
+  void set_top(NodeId id);
+
+  [[nodiscard]] std::size_t basic_event_count() const;
+  [[nodiscard]] NodeId id_of(const std::string& name) const;
+
+  /// Unreliability F(t) = P(top event by time t), exactly, via the
+  /// compiled CTMC.
+  [[nodiscard]] double unreliability(double t) const;
+
+  /// F(t) at several time points (shares one CTMC compilation).
+  [[nodiscard]] std::vector<double> unreliability_curve(
+      const std::vector<double>& times) const;
+
+  /// Number of states in the compiled CTMC (diagnostic).
+  [[nodiscard]] std::size_t compiled_state_count() const;
+
+ private:
+  struct Node {
+    std::string name;
+    bool is_basic;
+    double lambda = 0.0;
+    DynGateType type = DynGateType::kAnd;
+    std::vector<NodeId> children;
+    std::size_t k = 0;
+    double dormancy = 1.0;
+  };
+
+  std::vector<Node> nodes_;
+  std::size_t top_ = SIZE_MAX;
+
+  struct Compiled {
+    Ctmc chain;
+    std::vector<double> initial;
+    std::vector<bool> failed_state;  ///< per CTMC state: top event fired?
+  };
+  [[nodiscard]] Compiled compile() const;
+
+  // Failure-order-aware structure evaluation for one CTMC macro state.
+  [[nodiscard]] bool evaluate(std::uint32_t failed_mask,
+                              std::uint32_t pand_violated,
+                              const std::vector<NodeId>& events) const;
+  [[nodiscard]] std::vector<NodeId> basic_events() const;
+  void check_id(NodeId id) const;
+};
+
+}  // namespace sysuq::fta

@@ -1,0 +1,91 @@
+#include "fta/event_tree.hpp"
+
+#include <stdexcept>
+
+namespace sysuq::fta {
+
+EventTree::EventTree(std::string initiating_event, double initiator_frequency)
+    : init_name_(std::move(initiating_event)), init_freq_(initiator_frequency) {
+  if (init_name_.empty()) throw std::invalid_argument("EventTree: empty name");
+  if (initiator_frequency < 0.0 || initiator_frequency > 1.0)
+    throw std::invalid_argument("EventTree: initiator frequency outside [0, 1]");
+}
+
+std::size_t EventTree::add_barrier(const std::string& name,
+                                   prob::ProbInterval success_probability) {
+  if (name.empty()) throw std::invalid_argument("EventTree: empty barrier name");
+  if (barriers_.size() >= 20)
+    throw std::invalid_argument("EventTree: too many barriers");
+  for (const auto& b : barriers_) {
+    if (b.name == name)
+      throw std::invalid_argument("EventTree: duplicate barrier '" + name + "'");
+  }
+  barriers_.push_back(Barrier{name, success_probability});
+  consequence_names_.clear();  // sequence space changed
+  return barriers_.size() - 1;
+}
+
+void EventTree::ensure_consequences() {
+  const std::size_t n = std::size_t{1} << barriers_.size();
+  if (consequence_names_.size() != n) {
+    consequence_names_.assign(n, "");
+  }
+}
+
+void EventTree::set_consequence(const std::vector<bool>& status,
+                                const std::string& name) {
+  if (status.size() != barriers_.size())
+    throw std::invalid_argument("EventTree: status size != barrier count");
+  if (name.empty()) throw std::invalid_argument("EventTree: empty consequence");
+  ensure_consequences();
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < status.size(); ++i) {
+    if (status[i]) idx |= std::size_t{1} << i;
+  }
+  consequence_names_[idx] = name;
+}
+
+std::vector<EventTree::Outcome> EventTree::outcomes() const {
+  const std::size_t n = barriers_.size();
+  const std::size_t total = std::size_t{1} << n;
+  std::vector<Outcome> out;
+  out.reserve(total);
+  for (std::size_t seq = 0; seq < total; ++seq) {
+    Outcome o;
+    o.status.resize(n);
+    prob::ProbInterval f(init_freq_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool ok = (seq >> i) & 1u;
+      o.status[i] = ok;
+      f = f * (ok ? barriers_[i].success : barriers_[i].success.complement());
+    }
+    o.frequency = f;
+    if (seq < consequence_names_.size() && !consequence_names_[seq].empty()) {
+      o.consequence = consequence_names_[seq];
+    } else {
+      std::string bits;
+      for (std::size_t i = 0; i < n; ++i) bits += o.status[i] ? 'S' : 'F';
+      o.consequence = "sequence-" + (n == 0 ? std::string("-") : bits);
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+prob::ProbInterval EventTree::consequence_frequency(
+    const std::string& name) const {
+  double lo = 0.0, hi = 0.0;
+  bool found = false;
+  for (const auto& o : outcomes()) {
+    if (o.consequence == name) {
+      lo += o.frequency.lo();
+      hi += o.frequency.hi();
+      found = true;
+    }
+  }
+  if (!found)
+    throw std::invalid_argument("EventTree: no consequence '" + name + "'");
+  return {std::min(lo, 1.0), std::min(hi, 1.0)};
+}
+
+}  // namespace sysuq::fta

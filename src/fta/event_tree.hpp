@@ -1,0 +1,70 @@
+// Event trees: forward consequence analysis from an initiating event
+// through a sequence of mitigation barriers (paper ref [35], Ferdous et
+// al.: "fault and event tree analyses for process systems risk analysis:
+// uncertainty handling formulations").
+//
+// Where a fault tree asks "what combinations cause the top event?", an
+// event tree asks "given the initiator, which outcome do we land in?".
+// Barrier success probabilities may be crisp or interval-valued; interval
+// analysis yields guaranteed bounds per outcome sequence.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "prob/interval.hpp"
+
+namespace sysuq::fta {
+
+/// An event tree: an initiating event frequency and an ordered list of
+/// barriers, each of which independently succeeds or fails. Outcomes are
+/// the 2^n barrier-status sequences, mapped to named consequences.
+class EventTree {
+ public:
+  /// `initiator_frequency` — per-demand probability (or per-year rate)
+  /// of the initiating event.
+  EventTree(std::string initiating_event, double initiator_frequency);
+
+  /// Appends a barrier with its success-probability interval (pass a
+  /// degenerate interval for a crisp value). Returns the barrier index.
+  std::size_t add_barrier(const std::string& name,
+                          prob::ProbInterval success_probability);
+
+  /// Names the consequence of a full barrier-status sequence (`status`
+  /// bit i = barrier i succeeded). Unnamed sequences default to
+  /// "sequence-<bits>".
+  void set_consequence(const std::vector<bool>& status, const std::string& name);
+
+  [[nodiscard]] std::size_t barrier_count() const { return barriers_.size(); }
+  [[nodiscard]] const std::string& initiating_event() const { return init_name_; }
+
+  /// One outcome row of the quantified tree.
+  struct Outcome {
+    std::vector<bool> status;              ///< per-barrier success flags
+    std::string consequence;
+    prob::ProbInterval frequency{0.0};     ///< initiator x branch probabilities
+  };
+
+  /// All 2^n outcome sequences with guaranteed frequency bounds.
+  [[nodiscard]] std::vector<Outcome> outcomes() const;
+
+  /// Total frequency bounds of outcomes whose consequence matches `name`
+  /// (sums the matching sequences' bounds).
+  [[nodiscard]] prob::ProbInterval consequence_frequency(
+      const std::string& name) const;
+
+ private:
+  struct Barrier {
+    std::string name;
+    prob::ProbInterval success;
+  };
+  std::string init_name_;
+  double init_freq_;
+  std::vector<Barrier> barriers_;
+  std::vector<std::string> consequence_names_;  // 2^n entries, lazily sized
+
+  void ensure_consequences();
+};
+
+}  // namespace sysuq::fta

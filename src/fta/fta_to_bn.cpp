@@ -1,0 +1,56 @@
+#include "fta/fta_to_bn.hpp"
+
+#include <stdexcept>
+
+namespace sysuq::fta {
+
+CompiledNetwork compile_to_bayesnet(const FaultTree& tree) {
+  tree.validate();
+  CompiledNetwork out;
+  out.node_map.resize(tree.size());
+
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    out.node_map[i] =
+        out.network.add_variable(tree.name(i), {"ok", "failed"});
+  }
+
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    const auto bn_id = out.node_map[i];
+    if (tree.is_basic_event(i)) {
+      const double p = tree.probability(i);
+      out.network.set_cpt(bn_id, {},
+                          {prob::Categorical({1.0 - p, p})});
+      continue;
+    }
+    const auto& ch = tree.children(i);
+    std::vector<bayesnet::VariableId> parents;
+    parents.reserve(ch.size());
+    for (NodeId c : ch) parents.push_back(out.node_map[c]);
+
+    const std::size_t rows = std::size_t{1} << ch.size();
+    std::vector<prob::Categorical> cpt;
+    cpt.reserve(rows);
+    for (std::size_t cfg = 0; cfg < rows; ++cfg) {
+      // Bit b of cfg is child b's state with the LAST parent varying
+      // fastest: child j corresponds to bit (n - 1 - j); state 1 = failed.
+      std::size_t failed = 0;
+      for (std::size_t j = 0; j < ch.size(); ++j) {
+        failed += (cfg >> (ch.size() - 1 - j)) & 1u;
+      }
+      bool fires = false;
+      switch (tree.gate_type(i)) {
+        case GateType::kAnd: fires = failed == ch.size(); break;
+        case GateType::kOr: fires = failed >= 1; break;
+        case GateType::kKooN: fires = failed >= tree.koon_k(i); break;
+        case GateType::kNot: fires = failed == 0; break;
+      }
+      cpt.push_back(prob::Categorical::delta(fires ? 1 : 0, 2));
+    }
+    out.network.set_cpt(bn_id, std::move(parents), std::move(cpt));
+  }
+
+  out.top = out.node_map[tree.top()];
+  return out;
+}
+
+}  // namespace sysuq::fta

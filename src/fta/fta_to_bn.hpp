@@ -1,0 +1,26 @@
+// Compiles a fault tree into an equivalent Bayesian network.
+//
+// This realizes the paper's Sec. V observation that the BN approach
+// "allows hierarchical refinement analogous to FTA": basic events become
+// Bernoulli roots, gates become deterministic CPT nodes, and standard BN
+// inference reproduces FTA's quantitative results — while also supporting
+// everything FTA cannot express (diagnosis, soft evidence, extra states).
+#pragma once
+
+#include "bayesnet/network.hpp"
+#include "fta/fault_tree.hpp"
+
+namespace sysuq::fta {
+
+/// Result of the compilation: the network plus the id mapping.
+struct CompiledNetwork {
+  bayesnet::BayesianNetwork network;
+  std::vector<bayesnet::VariableId> node_map;  ///< FTA NodeId -> BN VariableId
+  bayesnet::VariableId top;                    ///< BN id of the top event
+};
+
+/// Compiles the fault tree. Every node becomes a binary variable with
+/// states {"ok", "failed"}; gate CPTs are deterministic.
+[[nodiscard]] CompiledNetwork compile_to_bayesnet(const FaultTree& tree);
+
+}  // namespace sysuq::fta

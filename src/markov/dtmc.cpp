@@ -1,0 +1,303 @@
+#include "markov/dtmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace sysuq::markov {
+
+void Dtmc::check(StateId s) const {
+  if (s >= names_.size()) throw std::out_of_range("Dtmc: bad state id");
+}
+
+StateId Dtmc::add_state(const std::string& name) {
+  if (name.empty()) throw std::invalid_argument("Dtmc: empty state name");
+  for (const auto& n : names_) {
+    if (n == name) throw std::invalid_argument("Dtmc: duplicate state '" + name + "'");
+  }
+  names_.push_back(name);
+  for (auto& row : p_) row.push_back(0.0);
+  p_.emplace_back(names_.size(), 0.0);
+  return names_.size() - 1;
+}
+
+void Dtmc::set_transition(StateId from, StateId to, double p) {
+  check(from);
+  check(to);
+  if (!std::isfinite(p) || p < 0.0 || p > 1.0)
+    throw std::invalid_argument("Dtmc: probability outside [0, 1]");
+  p_[from][to] = p;
+}
+
+const std::string& Dtmc::name(StateId s) const {
+  check(s);
+  return names_[s];
+}
+
+StateId Dtmc::id_of(const std::string& name) const {
+  for (StateId s = 0; s < names_.size(); ++s) {
+    if (names_[s] == name) return s;
+  }
+  throw std::invalid_argument("Dtmc: no state '" + name + "'");
+}
+
+double Dtmc::transition(StateId from, StateId to) const {
+  check(from);
+  check(to);
+  return p_[from][to];
+}
+
+void Dtmc::validate() const {
+  if (names_.empty()) throw std::logic_error("Dtmc: empty chain");
+  for (StateId s = 0; s < size(); ++s) {
+    const double sum = std::accumulate(p_[s].begin(), p_[s].end(), 0.0);
+    if (std::fabs(sum - 1.0) > 1e-9)
+      throw std::logic_error("Dtmc: row '" + names_[s] + "' sums to " +
+                             std::to_string(sum));
+  }
+}
+
+std::vector<double> Dtmc::reachability(const std::vector<StateId>& targets,
+                                       double tol, std::size_t max_iters) const {
+  validate();
+  if (targets.empty()) throw std::invalid_argument("Dtmc: no targets");
+  std::vector<bool> is_target(size(), false);
+  for (StateId t : targets) {
+    check(t);
+    is_target[t] = true;
+  }
+  std::vector<double> x(size(), 0.0);
+  for (StateId s = 0; s < size(); ++s) x[s] = is_target[s] ? 1.0 : 0.0;
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    double delta = 0.0;
+    std::vector<double> nx(size());
+    for (StateId s = 0; s < size(); ++s) {
+      if (is_target[s]) {
+        nx[s] = 1.0;
+        continue;
+      }
+      double v = 0.0;
+      for (StateId t = 0; t < size(); ++t) v += p_[s][t] * x[t];
+      nx[s] = v;
+      delta = std::max(delta, std::fabs(v - x[s]));
+    }
+    x = std::move(nx);
+    if (delta < tol) break;
+  }
+  return x;
+}
+
+std::vector<double> Dtmc::bounded_reachability(
+    const std::vector<StateId>& targets, std::size_t k) const {
+  std::vector<bool> safe(size(), true);
+  return bounded_until(safe, targets, k);
+}
+
+std::vector<double> Dtmc::bounded_until(const std::vector<bool>& safe,
+                                        const std::vector<StateId>& targets,
+                                        std::size_t k) const {
+  validate();
+  if (safe.size() != size())
+    throw std::invalid_argument("Dtmc: safe vector size mismatch");
+  if (targets.empty()) throw std::invalid_argument("Dtmc: no targets");
+  std::vector<bool> is_target(size(), false);
+  for (StateId t : targets) {
+    check(t);
+    is_target[t] = true;
+  }
+  std::vector<double> x(size(), 0.0);
+  for (StateId s = 0; s < size(); ++s) x[s] = is_target[s] ? 1.0 : 0.0;
+  for (std::size_t step = 0; step < k; ++step) {
+    std::vector<double> nx(size(), 0.0);
+    for (StateId s = 0; s < size(); ++s) {
+      if (is_target[s]) {
+        nx[s] = 1.0;
+      } else if (safe[s]) {
+        double v = 0.0;
+        for (StateId t = 0; t < size(); ++t) v += p_[s][t] * x[t];
+        nx[s] = v;
+      }  // unsafe non-target states stay 0
+    }
+    x = std::move(nx);
+  }
+  return x;
+}
+
+std::vector<double> Dtmc::stationary(double tol, std::size_t max_iters) const {
+  validate();
+  std::vector<double> x(size(), 1.0 / static_cast<double>(size()));
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    std::vector<double> nx(size(), 0.0);
+    for (StateId s = 0; s < size(); ++s) {
+      for (StateId t = 0; t < size(); ++t) nx[t] += x[s] * p_[s][t];
+    }
+    double delta = 0.0;
+    for (StateId s = 0; s < size(); ++s) delta = std::max(delta, std::fabs(nx[s] - x[s]));
+    x = std::move(nx);
+    if (delta < tol) break;
+  }
+  return x;
+}
+
+std::vector<double> Dtmc::expected_steps_to(const std::vector<StateId>& targets,
+                                            double tol,
+                                            std::size_t max_iters) const {
+  validate();
+  const auto reach = reachability(targets);
+  std::vector<bool> is_target(size(), false);
+  for (StateId t : targets) is_target[t] = true;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> x(size(), 0.0);
+  for (StateId s = 0; s < size(); ++s) {
+    if (!is_target[s] && reach[s] < 1.0 - 1e-9) x[s] = kInf;
+  }
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    double delta = 0.0;
+    std::vector<double> nx(size(), 0.0);
+    for (StateId s = 0; s < size(); ++s) {
+      if (is_target[s]) continue;
+      if (x[s] == kInf) {
+        nx[s] = kInf;
+        continue;
+      }
+      double v = 1.0;
+      for (StateId t = 0; t < size(); ++t) {
+        if (p_[s][t] > 0.0) {
+          if (x[t] == kInf) {
+            v = kInf;
+            break;
+          }
+          v += p_[s][t] * x[t];
+        }
+      }
+      nx[s] = v;
+      if (v != kInf) delta = std::max(delta, std::fabs(v - x[s]));
+    }
+    x = std::move(nx);
+    if (delta < tol) break;
+  }
+  return x;
+}
+
+std::vector<StateId> Dtmc::simulate(StateId start, std::size_t steps,
+                                    prob::Rng& rng) const {
+  validate();
+  check(start);
+  std::vector<StateId> path{start};
+  StateId cur = start;
+  for (std::size_t i = 0; i < steps; ++i) {
+    cur = rng.categorical(p_[cur]);
+    path.push_back(cur);
+  }
+  return path;
+}
+
+// ------------------------------------------------------------ IntervalDtmc
+
+IntervalDtmc::IntervalDtmc(std::vector<std::string> names)
+    : names_(std::move(names)) {
+  if (names_.empty()) throw std::invalid_argument("IntervalDtmc: no states");
+  p_.assign(names_.size(),
+            std::vector<prob::ProbInterval>(names_.size(),
+                                            prob::ProbInterval(0.0)));
+}
+
+void IntervalDtmc::check(StateId s) const {
+  if (s >= names_.size()) throw std::out_of_range("IntervalDtmc: state id");
+}
+
+const std::string& IntervalDtmc::name(StateId s) const {
+  check(s);
+  return names_[s];
+}
+
+void IntervalDtmc::set_transition(StateId from, StateId to, prob::ProbInterval p) {
+  check(from);
+  check(to);
+  p_[from][to] = p;
+}
+
+void IntervalDtmc::validate() const {
+  for (StateId s = 0; s < size(); ++s) {
+    double lo = 0.0, hi = 0.0;
+    for (StateId t = 0; t < size(); ++t) {
+      lo += p_[s][t].lo();
+      hi += p_[s][t].hi();
+    }
+    if (lo > 1.0 + 1e-12 || hi < 1.0 - 1e-12)
+      throw std::logic_error("IntervalDtmc: row '" + names_[s] +
+                             "' admits no distribution");
+  }
+}
+
+namespace {
+
+// Extreme of sum_t p_t x_t over {p in box, sum p = 1}: greedy budget
+// allocation (same LP as the credal layer).
+double extreme_row(const std::vector<prob::ProbInterval>& row,
+                   const std::vector<double>& x, bool maximize) {
+  double budget = 1.0, value = 0.0;
+  for (std::size_t t = 0; t < row.size(); ++t) {
+    budget -= row[t].lo();
+    value += row[t].lo() * x[t];
+  }
+  std::vector<std::size_t> order(row.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return maximize ? x[a] > x[b] : x[a] < x[b];
+  });
+  for (std::size_t idx : order) {
+    if (budget <= 0.0) break;
+    const double take = std::min(row[idx].width(), budget);
+    value += take * x[idx];
+    budget -= take;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::vector<prob::ProbInterval> IntervalDtmc::bounded_reachability(
+    const std::vector<StateId>& targets, std::size_t k) const {
+  validate();
+  if (targets.empty()) throw std::invalid_argument("IntervalDtmc: no targets");
+  std::vector<bool> is_target(size(), false);
+  for (StateId t : targets) {
+    check(t);
+    is_target[t] = true;
+  }
+  std::vector<double> lo(size(), 0.0), hi(size(), 0.0);
+  for (StateId s = 0; s < size(); ++s) lo[s] = hi[s] = is_target[s] ? 1.0 : 0.0;
+  for (std::size_t step = 0; step < k; ++step) {
+    std::vector<double> nlo(size()), nhi(size());
+    for (StateId s = 0; s < size(); ++s) {
+      if (is_target[s]) {
+        nlo[s] = nhi[s] = 1.0;
+        continue;
+      }
+      nlo[s] = std::clamp(extreme_row(p_[s], lo, false), 0.0, 1.0);
+      nhi[s] = std::clamp(extreme_row(p_[s], hi, true), 0.0, 1.0);
+    }
+    lo = std::move(nlo);
+    hi = std::move(nhi);
+  }
+  std::vector<prob::ProbInterval> out;
+  out.reserve(size());
+  for (StateId s = 0; s < size(); ++s)
+    out.emplace_back(std::min(lo[s], hi[s]), std::max(lo[s], hi[s]));
+  return out;
+}
+
+bool IntervalDtmc::contains(const Dtmc& chain) const {
+  if (chain.size() != size()) return false;
+  for (StateId s = 0; s < size(); ++s) {
+    for (StateId t = 0; t < size(); ++t) {
+      if (!p_[s][t].contains(chain.transition(s, t))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sysuq::markov

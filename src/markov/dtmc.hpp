@@ -1,0 +1,113 @@
+// Discrete-time Markov chains and PCTL-style verification.
+//
+// The paper lists "verification with probabilistic formal methods"
+// (refs [9], [10]) among the uncertainty-removal methods; this module is
+// that substrate: reachability, bounded until, steady state — plus the
+// *interval* DTMC variant where transition probabilities carry epistemic
+// imprecision and verification returns guaranteed bounds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "prob/interval.hpp"
+#include "prob/rng.hpp"
+
+namespace sysuq::markov {
+
+/// State index within a chain.
+using StateId = std::size_t;
+
+/// A finite discrete-time Markov chain with named states.
+class Dtmc {
+ public:
+  /// Adds a state; returns its id. Names must be unique and non-empty.
+  StateId add_state(const std::string& name);
+
+  /// Sets P(from -> to) = p. Entries default to 0; each row must sum to
+  /// 1 (checked by validate()).
+  void set_transition(StateId from, StateId to, double p);
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] const std::string& name(StateId s) const;
+  [[nodiscard]] StateId id_of(const std::string& name) const;
+  [[nodiscard]] double transition(StateId from, StateId to) const;
+
+  /// Throws std::logic_error unless every row sums to 1 (within 1e-9).
+  void validate() const;
+
+  /// Probability of reaching any state in `targets` from each state
+  /// (unbounded reachability), by iterative fixed point to `tol`.
+  [[nodiscard]] std::vector<double> reachability(
+      const std::vector<StateId>& targets, double tol = 1e-12,
+      std::size_t max_iters = 1000000) const;
+
+  /// P(reach targets within k steps) from each state (bounded until with
+  /// trivial left operand; PCTL P[F<=k target]).
+  [[nodiscard]] std::vector<double> bounded_reachability(
+      const std::vector<StateId>& targets, std::size_t k) const;
+
+  /// PCTL until: P[ safe U<=k target ] from each state — the probability
+  /// of reaching a target within k steps while only passing safe states.
+  [[nodiscard]] std::vector<double> bounded_until(
+      const std::vector<bool>& safe, const std::vector<StateId>& targets,
+      std::size_t k) const;
+
+  /// Stationary distribution by power iteration from uniform (requires
+  /// an ergodic chain to be meaningful; returns the iterate after
+  /// convergence or max_iters).
+  [[nodiscard]] std::vector<double> stationary(double tol = 1e-12,
+                                               std::size_t max_iters = 100000) const;
+
+  /// Expected number of steps to reach `targets` from each state
+  /// (infinity where unreachable); iterative evaluation.
+  [[nodiscard]] std::vector<double> expected_steps_to(
+      const std::vector<StateId>& targets, double tol = 1e-10,
+      std::size_t max_iters = 1000000) const;
+
+  /// Simulates one trajectory of `steps` transitions from `start`.
+  [[nodiscard]] std::vector<StateId> simulate(StateId start, std::size_t steps,
+                                              prob::Rng& rng) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> p_;  // row-stochastic
+
+  void check(StateId s) const;
+};
+
+/// An interval DTMC: transition probabilities known only to intervals.
+/// Verification computes guaranteed lower/upper bounds over all
+/// point chains consistent with the intervals (robust value iteration
+/// with the same greedy budget allocation as the credal layer).
+class IntervalDtmc {
+ public:
+  /// States named up front; all transitions start at [0, 0].
+  explicit IntervalDtmc(std::vector<std::string> names);
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] const std::string& name(StateId s) const;
+
+  /// Sets the transition probability interval.
+  void set_transition(StateId from, StateId to, prob::ProbInterval p);
+
+  /// Throws unless every row admits a distribution (sum lo <= 1 <= sum hi).
+  void validate() const;
+
+  /// Guaranteed bounds on P(reach targets within k steps) from each
+  /// state: pessimal and optimal resolutions of the intervals.
+  [[nodiscard]] std::vector<prob::ProbInterval> bounded_reachability(
+      const std::vector<StateId>& targets, std::size_t k) const;
+
+  /// True if the point chain is consistent with the intervals.
+  [[nodiscard]] bool contains(const Dtmc& chain) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<prob::ProbInterval>> p_;
+
+  void check(StateId s) const;
+};
+
+}  // namespace sysuq::markov

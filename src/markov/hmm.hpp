@@ -1,0 +1,89 @@
+// Hidden Markov models: temporal state estimation for the perception
+// chain.
+//
+// The paper's Fig. 4 network is a single-shot analysis; a deployed
+// perception system observes *sequences*. An HMM with the Table I CPT as
+// its emission model turns the static diagnosis into runtime filtering:
+// the posterior over {car, pedestrian, unknown} is tracked across frames,
+// and its entropy is the online uncertainty estimate the tolerance mean
+// acts on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "prob/discrete.hpp"
+#include "prob/rng.hpp"
+
+namespace sysuq::markov {
+
+class Hmm;
+
+/// Result of one Baum-Welch step or a full fit: the re-estimated model
+/// and a log-likelihood (see the member functions for which model it
+/// refers to).
+struct HmmFit;
+
+/// A discrete HMM with `n` hidden states and `m` observation symbols.
+class Hmm {
+ public:
+  /// `initial` — distribution over hidden states at t = 0;
+  /// `transition` — one categorical (row) per source state;
+  /// `emission` — one categorical over observation symbols per state.
+  Hmm(prob::Categorical initial, std::vector<prob::Categorical> transition,
+      std::vector<prob::Categorical> emission);
+
+  [[nodiscard]] std::size_t state_count() const { return init_.size(); }
+  [[nodiscard]] std::size_t symbol_count() const { return emit_[0].size(); }
+
+  /// Forward filtering: posterior P(x_t | y_1..y_t) for every t, plus the
+  /// total log-likelihood of the sequence.
+  struct FilterResult {
+    std::vector<prob::Categorical> filtered;
+    double log_likelihood;
+  };
+  [[nodiscard]] FilterResult filter(const std::vector<std::size_t>& obs) const;
+
+  /// Forward-backward smoothing: P(x_t | y_1..y_T) for every t.
+  [[nodiscard]] std::vector<prob::Categorical> smooth(
+      const std::vector<std::size_t>& obs) const;
+
+  /// Viterbi decoding: the most probable hidden-state path.
+  [[nodiscard]] std::vector<std::size_t> viterbi(
+      const std::vector<std::size_t>& obs) const;
+
+  /// Samples a trajectory of hidden states and observations.
+  struct Trajectory {
+    std::vector<std::size_t> states;
+    std::vector<std::size_t> observations;
+  };
+  [[nodiscard]] Trajectory sample(std::size_t length, prob::Rng& rng) const;
+
+  /// One Baum-Welch (EM) update from an observation sequence: returns the
+  /// re-estimated HMM and the log-likelihood of `obs` under *this* model.
+  /// Iterating is uncertainty removal without ground-truth labels — the
+  /// field-observation loop when only the sensor outputs are recorded.
+  /// `smoothing` adds a pseudo-count to every re-estimated cell so sparse
+  /// sequences cannot zero out parameters.
+  [[nodiscard]] HmmFit baum_welch_step(const std::vector<std::size_t>& obs,
+                                       double smoothing = 1e-6) const;
+
+  /// Runs Baum-Welch until the log-likelihood gain drops below `tol` or
+  /// `max_iters` is reached; returns the fitted model and its final
+  /// log-likelihood on `obs`.
+  [[nodiscard]] HmmFit fit(const std::vector<std::size_t>& obs,
+                           std::size_t max_iters = 100, double tol = 1e-6,
+                           double smoothing = 1e-6) const;
+
+ private:
+  prob::Categorical init_;
+  std::vector<prob::Categorical> trans_;
+  std::vector<prob::Categorical> emit_;
+};
+
+struct HmmFit {
+  Hmm model;
+  double log_likelihood;
+};
+
+}  // namespace sysuq::markov

@@ -1,0 +1,176 @@
+#include "markov/mdp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sysuq::markov {
+
+void Mdp::check(StateId s) const {
+  if (s >= names_.size()) throw std::out_of_range("Mdp: state id");
+}
+
+StateId Mdp::add_state(const std::string& name) {
+  if (name.empty()) throw std::invalid_argument("Mdp: empty state name");
+  for (const auto& n : names_) {
+    if (n == name) throw std::invalid_argument("Mdp: duplicate state '" + name + "'");
+  }
+  names_.push_back(name);
+  actions_.emplace_back();
+  return names_.size() - 1;
+}
+
+ActionId Mdp::add_action(StateId state, const std::string& name,
+                         std::vector<std::pair<StateId, double>> outcomes) {
+  check(state);
+  if (name.empty()) throw std::invalid_argument("Mdp: empty action name");
+  if (outcomes.empty()) throw std::invalid_argument("Mdp: action with no outcomes");
+  double total = 0.0;
+  for (const auto& [target, p] : outcomes) {
+    check(target);
+    if (!(p >= 0.0 && p <= 1.0))
+      throw std::invalid_argument("Mdp: outcome probability outside [0, 1]");
+    total += p;
+  }
+  if (std::fabs(total - 1.0) > 1e-9)
+    throw std::invalid_argument("Mdp: outcomes must sum to 1");
+  actions_[state].push_back(Action{name, std::move(outcomes)});
+  return actions_[state].size() - 1;
+}
+
+const std::string& Mdp::state_name(StateId s) const {
+  check(s);
+  return names_[s];
+}
+
+StateId Mdp::id_of(const std::string& name) const {
+  for (StateId s = 0; s < names_.size(); ++s) {
+    if (names_[s] == name) return s;
+  }
+  throw std::invalid_argument("Mdp: no state '" + name + "'");
+}
+
+std::size_t Mdp::action_count(StateId s) const {
+  check(s);
+  return actions_[s].size();
+}
+
+const std::string& Mdp::action_name(StateId s, ActionId a) const {
+  check(s);
+  if (a >= actions_[s].size()) throw std::out_of_range("Mdp: action id");
+  return actions_[s][a].name;
+}
+
+void Mdp::validate() const {
+  if (names_.empty()) throw std::logic_error("Mdp: empty");
+  for (StateId s = 0; s < size(); ++s) {
+    if (actions_[s].empty())
+      throw std::logic_error("Mdp: state '" + names_[s] + "' has no actions");
+  }
+}
+
+double Mdp::action_value(const Action& a, const std::vector<double>& x) const {
+  double v = 0.0;
+  for (const auto& [target, p] : a.outcomes) v += p * x[target];
+  return v;
+}
+
+std::vector<double> Mdp::bounded_reachability(const std::vector<StateId>& targets,
+                                              std::size_t k, bool maximize) const {
+  validate();
+  if (targets.empty()) throw std::invalid_argument("Mdp: no targets");
+  std::vector<bool> is_target(size(), false);
+  for (StateId t : targets) {
+    check(t);
+    is_target[t] = true;
+  }
+  std::vector<double> x(size(), 0.0);
+  for (StateId s = 0; s < size(); ++s) x[s] = is_target[s] ? 1.0 : 0.0;
+  for (std::size_t step = 0; step < k; ++step) {
+    std::vector<double> nx(size());
+    for (StateId s = 0; s < size(); ++s) {
+      if (is_target[s]) {
+        nx[s] = 1.0;
+        continue;
+      }
+      double best = maximize ? 0.0 : 1.0;
+      for (const auto& a : actions_[s]) {
+        const double v = action_value(a, x);
+        best = maximize ? std::max(best, v) : std::min(best, v);
+      }
+      nx[s] = best;
+    }
+    x = std::move(nx);
+  }
+  return x;
+}
+
+std::vector<double> Mdp::reachability(const std::vector<StateId>& targets,
+                                      bool maximize, double tol,
+                                      std::size_t max_iters) const {
+  validate();
+  if (targets.empty()) throw std::invalid_argument("Mdp: no targets");
+  std::vector<bool> is_target(size(), false);
+  for (StateId t : targets) {
+    check(t);
+    is_target[t] = true;
+  }
+  std::vector<double> x(size(), 0.0);
+  for (StateId s = 0; s < size(); ++s) x[s] = is_target[s] ? 1.0 : 0.0;
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    double delta = 0.0;
+    std::vector<double> nx(size());
+    for (StateId s = 0; s < size(); ++s) {
+      if (is_target[s]) {
+        nx[s] = 1.0;
+        continue;
+      }
+      double best = maximize ? 0.0 : 1.0;
+      for (const auto& a : actions_[s]) {
+        const double v = action_value(a, x);
+        best = maximize ? std::max(best, v) : std::min(best, v);
+      }
+      nx[s] = best;
+      delta = std::max(delta, std::fabs(best - x[s]));
+    }
+    x = std::move(nx);
+    if (delta < tol) break;
+  }
+  return x;
+}
+
+std::vector<ActionId> Mdp::optimal_policy(const std::vector<StateId>& targets,
+                                          bool maximize) const {
+  const auto value = reachability(targets, maximize);
+  std::vector<ActionId> policy(size(), 0);
+  for (StateId s = 0; s < size(); ++s) {
+    double best = maximize ? -1.0 : 2.0;
+    for (ActionId a = 0; a < actions_[s].size(); ++a) {
+      const double v = action_value(actions_[s][a], value);
+      if ((maximize && v > best) || (!maximize && v < best)) {
+        best = v;
+        policy[s] = a;
+      }
+    }
+  }
+  return policy;
+}
+
+Dtmc Mdp::induced_chain(const std::vector<ActionId>& policy) const {
+  validate();
+  if (policy.size() != size())
+    throw std::invalid_argument("Mdp::induced_chain: policy size");
+  Dtmc chain;
+  for (StateId s = 0; s < size(); ++s) (void)chain.add_state(names_[s]);
+  for (StateId s = 0; s < size(); ++s) {
+    if (policy[s] >= actions_[s].size())
+      throw std::out_of_range("Mdp::induced_chain: action id");
+    for (const auto& [target, p] : actions_[s][policy[s]].outcomes) {
+      chain.set_transition(s, target, chain.transition(s, target) + p);
+    }
+  }
+  chain.validate();
+  return chain;
+}
+
+}  // namespace sysuq::markov

@@ -1,0 +1,72 @@
+// Markov decision processes: the runtime face of uncertainty tolerance.
+//
+// A degraded-mode supervisor does not just *observe* a stochastic system
+// (DTMC) — it chooses actions (continue, hand over, minimal-risk
+// manoeuvre). The MDP layer computes the policies that bound the hazard
+// probability: min/max reachability via value iteration, and the policy
+// realizing the bound, which can then be verified as a DTMC.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "markov/dtmc.hpp"
+
+namespace sysuq::markov {
+
+/// Action index within a state.
+using ActionId = std::size_t;
+
+/// A finite MDP with named states and per-state action sets.
+class Mdp {
+ public:
+  /// Adds a state; returns its id.
+  StateId add_state(const std::string& name);
+
+  /// Adds an action to a state with its outcome distribution
+  /// (state, probability) pairs; probabilities must sum to 1.
+  ActionId add_action(StateId state, const std::string& name,
+                      std::vector<std::pair<StateId, double>> outcomes);
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] const std::string& state_name(StateId s) const;
+  [[nodiscard]] StateId id_of(const std::string& name) const;
+  [[nodiscard]] std::size_t action_count(StateId s) const;
+  [[nodiscard]] const std::string& action_name(StateId s, ActionId a) const;
+
+  /// Throws std::logic_error unless every state has at least one action.
+  void validate() const;
+
+  /// Optimal bounded reachability: max (or min) over policies of
+  /// P(reach targets within k steps), from every state.
+  [[nodiscard]] std::vector<double> bounded_reachability(
+      const std::vector<StateId>& targets, std::size_t k, bool maximize) const;
+
+  /// Unbounded optimal reachability by value iteration to `tol`.
+  [[nodiscard]] std::vector<double> reachability(
+      const std::vector<StateId>& targets, bool maximize, double tol = 1e-12,
+      std::size_t max_iters = 1000000) const;
+
+  /// The stationary deterministic policy achieving the unbounded optimum
+  /// (one action index per state; arbitrary on target states).
+  [[nodiscard]] std::vector<ActionId> optimal_policy(
+      const std::vector<StateId>& targets, bool maximize) const;
+
+  /// Induces the DTMC of a stationary deterministic policy.
+  [[nodiscard]] Dtmc induced_chain(const std::vector<ActionId>& policy) const;
+
+ private:
+  struct Action {
+    std::string name;
+    std::vector<std::pair<StateId, double>> outcomes;
+  };
+  std::vector<std::string> names_;
+  std::vector<std::vector<Action>> actions_;
+
+  void check(StateId s) const;
+  [[nodiscard]] double action_value(const Action& a,
+                                    const std::vector<double>& x) const;
+};
+
+}  // namespace sysuq::markov

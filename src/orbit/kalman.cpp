@@ -1,0 +1,64 @@
+#include "orbit/kalman.hpp"
+
+#include <stdexcept>
+
+namespace sysuq::orbit {
+
+KalmanFilter2D::KalmanFilter2D(double process_noise, double measurement_noise,
+                               double initial_pos_var, double initial_vel_var)
+    : q_(process_noise), r_(measurement_noise) {
+  if (!(process_noise > 0.0) || !(measurement_noise > 0.0))
+    throw std::invalid_argument("KalmanFilter2D: noise parameters must be > 0");
+  if (!(initial_pos_var > 0.0) || !(initial_vel_var > 0.0))
+    throw std::invalid_argument("KalmanFilter2D: prior variances must be > 0");
+  ax_.p00 = ay_.p00 = initial_pos_var;
+  ax_.p11 = ay_.p11 = initial_vel_var;
+}
+
+void KalmanFilter2D::initialize(Vec2 position, Vec2 velocity) {
+  ax_.pos = position.x;
+  ay_.pos = position.y;
+  ax_.vel = velocity.x;
+  ay_.vel = velocity.y;
+}
+
+void KalmanFilter2D::predict_axis(Axis& a, double dt) const {
+  // x' = F x with F = [[1, dt], [0, 1]]; P' = F P F^T + Q with the
+  // white-acceleration Q = q * [[dt^3/3, dt^2/2], [dt^2/2, dt]].
+  a.pos += a.vel * dt;
+  const double p00 = a.p00 + dt * (2.0 * a.p01 + dt * a.p11);
+  const double p01 = a.p01 + dt * a.p11;
+  a.p00 = p00 + q_ * dt * dt * dt / 3.0;
+  a.p01 = p01 + q_ * dt * dt / 2.0;
+  a.p11 = a.p11 + q_ * dt;
+}
+
+double KalmanFilter2D::update_axis(Axis& a, double z) const {
+  const double innovation = z - a.pos;
+  const double s = a.p00 + r_ * r_;
+  const double k0 = a.p00 / s;
+  const double k1 = a.p01 / s;
+  a.pos += k0 * innovation;
+  a.vel += k1 * innovation;
+  const double p00 = (1.0 - k0) * a.p00;
+  const double p01 = (1.0 - k0) * a.p01;
+  const double p11 = a.p11 - k1 * a.p01;
+  a.p00 = p00;
+  a.p01 = p01;
+  a.p11 = p11;
+  return innovation * innovation / s;
+}
+
+void KalmanFilter2D::predict(double dt) {
+  if (!(dt > 0.0)) throw std::invalid_argument("KalmanFilter2D: dt <= 0");
+  predict_axis(ax_, dt);
+  predict_axis(ay_, dt);
+}
+
+double KalmanFilter2D::update(Vec2 measured_position) {
+  // Axes are independent: the 2-dof NIS is the sum of the per-axis terms.
+  return update_axis(ax_, measured_position.x) +
+         update_axis(ay_, measured_position.y);
+}
+
+}  // namespace sysuq::orbit

@@ -1,0 +1,60 @@
+// A 2-D constant-velocity Kalman filter for planet tracking.
+//
+// The filter is the continuous-state face of the paper's uncertainty
+// story: its covariance is the *epistemic* state uncertainty (shrinks
+// with observations), the measurement noise is *aleatory*, and the
+// normalized innovation squared (NIS) is the per-observation surprise
+// statistic — when the world leaves the model class (third planet,
+// manoeuvre), the NIS leaves its chi-square band, which is exactly the
+// Sec. III.C detection trigger in filter form.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "orbit/vec2.hpp"
+
+namespace sysuq::orbit {
+
+/// State: [x, y, vx, vy]; measurement: [x, y].
+class KalmanFilter2D {
+ public:
+  /// `process_noise` — white-acceleration intensity q (per axis);
+  /// `measurement_noise` — position measurement stddev r;
+  /// `initial_pos_var` / `initial_vel_var` — diagonal prior covariance.
+  KalmanFilter2D(double process_noise, double measurement_noise,
+                 double initial_pos_var, double initial_vel_var);
+
+  /// Initializes the state estimate.
+  void initialize(Vec2 position, Vec2 velocity);
+
+  /// Time update over dt (constant-velocity transition, white-accel Q).
+  void predict(double dt);
+
+  /// Measurement update; returns the normalized innovation squared
+  /// (NIS = nu^T S^{-1} nu, chi-square with 2 dof under the model).
+  double update(Vec2 measured_position);
+
+  [[nodiscard]] Vec2 position() const { return {ax_.pos, ay_.pos}; }
+  [[nodiscard]] Vec2 velocity() const { return {ax_.vel, ay_.vel}; }
+  /// Trace of the position block of the covariance — the scalar
+  /// epistemic state uncertainty.
+  [[nodiscard]] double position_variance() const { return ax_.p00 + ay_.p00; }
+  [[nodiscard]] double velocity_variance() const { return ax_.p11 + ay_.p11; }
+
+ private:
+  // The x and y axes decouple under the constant-velocity model, so the
+  // filter is two identical (position, velocity) blocks.
+  struct Axis {
+    double pos = 0.0, vel = 0.0;
+    double p00 = 0.0, p01 = 0.0, p11 = 0.0;
+  };
+  double q_, r_;
+  Axis ax_, ay_;
+
+  void predict_axis(Axis& a, double dt) const;
+  /// Returns the squared innovation over the innovation variance.
+  double update_axis(Axis& a, double z) const;
+};
+
+}  // namespace sysuq::orbit

@@ -1,0 +1,148 @@
+#include "orbit/nbody.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sysuq::orbit {
+
+Vec2 acceleration(const std::vector<Body>& bodies, std::size_t i,
+                  const GravityParams& params) {
+  if (i >= bodies.size()) throw std::out_of_range("acceleration: body index");
+  Vec2 a{};
+  const Vec2 pi = bodies[i].position;
+  for (std::size_t j = 0; j < bodies.size(); ++j) {
+    if (j == i) continue;
+    const Vec2 d = bodies[j].position - pi;
+    const double r2 = d.norm2() + params.softening * params.softening;
+    const double r = std::sqrt(r2);
+    if (r2 <= 0.0) throw std::domain_error("acceleration: coincident bodies");
+    // Point-mass term GM/r^2, plus the attractor's multipole correction
+    // ~ GM * J2 / r^4 (heterogeneous mass distribution; see Sec. III.B).
+    const double inv_r3 = 1.0 / (r2 * r);
+    double scale = params.g * bodies[j].mass * inv_r3;
+    if (bodies[j].oblateness != 0.0) {
+      scale *= 1.0 + bodies[j].oblateness / r2;
+    }
+    a += d * scale;
+  }
+  return a;
+}
+
+void verlet_step(SystemState& state, double dt, const GravityParams& params) {
+  const std::size_t n = state.bodies.size();
+  std::vector<Vec2> acc(n);
+  for (std::size_t i = 0; i < n; ++i) acc[i] = acceleration(state.bodies, i, params);
+  for (std::size_t i = 0; i < n; ++i) {
+    state.bodies[i].velocity += acc[i] * (0.5 * dt);
+    state.bodies[i].position += state.bodies[i].velocity * dt;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    state.bodies[i].velocity += acceleration(state.bodies, i, params) * (0.5 * dt);
+  }
+  state.time += dt;
+}
+
+namespace {
+
+struct Derivative {
+  std::vector<Vec2> dpos;
+  std::vector<Vec2> dvel;
+};
+
+Derivative derive(const SystemState& base, const Derivative* d, double dt,
+                  const GravityParams& params) {
+  SystemState s = base;
+  if (d != nullptr) {
+    for (std::size_t i = 0; i < s.bodies.size(); ++i) {
+      s.bodies[i].position += d->dpos[i] * dt;
+      s.bodies[i].velocity += d->dvel[i] * dt;
+    }
+  }
+  Derivative out;
+  out.dpos.resize(s.bodies.size());
+  out.dvel.resize(s.bodies.size());
+  for (std::size_t i = 0; i < s.bodies.size(); ++i) {
+    out.dpos[i] = s.bodies[i].velocity;
+    out.dvel[i] = acceleration(s.bodies, i, params);
+  }
+  return out;
+}
+
+}  // namespace
+
+void rk4_step(SystemState& state, double dt, const GravityParams& params) {
+  const auto k1 = derive(state, nullptr, 0.0, params);
+  const auto k2 = derive(state, &k1, dt * 0.5, params);
+  const auto k3 = derive(state, &k2, dt * 0.5, params);
+  const auto k4 = derive(state, &k3, dt, params);
+  for (std::size_t i = 0; i < state.bodies.size(); ++i) {
+    state.bodies[i].position +=
+        (k1.dpos[i] + (k2.dpos[i] + k3.dpos[i]) * 2.0 + k4.dpos[i]) * (dt / 6.0);
+    state.bodies[i].velocity +=
+        (k1.dvel[i] + (k2.dvel[i] + k3.dvel[i]) * 2.0 + k4.dvel[i]) * (dt / 6.0);
+  }
+  state.time += dt;
+}
+
+void simulate(SystemState& state, double dt, std::size_t steps,
+              const GravityParams& params) {
+  for (std::size_t s = 0; s < steps; ++s) verlet_step(state, dt, params);
+}
+
+double total_energy(const SystemState& state, const GravityParams& params) {
+  double e = 0.0;
+  const auto& b = state.bodies;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    e += 0.5 * b[i].mass * b[i].velocity.norm2();
+    for (std::size_t j = i + 1; j < b.size(); ++j) {
+      const double r = std::sqrt(b[i].position.distance(b[j].position) *
+                                     b[i].position.distance(b[j].position) +
+                                 params.softening * params.softening);
+      e -= params.g * b[i].mass * b[j].mass / r;
+    }
+  }
+  return e;
+}
+
+Vec2 total_momentum(const SystemState& state) {
+  Vec2 p{};
+  for (const auto& b : state.bodies) p += b.velocity * b.mass;
+  return p;
+}
+
+Vec2 center_of_mass(const SystemState& state) {
+  Vec2 c{};
+  double m = 0.0;
+  for (const auto& b : state.bodies) {
+    c += b.position * b.mass;
+    m += b.mass;
+  }
+  if (!(m > 0.0)) throw std::domain_error("center_of_mass: zero total mass");
+  return c / m;
+}
+
+SystemState make_circular_binary(double m1, double m2, double separation,
+                                 const GravityParams& params) {
+  if (!(m1 > 0.0) || !(m2 > 0.0) || !(separation > 0.0))
+    throw std::invalid_argument("make_circular_binary: bad parameters");
+  const double mtot = m1 + m2;
+  // Barycentric radii.
+  const double r1 = separation * m2 / mtot;
+  const double r2 = separation * m1 / mtot;
+  // Circular orbital speed from Kepler: omega^2 = G * mtot / separation^3.
+  const double omega = std::sqrt(params.g * mtot / (separation * separation *
+                                                    separation));
+  SystemState s;
+  s.bodies.push_back(Body{m1, {-r1, 0.0}, {0.0, -omega * r1}, 0.0});
+  s.bodies.push_back(Body{m2, {r2, 0.0}, {0.0, omega * r2}, 0.0});
+  return s;
+}
+
+double circular_binary_period(double m1, double m2, double separation,
+                              const GravityParams& params) {
+  const double omega = std::sqrt(params.g * (m1 + m2) /
+                                 (separation * separation * separation));
+  return 2.0 * M_PI / omega;
+}
+
+}  // namespace sysuq::orbit

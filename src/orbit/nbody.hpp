@@ -1,0 +1,79 @@
+// N-body gravitational dynamics: the *physical system* of the paper's
+// Fig. 2 example. Ground truth is simulated here; "model A" (deterministic
+// Newtonian ephemeris) and "model B" (frequentist occupancy) are formal
+// systems built on top in two_planet.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "orbit/vec2.hpp"
+
+namespace sysuq::orbit {
+
+/// A point body (or, with oblateness > 0, a heterogeneous body whose
+/// uneven mass distribution perturbs the inverse-square law — the paper's
+/// Sec. III.B epistemic-gap device).
+struct Body {
+  double mass = 1.0;
+  Vec2 position;
+  Vec2 velocity;
+  /// Dimensionless multipole strength of the body's mass inhomogeneity
+  /// (J2-like). 0 = ideal point mass; the acceleration it induces gains a
+  /// 1/r^4 correction term scaled by this coefficient.
+  double oblateness = 0.0;
+};
+
+/// State of the universe: bodies plus simulation time.
+struct SystemState {
+  std::vector<Body> bodies;
+  double time = 0.0;
+};
+
+/// Gravitational parameters for the simulation.
+struct GravityParams {
+  double g = 1.0;          ///< gravitational constant (natural units)
+  double softening = 0.0;  ///< Plummer softening length (0 = none)
+};
+
+/// Acceleration on body `i` from all other bodies: Newtonian inverse
+/// square plus the oblateness multipole correction of each attractor.
+[[nodiscard]] Vec2 acceleration(const std::vector<Body>& bodies, std::size_t i,
+                                const GravityParams& params);
+
+/// One velocity-Verlet step of size dt (symplectic; preserves energy over
+/// long horizons — the ground-truth integrator).
+void verlet_step(SystemState& state, double dt, const GravityParams& params);
+
+/// One classical RK4 step of size dt (higher short-term accuracy, secular
+/// energy drift — used for model-A ephemerides).
+void rk4_step(SystemState& state, double dt, const GravityParams& params);
+
+/// Advances `steps` Verlet steps.
+void simulate(SystemState& state, double dt, std::size_t steps,
+              const GravityParams& params);
+
+/// Total mechanical energy (kinetic + pairwise point-mass potential).
+/// With oblateness the potential term is approximate (point-mass part
+/// only); used for conservation diagnostics of point-mass systems.
+[[nodiscard]] double total_energy(const SystemState& state,
+                                  const GravityParams& params);
+
+/// Total linear momentum.
+[[nodiscard]] Vec2 total_momentum(const SystemState& state);
+
+/// Center of mass.
+[[nodiscard]] Vec2 center_of_mass(const SystemState& state);
+
+/// Builds a two-body system in a circular orbit about the barycenter with
+/// the given masses and separation (zero total momentum).
+[[nodiscard]] SystemState make_circular_binary(double m1, double m2,
+                                               double separation,
+                                               const GravityParams& params);
+
+/// Orbital period of the circular binary (Kepler's third law).
+[[nodiscard]] double circular_binary_period(double m1, double m2,
+                                            double separation,
+                                            const GravityParams& params);
+
+}  // namespace sysuq::orbit

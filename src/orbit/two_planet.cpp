@@ -1,0 +1,140 @@
+#include "orbit/two_planet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sysuq::orbit {
+
+TwoPlanetUniverse::TwoPlanetUniverse(const UniverseConfig& config)
+    : config_(config),
+      state_(make_circular_binary(config.m1, config.m2, config.separation,
+                                  config.gravity)) {
+  state_.bodies[1].oblateness = config.oblateness2;
+  if (config_.third && config_.third->injection_time <= 0.0) {
+    state_.bodies.push_back(Body{config_.third->mass, config_.third->position,
+                                 config_.third->velocity, 0.0});
+    third_injected_ = true;
+  }
+}
+
+void TwoPlanetUniverse::advance(double dt) {
+  if (!(dt > 0.0)) throw std::invalid_argument("TwoPlanetUniverse: dt <= 0");
+  verlet_step(state_, dt, config_.gravity);
+  if (config_.third && !third_injected_ &&
+      state_.time >= config_.third->injection_time) {
+    state_.bodies.push_back(Body{config_.third->mass, config_.third->position,
+                                 config_.third->velocity, 0.0});
+    third_injected_ = true;
+  }
+}
+
+bool TwoPlanetUniverse::third_planet_present() const { return third_injected_; }
+
+Vec2 TwoPlanetUniverse::observe_position(std::size_t i, prob::Rng& rng,
+                                         double sigma) const {
+  if (i >= 2) throw std::out_of_range("observe_position: planet index");
+  if (sigma < 0.0) throw std::invalid_argument("observe_position: sigma < 0");
+  Vec2 p = state_.bodies[i].position;
+  if (sigma > 0.0) {
+    p.x += rng.gaussian(0.0, sigma);
+    p.y += rng.gaussian(0.0, sigma);
+  }
+  return p;
+}
+
+DeterministicModel::DeterministicModel(double m1, double m2, double separation,
+                                       const GravityParams& gravity)
+    : state_(make_circular_binary(m1, m2, separation, gravity)),
+      gravity_(gravity) {}
+
+void DeterministicModel::advance(double dt) {
+  if (!(dt > 0.0)) throw std::invalid_argument("DeterministicModel: dt <= 0");
+  rk4_step(state_, dt, gravity_);
+}
+
+Vec2 DeterministicModel::predicted_position(std::size_t i) const {
+  if (i >= state_.bodies.size())
+    throw std::out_of_range("predicted_position: planet index");
+  return state_.bodies[i].position;
+}
+
+FrequentistModel::FrequentistModel(double extent, std::size_t bins)
+    : hist_(-extent, extent, bins, -extent, extent, bins) {
+  if (!(extent > 0.0)) throw std::invalid_argument("FrequentistModel: extent");
+}
+
+void FrequentistModel::observe(Vec2 position) {
+  hist_.add(position.x, position.y);
+}
+
+double FrequentistModel::frame_probability(double x0, double x1, double y0,
+                                           double y1) const {
+  return hist_.frame_probability(x0, x1, y0, y1);
+}
+
+double FrequentistModel::out_of_domain_fraction() const {
+  const std::size_t total = hist_.total() + hist_.outside();
+  if (total == 0) return 0.0;
+  return static_cast<double>(hist_.outside()) / static_cast<double>(total);
+}
+
+double FrequentistModel::distance(const FrequentistModel& other) const {
+  return hist_.total_variation(other.hist_);
+}
+
+double acceleration_residual(Vec2 prev, Vec2 cur, Vec2 next, double dt,
+                             Vec2 other_position, double other_mass,
+                             double other_oblateness,
+                             const GravityParams& params) {
+  if (!(dt > 0.0)) throw std::invalid_argument("acceleration_residual: dt <= 0");
+  const Vec2 observed = (next - cur * 2.0 + prev) / (dt * dt);
+  const std::vector<Body> pair{
+      Body{1.0, cur, {}, 0.0},
+      Body{other_mass, other_position, {}, other_oblateness}};
+  const Vec2 predicted = acceleration(pair, 0, params);
+  return (observed - predicted).norm();
+}
+
+SurpriseMonitor::SurpriseMonitor(std::size_t warmup, double ratio,
+                                 std::size_t patience, double adapt_rate)
+    : warmup_(warmup), ratio_(ratio), patience_(patience),
+      adapt_rate_(adapt_rate) {
+  if (warmup == 0) throw std::invalid_argument("SurpriseMonitor: zero warmup");
+  if (!(ratio > 1.0))
+    throw std::invalid_argument("SurpriseMonitor: ratio must exceed 1");
+  if (patience == 0) throw std::invalid_argument("SurpriseMonitor: patience 0");
+  if (!(adapt_rate > 0.0 && adapt_rate <= 1.0))
+    throw std::invalid_argument("SurpriseMonitor: adapt_rate outside (0, 1]");
+}
+
+bool SurpriseMonitor::feed(double residual) {
+  if (residual < 0.0)
+    throw std::invalid_argument("SurpriseMonitor: negative residual");
+  ++fed_;
+  if (fed_ <= warmup_) {
+    stats_.add(residual);
+    if (fed_ == warmup_) {
+      // Floor the level so a zero-residual warmup (perfect model) still
+      // yields a meaningful threshold against numerical dust.
+      level_ = std::max(stats_.mean() + stats_.stddev(), 1e-12);
+    }
+    return false;
+  }
+  if (triggered_) return false;
+  const bool surprising = residual > ratio_ * level_;
+  if (surprising) {
+    if (++consecutive_ >= patience_) {
+      triggered_ = true;
+      trigger_index_ = fed_;
+      return true;
+    }
+  } else {
+    consecutive_ = 0;
+    // Track slow drift only while the residual looks nominal.
+    level_ = std::max((1.0 - adapt_rate_) * level_ + adapt_rate_ * residual,
+                      1e-12);
+  }
+  return false;
+}
+
+}  // namespace sysuq::orbit

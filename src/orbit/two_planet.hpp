@@ -1,0 +1,203 @@
+// The paper's running example as an executable modeling relation (Fig. 2):
+//
+//   physical system  = TwoPlanetUniverse (simulated ground truth; may have
+//                      heterogeneous bodies and a hidden third planet)
+//   formal system A  = DeterministicModel (ideal point-mass Newtonian
+//                      ephemeris from the published initial conditions)
+//   formal system B  = FrequentistModel (spatial occupancy probabilities
+//                      estimated from repeated position observations)
+//
+// The gap between the universe and model A is *epistemic* when caused by
+// idealization error (oblateness), and *ontological* when caused by a
+// structure the model does not contain at all (the third planet).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "orbit/nbody.hpp"
+#include "prob/histogram.hpp"
+#include "prob/rng.hpp"
+#include "prob/statistics.hpp"
+
+namespace sysuq::orbit {
+
+/// Configuration of the simulated universe.
+struct UniverseConfig {
+  double m1 = 1.0;
+  double m2 = 0.5;
+  double separation = 1.0;
+  GravityParams gravity{};
+  /// Mass inhomogeneity of planet 2 (0 = ideal point mass).
+  double oblateness2 = 0.0;
+  /// Optional hidden third planet, injected at `injection_time`.
+  struct ThirdPlanet {
+    double mass = 0.2;
+    Vec2 position{3.0, 0.0};
+    Vec2 velocity{0.0, 0.4};
+    double injection_time = 0.0;
+  };
+  std::optional<ThirdPlanet> third;
+};
+
+/// The simulated physical system (ground truth).
+class TwoPlanetUniverse {
+ public:
+  explicit TwoPlanetUniverse(const UniverseConfig& config);
+
+  /// Advances the universe by dt using the symplectic integrator; injects
+  /// the third planet when its injection time is crossed.
+  void advance(double dt);
+
+  /// Current state (2 or 3 bodies).
+  [[nodiscard]] const SystemState& state() const { return state_; }
+
+  /// Current simulation time.
+  [[nodiscard]] double time() const { return state_.time; }
+
+  /// True once the third planet has been injected.
+  [[nodiscard]] bool third_planet_present() const;
+
+  /// Noisy position observation of planet i (i in {0, 1}): the domain
+  /// analysis channel of the cybernetic loop. sigma = 0 gives the truth.
+  [[nodiscard]] Vec2 observe_position(std::size_t i, prob::Rng& rng,
+                                      double sigma) const;
+
+  [[nodiscard]] const UniverseConfig& config() const { return config_; }
+
+ private:
+  UniverseConfig config_;
+  SystemState state_;
+  bool third_injected_ = false;
+};
+
+/// Model A: deterministic Newtonian two-body ephemeris integrated from
+/// the initial conditions with ideal point masses — regardless of what
+/// the real universe contains.
+class DeterministicModel {
+ public:
+  /// Builds the model from the universe's *initial* published conditions
+  /// (masses, separation); the model never sees oblateness or third
+  /// planets — that is exactly its epistemic/ontological blind spot.
+  DeterministicModel(double m1, double m2, double separation,
+                     const GravityParams& gravity);
+
+  /// Advances the model's internal ephemeris by dt (RK4).
+  void advance(double dt);
+
+  /// Predicted position of planet i at the model's current time.
+  [[nodiscard]] Vec2 predicted_position(std::size_t i) const;
+
+  [[nodiscard]] double time() const { return state_.time; }
+
+ private:
+  SystemState state_;
+  GravityParams gravity_;
+};
+
+/// Model B: frequentist spatial-occupancy model of one planet (Fig. 2's
+/// probabilistic formal system). "With an infinite amount of observations,
+/// the exact probabilities to find either of the two bodies within a
+/// spatial frame can be inferred."
+class FrequentistModel {
+ public:
+  /// Occupancy histogram over [-extent, extent]^2 with bins^2 cells.
+  FrequentistModel(double extent, std::size_t bins);
+
+  /// Records one position observation.
+  void observe(Vec2 position);
+
+  /// Number of observations so far.
+  [[nodiscard]] std::size_t observation_count() const { return hist_.total(); }
+
+  /// Empirical probability that the planet is inside the axis-aligned
+  /// frame — the paper's "probability to find a point mass in a certain
+  /// frame".
+  [[nodiscard]] double frame_probability(double x0, double x1, double y0,
+                                         double y1) const;
+
+  /// Fraction of observations that fell outside the modeled extent — an
+  /// ontological indicator: the world exceeds the model's domain.
+  [[nodiscard]] double out_of_domain_fraction() const;
+
+  /// Underlying histogram (for entropy / distance computations).
+  [[nodiscard]] const prob::Histogram2D& histogram() const { return hist_; }
+
+  /// Total-variation distance to another equally shaped model: the
+  /// epistemic gap between two finite-sample estimates (or between an
+  /// estimate and a quasi-exact long-run reference).
+  [[nodiscard]] double distance(const FrequentistModel& other) const;
+
+ private:
+  prob::Histogram2D hist_;
+};
+
+/// Dynamics-level model residual: the difference between the acceleration
+/// *observed* on planet `i` (second finite difference of three
+/// consecutive observed positions at spacing dt) and the acceleration the
+/// two-body point-mass model *predicts* at the observed configuration.
+///
+/// For an ideal two-planet universe this is integrator noise, O(dt^2),
+/// and stays flat over time; an unmodeled third planet adds its full
+/// gravitational pull — an abrupt, sustained jump. This is the classical
+/// anomalous-perturbation test (how Neptune betrayed its existence) and
+/// the natural input for SurpriseMonitor.
+[[nodiscard]] double acceleration_residual(Vec2 prev, Vec2 cur, Vec2 next,
+                                           double dt, Vec2 other_position,
+                                           double other_mass,
+                                           double other_oblateness,
+                                           const GravityParams& params);
+
+/// Tracks the residual between model-A predictions and observed truth and
+/// flags "surprise": residuals incompatible with the *recent* residual
+/// level. This is the executable form of the paper's Sec. III.C test —
+/// "we observe a behavior of the planets that contradicts the prediction
+/// by the models".
+///
+/// The reference level adapts slowly (exponential moving average), so the
+/// monitor tolerates the gradual model drift every imperfect model
+/// accumulates (an *epistemic* gap) and fires only on abrupt structural
+/// departures (the *ontological* event). The level is frozen while a
+/// residual is surprising, so a genuine anomaly cannot talk the monitor
+/// into accepting it.
+class SurpriseMonitor {
+ public:
+  /// `warmup` residuals establish the initial level; afterwards a
+  /// residual counts as surprising when it exceeds `ratio` times the
+  /// adaptive level; `patience` consecutive surprising residuals trigger.
+  /// `adapt_rate` is the EWMA weight for level updates (0 < rate <= 1).
+  SurpriseMonitor(std::size_t warmup, double ratio, std::size_t patience,
+                  double adapt_rate = 0.05);
+
+  /// Feeds one |prediction - truth| residual; returns true when the
+  /// monitor triggers (first time the surprise criterion is met).
+  bool feed(double residual);
+
+  /// True once triggered.
+  [[nodiscard]] bool triggered() const { return triggered_; }
+
+  /// Residual index at which the trigger fired (observation count),
+  /// or 0 if not triggered.
+  [[nodiscard]] std::size_t trigger_index() const { return trigger_index_; }
+
+  /// Warmup residual statistics.
+  [[nodiscard]] double calibrated_mean() const { return stats_.mean(); }
+  [[nodiscard]] double calibrated_stddev() const { return stats_.stddev(); }
+
+  /// Current adaptive residual level.
+  [[nodiscard]] double level() const { return level_; }
+
+ private:
+  std::size_t warmup_;
+  double ratio_;
+  std::size_t patience_;
+  double adapt_rate_;
+  prob::RunningStats stats_;
+  double level_ = 0.0;
+  std::size_t fed_ = 0;
+  std::size_t consecutive_ = 0;
+  bool triggered_ = false;
+  std::size_t trigger_index_ = 0;
+};
+
+}  // namespace sysuq::orbit

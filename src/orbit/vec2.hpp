@@ -1,0 +1,42 @@
+// Minimal 2-D vector algebra for the two-planet universe.
+#pragma once
+
+#include <cmath>
+
+namespace sysuq::orbit {
+
+/// A 2-D vector with value semantics.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  /// Dot product.
+  [[nodiscard]] constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// Squared Euclidean norm.
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+  /// Euclidean norm.
+  [[nodiscard]] double norm() const { return std::sqrt(norm2()); }
+  /// Distance to another point.
+  [[nodiscard]] double distance(Vec2 o) const { return (*this - o).norm(); }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+}  // namespace sysuq::orbit

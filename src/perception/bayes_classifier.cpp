@@ -1,0 +1,134 @@
+#include "perception/bayes_classifier.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sysuq::perception {
+
+Feature sample_feature(const ClassDistribution& cls, prob::Rng& rng) {
+  return {rng.gaussian(cls.mean.x, cls.sigma), rng.gaussian(cls.mean.y, cls.sigma)};
+}
+
+BayesClassifier::BayesClassifier(std::size_t k, double sigma, double prior_tau,
+                                 prob::Categorical class_priors)
+    : k_(k),
+      sigma_(sigma),
+      prior_tau_(prior_tau),
+      priors_(std::move(class_priors)),
+      n_(k, 0),
+      sum_(k, Feature{}) {
+  if (k < 2) throw std::invalid_argument("BayesClassifier: need >= 2 classes");
+  if (!(sigma > 0.0) || !(prior_tau > 0.0))
+    throw std::invalid_argument("BayesClassifier: sigma, prior_tau > 0");
+  if (priors_.size() != k)
+    throw std::invalid_argument("BayesClassifier: prior size mismatch");
+}
+
+void BayesClassifier::train(std::size_t label, const Feature& f) {
+  if (label >= k_) throw std::out_of_range("BayesClassifier::train: label");
+  n_[label] += 1;
+  sum_[label].x += f.x;
+  sum_[label].y += f.y;
+}
+
+std::size_t BayesClassifier::training_count(std::size_t label) const {
+  if (label >= k_) throw std::out_of_range("BayesClassifier::training_count");
+  return n_[label];
+}
+
+Feature BayesClassifier::posterior_mean(std::size_t label) const {
+  if (label >= k_) throw std::out_of_range("BayesClassifier::posterior_mean");
+  // Conjugate update: precision = 1/tau0^2 + n/sigma^2.
+  const double prior_prec = 1.0 / (prior_tau_ * prior_tau_);
+  const double data_prec =
+      static_cast<double>(n_[label]) / (sigma_ * sigma_);
+  const double denom = prior_prec + data_prec;
+  return {sum_[label].x / (sigma_ * sigma_) / denom,
+          sum_[label].y / (sigma_ * sigma_) / denom};
+}
+
+double BayesClassifier::posterior_tau(std::size_t label) const {
+  if (label >= k_) throw std::out_of_range("BayesClassifier::posterior_tau");
+  const double prior_prec = 1.0 / (prior_tau_ * prior_tau_);
+  const double data_prec = static_cast<double>(n_[label]) / (sigma_ * sigma_);
+  return std::sqrt(1.0 / (prior_prec + data_prec));
+}
+
+double BayesClassifier::predictive_var(std::size_t label) const {
+  const double tau = posterior_tau(label);
+  return sigma_ * sigma_ + tau * tau;
+}
+
+double BayesClassifier::log_predictive(std::size_t label, const Feature& f) const {
+  const Feature mu = posterior_mean(label);
+  const double var = predictive_var(label);
+  const double dx = f.x - mu.x, dy = f.y - mu.y;
+  return -0.5 * (dx * dx + dy * dy) / var - std::log(2.0 * M_PI * var);
+}
+
+prob::Categorical BayesClassifier::posterior(const Feature& f) const {
+  std::vector<double> logp(k_);
+  double maxv = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < k_; ++c) {
+    logp[c] = std::log(std::max(priors_.p(c), 1e-300)) + log_predictive(c, f);
+    maxv = std::max(maxv, logp[c]);
+  }
+  std::vector<double> w(k_);
+  for (std::size_t c = 0; c < k_; ++c) w[c] = std::exp(logp[c] - maxv);
+  return prob::Categorical::normalized(std::move(w));
+}
+
+prob::EntropyDecomposition BayesClassifier::decompose(const Feature& f,
+                                                      std::size_t members,
+                                                      prob::Rng& rng) const {
+  if (members == 0)
+    throw std::invalid_argument("BayesClassifier::decompose: zero members");
+  std::vector<prob::Categorical> ensemble;
+  ensemble.reserve(members);
+  for (std::size_t m = 0; m < members; ++m) {
+    // Sample a concrete mean for every class from its posterior and
+    // classify as if that model were true.
+    std::vector<double> logp(k_);
+    double maxv = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k_; ++c) {
+      const Feature mu = posterior_mean(c);
+      const double tau = posterior_tau(c);
+      const Feature sampled{rng.gaussian(mu.x, tau), rng.gaussian(mu.y, tau)};
+      const double dx = f.x - sampled.x, dy = f.y - sampled.y;
+      logp[c] = std::log(std::max(priors_.p(c), 1e-300)) -
+                0.5 * (dx * dx + dy * dy) / (sigma_ * sigma_) -
+                std::log(2.0 * M_PI * sigma_ * sigma_);
+      maxv = std::max(maxv, logp[c]);
+    }
+    std::vector<double> w(k_);
+    for (std::size_t c = 0; c < k_; ++c) w[c] = std::exp(logp[c] - maxv);
+    ensemble.push_back(prob::Categorical::normalized(std::move(w)));
+  }
+  return prob::decompose_ensemble_entropy(ensemble);
+}
+
+double BayesClassifier::ood_score(const Feature& f) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < k_; ++c) {
+    const Feature mu = posterior_mean(c);
+    const double var = predictive_var(c);
+    const double dx = f.x - mu.x, dy = f.y - mu.y;
+    best = std::min(best, (dx * dx + dy * dy) / var);
+  }
+  return best;
+}
+
+std::size_t BayesClassifier::classify(const Feature& f, double ood_threshold,
+                                      double min_confidence) const {
+  if (!(ood_threshold > 0.0))
+    throw std::invalid_argument("BayesClassifier::classify: ood_threshold");
+  if (min_confidence < 0.0 || min_confidence > 1.0)
+    throw std::invalid_argument("BayesClassifier::classify: min_confidence");
+  if (ood_score(f) > ood_threshold) return k_;
+  const auto post = posterior(f);
+  const std::size_t map = post.argmax();
+  return post.p(map) >= min_confidence ? map : k_;
+}
+
+}  // namespace sysuq::perception

@@ -1,0 +1,65 @@
+// Multi-sensor fusion: the paper's *uncertainty tolerance* mean —
+// "redundant architectures with diverse uncertainties" (Secs. IV, V).
+//
+// Three fusion strategies over k redundant sensors, plus a simulation
+// harness that measures safety-relevant outcome rates under configurable
+// sensor diversity and common-cause correlation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "perception/sensor.hpp"
+#include "perception/world.hpp"
+#include "prob/rng.hpp"
+
+namespace sysuq::perception {
+
+/// Fusion strategy for redundant sensor outputs.
+enum class FusionRule {
+  kMajorityVote,  ///< most frequent label; ties -> none (conservative)
+  kNaiveBayes,    ///< product of per-sensor likelihoods under the priors
+  kDempster,      ///< DS combination of discounted per-sensor masses
+};
+
+/// Outcome of one fused perception attempt.
+struct FusionOutcome {
+  std::size_t fused_label;  ///< 0..k-1 class or k = none
+  bool correct;             ///< label matches a modeled true class
+  bool hazardous;           ///< confidently wrong label for a modeled class,
+                            ///< or a novel object labeled as a known class
+};
+
+/// Configuration of a redundant perception architecture.
+struct RedundantArchitecture {
+  std::vector<ConfusionSensor> sensors;
+  FusionRule rule = FusionRule::kMajorityVote;
+  /// Probability that all sensors see the *same* degraded row draw
+  /// (common-cause: e.g. shared power/weather). 0 = fully independent.
+  double common_cause_rate = 0.0;
+  /// Reliability discount applied to each sensor's mass in kDempster.
+  double discount = 0.1;
+};
+
+/// Fuses one encounter through the architecture; sensors draw
+/// independently unless a common-cause event forces identical outputs.
+[[nodiscard]] FusionOutcome fuse_once(const RedundantArchitecture& arch,
+                                      const TrueWorld& world,
+                                      const Encounter& encounter,
+                                      prob::Rng& rng);
+
+/// Aggregate metrics over a simulation campaign.
+struct FusionMetrics {
+  std::size_t encounters = 0;
+  double accuracy = 0.0;        ///< correct label rate on modeled classes
+  double hazard_rate = 0.0;     ///< hazardous outcome rate (see FusionOutcome)
+  double none_rate = 0.0;       ///< fused "none" rate
+  double novel_caught = 0.0;    ///< novel encounters fused to none (safe)
+};
+
+/// Runs `n` encounters and aggregates outcome rates.
+[[nodiscard]] FusionMetrics simulate_fusion(const RedundantArchitecture& arch,
+                                            const TrueWorld& world,
+                                            std::size_t n, prob::Rng& rng);
+
+}  // namespace sysuq::perception

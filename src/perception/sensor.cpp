@@ -1,0 +1,117 @@
+#include "perception/sensor.hpp"
+
+#include <stdexcept>
+
+#include "prob/distribution.hpp"
+
+namespace sysuq::perception {
+
+ConfusionSensor::ConfusionSensor(std::size_t modeled_classes,
+                                 std::vector<prob::Categorical> rows)
+    : k_(modeled_classes), rows_(std::move(rows)) {
+  if (k_ == 0) throw std::invalid_argument("ConfusionSensor: zero classes");
+  if (rows_.size() < k_)
+    throw std::invalid_argument(
+        "ConfusionSensor: need at least one row per modeled class");
+  for (const auto& r : rows_) {
+    if (r.size() != k_ + 1)
+      throw std::invalid_argument(
+          "ConfusionSensor: rows must cover classes + none");
+  }
+}
+
+ConfusionSensor ConfusionSensor::make_default(std::size_t modeled_classes,
+                                              std::size_t novel_classes,
+                                              double acc, double novel_none) {
+  if (acc < 0.0 || acc > 1.0 || novel_none < 0.0 || novel_none > 1.0)
+    throw std::invalid_argument("ConfusionSensor::make_default: bad rates");
+  const std::size_t k = modeled_classes;
+  std::vector<prob::Categorical> rows;
+  rows.reserve(k + novel_classes);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<double> row(k + 1, 0.0);
+    row[c] = acc;
+    const double rest = 1.0 - acc;
+    // Half of the residual as label confusion, half as missed detection.
+    const double confuse = (k > 1) ? rest * 0.5 / static_cast<double>(k - 1) : 0.0;
+    for (std::size_t o = 0; o < k; ++o) {
+      if (o != c) row[o] = confuse;
+    }
+    row[k] = (k > 1) ? rest * 0.5 : rest;
+    rows.push_back(prob::Categorical::normalized(std::move(row)));
+  }
+  for (std::size_t nv = 0; nv < novel_classes; ++nv) {
+    std::vector<double> row(k + 1, 0.0);
+    row[k] = novel_none;
+    const double spread = (1.0 - novel_none) / static_cast<double>(k);
+    for (std::size_t o = 0; o < k; ++o) row[o] = spread;
+    rows.push_back(prob::Categorical::normalized(std::move(row)));
+  }
+  return ConfusionSensor(k, std::move(rows));
+}
+
+const prob::Categorical& ConfusionSensor::row(ClassId true_class) const {
+  if (true_class >= rows_.size())
+    throw std::out_of_range("ConfusionSensor::row: unseen true class");
+  return rows_[true_class];
+}
+
+SensorOutput ConfusionSensor::classify(ClassId true_class, prob::Rng& rng) const {
+  const std::size_t label = row(true_class).sample(rng);
+  return {label, label == k_};
+}
+
+EnsembleClassifier::EnsembleClassifier(std::vector<ConfusionSensor> members)
+    : members_(std::move(members)) {
+  if (members_.empty())
+    throw std::invalid_argument("EnsembleClassifier: empty ensemble");
+  for (const auto& m : members_) {
+    if (m.modeled_classes() != members_[0].modeled_classes() ||
+        m.row_count() != members_[0].row_count())
+      throw std::invalid_argument("EnsembleClassifier: member shape mismatch");
+  }
+}
+
+EnsembleClassifier EnsembleClassifier::perturbed(const ConfusionSensor& nominal,
+                                                 std::size_t n,
+                                                 double concentration,
+                                                 prob::Rng& rng) {
+  if (n == 0) throw std::invalid_argument("EnsembleClassifier: n == 0");
+  if (!(concentration > 0.0))
+    throw std::invalid_argument("EnsembleClassifier: concentration <= 0");
+  std::vector<ConfusionSensor> members;
+  members.reserve(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    std::vector<prob::Categorical> rows;
+    rows.reserve(nominal.row_count());
+    for (std::size_t r = 0; r < nominal.row_count(); ++r) {
+      const auto& base = nominal.row(r);
+      std::vector<double> alpha(base.size());
+      for (std::size_t i = 0; i < base.size(); ++i)
+        alpha[i] = std::max(base.p(i) * concentration, 1e-3);
+      rows.emplace_back(prob::Dirichlet(alpha).sample(rng));
+    }
+    members.emplace_back(nominal.modeled_classes(), std::move(rows));
+  }
+  return EnsembleClassifier(std::move(members));
+}
+
+const ConfusionSensor& EnsembleClassifier::member(std::size_t i) const {
+  if (i >= members_.size()) throw std::out_of_range("EnsembleClassifier::member");
+  return members_[i];
+}
+
+std::vector<prob::Categorical> EnsembleClassifier::member_predictives(
+    ClassId true_class) const {
+  std::vector<prob::Categorical> out;
+  out.reserve(members_.size());
+  for (const auto& m : members_) out.push_back(m.predictive(true_class));
+  return out;
+}
+
+prob::EntropyDecomposition EnsembleClassifier::decompose(
+    ClassId true_class) const {
+  return prob::decompose_ensemble_entropy(member_predictives(true_class));
+}
+
+}  // namespace sysuq::perception

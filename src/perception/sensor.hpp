@@ -1,0 +1,97 @@
+// Sensor / classifier models for the perception chain.
+//
+// A sensor outputs one of (known classes..., "none"); its behaviour on
+// each true-world class is a confusion row — exactly the abstraction of
+// the paper's Table I. Novel (unmodeled) classes get their own row, which
+// the *developer's* model does not know (the published Table I encodes it
+// as the `unknown` ground-truth state only after the domain analysis has
+// been extended).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "perception/world.hpp"
+#include "prob/discrete.hpp"
+#include "prob/information.hpp"
+
+namespace sysuq::perception {
+
+/// Output code of a sensor: 0..k-1 = class labels, k = "none" (no
+/// detection). The epistemic "cannot decide" output of Table I is modeled
+/// by the uncertainty-aware classifier layer, not the raw sensor.
+struct SensorOutput {
+  std::size_t label;  ///< 0..k-1 class, or k for none
+  bool is_none;       ///< convenience flag: label == class_count
+};
+
+/// A confusion-matrix sensor over a developer world model of k classes.
+class ConfusionSensor {
+ public:
+  /// `rows` — one categorical over (k classes + none) per *true-world*
+  /// class the sensor may ever see: first the k modeled classes, then one
+  /// row per novel class (how the sensor responds to objects outside its
+  /// training distribution).
+  ConfusionSensor(std::size_t modeled_classes,
+                  std::vector<prob::Categorical> rows);
+
+  /// A well-behaved sensor: diagonal accuracy `acc` on modeled classes
+  /// (residual split between other classes and none), and novel classes
+  /// responding with `novel_none` mass on none, remainder spread evenly
+  /// over the modeled classes (hallucinated labels).
+  [[nodiscard]] static ConfusionSensor make_default(std::size_t modeled_classes,
+                                                    std::size_t novel_classes,
+                                                    double acc,
+                                                    double novel_none);
+
+  [[nodiscard]] std::size_t modeled_classes() const { return k_; }
+  [[nodiscard]] std::size_t output_cardinality() const { return k_ + 1; }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const prob::Categorical& row(ClassId true_class) const;
+
+  /// Hard-label classification of one encounter.
+  [[nodiscard]] SensorOutput classify(ClassId true_class, prob::Rng& rng) const;
+
+  /// The full output distribution for a true class (soft prediction).
+  [[nodiscard]] const prob::Categorical& predictive(ClassId true_class) const {
+    return row(true_class);
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<prob::Categorical> rows_;
+};
+
+/// An ensemble of perturbed sensors modelling *epistemic* uncertainty
+/// about the classifier's behaviour (the deep-ensemble / MC-dropout
+/// abstraction of the paper's cited uncertainty-aware ML [5], [6]).
+class EnsembleClassifier {
+ public:
+  /// `members` — sensors with identical shape but varied confusion rows.
+  explicit EnsembleClassifier(std::vector<ConfusionSensor> members);
+
+  /// Builds an ensemble of `n` members around `nominal` by Dirichlet-
+  /// resampling every confusion row with concentration `concentration`
+  /// (higher = members agree more = less epistemic uncertainty).
+  [[nodiscard]] static EnsembleClassifier perturbed(const ConfusionSensor& nominal,
+                                                    std::size_t n,
+                                                    double concentration,
+                                                    prob::Rng& rng);
+
+  [[nodiscard]] std::size_t member_count() const { return members_.size(); }
+  [[nodiscard]] const ConfusionSensor& member(std::size_t i) const;
+
+  /// Per-member predictive distributions for a true class.
+  [[nodiscard]] std::vector<prob::Categorical> member_predictives(
+      ClassId true_class) const;
+
+  /// Entropy decomposition of the ensemble prediction for a true class:
+  /// total = aleatory (mean member entropy) + epistemic (disagreement).
+  [[nodiscard]] prob::EntropyDecomposition decompose(ClassId true_class) const;
+
+ private:
+  std::vector<ConfusionSensor> members_;
+};
+
+}  // namespace sysuq::perception

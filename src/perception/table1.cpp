@@ -1,0 +1,33 @@
+#include "perception/table1.hpp"
+
+#include <stdexcept>
+
+namespace sysuq::perception {
+
+prob::Categorical table1_unknown_row(Table1Repair repair) {
+  switch (repair) {
+    case Table1Repair::kDeficitToNone:
+      return prob::Categorical({0.0, 0.0, 0.2, 0.8});
+    case Table1Repair::kDeficitToCarPed:
+      return prob::Categorical({0.0, 0.0, 0.3, 0.7});
+    case Table1Repair::kRenormalize:
+      return prob::Categorical::normalized({0.0, 0.0, 0.2, 0.7});
+  }
+  throw std::invalid_argument("table1_unknown_row: bad repair policy");
+}
+
+bayesnet::BayesianNetwork table1_network(Table1Repair repair) {
+  bayesnet::BayesianNetwork net;
+  const auto gt =
+      net.add_variable("ground_truth", {"car", "pedestrian", "unknown"});
+  const auto pc = net.add_variable(
+      "perception", {"car", "pedestrian", "car/pedestrian", "none"});
+  net.set_cpt(gt, {}, {prob::Categorical({0.6, 0.3, 0.1})});
+  net.set_cpt(pc, {gt},
+              {prob::Categorical({0.9, 0.005, 0.05, 0.045}),
+               prob::Categorical({0.005, 0.9, 0.05, 0.045}),
+               table1_unknown_row(repair)});
+  return net;
+}
+
+}  // namespace sysuq::perception

@@ -1,0 +1,82 @@
+#include "perception/world.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace sysuq::perception {
+
+WorldModel::WorldModel(std::vector<std::string> class_names,
+                       std::vector<double> priors)
+    : names_(std::move(class_names)),
+      priors_(prob::Categorical::normalized(std::move(priors))) {
+  if (names_.empty()) throw std::invalid_argument("WorldModel: no classes");
+  if (names_.size() != priors_.size())
+    throw std::invalid_argument("WorldModel: class/prior count mismatch");
+  std::unordered_set<std::string> seen;
+  for (const auto& n : names_) {
+    if (n.empty() || !seen.insert(n).second)
+      throw std::invalid_argument("WorldModel: bad class name '" + n + "'");
+  }
+}
+
+const std::string& WorldModel::class_name(ClassId c) const {
+  if (c >= names_.size()) throw std::out_of_range("WorldModel::class_name");
+  return names_[c];
+}
+
+ClassId WorldModel::class_id(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end())
+    throw std::invalid_argument("WorldModel: no class '" + name + "'");
+  return static_cast<ClassId>(std::distance(names_.begin(), it));
+}
+
+std::pair<WorldModel, double> WorldModel::restricted(
+    const std::vector<ClassId>& keep) const {
+  if (keep.empty()) throw std::invalid_argument("WorldModel::restricted: empty");
+  std::vector<std::string> names;
+  std::vector<double> priors;
+  double kept_mass = 0.0;
+  std::unordered_set<ClassId> seen;
+  for (ClassId c : keep) {
+    if (c >= names_.size())
+      throw std::out_of_range("WorldModel::restricted: class id");
+    if (!seen.insert(c).second)
+      throw std::invalid_argument("WorldModel::restricted: duplicate class");
+    names.push_back(names_[c]);
+    priors.push_back(priors_.p(c));
+    kept_mass += priors_.p(c);
+  }
+  if (!(kept_mass > 0.0))
+    throw std::invalid_argument("WorldModel::restricted: zero kept mass");
+  return {WorldModel(std::move(names), std::move(priors)), 1.0 - kept_mass};
+}
+
+TrueWorld::TrueWorld(WorldModel modeled, std::vector<std::string> novel_names,
+                     double novel_rate)
+    : modeled_(std::move(modeled)),
+      novel_names_(std::move(novel_names)),
+      novel_rate_(novel_rate) {
+  if (novel_rate < 0.0 || novel_rate >= 1.0)
+    throw std::invalid_argument("TrueWorld: novel_rate outside [0, 1)");
+  if (novel_rate > 0.0 && novel_names_.empty())
+    throw std::invalid_argument("TrueWorld: novel_rate > 0 with no novel classes");
+}
+
+Encounter TrueWorld::sample(prob::Rng& rng) const {
+  if (novel_rate_ > 0.0 && rng.bernoulli(novel_rate_)) {
+    const std::size_t k = rng.uniform_index(novel_names_.size());
+    return {modeled_.class_count() + k, false};
+  }
+  return {modeled_.priors().sample(rng), true};
+}
+
+const std::string& TrueWorld::class_name(ClassId c) const {
+  if (c < modeled_.class_count()) return modeled_.class_name(c);
+  const std::size_t k = c - modeled_.class_count();
+  if (k >= novel_names_.size()) throw std::out_of_range("TrueWorld::class_name");
+  return novel_names_[k];
+}
+
+}  // namespace sysuq::perception

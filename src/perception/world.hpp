@@ -1,0 +1,82 @@
+// World models and ground-truth generation for the perception chain.
+//
+// A WorldModel is the *developer's* model of the operational domain: the
+// object classes assumed to exist and their encounter priors (the paper's
+// "we assume that only cars or pedestrians will be encountered"). The
+// TrueWorld is the actual domain, which may contain classes the developer
+// never modeled — the ontological gap.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "prob/discrete.hpp"
+#include "prob/rng.hpp"
+
+namespace sysuq::perception {
+
+/// Index of an object class within a world.
+using ClassId = std::size_t;
+
+/// The developer's codified model of the operational domain.
+class WorldModel {
+ public:
+  /// Classes with encounter priors (normalized at construction).
+  WorldModel(std::vector<std::string> class_names, std::vector<double> priors);
+
+  [[nodiscard]] std::size_t class_count() const { return names_.size(); }
+  [[nodiscard]] const std::string& class_name(ClassId c) const;
+  [[nodiscard]] ClassId class_id(const std::string& name) const;
+  [[nodiscard]] const prob::Categorical& priors() const { return priors_; }
+
+  /// Restricts the world to a subset of classes (operational design
+  /// domain restriction — the paper's flagship *uncertainty prevention*
+  /// mean). Priors are renormalized over the kept classes; returns the
+  /// fraction of encounters excluded by the restriction.
+  [[nodiscard]] std::pair<WorldModel, double> restricted(
+      const std::vector<ClassId>& keep) const;
+
+ private:
+  std::vector<std::string> names_;
+  prob::Categorical priors_;
+};
+
+/// One ground-truth encounter drawn from the true world.
+struct Encounter {
+  ClassId true_class;   ///< index into the TRUE world's class list
+  bool modeled;         ///< true if the class exists in the developer model
+};
+
+/// The actual operational domain: the developer-modeled classes plus
+/// (possibly) novel classes the model knows nothing about.
+class TrueWorld {
+ public:
+  /// `modeled` is the developer's world; `novel_names`/`novel_rate`
+  /// introduce unmodeled classes encountered with total probability
+  /// `novel_rate` (split evenly among them). novel_rate in [0, 1).
+  TrueWorld(WorldModel modeled, std::vector<std::string> novel_names,
+            double novel_rate);
+
+  /// Draws one encounter. Classes [0, modeled_count) are the developer's;
+  /// classes beyond are novel.
+  [[nodiscard]] Encounter sample(prob::Rng& rng) const;
+
+  [[nodiscard]] const WorldModel& modeled() const { return modeled_; }
+  [[nodiscard]] std::size_t total_class_count() const {
+    return modeled_.class_count() + novel_names_.size();
+  }
+  [[nodiscard]] std::size_t novel_class_count() const {
+    return novel_names_.size();
+  }
+  [[nodiscard]] double novel_rate() const { return novel_rate_; }
+  /// Name of any true-world class (modeled or novel).
+  [[nodiscard]] const std::string& class_name(ClassId c) const;
+
+ private:
+  WorldModel modeled_;
+  std::vector<std::string> novel_names_;
+  double novel_rate_;
+};
+
+}  // namespace sysuq::perception

@@ -1,0 +1,216 @@
+#include "prob/discrete.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "prob/special.hpp"
+
+namespace sysuq::prob {
+
+// ------------------------------------------------------------ Categorical
+
+Categorical::Categorical(std::vector<double> probs) : p_(std::move(probs)) {
+  if (p_.empty()) throw std::invalid_argument("Categorical: empty");
+  double sum = 0.0;
+  for (double v : p_) {
+    if (!std::isfinite(v) || v < 0.0)
+      throw std::invalid_argument("Categorical: probabilities must be finite "
+                                  "and non-negative");
+    sum += v;
+  }
+  if (std::fabs(sum - 1.0) > 1e-9)
+    throw std::invalid_argument("Categorical: probabilities must sum to 1");
+}
+
+Categorical Categorical::normalized(std::vector<double> weights) {
+  double sum = 0.0;
+  for (double v : weights) {
+    if (!std::isfinite(v) || v < 0.0)
+      throw std::invalid_argument(
+          "Categorical::normalized: weights must be finite and non-negative");
+    sum += v;
+  }
+  if (!(sum > 0.0))
+    throw std::invalid_argument("Categorical::normalized: all weights zero");
+  for (double& v : weights) v /= sum;
+  return Categorical(std::move(weights));
+}
+
+Categorical Categorical::uniform(std::size_t k) {
+  if (k == 0) throw std::invalid_argument("Categorical::uniform: k == 0");
+  return Categorical(std::vector<double>(k, 1.0 / static_cast<double>(k)));
+}
+
+Categorical Categorical::delta(std::size_t i, std::size_t k) {
+  if (i >= k) throw std::invalid_argument("Categorical::delta: i >= k");
+  std::vector<double> p(k, 0.0);
+  p[i] = 1.0;
+  return Categorical(std::move(p));
+}
+
+double Categorical::p(std::size_t i) const {
+  if (i >= p_.size()) throw std::out_of_range("Categorical::p: index");
+  return p_[i];
+}
+
+double Categorical::entropy() const {
+  double h = 0.0;
+  for (double v : p_) {
+    if (v > 0.0) h -= v * std::log(v);
+  }
+  return h;
+}
+
+std::size_t Categorical::argmax() const {
+  return static_cast<std::size_t>(
+      std::distance(p_.begin(), std::max_element(p_.begin(), p_.end())));
+}
+
+double Categorical::max_prob() const { return *std::max_element(p_.begin(), p_.end()); }
+
+std::size_t Categorical::sample(Rng& rng) const { return rng.categorical(p_); }
+
+double Categorical::total_variation(const Categorical& other) const {
+  if (other.size() != size())
+    throw std::invalid_argument("Categorical::total_variation: size mismatch");
+  double tv = 0.0;
+  for (std::size_t i = 0; i < p_.size(); ++i) tv += std::fabs(p_[i] - other.p_[i]);
+  return 0.5 * tv;
+}
+
+Categorical Categorical::mixed(const Categorical& other, double w) const {
+  if (other.size() != size())
+    throw std::invalid_argument("Categorical::mixed: size mismatch");
+  if (w < 0.0 || w > 1.0)
+    throw std::invalid_argument("Categorical::mixed: w outside [0, 1]");
+  std::vector<double> m(p_.size());
+  for (std::size_t i = 0; i < p_.size(); ++i)
+    m[i] = (1.0 - w) * p_[i] + w * other.p_[i];
+  return Categorical(std::move(m));
+}
+
+// -------------------------------------------------------------- Bernoulli
+
+Bernoulli::Bernoulli(double p) : p_(p) {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw std::invalid_argument("Bernoulli: p outside [0, 1]");
+}
+
+double Bernoulli::entropy() const {
+  auto term = [](double q) { return q > 0.0 ? -q * std::log(q) : 0.0; };
+  return term(p_) + term(1.0 - p_);
+}
+
+bool Bernoulli::sample(Rng& rng) const { return rng.bernoulli(p_); }
+
+// --------------------------------------------------------------- Binomial
+
+Binomial::Binomial(std::size_t n, double p) : n_(n), p_(p) {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw std::invalid_argument("Binomial: p outside [0, 1]");
+}
+
+double Binomial::pmf(std::size_t k) const {
+  if (k > n_) return 0.0;
+  return std::exp(log_pmf(k));
+}
+
+double Binomial::log_pmf(std::size_t k) const {
+  if (k > n_) return -std::numeric_limits<double>::infinity();
+  if (p_ == 0.0) return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  if (p_ == 1.0) return k == n_ ? 0.0 : -std::numeric_limits<double>::infinity();
+  return log_binomial_coeff(n_, k) + static_cast<double>(k) * std::log(p_) +
+         static_cast<double>(n_ - k) * std::log1p(-p_);
+}
+
+double Binomial::cdf(std::size_t k) const {
+  if (k >= n_) return 1.0;
+  // P(X <= k) = I_{1-p}(n-k, k+1)
+  return reg_inc_beta(static_cast<double>(n_ - k), static_cast<double>(k) + 1.0,
+                      1.0 - p_);
+}
+
+std::size_t Binomial::sample(Rng& rng) const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n_; ++i) count += rng.bernoulli(p_) ? 1 : 0;
+  return count;
+}
+
+// ---------------------------------------------------------------- Poisson
+
+Poisson::Poisson(double lambda) : lambda_(lambda) {
+  if (!(lambda > 0.0)) throw std::invalid_argument("Poisson: lambda <= 0");
+}
+
+double Poisson::pmf(std::size_t k) const { return std::exp(log_pmf(k)); }
+
+double Poisson::log_pmf(std::size_t k) const {
+  return static_cast<double>(k) * std::log(lambda_) - lambda_ - log_factorial(k);
+}
+
+double Poisson::cdf(std::size_t k) const {
+  return reg_upper_gamma(static_cast<double>(k) + 1.0, lambda_);
+}
+
+std::size_t Poisson::sample(Rng& rng) const {
+  // Inversion by sequential search (adequate for the moderate lambdas the
+  // library uses: event counts per scene / per observation window).
+  const double l = std::exp(-lambda_);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > l);
+  return k - 1;
+}
+
+// ----------------------------------------------------- CategoricalCounter
+
+CategoricalCounter::CategoricalCounter(std::size_t k) : counts_(k, 0) {
+  if (k == 0) throw std::invalid_argument("CategoricalCounter: k == 0");
+}
+
+void CategoricalCounter::observe(std::size_t i) { observe(i, 1); }
+
+void CategoricalCounter::observe(std::size_t i, std::size_t n) {
+  if (i >= counts_.size())
+    throw std::out_of_range("CategoricalCounter::observe: index");
+  counts_[i] += n;
+  total_ += n;
+}
+
+Categorical CategoricalCounter::mle() const {
+  if (total_ == 0)
+    throw std::logic_error("CategoricalCounter::mle: no observations");
+  std::vector<double> p(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    p[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  return Categorical(std::move(p));
+}
+
+Categorical CategoricalCounter::smoothed(double smoothing) const {
+  if (!(smoothing > 0.0))
+    throw std::invalid_argument("CategoricalCounter::smoothed: smoothing <= 0");
+  std::vector<double> w(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    w[i] = static_cast<double>(counts_[i]) + smoothing;
+  return Categorical::normalized(std::move(w));
+}
+
+std::size_t CategoricalCounter::unseen_categories() const {
+  return static_cast<std::size_t>(
+      std::count(counts_.begin(), counts_.end(), std::size_t{0}));
+}
+
+double CategoricalCounter::good_turing_missing_mass() const {
+  if (total_ == 0) return 1.0;  // with no data, all mass is unseen
+  const auto singletons = static_cast<double>(
+      std::count(counts_.begin(), counts_.end(), std::size_t{1}));
+  return singletons / static_cast<double>(total_);
+}
+
+}  // namespace sysuq::prob

@@ -1,0 +1,65 @@
+#include "prob/fuzzy.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace sysuq::prob {
+
+TriangularFuzzy::TriangularFuzzy(double a, double m, double b)
+    : a_(a), m_(m), b_(b) {
+  if (!(a <= m && m <= b))
+    throw std::invalid_argument("TriangularFuzzy: require a <= m <= b");
+}
+
+TriangularFuzzy TriangularFuzzy::crisp(double value) {
+  return {value, value, value};
+}
+
+double TriangularFuzzy::membership(double x) const {
+  if (x < a_ || x > b_) return 0.0;
+  if (x == m_) return 1.0;
+  if (x < m_) return (x - a_) / (m_ - a_);
+  return (b_ - x) / (b_ - m_);
+}
+
+std::pair<double, double> TriangularFuzzy::alpha_cut(double alpha) const {
+  if (!(alpha > 0.0 && alpha <= 1.0))
+    throw std::invalid_argument("TriangularFuzzy::alpha_cut: alpha in (0, 1]");
+  return {a_ + alpha * (m_ - a_), b_ - alpha * (b_ - m_)};
+}
+
+TriangularFuzzy TriangularFuzzy::operator+(const TriangularFuzzy& o) const {
+  return {a_ + o.a_, m_ + o.m_, b_ + o.b_};
+}
+
+TriangularFuzzy TriangularFuzzy::operator*(const TriangularFuzzy& o) const {
+  // Valid triangular approximation when all endpoints are non-negative
+  // (always true for fuzzy probabilities).
+  if (a_ < 0.0 || o.a_ < 0.0)
+    throw std::invalid_argument("TriangularFuzzy::operator*: negative support");
+  return {a_ * o.a_, m_ * o.m_, b_ * o.b_};
+}
+
+TriangularFuzzy TriangularFuzzy::complement() const {
+  if (a_ < 0.0 || b_ > 1.0)
+    throw std::invalid_argument("TriangularFuzzy::complement: not a probability");
+  return {1.0 - b_, 1.0 - m_, 1.0 - a_};
+}
+
+TriangularFuzzy TriangularFuzzy::fuzzy_and(const TriangularFuzzy& x,
+                                           const TriangularFuzzy& y) {
+  return x * y;
+}
+
+TriangularFuzzy TriangularFuzzy::fuzzy_or(const TriangularFuzzy& x,
+                                          const TriangularFuzzy& y) {
+  return fuzzy_and(x.complement(), y.complement()).complement();
+}
+
+std::string TriangularFuzzy::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(%.6g, %.6g, %.6g)", a_, m_, b_);
+  return buf;
+}
+
+}  // namespace sysuq::prob

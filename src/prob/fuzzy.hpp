@@ -1,0 +1,62 @@
+// Triangular fuzzy numbers and alpha-cut arithmetic.
+//
+// Fuzzy fault-tree analysis (Tanaka et al. 1983, cited by the paper as an
+// FTA extension) represents imprecise basic-event probabilities as fuzzy
+// numbers and propagates them through gates by alpha-cut interval
+// arithmetic. A triangular fuzzy number (a, m, b) has membership 1 at m
+// falling linearly to 0 at a and b.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace sysuq::prob {
+
+/// Triangular fuzzy number with support [a, b] and core m.
+/// Invariant: a <= m <= b; for fuzzy probabilities, 0 <= a, b <= 1.
+class TriangularFuzzy {
+ public:
+  TriangularFuzzy(double a, double m, double b);
+
+  /// Crisp (degenerate) fuzzy number.
+  [[nodiscard]] static TriangularFuzzy crisp(double value);
+
+  [[nodiscard]] double low() const { return a_; }
+  [[nodiscard]] double mode() const { return m_; }
+  [[nodiscard]] double high() const { return b_; }
+
+  /// Membership degree mu(x) in [0, 1].
+  [[nodiscard]] double membership(double x) const;
+
+  /// Alpha-cut: the interval {x : mu(x) >= alpha}. alpha in (0, 1].
+  [[nodiscard]] std::pair<double, double> alpha_cut(double alpha) const;
+
+  /// Support width b - a: a scalar imprecision measure.
+  [[nodiscard]] double support_width() const { return b_ - a_; }
+
+  /// Centroid defuzzification (a + m + b) / 3.
+  [[nodiscard]] double defuzzify() const { return (a_ + m_ + b_) / 3.0; }
+
+  /// Fuzzy arithmetic via endpoint operations — exact for triangular
+  /// operands under +; approximate (triangular-preserving) under *.
+  [[nodiscard]] TriangularFuzzy operator+(const TriangularFuzzy& o) const;
+  [[nodiscard]] TriangularFuzzy operator*(const TriangularFuzzy& o) const;
+  /// 1 - x, for complementing fuzzy probabilities.
+  [[nodiscard]] TriangularFuzzy complement() const;
+
+  /// Fuzzy AND-gate probability: product of operands.
+  [[nodiscard]] static TriangularFuzzy fuzzy_and(const TriangularFuzzy& x,
+                                                 const TriangularFuzzy& y);
+  /// Fuzzy OR-gate probability: 1 - (1-x)(1-y).
+  [[nodiscard]] static TriangularFuzzy fuzzy_or(const TriangularFuzzy& x,
+                                                const TriangularFuzzy& y);
+
+  [[nodiscard]] bool operator==(const TriangularFuzzy& o) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double a_, m_, b_;
+};
+
+}  // namespace sysuq::prob

@@ -1,0 +1,160 @@
+#include "prob/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sysuq::prob {
+
+// ------------------------------------------------------------ Histogram1D
+
+Histogram1D::Histogram1D(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram1D: lo >= hi");
+  if (bins == 0) throw std::invalid_argument("Histogram1D: zero bins");
+}
+
+void Histogram1D::add(double x) {
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto i = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                          static_cast<double>(counts_.size()));
+  counts_[std::min(i, counts_.size() - 1)] += 1;
+  ++total_;
+}
+
+std::size_t Histogram1D::count(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram1D::count");
+  return counts_[i];
+}
+
+double Histogram1D::bin_center(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram1D::bin_center");
+  return lo_ + (static_cast<double>(i) + 0.5) * bin_width();
+}
+
+double Histogram1D::bin_width() const {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram1D::probability(std::size_t i) const {
+  if (total_ == 0) throw std::logic_error("Histogram1D::probability: empty");
+  return static_cast<double>(count(i)) / static_cast<double>(total_);
+}
+
+double Histogram1D::density(std::size_t i) const {
+  return probability(i) / bin_width();
+}
+
+Categorical Histogram1D::distribution() const {
+  if (total_ == 0) throw std::logic_error("Histogram1D::distribution: empty");
+  std::vector<double> w(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    w[i] = static_cast<double>(counts_[i]);
+  return Categorical::normalized(std::move(w));
+}
+
+// ------------------------------------------------------------ Histogram2D
+
+Histogram2D::Histogram2D(double xlo, double xhi, std::size_t xbins, double ylo,
+                         double yhi, std::size_t ybins)
+    : xlo_(xlo),
+      xhi_(xhi),
+      ylo_(ylo),
+      yhi_(yhi),
+      xbins_(xbins),
+      ybins_(ybins),
+      counts_(xbins * ybins, 0) {
+  if (!(xlo < xhi) || !(ylo < yhi))
+    throw std::invalid_argument("Histogram2D: degenerate range");
+  if (xbins == 0 || ybins == 0)
+    throw std::invalid_argument("Histogram2D: zero bins");
+}
+
+std::size_t Histogram2D::index(std::size_t ix, std::size_t iy) const {
+  return ix * ybins_ + iy;
+}
+
+void Histogram2D::add(double x, double y) {
+  if (x < xlo_ || x >= xhi_ || y < ylo_ || y >= yhi_) {
+    ++outside_;
+    return;
+  }
+  auto ix = static_cast<std::size_t>((x - xlo_) / (xhi_ - xlo_) *
+                                     static_cast<double>(xbins_));
+  auto iy = static_cast<std::size_t>((y - ylo_) / (yhi_ - ylo_) *
+                                     static_cast<double>(ybins_));
+  ix = std::min(ix, xbins_ - 1);
+  iy = std::min(iy, ybins_ - 1);
+  counts_[index(ix, iy)] += 1;
+  ++total_;
+}
+
+std::size_t Histogram2D::count(std::size_t ix, std::size_t iy) const {
+  if (ix >= xbins_ || iy >= ybins_)
+    throw std::out_of_range("Histogram2D::count");
+  return counts_[index(ix, iy)];
+}
+
+double Histogram2D::probability(std::size_t ix, std::size_t iy) const {
+  if (total_ == 0) throw std::logic_error("Histogram2D::probability: empty");
+  return static_cast<double>(count(ix, iy)) / static_cast<double>(total_);
+}
+
+double Histogram2D::frame_probability(double x0, double x1, double y0,
+                                      double y1) const {
+  if (total_ == 0) throw std::logic_error("Histogram2D::frame_probability: empty");
+  if (!(x0 < x1) || !(y0 < y1))
+    throw std::invalid_argument("Histogram2D::frame_probability: bad frame");
+  const double xw = (xhi_ - xlo_) / static_cast<double>(xbins_);
+  const double yw = (yhi_ - ylo_) / static_cast<double>(ybins_);
+  double prob = 0.0;
+  for (std::size_t ix = 0; ix < xbins_; ++ix) {
+    const double cx0 = xlo_ + static_cast<double>(ix) * xw;
+    const double cx1 = cx0 + xw;
+    const double ox = std::max(0.0, std::min(x1, cx1) - std::max(x0, cx0));
+    if (ox <= 0.0) continue;
+    for (std::size_t iy = 0; iy < ybins_; ++iy) {
+      const double cy0 = ylo_ + static_cast<double>(iy) * yw;
+      const double cy1 = cy0 + yw;
+      const double oy = std::max(0.0, std::min(y1, cy1) - std::max(y0, cy0));
+      if (oy <= 0.0) continue;
+      const double frac = (ox / xw) * (oy / yw);
+      prob += frac * static_cast<double>(counts_[index(ix, iy)]) /
+              static_cast<double>(total_);
+    }
+  }
+  return prob;
+}
+
+Categorical Histogram2D::distribution() const {
+  if (total_ == 0) throw std::logic_error("Histogram2D::distribution: empty");
+  std::vector<double> w(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    w[i] = static_cast<double>(counts_[i]);
+  return Categorical::normalized(std::move(w));
+}
+
+double Histogram2D::total_variation(const Histogram2D& other) const {
+  if (other.xbins_ != xbins_ || other.ybins_ != ybins_)
+    throw std::invalid_argument("Histogram2D::total_variation: shape mismatch");
+  if (total_ == 0 || other.total_ == 0)
+    throw std::logic_error("Histogram2D::total_variation: empty histogram");
+  double tv = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double pa =
+        static_cast<double>(counts_[i]) / static_cast<double>(total_);
+    const double pb =
+        static_cast<double>(other.counts_[i]) / static_cast<double>(other.total_);
+    tv += std::fabs(pa - pb);
+  }
+  return 0.5 * tv;
+}
+
+}  // namespace sysuq::prob

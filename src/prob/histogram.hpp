@@ -1,0 +1,92 @@
+// Histograms / empirical distributions.
+//
+// `Histogram2D` is the formal system of the paper's "model B" (Fig. 2): a
+// frequentist spatial-occupancy model built by repeatedly observing planet
+// positions. Its cell probabilities carry aleatory uncertainty (the model
+// is probabilistic by construction) and, at finite sample size, epistemic
+// uncertainty (gap between observed and true frequencies).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "prob/discrete.hpp"
+
+namespace sysuq::prob {
+
+/// Uniform-bin 1-D histogram over [lo, hi). Out-of-range samples are
+/// counted separately as underflow/overflow.
+class Histogram1D {
+ public:
+  Histogram1D(double lo, double hi, std::size_t bins);
+
+  /// Records a sample.
+  void add(double x);
+
+  /// Number of bins.
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  /// In-range observation count.
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Count of bin i.
+  [[nodiscard]] std::size_t count(std::size_t i) const;
+  /// Samples below lo / at-or-above hi.
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  /// Center of bin i.
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  /// Bin width.
+  [[nodiscard]] double bin_width() const;
+  /// Empirical probability of bin i (throws if no in-range samples).
+  [[nodiscard]] double probability(std::size_t i) const;
+  /// Empirical density at bin i (probability / bin width).
+  [[nodiscard]] double density(std::size_t i) const;
+  /// The histogram as a categorical over bins.
+  [[nodiscard]] Categorical distribution() const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0, underflow_ = 0, overflow_ = 0;
+};
+
+/// Uniform-bin 2-D histogram over [xlo, xhi) x [ylo, yhi).
+class Histogram2D {
+ public:
+  Histogram2D(double xlo, double xhi, std::size_t xbins, double ylo, double yhi,
+              std::size_t ybins);
+
+  /// Records a sample; out-of-range samples are counted as outside.
+  void add(double x, double y);
+
+  [[nodiscard]] std::size_t xbins() const { return xbins_; }
+  [[nodiscard]] std::size_t ybins() const { return ybins_; }
+  /// In-range observation count.
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Out-of-range observation count.
+  [[nodiscard]] std::size_t outside() const { return outside_; }
+  /// Count in cell (ix, iy).
+  [[nodiscard]] std::size_t count(std::size_t ix, std::size_t iy) const;
+  /// Empirical cell probability (throws if no in-range samples).
+  [[nodiscard]] double probability(std::size_t ix, std::size_t iy) const;
+  /// Probability that a sample falls within the axis-aligned frame
+  /// [x0,x1) x [y0,y1), computed by summing fully/partially covered cells
+  /// with area-fraction weighting of boundary cells.
+  [[nodiscard]] double frame_probability(double x0, double x1, double y0,
+                                         double y1) const;
+  /// Flattened (row-major over y within x) categorical over cells.
+  [[nodiscard]] Categorical distribution() const;
+  /// Total-variation distance against another equal-shape histogram's
+  /// empirical distribution.
+  [[nodiscard]] double total_variation(const Histogram2D& other) const;
+
+ private:
+  double xlo_, xhi_, ylo_, yhi_;
+  std::size_t xbins_, ybins_;
+  std::vector<std::size_t> counts_;  // xbins * ybins, row-major
+  std::size_t total_ = 0, outside_ = 0;
+
+  [[nodiscard]] std::size_t index(std::size_t ix, std::size_t iy) const;
+};
+
+}  // namespace sysuq::prob

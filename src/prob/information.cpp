@@ -1,0 +1,162 @@
+#include "prob/information.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sysuq::prob {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+JointTable::JointTable(std::vector<std::vector<double>> table)
+    : t_(std::move(table)) {
+  if (t_.empty() || t_[0].empty())
+    throw std::invalid_argument("JointTable: empty table");
+  const std::size_t cols = t_[0].size();
+  double sum = 0.0;
+  for (const auto& row : t_) {
+    if (row.size() != cols)
+      throw std::invalid_argument("JointTable: ragged rows");
+    for (double v : row) {
+      if (v < 0.0) throw std::invalid_argument("JointTable: negative entry");
+      sum += v;
+    }
+  }
+  if (std::fabs(sum - 1.0) > 1e-9)
+    throw std::invalid_argument("JointTable: entries must sum to 1");
+}
+
+JointTable JointTable::from_conditional(
+    const Categorical& px, const std::vector<Categorical>& py_given_x) {
+  if (py_given_x.size() != px.size())
+    throw std::invalid_argument("JointTable::from_conditional: row mismatch");
+  const std::size_t cols = py_given_x.empty() ? 0 : py_given_x[0].size();
+  std::vector<std::vector<double>> t(px.size(), std::vector<double>(cols, 0.0));
+  for (std::size_t x = 0; x < px.size(); ++x) {
+    if (py_given_x[x].size() != cols)
+      throw std::invalid_argument("JointTable::from_conditional: col mismatch");
+    for (std::size_t y = 0; y < cols; ++y) t[x][y] = px.p(x) * py_given_x[x].p(y);
+  }
+  return JointTable(std::move(t));
+}
+
+double JointTable::p(std::size_t x, std::size_t y) const {
+  if (x >= rows() || y >= cols()) throw std::out_of_range("JointTable::p");
+  return t_[x][y];
+}
+
+Categorical JointTable::marginal_x() const {
+  std::vector<double> m(rows(), 0.0);
+  for (std::size_t x = 0; x < rows(); ++x)
+    for (std::size_t y = 0; y < cols(); ++y) m[x] += t_[x][y];
+  return Categorical::normalized(std::move(m));
+}
+
+Categorical JointTable::marginal_y() const {
+  std::vector<double> m(cols(), 0.0);
+  for (std::size_t x = 0; x < rows(); ++x)
+    for (std::size_t y = 0; y < cols(); ++y) m[y] += t_[x][y];
+  return Categorical::normalized(std::move(m));
+}
+
+Categorical JointTable::conditional_y_given_x(std::size_t x) const {
+  if (x >= rows()) throw std::out_of_range("conditional_y_given_x");
+  return Categorical::normalized(t_[x]);
+}
+
+Categorical JointTable::conditional_x_given_y(std::size_t y) const {
+  if (y >= cols()) throw std::out_of_range("conditional_x_given_y");
+  std::vector<double> col(rows());
+  for (std::size_t x = 0; x < rows(); ++x) col[x] = t_[x][y];
+  return Categorical::normalized(std::move(col));
+}
+
+double entropy(const Categorical& p) { return p.entropy(); }
+
+double cross_entropy(const Categorical& p, const Categorical& q) {
+  if (p.size() != q.size())
+    throw std::invalid_argument("cross_entropy: size mismatch");
+  double h = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p.p(i) > 0.0) {
+      if (q.p(i) == 0.0) return kInf;
+      h -= p.p(i) * std::log(q.p(i));
+    }
+  }
+  return h;
+}
+
+double kl_divergence(const Categorical& p, const Categorical& q) {
+  const double ce = cross_entropy(p, q);
+  return ce == kInf ? kInf : ce - p.entropy();
+}
+
+double js_divergence(const Categorical& p, const Categorical& q) {
+  const Categorical m = p.mixed(q, 0.5);
+  return 0.5 * kl_divergence(p, m) + 0.5 * kl_divergence(q, m);
+}
+
+double joint_entropy(const JointTable& joint) {
+  double h = 0.0;
+  for (std::size_t x = 0; x < joint.rows(); ++x) {
+    for (std::size_t y = 0; y < joint.cols(); ++y) {
+      const double v = joint.p(x, y);
+      if (v > 0.0) h -= v * std::log(v);
+    }
+  }
+  return h;
+}
+
+double conditional_entropy_y_given_x(const JointTable& joint) {
+  return joint_entropy(joint) - joint.marginal_x().entropy();
+}
+
+double conditional_entropy_x_given_y(const JointTable& joint) {
+  return joint_entropy(joint) - joint.marginal_y().entropy();
+}
+
+double mutual_information(const JointTable& joint) {
+  const double mi =
+      joint.marginal_y().entropy() - conditional_entropy_y_given_x(joint);
+  return std::max(0.0, mi);  // clamp tiny negative rounding residue
+}
+
+EntropyDecomposition decompose_ensemble_entropy(
+    const std::vector<Categorical>& members, const std::vector<double>* weights) {
+  if (members.empty())
+    throw std::invalid_argument("decompose_ensemble_entropy: empty ensemble");
+  const std::size_t k = members[0].size();
+  std::vector<double> w;
+  if (weights != nullptr) {
+    if (weights->size() != members.size())
+      throw std::invalid_argument("decompose_ensemble_entropy: weight mismatch");
+    double sum = 0.0;
+    for (double v : *weights) {
+      if (v < 0.0)
+        throw std::invalid_argument("decompose_ensemble_entropy: negative weight");
+      sum += v;
+    }
+    if (!(sum > 0.0))
+      throw std::invalid_argument("decompose_ensemble_entropy: zero weights");
+    w = *weights;
+    for (double& v : w) v /= sum;
+  } else {
+    w.assign(members.size(), 1.0 / static_cast<double>(members.size()));
+  }
+
+  std::vector<double> mean(k, 0.0);
+  double expected_h = 0.0;
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    if (members[m].size() != k)
+      throw std::invalid_argument("decompose_ensemble_entropy: size mismatch");
+    expected_h += w[m] * members[m].entropy();
+    for (std::size_t i = 0; i < k; ++i) mean[i] += w[m] * members[m].p(i);
+  }
+  const Categorical mixture = Categorical::normalized(std::move(mean));
+  const double total = mixture.entropy();
+  return {total, expected_h, std::max(0.0, total - expected_h)};
+}
+
+}  // namespace sysuq::prob

@@ -1,0 +1,95 @@
+// Information-theoretic measures.
+//
+// The paper formalizes *epistemic* uncertainty and the "surprise factor"
+// separating epistemic from ontological uncertainty via conditional
+// entropy between the system and its model (Secs. III.B, III.C, citing
+// Shannon). This header provides those measures on discrete distributions
+// and joint tables.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "prob/discrete.hpp"
+
+namespace sysuq::prob {
+
+/// A joint probability table over two discrete variables X (rows) and Y
+/// (columns). Invariant: entries non-negative, total sums to 1.
+class JointTable {
+ public:
+  /// Constructs from a row-major table; validates normalization.
+  JointTable(std::vector<std::vector<double>> table);
+
+  /// Builds the joint P(X, Y) = P(X) * P(Y|X) from a marginal and a
+  /// conditional given as one categorical row per x.
+  [[nodiscard]] static JointTable from_conditional(
+      const Categorical& px, const std::vector<Categorical>& py_given_x);
+
+  /// Number of X states.
+  [[nodiscard]] std::size_t rows() const { return t_.size(); }
+  /// Number of Y states.
+  [[nodiscard]] std::size_t cols() const { return t_.empty() ? 0 : t_[0].size(); }
+  /// P(X = x, Y = y).
+  [[nodiscard]] double p(std::size_t x, std::size_t y) const;
+  /// Marginal distribution of X.
+  [[nodiscard]] Categorical marginal_x() const;
+  /// Marginal distribution of Y.
+  [[nodiscard]] Categorical marginal_y() const;
+  /// Conditional P(Y | X = x); throws if P(X = x) = 0.
+  [[nodiscard]] Categorical conditional_y_given_x(std::size_t x) const;
+  /// Conditional P(X | Y = y); throws if P(Y = y) = 0.
+  [[nodiscard]] Categorical conditional_x_given_y(std::size_t y) const;
+
+ private:
+  std::vector<std::vector<double>> t_;
+};
+
+/// Shannon entropy H(P) in nats.
+[[nodiscard]] double entropy(const Categorical& p);
+
+/// Cross entropy H(P, Q) = -sum_i p_i log q_i; +inf if Q misses support.
+[[nodiscard]] double cross_entropy(const Categorical& p, const Categorical& q);
+
+/// Kullback-Leibler divergence D(P || Q); +inf if Q misses P's support.
+[[nodiscard]] double kl_divergence(const Categorical& p, const Categorical& q);
+
+/// Jensen-Shannon divergence (symmetric, bounded by log 2).
+[[nodiscard]] double js_divergence(const Categorical& p, const Categorical& q);
+
+/// Joint entropy H(X, Y).
+[[nodiscard]] double joint_entropy(const JointTable& joint);
+
+/// Conditional entropy H(Y | X) — the paper's formal "surprise factor":
+/// the residual uncertainty about the system (Y) given the model's
+/// prediction (X).
+[[nodiscard]] double conditional_entropy_y_given_x(const JointTable& joint);
+
+/// Conditional entropy H(X | Y).
+[[nodiscard]] double conditional_entropy_x_given_y(const JointTable& joint);
+
+/// Mutual information I(X; Y) = H(Y) - H(Y|X) >= 0.
+[[nodiscard]] double mutual_information(const JointTable& joint);
+
+/// Expected entropy of a mixture's components: sum_k w_k H(P_k). Together
+/// with the entropy of the mixture mean this decomposes predictive
+/// uncertainty: total = aleatory + epistemic, where
+///   aleatory  = E_k[H(P_k)]              (expected data uncertainty)
+///   epistemic = H(E_k[P_k]) - E_k[H(P_k)] (mutual information between
+///                the prediction and the model index — disagreement).
+/// This is the standard ensemble decomposition the paper's cited
+/// uncertainty-aware deep learning methods use (Gal & Ghahramani; Kendall
+/// & Gal).
+struct EntropyDecomposition {
+  double total;      ///< H of the mixture-averaged distribution
+  double aleatory;   ///< expected member entropy
+  double epistemic;  ///< total - aleatory (= Jensen gap, >= 0)
+};
+
+/// Decomposes the predictive entropy of an equally/explicitly weighted
+/// ensemble of categoricals. All members must share the category count.
+[[nodiscard]] EntropyDecomposition decompose_ensemble_entropy(
+    const std::vector<Categorical>& members,
+    const std::vector<double>* weights = nullptr);
+
+}  // namespace sysuq::prob

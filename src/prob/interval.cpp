@@ -1,0 +1,57 @@
+#include "prob/interval.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace sysuq::prob {
+
+namespace {
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+}
+
+ProbInterval::ProbInterval(double p) : ProbInterval(p, p) {}
+
+ProbInterval::ProbInterval(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (!(0.0 <= lo && lo <= hi && hi <= 1.0))
+    throw std::invalid_argument("ProbInterval: require 0 <= lo <= hi <= 1");
+}
+
+ProbInterval ProbInterval::vacuous() { return {0.0, 1.0}; }
+
+bool ProbInterval::intersects(const ProbInterval& other) const {
+  return lo_ <= other.hi_ && other.lo_ <= hi_;
+}
+
+ProbInterval ProbInterval::operator+(const ProbInterval& o) const {
+  return {clamp01(lo_ + o.lo_), clamp01(hi_ + o.hi_)};
+}
+
+ProbInterval ProbInterval::operator*(const ProbInterval& o) const {
+  // All endpoints are non-negative, so products are monotone.
+  return {lo_ * o.lo_, hi_ * o.hi_};
+}
+
+ProbInterval ProbInterval::complement() const { return {1.0 - hi_, 1.0 - lo_}; }
+
+ProbInterval ProbInterval::intersect(const ProbInterval& other) const {
+  if (!intersects(other))
+    throw std::invalid_argument("ProbInterval::intersect: disjoint intervals");
+  return {std::max(lo_, other.lo_), std::min(hi_, other.hi_)};
+}
+
+ProbInterval ProbInterval::hull(const ProbInterval& other) const {
+  return {std::min(lo_, other.lo_), std::max(hi_, other.hi_)};
+}
+
+ProbInterval ProbInterval::independent_or(const ProbInterval& o) const {
+  return {1.0 - (1.0 - lo_) * (1.0 - o.lo_), 1.0 - (1.0 - hi_) * (1.0 - o.hi_)};
+}
+
+std::string ProbInterval::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%.6g, %.6g]", lo_, hi_);
+  return buf;
+}
+
+}  // namespace sysuq::prob

@@ -1,0 +1,62 @@
+// Probability intervals — imprecise probabilities [lo, hi].
+//
+// Evidence theory (Sec. V.B) produces belief/plausibility *bounds* rather
+// than point probabilities; interval CPTs in the evidential network layer
+// propagate these. The arithmetic here is standard interval arithmetic
+// restricted to [0, 1] with the operations needed by credal propagation.
+#pragma once
+
+#include <string>
+
+namespace sysuq::prob {
+
+/// A closed interval [lo, hi] within [0, 1] representing an imprecise
+/// probability. Invariant: 0 <= lo <= hi <= 1.
+class ProbInterval {
+ public:
+  /// Degenerate (precise) interval [p, p].
+  explicit ProbInterval(double p);
+
+  /// Interval [lo, hi]; validated.
+  ProbInterval(double lo, double hi);
+
+  /// The vacuous interval [0, 1] — total ignorance.
+  [[nodiscard]] static ProbInterval vacuous();
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  /// Width hi - lo: the epistemic imprecision carried by the interval.
+  [[nodiscard]] double width() const { return hi_ - lo_; }
+  /// Midpoint (pignistic-style point summary).
+  [[nodiscard]] double mid() const { return 0.5 * (lo_ + hi_); }
+  /// True if the interval is a single point.
+  [[nodiscard]] bool is_precise() const { return lo_ == hi_; }
+  /// True if p lies within [lo, hi].
+  [[nodiscard]] bool contains(double p) const { return p >= lo_ && p <= hi_; }
+  /// True if the two intervals overlap.
+  [[nodiscard]] bool intersects(const ProbInterval& other) const;
+
+  /// Interval sum, clamped into [0, 1].
+  [[nodiscard]] ProbInterval operator+(const ProbInterval& o) const;
+  /// Interval product.
+  [[nodiscard]] ProbInterval operator*(const ProbInterval& o) const;
+  /// Complement [1-hi, 1-lo].
+  [[nodiscard]] ProbInterval complement() const;
+  /// Intersection; throws if disjoint.
+  [[nodiscard]] ProbInterval intersect(const ProbInterval& other) const;
+  /// Convex hull (union bound).
+  [[nodiscard]] ProbInterval hull(const ProbInterval& other) const;
+
+  /// Noisy-OR-style union for independent events: 1 - (1-a)(1-b).
+  [[nodiscard]] ProbInterval independent_or(const ProbInterval& o) const;
+
+  [[nodiscard]] bool operator==(const ProbInterval& o) const = default;
+
+  /// "[lo, hi]" with 6 significant digits.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double lo_, hi_;
+};
+
+}  // namespace sysuq::prob

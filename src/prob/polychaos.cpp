@@ -1,0 +1,270 @@
+#include "prob/polychaos.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sysuq::prob {
+
+namespace {
+
+// Evaluates He_k (probabilists' Hermite) or P_k (Legendre) by the
+// three-term recurrence, returning the value at x.
+double poly_value(PolyBasis basis, std::size_t k, double x) {
+  double prev = 1.0;  // degree 0
+  if (k == 0) return prev;
+  double cur = x;  // degree 1 for both families
+  for (std::size_t n = 1; n < k; ++n) {
+    double next;
+    if (basis == PolyBasis::kHermite) {
+      next = x * cur - static_cast<double>(n) * prev;
+    } else {
+      next = ((2.0 * n + 1.0) * x * cur - static_cast<double>(n) * prev) /
+             (static_cast<double>(n) + 1.0);
+    }
+    prev = cur;
+    cur = next;
+  }
+  return cur;
+}
+
+// Roots of the degree-n basis polynomial by grid bracketing + bisection.
+// Robust for the modest n (<= ~40) quadrature needs.
+std::vector<double> poly_roots(PolyBasis basis, std::size_t n) {
+  if (n == 0) return {};
+  const double bound = basis == PolyBasis::kHermite
+                           ? 2.0 * std::sqrt(static_cast<double>(n)) + 4.0
+                           : 1.0;
+  const std::size_t grid = 400 * n;
+  std::vector<double> roots;
+  double x0 = -bound;
+  double f0 = poly_value(basis, n, x0);
+  for (std::size_t i = 1; i <= grid; ++i) {
+    const double x1 =
+        -bound + 2.0 * bound * static_cast<double>(i) / static_cast<double>(grid);
+    const double f1 = poly_value(basis, n, x1);
+    if (f0 == 0.0) roots.push_back(x0);
+    if (f0 * f1 < 0.0) {
+      double lo = x0, hi = x1;
+      for (int it = 0; it < 100; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        const double fm = poly_value(basis, n, mid);
+        if (fm == 0.0) {
+          lo = hi = mid;
+          break;
+        }
+        if (poly_value(basis, n, lo) * fm < 0.0) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      roots.push_back(0.5 * (lo + hi));
+    }
+    x0 = x1;
+    f0 = f1;
+  }
+  if (roots.size() != n)
+    throw std::runtime_error("poly_roots: failed to bracket all roots");
+  return roots;
+}
+
+double factorial(std::size_t n) {
+  double f = 1.0;
+  for (std::size_t i = 2; i <= n; ++i) f *= static_cast<double>(i);
+  return f;
+}
+
+}  // namespace
+
+double basis_eval(PolyBasis basis, std::size_t k, double x) {
+  return poly_value(basis, k, x);
+}
+
+double basis_norm2(PolyBasis basis, std::size_t k) {
+  if (basis == PolyBasis::kHermite) return factorial(k);
+  return 1.0 / (2.0 * static_cast<double>(k) + 1.0);
+}
+
+QuadratureRule gauss_rule(PolyBasis basis, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("gauss_rule: zero nodes");
+  QuadratureRule rule;
+  rule.nodes = poly_roots(basis, n);
+  rule.weights.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rule.nodes[i];
+    if (basis == PolyBasis::kHermite) {
+      // w_i = (n-1)! * n / (n^2 [He_{n-1}(x_i)]^2) — probabilists' form
+      // normalized to the N(0,1) measure: w_i = n! / (n^2 He_{n-1}^2).
+      const double h = poly_value(basis, n - 1, x);
+      rule.weights[i] = factorial(n) /
+                        (static_cast<double>(n) * static_cast<double>(n) * h * h);
+    } else {
+      // Uniform[-1,1] *probability* measure: standard GL weight / 2.
+      // P'_n(x) via the identity (1-x^2) P'_n = n (P_{n-1} - x P_n).
+      const double pn = poly_value(basis, n, x);
+      const double pn1 = poly_value(basis, n - 1, x);
+      const double dpn = static_cast<double>(n) * (pn1 - x * pn) / (1.0 - x * x);
+      rule.weights[i] = 1.0 / ((1.0 - x * x) * dpn * dpn);
+    }
+  }
+  return rule;
+}
+
+PolynomialChaos1D::PolynomialChaos1D(PolyBasis basis, std::size_t order,
+                                     const std::function<double(double)>& f,
+                                     std::size_t extra_nodes)
+    : basis_(basis), coeff_(order + 1, 0.0) {
+  const auto rule = gauss_rule(basis, order + 1 + extra_nodes);
+  for (std::size_t k = 0; k <= order; ++k) {
+    double num = 0.0;
+    for (std::size_t i = 0; i < rule.nodes.size(); ++i) {
+      num += rule.weights[i] * f(rule.nodes[i]) *
+             poly_value(basis, k, rule.nodes[i]);
+    }
+    coeff_[k] = num / basis_norm2(basis, k);
+  }
+}
+
+double PolynomialChaos1D::coefficient(std::size_t k) const {
+  if (k >= coeff_.size()) throw std::out_of_range("PolynomialChaos1D: order");
+  return coeff_[k];
+}
+
+double PolynomialChaos1D::evaluate(double x) const {
+  double v = 0.0;
+  for (std::size_t k = 0; k < coeff_.size(); ++k)
+    v += coeff_[k] * poly_value(basis_, k, x);
+  return v;
+}
+
+double PolynomialChaos1D::variance() const {
+  double v = 0.0;
+  for (std::size_t k = 1; k < coeff_.size(); ++k)
+    v += coeff_[k] * coeff_[k] * basis_norm2(basis_, k);
+  return v;
+}
+
+PolynomialChaosND::PolynomialChaosND(
+    PolyBasis basis, std::size_t dim, std::size_t order,
+    const std::function<double(const std::vector<double>&)>& f,
+    std::size_t extra_nodes)
+    : basis_(basis), dim_(dim) {
+  if (dim == 0) throw std::invalid_argument("PolynomialChaosND: zero dim");
+  if (dim > 6)
+    throw std::invalid_argument("PolynomialChaosND: tensor rule capped at 6D");
+
+  // Enumerate total-degree multi-indices.
+  std::vector<std::size_t> idx(dim, 0);
+  const std::function<void(std::size_t, std::size_t)> recurse =
+      [&](std::size_t pos, std::size_t budget) {
+        if (pos == dim) {
+          indices_.push_back(idx);
+          return;
+        }
+        for (std::size_t d = 0; d <= budget; ++d) {
+          idx[pos] = d;
+          recurse(pos + 1, budget - d);
+        }
+        idx[pos] = 0;
+      };
+  recurse(0, order);
+
+  // Tensorized quadrature.
+  const auto rule = gauss_rule(basis, order + 1 + extra_nodes);
+  const std::size_t q = rule.nodes.size();
+  std::size_t total = 1;
+  for (std::size_t d = 0; d < dim; ++d) total *= q;
+
+  coeff_.assign(indices_.size(), 0.0);
+  std::vector<std::size_t> point(dim, 0);
+  std::vector<double> x(dim);
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    double w = 1.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      x[d] = rule.nodes[point[d]];
+      w *= rule.weights[point[d]];
+    }
+    const double fx = f(x);
+    for (std::size_t t = 0; t < indices_.size(); ++t) {
+      double psi = 1.0;
+      for (std::size_t d = 0; d < dim; ++d)
+        psi *= poly_value(basis, indices_[t][d], x[d]);
+      coeff_[t] += w * fx * psi;
+    }
+    for (std::size_t d = dim; d-- > 0;) {
+      if (++point[d] < q) break;
+      point[d] = 0;
+    }
+  }
+  for (std::size_t t = 0; t < indices_.size(); ++t)
+    coeff_[t] /= term_norm2(t);
+}
+
+const std::vector<std::size_t>& PolynomialChaosND::multi_index(
+    std::size_t t) const {
+  if (t >= indices_.size()) throw std::out_of_range("PolynomialChaosND: term");
+  return indices_[t];
+}
+
+double PolynomialChaosND::coefficient(std::size_t t) const {
+  if (t >= coeff_.size()) throw std::out_of_range("PolynomialChaosND: term");
+  return coeff_[t];
+}
+
+double PolynomialChaosND::term_norm2(std::size_t t) const {
+  double n2 = 1.0;
+  for (std::size_t d = 0; d < dim_; ++d)
+    n2 *= basis_norm2(basis_, indices_[t][d]);
+  return n2;
+}
+
+double PolynomialChaosND::evaluate(const std::vector<double>& x) const {
+  if (x.size() != dim_)
+    throw std::invalid_argument("PolynomialChaosND: dimension mismatch");
+  double v = 0.0;
+  for (std::size_t t = 0; t < indices_.size(); ++t) {
+    double psi = 1.0;
+    for (std::size_t d = 0; d < dim_; ++d)
+      psi *= poly_value(basis_, indices_[t][d], x[d]);
+    v += coeff_[t] * psi;
+  }
+  return v;
+}
+
+double PolynomialChaosND::variance() const {
+  double v = 0.0;
+  for (std::size_t t = 0; t < indices_.size(); ++t) {
+    bool constant = true;
+    for (std::size_t d = 0; d < dim_; ++d) constant = constant && indices_[t][d] == 0;
+    if (!constant) v += coeff_[t] * coeff_[t] * term_norm2(t);
+  }
+  return v;
+}
+
+double PolynomialChaosND::sobol_first(std::size_t i) const {
+  if (i >= dim_) throw std::out_of_range("PolynomialChaosND: input index");
+  const double total = variance();
+  if (total == 0.0) return 0.0;
+  double v = 0.0;
+  for (std::size_t t = 0; t < indices_.size(); ++t) {
+    bool only_i = indices_[t][i] > 0;
+    for (std::size_t d = 0; d < dim_ && only_i; ++d) {
+      if (d != i && indices_[t][d] > 0) only_i = false;
+    }
+    if (only_i) v += coeff_[t] * coeff_[t] * term_norm2(t);
+  }
+  return v / total;
+}
+
+double PolynomialChaosND::sobol_total(std::size_t i) const {
+  if (i >= dim_) throw std::out_of_range("PolynomialChaosND: input index");
+  const double total = variance();
+  if (total == 0.0) return 0.0;
+  double v = 0.0;
+  for (std::size_t t = 0; t < indices_.size(); ++t) {
+    if (indices_[t][i] > 0) v += coeff_[t] * coeff_[t] * term_norm2(t);
+  }
+  return v / total;
+}
+
+}  // namespace sysuq::prob

@@ -1,0 +1,102 @@
+// Polynomial chaos expansions (PCE): spectral propagation of input
+// uncertainty through deterministic models.
+//
+// This is the workhorse of classical UQ toolchains (chaospy, UQLab, ...)
+// and the library's instrument for the paper's Sec. II/III story: when a
+// *deterministic* formal system (model A) has uncertain parameters, the
+// induced output distribution — and its exact variance decomposition
+// (Sobol indices) — quantifies how parameter-level epistemic uncertainty
+// surfaces at the system level.
+//
+// Supported germ distributions: standard Gaussian (probabilists' Hermite
+// basis) and Uniform[-1, 1] (Legendre basis). Multidimensional expansions
+// use tensorized quadrature with total-degree truncation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace sysuq::prob {
+
+/// Orthogonal polynomial family (and the germ distribution it matches).
+enum class PolyBasis {
+  kHermite,   ///< probabilists' Hermite; germ ~ N(0, 1)
+  kLegendre,  ///< Legendre; germ ~ Uniform[-1, 1]
+};
+
+/// Evaluates basis polynomial k at x (He_k or P_k).
+[[nodiscard]] double basis_eval(PolyBasis basis, std::size_t k, double x);
+
+/// Squared norm E[psi_k(X)^2] under the germ distribution.
+[[nodiscard]] double basis_norm2(PolyBasis basis, std::size_t k);
+
+/// Gauss quadrature rule with n nodes for the germ's probability measure:
+/// sum_i w_i f(x_i) ~ E[f(X)], exact for polynomials of degree <= 2n-1.
+struct QuadratureRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+};
+[[nodiscard]] QuadratureRule gauss_rule(PolyBasis basis, std::size_t n);
+
+/// One-dimensional PCE of a scalar function of one germ variable.
+class PolynomialChaos1D {
+ public:
+  /// Projects f onto the basis up to `order`, using a quadrature with
+  /// order+1+extra nodes.
+  PolynomialChaos1D(PolyBasis basis, std::size_t order,
+                    const std::function<double(double)>& f,
+                    std::size_t extra_nodes = 4);
+
+  [[nodiscard]] std::size_t order() const { return coeff_.size() - 1; }
+  /// Expansion coefficient c_k.
+  [[nodiscard]] double coefficient(std::size_t k) const;
+  /// Surrogate evaluation at a germ value.
+  [[nodiscard]] double evaluate(double x) const;
+  /// E[f(X)] = c_0.
+  [[nodiscard]] double mean() const { return coeff_[0]; }
+  /// Var[f(X)] = sum_{k >= 1} c_k^2 ||psi_k||^2.
+  [[nodiscard]] double variance() const;
+
+ private:
+  PolyBasis basis_;
+  std::vector<double> coeff_;
+};
+
+/// Multidimensional PCE with total-degree truncation over independent
+/// identically distributed germ variables.
+class PolynomialChaosND {
+ public:
+  /// Projects f : R^dim -> R onto all multi-indices with total degree <=
+  /// `order`, using a tensorized (order+1+extra)-point rule per axis.
+  PolynomialChaosND(PolyBasis basis, std::size_t dim, std::size_t order,
+                    const std::function<double(const std::vector<double>&)>& f,
+                    std::size_t extra_nodes = 2);
+
+  [[nodiscard]] std::size_t dimension() const { return dim_; }
+  [[nodiscard]] std::size_t term_count() const { return indices_.size(); }
+  /// Multi-index of term t (one degree per input dimension).
+  [[nodiscard]] const std::vector<std::size_t>& multi_index(std::size_t t) const;
+  [[nodiscard]] double coefficient(std::size_t t) const;
+  [[nodiscard]] double evaluate(const std::vector<double>& x) const;
+  [[nodiscard]] double mean() const { return coeff_[0]; }
+  [[nodiscard]] double variance() const;
+
+  /// First-order Sobol index of input i: the fraction of output variance
+  /// carried by terms involving *only* input i.
+  [[nodiscard]] double sobol_first(std::size_t i) const;
+
+  /// Total Sobol index of input i: fraction of variance carried by all
+  /// terms involving input i (including interactions).
+  [[nodiscard]] double sobol_total(std::size_t i) const;
+
+ private:
+  PolyBasis basis_;
+  std::size_t dim_;
+  std::vector<std::vector<std::size_t>> indices_;
+  std::vector<double> coeff_;
+
+  [[nodiscard]] double term_norm2(std::size_t t) const;
+};
+
+}  // namespace sysuq::prob

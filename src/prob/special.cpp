@@ -1,0 +1,203 @@
+#include "prob/special.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sysuq::prob {
+namespace {
+
+constexpr double kEps = 1e-15;
+constexpr int kMaxIter = 300;
+
+// Continued-fraction evaluation of the incomplete beta function
+// (Lentz's algorithm, as in Numerical Recipes betacf).
+double beta_continued_fraction(double a, double b, double x) {
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < 1e-300) d = 1e-300;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+// Series expansion of P(a, x) for x < a + 1.
+double gamma_series(double a, double x) {
+  double sum = 1.0 / a;
+  double term = sum;
+  double ap = a;
+  for (int n = 0; n < kMaxIter; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+// Continued fraction of Q(a, x) for x >= a + 1.
+double gamma_continued_fraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / 1e-300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIter; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::fabs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+}  // namespace
+
+double log_gamma(double x) {
+  if (!(x > 0.0)) throw std::invalid_argument("log_gamma: x must be > 0");
+  return std::lgamma(x);
+}
+
+double log_beta(double a, double b) {
+  return log_gamma(a) + log_gamma(b) - log_gamma(a + b);
+}
+
+double reg_lower_gamma(double a, double x) {
+  if (!(a > 0.0) || x < 0.0)
+    throw std::invalid_argument("reg_lower_gamma: require a > 0, x >= 0");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_series(a, x);
+  return 1.0 - gamma_continued_fraction(a, x);
+}
+
+double reg_upper_gamma(double a, double x) { return 1.0 - reg_lower_gamma(a, x); }
+
+double reg_inc_beta(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0))
+    throw std::invalid_argument("reg_inc_beta: require a, b > 0");
+  if (x < 0.0 || x > 1.0)
+    throw std::invalid_argument("reg_inc_beta: require x in [0, 1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front =
+      a * std::log(x) + b * std::log(1.0 - x) - log_beta(a, b);
+  const double front = std::exp(ln_front);
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double inv_reg_inc_beta(double a, double b, double p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("inv_reg_inc_beta: require p in [0, 1]");
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  // Bisection with Newton acceleration; the CDF is strictly monotone.
+  double lo = 0.0, hi = 1.0;
+  double x = a / (a + b);  // start at the mean
+  for (int it = 0; it < 200; ++it) {
+    const double f = reg_inc_beta(a, b, x) - p;
+    if (f > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    // Newton step using the Beta pdf as derivative.
+    const double ln_pdf =
+        (a - 1.0) * std::log(x) + (b - 1.0) * std::log(1.0 - x) - log_beta(a, b);
+    const double pdf = std::exp(ln_pdf);
+    double nx = (pdf > 1e-300) ? x - f / pdf : 0.5 * (lo + hi);
+    if (!(nx > lo && nx < hi)) nx = 0.5 * (lo + hi);
+    if (std::fabs(nx - x) < 1e-14) return nx;
+    x = nx;
+  }
+  return x;
+}
+
+double std_normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double std_normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0))
+    throw std::invalid_argument("std_normal_quantile: require p in (0, 1)");
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step.
+  const double e = std_normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double erf(double x) { return std::erf(x); }
+
+double log_factorial(std::size_t n) { return log_gamma(static_cast<double>(n) + 1.0); }
+
+double log_binomial_coeff(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("log_binomial_coeff: k > n");
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double log_add_exp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  const double m = std::max(a, b);
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+}  // namespace sysuq::prob

@@ -1,0 +1,52 @@
+// Special mathematical functions used by the probability substrate.
+//
+// Everything here is deterministic, pure, and header-declared so the
+// distribution layer (Beta, Gamma, Student-t credible intervals, ...) can
+// compute exact CDFs and quantiles without external dependencies.
+#pragma once
+
+#include <cstddef>
+
+namespace sysuq::prob {
+
+/// Natural log of the gamma function, ln Γ(x), for x > 0.
+[[nodiscard]] double log_gamma(double x);
+
+/// Natural log of the beta function, ln B(a, b), for a, b > 0.
+[[nodiscard]] double log_beta(double a, double b);
+
+/// Regularized lower incomplete gamma function P(a, x) = γ(a,x)/Γ(a).
+/// Domain: a > 0, x >= 0. Monotone in x from 0 to 1.
+[[nodiscard]] double reg_lower_gamma(double a, double x);
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double reg_upper_gamma(double a, double x);
+
+/// Regularized incomplete beta function I_x(a, b) for 0 <= x <= 1,
+/// a, b > 0. This is the CDF of the Beta(a, b) distribution.
+[[nodiscard]] double reg_inc_beta(double a, double b, double x);
+
+/// Inverse of the regularized incomplete beta function: returns x such
+/// that I_x(a, b) = p. Used for Beta quantiles / credible intervals.
+[[nodiscard]] double inv_reg_inc_beta(double a, double b, double p);
+
+/// Standard normal cumulative distribution function Φ(x).
+[[nodiscard]] double std_normal_cdf(double x);
+
+/// Inverse standard normal CDF (probit), Acklam's rational approximation
+/// refined by one Halley step; |error| < 1e-12 over (0, 1).
+[[nodiscard]] double std_normal_quantile(double p);
+
+/// Error function erf(x) (wraps std::erf; kept for interface symmetry).
+[[nodiscard]] double erf(double x);
+
+/// ln(n!) using log_gamma.
+[[nodiscard]] double log_factorial(std::size_t n);
+
+/// ln C(n, k) — log binomial coefficient.
+[[nodiscard]] double log_binomial_coeff(std::size_t n, std::size_t k);
+
+/// Numerically stable log(exp(a) + exp(b)).
+[[nodiscard]] double log_add_exp(double a, double b);
+
+}  // namespace sysuq::prob

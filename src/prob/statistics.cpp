@@ -1,0 +1,114 @@
+#include "prob/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "prob/special.hpp"
+
+namespace sysuq::prob {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::min: empty");
+  return min_;
+}
+
+double RunningStats::max() const {
+  if (n_ == 0) throw std::logic_error("RunningStats::max: empty");
+  return max_;
+}
+
+double RunningStats::std_error() const {
+  if (n_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+std::pair<double, double> RunningStats::mean_confidence_interval(
+    double alpha) const {
+  if (!(alpha > 0.0 && alpha < 1.0))
+    throw std::invalid_argument("mean_confidence_interval: alpha in (0, 1)");
+  const double z = std_normal_quantile(1.0 - alpha / 2.0);
+  const double half = z * std_error();
+  return {mean_ - half, mean_ + half};
+}
+
+double quantile(std::vector<double> sample, double p) {
+  if (sample.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("quantile: p outside [0,1]");
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample[0];
+  const double h = p * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+std::pair<double, double> wilson_interval(std::size_t k, std::size_t n,
+                                          double alpha) {
+  if (n == 0) throw std::invalid_argument("wilson_interval: n == 0");
+  if (k > n) throw std::invalid_argument("wilson_interval: k > n");
+  const double z = std_normal_quantile(1.0 - alpha / 2.0);
+  const double nn = static_cast<double>(n);
+  const double phat = static_cast<double>(k) / nn;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = (phat + z2 / (2.0 * nn)) / denom;
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / nn + z2 / (4.0 * nn * nn)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+double pearson_correlation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("pearson_correlation: need equal sizes >= 2");
+  RunningStats sx, sy;
+  for (double v : x) sx.add(v);
+  for (double v : y) sy.add(v);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  cov /= static_cast<double>(x.size() - 1);
+  const double denom = sx.stddev() * sy.stddev();
+  if (denom == 0.0) throw std::invalid_argument("pearson_correlation: zero variance");
+  return cov / denom;
+}
+
+}  // namespace sysuq::prob

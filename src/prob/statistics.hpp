@@ -1,0 +1,60 @@
+// Running statistics and sample summaries.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sysuq::prob {
+
+/// Numerically stable single-pass mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Merges another accumulator (parallel reduction identity).
+  void merge(const RunningStats& other);
+
+  /// Number of observations so far.
+  [[nodiscard]] std::size_t count() const { return n_; }
+  /// Sample mean (0 if empty).
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Unbiased sample variance (0 if fewer than 2 observations).
+  [[nodiscard]] double variance() const;
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const;
+  /// Minimum observed value (throws if empty).
+  [[nodiscard]] double min() const;
+  /// Maximum observed value (throws if empty).
+  [[nodiscard]] double max() const;
+  /// Standard error of the mean, s/sqrt(n).
+  [[nodiscard]] double std_error() const;
+  /// Normal-approximation (1-alpha) confidence interval for the mean.
+  [[nodiscard]] std::pair<double, double> mean_confidence_interval(
+      double alpha = 0.05) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical quantile of a sample (linear interpolation between order
+/// statistics, type-7 as in R/numpy). `p` in [0, 1]; throws on empty input.
+[[nodiscard]] double quantile(std::vector<double> sample, double p);
+
+/// Wilson score interval for a binomial proportion: a (1-alpha) interval
+/// for p given k successes in n trials. Well-behaved at the extremes —
+/// used when reporting rare-event rates (safety-relevant misperceptions).
+[[nodiscard]] std::pair<double, double> wilson_interval(std::size_t k,
+                                                        std::size_t n,
+                                                        double alpha = 0.05);
+
+/// Pearson correlation coefficient of two equal-length samples.
+[[nodiscard]] double pearson_correlation(const std::vector<double>& x,
+                                         const std::vector<double>& y);
+
+}  // namespace sysuq::prob

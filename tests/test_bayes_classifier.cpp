@@ -1,0 +1,159 @@
+// Bayesian feature classifier tests: conjugate posterior math, epistemic
+// shrinkage, uncertainty decomposition on in/out-of-distribution inputs,
+// and the OOD abstention channel (the tolerance mean's ML component).
+#include "perception/bayes_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/statistics.hpp"
+
+namespace pc = sysuq::perception;
+namespace pr = sysuq::prob;
+
+namespace {
+
+// A 3-class world in feature space, well separated, plus a novel cluster
+// far from all of them.
+const pc::ClassDistribution kCar{{0.0, 0.0}, 0.5};
+const pc::ClassDistribution kPed{{4.0, 0.0}, 0.5};
+const pc::ClassDistribution kCyc{{0.0, 4.0}, 0.5};
+const pc::ClassDistribution kNovel{{8.0, 8.0}, 0.5};
+
+pc::BayesClassifier trained(std::size_t per_class, pr::Rng& rng) {
+  pc::BayesClassifier clf(3, 0.5, 10.0, pr::Categorical::uniform(3));
+  const pc::ClassDistribution classes[] = {kCar, kPed, kCyc};
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i)
+      clf.train(c, pc::sample_feature(classes[c], rng));
+  }
+  return clf;
+}
+
+}  // namespace
+
+TEST(BayesClassifier, ConstructionValidation) {
+  EXPECT_THROW(pc::BayesClassifier(1, 0.5, 1.0, pr::Categorical::uniform(1)),
+               std::invalid_argument);
+  EXPECT_THROW(pc::BayesClassifier(3, 0.0, 1.0, pr::Categorical::uniform(3)),
+               std::invalid_argument);
+  EXPECT_THROW(pc::BayesClassifier(3, 0.5, 1.0, pr::Categorical::uniform(2)),
+               std::invalid_argument);
+  pc::BayesClassifier clf(3, 0.5, 1.0, pr::Categorical::uniform(3));
+  EXPECT_THROW(clf.train(3, {0, 0}), std::out_of_range);
+  EXPECT_THROW((void)clf.training_count(5), std::out_of_range);
+}
+
+TEST(BayesClassifier, PosteriorMeanConvergesToTruth) {
+  pr::Rng rng(44);
+  auto clf = trained(500, rng);
+  const auto mu = clf.posterior_mean(1);
+  EXPECT_NEAR(mu.x, 4.0, 0.1);
+  EXPECT_NEAR(mu.y, 0.0, 0.1);
+  EXPECT_EQ(clf.training_count(1), 500u);
+}
+
+TEST(BayesClassifier, PosteriorTauShrinksAsSqrtN) {
+  pr::Rng rng(45);
+  pc::BayesClassifier clf(3, 0.5, 10.0, pr::Categorical::uniform(3));
+  double prev = clf.posterior_tau(0);
+  EXPECT_NEAR(prev, 10.0, 1e-9);  // prior
+  std::size_t n = 0;
+  for (const std::size_t target : {1u, 4u, 16u, 64u, 256u}) {
+    while (n < target) {
+      clf.train(0, pc::sample_feature(kCar, rng));
+      ++n;
+    }
+    const double tau = clf.posterior_tau(0);
+    EXPECT_LT(tau, prev);
+    prev = tau;
+    // tau ~ sigma / sqrt(n) once data dominates the prior.
+    if (n >= 16) {
+      EXPECT_NEAR(tau, 0.5 / std::sqrt(static_cast<double>(n)), 0.02);
+    }
+  }
+}
+
+TEST(BayesClassifier, ClassifiesSeparatedClasses) {
+  pr::Rng rng(46);
+  auto clf = trained(200, rng);
+  int correct = 0;
+  const int trials = 2000;
+  const pc::ClassDistribution classes[] = {kCar, kPed, kCyc};
+  for (int i = 0; i < trials; ++i) {
+    const std::size_t c = rng.uniform_index(3);
+    const auto f = pc::sample_feature(classes[c], rng);
+    if (clf.posterior(f).argmax() == c) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / trials, 0.97);
+}
+
+TEST(BayesClassifier, EpistemicHighWhenUntrainedLowWhenTrained) {
+  pr::Rng rng(47);
+  pc::BayesClassifier fresh(3, 0.5, 10.0, pr::Categorical::uniform(3));
+  // One example per class so posteriors exist but are wide.
+  fresh.train(0, {0.0, 0.0});
+  fresh.train(1, {4.0, 0.0});
+  fresh.train(2, {0.0, 4.0});
+  auto seasoned = trained(500, rng);
+  const pc::Feature probe{2.0, 1.0};  // between classes
+  pr::Rng r1(48), r2(48);
+  const auto d_fresh = fresh.decompose(probe, 200, r1);
+  const auto d_seasoned = seasoned.decompose(probe, 200, r2);
+  EXPECT_GT(d_fresh.epistemic, d_seasoned.epistemic);
+}
+
+TEST(BayesClassifier, AmbiguousPointIsAleatoryNotEpistemic) {
+  // A point exactly between two well-learned classes: members agree the
+  // outcome is a coin flip -> aleatory dominates.
+  pr::Rng rng(49);
+  auto clf = trained(1000, rng);
+  pr::Rng r(50);
+  const auto d = clf.decompose({2.0, 0.0}, 200, r);  // midpoint car/ped
+  EXPECT_GT(d.aleatory, 5.0 * d.epistemic);
+  EXPECT_GT(d.total, 0.4);
+}
+
+TEST(BayesClassifier, OodScoreSeparatesNovelClass) {
+  pr::Rng rng(51);
+  auto clf = trained(300, rng);
+  pr::RunningStats in_scores, out_scores;
+  for (int i = 0; i < 500; ++i) {
+    in_scores.add(clf.ood_score(pc::sample_feature(kCar, rng)));
+    out_scores.add(clf.ood_score(pc::sample_feature(kNovel, rng)));
+  }
+  // In-distribution: chi-square_2-ish scale (mean ~2); novel: enormous.
+  EXPECT_LT(in_scores.mean(), 5.0);
+  EXPECT_GT(out_scores.mean(), 50.0);
+}
+
+TEST(BayesClassifier, ClassifyAbstainsOnNovelAndAmbiguous) {
+  pr::Rng rng(52);
+  auto clf = trained(300, rng);
+  const double ood_threshold = 16.0;  // ~4 sigma
+  const double min_conf = 0.6;
+  // Novel objects are rejected as unknown.
+  int abstain_novel = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (clf.classify(pc::sample_feature(kNovel, rng), ood_threshold, min_conf) ==
+        3)
+      ++abstain_novel;
+  }
+  EXPECT_GT(abstain_novel, 490);
+  // In-distribution objects are mostly labelled.
+  int labelled = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (clf.classify(pc::sample_feature(kPed, rng), ood_threshold, min_conf) == 1)
+      ++labelled;
+  }
+  EXPECT_GT(labelled, 450);
+  EXPECT_THROW((void)clf.classify({0, 0}, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)clf.classify({0, 0}, 1.0, 1.5), std::invalid_argument);
+}
+
+TEST(BayesClassifier, DecomposeValidation) {
+  pr::Rng rng(53);
+  auto clf = trained(10, rng);
+  EXPECT_THROW((void)clf.decompose({0, 0}, 0, rng), std::invalid_argument);
+}

@@ -1,0 +1,175 @@
+// Factor algebra tests: shape validation, product/marginalize/reduce
+// semantics, and algebraic properties on randomized factors.
+#include "bayesnet/factor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "prob/rng.hpp"
+
+namespace bn = sysuq::bayesnet;
+namespace pr = sysuq::prob;
+
+namespace {
+
+bn::Factor random_factor(pr::Rng& rng, std::vector<bn::VariableId> scope,
+                         std::vector<std::size_t> cards) {
+  std::size_t n = 1;
+  for (std::size_t c : cards) n *= c;
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.uniform() + 0.01;
+  return bn::Factor(std::move(scope), std::move(cards), std::move(v));
+}
+
+}  // namespace
+
+TEST(Factor, ConstructionValidation) {
+  EXPECT_NO_THROW(bn::Factor({0, 2}, {2, 3}, std::vector<double>(6, 0.1)));
+  // Unsorted scope rejected.
+  EXPECT_THROW(bn::Factor({2, 0}, {3, 2}, std::vector<double>(6, 0.1)),
+               std::invalid_argument);
+  // Duplicate scope rejected.
+  EXPECT_THROW(bn::Factor({1, 1}, {2, 2}, std::vector<double>(4, 0.1)),
+               std::invalid_argument);
+  // Size mismatch rejected.
+  EXPECT_THROW(bn::Factor({0}, {2}, std::vector<double>(3, 0.1)),
+               std::invalid_argument);
+  // Negative values rejected.
+  EXPECT_THROW(bn::Factor({0}, {2}, {0.5, -0.5}), std::invalid_argument);
+}
+
+TEST(Factor, UnitIsMultiplicativeIdentity) {
+  pr::Rng rng(1);
+  const auto f = random_factor(rng, {0, 1}, {2, 3});
+  const auto g = f.product(bn::Factor::unit());
+  EXPECT_EQ(g.scope(), f.scope());
+  for (std::size_t i = 0; i < f.size(); ++i)
+    EXPECT_DOUBLE_EQ(g.values()[i], f.values()[i]);
+  const auto h = bn::Factor::unit().product(f);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    EXPECT_DOUBLE_EQ(h.values()[i], f.values()[i]);
+}
+
+TEST(Factor, AtIndexing) {
+  // Last scope variable fastest: values ordered (x0y0, x0y1, x0y2, x1y0...).
+  bn::Factor f({0, 1}, {2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(f.at({0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(f.at({0, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(f.at({1, 0}), 4.0);
+  EXPECT_DOUBLE_EQ(f.at({1, 2}), 6.0);
+  EXPECT_THROW((void)f.at({2, 0}), std::out_of_range);
+  EXPECT_THROW((void)f.at({0}), std::invalid_argument);
+}
+
+TEST(Factor, ProductDisjointScopes) {
+  bn::Factor a({0}, {2}, {2.0, 3.0});
+  bn::Factor b({1}, {2}, {5.0, 7.0});
+  const auto p = a.product(b);
+  ASSERT_EQ(p.scope(), (std::vector<bn::VariableId>{0, 1}));
+  EXPECT_DOUBLE_EQ(p.at({0, 0}), 10.0);
+  EXPECT_DOUBLE_EQ(p.at({0, 1}), 14.0);
+  EXPECT_DOUBLE_EQ(p.at({1, 0}), 15.0);
+  EXPECT_DOUBLE_EQ(p.at({1, 1}), 21.0);
+}
+
+TEST(Factor, ProductSharedVariable) {
+  bn::Factor a({0, 1}, {2, 2}, {1, 2, 3, 4});
+  bn::Factor b({1, 2}, {2, 2}, {10, 20, 30, 40});
+  const auto p = a.product(b);
+  ASSERT_EQ(p.scope(), (std::vector<bn::VariableId>{0, 1, 2}));
+  // p(x0, y0, z0) = a(x0,y0) * b(y0,z0) = 1 * 10
+  EXPECT_DOUBLE_EQ(p.at({0, 0, 0}), 10.0);
+  // p(x0, y1, z1) = a(x0,y1) * b(y1,z1) = 2 * 40
+  EXPECT_DOUBLE_EQ(p.at({0, 1, 1}), 80.0);
+  // p(x1, y1, z0) = 4 * 30
+  EXPECT_DOUBLE_EQ(p.at({1, 1, 0}), 120.0);
+}
+
+TEST(Factor, ProductCardinalityMismatchThrows) {
+  bn::Factor a({0}, {2}, {1, 2});
+  bn::Factor b({0}, {3}, {1, 2, 3});
+  EXPECT_THROW((void)a.product(b), std::invalid_argument);
+}
+
+TEST(Factor, ProductCommutes) {
+  pr::Rng rng(2);
+  for (int t = 0; t < 20; ++t) {
+    const auto a = random_factor(rng, {0, 2}, {2, 3});
+    const auto b = random_factor(rng, {1, 2}, {4, 3});
+    const auto ab = a.product(b);
+    const auto ba = b.product(a);
+    ASSERT_EQ(ab.scope(), ba.scope());
+    for (std::size_t i = 0; i < ab.size(); ++i)
+      EXPECT_NEAR(ab.values()[i], ba.values()[i], 1e-12);
+  }
+}
+
+TEST(Factor, ProductAssociates) {
+  pr::Rng rng(3);
+  const auto a = random_factor(rng, {0}, {2});
+  const auto b = random_factor(rng, {0, 1}, {2, 3});
+  const auto c = random_factor(rng, {1, 2}, {3, 2});
+  const auto left = a.product(b).product(c);
+  const auto right = a.product(b.product(c));
+  ASSERT_EQ(left.scope(), right.scope());
+  for (std::size_t i = 0; i < left.size(); ++i)
+    EXPECT_NEAR(left.values()[i], right.values()[i], 1e-12);
+}
+
+TEST(Factor, MarginalizeSumsOut) {
+  bn::Factor f({0, 1}, {2, 3}, {1, 2, 3, 4, 5, 6});
+  const auto m = f.marginalize(1);
+  ASSERT_EQ(m.scope(), (std::vector<bn::VariableId>{0}));
+  EXPECT_DOUBLE_EQ(m.at({0}), 6.0);
+  EXPECT_DOUBLE_EQ(m.at({1}), 15.0);
+  const auto m2 = f.marginalize(0);
+  EXPECT_DOUBLE_EQ(m2.at({0}), 5.0);
+  EXPECT_DOUBLE_EQ(m2.at({2}), 9.0);
+  EXPECT_THROW((void)f.marginalize(5), std::invalid_argument);
+}
+
+TEST(Factor, MarginalizationOrderIrrelevant) {
+  pr::Rng rng(4);
+  const auto f = random_factor(rng, {0, 1, 2}, {2, 3, 2});
+  const auto a = f.marginalize(0).marginalize(2);
+  const auto b = f.marginalize(2).marginalize(0);
+  ASSERT_EQ(a.scope(), b.scope());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a.values()[i], b.values()[i], 1e-12);
+}
+
+TEST(Factor, MarginalizePreservesTotal) {
+  pr::Rng rng(5);
+  const auto f = random_factor(rng, {1, 3, 7}, {3, 2, 4});
+  EXPECT_NEAR(f.marginalize(3).total(), f.total(), 1e-10);
+}
+
+TEST(Factor, ReduceSelectsSlice) {
+  bn::Factor f({0, 1}, {2, 3}, {1, 2, 3, 4, 5, 6});
+  const auto r = f.reduce(0, 1);
+  ASSERT_EQ(r.scope(), (std::vector<bn::VariableId>{1}));
+  EXPECT_DOUBLE_EQ(r.at({0}), 4.0);
+  EXPECT_DOUBLE_EQ(r.at({2}), 6.0);
+  EXPECT_THROW((void)f.reduce(0, 2), std::out_of_range);
+  EXPECT_THROW((void)f.reduce(9, 0), std::invalid_argument);
+}
+
+TEST(Factor, ReduceThenMarginalizeCommutesWithProduct) {
+  // (a * b) reduced == a_reduced * b_reduced when both contain the var.
+  pr::Rng rng(6);
+  const auto a = random_factor(rng, {0, 1}, {2, 3});
+  const auto b = random_factor(rng, {1, 2}, {3, 2});
+  const auto lhs = a.product(b).reduce(1, 2);
+  const auto rhs = a.reduce(1, 2).product(b.reduce(1, 2));
+  ASSERT_EQ(lhs.scope(), rhs.scope());
+  for (std::size_t i = 0; i < lhs.size(); ++i)
+    EXPECT_NEAR(lhs.values()[i], rhs.values()[i], 1e-12);
+}
+
+TEST(Factor, NormalizedSumsToOne) {
+  bn::Factor f({0}, {4}, {1, 2, 3, 4});
+  const auto n = f.normalized();
+  EXPECT_NEAR(n.total(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(n.at({3}), 0.4);
+  bn::Factor zero({0}, {2}, {0.0, 0.0});
+  EXPECT_THROW((void)zero.normalized(), std::domain_error);
+}

@@ -1,0 +1,238 @@
+// BayesianNetwork structure tests: construction, validation, topology,
+// d-separation, parameter counting, and forward sampling.
+#include "bayesnet/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayesnet/io.hpp"
+#include "perception/table1.hpp"
+
+namespace bn = sysuq::bayesnet;
+namespace pr = sysuq::prob;
+
+namespace {
+
+// The paper's Fig. 4 / Table I network (default repair: deficit -> none).
+bn::BayesianNetwork paper_network() {
+  return sysuq::perception::table1_network();
+}
+
+}  // namespace
+
+TEST(Variable, ConstructionValidation) {
+  EXPECT_NO_THROW(bn::Variable("x", {"a", "b"}));
+  EXPECT_THROW(bn::Variable("", {"a", "b"}), std::invalid_argument);
+  EXPECT_THROW(bn::Variable("x", {"a"}), std::invalid_argument);
+  EXPECT_THROW(bn::Variable("x", {"a", "a"}), std::invalid_argument);
+  EXPECT_THROW(bn::Variable("x", {"a", ""}), std::invalid_argument);
+}
+
+TEST(Variable, StateLookup) {
+  bn::Variable v("gt", {"car", "pedestrian", "unknown"});
+  EXPECT_EQ(v.cardinality(), 3u);
+  EXPECT_EQ(v.state_index("pedestrian"), 1u);
+  EXPECT_TRUE(v.has_state("unknown"));
+  EXPECT_FALSE(v.has_state("bike"));
+  EXPECT_THROW((void)v.state_index("bike"), std::invalid_argument);
+  EXPECT_THROW((void)v.state_name(3), std::out_of_range);
+}
+
+TEST(Network, DuplicateNameRejected) {
+  bn::BayesianNetwork net;
+  net.add_variable("x", {"a", "b"});
+  EXPECT_THROW(net.add_variable("x", {"c", "d"}), std::invalid_argument);
+}
+
+TEST(Network, CptValidation) {
+  bn::BayesianNetwork net;
+  const auto x = net.add_variable("x", {"a", "b"});
+  const auto y = net.add_variable("y", {"a", "b", "c"});
+  // Wrong number of rows.
+  EXPECT_THROW(net.set_cpt(y, {x}, {pr::Categorical::uniform(3)}),
+               std::invalid_argument);
+  // Wrong row size.
+  EXPECT_THROW(net.set_cpt(y, {x},
+                           {pr::Categorical::uniform(2),
+                            pr::Categorical::uniform(2)}),
+               std::invalid_argument);
+  // Self-parent.
+  EXPECT_THROW(net.set_cpt(x, {x}, {pr::Categorical::uniform(2),
+                                    pr::Categorical::uniform(2)}),
+               std::invalid_argument);
+  // Duplicate parent.
+  EXPECT_THROW(net.set_cpt(y, {x, x},
+                           std::vector<pr::Categorical>(
+                               4, pr::Categorical::uniform(3))),
+               std::invalid_argument);
+  // Valid.
+  EXPECT_NO_THROW(net.set_cpt(y, {x},
+                              {pr::Categorical::uniform(3),
+                               pr::Categorical::uniform(3)}));
+}
+
+TEST(Network, ValidateRequiresAllCpts) {
+  bn::BayesianNetwork net;
+  const auto x = net.add_variable("x", {"a", "b"});
+  net.add_variable("y", {"a", "b"});
+  net.set_cpt(x, {}, {pr::Categorical::uniform(2)});
+  EXPECT_THROW(net.validate(), std::logic_error);
+}
+
+TEST(Network, CycleDetected) {
+  bn::BayesianNetwork net;
+  const auto x = net.add_variable("x", {"a", "b"});
+  const auto y = net.add_variable("y", {"a", "b"});
+  auto rows2 = std::vector<pr::Categorical>(2, pr::Categorical::uniform(2));
+  net.set_cpt(x, {y}, rows2);
+  net.set_cpt(y, {x}, rows2);
+  EXPECT_THROW(net.validate(), std::logic_error);
+  EXPECT_THROW((void)net.topological_order(), std::logic_error);
+}
+
+TEST(Network, TopologicalOrderRespectsEdges) {
+  bn::BayesianNetwork net;
+  const auto a = net.add_variable("a", {"0", "1"});
+  const auto b = net.add_variable("b", {"0", "1"});
+  const auto c = net.add_variable("c", {"0", "1"});
+  auto rows1 = std::vector<pr::Categorical>{pr::Categorical::uniform(2)};
+  auto rows2 = std::vector<pr::Categorical>(2, pr::Categorical::uniform(2));
+  auto rows4 = std::vector<pr::Categorical>(4, pr::Categorical::uniform(2));
+  net.set_cpt(a, {}, rows1);
+  net.set_cpt(b, {a}, rows2);
+  net.set_cpt(c, {a, b}, rows4);
+  const auto order = net.topological_order();
+  const auto pos = [&](bn::VariableId v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(b), pos(c));
+}
+
+TEST(Network, PaperNetworkBasics) {
+  const auto net = paper_network();
+  EXPECT_NO_THROW(net.validate());
+  EXPECT_EQ(net.size(), 2u);
+  EXPECT_EQ(net.id_of("perception"), 1u);
+  EXPECT_TRUE(net.has_variable("ground_truth"));
+  EXPECT_FALSE(net.has_variable("lidar"));
+  // Parameters: root 3-1=2; child 3 rows * (4-1) = 9; total 11.
+  EXPECT_EQ(net.parameter_count(), 11u);
+  EXPECT_EQ(net.children(0), std::vector<bn::VariableId>{1});
+  EXPECT_TRUE(net.parents(0).empty());
+  // Table I row lookup.
+  EXPECT_DOUBLE_EQ(net.cpt_row(1, {0}).p(0), 0.9);
+  // Published Table I row (0, 0, 0.2, 0.7) sums to 0.9; default repair
+  // assigns the deficit to `none`.
+  EXPECT_DOUBLE_EQ(net.cpt_row(1, {2}).p(3), 0.8);
+  EXPECT_DOUBLE_EQ(net.cpt_row(1, {2}).p(2), 0.2);
+}
+
+TEST(Network, CptFactorMatchesRows) {
+  const auto net = paper_network();
+  const auto f = net.cpt_factor(1);
+  ASSERT_EQ(f.scope(), (std::vector<bn::VariableId>{0, 1}));
+  for (std::size_t g = 0; g < 3; ++g) {
+    for (std::size_t p = 0; p < 4; ++p) {
+      EXPECT_DOUBLE_EQ(f.at({g, p}), net.cpt_row(1, {g}).p(p)) << g << "," << p;
+    }
+  }
+  // Root factor.
+  const auto fr = net.cpt_factor(0);
+  EXPECT_DOUBLE_EQ(fr.at({0}), 0.6);
+  EXPECT_DOUBLE_EQ(fr.at({2}), 0.1);
+}
+
+TEST(Network, DSeparationChainForkCollider) {
+  bn::BayesianNetwork net;
+  const auto a = net.add_variable("a", {"0", "1"});
+  const auto b = net.add_variable("b", {"0", "1"});
+  const auto c = net.add_variable("c", {"0", "1"});
+  auto rows1 = std::vector<pr::Categorical>{pr::Categorical::uniform(2)};
+  auto rows2 = std::vector<pr::Categorical>(2, pr::Categorical::uniform(2));
+
+  // Chain a -> b -> c.
+  net.set_cpt(a, {}, rows1);
+  net.set_cpt(b, {a}, rows2);
+  net.set_cpt(c, {b}, rows2);
+  EXPECT_FALSE(net.d_separated(a, c, {}));
+  EXPECT_TRUE(net.d_separated(a, c, {b}));
+
+  // Fork: b <- a -> c.
+  bn::BayesianNetwork fork;
+  const auto fa = fork.add_variable("a", {"0", "1"});
+  const auto fb = fork.add_variable("b", {"0", "1"});
+  const auto fc = fork.add_variable("c", {"0", "1"});
+  fork.set_cpt(fa, {}, rows1);
+  fork.set_cpt(fb, {fa}, rows2);
+  fork.set_cpt(fc, {fa}, rows2);
+  EXPECT_FALSE(fork.d_separated(fb, fc, {}));
+  EXPECT_TRUE(fork.d_separated(fb, fc, {fa}));
+
+  // Collider: a -> c <- b ("common cause identification" structure).
+  bn::BayesianNetwork col;
+  const auto ca = col.add_variable("a", {"0", "1"});
+  const auto cb = col.add_variable("b", {"0", "1"});
+  const auto cc = col.add_variable("c", {"0", "1"});
+  auto rows4 = std::vector<pr::Categorical>(4, pr::Categorical::uniform(2));
+  col.set_cpt(ca, {}, rows1);
+  col.set_cpt(cb, {}, rows1);
+  col.set_cpt(cc, {ca, cb}, rows4);
+  EXPECT_TRUE(col.d_separated(ca, cb, {}));
+  EXPECT_FALSE(col.d_separated(ca, cb, {cc}));  // explaining away
+}
+
+TEST(Network, DSeparationDescendantOfCollider) {
+  // a -> c <- b, c -> d: conditioning on d also opens the collider.
+  bn::BayesianNetwork net;
+  const auto a = net.add_variable("a", {"0", "1"});
+  const auto b = net.add_variable("b", {"0", "1"});
+  const auto c = net.add_variable("c", {"0", "1"});
+  const auto d = net.add_variable("d", {"0", "1"});
+  auto rows1 = std::vector<pr::Categorical>{pr::Categorical::uniform(2)};
+  auto rows2 = std::vector<pr::Categorical>(2, pr::Categorical::uniform(2));
+  auto rows4 = std::vector<pr::Categorical>(4, pr::Categorical::uniform(2));
+  net.set_cpt(a, {}, rows1);
+  net.set_cpt(b, {}, rows1);
+  net.set_cpt(c, {a, b}, rows4);
+  net.set_cpt(d, {c}, rows2);
+  EXPECT_TRUE(net.d_separated(a, b, {}));
+  EXPECT_FALSE(net.d_separated(a, b, {d}));
+}
+
+TEST(Network, SampleMatchesMarginals) {
+  const auto net = paper_network();
+  pr::Rng rng(77);
+  std::vector<std::size_t> gt_counts(3, 0);
+  const std::size_t n = 60000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto s = net.sample(rng);
+    ++gt_counts[s[0]];
+  }
+  EXPECT_NEAR(static_cast<double>(gt_counts[0]) / n, 0.6, 0.01);
+  EXPECT_NEAR(static_cast<double>(gt_counts[1]) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(gt_counts[2]) / n, 0.1, 0.01);
+}
+
+TEST(Network, UpdateCptRows) {
+  auto net = paper_network();
+  auto rows = net.cpt_rows(1);
+  rows[2] = pr::Categorical({0.0, 0.0, 0.5, 0.5});
+  net.update_cpt_rows(1, rows);
+  EXPECT_DOUBLE_EQ(net.cpt_row(1, {2}).p(2), 0.5);
+  EXPECT_THROW(net.update_cpt_rows(1, {pr::Categorical::uniform(4)}),
+               std::invalid_argument);
+}
+
+TEST(NetworkIo, DotAndTableContainNames) {
+  const auto net = paper_network();
+  const auto dot = bn::to_dot(net);
+  EXPECT_NE(dot.find("ground_truth"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  const auto table = bn::cpt_table(net, 1);
+  EXPECT_NE(table.find("car/pedestrian"), std::string::npos);
+  EXPECT_NE(table.find("0.9"), std::string::npos);
+  const auto desc = bn::describe(net);
+  EXPECT_NE(desc.find("11 free parameters"), std::string::npos);
+}

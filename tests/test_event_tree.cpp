@@ -1,0 +1,115 @@
+// Event-tree tests: crisp quantification against hand computation,
+// interval bounds, consequence aggregation — plus DS conditioning.
+#include "fta/event_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "evidence/mass.hpp"
+
+namespace ft = sysuq::fta;
+namespace pr = sysuq::prob;
+namespace ev = sysuq::evidence;
+
+namespace {
+
+// Classic LOPA-style tree: unknown object enters the path (initiator),
+// barriers: perception detects it, AEB engages.
+ft::EventTree loss_tree() {
+  ft::EventTree t("unknown object in path", 0.01);
+  (void)t.add_barrier("perception detects", pr::ProbInterval(0.9));
+  (void)t.add_barrier("AEB engages", pr::ProbInterval(0.95));
+  t.set_consequence({true, true}, "safe stop");
+  t.set_consequence({true, false}, "mitigated impact");
+  t.set_consequence({false, true}, "late stop");
+  t.set_consequence({false, false}, "collision");
+  return t;
+}
+
+}  // namespace
+
+TEST(EventTree, ConstructionValidation) {
+  EXPECT_THROW(ft::EventTree("", 0.1), std::invalid_argument);
+  EXPECT_THROW(ft::EventTree("x", 1.5), std::invalid_argument);
+  ft::EventTree t("x", 0.1);
+  EXPECT_THROW((void)t.add_barrier("", pr::ProbInterval(0.5)),
+               std::invalid_argument);
+  (void)t.add_barrier("b", pr::ProbInterval(0.5));
+  EXPECT_THROW((void)t.add_barrier("b", pr::ProbInterval(0.5)),
+               std::invalid_argument);
+  EXPECT_THROW(t.set_consequence({true, false}, "x"), std::invalid_argument);
+  EXPECT_THROW(t.set_consequence({true}, ""), std::invalid_argument);
+  EXPECT_THROW((void)t.consequence_frequency("nope"), std::invalid_argument);
+}
+
+TEST(EventTree, CrispQuantification) {
+  const auto t = loss_tree();
+  const auto outcomes = t.outcomes();
+  ASSERT_EQ(outcomes.size(), 4u);
+  // Frequencies: initiator 0.01 x branch products.
+  EXPECT_NEAR(t.consequence_frequency("safe stop").mid(), 0.01 * 0.9 * 0.95,
+              1e-12);
+  EXPECT_NEAR(t.consequence_frequency("collision").mid(), 0.01 * 0.1 * 0.05,
+              1e-12);
+  // Outcome frequencies sum to the initiator frequency.
+  double total = 0.0;
+  for (const auto& o : outcomes) total += o.frequency.mid();
+  EXPECT_NEAR(total, 0.01, 1e-12);
+}
+
+TEST(EventTree, IntervalBarriersGiveBounds) {
+  ft::EventTree t("initiator", 0.02);
+  (void)t.add_barrier("detect", pr::ProbInterval(0.85, 0.95));
+  (void)t.add_barrier("brake", pr::ProbInterval(0.90, 0.99));
+  t.set_consequence({false, false}, "collision");
+  const auto coll = t.consequence_frequency("collision");
+  // Bounds: 0.02 * [0.05, 0.15] * [0.01, 0.10].
+  EXPECT_NEAR(coll.lo(), 0.02 * 0.05 * 0.01, 1e-12);
+  EXPECT_NEAR(coll.hi(), 0.02 * 0.15 * 0.10, 1e-12);
+  EXPECT_GT(coll.width(), 0.0);
+}
+
+TEST(EventTree, DefaultSequenceNames) {
+  ft::EventTree t("init", 0.5);
+  (void)t.add_barrier("b0", pr::ProbInterval(0.5));
+  (void)t.add_barrier("b1", pr::ProbInterval(0.5));
+  const auto outcomes = t.outcomes();
+  // Unnamed sequences get S/F strings, bit i = barrier i.
+  EXPECT_EQ(outcomes[0].consequence, "sequence-FF");
+  EXPECT_EQ(outcomes[1].consequence, "sequence-SF");
+  EXPECT_EQ(outcomes[3].consequence, "sequence-SS");
+}
+
+TEST(EventTree, SharedConsequenceAggregates) {
+  ft::EventTree t("init", 0.1);
+  (void)t.add_barrier("b0", pr::ProbInterval(0.8));
+  (void)t.add_barrier("b1", pr::ProbInterval(0.7));
+  // Both single-failure sequences map to the same consequence.
+  t.set_consequence({false, true}, "degraded");
+  t.set_consequence({true, false}, "degraded");
+  const auto f = t.consequence_frequency("degraded");
+  EXPECT_NEAR(f.mid(), 0.1 * (0.2 * 0.7 + 0.8 * 0.3), 1e-12);
+}
+
+TEST(DsConditioning, MatchesBayesOnBayesianMass) {
+  // Conditioning a Bayesian mass on a set == Bayes' rule restriction.
+  ev::Frame f({"a", "b", "c"});
+  const auto m = ev::MassFunction::bayesian(f, pr::Categorical({0.5, 0.3, 0.2}));
+  const auto c = m.conditioned(f.make_set({"a", "b"}));
+  EXPECT_NEAR(c.mass(f.singleton("a")), 0.5 / 0.8, 1e-12);
+  EXPECT_NEAR(c.mass(f.singleton("b")), 0.3 / 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(c.mass(f.singleton("c")), 0.0);
+}
+
+TEST(DsConditioning, IntersectsFocalElements) {
+  ev::Frame f({"a", "b", "c"});
+  const ev::MassFunction m(f, {{f.theta(), 0.4}, {f.make_set({"a", "b"}), 0.6}});
+  const auto c = m.conditioned(f.make_set({"b", "c"}));
+  // Theta ∩ {b,c} = {b,c}; {a,b} ∩ {b,c} = {b}. No conflict.
+  EXPECT_NEAR(c.mass(f.make_set({"b", "c"})), 0.4, 1e-12);
+  EXPECT_NEAR(c.mass(f.singleton("b")), 0.6, 1e-12);
+  // Conditioning on an impossible set throws.
+  const auto certain_a = ev::MassFunction(f, {{f.singleton("a"), 1.0}});
+  EXPECT_THROW((void)certain_a.conditioned(f.singleton("b")),
+               std::domain_error);
+  EXPECT_THROW((void)m.conditioned(0), std::invalid_argument);
+}

@@ -1,0 +1,309 @@
+// Dempster–Shafer tests: frame/set mechanics, belief-function identities,
+// and algebraic properties of the combination rules (randomized sweeps).
+#include "evidence/mass.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/rng.hpp"
+
+namespace ev = sysuq::evidence;
+namespace pr = sysuq::prob;
+
+namespace {
+
+// Random mass function over a frame: random subsets with random weights.
+ev::MassFunction random_mass(pr::Rng& rng, const ev::Frame& frame,
+                             std::size_t focal_count) {
+  std::map<ev::FocalSet, double> m;
+  const ev::FocalSet full = frame.theta();
+  for (std::size_t i = 0; i < focal_count; ++i) {
+    const ev::FocalSet s = 1 + rng.uniform_index(full);
+    m[s] += rng.uniform() + 0.05;
+  }
+  double total = 0.0;
+  for (auto& [k, v] : m) total += v;
+  for (auto& [k, v] : m) v /= total;
+  return ev::MassFunction(frame, std::move(m));
+}
+
+}  // namespace
+
+TEST(Frame, ConstructionAndSets) {
+  ev::Frame f({"car", "pedestrian", "unknown"});
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.theta(), 0b111u);
+  EXPECT_EQ(f.singleton("pedestrian"), 0b010u);
+  EXPECT_EQ(f.make_set({"car", "unknown"}), 0b101u);
+  EXPECT_EQ(f.set_to_string(0b011), "{car, pedestrian}");
+  EXPECT_EQ(f.all_nonempty_subsets().size(), 7u);
+  EXPECT_TRUE(f.contains(0b111));
+  EXPECT_FALSE(f.contains(0b1000));
+  EXPECT_THROW(ev::Frame({}), std::invalid_argument);
+  EXPECT_THROW(ev::Frame({"a", "a"}), std::invalid_argument);
+  EXPECT_THROW((void)f.singleton("bike"), std::invalid_argument);
+}
+
+TEST(Frame, SetPredicates) {
+  EXPECT_EQ(ev::set_cardinality(0b1011), 3);
+  EXPECT_TRUE(ev::is_subset(0b001, 0b011));
+  EXPECT_TRUE(ev::is_subset(0, 0b011));
+  EXPECT_FALSE(ev::is_subset(0b100, 0b011));
+}
+
+TEST(MassFunction, ConstructionValidation) {
+  ev::Frame f({"a", "b"});
+  EXPECT_NO_THROW(ev::MassFunction(f, {{0b01, 0.6}, {0b11, 0.4}}));
+  EXPECT_THROW(ev::MassFunction(f, {{0b01, 0.6}, {0b11, 0.3}}),
+               std::invalid_argument);
+  EXPECT_THROW(ev::MassFunction(f, {{0b00, 0.5}, {0b11, 0.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(ev::MassFunction(f, {{0b100, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(ev::MassFunction(f, {{0b01, -0.2}, {0b11, 1.2}}),
+               std::invalid_argument);
+}
+
+TEST(MassFunction, VacuousIsTotalIgnorance) {
+  ev::Frame f({"a", "b", "c"});
+  const auto m = ev::MassFunction::vacuous(f);
+  // Vacuous: Bel(A) = 0 for A != Theta, Pl(A) = 1 for A != empty.
+  EXPECT_DOUBLE_EQ(m.belief(f.singleton("a")), 0.0);
+  EXPECT_DOUBLE_EQ(m.plausibility(f.singleton("a")), 1.0);
+  EXPECT_DOUBLE_EQ(m.belief(f.theta()), 1.0);
+  EXPECT_DOUBLE_EQ(m.nonspecificity(), std::log2(3.0));
+  EXPECT_FALSE(m.is_bayesian());
+}
+
+TEST(MassFunction, BayesianCollapsesIntervals) {
+  ev::Frame f({"a", "b", "c"});
+  const auto m = ev::MassFunction::bayesian(f, pr::Categorical({0.5, 0.3, 0.2}));
+  EXPECT_TRUE(m.is_bayesian());
+  EXPECT_DOUBLE_EQ(m.nonspecificity(), 0.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto iv = m.belief_interval(f.singleton(i));
+    EXPECT_TRUE(iv.is_precise()) << i;
+  }
+  EXPECT_DOUBLE_EQ(m.belief(f.make_set({"a", "b"})), 0.8);
+}
+
+TEST(MassFunction, BeliefPlausibilityDuality) {
+  // Pl(A) = 1 - Bel(complement(A)) for arbitrary random mass functions.
+  pr::Rng rng(404);
+  ev::Frame f({"w", "x", "y", "z"});
+  for (int t = 0; t < 40; ++t) {
+    const auto m = random_mass(rng, f, 5);
+    for (const ev::FocalSet a : f.all_nonempty_subsets()) {
+      const ev::FocalSet comp = f.theta() & ~a;
+      if (comp == 0) continue;
+      EXPECT_NEAR(m.plausibility(a), 1.0 - m.belief(comp), 1e-12);
+      EXPECT_LE(m.belief(a), m.plausibility(a) + 1e-12);
+    }
+  }
+}
+
+TEST(MassFunction, BeliefMonotoneUnderInclusion) {
+  pr::Rng rng(405);
+  ev::Frame f({"x", "y", "z"});
+  for (int t = 0; t < 30; ++t) {
+    const auto m = random_mass(rng, f, 4);
+    for (const ev::FocalSet a : f.all_nonempty_subsets()) {
+      for (const ev::FocalSet b : f.all_nonempty_subsets()) {
+        if (ev::is_subset(a, b)) {
+          EXPECT_LE(m.belief(a), m.belief(b) + 1e-12);
+          EXPECT_LE(m.plausibility(a), m.plausibility(b) + 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(MassFunction, CommonalityOfSingletonsEqualsPlausibility) {
+  pr::Rng rng(406);
+  ev::Frame f({"x", "y", "z"});
+  const auto m = random_mass(rng, f, 4);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(m.commonality(f.singleton(i)), m.plausibility(f.singleton(i)),
+                1e-12);
+  }
+}
+
+TEST(MassFunction, PignisticPreservesBayesianAndSplitsIgnorance) {
+  ev::Frame f({"a", "b"});
+  const auto bayes = ev::MassFunction::bayesian(f, pr::Categorical({0.7, 0.3}));
+  const auto bp = bayes.pignistic();
+  EXPECT_NEAR(bp.p(0), 0.7, 1e-12);
+  const auto vac = ev::MassFunction::vacuous(f);
+  const auto vp = vac.pignistic();
+  EXPECT_NEAR(vp.p(0), 0.5, 1e-12);
+  // Pignistic lies within [Bel, Pl] of every singleton.
+  pr::Rng rng(407);
+  ev::Frame g({"x", "y", "z"});
+  for (int t = 0; t < 30; ++t) {
+    const auto m = random_mass(rng, g, 4);
+    const auto p = m.pignistic();
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_GE(p.p(i) + 1e-12, m.belief(g.singleton(i)));
+      EXPECT_LE(p.p(i) - 1e-12, m.plausibility(g.singleton(i)));
+    }
+  }
+}
+
+TEST(MassFunction, DiscountingMovesMassToTheta) {
+  ev::Frame f({"a", "b"});
+  const auto m = ev::MassFunction::bayesian(f, pr::Categorical({0.8, 0.2}));
+  const auto d = m.discounted(0.25);
+  EXPECT_NEAR(d.mass(f.singleton("a")), 0.6, 1e-12);
+  EXPECT_NEAR(d.mass(f.theta()), 0.25, 1e-12);
+  // Full discount is the vacuous function.
+  const auto full = m.discounted(1.0);
+  EXPECT_NEAR(full.mass(f.theta()), 1.0, 1e-12);
+  // Discounting widens belief intervals (uncertainty tolerance via
+  // acknowledged source unreliability).
+  EXPECT_LT(m.belief_interval(f.singleton("a")).width(),
+            d.belief_interval(f.singleton("a")).width());
+  EXPECT_THROW((void)m.discounted(1.5), std::invalid_argument);
+}
+
+TEST(MassFunction, SimpleSupport) {
+  ev::Frame f({"a", "b", "c"});
+  const auto m = ev::MassFunction::simple_support(f, f.singleton("b"), 0.7);
+  EXPECT_NEAR(m.mass(f.singleton("b")), 0.7, 1e-12);
+  EXPECT_NEAR(m.mass(f.theta()), 0.3, 1e-12);
+  // s = 1 leaves no ignorance; s = 0 is vacuous.
+  EXPECT_NEAR(ev::MassFunction::simple_support(f, f.theta(), 0.0)
+                  .mass(f.theta()),
+              1.0, 1e-12);
+}
+
+TEST(Combination, DempsterKnownTwoSensorExample) {
+  // Classic Zadeh-style setup with partial agreement.
+  ev::Frame f({"a", "b"});
+  const auto m1 = ev::MassFunction::simple_support(f, f.singleton("a"), 0.8);
+  const auto m2 = ev::MassFunction::simple_support(f, f.singleton("a"), 0.6);
+  const auto c = ev::dempster_combine(m1, m2);
+  // No conflict here: m({a}) = 1 - 0.2*0.4 = 0.92, m(Theta) = 0.08.
+  EXPECT_NEAR(c.mass(f.singleton("a")), 0.92, 1e-12);
+  EXPECT_NEAR(c.mass(f.theta()), 0.08, 1e-12);
+}
+
+TEST(Combination, DempsterNormalizesConflict) {
+  ev::Frame f({"a", "b"});
+  const auto m1 = ev::MassFunction(f, {{f.singleton("a"), 0.9}, {f.theta(), 0.1}});
+  const auto m2 = ev::MassFunction(f, {{f.singleton("b"), 0.9}, {f.theta(), 0.1}});
+  EXPECT_NEAR(m1.conflict(m2), 0.81, 1e-12);
+  const auto c = ev::dempster_combine(m1, m2);
+  // Masses: a: 0.9*0.1=0.09, b: 0.1*0.9=0.09, Theta: 0.01 -> /0.19.
+  EXPECT_NEAR(c.mass(f.singleton("a")), 0.09 / 0.19, 1e-12);
+  EXPECT_NEAR(c.mass(f.theta()), 0.01 / 0.19, 1e-12);
+}
+
+TEST(Combination, DempsterTotalConflictThrows) {
+  ev::Frame f({"a", "b"});
+  const auto m1 = ev::MassFunction(f, {{f.singleton("a"), 1.0}});
+  const auto m2 = ev::MassFunction(f, {{f.singleton("b"), 1.0}});
+  EXPECT_NEAR(m1.conflict(m2), 1.0, 1e-12);
+  EXPECT_THROW((void)ev::dempster_combine(m1, m2), std::domain_error);
+  // Yager handles it: all mass moves to Theta.
+  const auto y = ev::yager_combine(m1, m2);
+  EXPECT_NEAR(y.mass(f.theta()), 1.0, 1e-12);
+  // Dubois-Prade transfers to the union {a, b} = Theta here.
+  const auto dp = ev::dubois_prade_combine(m1, m2);
+  EXPECT_NEAR(dp.mass(f.theta()), 1.0, 1e-12);
+}
+
+TEST(Combination, VacuousIsDempsterNeutralElement) {
+  pr::Rng rng(408);
+  ev::Frame f({"x", "y", "z"});
+  for (int t = 0; t < 20; ++t) {
+    const auto m = random_mass(rng, f, 4);
+    const auto c = ev::dempster_combine(m, ev::MassFunction::vacuous(f));
+    for (const ev::FocalSet s : f.all_nonempty_subsets()) {
+      EXPECT_NEAR(c.mass(s), m.mass(s), 1e-12);
+    }
+  }
+}
+
+TEST(Combination, DempsterCommutative) {
+  pr::Rng rng(409);
+  ev::Frame f({"x", "y", "z"});
+  for (int t = 0; t < 25; ++t) {
+    const auto a = random_mass(rng, f, 4);
+    const auto b = random_mass(rng, f, 4);
+    const auto ab = ev::dempster_combine(a, b);
+    const auto ba = ev::dempster_combine(b, a);
+    for (const ev::FocalSet s : f.all_nonempty_subsets())
+      EXPECT_NEAR(ab.mass(s), ba.mass(s), 1e-12);
+  }
+}
+
+TEST(Combination, DempsterAssociative) {
+  pr::Rng rng(410);
+  ev::Frame f({"x", "y", "z"});
+  for (int t = 0; t < 25; ++t) {
+    const auto a = random_mass(rng, f, 3);
+    const auto b = random_mass(rng, f, 3);
+    const auto c = random_mass(rng, f, 3);
+    const auto left = ev::dempster_combine(ev::dempster_combine(a, b), c);
+    const auto right = ev::dempster_combine(a, ev::dempster_combine(b, c));
+    for (const ev::FocalSet s : f.all_nonempty_subsets())
+      EXPECT_NEAR(left.mass(s), right.mass(s), 1e-10);
+  }
+}
+
+TEST(Combination, YagerIsQuasiAssociativeNotEqualToDempster) {
+  // Under conflict, Yager keeps more mass on Theta than Dempster
+  // (conservatism), so singleton beliefs are weaker.
+  ev::Frame f({"a", "b"});
+  const auto m1 = ev::MassFunction(f, {{f.singleton("a"), 0.9}, {f.theta(), 0.1}});
+  const auto m2 = ev::MassFunction(f, {{f.singleton("b"), 0.9}, {f.theta(), 0.1}});
+  const auto d = ev::dempster_combine(m1, m2);
+  const auto y = ev::yager_combine(m1, m2);
+  EXPECT_LT(y.belief(f.singleton("a")), d.belief(f.singleton("a")));
+  EXPECT_GT(y.mass(f.theta()), d.mass(f.theta()));
+}
+
+TEST(Combination, DuboisPradePreservesInformationBetweenDempsterAndYager) {
+  ev::Frame f({"a", "b", "c"});
+  const auto m1 =
+      ev::MassFunction(f, {{f.singleton("a"), 0.8}, {f.theta(), 0.2}});
+  const auto m2 =
+      ev::MassFunction(f, {{f.singleton("b"), 0.8}, {f.theta(), 0.2}});
+  const auto dp = ev::dubois_prade_combine(m1, m2);
+  // Conflict 0.64 lands on {a, b}, not on Theta.
+  EXPECT_NEAR(dp.mass(f.make_set({"a", "b"})), 0.64, 1e-12);
+  const auto y = ev::yager_combine(m1, m2);
+  EXPECT_NEAR(y.mass(f.theta()), 0.04 + 0.64, 1e-12);
+  // DP's {a,b} mass keeps Pl({a}) equal but raises Bel({a,b}).
+  EXPECT_GT(dp.belief(f.make_set({"a", "b"})), y.belief(f.make_set({"a", "b"})));
+}
+
+TEST(Combination, AllRulesPreserveNormalization) {
+  pr::Rng rng(411);
+  ev::Frame f({"w", "x", "y", "z"});
+  for (int t = 0; t < 20; ++t) {
+    const auto a = random_mass(rng, f, 5);
+    const auto b = random_mass(rng, f, 5);
+    for (const auto& c : {ev::yager_combine(a, b), ev::dubois_prade_combine(a, b)}) {
+      double total = 0.0;
+      for (const auto& [s, m] : c.focal_elements()) {
+        (void)s;
+        total += m;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-10);
+    }
+  }
+}
+
+TEST(MassFunction, NonspecificityTracksEpistemicImprecision) {
+  ev::Frame f({"a", "b", "c", "d"});
+  const auto bayes = ev::MassFunction::bayesian(
+      f, pr::Categorical({0.25, 0.25, 0.25, 0.25}));
+  const auto partial = ev::MassFunction(
+      f, {{f.make_set({"a", "b"}), 0.5}, {f.make_set({"c", "d"}), 0.5}});
+  const auto vac = ev::MassFunction::vacuous(f);
+  EXPECT_DOUBLE_EQ(bayes.nonspecificity(), 0.0);
+  EXPECT_NEAR(partial.nonspecificity(), 1.0, 1e-12);  // log2(2)
+  EXPECT_NEAR(vac.nonspecificity(), 2.0, 1e-12);      // log2(4)
+  EXPECT_LT(bayes.nonspecificity_mass(), partial.nonspecificity_mass());
+}

@@ -1,0 +1,108 @@
+// Failure injection: feed NaN, infinities, and degenerate structures into
+// every public entry point that accepts raw numbers, asserting the
+// library fails loudly instead of silently absorbing poison. (NaN is the
+// classic silent killer: all ordered comparisons against it are false, so
+// naive range checks pass.)
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "bayesnet/network.hpp"
+#include "evidence/mass.hpp"
+#include "evidence/subjective.hpp"
+#include "fta/fault_tree.hpp"
+#include "markov/dtmc.hpp"
+#include "markov/mdp.hpp"
+#include "prob/discrete.hpp"
+#include "prob/interval.hpp"
+#include "prob/rng.hpp"
+
+namespace pr = sysuq::prob;
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+TEST(FailureInjection, CategoricalRejectsNaNAndInf) {
+  EXPECT_THROW((void)pr::Categorical({kNaN, 0.5}), std::invalid_argument);
+  EXPECT_THROW((void)pr::Categorical({kInf, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)pr::Categorical({-kInf, 1.0}), std::invalid_argument);
+  EXPECT_THROW((void)pr::Categorical::normalized({kNaN, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)pr::Categorical::normalized({kInf, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, BernoulliBinomialRejectNaN) {
+  EXPECT_THROW((void)pr::Bernoulli(kNaN), std::invalid_argument);
+  EXPECT_THROW((void)pr::Binomial(10, kNaN), std::invalid_argument);
+  pr::Rng rng(1);
+  EXPECT_THROW((void)rng.bernoulli(kNaN), std::invalid_argument);
+  EXPECT_THROW((void)rng.categorical({kNaN, 1.0}), std::invalid_argument);
+}
+
+TEST(FailureInjection, ProbIntervalRejectsNaN) {
+  EXPECT_THROW((void)pr::ProbInterval(kNaN, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)pr::ProbInterval(0.1, kNaN), std::invalid_argument);
+  EXPECT_THROW((void)pr::ProbInterval(kNaN), std::invalid_argument);
+}
+
+TEST(FailureInjection, FactorRejectsNaN) {
+  EXPECT_THROW((void)sysuq::bayesnet::Factor({0}, {2}, {kNaN, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW((void)sysuq::bayesnet::Factor({0}, {2}, {kInf, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, FaultTreeRejectsNaNProbabilities) {
+  sysuq::fta::FaultTree t;
+  EXPECT_THROW((void)t.add_basic_event("a", kNaN), std::invalid_argument);
+  EXPECT_THROW((void)t.add_basic_event("a", kInf), std::invalid_argument);
+  const auto a = t.add_basic_event("a", 0.5);
+  EXPECT_THROW(t.set_probability(a, kNaN), std::invalid_argument);
+}
+
+TEST(FailureInjection, DtmcRejectsNaNTransitions) {
+  sysuq::markov::Dtmc c;
+  const auto s = c.add_state("s");
+  EXPECT_THROW(c.set_transition(s, s, kNaN), std::invalid_argument);
+  EXPECT_THROW(c.set_transition(s, s, kInf), std::invalid_argument);
+}
+
+TEST(FailureInjection, MdpRejectsNaNOutcomes) {
+  sysuq::markov::Mdp m;
+  const auto s = m.add_state("s");
+  EXPECT_THROW((void)m.add_action(s, "a", {{s, kNaN}}), std::invalid_argument);
+}
+
+TEST(FailureInjection, MassFunctionRejectsNaN) {
+  sysuq::evidence::Frame f({"a", "b"});
+  EXPECT_THROW((void)sysuq::evidence::MassFunction(f, {{0b01, kNaN}, {0b10, 0.5}}),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, OpinionRejectsNaN) {
+  EXPECT_THROW((void)sysuq::evidence::Opinion(kNaN, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)sysuq::evidence::Opinion(0.5, kNaN, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)sysuq::evidence::Opinion::from_evidence(kNaN, 1.0),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, RngDistributionGuards) {
+  pr::Rng rng(2);
+  EXPECT_THROW((void)rng.gaussian(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.gamma(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(FailureInjection, NetworkRejectsPoisonedCpt) {
+  // The Categorical layer guards the CPT path: a NaN row can never reach
+  // a validated network.
+  sysuq::bayesnet::BayesianNetwork net;
+  (void)net.add_variable("x", {"0", "1"});
+  EXPECT_THROW(net.set_cpt(0, {}, {pr::Categorical({kNaN, 0.5})}),
+               std::invalid_argument);
+}

@@ -1,0 +1,165 @@
+// Tests for the Kalman tracker and the reliability distributions
+// (Weibull, LogNormal).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "orbit/kalman.hpp"
+#include "orbit/two_planet.hpp"
+#include "prob/distribution.hpp"
+#include "prob/statistics.hpp"
+
+namespace ob = sysuq::orbit;
+namespace pr = sysuq::prob;
+
+TEST(Kalman, Validation) {
+  EXPECT_THROW(ob::KalmanFilter2D(0.0, 0.1, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ob::KalmanFilter2D(0.1, 0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ob::KalmanFilter2D(0.1, 0.1, 0.0, 1.0), std::invalid_argument);
+  ob::KalmanFilter2D kf(0.1, 0.1, 1.0, 1.0);
+  EXPECT_THROW(kf.predict(0.0), std::invalid_argument);
+}
+
+TEST(Kalman, ConvergesOnStraightTrack) {
+  // True motion: constant velocity (1, 0.5); noisy position measurements.
+  ob::KalmanFilter2D kf(1e-4, 0.05, 1.0, 1.0);
+  kf.initialize({0.0, 0.0}, {0.0, 0.0});
+  pr::Rng rng(321);
+  ob::Vec2 truth{0.0, 0.0};
+  const ob::Vec2 vel{1.0, 0.5};
+  const double dt = 0.1;
+  for (int i = 0; i < 400; ++i) {
+    truth += vel * dt;
+    kf.predict(dt);
+    (void)kf.update({truth.x + rng.gaussian(0, 0.05),
+                     truth.y + rng.gaussian(0, 0.05)});
+  }
+  EXPECT_NEAR(kf.position().distance(truth), 0.0, 0.05);
+  EXPECT_NEAR(kf.velocity().x, 1.0, 0.1);
+  EXPECT_NEAR(kf.velocity().y, 0.5, 0.1);
+}
+
+TEST(Kalman, CovarianceShrinksThenSteadies) {
+  // Epistemic state uncertainty collapses from the prior and reaches a
+  // steady state balancing process noise against measurements.
+  ob::KalmanFilter2D kf(1e-4, 0.05, 1.0, 1.0);
+  kf.initialize({0, 0}, {0, 0});
+  pr::Rng rng(322);
+  double after10 = 0.0, after200 = 0.0, after400 = 0.0;
+  for (int i = 1; i <= 400; ++i) {
+    kf.predict(0.1);
+    (void)kf.update({rng.gaussian(0, 0.05), rng.gaussian(0, 0.05)});
+    if (i == 10) after10 = kf.position_variance();
+    if (i == 200) after200 = kf.position_variance();
+    if (i == 400) after400 = kf.position_variance();
+  }
+  EXPECT_LT(after10, 2.0);
+  EXPECT_LT(after200, after10);
+  EXPECT_NEAR(after400, after200, after200 * 0.25);  // steady state
+}
+
+TEST(Kalman, NisCalibratedUnderTheModel) {
+  // Under a matched model, NIS is chi-square(2): mean 2, and ~5% of
+  // values above 5.99.
+  ob::KalmanFilter2D kf(1e-3, 0.05, 0.1, 0.1);
+  kf.initialize({0, 0}, {1.0, 0.0});
+  pr::Rng rng(323);
+  ob::Vec2 truth{0, 0};
+  pr::RunningStats nis;
+  int above = 0, count = 0;
+  for (int i = 0; i < 3000; ++i) {
+    truth += ob::Vec2{1.0, 0.0} * 0.1;
+    kf.predict(0.1);
+    const double v = kf.update(
+        {truth.x + rng.gaussian(0, 0.05), truth.y + rng.gaussian(0, 0.05)});
+    if (i > 100) {  // after transient
+      nis.add(v);
+      above += v > 5.991 ? 1 : 0;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(nis.mean(), 2.0, 0.2);
+  EXPECT_NEAR(static_cast<double>(above) / count, 0.05, 0.02);
+}
+
+TEST(Kalman, ManoeuvreRaisesNis) {
+  // A sudden unmodeled velocity change (the filter-level analogue of the
+  // third planet) spikes the NIS far above the chi-square band.
+  ob::KalmanFilter2D kf(1e-4, 0.02, 0.1, 0.1);
+  kf.initialize({0, 0}, {1.0, 0.0});
+  pr::Rng rng(324);
+  ob::Vec2 truth{0, 0};
+  ob::Vec2 vel{1.0, 0.0};
+  double max_nis_before = 0.0, max_nis_after = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    if (i == 200) vel = {1.0, 2.0};  // manoeuvre
+    truth += vel * 0.1;
+    kf.predict(0.1);
+    const double v = kf.update(
+        {truth.x + rng.gaussian(0, 0.02), truth.y + rng.gaussian(0, 0.02)});
+    if (i > 50 && i < 200) max_nis_before = std::max(max_nis_before, v);
+    if (i >= 200 && i < 210) max_nis_after = std::max(max_nis_after, v);
+  }
+  EXPECT_GT(max_nis_after, 10.0 * max_nis_before);
+}
+
+TEST(Weibull, BasicsAndSpecialCases) {
+  // k = 1 is the exponential distribution.
+  pr::Weibull w1(1.0, 2.0);
+  pr::Exponential e(0.5);
+  for (double x : {0.1, 1.0, 3.0}) {
+    EXPECT_NEAR(w1.cdf(x), e.cdf(x), 1e-12) << x;
+    EXPECT_NEAR(w1.pdf(x), e.pdf(x), 1e-12) << x;
+  }
+  EXPECT_THROW(pr::Weibull(0.0, 1.0), std::invalid_argument);
+  pr::Weibull w(2.0, 1.0);
+  // mean = Gamma(1.5) = sqrt(pi)/2.
+  EXPECT_NEAR(w.mean(), std::sqrt(M_PI) / 2.0, 1e-10);
+  EXPECT_NEAR(w.cdf(w.quantile(0.3)), 0.3, 1e-10);
+}
+
+TEST(Weibull, HazardShape) {
+  // k < 1: decreasing hazard; k > 1: increasing hazard; k = 1: flat.
+  pr::Weibull infant(0.5, 1.0), flat(1.0, 1.0), wear(2.5, 1.0);
+  EXPECT_GT(infant.hazard(0.1), infant.hazard(1.0));
+  EXPECT_NEAR(flat.hazard(0.1), flat.hazard(5.0), 1e-12);
+  EXPECT_LT(wear.hazard(0.1), wear.hazard(1.0));
+  EXPECT_THROW((void)flat.hazard(0.0), std::invalid_argument);
+}
+
+TEST(Weibull, SamplingMoments) {
+  pr::Weibull w(1.7, 2.3);
+  pr::Rng rng(911);
+  pr::RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(w.sample(rng));
+  EXPECT_NEAR(s.mean(), w.mean(), 0.03);
+  EXPECT_NEAR(s.variance(), w.variance(), 0.08);
+}
+
+TEST(LogNormal, BasicsAndMoments) {
+  pr::LogNormal ln(0.5, 0.8);
+  EXPECT_NEAR(ln.median(), std::exp(0.5), 1e-12);
+  EXPECT_NEAR(ln.mean(), std::exp(0.5 + 0.32), 1e-10);
+  EXPECT_DOUBLE_EQ(ln.pdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ln.cdf(0.0), 0.0);
+  EXPECT_NEAR(ln.cdf(ln.median()), 0.5, 1e-12);
+  EXPECT_NEAR(ln.cdf(ln.quantile(0.9)), 0.9, 1e-10);
+  EXPECT_THROW(pr::LogNormal(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(LogNormal, ErrorFactorSemantics) {
+  // EF = q95 / median by definition; EF = 10 corresponds to
+  // sigma = ln(10)/1.645.
+  pr::LogNormal ln(-9.0, std::log(10.0) / 1.6448536269514722);
+  EXPECT_NEAR(ln.error_factor(), 10.0, 1e-6);
+  EXPECT_NEAR(ln.quantile(0.95) / ln.median(), ln.error_factor(), 1e-9);
+}
+
+TEST(LogNormal, SamplingMoments) {
+  pr::LogNormal ln(0.0, 0.5);
+  pr::Rng rng(912);
+  pr::RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(ln.sample(rng));
+  EXPECT_NEAR(s.mean(), ln.mean(), 0.02);
+  EXPECT_NEAR(s.variance(), ln.variance(), 0.05);
+}

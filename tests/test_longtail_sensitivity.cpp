@@ -1,0 +1,135 @@
+// Tests for the long-tail validation math and BN sensitivity analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayesnet/sensitivity.hpp"
+#include "core/longtail.hpp"
+#include "perception/table1.hpp"
+#include "prob/rng.hpp"
+#include "prob/statistics.hpp"
+
+namespace co = sysuq::core;
+namespace bn = sysuq::bayesnet;
+namespace pr = sysuq::prob;
+
+TEST(LongTail, ZipfShape) {
+  const auto z = co::zipf_distribution(100, 1.0);
+  EXPECT_EQ(z.size(), 100u);
+  // Monotone decreasing, ratio p1/p2 = 2 for s = 1.
+  EXPECT_NEAR(z.p(0) / z.p(1), 2.0, 1e-9);
+  for (std::size_t i = 1; i < 100; ++i) EXPECT_LE(z.p(i), z.p(i - 1));
+  EXPECT_THROW((void)co::zipf_distribution(1, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)co::zipf_distribution(10, 0.0), std::invalid_argument);
+}
+
+TEST(LongTail, MissingMassExactSmallCase) {
+  // Two categories (0.7, 0.3), N = 2:
+  // E[missing] = 0.7*0.3^2 + 0.3*0.7^2 = 0.063 + 0.147 = 0.21.
+  const pr::Categorical p({0.7, 0.3});
+  EXPECT_NEAR(co::expected_missing_mass(p, 2), 0.7 * 0.09 + 0.3 * 0.49, 1e-12);
+  EXPECT_DOUBLE_EQ(co::expected_missing_mass(p, 0), 1.0);
+  // Distinct: 2 - (0.3^2 + 0.7^2) ... E[distinct after 2] =
+  // (1-0.3^2)+(1-0.7^2).
+  EXPECT_NEAR(co::expected_distinct(p, 2), (1 - 0.09) + (1 - 0.49), 1e-12);
+}
+
+TEST(LongTail, MissingMassMonotoneDecreasing) {
+  const auto z = co::zipf_distribution(1000, 1.2);
+  double prev = 1.0;
+  for (const std::size_t n : {1u, 10u, 100u, 1000u, 10000u, 100000u}) {
+    const double m = co::expected_missing_mass(z, n);
+    EXPECT_LT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(LongTail, MatchesMonteCarlo) {
+  const auto z = co::zipf_distribution(50, 1.5);
+  pr::Rng rng(2121);
+  const std::size_t n = 200;
+  pr::RunningStats missing;
+  for (int rep = 0; rep < 300; ++rep) {
+    std::vector<bool> seen(50, false);
+    for (std::size_t i = 0; i < n; ++i) seen[z.sample(rng)] = true;
+    double m = 0.0;
+    for (std::size_t c = 0; c < 50; ++c) {
+      if (!seen[c]) m += z.p(c);
+    }
+    missing.add(m);
+  }
+  EXPECT_NEAR(missing.mean(), co::expected_missing_mass(z, n), 0.005);
+}
+
+TEST(LongTail, ObservationsForTargetAndHeavyTailPenalty) {
+  // The long-tail effect needs a large scenario space: with 100k ranked
+  // scenario classes, the near-uniform tail of Zipf(1.01) holds most of
+  // its mass in events of probability ~1e-6 each, so driving down the
+  // unseen mass takes orders of magnitude more exposure than for the
+  // light tail — the paper's "long tail validation challenge".
+  const auto light = co::zipf_distribution(100000, 2.5);
+  const auto heavy = co::zipf_distribution(100000, 1.01);
+  const std::size_t n_light = co::observations_for_missing_mass(light, 0.02);
+  const std::size_t n_heavy = co::observations_for_missing_mass(heavy, 0.02);
+  EXPECT_GT(n_heavy, 100 * n_light);
+  // Returned N actually achieves the target, N-1 does not.
+  EXPECT_LE(co::expected_missing_mass(heavy, n_heavy), 0.02);
+  EXPECT_GT(co::expected_missing_mass(heavy, n_heavy - 1), 0.02);
+  EXPECT_THROW((void)co::observations_for_missing_mass(heavy, 0.0),
+               std::invalid_argument);
+}
+
+TEST(LongTail, DiscoveryRateDecays) {
+  const auto z = co::zipf_distribution(500, 1.1);
+  EXPECT_GT(co::discovery_rate(z, 10), co::discovery_rate(z, 1000));
+  EXPECT_GT(co::discovery_rate(z, 1000), 0.0);
+}
+
+TEST(Sensitivity, DerivativeSignAndMagnitude) {
+  const auto net = sysuq::perception::table1_network();
+  // P(perception = none) depends positively on the prior of unknown
+  // (unknown objects mostly produce none) and on P(none | unknown).
+  const double d_prior = bn::query_sensitivity(net, 0, 0, 2, 1, 3);
+  EXPECT_GT(d_prior, 0.5);  // strong positive driver
+  const double d_cpt = bn::query_sensitivity(net, 1, 2, 3, 1, 3);
+  EXPECT_GT(d_cpt, 0.05);
+  // P(perception = car) reacts negatively to the unknown prior.
+  const double d_car = bn::query_sensitivity(net, 0, 0, 2, 1, 0);
+  EXPECT_LT(d_car, 0.0);
+}
+
+TEST(Sensitivity, MatchesManualFiniteDifference) {
+  // Manual check on the root prior: P(perc = none) as a function of the
+  // unknown prior t with proportional co-variation of car/pedestrian:
+  //   P(none) = (0.6/0.9)(1-t)*0.045 + (0.3/0.9)(1-t)*0.045 + t*0.8
+  // -> derivative = 0.8 - 0.045 = 0.755.
+  const auto net = sysuq::perception::table1_network();
+  const double d = bn::query_sensitivity(net, 0, 0, 2, 1, 3);
+  EXPECT_NEAR(d, 0.755, 1e-6);
+}
+
+TEST(Sensitivity, RankingFindsDominantParameters) {
+  const auto net = sysuq::perception::table1_network();
+  const auto ranking = bn::rank_parameters(net, 1, 3);  // query P(perc=none)
+  ASSERT_FALSE(ranking.empty());
+  // Total parameter cells: root 3 + child 12 = 15.
+  EXPECT_EQ(ranking.size(), 15u);
+  // Sorted by |derivative| descending.
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(std::fabs(ranking[i - 1].derivative),
+              std::fabs(ranking[i].derivative));
+  }
+  // The dominant parameter is the unknown prior (child 0, state 2).
+  EXPECT_EQ(ranking[0].child, 0u);
+  EXPECT_EQ(ranking[0].state, 2u);
+}
+
+TEST(Sensitivity, Validation) {
+  const auto net = sysuq::perception::table1_network();
+  EXPECT_THROW((void)bn::query_sensitivity(net, 1, 9, 0, 0, 0),
+               std::out_of_range);
+  EXPECT_THROW((void)bn::query_sensitivity(net, 1, 0, 9, 0, 0),
+               std::out_of_range);
+  EXPECT_THROW((void)bn::query_sensitivity(net, 1, 0, 0, 0, 0, {}, 0.0),
+               std::invalid_argument);
+}

@@ -1,0 +1,232 @@
+// DTMC / interval-DTMC tests: reachability against closed forms, PCTL
+// bounded until, stationary distributions, expected hitting times, and
+// guaranteed interval bounds cross-checked by sampled point chains.
+#include "markov/dtmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mk = sysuq::markov;
+namespace pr = sysuq::prob;
+
+namespace {
+
+// The classic gambler's-ruin-flavoured chain: start -> {win, lose}.
+mk::Dtmc gamblers(double p) {
+  mk::Dtmc c;
+  const auto s0 = c.add_state("s0");
+  const auto s1 = c.add_state("s1");
+  const auto win = c.add_state("win");
+  const auto lose = c.add_state("lose");
+  c.set_transition(s0, s1, p);
+  c.set_transition(s0, lose, 1.0 - p);
+  c.set_transition(s1, win, p);
+  c.set_transition(s1, s0, 1.0 - p);
+  c.set_transition(win, win, 1.0);
+  c.set_transition(lose, lose, 1.0);
+  return c;
+}
+
+}  // namespace
+
+TEST(Dtmc, ConstructionValidation) {
+  mk::Dtmc c;
+  const auto a = c.add_state("a");
+  EXPECT_THROW((void)c.add_state("a"), std::invalid_argument);
+  EXPECT_THROW((void)c.add_state(""), std::invalid_argument);
+  EXPECT_THROW(c.set_transition(a, 7, 0.5), std::out_of_range);
+  EXPECT_THROW(c.set_transition(a, a, 1.5), std::invalid_argument);
+  c.set_transition(a, a, 0.5);
+  EXPECT_THROW(c.validate(), std::logic_error);  // row sums to 0.5
+  c.set_transition(a, a, 1.0);
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_EQ(c.id_of("a"), a);
+  EXPECT_THROW((void)c.id_of("zz"), std::invalid_argument);
+}
+
+TEST(Dtmc, ReachabilityClosedForm) {
+  // P(win from s0): x0 = p*x1, x1 = p + (1-p)*x0 -> x0 = p^2/(1-p+p^2).
+  for (const double p : {0.3, 0.5, 0.8}) {
+    const auto c = gamblers(p);
+    const auto r = c.reachability({c.id_of("win")});
+    const double expect = p * p / (1.0 - p + p * p);
+    EXPECT_NEAR(r[c.id_of("s0")], expect, 1e-9) << p;
+    EXPECT_DOUBLE_EQ(r[c.id_of("win")], 1.0);
+    EXPECT_NEAR(r[c.id_of("lose")], 0.0, 1e-9);
+  }
+}
+
+TEST(Dtmc, BoundedReachabilityMonotoneInK) {
+  const auto c = gamblers(0.5);
+  const std::vector<mk::StateId> target{c.id_of("win")};
+  double prev = -1.0;
+  for (const std::size_t k : {0u, 1u, 2u, 4u, 8u, 32u, 128u}) {
+    const double v = c.bounded_reachability(target, k)[c.id_of("s0")];
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  // Converges to the unbounded value.
+  EXPECT_NEAR(prev, c.reachability(target)[c.id_of("s0")], 1e-9);
+  // Exact small-k values: k=2 is the first chance to win: p*p.
+  EXPECT_DOUBLE_EQ(c.bounded_reachability(target, 1)[c.id_of("s0")], 0.0);
+  EXPECT_NEAR(c.bounded_reachability(target, 2)[c.id_of("s0")], 0.25, 1e-12);
+}
+
+TEST(Dtmc, BoundedUntilRespectsSafety) {
+  // s0 -> risky -> win, or s0 -> safe -> win. Forbidding `risky` removes
+  // that path's mass.
+  mk::Dtmc c;
+  const auto s0 = c.add_state("s0");
+  const auto risky = c.add_state("risky");
+  const auto safe = c.add_state("safe");
+  const auto win = c.add_state("win");
+  c.set_transition(s0, risky, 0.6);
+  c.set_transition(s0, safe, 0.4);
+  c.set_transition(risky, win, 1.0);
+  c.set_transition(safe, win, 1.0);
+  c.set_transition(win, win, 1.0);
+  std::vector<bool> all_safe(c.size(), true);
+  EXPECT_NEAR(c.bounded_until(all_safe, {win}, 2)[s0], 1.0, 1e-12);
+  std::vector<bool> no_risky = all_safe;
+  no_risky[risky] = false;
+  EXPECT_NEAR(c.bounded_until(no_risky, {win}, 2)[s0], 0.4, 1e-12);
+}
+
+TEST(Dtmc, StationaryTwoState) {
+  // p(a->b)=0.3, p(b->a)=0.6: pi = (2/3, 1/3).
+  mk::Dtmc c;
+  const auto a = c.add_state("a");
+  const auto b = c.add_state("b");
+  c.set_transition(a, a, 0.7);
+  c.set_transition(a, b, 0.3);
+  c.set_transition(b, a, 0.6);
+  c.set_transition(b, b, 0.4);
+  const auto pi = c.stationary();
+  EXPECT_NEAR(pi[a], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(pi[b], 1.0 / 3.0, 1e-9);
+}
+
+TEST(Dtmc, ExpectedStepsGeometric) {
+  // Single state looping with exit probability p: E[steps] = 1/p.
+  mk::Dtmc c;
+  const auto a = c.add_state("a");
+  const auto t = c.add_state("t");
+  c.set_transition(a, a, 0.75);
+  c.set_transition(a, t, 0.25);
+  c.set_transition(t, t, 1.0);
+  const auto e = c.expected_steps_to({t});
+  EXPECT_NEAR(e[a], 4.0, 1e-6);
+  EXPECT_DOUBLE_EQ(e[t], 0.0);
+}
+
+TEST(Dtmc, ExpectedStepsInfiniteWhenUnreachable) {
+  mk::Dtmc c;
+  const auto a = c.add_state("a");
+  const auto t = c.add_state("t");
+  c.set_transition(a, a, 1.0);
+  c.set_transition(t, t, 1.0);
+  const auto e = c.expected_steps_to({t});
+  EXPECT_TRUE(std::isinf(e[a]));
+}
+
+TEST(Dtmc, SimulationMatchesReachability) {
+  const auto c = gamblers(0.6);
+  pr::Rng rng(55);
+  int wins = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const auto path = c.simulate(c.id_of("s0"), 200, rng);
+    if (path.back() == c.id_of("win")) ++wins;
+  }
+  // x0 = p^2 / (1 - p + p^2) with p = 0.6.
+  const double expect = 0.36 / (1.0 - 0.6 + 0.36);
+  EXPECT_NEAR(static_cast<double>(wins) / trials, expect, 0.01);
+}
+
+TEST(IntervalDtmc, ValidationAndContains) {
+  mk::IntervalDtmc ic({"a", "b"});
+  ic.set_transition(0, 0, pr::ProbInterval(0.6, 0.8));
+  ic.set_transition(0, 1, pr::ProbInterval(0.2, 0.4));
+  ic.set_transition(1, 1, pr::ProbInterval(1.0));
+  EXPECT_NO_THROW(ic.validate());
+
+  mk::Dtmc point;
+  (void)point.add_state("a");
+  (void)point.add_state("b");
+  point.set_transition(0, 0, 0.7);
+  point.set_transition(0, 1, 0.3);
+  point.set_transition(1, 1, 1.0);
+  EXPECT_TRUE(ic.contains(point));
+  point.set_transition(0, 0, 0.5);
+  point.set_transition(0, 1, 0.5);
+  EXPECT_FALSE(ic.contains(point));
+
+  mk::IntervalDtmc bad({"a"});
+  bad.set_transition(0, 0, pr::ProbInterval(0.0, 0.5));
+  EXPECT_THROW(bad.validate(), std::logic_error);
+}
+
+TEST(IntervalDtmc, BoundsContainAllPointChains) {
+  // Degraded-mode chain: ok -> {ok, degraded}, degraded -> {ok, failed},
+  // with epistemic bands on the degradation rates.
+  mk::IntervalDtmc ic({"ok", "degraded", "failed"});
+  ic.set_transition(0, 0, pr::ProbInterval(0.90, 0.98));
+  ic.set_transition(0, 1, pr::ProbInterval(0.02, 0.10));
+  ic.set_transition(1, 0, pr::ProbInterval(0.30, 0.60));
+  ic.set_transition(1, 2, pr::ProbInterval(0.05, 0.20));
+  ic.set_transition(1, 1, pr::ProbInterval(0.20, 0.65));
+  ic.set_transition(2, 2, pr::ProbInterval(1.0));
+  ic.validate();
+
+  const std::size_t k = 20;
+  const auto bounds = ic.bounded_reachability({2}, k);
+  EXPECT_LT(bounds[0].lo(), bounds[0].hi());
+
+  pr::Rng rng(321);
+  for (int trial = 0; trial < 100; ++trial) {
+    // Sample a consistent point chain.
+    mk::Dtmc point;
+    (void)point.add_state("ok");
+    (void)point.add_state("degraded");
+    (void)point.add_state("failed");
+    // Row 0: pick p01 in band, p00 = 1 - p01 (check band).
+    double p01, p00;
+    do {
+      p01 = rng.uniform(0.02, 0.10);
+      p00 = 1.0 - p01;
+    } while (!(p00 >= 0.90 && p00 <= 0.98));
+    point.set_transition(0, 0, p00);
+    point.set_transition(0, 1, p01);
+    double p10, p12, p11;
+    do {
+      p10 = rng.uniform(0.30, 0.60);
+      p12 = rng.uniform(0.05, 0.20);
+      p11 = 1.0 - p10 - p12;
+    } while (!(p11 >= 0.20 && p11 <= 0.65));
+    point.set_transition(1, 0, p10);
+    point.set_transition(1, 2, p12);
+    point.set_transition(1, 1, p11);
+    point.set_transition(2, 2, 1.0);
+    ASSERT_TRUE(ic.contains(point));
+    const double v = point.bounded_reachability({2}, k)[0];
+    EXPECT_GE(v, bounds[0].lo() - 1e-9);
+    EXPECT_LE(v, bounds[0].hi() + 1e-9);
+  }
+}
+
+TEST(IntervalDtmc, DegenerateIntervalsReproducePointChain) {
+  const auto c = gamblers(0.5);
+  mk::IntervalDtmc ic({"s0", "s1", "win", "lose"});
+  for (mk::StateId s = 0; s < 4; ++s) {
+    for (mk::StateId t = 0; t < 4; ++t) {
+      ic.set_transition(s, t, pr::ProbInterval(c.transition(s, t)));
+    }
+  }
+  const auto b = ic.bounded_reachability({2}, 50);
+  const auto v = c.bounded_reachability({2}, 50);
+  for (mk::StateId s = 0; s < 4; ++s) {
+    EXPECT_NEAR(b[s].lo(), v[s], 1e-12);
+    EXPECT_NEAR(b[s].hi(), v[s], 1e-12);
+  }
+}

@@ -1,0 +1,285 @@
+// Orbit-substrate tests: integrator conservation laws, circular-orbit
+// closure, and the modeling-relation layer (models A and B, surprise
+// detection of the third planet).
+#include "orbit/two_planet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ob = sysuq::orbit;
+namespace pr = sysuq::prob;
+
+TEST(Vec2, Algebra) {
+  ob::Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, (ob::Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (ob::Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (ob::Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 5.0);
+  EXPECT_NEAR((a - b).norm(), a.distance(b), 1e-15);
+}
+
+TEST(NBody, CircularBinaryIsBalanced) {
+  const ob::GravityParams g{};
+  const auto s = ob::make_circular_binary(1.0, 0.5, 1.0, g);
+  // Zero net momentum, barycenter at origin.
+  EXPECT_NEAR(ob::total_momentum(s).norm(), 0.0, 1e-14);
+  EXPECT_NEAR(ob::center_of_mass(s).norm(), 0.0, 1e-14);
+  EXPECT_NEAR(s.bodies[0].position.distance(s.bodies[1].position), 1.0, 1e-14);
+  EXPECT_THROW((void)ob::make_circular_binary(0.0, 1.0, 1.0, g),
+               std::invalid_argument);
+}
+
+TEST(NBody, VerletConservesEnergyAndMomentum) {
+  const ob::GravityParams g{};
+  auto s = ob::make_circular_binary(1.0, 0.5, 1.0, g);
+  const double e0 = ob::total_energy(s, g);
+  ob::simulate(s, 1e-3, 20000, g);
+  const double e1 = ob::total_energy(s, g);
+  EXPECT_NEAR(e1, e0, std::fabs(e0) * 1e-5);
+  EXPECT_NEAR(ob::total_momentum(s).norm(), 0.0, 1e-10);
+}
+
+TEST(NBody, CircularOrbitClosesAfterOnePeriod) {
+  const ob::GravityParams g{};
+  auto s = ob::make_circular_binary(1.0, 1.0, 2.0, g);
+  const ob::Vec2 start = s.bodies[0].position;
+  const double period = ob::circular_binary_period(1.0, 1.0, 2.0, g);
+  const double dt = period / 20000.0;
+  ob::simulate(s, dt, 20000, g);
+  EXPECT_NEAR(s.bodies[0].position.distance(start), 0.0, 2e-3);
+  // Separation stays constant on a circular orbit.
+  EXPECT_NEAR(s.bodies[0].position.distance(s.bodies[1].position), 2.0, 1e-3);
+}
+
+TEST(NBody, Rk4MatchesVerletShortTerm) {
+  const ob::GravityParams g{};
+  auto a = ob::make_circular_binary(1.0, 0.5, 1.0, g);
+  auto b = a;
+  for (int i = 0; i < 2000; ++i) {
+    ob::verlet_step(a, 5e-4, g);
+    ob::rk4_step(b, 5e-4, g);
+  }
+  EXPECT_NEAR(a.bodies[0].position.distance(b.bodies[0].position), 0.0, 1e-5);
+}
+
+TEST(NBody, OblatenessPerturbsOrbit) {
+  const ob::GravityParams g{};
+  auto ideal = ob::make_circular_binary(1.0, 0.5, 1.0, g);
+  auto real = ideal;
+  real.bodies[1].oblateness = 0.02;
+  ob::simulate(ideal, 1e-3, 10000, g);
+  ob::simulate(real, 1e-3, 10000, g);
+  // The heterogeneous body's stronger near-field pull changes the orbit.
+  EXPECT_GT(ideal.bodies[0].position.distance(real.bodies[0].position), 1e-3);
+}
+
+TEST(NBody, AccelerationValidation) {
+  const ob::GravityParams g{};
+  std::vector<ob::Body> bodies{ob::Body{1.0, {0, 0}, {0, 0}, 0.0}};
+  EXPECT_THROW((void)ob::acceleration(bodies, 2, g), std::out_of_range);
+  bodies.push_back(ob::Body{1.0, {0, 0}, {0, 0}, 0.0});
+  EXPECT_THROW((void)ob::acceleration(bodies, 0, g), std::domain_error);
+}
+
+TEST(TwoPlanet, UniverseRunsAndObserves) {
+  ob::UniverseConfig cfg;
+  ob::TwoPlanetUniverse u(cfg);
+  EXPECT_FALSE(u.third_planet_present());
+  for (int i = 0; i < 100; ++i) u.advance(1e-3);
+  EXPECT_NEAR(u.time(), 0.1, 1e-12);
+  pr::Rng rng(3);
+  const auto exact = u.observe_position(0, rng, 0.0);
+  EXPECT_EQ(exact, u.state().bodies[0].position);
+  const auto noisy = u.observe_position(0, rng, 0.1);
+  EXPECT_NE(noisy, exact);
+  EXPECT_THROW((void)u.observe_position(5, rng, 0.0), std::out_of_range);
+  EXPECT_THROW(u.advance(0.0), std::invalid_argument);
+}
+
+TEST(TwoPlanet, ThirdPlanetInjection) {
+  ob::UniverseConfig cfg;
+  cfg.third = ob::UniverseConfig::ThirdPlanet{0.3, {3.0, 0.0}, {0.0, 0.5}, 0.05};
+  ob::TwoPlanetUniverse u(cfg);
+  EXPECT_FALSE(u.third_planet_present());
+  EXPECT_EQ(u.state().bodies.size(), 2u);
+  for (int i = 0; i < 100; ++i) u.advance(1e-3);
+  EXPECT_TRUE(u.third_planet_present());
+  EXPECT_EQ(u.state().bodies.size(), 3u);
+}
+
+TEST(TwoPlanet, ModelAIsExactForIdealUniverse) {
+  // With ideal point masses and no third planet, model A's epistemic and
+  // ontological gaps are both zero: residuals stay at integrator noise.
+  ob::UniverseConfig cfg;
+  ob::TwoPlanetUniverse u(cfg);
+  ob::DeterministicModel model(cfg.m1, cfg.m2, cfg.separation, cfg.gravity);
+  double max_residual = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    u.advance(1e-3);
+    model.advance(1e-3);
+    max_residual = std::max(
+        max_residual,
+        model.predicted_position(0).distance(u.state().bodies[0].position));
+  }
+  EXPECT_LT(max_residual, 1e-5);
+}
+
+TEST(TwoPlanet, EpistemicGapGrowsWithOblateness) {
+  // Sec. III.B: the point-mass idealization of a heterogeneous body is an
+  // epistemic error — residual grows with the inhomogeneity.
+  double prev = -1.0;
+  for (const double obl : {0.0, 0.01, 0.03}) {
+    ob::UniverseConfig cfg;
+    cfg.oblateness2 = obl;
+    ob::TwoPlanetUniverse u(cfg);
+    ob::DeterministicModel model(cfg.m1, cfg.m2, cfg.separation, cfg.gravity);
+    double residual = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+      u.advance(1e-3);
+      model.advance(1e-3);
+    }
+    residual =
+        model.predicted_position(0).distance(u.state().bodies[0].position);
+    EXPECT_GT(residual, prev);
+    prev = residual;
+  }
+}
+
+TEST(TwoPlanet, FrequentistModelConvergesWithObservations) {
+  // Sec. III.B: "our knowledge increases and the epistemic uncertainty
+  // decreases with every observation" — two independent finite-sample
+  // occupancy models approach each other as N grows.
+  ob::UniverseConfig cfg;
+  pr::Rng rng(17);
+  double prev_gap = 2.0;
+  for (const std::size_t n : {200u, 2000u, 20000u}) {
+    ob::TwoPlanetUniverse u1(cfg), u2(cfg);
+    ob::FrequentistModel m1(2.0, 8), m2(2.0, 8);
+    pr::Rng r1 = rng.split(n), r2 = rng.split(n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      u1.advance(7e-3);
+      u2.advance(11e-3);  // different sampling phase
+      m1.observe(u1.observe_position(0, r1, 0.05));
+      m2.observe(u2.observe_position(0, r2, 0.05));
+    }
+    const double gap = m1.distance(m2);
+    EXPECT_LT(gap, prev_gap);
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 0.2);
+}
+
+TEST(TwoPlanet, FrameProbabilityIsSane) {
+  ob::UniverseConfig cfg;
+  ob::TwoPlanetUniverse u(cfg);
+  ob::FrequentistModel m(2.0, 16);
+  pr::Rng rng(23);
+  for (int i = 0; i < 5000; ++i) {
+    u.advance(5e-3);
+    m.observe(u.observe_position(0, rng, 0.0));
+  }
+  // Planet 1 orbits within ~0.33 of the origin; the full domain frame has
+  // probability ~1, a far-away frame ~0.
+  EXPECT_NEAR(m.frame_probability(-2.0, 2.0, -2.0, 2.0), 1.0, 1e-9);
+  EXPECT_NEAR(m.frame_probability(1.5, 2.0, 1.5, 2.0), 0.0, 1e-9);
+  EXPECT_GT(m.frame_probability(-0.5, 0.5, -0.5, 0.5), 0.9);
+  EXPECT_DOUBLE_EQ(m.out_of_domain_fraction(), 0.0);
+}
+
+TEST(SurpriseMonitor, Validation) {
+  EXPECT_THROW(ob::SurpriseMonitor(0, 3.0, 2), std::invalid_argument);
+  EXPECT_THROW(ob::SurpriseMonitor(10, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW(ob::SurpriseMonitor(10, 3.0, 0), std::invalid_argument);
+  EXPECT_THROW(ob::SurpriseMonitor(10, 3.0, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(ob::SurpriseMonitor(10, 3.0, 2, 1.5), std::invalid_argument);
+  ob::SurpriseMonitor m(5, 3.0, 2);
+  EXPECT_THROW((void)m.feed(-1.0), std::invalid_argument);
+}
+
+TEST(SurpriseMonitor, TriggersOnSustainedAnomaly) {
+  ob::SurpriseMonitor m(50, 4.0, 3);
+  pr::Rng rng(5);
+  // Calibration + nominal phase: residuals ~ |N(0.01, 0.001)|.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(m.feed(std::fabs(rng.gaussian(0.01, 0.001))));
+  }
+  EXPECT_FALSE(m.triggered());
+  // Anomaly onset: residuals jump by 100x.
+  bool fired = false;
+  for (int i = 0; i < 10; ++i) fired = m.feed(1.0) || fired;
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(m.triggered());
+  EXPECT_GT(m.trigger_index(), 200u);
+}
+
+TEST(SurpriseMonitor, IgnoresIsolatedSpikes) {
+  ob::SurpriseMonitor m(50, 4.0, 3);
+  pr::Rng rng(6);
+  for (int i = 0; i < 100; ++i) (void)m.feed(std::fabs(rng.gaussian(0.01, 0.001)));
+  // Single spikes below the patience threshold do not trigger.
+  (void)m.feed(1.0);
+  (void)m.feed(std::fabs(rng.gaussian(0.01, 0.001)));
+  (void)m.feed(1.0);
+  (void)m.feed(std::fabs(rng.gaussian(0.01, 0.001)));
+  EXPECT_FALSE(m.triggered());
+}
+
+TEST(AccelerationResidual, FlatForIdealPairJumpsWithThirdPlanet) {
+  // Nominal two-planet universe: the dynamics-level residual is O(dt^2)
+  // integrator noise and does not grow with time.
+  ob::UniverseConfig cfg;
+  ob::TwoPlanetUniverse u(cfg);
+  const double dt = 1e-3;
+  std::vector<ob::Vec2> p0, p1;
+  for (int i = 0; i < 3000; ++i) {
+    p0.push_back(u.state().bodies[0].position);
+    p1.push_back(u.state().bodies[1].position);
+    u.advance(dt);
+  }
+  double early = 0.0, late = 0.0;
+  for (int i = 1; i < 2999; ++i) {
+    const double r = ob::acceleration_residual(
+        p0[i - 1], p0[i], p0[i + 1], dt, p1[i], cfg.m2, 0.0, cfg.gravity);
+    if (i < 100) early = std::max(early, r);
+    if (i > 2900) late = std::max(late, r);
+  }
+  EXPECT_LT(early, 1e-3);
+  EXPECT_LT(late, 3.0 * early + 1e-6);  // no secular growth
+}
+
+TEST(TwoPlanet, ThirdPlanetTriggersSurprise) {
+  // End-to-end Sec. III.C experiment: the dynamics-level residual of the
+  // two-body model is flat until the unmodeled third planet appears, then
+  // jumps by the planet's gravitational pull; the surprise monitor fires
+  // only after the injection.
+  ob::UniverseConfig cfg;
+  cfg.third = ob::UniverseConfig::ThirdPlanet{0.5, {1.5, 0.0}, {0.0, 0.6}, 5.0};
+  ob::TwoPlanetUniverse u(cfg);
+  ob::SurpriseMonitor monitor(500, 6.0, 3);
+
+  const double dt = 1e-3;
+  std::size_t steps_at_injection = 0;
+  std::vector<ob::Vec2> p0{u.state().bodies[0].position};
+  std::vector<ob::Vec2> p1{u.state().bodies[1].position};
+  for (std::size_t i = 1; i <= 20000; ++i) {
+    u.advance(dt);
+    p0.push_back(u.state().bodies[0].position);
+    p1.push_back(u.state().bodies[1].position);
+    if (u.third_planet_present() && steps_at_injection == 0)
+      steps_at_injection = i;
+    if (i < 2) continue;
+    const double residual = ob::acceleration_residual(
+        p0[i - 2], p0[i - 1], p0[i], dt, p1[i - 1], cfg.m2, 0.0, cfg.gravity);
+    if (monitor.feed(residual)) break;
+  }
+  ASSERT_TRUE(monitor.triggered());
+  // Injection really happened, and the trigger came strictly after it —
+  // nominal residuals before t = 5 must not fire the monitor.
+  ASSERT_GT(steps_at_injection, 0u);
+  EXPECT_GT(monitor.trigger_index(), steps_at_injection - 1);
+  // Detection latency is a handful of steps, not a fraction of an orbit.
+  EXPECT_LT(monitor.trigger_index(), steps_at_injection + 50);
+}

@@ -1,0 +1,215 @@
+// Perception-chain tests: world models, ODD restriction, confusion
+// sensors, ensembles, and redundant fusion.
+#include <gtest/gtest.h>
+
+#include "perception/fusion.hpp"
+#include "perception/sensor.hpp"
+#include "perception/table1.hpp"
+#include "perception/world.hpp"
+
+namespace pc = sysuq::perception;
+namespace pr = sysuq::prob;
+
+namespace {
+
+pc::TrueWorld paper_world(double novel_rate = 0.1) {
+  // The Sec. V world: cars and pedestrians, plus an unknown-object class
+  // encountered at `novel_rate` — the published 0.1 by default.
+  pc::WorldModel modeled({"car", "pedestrian"}, {2.0 / 3.0, 1.0 / 3.0});
+  return pc::TrueWorld(std::move(modeled), {"unknown_object"}, novel_rate);
+}
+
+}  // namespace
+
+TEST(WorldModel, ConstructionValidation) {
+  EXPECT_NO_THROW(pc::WorldModel({"a", "b"}, {1.0, 1.0}));
+  EXPECT_THROW(pc::WorldModel({}, {}), std::invalid_argument);
+  EXPECT_THROW(pc::WorldModel({"a", "a"}, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(pc::WorldModel({"a"}, {1.0, 1.0}), std::invalid_argument);
+  pc::WorldModel w({"car", "ped"}, {3.0, 1.0});
+  EXPECT_NEAR(w.priors().p(0), 0.75, 1e-12);
+  EXPECT_EQ(w.class_id("ped"), 1u);
+  EXPECT_THROW((void)w.class_id("bike"), std::invalid_argument);
+}
+
+TEST(WorldModel, RestrictionRenormalizesAndReportsExcluded) {
+  pc::WorldModel w({"car", "ped", "bike"}, {0.6, 0.3, 0.1});
+  const auto [restricted, excluded] = w.restricted({0, 1});
+  EXPECT_EQ(restricted.class_count(), 2u);
+  EXPECT_NEAR(excluded, 0.1, 1e-12);
+  EXPECT_NEAR(restricted.priors().p(0), 2.0 / 3.0, 1e-12);
+  EXPECT_THROW((void)w.restricted({}), std::invalid_argument);
+  EXPECT_THROW((void)w.restricted({0, 0}), std::invalid_argument);
+  EXPECT_THROW((void)w.restricted({7}), std::out_of_range);
+}
+
+TEST(TrueWorld, SamplingMatchesRates) {
+  const auto world = paper_world(0.1);
+  pr::Rng rng(12);
+  std::size_t novel = 0, cars = 0;
+  const std::size_t n = 50000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto e = world.sample(rng);
+    if (!e.modeled) ++novel;
+    if (e.modeled && e.true_class == 0) ++cars;
+  }
+  EXPECT_NEAR(static_cast<double>(novel) / n, 0.1, 0.01);
+  // Modeled encounters split 2:1 between car and pedestrian.
+  EXPECT_NEAR(static_cast<double>(cars) / n, 0.6, 0.01);
+  EXPECT_EQ(world.class_name(2), "unknown_object");
+  EXPECT_THROW(pc::TrueWorld(paper_world().modeled(), {}, 0.2),
+               std::invalid_argument);
+}
+
+TEST(ConfusionSensor, DefaultSensorShape) {
+  const auto s = pc::ConfusionSensor::make_default(2, 1, 0.9, 0.7);
+  EXPECT_EQ(s.modeled_classes(), 2u);
+  EXPECT_EQ(s.output_cardinality(), 3u);
+  EXPECT_EQ(s.row_count(), 3u);
+  EXPECT_NEAR(s.row(0).p(0), 0.9, 1e-12);
+  EXPECT_NEAR(s.row(0).p(1), 0.05, 1e-12);  // confusion
+  EXPECT_NEAR(s.row(0).p(2), 0.05, 1e-12);  // miss
+  // Novel row: 0.7 none, 0.15 hallucinated per class.
+  EXPECT_NEAR(s.row(2).p(2), 0.7, 1e-12);
+  EXPECT_NEAR(s.row(2).p(0), 0.15, 1e-12);
+  EXPECT_THROW((void)s.row(5), std::out_of_range);
+}
+
+TEST(ConfusionSensor, ClassifyFollowsRow) {
+  const auto s = pc::ConfusionSensor::make_default(2, 1, 0.9, 0.7);
+  pr::Rng rng(13);
+  std::size_t correct = 0, none = 0;
+  const std::size_t n = 20000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto out = s.classify(0, rng);
+    correct += out.label == 0 ? 1 : 0;
+    none += out.is_none ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / n, 0.9, 0.01);
+  EXPECT_NEAR(static_cast<double>(none) / n, 0.05, 0.005);
+}
+
+TEST(EnsembleClassifier, ConcentrationControlsEpistemic) {
+  // Tighter ensembles (higher concentration) carry less epistemic
+  // uncertainty — the paper's "knowledge increases" axis made executable.
+  const auto nominal = pc::ConfusionSensor::make_default(2, 1, 0.9, 0.7);
+  pr::Rng rng(14);
+  const auto loose = pc::EnsembleClassifier::perturbed(nominal, 20, 20.0, rng);
+  const auto tight = pc::EnsembleClassifier::perturbed(nominal, 20, 2000.0, rng);
+  const auto dl = loose.decompose(0);
+  const auto dt = tight.decompose(0);
+  EXPECT_GT(dl.epistemic, dt.epistemic);
+  EXPECT_GT(dl.epistemic, 0.0);
+  // Aleatory parts are comparable (same nominal row).
+  EXPECT_NEAR(dl.aleatory, dt.aleatory, 0.15);
+}
+
+TEST(EnsembleClassifier, NovelClassRaisesUncertainty) {
+  // Out-of-distribution inputs (the novel class) produce higher total
+  // predictive uncertainty than confident in-distribution inputs.
+  const auto nominal = pc::ConfusionSensor::make_default(2, 1, 0.95, 0.5);
+  pr::Rng rng(15);
+  const auto ens = pc::EnsembleClassifier::perturbed(nominal, 20, 100.0, rng);
+  const auto in_dist = ens.decompose(0);
+  const auto ood = ens.decompose(2);
+  EXPECT_GT(ood.total, in_dist.total);
+}
+
+TEST(EnsembleClassifier, Validation) {
+  const auto nominal = pc::ConfusionSensor::make_default(2, 1, 0.9, 0.7);
+  pr::Rng rng(16);
+  EXPECT_THROW((void)pc::EnsembleClassifier::perturbed(nominal, 0, 10.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)pc::EnsembleClassifier::perturbed(nominal, 5, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(pc::EnsembleClassifier({}), std::invalid_argument);
+}
+
+TEST(Fusion, TripleRedundancyBeatsSingleSensor) {
+  const auto world = paper_world(0.05);
+  const auto sensor = pc::ConfusionSensor::make_default(2, 1, 0.9, 0.8);
+  pc::RedundantArchitecture single{{sensor}, pc::FusionRule::kMajorityVote, 0.0,
+                                   0.1};
+  pc::RedundantArchitecture triple{{sensor, sensor, sensor},
+                                   pc::FusionRule::kMajorityVote, 0.0, 0.1};
+  pr::Rng rng(17);
+  const auto ms = pc::simulate_fusion(single, world, 40000, rng);
+  const auto mt = pc::simulate_fusion(triple, world, 40000, rng);
+  EXPECT_GT(mt.accuracy, ms.accuracy);
+  EXPECT_LT(mt.hazard_rate, ms.hazard_rate);
+}
+
+TEST(Fusion, CommonCauseDefeatsRedundancy) {
+  // The paper's common-parent-node warning: correlated sensors lose the
+  // tolerance gain.
+  const auto world = paper_world(0.05);
+  const auto sensor = pc::ConfusionSensor::make_default(2, 1, 0.9, 0.8);
+  pc::RedundantArchitecture diverse{{sensor, sensor, sensor},
+                                    pc::FusionRule::kMajorityVote, 0.0, 0.1};
+  pc::RedundantArchitecture correlated{{sensor, sensor, sensor},
+                                       pc::FusionRule::kMajorityVote, 0.9, 0.1};
+  pr::Rng rng(18);
+  const auto md = pc::simulate_fusion(diverse, world, 40000, rng);
+  const auto mc = pc::simulate_fusion(correlated, world, 40000, rng);
+  EXPECT_LT(md.hazard_rate, mc.hazard_rate);
+}
+
+TEST(Fusion, AllRulesProduceSaneMetrics) {
+  const auto world = paper_world(0.1);
+  const auto sensor = pc::ConfusionSensor::make_default(2, 1, 0.85, 0.7);
+  pr::Rng rng(19);
+  for (const auto rule : {pc::FusionRule::kMajorityVote,
+                          pc::FusionRule::kNaiveBayes,
+                          pc::FusionRule::kDempster}) {
+    pc::RedundantArchitecture arch{{sensor, sensor}, rule, 0.0, 0.1};
+    const auto m = pc::simulate_fusion(arch, world, 20000, rng);
+    EXPECT_GT(m.accuracy, 0.5);
+    EXPECT_LT(m.hazard_rate, 0.3);
+    EXPECT_LE(m.none_rate, 1.0);
+    if (rule == pc::FusionRule::kNaiveBayes) {
+      // Closed-world Bayes has no "unknown" hypothesis: it always commits
+      // to a modeled class — the ontological blind spot the paper's
+      // unknown state exists to fix. Posterior renormalization erases the
+      // evidence that neither class fits.
+      EXPECT_LT(m.novel_caught, 0.1);
+    } else {
+      // Vote/DS rules abstain on novel objects via the none output.
+      EXPECT_GE(m.novel_caught, 0.3);
+    }
+  }
+}
+
+TEST(Fusion, Validation) {
+  const auto world = paper_world(0.05);
+  pc::RedundantArchitecture empty{{}, pc::FusionRule::kMajorityVote, 0.0, 0.1};
+  pr::Rng rng(20);
+  EXPECT_THROW((void)pc::fuse_once(empty, world, {0, true}, rng),
+               std::invalid_argument);
+  const auto sensor = pc::ConfusionSensor::make_default(2, 1, 0.9, 0.7);
+  pc::RedundantArchitecture bad{{sensor}, pc::FusionRule::kMajorityVote, 1.5,
+                                0.1};
+  EXPECT_THROW((void)pc::fuse_once(bad, world, {0, true}, rng),
+               std::invalid_argument);
+  pc::RedundantArchitecture ok{{sensor}, pc::FusionRule::kMajorityVote, 0.0,
+                               0.1};
+  EXPECT_THROW((void)pc::simulate_fusion(ok, world, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(Table1, RepairPolicies) {
+  using R = pc::Table1Repair;
+  const auto none_row = pc::table1_unknown_row(R::kDeficitToNone);
+  EXPECT_DOUBLE_EQ(none_row.p(pc::kPercCarPedestrian), 0.2);
+  EXPECT_DOUBLE_EQ(none_row.p(pc::kPercNone), 0.8);
+  const auto cp_row = pc::table1_unknown_row(R::kDeficitToCarPed);
+  EXPECT_DOUBLE_EQ(cp_row.p(pc::kPercCarPedestrian), 0.3);
+  EXPECT_DOUBLE_EQ(cp_row.p(pc::kPercNone), 0.7);
+  const auto rn_row = pc::table1_unknown_row(R::kRenormalize);
+  EXPECT_NEAR(rn_row.p(pc::kPercCarPedestrian), 2.0 / 9.0, 1e-12);
+  EXPECT_NEAR(rn_row.p(pc::kPercNone), 7.0 / 9.0, 1e-12);
+  // All repairs build a valid network.
+  for (const auto r : {R::kDeficitToNone, R::kDeficitToCarPed, R::kRenormalize}) {
+    const auto net = pc::table1_network(r);
+    EXPECT_NO_THROW(net.validate());
+  }
+}

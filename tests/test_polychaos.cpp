@@ -1,0 +1,198 @@
+// Polynomial chaos tests: quadrature exactness, closed-form expansions,
+// Monte-Carlo cross-checks, and Sobol index identities.
+#include "prob/polychaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/rng.hpp"
+#include "prob/statistics.hpp"
+
+namespace pr = sysuq::prob;
+
+TEST(Quadrature, HermiteMatchesGaussianMoments) {
+  // E[X^k] under N(0,1): 0, 1, 0, 3, 0, 15 for k = 1..6.
+  const auto rule = pr::gauss_rule(pr::PolyBasis::kHermite, 8);
+  const double expected[] = {1.0, 0.0, 1.0, 0.0, 3.0, 0.0, 15.0};
+  for (int k = 0; k <= 6; ++k) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < rule.nodes.size(); ++i)
+      m += rule.weights[i] * std::pow(rule.nodes[i], k);
+    EXPECT_NEAR(m, expected[k], 1e-9) << "moment " << k;
+  }
+  // Weights sum to 1 (probability measure).
+  double w = 0.0;
+  for (double v : rule.weights) w += v;
+  EXPECT_NEAR(w, 1.0, 1e-12);
+}
+
+TEST(Quadrature, LegendreMatchesUniformMoments) {
+  // E[X^k] under U[-1,1]: 1/(k+1) for even k, 0 for odd.
+  const auto rule = pr::gauss_rule(pr::PolyBasis::kLegendre, 8);
+  for (int k = 0; k <= 9; ++k) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < rule.nodes.size(); ++i)
+      m += rule.weights[i] * std::pow(rule.nodes[i], k);
+    const double expect = (k % 2 == 0) ? 1.0 / (k + 1.0) : 0.0;
+    EXPECT_NEAR(m, expect, 1e-10) << "moment " << k;
+  }
+  EXPECT_THROW((void)pr::gauss_rule(pr::PolyBasis::kLegendre, 0),
+               std::invalid_argument);
+}
+
+TEST(Quadrature, ExactForDegree2nMinus1) {
+  // n-point rule integrates x^(2n-1) and x^(2n-2) exactly; x^(2n) not.
+  const std::size_t n = 5;
+  const auto rule = pr::gauss_rule(pr::PolyBasis::kHermite, n);
+  const auto moment = [&](int k) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < rule.nodes.size(); ++i)
+      m += rule.weights[i] * std::pow(rule.nodes[i], k);
+    return m;
+  };
+  // E[X^8] = 105 (exact at degree 8 = 2n-2).
+  EXPECT_NEAR(moment(8), 105.0, 1e-7);
+  // E[X^10] = 945; the 5-point rule gets it wrong (degree 10 > 9).
+  EXPECT_GT(std::fabs(moment(10) - 945.0), 1.0);
+}
+
+TEST(BasisPolynomials, RecurrenceValues) {
+  // He_2(x) = x^2 - 1; He_3(x) = x^3 - 3x.
+  EXPECT_NEAR(pr::basis_eval(pr::PolyBasis::kHermite, 2, 2.0), 3.0, 1e-12);
+  EXPECT_NEAR(pr::basis_eval(pr::PolyBasis::kHermite, 3, 2.0), 2.0, 1e-12);
+  // P_2(x) = (3x^2 - 1)/2; P_3(x) = (5x^3 - 3x)/2.
+  EXPECT_NEAR(pr::basis_eval(pr::PolyBasis::kLegendre, 2, 0.5), -0.125, 1e-12);
+  EXPECT_NEAR(pr::basis_eval(pr::PolyBasis::kLegendre, 3, 0.5), -0.4375, 1e-12);
+  // Norms: E[He_k^2] = k!, E[P_k^2] = 1/(2k+1).
+  EXPECT_DOUBLE_EQ(pr::basis_norm2(pr::PolyBasis::kHermite, 4), 24.0);
+  EXPECT_DOUBLE_EQ(pr::basis_norm2(pr::PolyBasis::kLegendre, 2), 0.2);
+}
+
+TEST(Pce1D, QuadraticHermiteClosedForm) {
+  // f(x) = x^2 = He_2(x) + 1: c0 = 1, c1 = 0, c2 = 1; var = 2.
+  const pr::PolynomialChaos1D pce(pr::PolyBasis::kHermite, 3,
+                                  [](double x) { return x * x; });
+  EXPECT_NEAR(pce.coefficient(0), 1.0, 1e-10);
+  EXPECT_NEAR(pce.coefficient(1), 0.0, 1e-10);
+  EXPECT_NEAR(pce.coefficient(2), 1.0, 1e-10);
+  EXPECT_NEAR(pce.coefficient(3), 0.0, 1e-10);
+  EXPECT_NEAR(pce.mean(), 1.0, 1e-10);
+  EXPECT_NEAR(pce.variance(), 2.0, 1e-10);
+  // Surrogate reproduces the polynomial exactly.
+  for (double x : {-2.0, -0.3, 0.0, 1.7}) {
+    EXPECT_NEAR(pce.evaluate(x), x * x, 1e-9) << x;
+  }
+}
+
+TEST(Pce1D, QuadraticLegendreClosedForm) {
+  // Under U[-1,1]: E[x^2] = 1/3, Var[x^2] = 1/5 - 1/9 = 4/45.
+  const pr::PolynomialChaos1D pce(pr::PolyBasis::kLegendre, 4,
+                                  [](double x) { return x * x; });
+  EXPECT_NEAR(pce.mean(), 1.0 / 3.0, 1e-10);
+  EXPECT_NEAR(pce.variance(), 4.0 / 45.0, 1e-10);
+}
+
+TEST(Pce1D, SmoothNonPolynomialConvergesSpectrally) {
+  // f(x) = exp(x) under N(0,1): mean = e^{1/2}, var = e^2 - e.
+  const double true_mean = std::exp(0.5);
+  const double true_var = std::exp(2.0) - std::exp(1.0);
+  double prev_err = 1e9;
+  for (const std::size_t order : {2u, 4u, 8u, 12u}) {
+    const pr::PolynomialChaos1D pce(pr::PolyBasis::kHermite, order,
+                                    [](double x) { return std::exp(x); }, 8);
+    const double err = std::fabs(pce.variance() - true_var) +
+                       std::fabs(pce.mean() - true_mean);
+    EXPECT_LT(err, prev_err + 1e-12) << order;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-6);
+}
+
+TEST(Pce1D, MatchesMonteCarlo) {
+  const pr::PolynomialChaos1D pce(
+      pr::PolyBasis::kHermite, 6,
+      [](double x) { return std::sin(x) + 0.5 * x * x; }, 6);
+  pr::Rng rng(99);
+  pr::RunningStats mc;
+  for (int i = 0; i < 400000; ++i) {
+    const double x = rng.gaussian();
+    mc.add(std::sin(x) + 0.5 * x * x);
+  }
+  EXPECT_NEAR(pce.mean(), mc.mean(), 0.005);
+  EXPECT_NEAR(pce.variance(), mc.variance(), 0.02);
+}
+
+TEST(PceND, AdditiveModelSobolIndices) {
+  // f(x, y) = x + 2y under iid N(0,1): Var = 5, S_x = 0.2, S_y = 0.8,
+  // no interactions (first == total).
+  const pr::PolynomialChaosND pce(
+      pr::PolyBasis::kHermite, 2, 3,
+      [](const std::vector<double>& x) { return x[0] + 2.0 * x[1]; });
+  EXPECT_NEAR(pce.mean(), 0.0, 1e-10);
+  EXPECT_NEAR(pce.variance(), 5.0, 1e-9);
+  EXPECT_NEAR(pce.sobol_first(0), 0.2, 1e-9);
+  EXPECT_NEAR(pce.sobol_first(1), 0.8, 1e-9);
+  EXPECT_NEAR(pce.sobol_total(0), 0.2, 1e-9);
+  EXPECT_NEAR(pce.sobol_total(1), 0.8, 1e-9);
+}
+
+TEST(PceND, PureInteractionModel) {
+  // f(x, y) = x * y: all variance is interaction — first-order indices 0,
+  // totals 1.
+  const pr::PolynomialChaosND pce(
+      pr::PolyBasis::kHermite, 2, 3,
+      [](const std::vector<double>& x) { return x[0] * x[1]; });
+  EXPECT_NEAR(pce.mean(), 0.0, 1e-10);
+  EXPECT_NEAR(pce.variance(), 1.0, 1e-9);
+  EXPECT_NEAR(pce.sobol_first(0), 0.0, 1e-9);
+  EXPECT_NEAR(pce.sobol_first(1), 0.0, 1e-9);
+  EXPECT_NEAR(pce.sobol_total(0), 1.0, 1e-9);
+  EXPECT_NEAR(pce.sobol_total(1), 1.0, 1e-9);
+}
+
+TEST(PceND, IshigamiStyleLegendre) {
+  // g(x, y, z) = sin(pi x) + 7 sin^2(pi y) + 0.1 z^4 sin(pi x), on
+  // U[-1,1]^3 — a standard Sobol benchmark shape. Cross-check variance
+  // against Monte Carlo and ordering of the indices.
+  const auto g = [](const std::vector<double>& v) {
+    return std::sin(M_PI * v[0]) + 7.0 * std::pow(std::sin(M_PI * v[1]), 2) +
+           0.1 * std::pow(v[2], 4) * std::sin(M_PI * v[0]);
+  };
+  const pr::PolynomialChaosND pce(pr::PolyBasis::kLegendre, 3, 9, g, 4);
+  pr::Rng rng(123);
+  pr::RunningStats mc;
+  for (int i = 0; i < 300000; ++i) {
+    mc.add(g({rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)}));
+  }
+  EXPECT_NEAR(pce.mean(), mc.mean(), 0.02);
+  EXPECT_NEAR(pce.variance(), mc.variance(), 0.1);
+  // y dominates; z only matters through its interaction with x. On
+  // U[-1,1]^3 the z-interaction variance is exactly
+  // 0.01 * E[sin^2] * Var[z^4] = 0.01 * 0.5 * 16/225, and the total
+  // variance is 0.5 * 1.02^2 + 6.125 + that term, giving
+  // S_T(z) = 5.3503e-5.
+  EXPECT_GT(pce.sobol_first(1), pce.sobol_first(0));
+  EXPECT_NEAR(pce.sobol_first(2), 0.0, 1e-6);
+  EXPECT_NEAR(pce.sobol_total(2), 5.3503e-5, 5e-6);
+  // Totals >= firsts, all within [0, 1].
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(pce.sobol_total(i) + 1e-12, pce.sobol_first(i));
+    EXPECT_GE(pce.sobol_first(i), -1e-12);
+    EXPECT_LE(pce.sobol_total(i), 1.0 + 1e-12);
+  }
+}
+
+TEST(PceND, Validation) {
+  const auto f = [](const std::vector<double>&) { return 0.0; };
+  EXPECT_THROW(pr::PolynomialChaosND(pr::PolyBasis::kHermite, 0, 2, f),
+               std::invalid_argument);
+  EXPECT_THROW(pr::PolynomialChaosND(pr::PolyBasis::kHermite, 7, 2, f),
+               std::invalid_argument);
+  const pr::PolynomialChaosND pce(pr::PolyBasis::kHermite, 2, 2, f);
+  EXPECT_THROW((void)pce.sobol_first(2), std::out_of_range);
+  EXPECT_THROW((void)pce.evaluate({1.0}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(pce.sobol_first(0), 0.0);  // zero-variance guard
+  // Term count for dim 2, order 2: C(2+2, 2) = 6.
+  EXPECT_EQ(pce.term_count(), 6u);
+}

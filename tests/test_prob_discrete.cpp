@@ -1,0 +1,175 @@
+// Tests for discrete distributions and the frequentist counter.
+#include "prob/discrete.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/statistics.hpp"
+
+namespace pr = sysuq::prob;
+
+TEST(Categorical, ConstructionValidation) {
+  EXPECT_NO_THROW(pr::Categorical({0.5, 0.5}));
+  EXPECT_THROW(pr::Categorical({0.5, 0.6}), std::invalid_argument);
+  EXPECT_THROW(pr::Categorical({-0.1, 1.1}), std::invalid_argument);
+  EXPECT_THROW(pr::Categorical(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Categorical, NormalizedFactory) {
+  const auto c = pr::Categorical::normalized({2.0, 3.0, 5.0});
+  EXPECT_NEAR(c.p(0), 0.2, 1e-12);
+  EXPECT_NEAR(c.p(2), 0.5, 1e-12);
+  EXPECT_THROW((void)pr::Categorical::normalized({0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Categorical, UniformAndDelta) {
+  const auto u = pr::Categorical::uniform(4);
+  EXPECT_NEAR(u.entropy(), std::log(4.0), 1e-12);
+  const auto d = pr::Categorical::delta(2, 4);
+  EXPECT_DOUBLE_EQ(d.p(2), 1.0);
+  EXPECT_DOUBLE_EQ(d.entropy(), 0.0);
+  EXPECT_EQ(d.argmax(), 2u);
+  EXPECT_THROW((void)pr::Categorical::delta(4, 4), std::invalid_argument);
+}
+
+TEST(Categorical, EntropyMaximalAtUniform) {
+  const auto u = pr::Categorical::uniform(5);
+  const auto skew = pr::Categorical::normalized({5.0, 1.0, 1.0, 1.0, 1.0});
+  EXPECT_GT(u.entropy(), skew.entropy());
+}
+
+TEST(Categorical, TotalVariation) {
+  const pr::Categorical a({0.5, 0.5});
+  const pr::Categorical b({0.9, 0.1});
+  EXPECT_NEAR(a.total_variation(b), 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(a.total_variation(a), 0.0);
+  const pr::Categorical c({1.0, 0.0});
+  const pr::Categorical d({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(c.total_variation(d), 1.0);
+}
+
+TEST(Categorical, MixedIsConvexCombination) {
+  const pr::Categorical a({1.0, 0.0});
+  const pr::Categorical b({0.0, 1.0});
+  const auto m = a.mixed(b, 0.25);
+  EXPECT_NEAR(m.p(0), 0.75, 1e-12);
+  EXPECT_NEAR(m.p(1), 0.25, 1e-12);
+  EXPECT_THROW((void)a.mixed(b, 1.5), std::invalid_argument);
+}
+
+TEST(Categorical, SamplingFrequenciesConverge) {
+  const auto c = pr::Categorical::normalized({1.0, 2.0, 7.0});
+  pr::Rng rng(99);
+  std::vector<std::size_t> counts(3, 0);
+  const std::size_t n = 50000;
+  for (std::size_t i = 0; i < n; ++i) ++counts[c.sample(rng)];
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, c.p(k), 0.01) << k;
+  }
+}
+
+TEST(Bernoulli, Basics) {
+  pr::Bernoulli b(0.3);
+  EXPECT_DOUBLE_EQ(b.pmf(true), 0.3);
+  EXPECT_DOUBLE_EQ(b.pmf(false), 0.7);
+  EXPECT_NEAR(b.entropy(), -0.3 * std::log(0.3) - 0.7 * std::log(0.7), 1e-12);
+  EXPECT_THROW(pr::Bernoulli(1.5), std::invalid_argument);
+  // Degenerate entropy is zero.
+  EXPECT_DOUBLE_EQ(pr::Bernoulli(0.0).entropy(), 0.0);
+  EXPECT_DOUBLE_EQ(pr::Bernoulli(1.0).entropy(), 0.0);
+}
+
+TEST(Binomial, PmfSumsToOneAndMatchesKnown) {
+  pr::Binomial b(10, 0.3);
+  double sum = 0.0;
+  for (std::size_t k = 0; k <= 10; ++k) sum += b.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+  // P(X=3) for B(10, 0.3) = C(10,3) 0.3^3 0.7^7 ≈ 0.266827932
+  EXPECT_NEAR(b.pmf(3), 0.266827932, 1e-8);
+  EXPECT_DOUBLE_EQ(b.pmf(11), 0.0);
+}
+
+TEST(Binomial, CdfMatchesPartialSums) {
+  pr::Binomial b(12, 0.45);
+  double acc = 0.0;
+  for (std::size_t k = 0; k <= 12; ++k) {
+    acc += b.pmf(k);
+    EXPECT_NEAR(b.cdf(k), acc, 1e-9) << k;
+  }
+}
+
+TEST(Binomial, DegenerateP) {
+  pr::Binomial zero(5, 0.0);
+  EXPECT_DOUBLE_EQ(zero.pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(zero.pmf(1), 0.0);
+  pr::Binomial one(5, 1.0);
+  EXPECT_DOUBLE_EQ(one.pmf(5), 1.0);
+}
+
+TEST(Binomial, SamplingMean) {
+  pr::Binomial b(20, 0.25);
+  pr::Rng rng(5);
+  pr::RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(static_cast<double>(b.sample(rng)));
+  EXPECT_NEAR(s.mean(), b.mean(), 0.05);
+  EXPECT_NEAR(s.variance(), b.variance(), 0.15);
+}
+
+TEST(Poisson, PmfAndCdf) {
+  pr::Poisson p(2.5);
+  // P(X=0) = exp(-2.5)
+  EXPECT_NEAR(p.pmf(0), std::exp(-2.5), 1e-12);
+  double acc = 0.0;
+  for (std::size_t k = 0; k <= 15; ++k) {
+    acc += p.pmf(k);
+    EXPECT_NEAR(p.cdf(k), acc, 1e-9) << k;
+  }
+  EXPECT_THROW(pr::Poisson(0.0), std::invalid_argument);
+}
+
+TEST(Poisson, SamplingMean) {
+  pr::Poisson p(4.0);
+  pr::Rng rng(6);
+  pr::RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(static_cast<double>(p.sample(rng)));
+  EXPECT_NEAR(s.mean(), 4.0, 0.08);
+  EXPECT_NEAR(s.variance(), 4.0, 0.25);
+}
+
+TEST(CategoricalCounter, MleAndSmoothing) {
+  pr::CategoricalCounter c(3);
+  EXPECT_THROW((void)c.mle(), std::logic_error);
+  c.observe(0, 6);
+  c.observe(1, 4);
+  const auto mle = c.mle();
+  EXPECT_NEAR(mle.p(0), 0.6, 1e-12);
+  EXPECT_NEAR(mle.p(1), 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(mle.p(2), 0.0);
+  // Laplace smoothing pulls unseen categories above zero.
+  const auto sm = c.smoothed(1.0);
+  EXPECT_GT(sm.p(2), 0.0);
+  EXPECT_NEAR(sm.p(0), 7.0 / 13.0, 1e-12);
+}
+
+TEST(CategoricalCounter, UnseenAndMissingMass) {
+  pr::CategoricalCounter c(4);
+  EXPECT_EQ(c.unseen_categories(), 4u);
+  EXPECT_DOUBLE_EQ(c.good_turing_missing_mass(), 1.0);
+  c.observe(0, 10);
+  c.observe(1, 1);  // singleton
+  c.observe(2, 1);  // singleton
+  EXPECT_EQ(c.unseen_categories(), 1u);
+  // Good-Turing: 2 singletons / 12 observations
+  EXPECT_NEAR(c.good_turing_missing_mass(), 2.0 / 12.0, 1e-12);
+}
+
+TEST(CategoricalCounter, MissingMassDecaysWithSaturation) {
+  // Once every category is seen many times, the missing-mass forecast
+  // (ontological uncertainty from data) goes to zero.
+  pr::CategoricalCounter c(3);
+  for (std::size_t i = 0; i < 3; ++i) c.observe(i, 100);
+  EXPECT_DOUBLE_EQ(c.good_turing_missing_mass(), 0.0);
+  EXPECT_EQ(c.unseen_categories(), 0u);
+}

@@ -1,0 +1,190 @@
+// Information-theory tests: identities (chain rule, non-negativity,
+// bounds) and the ensemble aleatory/epistemic decomposition.
+#include "prob/information.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/rng.hpp"
+
+namespace pr = sysuq::prob;
+
+namespace {
+
+pr::JointTable independent_joint(const pr::Categorical& x,
+                                 const pr::Categorical& y) {
+  std::vector<pr::Categorical> rows(x.size(), y);
+  return pr::JointTable::from_conditional(x, rows);
+}
+
+pr::Categorical random_categorical(pr::Rng& rng, std::size_t k) {
+  std::vector<double> w(k);
+  for (double& v : w) v = rng.uniform() + 1e-3;
+  return pr::Categorical::normalized(std::move(w));
+}
+
+}  // namespace
+
+TEST(JointTable, ValidationAndAccess) {
+  EXPECT_NO_THROW(pr::JointTable({{0.25, 0.25}, {0.25, 0.25}}));
+  EXPECT_THROW(pr::JointTable({{0.5, 0.5}, {0.5, 0.5}}), std::invalid_argument);
+  EXPECT_THROW(pr::JointTable({{0.5}, {0.25, 0.25}}), std::invalid_argument);
+  pr::JointTable j({{0.1, 0.2}, {0.3, 0.4}});
+  EXPECT_DOUBLE_EQ(j.p(1, 0), 0.3);
+  EXPECT_THROW((void)j.p(2, 0), std::out_of_range);
+}
+
+TEST(JointTable, MarginalsAndConditionals) {
+  pr::JointTable j({{0.1, 0.2}, {0.3, 0.4}});
+  const auto mx = j.marginal_x();
+  EXPECT_NEAR(mx.p(0), 0.3, 1e-12);
+  EXPECT_NEAR(mx.p(1), 0.7, 1e-12);
+  const auto my = j.marginal_y();
+  EXPECT_NEAR(my.p(0), 0.4, 1e-12);
+  const auto y_given_x0 = j.conditional_y_given_x(0);
+  EXPECT_NEAR(y_given_x0.p(0), 1.0 / 3.0, 1e-12);
+  const auto x_given_y1 = j.conditional_x_given_y(1);
+  EXPECT_NEAR(x_given_y1.p(1), 0.4 / 0.6, 1e-12);
+}
+
+TEST(JointTable, FromConditionalReconstructs) {
+  const pr::Categorical px({0.6, 0.4});
+  const std::vector<pr::Categorical> rows{pr::Categorical({0.9, 0.1}),
+                                          pr::Categorical({0.2, 0.8})};
+  const auto j = pr::JointTable::from_conditional(px, rows);
+  EXPECT_NEAR(j.p(0, 0), 0.54, 1e-12);
+  EXPECT_NEAR(j.p(1, 1), 0.32, 1e-12);
+  // Recover the conditional.
+  EXPECT_NEAR(j.conditional_y_given_x(0).p(0), 0.9, 1e-12);
+}
+
+TEST(Information, KlProperties) {
+  const pr::Categorical p({0.5, 0.5});
+  const pr::Categorical q({0.9, 0.1});
+  EXPECT_DOUBLE_EQ(pr::kl_divergence(p, p), 0.0);
+  EXPECT_GT(pr::kl_divergence(p, q), 0.0);
+  // Support mismatch gives infinity.
+  const pr::Categorical r({1.0, 0.0});
+  EXPECT_EQ(pr::kl_divergence(p, r), std::numeric_limits<double>::infinity());
+  // KL from a delta into full support is finite.
+  EXPECT_LT(pr::kl_divergence(r, q), std::numeric_limits<double>::infinity());
+}
+
+TEST(Information, JsBoundedAndSymmetric) {
+  pr::Rng rng(17);
+  for (int t = 0; t < 50; ++t) {
+    const auto p = random_categorical(rng, 4);
+    const auto q = random_categorical(rng, 4);
+    const double js = pr::js_divergence(p, q);
+    EXPECT_GE(js, 0.0);
+    EXPECT_LE(js, std::log(2.0) + 1e-12);
+    EXPECT_NEAR(js, pr::js_divergence(q, p), 1e-12);
+  }
+  // Maximal for disjoint supports.
+  const pr::Categorical a({1.0, 0.0});
+  const pr::Categorical b({0.0, 1.0});
+  EXPECT_NEAR(pr::js_divergence(a, b), std::log(2.0), 1e-12);
+}
+
+TEST(Information, ChainRule) {
+  // H(X, Y) = H(X) + H(Y|X) for arbitrary joints.
+  pr::Rng rng(23);
+  for (int t = 0; t < 30; ++t) {
+    const auto px = random_categorical(rng, 3);
+    std::vector<pr::Categorical> rows;
+    for (std::size_t i = 0; i < 3; ++i) rows.push_back(random_categorical(rng, 4));
+    const auto j = pr::JointTable::from_conditional(px, rows);
+    EXPECT_NEAR(pr::joint_entropy(j),
+                j.marginal_x().entropy() + pr::conditional_entropy_y_given_x(j),
+                1e-10);
+  }
+}
+
+TEST(Information, ConditioningReducesEntropy) {
+  // H(Y|X) <= H(Y), with equality iff independent.
+  pr::Rng rng(29);
+  for (int t = 0; t < 30; ++t) {
+    const auto px = random_categorical(rng, 3);
+    std::vector<pr::Categorical> rows;
+    for (std::size_t i = 0; i < 3; ++i) rows.push_back(random_categorical(rng, 3));
+    const auto j = pr::JointTable::from_conditional(px, rows);
+    EXPECT_LE(pr::conditional_entropy_y_given_x(j),
+              j.marginal_y().entropy() + 1e-10);
+  }
+  // Equality in the independent case.
+  const auto indep = independent_joint(pr::Categorical({0.3, 0.7}),
+                                       pr::Categorical({0.2, 0.5, 0.3}));
+  EXPECT_NEAR(pr::conditional_entropy_y_given_x(indep),
+              indep.marginal_y().entropy(), 1e-10);
+  EXPECT_NEAR(pr::mutual_information(indep), 0.0, 1e-10);
+}
+
+TEST(Information, MutualInformationSymmetric) {
+  pr::Rng rng(31);
+  for (int t = 0; t < 30; ++t) {
+    const auto px = random_categorical(rng, 4);
+    std::vector<pr::Categorical> rows;
+    for (std::size_t i = 0; i < 4; ++i) rows.push_back(random_categorical(rng, 3));
+    const auto j = pr::JointTable::from_conditional(px, rows);
+    const double mi_xy =
+        j.marginal_y().entropy() - pr::conditional_entropy_y_given_x(j);
+    const double mi_yx =
+        j.marginal_x().entropy() - pr::conditional_entropy_x_given_y(j);
+    EXPECT_NEAR(mi_xy, mi_yx, 1e-10);
+    EXPECT_GE(pr::mutual_information(j), 0.0);
+  }
+}
+
+TEST(Information, PerfectChannelHasZeroConditionalEntropy) {
+  // Deterministic Y = X: the model predicts the system exactly — zero
+  // "surprise factor" in the paper's sense.
+  const pr::Categorical px({0.25, 0.25, 0.5});
+  std::vector<pr::Categorical> rows{pr::Categorical::delta(0, 3),
+                                    pr::Categorical::delta(1, 3),
+                                    pr::Categorical::delta(2, 3)};
+  const auto j = pr::JointTable::from_conditional(px, rows);
+  EXPECT_NEAR(pr::conditional_entropy_y_given_x(j), 0.0, 1e-12);
+  EXPECT_NEAR(pr::mutual_information(j), px.entropy(), 1e-10);
+}
+
+TEST(EnsembleDecomposition, AgreementIsAllAleatory) {
+  // Identical members: epistemic = 0, aleatory = member entropy.
+  const pr::Categorical m({0.7, 0.3});
+  const auto d = pr::decompose_ensemble_entropy({m, m, m});
+  EXPECT_NEAR(d.epistemic, 0.0, 1e-12);
+  EXPECT_NEAR(d.aleatory, m.entropy(), 1e-12);
+  EXPECT_NEAR(d.total, m.entropy(), 1e-12);
+}
+
+TEST(EnsembleDecomposition, ConfidentDisagreementIsAllEpistemic) {
+  // Members certain but contradictory: aleatory = 0, epistemic = log 2.
+  const auto d = pr::decompose_ensemble_entropy(
+      {pr::Categorical({1.0, 0.0}), pr::Categorical({0.0, 1.0})});
+  EXPECT_NEAR(d.aleatory, 0.0, 1e-12);
+  EXPECT_NEAR(d.epistemic, std::log(2.0), 1e-12);
+}
+
+TEST(EnsembleDecomposition, ComponentsAlwaysNonNegativeAndAdditive) {
+  pr::Rng rng(37);
+  for (int t = 0; t < 60; ++t) {
+    std::vector<pr::Categorical> members;
+    const std::size_t m = 2 + rng.uniform_index(5);
+    for (std::size_t i = 0; i < m; ++i) members.push_back(random_categorical(rng, 4));
+    const auto d = pr::decompose_ensemble_entropy(members);
+    EXPECT_GE(d.aleatory, 0.0);
+    EXPECT_GE(d.epistemic, 0.0);
+    EXPECT_NEAR(d.total, d.aleatory + d.epistemic, 1e-10);
+  }
+}
+
+TEST(EnsembleDecomposition, WeightsRespected) {
+  const pr::Categorical a({1.0, 0.0});
+  const pr::Categorical b({0.0, 1.0});
+  const std::vector<double> w{3.0, 1.0};  // normalized to 0.75 / 0.25
+  const auto d = pr::decompose_ensemble_entropy({a, b}, &w);
+  const pr::Categorical mix({0.75, 0.25});
+  EXPECT_NEAR(d.total, mix.entropy(), 1e-12);
+  EXPECT_THROW((void)pr::decompose_ensemble_entropy({a}, &w),
+               std::invalid_argument);
+}

@@ -1,0 +1,146 @@
+// Tests for probability intervals and triangular fuzzy numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/fuzzy.hpp"
+#include "prob/interval.hpp"
+
+namespace pr = sysuq::prob;
+
+TEST(ProbInterval, ConstructionValidation) {
+  EXPECT_NO_THROW(pr::ProbInterval(0.2, 0.8));
+  EXPECT_NO_THROW(pr::ProbInterval(0.5));
+  EXPECT_THROW(pr::ProbInterval(0.8, 0.2), std::invalid_argument);
+  EXPECT_THROW(pr::ProbInterval(-0.1, 0.5), std::invalid_argument);
+  EXPECT_THROW(pr::ProbInterval(0.5, 1.1), std::invalid_argument);
+}
+
+TEST(ProbInterval, BasicQueries) {
+  pr::ProbInterval i(0.2, 0.6);
+  EXPECT_DOUBLE_EQ(i.width(), 0.4);
+  EXPECT_DOUBLE_EQ(i.mid(), 0.4);
+  EXPECT_FALSE(i.is_precise());
+  EXPECT_TRUE(pr::ProbInterval(0.5).is_precise());
+  EXPECT_TRUE(i.contains(0.3));
+  EXPECT_FALSE(i.contains(0.7));
+  EXPECT_EQ(pr::ProbInterval::vacuous(), pr::ProbInterval(0.0, 1.0));
+}
+
+TEST(ProbInterval, ArithmeticEndpoints) {
+  pr::ProbInterval a(0.1, 0.3), b(0.2, 0.4);
+  const auto s = a + b;
+  EXPECT_DOUBLE_EQ(s.lo(), 0.3);
+  EXPECT_DOUBLE_EQ(s.hi(), 0.7);
+  const auto p = a * b;
+  EXPECT_DOUBLE_EQ(p.lo(), 0.02);
+  EXPECT_DOUBLE_EQ(p.hi(), 0.12);
+  const auto c = a.complement();
+  EXPECT_DOUBLE_EQ(c.lo(), 0.7);
+  EXPECT_DOUBLE_EQ(c.hi(), 0.9);
+}
+
+TEST(ProbInterval, SumClampsAtOne) {
+  pr::ProbInterval a(0.6, 0.9), b(0.5, 0.8);
+  const auto s = a + b;
+  EXPECT_DOUBLE_EQ(s.hi(), 1.0);
+  EXPECT_DOUBLE_EQ(s.lo(), 1.0);
+}
+
+TEST(ProbInterval, IntersectAndHull) {
+  pr::ProbInterval a(0.1, 0.5), b(0.4, 0.8);
+  const auto i = a.intersect(b);
+  EXPECT_DOUBLE_EQ(i.lo(), 0.4);
+  EXPECT_DOUBLE_EQ(i.hi(), 0.5);
+  const auto h = a.hull(b);
+  EXPECT_DOUBLE_EQ(h.lo(), 0.1);
+  EXPECT_DOUBLE_EQ(h.hi(), 0.8);
+  pr::ProbInterval c(0.9, 1.0);
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_THROW((void)a.intersect(c), std::invalid_argument);
+}
+
+TEST(ProbInterval, IndependentOr) {
+  pr::ProbInterval a(0.1, 0.2), b(0.3, 0.4);
+  const auto o = a.independent_or(b);
+  EXPECT_NEAR(o.lo(), 1.0 - 0.9 * 0.7, 1e-12);
+  EXPECT_NEAR(o.hi(), 1.0 - 0.8 * 0.6, 1e-12);
+  // Precise degenerate check matches scalar noisy-or.
+  pr::ProbInterval x(0.5), y(0.5);
+  EXPECT_NEAR(x.independent_or(y).mid(), 0.75, 1e-12);
+}
+
+TEST(ProbInterval, ComplementInvolution) {
+  pr::ProbInterval a(0.25, 0.65);
+  EXPECT_EQ(a.complement().complement(), a);
+}
+
+TEST(TriangularFuzzy, MembershipShape) {
+  pr::TriangularFuzzy f(0.1, 0.3, 0.8);
+  EXPECT_DOUBLE_EQ(f.membership(0.3), 1.0);
+  EXPECT_DOUBLE_EQ(f.membership(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(f.membership(0.8), 0.0);
+  EXPECT_DOUBLE_EQ(f.membership(0.0), 0.0);
+  EXPECT_NEAR(f.membership(0.2), 0.5, 1e-12);
+  EXPECT_NEAR(f.membership(0.55), 0.5, 1e-12);
+  EXPECT_THROW(pr::TriangularFuzzy(0.5, 0.4, 0.6), std::invalid_argument);
+}
+
+TEST(TriangularFuzzy, AlphaCuts) {
+  pr::TriangularFuzzy f(0.0, 0.5, 1.0);
+  const auto [l1, h1] = f.alpha_cut(1.0);
+  EXPECT_DOUBLE_EQ(l1, 0.5);
+  EXPECT_DOUBLE_EQ(h1, 0.5);
+  const auto [l2, h2] = f.alpha_cut(0.5);
+  EXPECT_DOUBLE_EQ(l2, 0.25);
+  EXPECT_DOUBLE_EQ(h2, 0.75);
+  EXPECT_THROW((void)f.alpha_cut(0.0), std::invalid_argument);
+  EXPECT_THROW((void)f.alpha_cut(1.5), std::invalid_argument);
+}
+
+TEST(TriangularFuzzy, CrispDegenerate) {
+  const auto c = pr::TriangularFuzzy::crisp(0.4);
+  EXPECT_DOUBLE_EQ(c.support_width(), 0.0);
+  EXPECT_DOUBLE_EQ(c.defuzzify(), 0.4);
+  EXPECT_DOUBLE_EQ(c.membership(0.4), 1.0);
+}
+
+TEST(TriangularFuzzy, GateArithmetic) {
+  const auto x = pr::TriangularFuzzy(0.01, 0.02, 0.04);
+  const auto y = pr::TriangularFuzzy(0.02, 0.03, 0.05);
+  const auto andp = pr::TriangularFuzzy::fuzzy_and(x, y);
+  EXPECT_NEAR(andp.low(), 0.0002, 1e-12);
+  EXPECT_NEAR(andp.mode(), 0.0006, 1e-12);
+  EXPECT_NEAR(andp.high(), 0.002, 1e-12);
+  const auto orp = pr::TriangularFuzzy::fuzzy_or(x, y);
+  EXPECT_NEAR(orp.low(), 1.0 - 0.99 * 0.98, 1e-12);
+  EXPECT_NEAR(orp.mode(), 1.0 - 0.98 * 0.97, 1e-12);
+  EXPECT_NEAR(orp.high(), 1.0 - 0.96 * 0.95, 1e-12);
+}
+
+TEST(TriangularFuzzy, OrOfCrispMatchesScalar) {
+  const auto a = pr::TriangularFuzzy::crisp(0.1);
+  const auto b = pr::TriangularFuzzy::crisp(0.2);
+  const auto o = pr::TriangularFuzzy::fuzzy_or(a, b);
+  EXPECT_NEAR(o.defuzzify(), 1.0 - 0.9 * 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(o.support_width(), 0.0);
+}
+
+TEST(TriangularFuzzy, ComplementValidation) {
+  EXPECT_THROW((void)pr::TriangularFuzzy(0.5, 1.0, 1.5).complement(),
+               std::invalid_argument);
+  const auto f = pr::TriangularFuzzy(0.2, 0.3, 0.5).complement();
+  EXPECT_DOUBLE_EQ(f.low(), 0.5);
+  EXPECT_DOUBLE_EQ(f.mode(), 0.7);
+  EXPECT_DOUBLE_EQ(f.high(), 0.8);
+}
+
+TEST(TriangularFuzzy, WiderInputsGiveWiderOutputs) {
+  // Imprecision propagates monotonically through gates.
+  const auto narrow = pr::TriangularFuzzy(0.09, 0.10, 0.11);
+  const auto wide = pr::TriangularFuzzy(0.05, 0.10, 0.20);
+  const auto other = pr::TriangularFuzzy(0.01, 0.02, 0.03);
+  const auto on = pr::TriangularFuzzy::fuzzy_or(narrow, other);
+  const auto ow = pr::TriangularFuzzy::fuzzy_or(wide, other);
+  EXPECT_LT(on.support_width(), ow.support_width());
+}

@@ -1,0 +1,193 @@
+// Subjective-logic tests: opinion algebra identities, evidence mapping,
+// operator semantics, and assurance-case propagation.
+#include "evidence/subjective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ev = sysuq::evidence;
+
+TEST(Opinion, ConstructionValidation) {
+  EXPECT_NO_THROW(ev::Opinion(0.5, 0.3, 0.2));
+  EXPECT_THROW(ev::Opinion(0.5, 0.3, 0.1), std::invalid_argument);
+  EXPECT_THROW(ev::Opinion(-0.1, 0.6, 0.5), std::invalid_argument);
+  EXPECT_THROW(ev::Opinion(0.5, 0.3, 0.2, 1.5), std::invalid_argument);
+}
+
+TEST(Opinion, ProjectedProbability) {
+  const ev::Opinion o(0.4, 0.3, 0.3, 0.5);
+  EXPECT_NEAR(o.projected(), 0.4 + 0.5 * 0.3, 1e-12);
+  EXPECT_NEAR(ev::Opinion::vacuous(0.7).projected(), 0.7, 1e-12);
+  EXPECT_NEAR(ev::Opinion::dogmatic(0.8).projected(), 0.8, 1e-12);
+}
+
+TEST(Opinion, FromEvidenceMatchesBeta) {
+  // r = 8, s = 2: b = 8/12, d = 2/12, u = 2/12; projected = Beta mean
+  // (r+1)/(r+s+2) with a = 0.5: 8/12 + 0.5*2/12 = 9/12 = E[Beta(9, 3)].
+  const auto o = ev::Opinion::from_evidence(8, 2);
+  EXPECT_NEAR(o.belief(), 8.0 / 12.0, 1e-12);
+  EXPECT_NEAR(o.uncertainty(), 2.0 / 12.0, 1e-12);
+  EXPECT_NEAR(o.projected(), 9.0 / 12.0, 1e-12);
+  // No evidence = vacuous.
+  const auto none = ev::Opinion::from_evidence(0, 0);
+  EXPECT_NEAR(none.uncertainty(), 1.0, 1e-12);
+  EXPECT_THROW((void)ev::Opinion::from_evidence(-1, 0), std::invalid_argument);
+}
+
+TEST(Opinion, UncertaintyShrinksWithEvidence) {
+  double prev = 1.0;
+  for (const double n : {1.0, 10.0, 100.0, 1000.0}) {
+    const auto o = ev::Opinion::from_evidence(0.8 * n, 0.2 * n);
+    EXPECT_LT(o.uncertainty(), prev);
+    prev = o.uncertainty();
+    // Projected = (b + a*u) = (0.8 n + 0.5 * 2) / (n + 2).
+    EXPECT_NEAR(o.projected(), (0.8 * n + 1.0) / (n + 2.0), 1e-12);
+  }
+}
+
+TEST(Opinion, FusionReducesUncertainty) {
+  const auto a = ev::Opinion::from_evidence(4, 1);
+  const auto b = ev::Opinion::from_evidence(6, 2);
+  const auto f = a.fuse(b);
+  EXPECT_LT(f.uncertainty(), a.uncertainty());
+  EXPECT_LT(f.uncertainty(), b.uncertainty());
+  // Cumulative fusion of evidence opinions = opinion of pooled evidence.
+  const auto pooled = ev::Opinion::from_evidence(10, 3);
+  EXPECT_NEAR(f.belief(), pooled.belief(), 1e-9);
+  EXPECT_NEAR(f.uncertainty(), pooled.uncertainty(), 1e-9);
+}
+
+TEST(Opinion, FusionWithVacuousIsIdentity) {
+  const auto a = ev::Opinion(0.5, 0.2, 0.3, 0.4);
+  const auto f = a.fuse(ev::Opinion::vacuous(0.4));
+  EXPECT_NEAR(f.belief(), a.belief(), 1e-9);
+  EXPECT_NEAR(f.disbelief(), a.disbelief(), 1e-9);
+  EXPECT_NEAR(f.uncertainty(), a.uncertainty(), 1e-9);
+}
+
+TEST(Opinion, FusionCommutes) {
+  const auto a = ev::Opinion(0.6, 0.1, 0.3, 0.5);
+  const auto b = ev::Opinion(0.2, 0.5, 0.3, 0.5);
+  const auto ab = a.fuse(b);
+  const auto ba = b.fuse(a);
+  EXPECT_NEAR(ab.belief(), ba.belief(), 1e-12);
+  EXPECT_NEAR(ab.uncertainty(), ba.uncertainty(), 1e-12);
+}
+
+TEST(Opinion, AveragingKeepsMoreUncertaintyThanCumulative) {
+  const auto a = ev::Opinion::from_evidence(5, 5);
+  const auto b = ev::Opinion::from_evidence(5, 5);
+  EXPECT_GT(a.average(b).uncertainty(), a.fuse(b).uncertainty());
+  // Averaging two identical opinions returns them unchanged.
+  const auto avg = a.average(a);
+  EXPECT_NEAR(avg.belief(), a.belief(), 1e-12);
+  EXPECT_NEAR(avg.uncertainty(), a.uncertainty(), 1e-12);
+}
+
+TEST(Opinion, DiscountingMovesMassToUncertainty) {
+  const auto o = ev::Opinion(0.7, 0.2, 0.1, 0.5);
+  const auto d = o.discount(0.5);
+  EXPECT_NEAR(d.belief(), 0.35, 1e-12);
+  EXPECT_NEAR(d.disbelief(), 0.10, 1e-12);
+  EXPECT_NEAR(d.uncertainty(), 0.55, 1e-12);
+  // Full trust = identity; zero trust = vacuous.
+  EXPECT_NEAR(o.discount(1.0).belief(), o.belief(), 1e-12);
+  EXPECT_NEAR(o.discount(0.0).uncertainty(), 1.0, 1e-12);
+  EXPECT_THROW((void)o.discount(1.5), std::invalid_argument);
+  // Discounting by an opinion uses its projected probability.
+  const auto trust = ev::Opinion(0.5, 0.0, 0.5, 0.0);  // projected 0.5
+  EXPECT_NEAR(o.discount_by(trust).belief(), 0.35, 1e-12);
+}
+
+TEST(Opinion, ConjunctionMatchesProbabilityForDogmatic) {
+  const auto a = ev::Opinion::dogmatic(0.6);
+  const auto b = ev::Opinion::dogmatic(0.7);
+  const auto c = a.conjoin(b);
+  EXPECT_NEAR(c.projected(), 0.42, 1e-9);
+  EXPECT_NEAR(c.uncertainty(), 0.0, 1e-9);
+  const auto d = a.disjoin(b);
+  EXPECT_NEAR(d.projected(), 0.6 + 0.7 - 0.42, 1e-9);
+}
+
+TEST(Opinion, ConjunctionProjectedConsistent) {
+  // For independent propositions, P(x AND y) = P(x) P(y) holds for the
+  // projected probabilities of the operands and result.
+  const auto a = ev::Opinion(0.5, 0.2, 0.3, 0.4);
+  const auto b = ev::Opinion(0.3, 0.4, 0.3, 0.6);
+  const auto c = a.conjoin(b);
+  EXPECT_NEAR(c.projected(), a.projected() * b.projected(), 1e-9);
+  const auto d = a.disjoin(b);
+  EXPECT_NEAR(d.projected(),
+              a.projected() + b.projected() - a.projected() * b.projected(),
+              1e-9);
+}
+
+TEST(Opinion, ConjunctionWithVacuousStaysUncertain) {
+  const auto a = ev::Opinion(0.8, 0.1, 0.1, 0.5);
+  const auto c = a.conjoin(ev::Opinion::vacuous(0.5));
+  EXPECT_GT(c.uncertainty(), 0.3);
+  EXPECT_LT(c.belief(), a.belief());
+}
+
+TEST(AssuranceCase, PropagationBasics) {
+  ev::AssuranceCase ac;
+  const auto e1 = ac.add_evidence("sensor validated", ev::Opinion::from_evidence(50, 1));
+  const auto e2 = ac.add_evidence("fusion verified", ev::Opinion::from_evidence(30, 0));
+  const auto goal = ac.add_goal("perception is safe",
+                                ev::AssuranceCase::Kind::kConjunction, {e1, e2});
+  const auto o = ac.evaluate(goal);
+  EXPECT_GT(o.projected(), 0.85);
+  EXPECT_GT(o.uncertainty(), 0.0);
+  // Conjunction is weaker than either leaf.
+  EXPECT_LT(o.projected(), ac.evaluate(e1).projected());
+  EXPECT_LT(o.projected(), ac.evaluate(e2).projected());
+}
+
+TEST(AssuranceCase, RuleTrustWeakensGoal) {
+  ev::AssuranceCase ac;
+  const auto e = ac.add_evidence("evidence", ev::Opinion::from_evidence(100, 0));
+  const auto strong = ac.add_goal("claim (sound rule)",
+                                  ev::AssuranceCase::Kind::kConjunction, {e}, 1.0);
+  const auto weak = ac.add_goal("claim (shaky rule)",
+                                ev::AssuranceCase::Kind::kConjunction, {e}, 0.6);
+  EXPECT_GT(ac.evaluate(strong).projected(), ac.evaluate(weak).projected());
+  EXPECT_GT(ac.evaluate(weak).uncertainty(), ac.evaluate(strong).uncertainty());
+}
+
+TEST(AssuranceCase, DisjunctionStrongerThanWeakestLeg) {
+  ev::AssuranceCase ac;
+  const auto weak = ac.add_evidence("weak leg", ev::Opinion::from_evidence(2, 2));
+  const auto strong = ac.add_evidence("strong leg", ev::Opinion::from_evidence(20, 1));
+  const auto goal = ac.add_goal("either mitigation works",
+                                ev::AssuranceCase::Kind::kDisjunction,
+                                {weak, strong});
+  EXPECT_GT(ac.evaluate(goal).projected(), ac.evaluate(strong).projected() - 1e-9);
+}
+
+TEST(AssuranceCase, WeakestLeafIdentifiesBottleneck) {
+  ev::AssuranceCase ac;
+  const auto good = ac.add_evidence("well-tested component",
+                                    ev::Opinion::from_evidence(500, 2));
+  const auto shaky = ac.add_evidence("barely-tested component",
+                                     ev::Opinion::from_evidence(3, 1));
+  const auto goal = ac.add_goal("system safe",
+                                ev::AssuranceCase::Kind::kConjunction,
+                                {good, shaky});
+  EXPECT_EQ(ac.weakest_leaf(goal), shaky);
+}
+
+TEST(AssuranceCase, Validation) {
+  ev::AssuranceCase ac;
+  EXPECT_THROW((void)ac.add_evidence("", ev::Opinion::vacuous()),
+               std::invalid_argument);
+  const auto e = ac.add_evidence("e", ev::Opinion::vacuous());
+  EXPECT_THROW((void)ac.add_goal("g", ev::AssuranceCase::Kind::kLeaf, {e}),
+               std::invalid_argument);
+  EXPECT_THROW((void)ac.add_goal("g", ev::AssuranceCase::Kind::kConjunction, {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)ac.add_goal("g", ev::AssuranceCase::Kind::kConjunction, {e}, 1.4),
+      std::invalid_argument);
+  EXPECT_THROW((void)ac.evaluate(9), std::out_of_range);
+}

@@ -1,0 +1,123 @@
+// sysuq_bn — command-line front end for the Bayesian-network layer.
+//
+// Usage:
+//   sysuq_bn describe <model.bn>
+//   sysuq_bn dot <model.bn>
+//   sysuq_bn marginal <model.bn> <variable> [ev_var=state ...]
+//   sysuq_bn sensitivity <model.bn> <variable> <state> [ev_var=state ...]
+//   sysuq_bn table1 > model.bn        # emit the paper's Table I network
+//
+// Models use the sysuq-bayesnet text format (see bayesnet/serialize.hpp).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bayesnet/inference.hpp"
+#include "bayesnet/io.hpp"
+#include "bayesnet/sensitivity.hpp"
+#include "bayesnet/serialize.hpp"
+#include "perception/table1.hpp"
+
+namespace {
+
+using namespace sysuq;
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  sysuq_bn describe <model.bn>\n"
+      "  sysuq_bn dot <model.bn>\n"
+      "  sysuq_bn marginal <model.bn> <variable> [ev=state ...]\n"
+      "  sysuq_bn sensitivity <model.bn> <variable> <state> [ev=state ...]\n"
+      "  sysuq_bn table1\n",
+      stderr);
+  return 2;
+}
+
+bayesnet::BayesianNetwork load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return bayesnet::from_text(buf.str());
+}
+
+bayesnet::Evidence parse_evidence(const bayesnet::BayesianNetwork& net,
+                                  int argc, char** argv, int first) {
+  bayesnet::Evidence ev;
+  for (int i = first; i < argc; ++i) {
+    const std::string tok = argv[i];
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos)
+      throw std::runtime_error("evidence must be var=state: '" + tok + "'");
+    const auto var = net.id_of(tok.substr(0, eq));
+    const auto state = net.variable(var).state_index(tok.substr(eq + 1));
+    ev[var] = state;
+  }
+  return ev;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "table1") {
+      std::fputs(bayesnet::to_text(perception::table1_network()).c_str(),
+                 stdout);
+      return 0;
+    }
+    if (argc < 3) return usage();
+    const auto net = load(argv[2]);
+
+    if (cmd == "describe") {
+      std::fputs(bayesnet::describe(net).c_str(), stdout);
+      for (bayesnet::VariableId v = 0; v < net.size(); ++v) {
+        std::printf("\nCPT of %s:\n%s", net.variable(v).name().c_str(),
+                    bayesnet::cpt_table(net, v).c_str());
+      }
+      return 0;
+    }
+    if (cmd == "dot") {
+      std::fputs(bayesnet::to_dot(net).c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "marginal") {
+      if (argc < 4) return usage();
+      const auto query = net.id_of(argv[3]);
+      const auto ev = parse_evidence(net, argc, argv, 4);
+      bayesnet::VariableElimination engine(net);
+      const auto m = engine.query(query, ev);
+      for (std::size_t s = 0; s < m.size(); ++s) {
+        std::printf("P(%s = %s%s) = %.6g\n", net.variable(query).name().c_str(),
+                    net.variable(query).state_name(s).c_str(),
+                    ev.empty() ? "" : " | evidence", m.p(s));
+      }
+      return 0;
+    }
+    if (cmd == "sensitivity") {
+      if (argc < 5) return usage();
+      const auto query = net.id_of(argv[3]);
+      const auto state = net.variable(query).state_index(argv[4]);
+      const auto ev = parse_evidence(net, argc, argv, 5);
+      const auto ranking = bayesnet::rank_parameters(net, query, state, ev);
+      std::printf("top parameters for P(%s = %s):\n",
+                  net.variable(query).name().c_str(), argv[4]);
+      for (std::size_t i = 0; i < 10 && i < ranking.size(); ++i) {
+        const auto& p = ranking[i];
+        std::printf("  %2zu. %s row %zu state %s: theta=%.4g  d=%+.5f\n", i + 1,
+                    net.variable(p.child).name().c_str(), p.row,
+                    net.variable(p.child).state_name(p.state).c_str(), p.value,
+                    p.derivative);
+      }
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sysuq_bn: %s\n", e.what());
+    return 1;
+  }
+}
