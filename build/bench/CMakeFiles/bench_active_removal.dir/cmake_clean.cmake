@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_active_removal.dir/bench_active_removal.cpp.o"
+  "CMakeFiles/bench_active_removal.dir/bench_active_removal.cpp.o.d"
+  "bench_active_removal"
+  "bench_active_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_active_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

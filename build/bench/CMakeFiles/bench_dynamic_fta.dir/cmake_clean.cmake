@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_fta.dir/bench_dynamic_fta.cpp.o"
+  "CMakeFiles/bench_dynamic_fta.dir/bench_dynamic_fta.cpp.o.d"
+  "bench_dynamic_fta"
+  "bench_dynamic_fta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_fta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

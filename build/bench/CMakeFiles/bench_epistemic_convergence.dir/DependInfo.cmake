@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_epistemic_convergence.cpp" "bench/CMakeFiles/bench_epistemic_convergence.dir/bench_epistemic_convergence.cpp.o" "gcc" "bench/CMakeFiles/bench_epistemic_convergence.dir/bench_epistemic_convergence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sysuq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/sysuq_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/evidence/CMakeFiles/sysuq_evidence.dir/DependInfo.cmake"
+  "/root/repo/build/src/fta/CMakeFiles/sysuq_fta.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/sysuq_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/sysuq_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/sysuq_markov.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_epistemic_convergence.dir/bench_epistemic_convergence.cpp.o"
+  "CMakeFiles/bench_epistemic_convergence.dir/bench_epistemic_convergence.cpp.o.d"
+  "bench_epistemic_convergence"
+  "bench_epistemic_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_epistemic_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

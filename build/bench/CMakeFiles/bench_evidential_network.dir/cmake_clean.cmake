@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_evidential_network.dir/bench_evidential_network.cpp.o"
+  "CMakeFiles/bench_evidential_network.dir/bench_evidential_network.cpp.o.d"
+  "bench_evidential_network"
+  "bench_evidential_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evidential_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_taxonomy_means.dir/bench_fig3_taxonomy_means.cpp.o"
+  "CMakeFiles/bench_fig3_taxonomy_means.dir/bench_fig3_taxonomy_means.cpp.o.d"
+  "bench_fig3_taxonomy_means"
+  "bench_fig3_taxonomy_means.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_taxonomy_means.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

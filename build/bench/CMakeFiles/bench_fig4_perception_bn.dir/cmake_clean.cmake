@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_perception_bn.dir/bench_fig4_perception_bn.cpp.o"
+  "CMakeFiles/bench_fig4_perception_bn.dir/bench_fig4_perception_bn.cpp.o.d"
+  "bench_fig4_perception_bn"
+  "bench_fig4_perception_bn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_perception_bn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

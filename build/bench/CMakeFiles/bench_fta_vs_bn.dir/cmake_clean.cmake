@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fta_vs_bn.dir/bench_fta_vs_bn.cpp.o"
+  "CMakeFiles/bench_fta_vs_bn.dir/bench_fta_vs_bn.cpp.o.d"
+  "bench_fta_vs_bn"
+  "bench_fta_vs_bn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fta_vs_bn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fta_vs_bn.
+# This may be replaced when dependencies are built.

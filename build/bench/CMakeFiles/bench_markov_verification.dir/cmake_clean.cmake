@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_markov_verification.dir/bench_markov_verification.cpp.o"
+  "CMakeFiles/bench_markov_verification.dir/bench_markov_verification.cpp.o.d"
+  "bench_markov_verification"
+  "bench_markov_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_markov_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ml_uncertainty.dir/bench_ml_uncertainty.cpp.o"
+  "CMakeFiles/bench_ml_uncertainty.dir/bench_ml_uncertainty.cpp.o.d"
+  "bench_ml_uncertainty"
+  "bench_ml_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ml_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

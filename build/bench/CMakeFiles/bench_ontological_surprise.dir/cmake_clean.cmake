@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ontological_surprise.dir/bench_ontological_surprise.cpp.o"
+  "CMakeFiles/bench_ontological_surprise.dir/bench_ontological_surprise.cpp.o.d"
+  "bench_ontological_surprise"
+  "bench_ontological_surprise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ontological_surprise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

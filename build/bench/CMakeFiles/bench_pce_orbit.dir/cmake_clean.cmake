@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pce_orbit.dir/bench_pce_orbit.cpp.o"
+  "CMakeFiles/bench_pce_orbit.dir/bench_pce_orbit.cpp.o.d"
+  "bench_pce_orbit"
+  "bench_pce_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pce_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

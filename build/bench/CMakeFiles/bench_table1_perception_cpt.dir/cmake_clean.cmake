@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_perception_cpt.dir/bench_table1_perception_cpt.cpp.o"
+  "CMakeFiles/bench_table1_perception_cpt.dir/bench_table1_perception_cpt.cpp.o.d"
+  "bench_table1_perception_cpt"
+  "bench_table1_perception_cpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_perception_cpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

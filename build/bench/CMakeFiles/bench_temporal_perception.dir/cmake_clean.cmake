@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_temporal_perception.dir/bench_temporal_perception.cpp.o"
+  "CMakeFiles/bench_temporal_perception.dir/bench_temporal_perception.cpp.o.d"
+  "bench_temporal_perception"
+  "bench_temporal_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_temporal_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tolerance_redundancy.dir/bench_tolerance_redundancy.cpp.o"
+  "CMakeFiles/bench_tolerance_redundancy.dir/bench_tolerance_redundancy.cpp.o.d"
+  "bench_tolerance_redundancy"
+  "bench_tolerance_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tolerance_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perception_safety_case.dir/perception_safety_case.cpp.o"
+  "CMakeFiles/perception_safety_case.dir/perception_safety_case.cpp.o.d"
+  "perception_safety_case"
+  "perception_safety_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perception_safety_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_argument.dir/release_argument.cpp.o"
+  "CMakeFiles/release_argument.dir/release_argument.cpp.o.d"
+  "release_argument"
+  "release_argument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_argument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

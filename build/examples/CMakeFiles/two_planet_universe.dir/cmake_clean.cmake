@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_planet_universe.dir/two_planet_universe.cpp.o"
+  "CMakeFiles/two_planet_universe.dir/two_planet_universe.cpp.o.d"
+  "two_planet_universe"
+  "two_planet_universe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_planet_universe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertainty_removal_loop.dir/uncertainty_removal_loop.cpp.o"
+  "CMakeFiles/uncertainty_removal_loop.dir/uncertainty_removal_loop.cpp.o.d"
+  "uncertainty_removal_loop"
+  "uncertainty_removal_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertainty_removal_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

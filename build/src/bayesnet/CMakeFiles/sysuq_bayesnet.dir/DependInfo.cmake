@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bayesnet/builders.cpp" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/builders.cpp.o" "gcc" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/builders.cpp.o.d"
+  "/root/repo/src/bayesnet/factor.cpp" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/factor.cpp.o" "gcc" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/factor.cpp.o.d"
+  "/root/repo/src/bayesnet/inference.cpp" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/inference.cpp.o" "gcc" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/inference.cpp.o.d"
+  "/root/repo/src/bayesnet/io.cpp" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/io.cpp.o" "gcc" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/io.cpp.o.d"
+  "/root/repo/src/bayesnet/learning.cpp" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/learning.cpp.o" "gcc" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/learning.cpp.o.d"
+  "/root/repo/src/bayesnet/network.cpp" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/network.cpp.o" "gcc" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/network.cpp.o.d"
+  "/root/repo/src/bayesnet/sensitivity.cpp" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/sensitivity.cpp.o" "gcc" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/bayesnet/serialize.cpp" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/serialize.cpp.o" "gcc" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/serialize.cpp.o.d"
+  "/root/repo/src/bayesnet/variable.cpp" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/variable.cpp.o" "gcc" "src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/variable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prob/CMakeFiles/sysuq_prob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysuq_bayesnet.dir/builders.cpp.o"
+  "CMakeFiles/sysuq_bayesnet.dir/builders.cpp.o.d"
+  "CMakeFiles/sysuq_bayesnet.dir/factor.cpp.o"
+  "CMakeFiles/sysuq_bayesnet.dir/factor.cpp.o.d"
+  "CMakeFiles/sysuq_bayesnet.dir/inference.cpp.o"
+  "CMakeFiles/sysuq_bayesnet.dir/inference.cpp.o.d"
+  "CMakeFiles/sysuq_bayesnet.dir/io.cpp.o"
+  "CMakeFiles/sysuq_bayesnet.dir/io.cpp.o.d"
+  "CMakeFiles/sysuq_bayesnet.dir/learning.cpp.o"
+  "CMakeFiles/sysuq_bayesnet.dir/learning.cpp.o.d"
+  "CMakeFiles/sysuq_bayesnet.dir/network.cpp.o"
+  "CMakeFiles/sysuq_bayesnet.dir/network.cpp.o.d"
+  "CMakeFiles/sysuq_bayesnet.dir/sensitivity.cpp.o"
+  "CMakeFiles/sysuq_bayesnet.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/sysuq_bayesnet.dir/serialize.cpp.o"
+  "CMakeFiles/sysuq_bayesnet.dir/serialize.cpp.o.d"
+  "CMakeFiles/sysuq_bayesnet.dir/variable.cpp.o"
+  "CMakeFiles/sysuq_bayesnet.dir/variable.cpp.o.d"
+  "libsysuq_bayesnet.a"
+  "libsysuq_bayesnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysuq_bayesnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sysuq_bayesnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cybernetic.cpp" "src/core/CMakeFiles/sysuq_core.dir/cybernetic.cpp.o" "gcc" "src/core/CMakeFiles/sysuq_core.dir/cybernetic.cpp.o.d"
+  "/root/repo/src/core/decomposition.cpp" "src/core/CMakeFiles/sysuq_core.dir/decomposition.cpp.o" "gcc" "src/core/CMakeFiles/sysuq_core.dir/decomposition.cpp.o.d"
+  "/root/repo/src/core/longtail.cpp" "src/core/CMakeFiles/sysuq_core.dir/longtail.cpp.o" "gcc" "src/core/CMakeFiles/sysuq_core.dir/longtail.cpp.o.d"
+  "/root/repo/src/core/means.cpp" "src/core/CMakeFiles/sysuq_core.dir/means.cpp.o" "gcc" "src/core/CMakeFiles/sysuq_core.dir/means.cpp.o.d"
+  "/root/repo/src/core/modeling.cpp" "src/core/CMakeFiles/sysuq_core.dir/modeling.cpp.o" "gcc" "src/core/CMakeFiles/sysuq_core.dir/modeling.cpp.o.d"
+  "/root/repo/src/core/taxonomy.cpp" "src/core/CMakeFiles/sysuq_core.dir/taxonomy.cpp.o" "gcc" "src/core/CMakeFiles/sysuq_core.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prob/CMakeFiles/sysuq_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/evidence/CMakeFiles/sysuq_evidence.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/sysuq_perception.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysuq_core.dir/cybernetic.cpp.o"
+  "CMakeFiles/sysuq_core.dir/cybernetic.cpp.o.d"
+  "CMakeFiles/sysuq_core.dir/decomposition.cpp.o"
+  "CMakeFiles/sysuq_core.dir/decomposition.cpp.o.d"
+  "CMakeFiles/sysuq_core.dir/longtail.cpp.o"
+  "CMakeFiles/sysuq_core.dir/longtail.cpp.o.d"
+  "CMakeFiles/sysuq_core.dir/means.cpp.o"
+  "CMakeFiles/sysuq_core.dir/means.cpp.o.d"
+  "CMakeFiles/sysuq_core.dir/modeling.cpp.o"
+  "CMakeFiles/sysuq_core.dir/modeling.cpp.o.d"
+  "CMakeFiles/sysuq_core.dir/taxonomy.cpp.o"
+  "CMakeFiles/sysuq_core.dir/taxonomy.cpp.o.d"
+  "libsysuq_core.a"
+  "libsysuq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysuq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

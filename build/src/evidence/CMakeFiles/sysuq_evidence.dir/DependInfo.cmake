@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evidence/credal.cpp" "src/evidence/CMakeFiles/sysuq_evidence.dir/credal.cpp.o" "gcc" "src/evidence/CMakeFiles/sysuq_evidence.dir/credal.cpp.o.d"
+  "/root/repo/src/evidence/evidential_network.cpp" "src/evidence/CMakeFiles/sysuq_evidence.dir/evidential_network.cpp.o" "gcc" "src/evidence/CMakeFiles/sysuq_evidence.dir/evidential_network.cpp.o.d"
+  "/root/repo/src/evidence/frame.cpp" "src/evidence/CMakeFiles/sysuq_evidence.dir/frame.cpp.o" "gcc" "src/evidence/CMakeFiles/sysuq_evidence.dir/frame.cpp.o.d"
+  "/root/repo/src/evidence/mass.cpp" "src/evidence/CMakeFiles/sysuq_evidence.dir/mass.cpp.o" "gcc" "src/evidence/CMakeFiles/sysuq_evidence.dir/mass.cpp.o.d"
+  "/root/repo/src/evidence/subjective.cpp" "src/evidence/CMakeFiles/sysuq_evidence.dir/subjective.cpp.o" "gcc" "src/evidence/CMakeFiles/sysuq_evidence.dir/subjective.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prob/CMakeFiles/sysuq_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

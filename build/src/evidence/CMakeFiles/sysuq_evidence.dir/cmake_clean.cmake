@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysuq_evidence.dir/credal.cpp.o"
+  "CMakeFiles/sysuq_evidence.dir/credal.cpp.o.d"
+  "CMakeFiles/sysuq_evidence.dir/evidential_network.cpp.o"
+  "CMakeFiles/sysuq_evidence.dir/evidential_network.cpp.o.d"
+  "CMakeFiles/sysuq_evidence.dir/frame.cpp.o"
+  "CMakeFiles/sysuq_evidence.dir/frame.cpp.o.d"
+  "CMakeFiles/sysuq_evidence.dir/mass.cpp.o"
+  "CMakeFiles/sysuq_evidence.dir/mass.cpp.o.d"
+  "CMakeFiles/sysuq_evidence.dir/subjective.cpp.o"
+  "CMakeFiles/sysuq_evidence.dir/subjective.cpp.o.d"
+  "libsysuq_evidence.a"
+  "libsysuq_evidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysuq_evidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fta/analysis.cpp" "src/fta/CMakeFiles/sysuq_fta.dir/analysis.cpp.o" "gcc" "src/fta/CMakeFiles/sysuq_fta.dir/analysis.cpp.o.d"
+  "/root/repo/src/fta/dynamic.cpp" "src/fta/CMakeFiles/sysuq_fta.dir/dynamic.cpp.o" "gcc" "src/fta/CMakeFiles/sysuq_fta.dir/dynamic.cpp.o.d"
+  "/root/repo/src/fta/event_tree.cpp" "src/fta/CMakeFiles/sysuq_fta.dir/event_tree.cpp.o" "gcc" "src/fta/CMakeFiles/sysuq_fta.dir/event_tree.cpp.o.d"
+  "/root/repo/src/fta/fault_tree.cpp" "src/fta/CMakeFiles/sysuq_fta.dir/fault_tree.cpp.o" "gcc" "src/fta/CMakeFiles/sysuq_fta.dir/fault_tree.cpp.o.d"
+  "/root/repo/src/fta/fta_to_bn.cpp" "src/fta/CMakeFiles/sysuq_fta.dir/fta_to_bn.cpp.o" "gcc" "src/fta/CMakeFiles/sysuq_fta.dir/fta_to_bn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prob/CMakeFiles/sysuq_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

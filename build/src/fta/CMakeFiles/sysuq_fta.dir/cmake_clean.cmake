@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysuq_fta.dir/analysis.cpp.o"
+  "CMakeFiles/sysuq_fta.dir/analysis.cpp.o.d"
+  "CMakeFiles/sysuq_fta.dir/dynamic.cpp.o"
+  "CMakeFiles/sysuq_fta.dir/dynamic.cpp.o.d"
+  "CMakeFiles/sysuq_fta.dir/event_tree.cpp.o"
+  "CMakeFiles/sysuq_fta.dir/event_tree.cpp.o.d"
+  "CMakeFiles/sysuq_fta.dir/fault_tree.cpp.o"
+  "CMakeFiles/sysuq_fta.dir/fault_tree.cpp.o.d"
+  "CMakeFiles/sysuq_fta.dir/fta_to_bn.cpp.o"
+  "CMakeFiles/sysuq_fta.dir/fta_to_bn.cpp.o.d"
+  "libsysuq_fta.a"
+  "libsysuq_fta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysuq_fta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

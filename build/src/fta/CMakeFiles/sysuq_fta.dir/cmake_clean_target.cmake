@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsysuq_fta.a"
+)

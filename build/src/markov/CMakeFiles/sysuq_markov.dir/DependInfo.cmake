@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/dtmc.cpp" "src/markov/CMakeFiles/sysuq_markov.dir/dtmc.cpp.o" "gcc" "src/markov/CMakeFiles/sysuq_markov.dir/dtmc.cpp.o.d"
+  "/root/repo/src/markov/hmm.cpp" "src/markov/CMakeFiles/sysuq_markov.dir/hmm.cpp.o" "gcc" "src/markov/CMakeFiles/sysuq_markov.dir/hmm.cpp.o.d"
+  "/root/repo/src/markov/mdp.cpp" "src/markov/CMakeFiles/sysuq_markov.dir/mdp.cpp.o" "gcc" "src/markov/CMakeFiles/sysuq_markov.dir/mdp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prob/CMakeFiles/sysuq_prob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysuq_markov.dir/dtmc.cpp.o"
+  "CMakeFiles/sysuq_markov.dir/dtmc.cpp.o.d"
+  "CMakeFiles/sysuq_markov.dir/hmm.cpp.o"
+  "CMakeFiles/sysuq_markov.dir/hmm.cpp.o.d"
+  "CMakeFiles/sysuq_markov.dir/mdp.cpp.o"
+  "CMakeFiles/sysuq_markov.dir/mdp.cpp.o.d"
+  "libsysuq_markov.a"
+  "libsysuq_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysuq_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

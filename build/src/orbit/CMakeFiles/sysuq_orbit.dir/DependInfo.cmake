@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orbit/kalman.cpp" "src/orbit/CMakeFiles/sysuq_orbit.dir/kalman.cpp.o" "gcc" "src/orbit/CMakeFiles/sysuq_orbit.dir/kalman.cpp.o.d"
+  "/root/repo/src/orbit/nbody.cpp" "src/orbit/CMakeFiles/sysuq_orbit.dir/nbody.cpp.o" "gcc" "src/orbit/CMakeFiles/sysuq_orbit.dir/nbody.cpp.o.d"
+  "/root/repo/src/orbit/two_planet.cpp" "src/orbit/CMakeFiles/sysuq_orbit.dir/two_planet.cpp.o" "gcc" "src/orbit/CMakeFiles/sysuq_orbit.dir/two_planet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prob/CMakeFiles/sysuq_prob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

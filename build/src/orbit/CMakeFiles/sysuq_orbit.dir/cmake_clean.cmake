@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysuq_orbit.dir/kalman.cpp.o"
+  "CMakeFiles/sysuq_orbit.dir/kalman.cpp.o.d"
+  "CMakeFiles/sysuq_orbit.dir/nbody.cpp.o"
+  "CMakeFiles/sysuq_orbit.dir/nbody.cpp.o.d"
+  "CMakeFiles/sysuq_orbit.dir/two_planet.cpp.o"
+  "CMakeFiles/sysuq_orbit.dir/two_planet.cpp.o.d"
+  "libsysuq_orbit.a"
+  "libsysuq_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysuq_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

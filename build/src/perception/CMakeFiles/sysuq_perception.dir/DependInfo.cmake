@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perception/bayes_classifier.cpp" "src/perception/CMakeFiles/sysuq_perception.dir/bayes_classifier.cpp.o" "gcc" "src/perception/CMakeFiles/sysuq_perception.dir/bayes_classifier.cpp.o.d"
+  "/root/repo/src/perception/fusion.cpp" "src/perception/CMakeFiles/sysuq_perception.dir/fusion.cpp.o" "gcc" "src/perception/CMakeFiles/sysuq_perception.dir/fusion.cpp.o.d"
+  "/root/repo/src/perception/sensor.cpp" "src/perception/CMakeFiles/sysuq_perception.dir/sensor.cpp.o" "gcc" "src/perception/CMakeFiles/sysuq_perception.dir/sensor.cpp.o.d"
+  "/root/repo/src/perception/table1.cpp" "src/perception/CMakeFiles/sysuq_perception.dir/table1.cpp.o" "gcc" "src/perception/CMakeFiles/sysuq_perception.dir/table1.cpp.o.d"
+  "/root/repo/src/perception/world.cpp" "src/perception/CMakeFiles/sysuq_perception.dir/world.cpp.o" "gcc" "src/perception/CMakeFiles/sysuq_perception.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/evidence/CMakeFiles/sysuq_evidence.dir/DependInfo.cmake"
+  "/root/repo/build/src/prob/CMakeFiles/sysuq_prob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysuq_perception.dir/bayes_classifier.cpp.o"
+  "CMakeFiles/sysuq_perception.dir/bayes_classifier.cpp.o.d"
+  "CMakeFiles/sysuq_perception.dir/fusion.cpp.o"
+  "CMakeFiles/sysuq_perception.dir/fusion.cpp.o.d"
+  "CMakeFiles/sysuq_perception.dir/sensor.cpp.o"
+  "CMakeFiles/sysuq_perception.dir/sensor.cpp.o.d"
+  "CMakeFiles/sysuq_perception.dir/table1.cpp.o"
+  "CMakeFiles/sysuq_perception.dir/table1.cpp.o.d"
+  "CMakeFiles/sysuq_perception.dir/world.cpp.o"
+  "CMakeFiles/sysuq_perception.dir/world.cpp.o.d"
+  "libsysuq_perception.a"
+  "libsysuq_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysuq_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prob/discrete.cpp" "src/prob/CMakeFiles/sysuq_prob.dir/discrete.cpp.o" "gcc" "src/prob/CMakeFiles/sysuq_prob.dir/discrete.cpp.o.d"
+  "/root/repo/src/prob/distribution.cpp" "src/prob/CMakeFiles/sysuq_prob.dir/distribution.cpp.o" "gcc" "src/prob/CMakeFiles/sysuq_prob.dir/distribution.cpp.o.d"
+  "/root/repo/src/prob/fuzzy.cpp" "src/prob/CMakeFiles/sysuq_prob.dir/fuzzy.cpp.o" "gcc" "src/prob/CMakeFiles/sysuq_prob.dir/fuzzy.cpp.o.d"
+  "/root/repo/src/prob/histogram.cpp" "src/prob/CMakeFiles/sysuq_prob.dir/histogram.cpp.o" "gcc" "src/prob/CMakeFiles/sysuq_prob.dir/histogram.cpp.o.d"
+  "/root/repo/src/prob/information.cpp" "src/prob/CMakeFiles/sysuq_prob.dir/information.cpp.o" "gcc" "src/prob/CMakeFiles/sysuq_prob.dir/information.cpp.o.d"
+  "/root/repo/src/prob/interval.cpp" "src/prob/CMakeFiles/sysuq_prob.dir/interval.cpp.o" "gcc" "src/prob/CMakeFiles/sysuq_prob.dir/interval.cpp.o.d"
+  "/root/repo/src/prob/polychaos.cpp" "src/prob/CMakeFiles/sysuq_prob.dir/polychaos.cpp.o" "gcc" "src/prob/CMakeFiles/sysuq_prob.dir/polychaos.cpp.o.d"
+  "/root/repo/src/prob/rng.cpp" "src/prob/CMakeFiles/sysuq_prob.dir/rng.cpp.o" "gcc" "src/prob/CMakeFiles/sysuq_prob.dir/rng.cpp.o.d"
+  "/root/repo/src/prob/special.cpp" "src/prob/CMakeFiles/sysuq_prob.dir/special.cpp.o" "gcc" "src/prob/CMakeFiles/sysuq_prob.dir/special.cpp.o.d"
+  "/root/repo/src/prob/statistics.cpp" "src/prob/CMakeFiles/sysuq_prob.dir/statistics.cpp.o" "gcc" "src/prob/CMakeFiles/sysuq_prob.dir/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

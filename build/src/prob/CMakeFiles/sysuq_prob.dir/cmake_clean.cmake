@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysuq_prob.dir/discrete.cpp.o"
+  "CMakeFiles/sysuq_prob.dir/discrete.cpp.o.d"
+  "CMakeFiles/sysuq_prob.dir/distribution.cpp.o"
+  "CMakeFiles/sysuq_prob.dir/distribution.cpp.o.d"
+  "CMakeFiles/sysuq_prob.dir/fuzzy.cpp.o"
+  "CMakeFiles/sysuq_prob.dir/fuzzy.cpp.o.d"
+  "CMakeFiles/sysuq_prob.dir/histogram.cpp.o"
+  "CMakeFiles/sysuq_prob.dir/histogram.cpp.o.d"
+  "CMakeFiles/sysuq_prob.dir/information.cpp.o"
+  "CMakeFiles/sysuq_prob.dir/information.cpp.o.d"
+  "CMakeFiles/sysuq_prob.dir/interval.cpp.o"
+  "CMakeFiles/sysuq_prob.dir/interval.cpp.o.d"
+  "CMakeFiles/sysuq_prob.dir/polychaos.cpp.o"
+  "CMakeFiles/sysuq_prob.dir/polychaos.cpp.o.d"
+  "CMakeFiles/sysuq_prob.dir/rng.cpp.o"
+  "CMakeFiles/sysuq_prob.dir/rng.cpp.o.d"
+  "CMakeFiles/sysuq_prob.dir/special.cpp.o"
+  "CMakeFiles/sysuq_prob.dir/special.cpp.o.d"
+  "CMakeFiles/sysuq_prob.dir/statistics.cpp.o"
+  "CMakeFiles/sysuq_prob.dir/statistics.cpp.o.d"
+  "libsysuq_prob.a"
+  "libsysuq_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysuq_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

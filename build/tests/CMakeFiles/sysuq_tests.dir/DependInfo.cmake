@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bayes_classifier.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_bayes_classifier.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_bayes_classifier.cpp.o.d"
+  "/root/repo/tests/test_bayesnet_builders_learning.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_bayesnet_builders_learning.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_bayesnet_builders_learning.cpp.o.d"
+  "/root/repo/tests/test_bayesnet_factor.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_bayesnet_factor.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_bayesnet_factor.cpp.o.d"
+  "/root/repo/tests/test_bayesnet_inference.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_bayesnet_inference.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_bayesnet_inference.cpp.o.d"
+  "/root/repo/tests/test_bayesnet_network.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_bayesnet_network.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_bayesnet_network.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_dsep_property.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_dsep_property.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_dsep_property.cpp.o.d"
+  "/root/repo/tests/test_event_tree.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_event_tree.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_event_tree.cpp.o.d"
+  "/root/repo/tests/test_evidence_credal.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_evidence_credal.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_evidence_credal.cpp.o.d"
+  "/root/repo/tests/test_evidence_mass.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_evidence_mass.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_evidence_mass.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_fta.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_fta.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_fta.cpp.o.d"
+  "/root/repo/tests/test_fta_dynamic.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_fta_dynamic.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_fta_dynamic.cpp.o.d"
+  "/root/repo/tests/test_hmm.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_hmm.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_hmm.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kalman_reliability.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_kalman_reliability.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_kalman_reliability.cpp.o.d"
+  "/root/repo/tests/test_longtail_sensitivity.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_longtail_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_longtail_sensitivity.cpp.o.d"
+  "/root/repo/tests/test_markov.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_markov.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_markov.cpp.o.d"
+  "/root/repo/tests/test_mdp_serialize.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_mdp_serialize.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_mdp_serialize.cpp.o.d"
+  "/root/repo/tests/test_orbit.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_orbit.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_orbit.cpp.o.d"
+  "/root/repo/tests/test_perception.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_perception.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_perception.cpp.o.d"
+  "/root/repo/tests/test_polychaos.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_polychaos.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_polychaos.cpp.o.d"
+  "/root/repo/tests/test_prob_discrete.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_prob_discrete.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_prob_discrete.cpp.o.d"
+  "/root/repo/tests/test_prob_distributions.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_prob_distributions.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_prob_distributions.cpp.o.d"
+  "/root/repo/tests/test_prob_information.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_prob_information.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_prob_information.cpp.o.d"
+  "/root/repo/tests/test_prob_interval_fuzzy.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_prob_interval_fuzzy.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_prob_interval_fuzzy.cpp.o.d"
+  "/root/repo/tests/test_prob_special.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_prob_special.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_prob_special.cpp.o.d"
+  "/root/repo/tests/test_prob_statistics.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_prob_statistics.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_prob_statistics.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_subjective.cpp" "tests/CMakeFiles/sysuq_tests.dir/test_subjective.cpp.o" "gcc" "tests/CMakeFiles/sysuq_tests.dir/test_subjective.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prob/CMakeFiles/sysuq_prob.dir/DependInfo.cmake"
+  "/root/repo/build/src/bayesnet/CMakeFiles/sysuq_bayesnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/perception/CMakeFiles/sysuq_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/evidence/CMakeFiles/sysuq_evidence.dir/DependInfo.cmake"
+  "/root/repo/build/src/fta/CMakeFiles/sysuq_fta.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/sysuq_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sysuq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/sysuq_markov.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysuq_bn.dir/sysuq_bn.cpp.o"
+  "CMakeFiles/sysuq_bn.dir/sysuq_bn.cpp.o.d"
+  "sysuq_bn"
+  "sysuq_bn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysuq_bn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
