@@ -1,0 +1,283 @@
+#include "bayesnet/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "bayesnet/inference.hpp"
+#include "prob/rng.hpp"
+
+namespace sysuq::bayesnet {
+
+// A fixed pool of background workers plus the calling thread. `run` hands
+// out task indices through an atomic counter, so work distribution adapts
+// to scheduling while result slots stay fixed per index.
+class InferenceEngine::Pool {
+ public:
+  explicit Pool(std::size_t workers) {
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  /// Runs fn(0), .., fn(total - 1) across the workers and the calling
+  /// thread; blocks until every index has been processed. `fn` must not
+  /// throw. Concurrent `run` calls are serialized.
+  void run(std::size_t total, const std::function<void(std::size_t)>& fn) {
+    if (total == 0) return;
+    std::lock_guard<std::mutex> serialize(run_mu_);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      fn_ = &fn;
+      total_ = total;
+      next_.store(0, std::memory_order_relaxed);
+      completed_.store(0, std::memory_order_relaxed);
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    work();  // the caller participates
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_done_.wait(lk, [&] { return completed_.load() == total_; });
+      fn_ = nullptr;
+    }
+  }
+
+ private:
+  void work() {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t total = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      fn = fn_;
+      total = total_;
+    }
+    if (fn == nullptr) return;  // late wake-up after the batch finished
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1);
+      if (i >= total) break;
+      (*fn)(i);
+      if (completed_.fetch_add(1) + 1 == total) {
+        std::lock_guard<std::mutex> lk(mu_);
+        cv_done_.notify_all();
+      }
+    }
+  }
+
+  void worker() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+      }
+      work();
+    }
+  }
+
+  std::mutex run_mu_;  // serializes whole batches
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t total_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+InferenceEngine::InferenceEngine(const BayesianNetwork& net)
+    : InferenceEngine(net, Options{}) {}
+
+InferenceEngine::InferenceEngine(const BayesianNetwork& net, Options options)
+    : net_(net), options_(options) {
+  net_.validate();
+  threads_ = options_.threads != 0
+                 ? options_.threads
+                 : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  cpt_factors_.reserve(net_.size());
+  for (VariableId v = 0; v < net_.size(); ++v) {
+    cpt_factors_.push_back(net_.cpt_factor(v));
+  }
+  if (threads_ > 1) pool_ = std::make_unique<Pool>(threads_ - 1);
+}
+
+InferenceEngine::~InferenceEngine() = default;
+
+std::shared_ptr<const EliminationOrdering> InferenceEngine::ordering_for(
+    const Evidence& evidence) const {
+  OrderingKey key;
+  key.reserve(evidence.size());
+  for (const auto& [v, _] : evidence) key.push_back(v);  // map: sorted
+
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+  auto ordering = std::make_shared<const EliminationOrdering>(
+      compute_elimination_order(net_, /*keep=*/{}, key, options_.heuristic));
+  cache_.emplace(std::move(key), ordering);
+  return ordering;
+}
+
+Factor InferenceEngine::eliminate_all_but(const std::vector<VariableId>& keep,
+                                          const Evidence& evidence) const {
+  const auto ordering = ordering_for(evidence);
+  std::vector<Factor> factors;
+  factors.reserve(cpt_factors_.size());
+  for (const Factor& base : cpt_factors_) {
+    Factor f = base;
+    for (const auto& [ev, state] : evidence) {
+      if (f.contains(ev)) f = f.reduce(ev, state);
+    }
+    factors.push_back(std::move(f));
+  }
+  // The cached plan eliminates every unobserved variable; skipping the
+  // kept ones at execution time keeps them in the result scope (any
+  // suffix-restricted order is still exact).
+  if (keep.empty()) {
+    return eliminate_with_order(std::move(factors), ordering->order);
+  }
+  std::vector<VariableId> order;
+  order.reserve(ordering->order.size());
+  for (VariableId v : ordering->order) {
+    if (std::find(keep.begin(), keep.end(), v) == keep.end())
+      order.push_back(v);
+  }
+  return eliminate_with_order(std::move(factors), order);
+}
+
+prob::Categorical InferenceEngine::query(VariableId query,
+                                         const Evidence& evidence) const {
+  if (query >= net_.size())
+    throw std::out_of_range("InferenceEngine::query: variable id");
+  if (evidence.contains(query)) {
+    return prob::Categorical::delta(evidence.at(query),
+                                    net_.variable(query).cardinality());
+  }
+  Factor f = eliminate_all_but({query}, evidence);
+  if (f.scope().size() != 1 || f.scope()[0] != query)
+    throw std::logic_error("InferenceEngine: unexpected result scope");
+  if (!(f.total() > 0.0))
+    throw std::domain_error(impossible_evidence_message(net_, evidence));
+  return prob::Categorical::normalized(f.values());
+}
+
+double InferenceEngine::evidence_probability(const Evidence& evidence) const {
+  return eliminate_all_but({}, evidence).total();
+}
+
+prob::JointTable InferenceEngine::joint(VariableId a, VariableId b,
+                                        const Evidence& evidence) const {
+  if (a == b) throw std::invalid_argument("InferenceEngine::joint: a == b");
+  if (evidence.contains(a) || evidence.contains(b))
+    throw std::invalid_argument(
+        "InferenceEngine::joint: query variable in evidence");
+  Factor f = eliminate_all_but({a, b}, evidence);
+  if (!(f.total() > 0.0))
+    throw std::domain_error(impossible_evidence_message(net_, evidence));
+  f = f.normalized();
+  const std::size_t ca = net_.variable(a).cardinality();
+  const std::size_t cb = net_.variable(b).cardinality();
+  const bool a_first = a < b;
+  std::vector<std::vector<double>> table(ca, std::vector<double>(cb, 0.0));
+  for (std::size_t i = 0; i < ca; ++i) {
+    for (std::size_t j = 0; j < cb; ++j) {
+      table[i][j] = a_first ? f.at({i, j}) : f.at({j, i});
+    }
+  }
+  return prob::JointTable(std::move(table));
+}
+
+std::vector<prob::Categorical> InferenceEngine::query_batch(
+    const std::vector<QuerySpec>& batch) const {
+  std::vector<std::optional<prob::Categorical>> results(batch.size());
+  std::vector<std::exception_ptr> errors(batch.size());
+  const std::function<void(std::size_t)> task = [&](std::size_t i) {
+    try {
+      results[i] = query(batch[i].query, batch[i].evidence);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+  if (pool_) {
+    pool_->run(batch.size(), task);
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) task(i);
+  }
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  std::vector<prob::Categorical> out;
+  out.reserve(batch.size());
+  for (auto& r : results) out.push_back(std::move(*r));
+  return out;
+}
+
+std::vector<prob::Categorical> InferenceEngine::sample_batch(
+    const std::vector<QuerySpec>& batch, std::size_t samples,
+    std::uint64_t seed) const {
+  std::vector<std::optional<prob::Categorical>> results(batch.size());
+  std::vector<std::exception_ptr> errors(batch.size());
+  const std::function<void(std::size_t)> task = [&](std::size_t i) {
+    try {
+      // Stream (seed, i) is independent of which thread runs the query.
+      prob::Rng base(seed);
+      prob::Rng rng = base.split(i);
+      results[i] = likelihood_weighting(net_, batch[i].query,
+                                        batch[i].evidence, samples, rng);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+  if (pool_) {
+    pool_->run(batch.size(), task);
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) task(i);
+  }
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  std::vector<prob::Categorical> out;
+  out.reserve(batch.size());
+  for (auto& r : results) out.push_back(std::move(*r));
+  return out;
+}
+
+InferenceEngine::CacheStats InferenceEngine::cache_stats() const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  CacheStats s;
+  s.hits = cache_hits_;
+  s.misses = cache_misses_;
+  s.entries = cache_.size();
+  return s;
+}
+
+void InferenceEngine::clear_cache() {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  cache_.clear();
+  cache_hits_ = 0;
+  cache_misses_ = 0;
+}
+
+}  // namespace sysuq::bayesnet

@@ -1,12 +1,31 @@
 #include "bayesnet/inference.hpp"
 
 #include <algorithm>
-#include <list>
 #include <map>
-#include <set>
 #include <stdexcept>
 
+#include "bayesnet/ordering.hpp"
+
 namespace sysuq::bayesnet {
+
+std::string impossible_evidence_message(const BayesianNetwork& net,
+                                        const Evidence& evidence) {
+  std::string msg = "bayesnet: impossible evidence (P(e) = 0): ";
+  if (evidence.empty()) {
+    msg += "(none)";
+    return msg;
+  }
+  bool first = true;
+  for (const auto& [v, state] : evidence) {  // map: VariableId order
+    if (!first) msg += ", ";
+    first = false;
+    const Variable& var = net.variable(v);
+    msg += var.name();
+    msg += '=';
+    msg += var.state_name(state);
+  }
+  return msg;
+}
 
 VariableElimination::VariableElimination(const BayesianNetwork& net) : net_(net) {
   net_.validate();
@@ -15,7 +34,8 @@ VariableElimination::VariableElimination(const BayesianNetwork& net) : net_(net)
 Factor VariableElimination::eliminate_all_but(
     const std::vector<VariableId>& keep, const Evidence& evidence) const {
   // Collect CPT factors, reduced by evidence.
-  std::list<Factor> factors;
+  std::vector<Factor> factors;
+  factors.reserve(net_.size());
   for (VariableId v = 0; v < net_.size(); ++v) {
     Factor f = net_.cpt_factor(v);
     for (const auto& [ev, state] : evidence) {
@@ -24,52 +44,13 @@ Factor VariableElimination::eliminate_all_but(
     factors.push_back(std::move(f));
   }
 
-  std::set<VariableId> keep_set(keep.begin(), keep.end());
-  for (const auto& [ev, _] : evidence) keep_set.insert(ev);  // already reduced
+  std::vector<VariableId> evidence_keys;
+  evidence_keys.reserve(evidence.size());
+  for (const auto& [ev, _] : evidence) evidence_keys.push_back(ev);
 
-  // Variables to eliminate.
-  std::set<VariableId> to_eliminate;
-  for (VariableId v = 0; v < net_.size(); ++v) {
-    if (!keep_set.contains(v)) to_eliminate.insert(v);
-  }
-
-  // Min-degree heuristic: repeatedly eliminate the variable whose
-  // combined factor has the smallest scope.
-  while (!to_eliminate.empty()) {
-    VariableId best = *to_eliminate.begin();
-    std::size_t best_size = SIZE_MAX;
-    for (VariableId v : to_eliminate) {
-      std::set<VariableId> scope;
-      for (const auto& f : factors) {
-        if (f.contains(v)) scope.insert(f.scope().begin(), f.scope().end());
-      }
-      if (scope.size() < best_size) {
-        best_size = scope.size();
-        best = v;
-      }
-    }
-
-    // Multiply all factors mentioning `best`, then sum it out.
-    Factor combined = Factor::unit();
-    for (auto it = factors.begin(); it != factors.end();) {
-      if (it->contains(best)) {
-        combined = combined.product(*it);
-        it = factors.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    if (combined.contains(best)) {
-      factors.push_back(combined.marginalize(best));
-    } else {
-      factors.push_back(std::move(combined));  // constant factor
-    }
-    to_eliminate.erase(best);
-  }
-
-  Factor result = Factor::unit();
-  for (const auto& f : factors) result = result.product(f);
-  return result;
+  const EliminationOrdering ordering =
+      compute_elimination_order(net_, keep, evidence_keys);
+  return eliminate_with_order(std::move(factors), ordering.order);
 }
 
 prob::Categorical VariableElimination::query(VariableId query,
@@ -79,10 +60,12 @@ prob::Categorical VariableElimination::query(VariableId query,
     return prob::Categorical::delta(evidence.at(query),
                                     net_.variable(query).cardinality());
   }
-  const Factor f = eliminate_all_but({query}, evidence).normalized();
+  const Factor f = eliminate_all_but({query}, evidence);
   if (f.scope().size() != 1 || f.scope()[0] != query)
     throw std::logic_error("VariableElimination: unexpected result scope");
-  return prob::Categorical(f.values());
+  if (!(f.total() > 0.0))
+    throw std::domain_error(impossible_evidence_message(net_, evidence));
+  return prob::Categorical(f.normalized().values());
 }
 
 double VariableElimination::evidence_probability(const Evidence& evidence) const {
@@ -96,7 +79,10 @@ prob::JointTable VariableElimination::joint(VariableId a, VariableId b,
   if (evidence.contains(a) || evidence.contains(b))
     throw std::invalid_argument(
         "VariableElimination::joint: query variable in evidence");
-  Factor f = eliminate_all_but({a, b}, evidence).normalized();
+  Factor f = eliminate_all_but({a, b}, evidence);
+  if (!(f.total() > 0.0))
+    throw std::domain_error(impossible_evidence_message(net_, evidence));
+  f = f.normalized();
   const std::size_t ca = net_.variable(a).cardinality();
   const std::size_t cb = net_.variable(b).cardinality();
   // Factor scope is sorted; map into (a-rows, b-cols).
@@ -157,6 +143,9 @@ prob::Categorical enumerate_posterior(const BayesianNetwork& net,
   for_each_joint(net, [&](const std::vector<std::size_t>& state, double p) {
     if (consistent(state, evidence)) weights[state[query]] += p;
   });
+  if (std::all_of(weights.begin(), weights.end(),
+                  [](double w) { return w == 0.0; }))
+    throw std::domain_error(impossible_evidence_message(net, evidence));
   return prob::Categorical::normalized(std::move(weights));
 }
 
@@ -181,7 +170,7 @@ MpeResult enumerate_mpe(const BayesianNetwork& net, const Evidence& evidence) {
     }
   });
   if (!(evidence_mass > 0.0))
-    throw std::domain_error("enumerate_mpe: impossible evidence");
+    throw std::domain_error(impossible_evidence_message(net, evidence));
   best.probability /= evidence_mass;
   return best;
 }
@@ -212,6 +201,13 @@ prob::Categorical likelihood_weighting(const BayesianNetwork& net,
     }
     weights[state[query]] += w;
   }
+  // Every sample weighted zero: the evidence hit zero CPT rows along all
+  // sampled parent configurations. Normalizing would divide by zero — fail
+  // loudly, naming the evidence (mirrors rejection sampling's zero-accept
+  // behaviour).
+  if (std::all_of(weights.begin(), weights.end(),
+                  [](double w) { return w == 0.0; }))
+    throw std::domain_error(impossible_evidence_message(net, evidence));
   return prob::Categorical::normalized(std::move(weights));
 }
 
@@ -231,8 +227,7 @@ prob::Categorical rejection_sampling(const BayesianNetwork& net, VariableId quer
   }
   if (accepted != nullptr) *accepted = acc;
   if (acc == 0)
-    throw std::domain_error(
-        "rejection_sampling: no samples consistent with evidence");
+    throw std::domain_error(impossible_evidence_message(net, evidence));
   return prob::Categorical::normalized(std::move(counts));
 }
 

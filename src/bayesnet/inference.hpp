@@ -11,11 +11,27 @@
 #include <cstddef>
 #include <vector>
 
+#include <string>
+
 #include "bayesnet/network.hpp"
 #include "prob/discrete.hpp"
 #include "prob/information.hpp"
 
 namespace sysuq::bayesnet {
+
+/// The one impossible-evidence error message used across every inference
+/// entry point (`VariableElimination::query`/`joint`, `InferenceEngine`
+/// queries, `enumerate_posterior`, `enumerate_mpe`, `likelihood_weighting`,
+/// `rejection_sampling`). All of them throw `std::domain_error` with
+/// exactly this text when P(evidence) = 0 (or, for the samplers, when no
+/// draw is consistent with the evidence):
+///
+///   "bayesnet: impossible evidence (P(e) = 0): name=state[, name=state...]"
+///
+/// Evidence entries are listed in VariableId order using the network's
+/// variable and state names; empty evidence renders as "(none)".
+[[nodiscard]] std::string impossible_evidence_message(
+    const BayesianNetwork& net, const Evidence& evidence);
 
 /// Exact posterior P(query | evidence) by variable elimination with a
 /// min-degree elimination ordering.
@@ -24,7 +40,8 @@ class VariableElimination {
   explicit VariableElimination(const BayesianNetwork& net);
 
   /// Posterior marginal of `query` given `evidence`. Throws
-  /// std::domain_error if the evidence has probability zero.
+  /// std::domain_error with `impossible_evidence_message` if the evidence
+  /// has probability zero.
   [[nodiscard]] prob::Categorical query(VariableId query,
                                         const Evidence& evidence = {}) const;
 
@@ -66,6 +83,8 @@ struct MpeResult {
                                       const Evidence& evidence = {});
 
 /// Approximate posterior by likelihood weighting with `samples` draws.
+/// Throws std::domain_error with `impossible_evidence_message` if every
+/// sample receives weight zero (evidence hitting zero CPT rows).
 [[nodiscard]] prob::Categorical likelihood_weighting(const BayesianNetwork& net,
                                                      VariableId query,
                                                      const Evidence& evidence,

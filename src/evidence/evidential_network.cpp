@@ -44,4 +44,18 @@ std::size_t powerset_state_index(const Frame& frame, FocalSet s) {
   return static_cast<std::size_t>(s) - 1;
 }
 
+prob::ProbInterval engine_belief_plausibility(
+    const bayesnet::InferenceEngine& engine, const Frame& frame,
+    bayesnet::VariableId node, FocalSet query,
+    const bayesnet::Evidence& evidence) {
+  return belief_plausibility(frame, engine.query(node, evidence), query);
+}
+
+MassFunction engine_posterior_mass(const bayesnet::InferenceEngine& engine,
+                                   const Frame& frame,
+                                   bayesnet::VariableId node,
+                                   const bayesnet::Evidence& evidence) {
+  return categorical_to_mass(frame, engine.query(node, evidence));
+}
+
 }  // namespace sysuq::evidence

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bayesnet/engine.hpp"
 #include "bayesnet/network.hpp"
 #include "evidence/frame.hpp"
 #include "evidence/mass.hpp"
@@ -41,5 +42,21 @@ namespace sysuq::evidence {
 
 /// State index of a focal set within a powerset variable.
 [[nodiscard]] std::size_t powerset_state_index(const Frame& frame, FocalSet s);
+
+/// Posterior [Bel, Pl] of hypothesis `query` at powerset node `node`,
+/// propagated through a shared InferenceEngine (so repeated evidential
+/// queries reuse the engine's cached elimination orderings). `node` must
+/// be a powerset variable of `frame` in the engine's network. Throws
+/// std::domain_error (impossible evidence) if P(evidence) = 0.
+[[nodiscard]] prob::ProbInterval engine_belief_plausibility(
+    const bayesnet::InferenceEngine& engine, const Frame& frame,
+    bayesnet::VariableId node, FocalSet query,
+    const bayesnet::Evidence& evidence = {});
+
+/// Posterior mass function of powerset node `node` given evidence,
+/// computed through the engine.
+[[nodiscard]] MassFunction engine_posterior_mass(
+    const bayesnet::InferenceEngine& engine, const Frame& frame,
+    bayesnet::VariableId node, const bayesnet::Evidence& evidence = {});
 
 }  // namespace sysuq::evidence

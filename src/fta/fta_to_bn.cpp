@@ -53,4 +53,25 @@ CompiledNetwork compile_to_bayesnet(const FaultTree& tree) {
   return out;
 }
 
+TopEventDiagnosis diagnose_top_event(const CompiledNetwork& compiled,
+                                     bayesnet::InferenceEngine& engine) {
+  if (&engine.network() != &compiled.network)
+    throw std::invalid_argument(
+        "diagnose_top_event: engine not built over compiled.network");
+
+  TopEventDiagnosis out;
+  out.top_probability = engine.query(compiled.top).p(1);
+
+  const bayesnet::Evidence top_failed{{compiled.top, 1}};
+  std::vector<bayesnet::QuerySpec> batch;
+  batch.reserve(compiled.node_map.size());
+  for (bayesnet::VariableId id : compiled.node_map)
+    batch.push_back({id, top_failed});
+
+  const auto posteriors = engine.query_batch(batch);
+  out.posterior_given_top.reserve(posteriors.size());
+  for (const auto& p : posteriors) out.posterior_given_top.push_back(p.p(1));
+  return out;
+}
+
 }  // namespace sysuq::fta

@@ -122,6 +122,63 @@ FusionOutcome fuse_once(const RedundantArchitecture& arch,
   return out;
 }
 
+BnFusion::BnFusion(const RedundantArchitecture& arch, const TrueWorld& world) {
+  if (arch.sensors.empty())
+    throw std::invalid_argument("BnFusion: no sensors");
+  classes_ = arch.sensors[0].modeled_classes();
+  sensors_ = arch.sensors.size();
+  for (const auto& s : arch.sensors) {
+    if (s.modeled_classes() != classes_)
+      throw std::invalid_argument("BnFusion: sensor shape mismatch");
+  }
+  const WorldModel& model = world.modeled();
+  if (model.class_count() != classes_)
+    throw std::invalid_argument("BnFusion: world/sensor class mismatch");
+
+  std::vector<std::string> truth_states;
+  for (std::size_t c = 0; c < classes_; ++c)
+    truth_states.push_back(model.class_name(c));
+  truth_ = net_.add_variable("ground_truth", truth_states);
+
+  std::vector<std::string> output_states = truth_states;
+  output_states.push_back("none");
+  for (std::size_t s = 0; s < sensors_; ++s) {
+    const auto id = net_.add_variable("sensor" + std::to_string(s),
+                                      output_states);
+    std::vector<prob::Categorical> rows;
+    rows.reserve(classes_);
+    for (std::size_t c = 0; c < classes_; ++c)
+      rows.push_back(arch.sensors[s].row(c));
+    net_.set_cpt(id, {truth_}, std::move(rows));
+    sensor_nodes_.push_back(id);
+  }
+  net_.set_cpt(truth_, {}, {model.priors()});
+  engine_ = std::make_unique<bayesnet::InferenceEngine>(net_);
+}
+
+prob::Categorical BnFusion::posterior(
+    const std::vector<std::size_t>& labels) const {
+  if (labels.size() != sensors_)
+    throw std::invalid_argument("BnFusion::posterior: label count mismatch");
+  bayesnet::Evidence evidence;
+  for (std::size_t s = 0; s < sensors_; ++s) {
+    if (labels[s] > classes_)  // 0..k-1 class, k = none
+      throw std::out_of_range("BnFusion::posterior: label out of range");
+    evidence[sensor_nodes_[s]] = labels[s];
+  }
+  return engine_->query(truth_, evidence);
+}
+
+std::size_t BnFusion::fuse(const std::vector<std::size_t>& labels) const {
+  try {
+    const auto post = posterior(labels);
+    const std::size_t best = post.argmax();
+    return post.p(best) >= 0.5 ? best : classes_;
+  } catch (const std::domain_error&) {
+    return classes_;  // jointly impossible outputs -> abstain
+  }
+}
+
 FusionMetrics simulate_fusion(const RedundantArchitecture& arch,
                               const TrueWorld& world, std::size_t n,
                               prob::Rng& rng) {

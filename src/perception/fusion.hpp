@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "bayesnet/engine.hpp"
 #include "perception/sensor.hpp"
 #include "perception/world.hpp"
 #include "prob/rng.hpp"
@@ -61,5 +63,44 @@ struct FusionMetrics {
 [[nodiscard]] FusionMetrics simulate_fusion(const RedundantArchitecture& arch,
                                             const TrueWorld& world,
                                             std::size_t n, prob::Rng& rng);
+
+/// Naive-Bayes fusion made explicit as a Bayesian network and served by a
+/// shared InferenceEngine: one ground-truth class node (the developer
+/// priors) with one observed-label child per sensor (its confusion rows as
+/// CPT). Every fused encounter observes the same variable set, so the
+/// engine's elimination-ordering cache hits on all queries after the
+/// first; a long fusion campaign pays the planning cost once.
+///
+/// The decision rule matches FusionRule::kNaiveBayes: argmax of the
+/// posterior if it is decisive (>= 0.5), otherwise abstain ("none", label
+/// k); jointly impossible sensor outputs also abstain.
+class BnFusion {
+ public:
+  BnFusion(const RedundantArchitecture& arch, const TrueWorld& world);
+
+  // The engine holds a reference to the internal network.
+  BnFusion(const BnFusion&) = delete;
+  BnFusion& operator=(const BnFusion&) = delete;
+
+  /// Posterior over the modeled classes given one hard label per sensor.
+  /// Throws std::domain_error if the labels are jointly impossible.
+  [[nodiscard]] prob::Categorical posterior(
+      const std::vector<std::size_t>& labels) const;
+
+  /// Fused decision: 0..k-1 class, or k = none/abstain.
+  [[nodiscard]] std::size_t fuse(const std::vector<std::size_t>& labels) const;
+
+  [[nodiscard]] const bayesnet::InferenceEngine& engine() const {
+    return *engine_;
+  }
+
+ private:
+  std::size_t classes_;
+  std::size_t sensors_;
+  bayesnet::BayesianNetwork net_;  // must outlive engine_
+  bayesnet::VariableId truth_;
+  std::vector<bayesnet::VariableId> sensor_nodes_;
+  std::unique_ptr<bayesnet::InferenceEngine> engine_;
+};
 
 }  // namespace sysuq::perception
