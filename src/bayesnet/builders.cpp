@@ -1,22 +1,21 @@
 #include "bayesnet/builders.hpp"
 
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "prob/special.hpp"
 
 namespace sysuq::bayesnet {
 
 std::vector<prob::Categorical> noisy_or_cpt(
     const std::vector<double>& link_probabilities, double leak) {
-  if (link_probabilities.empty())
-    throw std::invalid_argument("noisy_or_cpt: no parents");
+  SYSUQ_EXPECT(!link_probabilities.empty(), "noisy_or_cpt: no parents");
   for (double p : link_probabilities) {
-    if (p < 0.0 || p > 1.0)
-      throw std::invalid_argument("noisy_or_cpt: link probability outside [0,1]");
+    SYSUQ_ASSERT_PROB(p, "noisy_or_cpt: link probability");
   }
-  if (leak < 0.0 || leak > 1.0)
-    throw std::invalid_argument("noisy_or_cpt: leak outside [0,1]");
+  SYSUQ_ASSERT_PROB(leak, "noisy_or_cpt: leak");
 
   const std::size_t n = link_probabilities.size();
   const std::size_t rows = std::size_t{1} << n;
@@ -38,22 +37,17 @@ std::vector<prob::Categorical> noisy_or_cpt(
 std::vector<prob::Categorical> ranked_node_cpt(
     const std::vector<std::size_t>& parent_cards,
     const std::vector<double>& weights, std::size_t child_card, double sigma) {
-  if (parent_cards.empty())
-    throw std::invalid_argument("ranked_node_cpt: no parents");
-  if (weights.size() != parent_cards.size())
-    throw std::invalid_argument("ranked_node_cpt: weight count mismatch");
-  if (child_card < 2)
-    throw std::invalid_argument("ranked_node_cpt: child_card < 2");
-  if (!(sigma > 0.0)) throw std::invalid_argument("ranked_node_cpt: sigma <= 0");
-  double wsum = 0.0;
-  for (double w : weights) {
-    if (w < 0.0) throw std::invalid_argument("ranked_node_cpt: negative weight");
-    wsum += w;
-  }
-  if (!(wsum > 0.0))
-    throw std::invalid_argument("ranked_node_cpt: all weights zero");
+  SYSUQ_EXPECT(!parent_cards.empty(), "ranked_node_cpt: no parents");
+  SYSUQ_EXPECT(weights.size() == parent_cards.size(),
+               "ranked_node_cpt: weight count mismatch");
+  SYSUQ_EXPECT(child_card >= 2, "ranked_node_cpt: child_card < 2");
+  SYSUQ_EXPECT(sigma > 0.0, "ranked_node_cpt: sigma <= 0");
+  SYSUQ_EXPECT(contracts::is_finite_nonneg(weights),
+               "ranked_node_cpt: negative weight");
+  const double wsum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  SYSUQ_EXPECT(wsum > 0.0, "ranked_node_cpt: all weights zero");
   for (std::size_t c : parent_cards) {
-    if (c < 2) throw std::invalid_argument("ranked_node_cpt: parent card < 2");
+    SYSUQ_EXPECT(c >= 2, "ranked_node_cpt: parent card < 2");
   }
 
   const std::size_t n = parent_cards.size();

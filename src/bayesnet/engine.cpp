@@ -35,8 +35,9 @@ class InferenceEngine::Pool {
   }
 
   /// Runs fn(0), .., fn(total - 1) across the workers and the calling
-  /// thread; blocks until every index has been processed. `fn` must not
-  /// throw. Concurrent `run` calls are serialized.
+  /// thread; blocks until every index has been processed AND every
+  /// worker that entered the batch has dropped its reference to `fn`.
+  /// `fn` must not throw. Concurrent `run` calls are serialized.
   void run(std::size_t total, const std::function<void(std::size_t)>& fn) {
     if (total == 0) return;
     std::lock_guard<std::mutex> serialize(run_mu_);
@@ -51,8 +52,16 @@ class InferenceEngine::Pool {
     cv_work_.notify_all();
     work();  // the caller participates
     {
+      // Waiting on completed_ alone is not enough: a worker that read
+      // `fn_` but stalled before claiming an index still holds the
+      // pointer after all indices finish. Returning then would let the
+      // caller destroy `fn` (or start the next batch) while the stalled
+      // worker can still dereference it — a use-after-free. active_
+      // counts workers inside work(); drain them before returning.
       std::unique_lock<std::mutex> lk(mu_);
-      cv_done_.wait(lk, [&] { return completed_.load() == total_; });
+      cv_done_.wait(lk, [&] {
+        return completed_.load() == total_ && active_ == 0;
+      });
       fn_ = nullptr;
     }
   }
@@ -65,16 +74,21 @@ class InferenceEngine::Pool {
       std::lock_guard<std::mutex> lk(mu_);
       fn = fn_;
       total = total_;
+      if (fn != nullptr) ++active_;
     }
     if (fn == nullptr) return;  // late wake-up after the batch finished
     for (;;) {
       const std::size_t i = next_.fetch_add(1);
       if (i >= total) break;
       (*fn)(i);
-      if (completed_.fetch_add(1) + 1 == total) {
-        std::lock_guard<std::mutex> lk(mu_);
-        cv_done_.notify_all();
-      }
+      completed_.fetch_add(1);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --active_;
+      // Signal on both conditions from under the lock: all indices done
+      // and this worker no longer references fn.
+      if (completed_.load() == total_ && active_ == 0) cv_done_.notify_all();
     }
   }
 
@@ -100,6 +114,7 @@ class InferenceEngine::Pool {
   std::atomic<std::size_t> next_{0};
   std::atomic<std::size_t> completed_{0};
   std::uint64_t generation_ = 0;
+  std::size_t active_ = 0;  // workers inside work() holding fn_; under mu_
   bool stop_ = false;
   std::vector<std::thread> threads_;
 };

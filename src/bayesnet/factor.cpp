@@ -5,28 +5,27 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace sysuq::bayesnet {
 
 Factor::Factor(std::vector<VariableId> scope, std::vector<std::size_t> cards,
                std::vector<double> values)
     : scope_(std::move(scope)), cards_(std::move(cards)), values_(std::move(values)) {
-  if (scope_.size() != cards_.size())
-    throw std::invalid_argument("Factor: scope/cards size mismatch");
+  SYSUQ_EXPECT(scope_.size() == cards_.size(),
+               "Factor: scope/cards size mismatch");
   for (std::size_t i = 1; i < scope_.size(); ++i) {
-    if (scope_[i - 1] >= scope_[i])
-      throw std::invalid_argument("Factor: scope must be strictly increasing");
+    SYSUQ_EXPECT(scope_[i - 1] < scope_[i],
+                 "Factor: scope must be strictly increasing");
   }
   std::size_t expect = 1;
   for (std::size_t c : cards_) {
-    if (c == 0) throw std::invalid_argument("Factor: zero cardinality");
+    SYSUQ_EXPECT(c != 0, "Factor: zero cardinality");
     expect *= c;
   }
-  if (values_.size() != expect)
-    throw std::invalid_argument("Factor: value count mismatch");
-  for (double v : values_) {
-    if (!std::isfinite(v) || v < 0.0)
-      throw std::invalid_argument("Factor: values must be finite and >= 0");
-  }
+  SYSUQ_EXPECT(values_.size() == expect, "Factor: value count mismatch");
+  SYSUQ_EXPECT(contracts::is_finite_nonneg(values_),
+               "Factor: values must be finite and >= 0");
 }
 
 Factor Factor::unit() { return Factor({}, {}, {1.0}); }

@@ -1,5 +1,7 @@
 #include "bayesnet/inference.hpp"
 
+#include "core/contracts.hpp"
+
 #include <algorithm>
 #include <map>
 #include <stdexcept>
@@ -118,7 +120,7 @@ void for_each_joint(const BayesianNetwork& net, Fn&& fn) {
       std::vector<std::size_t> pstates(ps.size());
       for (std::size_t i = 0; i < ps.size(); ++i) pstates[i] = state[ps[i]];
       p *= net.cpt_row(v, pstates).p(state[v]);
-      if (p == 0.0) break;
+      if (p == 0.0) break;  // sysuq-lint-allow(float-eq): zero mass short-circuit
     }
     fn(state, p);
     for (std::size_t k = net.size(); k-- > 0;) {
@@ -144,7 +146,7 @@ prob::Categorical enumerate_posterior(const BayesianNetwork& net,
     if (consistent(state, evidence)) weights[state[query]] += p;
   });
   if (std::all_of(weights.begin(), weights.end(),
-                  [](double w) { return w == 0.0; }))
+                  [](double w) { return w == 0.0; }))  // sysuq-lint-allow(float-eq): detect exactly-zero weights
     throw std::domain_error(impossible_evidence_message(net, evidence));
   return prob::Categorical::normalized(std::move(weights));
 }
@@ -178,8 +180,7 @@ MpeResult enumerate_mpe(const BayesianNetwork& net, const Evidence& evidence) {
 prob::Categorical likelihood_weighting(const BayesianNetwork& net,
                                        VariableId query, const Evidence& evidence,
                                        std::size_t samples, prob::Rng& rng) {
-  if (samples == 0)
-    throw std::invalid_argument("likelihood_weighting: zero samples");
+  SYSUQ_EXPECT(samples != 0, "likelihood_weighting: zero samples");
   net.validate();
   const auto order = net.topological_order();
   std::vector<double> weights(net.variable(query).cardinality(), 0.0);
@@ -206,7 +207,7 @@ prob::Categorical likelihood_weighting(const BayesianNetwork& net,
   // loudly, naming the evidence (mirrors rejection sampling's zero-accept
   // behaviour).
   if (std::all_of(weights.begin(), weights.end(),
-                  [](double w) { return w == 0.0; }))
+                  [](double w) { return w == 0.0; }))  // sysuq-lint-allow(float-eq): detect exactly-zero weights
     throw std::domain_error(impossible_evidence_message(net, evidence));
   return prob::Categorical::normalized(std::move(weights));
 }
@@ -214,8 +215,7 @@ prob::Categorical likelihood_weighting(const BayesianNetwork& net,
 prob::Categorical rejection_sampling(const BayesianNetwork& net, VariableId query,
                                      const Evidence& evidence, std::size_t samples,
                                      prob::Rng& rng, std::size_t* accepted) {
-  if (samples == 0)
-    throw std::invalid_argument("rejection_sampling: zero samples");
+  SYSUQ_EXPECT(samples != 0, "rejection_sampling: zero samples");
   net.validate();
   std::vector<double> counts(net.variable(query).cardinality(), 0.0);
   std::size_t acc = 0;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace sysuq::bayesnet {
 
 CptLearner::CptLearner(const BayesianNetwork& net, VariableId child,
@@ -9,8 +11,7 @@ CptLearner::CptLearner(const BayesianNetwork& net, VariableId child,
     : child_(child),
       parents_(net.parents(child)),
       child_card_(net.variable(child).cardinality()) {
-  if (!(prior_alpha > 0.0))
-    throw std::invalid_argument("CptLearner: prior_alpha <= 0");
+  SYSUQ_EXPECT(prior_alpha > 0.0, "CptLearner: prior_alpha <= 0");
   parent_cards_.reserve(parents_.size());
   std::size_t rows = 1;
   for (VariableId p : parents_) {

@@ -5,12 +5,13 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+
 namespace sysuq::bayesnet {
 
 VariableId BayesianNetwork::add_variable(Variable v) {
-  if (by_name_.contains(v.name()))
-    throw std::invalid_argument("BayesianNetwork: duplicate variable '" +
-                                v.name() + "'");
+  SYSUQ_EXPECT(!by_name_.contains(v.name()),
+               "BayesianNetwork: duplicate variable '" + v.name() + "'");
   const VariableId id = nodes_.size();
   by_name_.emplace(v.name(), id);
   nodes_.push_back(Node{std::move(v), std::nullopt, {}});
@@ -40,26 +41,23 @@ void BayesianNetwork::set_cpt(VariableId child, std::vector<VariableId> parents,
   std::set<VariableId> seen;
   for (VariableId p : parents) {
     check_id(p);
-    if (p == child)
-      throw std::invalid_argument("BayesianNetwork::set_cpt: self-parent");
-    if (!seen.insert(p).second)
-      throw std::invalid_argument("BayesianNetwork::set_cpt: duplicate parent");
+    SYSUQ_EXPECT(p != child, "BayesianNetwork::set_cpt: self-parent");
+    SYSUQ_EXPECT(seen.insert(p).second,
+                 "BayesianNetwork::set_cpt: duplicate parent");
+  }
+  // Validate before mutating so a failed set_cpt leaves any previous CPT
+  // assignment intact (strong exception guarantee; the old code reset the
+  // parent list before throwing).
+  std::size_t expect = 1;
+  for (VariableId p : parents) expect *= nodes_[p].var.cardinality();
+  SYSUQ_EXPECT(rows.size() == expect,
+               "BayesianNetwork::set_cpt: expected " + std::to_string(expect) +
+                   " rows, got " + std::to_string(rows.size()));
+  for (const auto& r : rows) {
+    SYSUQ_EXPECT(r.size() == nodes_[child].var.cardinality(),
+                 "BayesianNetwork::set_cpt: row size != child cardinality");
   }
   nodes_[child].parents = std::move(parents);
-  const std::size_t expect = parent_config_count(child);
-  if (rows.size() != expect) {
-    nodes_[child].parents.reset();
-    throw std::invalid_argument(
-        "BayesianNetwork::set_cpt: expected " + std::to_string(expect) +
-        " rows, got " + std::to_string(rows.size()));
-  }
-  for (const auto& r : rows) {
-    if (r.size() != nodes_[child].var.cardinality()) {
-      nodes_[child].parents.reset();
-      throw std::invalid_argument(
-          "BayesianNetwork::set_cpt: row size != child cardinality");
-    }
-  }
   nodes_[child].rows = std::move(rows);
 }
 
@@ -178,12 +176,11 @@ Factor BayesianNetwork::cpt_factor(VariableId child) const {
 }
 
 void BayesianNetwork::validate() const {
-  if (nodes_.empty())
-    throw std::logic_error("BayesianNetwork::validate: empty network");
+  SYSUQ_EXPECT(!nodes_.empty(), "BayesianNetwork::validate: empty network");
   for (const auto& n : nodes_) {
-    if (!n.parents)
-      throw std::logic_error("BayesianNetwork::validate: CPT missing for '" +
-                             n.var.name() + "'");
+    SYSUQ_EXPECT(n.parents.has_value(),
+                 "BayesianNetwork::validate: CPT missing for '" +
+                     n.var.name() + "'");
   }
   (void)topological_order();  // throws on cycles
 }
@@ -292,13 +289,13 @@ std::vector<std::size_t> BayesianNetwork::sample(prob::Rng& rng) const {
 void BayesianNetwork::update_cpt_rows(VariableId child,
                                       std::vector<prob::Categorical> rows) {
   check_id(child);
-  if (!nodes_[child].parents)
-    throw std::logic_error("BayesianNetwork::update_cpt_rows: CPT not set");
-  if (rows.size() != nodes_[child].rows.size())
-    throw std::invalid_argument("BayesianNetwork::update_cpt_rows: row count");
+  SYSUQ_EXPECT(nodes_[child].parents.has_value(),
+               "BayesianNetwork::update_cpt_rows: CPT not set");
+  SYSUQ_EXPECT(rows.size() == nodes_[child].rows.size(),
+               "BayesianNetwork::update_cpt_rows: row count");
   for (const auto& r : rows) {
-    if (r.size() != nodes_[child].var.cardinality())
-      throw std::invalid_argument("BayesianNetwork::update_cpt_rows: row size");
+    SYSUQ_EXPECT(r.size() == nodes_[child].var.cardinality(),
+                 "BayesianNetwork::update_cpt_rows: row size");
   }
   nodes_[child].rows = std::move(rows);
 }

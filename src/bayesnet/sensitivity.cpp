@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "bayesnet/inference.hpp"
+#include "core/contracts.hpp"
+#include "core/tolerance.hpp"
 
 namespace sysuq::bayesnet {
 
@@ -22,7 +24,7 @@ std::vector<prob::Categorical> covary(const std::vector<prob::Categorical>& rows
   for (std::size_t s = 0; s < r.size(); ++s) {
     if (s == state) {
       probs[s] = new_value;
-    } else if (rest_old > 1e-12) {
+    } else if (rest_old > tolerance::kTiny) {
       probs[s] = r.p(s) * (1.0 - new_value) / rest_old;
     } else {
       // Degenerate row (entry was 1): spread uniformly.
@@ -46,7 +48,7 @@ double query_sensitivity(const BayesianNetwork& net, VariableId child,
                          std::size_t row, std::size_t state, VariableId query,
                          std::size_t qstate, const Evidence& evidence,
                          double delta) {
-  if (!(delta > 0.0)) throw std::invalid_argument("query_sensitivity: delta");
+  SYSUQ_EXPECT(delta > 0.0, "query_sensitivity: delta");
   const auto& rows = net.cpt_rows(child);
   if (row >= rows.size()) throw std::out_of_range("query_sensitivity: row");
   if (state >= rows[row].size())

@@ -4,20 +4,20 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/contracts.hpp"
+
 namespace sysuq::bayesnet {
 
 Variable::Variable(std::string name, std::vector<std::string> states)
     : name_(std::move(name)), states_(std::move(states)) {
-  if (name_.empty()) throw std::invalid_argument("Variable: empty name");
-  if (states_.size() < 2)
-    throw std::invalid_argument("Variable '" + name_ + "': need >= 2 states");
+  SYSUQ_EXPECT(!name_.empty(), "Variable: empty name");
+  SYSUQ_EXPECT(states_.size() >= 2,
+               "Variable '" + name_ + "': need >= 2 states");
   std::unordered_set<std::string> seen;
   for (const auto& s : states_) {
-    if (s.empty())
-      throw std::invalid_argument("Variable '" + name_ + "': empty state label");
-    if (!seen.insert(s).second)
-      throw std::invalid_argument("Variable '" + name_ + "': duplicate state '" +
-                                  s + "'");
+    SYSUQ_EXPECT(!s.empty(), "Variable '" + name_ + "': empty state label");
+    SYSUQ_EXPECT(seen.insert(s).second,
+                 "Variable '" + name_ + "': duplicate state '" + s + "'");
   }
 }
 

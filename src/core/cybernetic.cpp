@@ -1,6 +1,7 @@
 #include "core/cybernetic.hpp"
 
 #include <stdexcept>
+#include "core/contracts.hpp"
 
 namespace sysuq::core {
 
@@ -8,11 +9,10 @@ CyberneticLoop::CyberneticLoop(const perception::TrueWorld& world,
                                const perception::ConfusionSensor& sensor,
                                const DecisionCosts& costs)
     : world_(world), sensor_(sensor), costs_(costs) {
-  if (costs.wrong_label <= 0.0 || costs.abstention < 0.0)
-    throw std::invalid_argument("CyberneticLoop: bad costs");
-  if (sensor.row_count() < world.total_class_count())
-    throw std::invalid_argument(
-        "CyberneticLoop: sensor lacks rows for the true world's classes");
+  SYSUQ_EXPECT(costs.wrong_label > 0.0 && costs.abstention >= 0.0,
+               "CyberneticLoop: bad costs");
+  SYSUQ_EXPECT(sensor.row_count() >= world.total_class_count(),
+               "CyberneticLoop: sensor lacks rows for the true world's classes");
   counts_.assign(world.modeled().class_count(),
                  std::vector<std::size_t>(sensor.output_cardinality(), 0));
 }
@@ -90,11 +90,10 @@ double CyberneticLoop::policy_cost(
 
 std::vector<LoopCheckpoint> CyberneticLoop::run(
     const std::vector<std::size_t>& checkpoints, prob::Rng& rng) {
-  if (checkpoints.empty())
-    throw std::invalid_argument("CyberneticLoop::run: no checkpoints");
+  SYSUQ_EXPECT(!checkpoints.empty(), "CyberneticLoop::run: no checkpoints");
   for (std::size_t i = 1; i < checkpoints.size(); ++i) {
-    if (checkpoints[i] <= checkpoints[i - 1])
-      throw std::invalid_argument("CyberneticLoop::run: not increasing");
+    SYSUQ_EXPECT(checkpoints[i] > checkpoints[i - 1],
+                 "CyberneticLoop::run: not increasing");
   }
   std::vector<LoopCheckpoint> out;
   constexpr std::size_t kEvalSamples = 20000;

@@ -1,6 +1,7 @@
 #include "core/decomposition.hpp"
 
 #include <stdexcept>
+#include "core/contracts.hpp"
 
 namespace sysuq::core {
 
@@ -12,8 +13,7 @@ std::string UncertaintyBudget::dominant(double onto_threshold) const {
 UncertaintyBudget decompose(
     const std::vector<prob::Categorical>& ensemble_predictions,
     double ontological_mass) {
-  if (ontological_mass < 0.0 || ontological_mass > 1.0)
-    throw std::invalid_argument("decompose: ontological_mass outside [0, 1]");
+  SYSUQ_ASSERT_PROB(ontological_mass, "decompose: ontological_mass");
   const auto d = prob::decompose_ensemble_entropy(ensemble_predictions);
   UncertaintyBudget b;
   b.aleatory = d.aleatory;
@@ -29,7 +29,7 @@ double surprise_factor(const prob::JointTable& model_vs_system) {
 
 double normalized_surprise(const prob::JointTable& model_vs_system) {
   const double h_system = model_vs_system.marginal_y().entropy();
-  if (h_system == 0.0) return 0.0;  // a deterministic system is never surprising
+  if (h_system == 0.0) return 0.0;  // a deterministic system is never surprising  // sysuq-lint-allow(float-eq): exact-zero entropy
   return surprise_factor(model_vs_system) / h_system;
 }
 

@@ -2,12 +2,13 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "core/contracts.hpp"
 
 namespace sysuq::core {
 
 prob::Categorical zipf_distribution(std::size_t n, double s) {
-  if (n < 2) throw std::invalid_argument("zipf_distribution: n < 2");
-  if (!(s > 0.0)) throw std::invalid_argument("zipf_distribution: s <= 0");
+  SYSUQ_EXPECT(n >= 2, "zipf_distribution: n < 2");
+  SYSUQ_EXPECT(s > 0.0, "zipf_distribution: s <= 0");
   std::vector<double> w(n);
   for (std::size_t i = 0; i < n; ++i)
     w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
@@ -39,8 +40,8 @@ double expected_distinct(const prob::Categorical& p, std::size_t n) {
 
 std::size_t observations_for_missing_mass(const prob::Categorical& p,
                                           double target, std::size_t max_n) {
-  if (!(target > 0.0 && target < 1.0))
-    throw std::invalid_argument("observations_for_missing_mass: target in (0,1)");
+  SYSUQ_EXPECT(target > 0.0 && target < 1.0,
+               "observations_for_missing_mass: target in (0,1)");
   if (expected_missing_mass(p, max_n) > target)
     throw std::domain_error(
         "observations_for_missing_mass: target unreachable below max_n");

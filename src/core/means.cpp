@@ -3,15 +3,15 @@
 #include <stdexcept>
 
 #include "prob/statistics.hpp"
+#include "core/contracts.hpp"
 
 namespace sysuq::core {
 
 PreventionReport apply_odd_restriction(
     const perception::TrueWorld& world,
     const std::vector<perception::ClassId>& keep, double novel_suppression) {
-  if (novel_suppression < 0.0 || novel_suppression > 1.0)
-    throw std::invalid_argument(
-        "apply_odd_restriction: novel_suppression outside [0, 1]");
+  SYSUQ_ASSERT_PROB(novel_suppression,
+                    "apply_odd_restriction: novel_suppression");
   const auto [restricted, excluded] = world.modeled().restricted(keep);
   PreventionReport r{};
   r.excluded_encounter_fraction = excluded;
@@ -34,8 +34,8 @@ RemovalLoop::RemovalLoop(const bayesnet::BayesianNetwork& truth,
       learner_(deployed, child, prior_alpha) {
   truth_.validate();
   deployed_.validate();
-  if (truth_.size() != deployed_.size())
-    throw std::invalid_argument("RemovalLoop: network size mismatch");
+  SYSUQ_EXPECT(truth_.size() == deployed_.size(),
+               "RemovalLoop: network size mismatch");
 }
 
 double RemovalLoop::model_gap() const {
@@ -51,19 +51,17 @@ double RemovalLoop::model_gap() const {
 
 std::vector<RemovalCheckpoint> RemovalLoop::run(
     const std::vector<std::size_t>& checkpoints, prob::Rng& rng) {
-  if (checkpoints.empty())
-    throw std::invalid_argument("RemovalLoop::run: no checkpoints");
+  SYSUQ_EXPECT(!checkpoints.empty(), "RemovalLoop::run: no checkpoints");
   for (std::size_t i = 1; i < checkpoints.size(); ++i) {
-    if (checkpoints[i] <= checkpoints[i - 1])
-      throw std::invalid_argument("RemovalLoop::run: checkpoints not increasing");
+    SYSUQ_EXPECT(checkpoints[i] > checkpoints[i - 1],
+                 "RemovalLoop::run: checkpoints not increasing");
   }
   std::vector<RemovalCheckpoint> out;
   std::size_t seen = 0, ontological = 0;
   // Identify the root whose state encodes the ground truth: the child's
   // first parent (the Table I layout); unknown_state_ indexes its states.
   const auto& parents = deployed_.parents(child_);
-  if (parents.empty())
-    throw std::invalid_argument("RemovalLoop: child has no parents");
+  SYSUQ_EXPECT(!parents.empty(), "RemovalLoop: child has no parents");
   const auto gt = parents.front();
 
   for (const std::size_t target : checkpoints) {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/decomposition.hpp"
+#include "core/contracts.hpp"
 
 namespace sysuq::core {
 
@@ -11,8 +12,8 @@ ModelFidelityTracker::ModelFidelityTracker(std::size_t prediction_states,
     : rows_(prediction_states),
       cols_(outcome_states),
       counts_(prediction_states, std::vector<std::size_t>(outcome_states, 0)) {
-  if (prediction_states < 2 || outcome_states < 2)
-    throw std::invalid_argument("ModelFidelityTracker: need >= 2 states");
+  SYSUQ_EXPECT(prediction_states >= 2 && outcome_states >= 2,
+               "ModelFidelityTracker: need >= 2 states");
 }
 
 void ModelFidelityTracker::observe(std::size_t predicted, std::size_t observed) {
@@ -52,9 +53,10 @@ double ModelFidelityTracker::agreement() const {
 
 std::string ModelFidelityTracker::verdict(double epistemic_threshold,
                                           double ontological_threshold) const {
-  if (!(epistemic_threshold > 0.0 && epistemic_threshold < ontological_threshold &&
-        ontological_threshold < 1.0))
-    throw std::invalid_argument("ModelFidelityTracker::verdict: thresholds");
+  SYSUQ_EXPECT(epistemic_threshold > 0.0 &&
+                   epistemic_threshold < ontological_threshold &&
+                   ontological_threshold < 1.0,
+               "ModelFidelityTracker::verdict: thresholds");
   const double ns = normalized();
   if (ns < epistemic_threshold) return "adequate";
   if (ns < ontological_threshold) return "epistemic gap (refine the model)";

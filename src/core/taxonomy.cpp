@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include "core/contracts.hpp"
 
 namespace sysuq::core {
 
@@ -47,10 +48,9 @@ const std::vector<Mean>& all_means() {
 }
 
 void MethodRegistry::add(Method method) {
-  if (method.name.empty())
-    throw std::invalid_argument("MethodRegistry: empty method name");
-  if (method.addresses.empty())
-    throw std::invalid_argument("MethodRegistry: method addresses no type");
+  SYSUQ_EXPECT(!method.name.empty(), "MethodRegistry: empty method name");
+  SYSUQ_EXPECT(!method.addresses.empty(),
+               "MethodRegistry: method addresses no type");
   for (const auto& m : methods_) {
     if (m.name == method.name)
       throw std::invalid_argument("MethodRegistry: duplicate method '" +

@@ -1,0 +1,53 @@
+// The library's shared numeric tolerances.
+//
+// Every epsilon the code compares against lives here under a name that
+// says what kind of slack it grants. The repo lint (tools/sysuq_lint.cpp)
+// rejects raw tolerance-sized literals (1e-8 and smaller) anywhere else
+// in src/, so a new tolerance must be added — and justified — in this
+// file rather than inlined at a call site. That is the paper's
+// "explicit assumptions" discipline (Sec. III) applied to floating-point
+// slack: a magic 1e-9 is an epistemic assumption the reader cannot see.
+//
+// This header is dependency-free and usable from every module, including
+// default arguments in public headers.
+#pragma once
+
+namespace sysuq::tolerance {
+
+/// Normalization slack: |sum(p) - 1| tolerated when a vector claims to be
+/// a probability distribution (categoricals, CPT rows, DTMC/MDP rows,
+/// mass functions, subjective opinions). The single epsilon shared by the
+/// contracts layer, the tests, and all normalization code.
+inline constexpr double kProbSum = 1e-9;
+
+/// Degeneracy guard: denominators, interval widths, and rates smaller
+/// than this are treated as zero (conditioning on impossible events,
+/// vanishing uniformization rates, credal bound slack).
+inline constexpr double kTiny = 1e-12;
+
+/// Default convergence threshold for fixed-point iterations that stop on
+/// the change between successive sweeps (value iteration, stationary
+/// distributions, uniformization tails).
+inline constexpr double kSolver = 1e-12;
+
+/// Looser per-sweep threshold for interval (two-sided) iterations whose
+/// bounds converge from both ends and pay double per sweep.
+inline constexpr double kIteration = 1e-10;
+
+/// Fixed-point termination for credal/optimization lambda iterations.
+inline constexpr double kFixpoint = 1e-13;
+
+/// Step-size termination for scalar root refinement (inverse CDFs,
+/// inverse error function Halley/Newton steps).
+inline constexpr double kRoot = 1e-14;
+
+/// Relative termination for series and continued-fraction evaluation
+/// (incomplete beta/gamma, Lentz's algorithm).
+inline constexpr double kSeries = 1e-15;
+
+/// Underflow floor: the smallest magnitude kept distinguishable from
+/// zero in log-space accumulations and continued fractions (Numerical
+/// Recipes' FPMIN idiom).
+inline constexpr double kUnderflow = 1e-300;
+
+}  // namespace sysuq::tolerance

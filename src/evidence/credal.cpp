@@ -5,20 +5,21 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+#include "core/tolerance.hpp"
+
 namespace sysuq::evidence {
 
 IntervalDistribution::IntervalDistribution(std::vector<prob::ProbInterval> bounds)
     : b_(std::move(bounds)) {
-  if (b_.size() < 2)
-    throw std::invalid_argument("IntervalDistribution: need >= 2 states");
+  SYSUQ_EXPECT(b_.size() >= 2, "IntervalDistribution: need >= 2 states");
   double lo_sum = 0.0, hi_sum = 0.0;
   for (const auto& iv : b_) {
     lo_sum += iv.lo();
     hi_sum += iv.hi();
   }
-  if (lo_sum > 1.0 + 1e-12 || hi_sum < 1.0 - 1e-12)
-    throw std::invalid_argument(
-        "IntervalDistribution: empty credal set (need sum lo <= 1 <= sum hi)");
+  SYSUQ_EXPECT(lo_sum <= 1.0 + tolerance::kTiny && hi_sum >= 1.0 - tolerance::kTiny,
+               "IntervalDistribution: empty credal set (need sum lo <= 1 <= sum hi)");
 }
 
 IntervalDistribution IntervalDistribution::precise(const prob::Categorical& p) {
@@ -52,7 +53,7 @@ const prob::ProbInterval& IntervalDistribution::bound(std::size_t i) const {
 bool IntervalDistribution::contains(const prob::Categorical& p) const {
   if (p.size() != b_.size()) return false;
   for (std::size_t i = 0; i < b_.size(); ++i) {
-    if (p.p(i) < b_[i].lo() - 1e-12 || p.p(i) > b_[i].hi() + 1e-12) return false;
+    if (p.p(i) < b_[i].lo() - tolerance::kTiny || p.p(i) > b_[i].hi() + tolerance::kTiny) return false;
   }
   return true;
 }
@@ -71,7 +72,7 @@ double IntervalDistribution::mean_width() const {
 
 prob::Categorical IntervalDistribution::center() const {
   std::vector<double> mids(b_.size());
-  for (std::size_t i = 0; i < b_.size(); ++i) mids[i] = std::max(b_[i].mid(), 1e-12);
+  for (std::size_t i = 0; i < b_.size(); ++i) mids[i] = std::max(b_[i].mid(), tolerance::kTiny);
   return prob::Categorical::normalized(std::move(mids));
 }
 
@@ -257,12 +258,12 @@ IntervalDistribution credal_chain_posterior(const IntervalDistribution& prior,
         num += p[x] * num_coeff[x];
         den += p[x] * den_coeff[x];
       }
-      if (den <= 1e-300) {
+      if (den <= tolerance::kUnderflow) {
         // Denominator can vanish at the extreme: the ratio saturates.
         return maximize ? (num > 0.0 ? 1.0 : lambda) : 0.0;
       }
       const double new_lambda = num / den;
-      if (std::fabs(new_lambda - lambda) < 1e-13) return new_lambda;
+      if (std::fabs(new_lambda - lambda) < tolerance::kFixpoint) return new_lambda;
       lambda = new_lambda;
       (void)val;
     }

@@ -4,16 +4,18 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/contracts.hpp"
+
 namespace sysuq::evidence {
 
 Frame::Frame(std::vector<std::string> hypotheses) : names_(std::move(hypotheses)) {
-  if (names_.empty() || names_.size() > 64)
-    throw std::invalid_argument("Frame: need 1..64 hypotheses");
+  SYSUQ_EXPECT(!names_.empty() && names_.size() <= 64,
+               "Frame: need 1..64 hypotheses");
   std::unordered_set<std::string> seen;
   for (const auto& n : names_) {
-    if (n.empty()) throw std::invalid_argument("Frame: empty hypothesis name");
-    if (!seen.insert(n).second)
-      throw std::invalid_argument("Frame: duplicate hypothesis '" + n + "'");
+    SYSUQ_EXPECT(!n.empty(), "Frame: empty hypothesis name");
+    SYSUQ_EXPECT(seen.insert(n).second,
+                 "Frame: duplicate hypothesis '" + n + "'");
   }
 }
 

@@ -5,24 +5,25 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+#include "core/tolerance.hpp"
+
 namespace sysuq::evidence {
 
 MassFunction::MassFunction(const Frame& frame, std::map<FocalSet, double> masses)
     : frame_(&frame) {
   double total = 0.0;
   for (const auto& [set, mass] : masses) {
-    if (!std::isfinite(mass) || mass < 0.0)
-      throw std::invalid_argument("MassFunction: masses must be finite and >= 0");
-    if (mass == 0.0) continue;
-    if (set == 0)
-      throw std::invalid_argument("MassFunction: mass on empty set");
-    if (!frame.contains(set))
-      throw std::invalid_argument("MassFunction: focal set outside frame");
+    SYSUQ_EXPECT(std::isfinite(mass) && mass >= 0.0,
+                 "MassFunction: masses must be finite and >= 0");
+    if (mass == 0.0) continue;  // sysuq-lint-allow(float-eq): exact zero skip
+    SYSUQ_EXPECT(set != 0, "MassFunction: mass on empty set");
+    SYSUQ_EXPECT(frame.contains(set), "MassFunction: focal set outside frame");
     m_.emplace(set, mass);
     total += mass;
   }
-  if (std::fabs(total - 1.0) > 1e-9)
-    throw std::invalid_argument("MassFunction: masses must sum to 1");
+  SYSUQ_EXPECT(std::fabs(total - 1.0) <= tolerance::kProbSum,
+               "MassFunction: masses must sum to 1");
 }
 
 MassFunction MassFunction::vacuous(const Frame& frame) {
@@ -205,11 +206,10 @@ MassFunction mass_from_belief(const Frame& frame,
       }
       if (b == 0) break;
     }
-    if (mass < -1e-9)
-      throw std::invalid_argument(
-          "mass_from_belief: not a belief function (negative mass on " +
-          frame.set_to_string(a) + ")");
-    if (mass > 1e-12) m[a] = mass;
+    SYSUQ_EXPECT(mass >= -tolerance::kProbSum,
+                 "mass_from_belief: not a belief function (negative mass on " +
+                     frame.set_to_string(a) + ")");
+    if (mass > tolerance::kTiny) m[a] = mass;
   }
   return MassFunction(frame, std::move(m));
 }
@@ -217,7 +217,7 @@ MassFunction mass_from_belief(const Frame& frame,
 MassFunction dempster_combine(const MassFunction& a, const MassFunction& b) {
   double conflict = 0.0;
   auto out = conjunctive(a, b, [&](FocalSet, FocalSet, double m) { conflict += m; });
-  if (conflict >= 1.0 - 1e-12)
+  if (conflict >= 1.0 - tolerance::kTiny)
     throw std::domain_error("dempster_combine: total conflict (K = 1)");
   for (auto& [set, mass] : out) mass /= (1.0 - conflict);
   return MassFunction(a.frame(), std::move(out));

@@ -5,22 +5,24 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+#include "core/tolerance.hpp"
+
 namespace sysuq::evidence {
 
 namespace {
-constexpr double kTol = 1e-9;
+constexpr double kTol = tolerance::kProbSum;
 }
 
 Opinion::Opinion(double belief, double disbelief, double uncertainty,
                  double base_rate)
     : b_(belief), d_(disbelief), u_(uncertainty), a_(base_rate) {
-  if (!std::isfinite(b_) || !std::isfinite(d_) || !std::isfinite(u_) ||
-      b_ < -kTol || d_ < -kTol || u_ < -kTol)
-    throw std::invalid_argument("Opinion: components must be finite and >= 0");
-  if (std::fabs(b_ + d_ + u_ - 1.0) > 1e-9)
-    throw std::invalid_argument("Opinion: components must sum to 1");
-  if (a_ < 0.0 || a_ > 1.0)
-    throw std::invalid_argument("Opinion: base rate outside [0, 1]");
+  SYSUQ_EXPECT(std::isfinite(b_) && std::isfinite(d_) && std::isfinite(u_) &&
+                   b_ >= -kTol && d_ >= -kTol && u_ >= -kTol,
+               "Opinion: components must be finite and >= 0");
+  SYSUQ_EXPECT(std::fabs(b_ + d_ + u_ - 1.0) <= kTol,
+               "Opinion: components must sum to 1");
+  SYSUQ_ASSERT_PROB(a_, "Opinion: base rate");
   b_ = std::max(0.0, b_);
   d_ = std::max(0.0, d_);
   u_ = std::max(0.0, u_);
@@ -45,7 +47,7 @@ Opinion Opinion::from_evidence(double r, double s, double base_rate) {
 
 Opinion Opinion::fuse(const Opinion& o) const {
   const double denom = u_ + o.u_ - u_ * o.u_;
-  if (denom < 1e-12) {
+  if (denom < tolerance::kTiny) {
     // Both dogmatic: average them.
     return {(b_ + o.b_) / 2.0, (d_ + o.d_) / 2.0, 0.0, (a_ + o.a_) / 2.0};
   }
@@ -54,7 +56,7 @@ Opinion Opinion::fuse(const Opinion& o) const {
   const double d = std::max(0.0, 1.0 - b - u);
   double a;
   const double adenom = u_ + o.u_ - 2.0 * u_ * o.u_;
-  if (adenom < 1e-12) {
+  if (adenom < tolerance::kTiny) {
     a = (a_ + o.a_) / 2.0;
   } else {
     a = (a_ * o.u_ + o.a_ * u_ - (a_ + o.a_) * u_ * o.u_) / adenom;
@@ -64,7 +66,7 @@ Opinion Opinion::fuse(const Opinion& o) const {
 
 Opinion Opinion::average(const Opinion& o) const {
   const double denom = u_ + o.u_;
-  if (denom < 1e-12) {
+  if (denom < tolerance::kTiny) {
     return {(b_ + o.b_) / 2.0, (d_ + o.d_) / 2.0, 0.0, (a_ + o.a_) / 2.0};
   }
   const double b = (b_ * o.u_ + o.b_ * u_) / denom;
@@ -89,7 +91,7 @@ Opinion Opinion::conjoin(const Opinion& o) const {
   const double a1 = a_, a2 = o.a_;
   const double denom = 1.0 - a1 * a2;
   double b, u;
-  if (denom < 1e-12) {
+  if (denom < tolerance::kTiny) {
     // Both base rates 1: degenerate; fall back to product of projections.
     b = b_ * o.b_;
     u = u_ * o.u_;
@@ -109,7 +111,7 @@ Opinion Opinion::disjoin(const Opinion& o) const {
   const double a_or = a1 + a2 - a1 * a2;
   const double denom = a_or;
   double d, u;
-  if (denom < 1e-12) {
+  if (denom < tolerance::kTiny) {
     d = d_ * o.d_;
     u = u_ * o.u_;
   } else {

@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 #include <unordered_map>
+#include "core/contracts.hpp"
 
 namespace sysuq::fta {
 
@@ -312,7 +313,7 @@ std::vector<double> sample_top_probabilities(
     const std::function<double(std::size_t, prob::Rng&)>& sampler,
     std::size_t n, prob::Rng& rng) {
   tree.validate();
-  if (n == 0) throw std::invalid_argument("sample_top_probabilities: n == 0");
+  SYSUQ_EXPECT(n != 0, "sample_top_probabilities: n == 0");
   const auto events = tree.basic_events();
   FaultTree work = tree;
   std::vector<double> out;
@@ -331,10 +332,10 @@ std::vector<std::pair<double, prob::ProbInterval>> fuzzy_top_probability(
     const FaultTree& tree, const std::vector<prob::TriangularFuzzy>& fuzzy_probs,
     std::size_t levels) {
   tree.validate();
-  if (levels == 0) throw std::invalid_argument("fuzzy_top_probability: levels");
+  SYSUQ_EXPECT(levels != 0, "fuzzy_top_probability: levels");
   const auto events = tree.basic_events();
-  if (fuzzy_probs.size() != events.size())
-    throw std::invalid_argument("fuzzy_top_probability: fuzzy count");
+  SYSUQ_EXPECT(fuzzy_probs.size() == events.size(),
+               "fuzzy_top_probability: fuzzy count");
   std::vector<std::pair<double, prob::ProbInterval>> out;
   out.reserve(levels);
   for (std::size_t l = 1; l <= levels; ++l) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
+#include "core/contracts.hpp"
+#include "core/tolerance.hpp"
 
 namespace sysuq::fta {
 
@@ -37,21 +39,19 @@ double Ctmc::exit_rate(std::size_t s) const {
 
 std::vector<double> Ctmc::transient(const std::vector<double>& initial,
                                     double t, double tol) const {
-  if (initial.size() != size())
-    throw std::invalid_argument("Ctmc::transient: initial size");
-  if (t < 0.0) throw std::invalid_argument("Ctmc::transient: negative time");
+  SYSUQ_EXPECT(initial.size() == size(), "Ctmc::transient: initial size");
+  SYSUQ_EXPECT(t >= 0.0, "Ctmc::transient: negative time");
+  SYSUQ_EXPECT(contracts::is_finite_nonneg(initial),
+               "Ctmc::transient: negative prob");
   double isum = 0.0;
-  for (double v : initial) {
-    if (v < 0.0) throw std::invalid_argument("Ctmc::transient: negative prob");
-    isum += v;
-  }
-  if (std::fabs(isum - 1.0) > 1e-9)
-    throw std::invalid_argument("Ctmc::transient: initial not normalized");
-  if (t == 0.0) return initial;
+  for (double v : initial) isum += v;
+  SYSUQ_EXPECT(std::fabs(isum - 1.0) <= tolerance::kProbSum,
+               "Ctmc::transient: initial not normalized");
+  if (t == 0.0) return initial;  // sysuq-lint-allow(float-eq): exact t = 0 fast path
 
   // Uniformization rate (strictly positive; add epsilon for pure-absorbing
   // chains so the DTMC is well formed).
-  double q = 1e-12;
+  double q = tolerance::kTiny;
   for (std::size_t s = 0; s < size(); ++s) q = std::max(q, exit_rate(s));
   q *= 1.05;
 
@@ -69,7 +69,7 @@ std::vector<double> Ctmc::transient(const std::vector<double>& initial,
   const auto step = [&](const std::vector<double>& v) {
     std::vector<double> out(size(), 0.0);
     for (std::size_t s = 0; s < size(); ++s) {
-      if (v[s] == 0.0) continue;
+      if (v[s] == 0.0) continue;  // sysuq-lint-allow(float-eq): skip zero mass
       double stay = 1.0 - exit_rate(s) / q;
       out[s] += v[s] * stay;
       for (std::size_t j = 0; j < size(); ++j) {
@@ -107,9 +107,8 @@ void DynamicFaultTree::check_id(NodeId id) const {
 
 DynamicFaultTree::NodeId DynamicFaultTree::add_basic_event(
     const std::string& name, double lambda) {
-  if (name.empty()) throw std::invalid_argument("DynamicFaultTree: empty name");
-  if (!(lambda > 0.0))
-    throw std::invalid_argument("DynamicFaultTree: rate must be > 0");
+  SYSUQ_EXPECT(!name.empty(), "DynamicFaultTree: empty name");
+  SYSUQ_EXPECT(lambda > 0.0, "DynamicFaultTree: rate must be > 0");
   for (const auto& n : nodes_) {
     if (n.name == name)
       throw std::invalid_argument("DynamicFaultTree: duplicate '" + name + "'");
@@ -125,16 +124,15 @@ DynamicFaultTree::NodeId DynamicFaultTree::add_basic_event(
 DynamicFaultTree::NodeId DynamicFaultTree::add_gate(
     const std::string& name, DynGateType type, std::vector<NodeId> children,
     std::size_t k, double dormancy) {
-  if (name.empty()) throw std::invalid_argument("DynamicFaultTree: empty name");
+  SYSUQ_EXPECT(!name.empty(), "DynamicFaultTree: empty name");
   for (const auto& n : nodes_) {
     if (n.name == name)
       throw std::invalid_argument("DynamicFaultTree: duplicate '" + name + "'");
   }
-  if (children.empty())
-    throw std::invalid_argument("DynamicFaultTree: gate with no children");
+  SYSUQ_EXPECT(!children.empty(), "DynamicFaultTree: gate with no children");
   for (NodeId c : children) check_id(c);
-  if (type == DynGateType::kKooN && (k < 1 || k > children.size()))
-    throw std::invalid_argument("DynamicFaultTree: bad KooN k");
+  SYSUQ_EXPECT(type != DynGateType::kKooN || (k >= 1 && k <= children.size()),
+               "DynamicFaultTree: bad KooN k");
   if (type == DynGateType::kPand || type == DynGateType::kSpare) {
     if (children.size() < 2)
       throw std::invalid_argument("DynamicFaultTree: PAND/SPARE need >= 2 inputs");
@@ -145,8 +143,8 @@ DynamicFaultTree::NodeId DynamicFaultTree::add_gate(
     }
   }
   if (type == DynGateType::kSpare) {
-    if (dormancy < 0.0 || dormancy > 1.0)
-      throw std::invalid_argument("DynamicFaultTree: dormancy outside [0, 1]");
+    SYSUQ_EXPECT(contracts::is_probability(dormancy),
+                 "DynamicFaultTree: dormancy outside [0, 1]");
     // An event may belong to at most one spare gate.
     for (const auto& n : nodes_) {
       if (n.is_basic || n.type != DynGateType::kSpare) continue;

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "core/tolerance.hpp"
+
 namespace sysuq::fta {
 
 /// A finite continuous-time Markov chain (rate matrix form).
@@ -30,7 +32,7 @@ class Ctmc {
   /// Transient distribution at time t from an initial distribution, via
   /// uniformization with truncation error below `tol`.
   [[nodiscard]] std::vector<double> transient(
-      const std::vector<double>& initial, double t, double tol = 1e-12) const;
+      const std::vector<double>& initial, double t, double tol = tolerance::kSolver) const;
 
  private:
   std::vector<std::vector<double>> q_;

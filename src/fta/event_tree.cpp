@@ -1,21 +1,21 @@
 #include "fta/event_tree.hpp"
 
 #include <stdexcept>
+#include "core/contracts.hpp"
 
 namespace sysuq::fta {
 
 EventTree::EventTree(std::string initiating_event, double initiator_frequency)
     : init_name_(std::move(initiating_event)), init_freq_(initiator_frequency) {
-  if (init_name_.empty()) throw std::invalid_argument("EventTree: empty name");
-  if (initiator_frequency < 0.0 || initiator_frequency > 1.0)
-    throw std::invalid_argument("EventTree: initiator frequency outside [0, 1]");
+  SYSUQ_EXPECT(!init_name_.empty(), "EventTree: empty name");
+  SYSUQ_EXPECT(contracts::is_probability(initiator_frequency),
+               "EventTree: initiator frequency outside [0, 1]");
 }
 
 std::size_t EventTree::add_barrier(const std::string& name,
                                    prob::ProbInterval success_probability) {
-  if (name.empty()) throw std::invalid_argument("EventTree: empty barrier name");
-  if (barriers_.size() >= 20)
-    throw std::invalid_argument("EventTree: too many barriers");
+  SYSUQ_EXPECT(!name.empty(), "EventTree: empty barrier name");
+  SYSUQ_EXPECT(barriers_.size() < 20, "EventTree: too many barriers");
   for (const auto& b : barriers_) {
     if (b.name == name)
       throw std::invalid_argument("EventTree: duplicate barrier '" + name + "'");
@@ -34,9 +34,9 @@ void EventTree::ensure_consequences() {
 
 void EventTree::set_consequence(const std::vector<bool>& status,
                                 const std::string& name) {
-  if (status.size() != barriers_.size())
-    throw std::invalid_argument("EventTree: status size != barrier count");
-  if (name.empty()) throw std::invalid_argument("EventTree: empty consequence");
+  SYSUQ_EXPECT(status.size() == barriers_.size(),
+               "EventTree: status size != barrier count");
+  SYSUQ_EXPECT(!name.empty(), "EventTree: empty consequence");
   ensure_consequences();
   std::size_t idx = 0;
   for (std::size_t i = 0; i < status.size(); ++i) {

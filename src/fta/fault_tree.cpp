@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
+#include "core/contracts.hpp"
 
 namespace sysuq::fta {
 
@@ -22,9 +23,9 @@ void FaultTree::check_id(NodeId id) const {
 }
 
 NodeId FaultTree::add_basic_event(const std::string& name, double probability) {
-  if (name.empty()) throw std::invalid_argument("FaultTree: empty name");
-  if (!std::isfinite(probability) || probability < 0.0 || probability > 1.0)
-    throw std::invalid_argument("FaultTree: probability outside [0, 1]");
+  SYSUQ_EXPECT(!name.empty(), "FaultTree: empty name");
+  SYSUQ_EXPECT(contracts::is_probability(probability),
+               "FaultTree: probability outside [0, 1]");
   for (const auto& n : nodes_) {
     if (n.name == name)
       throw std::invalid_argument("FaultTree: duplicate name '" + name + "'");
@@ -39,20 +40,17 @@ NodeId FaultTree::add_basic_event(const std::string& name, double probability) {
 
 NodeId FaultTree::add_gate(const std::string& name, GateType type,
                            std::vector<NodeId> children, std::size_t k) {
-  if (name.empty()) throw std::invalid_argument("FaultTree: empty name");
+  SYSUQ_EXPECT(!name.empty(), "FaultTree: empty name");
   for (const auto& n : nodes_) {
     if (n.name == name)
       throw std::invalid_argument("FaultTree: duplicate name '" + name + "'");
   }
-  if (children.empty())
-    throw std::invalid_argument("FaultTree: gate with no children");
+  SYSUQ_EXPECT(!children.empty(), "FaultTree: gate with no children");
   for (NodeId c : children) check_id(c);  // children precede gate: acyclic
-  if (type == GateType::kNot && children.size() != 1)
-    throw std::invalid_argument("FaultTree: NOT gate needs exactly one child");
-  if (type == GateType::kKooN) {
-    if (k < 1 || k > children.size())
-      throw std::invalid_argument("FaultTree: KooN needs 1 <= k <= n");
-  }
+  SYSUQ_EXPECT(type != GateType::kNot || children.size() == 1,
+               "FaultTree: NOT gate needs exactly one child");
+  SYSUQ_EXPECT(type != GateType::kKooN || (k >= 1 && k <= children.size()),
+               "FaultTree: KooN needs 1 <= k <= n");
   Node n;
   n.name = name;
   n.is_basic = false;
@@ -129,8 +127,8 @@ void FaultTree::set_probability(NodeId basic_event, double p) {
   check_id(basic_event);
   if (!nodes_[basic_event].is_basic)
     throw std::invalid_argument("FaultTree::set_probability: not a basic event");
-  if (!std::isfinite(p) || p < 0.0 || p > 1.0)
-    throw std::invalid_argument("FaultTree::set_probability: outside [0, 1]");
+  SYSUQ_EXPECT(contracts::is_probability(p),
+               "FaultTree::set_probability: outside [0, 1]");
   nodes_[basic_event].probability = p;
 }
 

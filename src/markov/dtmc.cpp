@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include "core/contracts.hpp"
+#include "core/tolerance.hpp"
 
 namespace sysuq::markov {
 
@@ -50,12 +52,12 @@ double Dtmc::transition(StateId from, StateId to) const {
 }
 
 void Dtmc::validate() const {
-  if (names_.empty()) throw std::logic_error("Dtmc: empty chain");
+  SYSUQ_EXPECT(!names_.empty(), "Dtmc: empty chain");
   for (StateId s = 0; s < size(); ++s) {
     const double sum = std::accumulate(p_[s].begin(), p_[s].end(), 0.0);
-    if (std::fabs(sum - 1.0) > 1e-9)
-      throw std::logic_error("Dtmc: row '" + names_[s] + "' sums to " +
-                             std::to_string(sum));
+    SYSUQ_EXPECT(std::fabs(sum - 1.0) <= tolerance::kProbSum,
+                 "Dtmc: row '" + names_[s] + "' sums to " +
+                     std::to_string(sum));
   }
 }
 
@@ -151,7 +153,7 @@ std::vector<double> Dtmc::expected_steps_to(const std::vector<StateId>& targets,
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<double> x(size(), 0.0);
   for (StateId s = 0; s < size(); ++s) {
-    if (!is_target[s] && reach[s] < 1.0 - 1e-9) x[s] = kInf;
+    if (!is_target[s] && reach[s] < 1.0 - tolerance::kProbSum) x[s] = kInf;
   }
   for (std::size_t it = 0; it < max_iters; ++it) {
     double delta = 0.0;
@@ -226,9 +228,9 @@ void IntervalDtmc::validate() const {
       lo += p_[s][t].lo();
       hi += p_[s][t].hi();
     }
-    if (lo > 1.0 + 1e-12 || hi < 1.0 - 1e-12)
-      throw std::logic_error("IntervalDtmc: row '" + names_[s] +
-                             "' admits no distribution");
+    SYSUQ_EXPECT(lo <= 1.0 + tolerance::kTiny && hi >= 1.0 - tolerance::kTiny,
+                 "IntervalDtmc: row '" + names_[s] +
+                     "' admits no distribution");
   }
 }
 

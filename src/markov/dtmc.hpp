@@ -13,6 +13,7 @@
 
 #include "prob/interval.hpp"
 #include "prob/rng.hpp"
+#include "core/tolerance.hpp"
 
 namespace sysuq::markov {
 
@@ -34,13 +35,13 @@ class Dtmc {
   [[nodiscard]] StateId id_of(const std::string& name) const;
   [[nodiscard]] double transition(StateId from, StateId to) const;
 
-  /// Throws std::logic_error unless every row sums to 1 (within 1e-9).
+  /// Contract: every row sums to 1 within tolerance::kProbSum.
   void validate() const;
 
   /// Probability of reaching any state in `targets` from each state
   /// (unbounded reachability), by iterative fixed point to `tol`.
   [[nodiscard]] std::vector<double> reachability(
-      const std::vector<StateId>& targets, double tol = 1e-12,
+      const std::vector<StateId>& targets, double tol = tolerance::kSolver,
       std::size_t max_iters = 1000000) const;
 
   /// P(reach targets within k steps) from each state (bounded until with
@@ -57,13 +58,13 @@ class Dtmc {
   /// Stationary distribution by power iteration from uniform (requires
   /// an ergodic chain to be meaningful; returns the iterate after
   /// convergence or max_iters).
-  [[nodiscard]] std::vector<double> stationary(double tol = 1e-12,
+  [[nodiscard]] std::vector<double> stationary(double tol = tolerance::kSolver,
                                                std::size_t max_iters = 100000) const;
 
   /// Expected number of steps to reach `targets` from each state
   /// (infinity where unreachable); iterative evaluation.
   [[nodiscard]] std::vector<double> expected_steps_to(
-      const std::vector<StateId>& targets, double tol = 1e-10,
+      const std::vector<StateId>& targets, double tol = tolerance::kIteration,
       std::size_t max_iters = 1000000) const;
 
   /// Simulates one trajectory of `steps` transitions from `start`.

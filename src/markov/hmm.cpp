@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include "core/contracts.hpp"
+#include "core/tolerance.hpp"
 
 namespace sysuq::markov {
 
@@ -12,20 +14,19 @@ Hmm::Hmm(prob::Categorical initial, std::vector<prob::Categorical> transition,
       trans_(std::move(transition)),
       emit_(std::move(emission)) {
   const std::size_t n = init_.size();
-  if (trans_.size() != n || emit_.size() != n)
-    throw std::invalid_argument("Hmm: row count != state count");
+  SYSUQ_EXPECT(trans_.size() == n && emit_.size() == n,
+               "Hmm: row count != state count");
   for (const auto& row : trans_) {
-    if (row.size() != n)
-      throw std::invalid_argument("Hmm: transition row size mismatch");
+    SYSUQ_EXPECT(row.size() == n, "Hmm: transition row size mismatch");
   }
   for (const auto& row : emit_) {
-    if (row.size() != emit_[0].size())
-      throw std::invalid_argument("Hmm: emission row size mismatch");
+    SYSUQ_EXPECT(row.size() == emit_[0].size(),
+                 "Hmm: emission row size mismatch");
   }
 }
 
 Hmm::FilterResult Hmm::filter(const std::vector<std::size_t>& obs) const {
-  if (obs.empty()) throw std::invalid_argument("Hmm::filter: empty sequence");
+  SYSUQ_EXPECT(!obs.empty(), "Hmm::filter: empty sequence");
   const std::size_t n = state_count();
   FilterResult out;
   out.filtered.reserve(obs.size());
@@ -90,7 +91,7 @@ std::vector<prob::Categorical> Hmm::smooth(
 }
 
 std::vector<std::size_t> Hmm::viterbi(const std::vector<std::size_t>& obs) const {
-  if (obs.empty()) throw std::invalid_argument("Hmm::viterbi: empty sequence");
+  SYSUQ_EXPECT(!obs.empty(), "Hmm::viterbi: empty sequence");
   const std::size_t n = state_count();
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   const auto safe_log = [](double p) {
@@ -135,8 +136,7 @@ std::vector<std::size_t> Hmm::viterbi(const std::vector<std::size_t>& obs) const
 
 HmmFit Hmm::baum_welch_step(const std::vector<std::size_t>& obs,
                                  double smoothing) const {
-  if (obs.size() < 2)
-    throw std::invalid_argument("Hmm::baum_welch_step: need >= 2 observations");
+  SYSUQ_EXPECT(obs.size() >= 2, "Hmm::baum_welch_step: need >= 2 observations");
   if (!(smoothing >= 0.0))
     throw std::invalid_argument("Hmm::baum_welch_step: negative smoothing");
   const std::size_t n = state_count();

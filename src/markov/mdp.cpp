@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include "core/contracts.hpp"
+#include "core/tolerance.hpp"
 
 namespace sysuq::markov {
 
@@ -23,17 +25,16 @@ StateId Mdp::add_state(const std::string& name) {
 ActionId Mdp::add_action(StateId state, const std::string& name,
                          std::vector<std::pair<StateId, double>> outcomes) {
   check(state);
-  if (name.empty()) throw std::invalid_argument("Mdp: empty action name");
-  if (outcomes.empty()) throw std::invalid_argument("Mdp: action with no outcomes");
+  SYSUQ_EXPECT(!name.empty(), "Mdp: empty action name");
+  SYSUQ_EXPECT(!outcomes.empty(), "Mdp: action with no outcomes");
   double total = 0.0;
   for (const auto& [target, p] : outcomes) {
     check(target);
-    if (!(p >= 0.0 && p <= 1.0))
-      throw std::invalid_argument("Mdp: outcome probability outside [0, 1]");
+    SYSUQ_ASSERT_PROB(p, "Mdp: outcome probability");
     total += p;
   }
-  if (std::fabs(total - 1.0) > 1e-9)
-    throw std::invalid_argument("Mdp: outcomes must sum to 1");
+  SYSUQ_EXPECT(std::fabs(total - 1.0) <= tolerance::kProbSum,
+               "Mdp: outcomes must sum to 1");
   actions_[state].push_back(Action{name, std::move(outcomes)});
   return actions_[state].size() - 1;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "markov/dtmc.hpp"
+#include "core/tolerance.hpp"
 
 namespace sysuq::markov {
 
@@ -45,7 +46,7 @@ class Mdp {
 
   /// Unbounded optimal reachability by value iteration to `tol`.
   [[nodiscard]] std::vector<double> reachability(
-      const std::vector<StateId>& targets, bool maximize, double tol = 1e-12,
+      const std::vector<StateId>& targets, bool maximize, double tol = tolerance::kSolver,
       std::size_t max_iters = 1000000) const;
 
   /// The stationary deterministic policy achieving the unbounded optimum

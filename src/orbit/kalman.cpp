@@ -1,16 +1,17 @@
 #include "orbit/kalman.hpp"
 
 #include <stdexcept>
+#include "core/contracts.hpp"
 
 namespace sysuq::orbit {
 
 KalmanFilter2D::KalmanFilter2D(double process_noise, double measurement_noise,
                                double initial_pos_var, double initial_vel_var)
     : q_(process_noise), r_(measurement_noise) {
-  if (!(process_noise > 0.0) || !(measurement_noise > 0.0))
-    throw std::invalid_argument("KalmanFilter2D: noise parameters must be > 0");
-  if (!(initial_pos_var > 0.0) || !(initial_vel_var > 0.0))
-    throw std::invalid_argument("KalmanFilter2D: prior variances must be > 0");
+  SYSUQ_EXPECT(process_noise > 0.0 && measurement_noise > 0.0,
+               "KalmanFilter2D: noise parameters must be > 0");
+  SYSUQ_EXPECT(initial_pos_var > 0.0 && initial_vel_var > 0.0,
+               "KalmanFilter2D: prior variances must be > 0");
   ax_.p00 = ay_.p00 = initial_pos_var;
   ax_.p11 = ay_.p11 = initial_vel_var;
 }
@@ -50,7 +51,7 @@ double KalmanFilter2D::update_axis(Axis& a, double z) const {
 }
 
 void KalmanFilter2D::predict(double dt) {
-  if (!(dt > 0.0)) throw std::invalid_argument("KalmanFilter2D: dt <= 0");
+  SYSUQ_EXPECT(dt > 0.0, "KalmanFilter2D: dt <= 0");
   predict_axis(ax_, dt);
   predict_axis(ay_, dt);
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "core/contracts.hpp"
 
 namespace sysuq::orbit {
 
@@ -20,7 +21,7 @@ Vec2 acceleration(const std::vector<Body>& bodies, std::size_t i,
     // ~ GM * J2 / r^4 (heterogeneous mass distribution; see Sec. III.B).
     const double inv_r3 = 1.0 / (r2 * r);
     double scale = params.g * bodies[j].mass * inv_r3;
-    if (bodies[j].oblateness != 0.0) {
+    if (bodies[j].oblateness != 0.0) {  // sysuq-lint-allow(float-eq): exact default disables the term
       scale *= 1.0 + bodies[j].oblateness / r2;
     }
     a += d * scale;
@@ -124,7 +125,7 @@ Vec2 center_of_mass(const SystemState& state) {
 SystemState make_circular_binary(double m1, double m2, double separation,
                                  const GravityParams& params) {
   if (!(m1 > 0.0) || !(m2 > 0.0) || !(separation > 0.0))
-    throw std::invalid_argument("make_circular_binary: bad parameters");
+    throw contracts::ContractViolation("make_circular_binary: bad parameters");
   const double mtot = m1 + m2;
   // Barycentric radii.
   const double r1 = separation * m2 / mtot;

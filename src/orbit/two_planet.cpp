@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include "core/contracts.hpp"
+#include "core/tolerance.hpp"
 
 namespace sysuq::orbit {
 
@@ -18,7 +20,7 @@ TwoPlanetUniverse::TwoPlanetUniverse(const UniverseConfig& config)
 }
 
 void TwoPlanetUniverse::advance(double dt) {
-  if (!(dt > 0.0)) throw std::invalid_argument("TwoPlanetUniverse: dt <= 0");
+  SYSUQ_EXPECT(dt > 0.0, "TwoPlanetUniverse: dt <= 0");
   verlet_step(state_, dt, config_.gravity);
   if (config_.third && !third_injected_ &&
       state_.time >= config_.third->injection_time) {
@@ -33,7 +35,7 @@ bool TwoPlanetUniverse::third_planet_present() const { return third_injected_; }
 Vec2 TwoPlanetUniverse::observe_position(std::size_t i, prob::Rng& rng,
                                          double sigma) const {
   if (i >= 2) throw std::out_of_range("observe_position: planet index");
-  if (sigma < 0.0) throw std::invalid_argument("observe_position: sigma < 0");
+  SYSUQ_EXPECT(sigma >= 0.0, "observe_position: sigma < 0");
   Vec2 p = state_.bodies[i].position;
   if (sigma > 0.0) {
     p.x += rng.gaussian(0.0, sigma);
@@ -48,7 +50,7 @@ DeterministicModel::DeterministicModel(double m1, double m2, double separation,
       gravity_(gravity) {}
 
 void DeterministicModel::advance(double dt) {
-  if (!(dt > 0.0)) throw std::invalid_argument("DeterministicModel: dt <= 0");
+  SYSUQ_EXPECT(dt > 0.0, "DeterministicModel: dt <= 0");
   rk4_step(state_, dt, gravity_);
 }
 
@@ -60,7 +62,7 @@ Vec2 DeterministicModel::predicted_position(std::size_t i) const {
 
 FrequentistModel::FrequentistModel(double extent, std::size_t bins)
     : hist_(-extent, extent, bins, -extent, extent, bins) {
-  if (!(extent > 0.0)) throw std::invalid_argument("FrequentistModel: extent");
+  SYSUQ_EXPECT(extent > 0.0, "FrequentistModel: extent");
 }
 
 void FrequentistModel::observe(Vec2 position) {
@@ -86,7 +88,7 @@ double acceleration_residual(Vec2 prev, Vec2 cur, Vec2 next, double dt,
                              Vec2 other_position, double other_mass,
                              double other_oblateness,
                              const GravityParams& params) {
-  if (!(dt > 0.0)) throw std::invalid_argument("acceleration_residual: dt <= 0");
+  SYSUQ_EXPECT(dt > 0.0, "acceleration_residual: dt <= 0");
   const Vec2 observed = (next - cur * 2.0 + prev) / (dt * dt);
   const std::vector<Body> pair{
       Body{1.0, cur, {}, 0.0},
@@ -99,24 +101,22 @@ SurpriseMonitor::SurpriseMonitor(std::size_t warmup, double ratio,
                                  std::size_t patience, double adapt_rate)
     : warmup_(warmup), ratio_(ratio), patience_(patience),
       adapt_rate_(adapt_rate) {
-  if (warmup == 0) throw std::invalid_argument("SurpriseMonitor: zero warmup");
-  if (!(ratio > 1.0))
-    throw std::invalid_argument("SurpriseMonitor: ratio must exceed 1");
-  if (patience == 0) throw std::invalid_argument("SurpriseMonitor: patience 0");
-  if (!(adapt_rate > 0.0 && adapt_rate <= 1.0))
-    throw std::invalid_argument("SurpriseMonitor: adapt_rate outside (0, 1]");
+  SYSUQ_EXPECT(warmup != 0, "SurpriseMonitor: zero warmup");
+  SYSUQ_EXPECT(ratio > 1.0, "SurpriseMonitor: ratio must exceed 1");
+  SYSUQ_EXPECT(patience != 0, "SurpriseMonitor: patience 0");
+  SYSUQ_EXPECT(adapt_rate > 0.0 && adapt_rate <= 1.0,
+               "SurpriseMonitor: adapt_rate outside (0, 1]");
 }
 
 bool SurpriseMonitor::feed(double residual) {
-  if (residual < 0.0)
-    throw std::invalid_argument("SurpriseMonitor: negative residual");
+  SYSUQ_EXPECT(residual >= 0.0, "SurpriseMonitor: negative residual");
   ++fed_;
   if (fed_ <= warmup_) {
     stats_.add(residual);
     if (fed_ == warmup_) {
       // Floor the level so a zero-residual warmup (perfect model) still
       // yields a meaningful threshold against numerical dust.
-      level_ = std::max(stats_.mean() + stats_.stddev(), 1e-12);
+      level_ = std::max(stats_.mean() + stats_.stddev(), tolerance::kTiny);
     }
     return false;
   }
@@ -132,7 +132,7 @@ bool SurpriseMonitor::feed(double residual) {
     consecutive_ = 0;
     // Track slow drift only while the residual looks nominal.
     level_ = std::max((1.0 - adapt_rate_) * level_ + adapt_rate_ * residual,
-                      1e-12);
+                      tolerance::kTiny);
   }
   return false;
 }

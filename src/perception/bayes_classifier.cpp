@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include "core/contracts.hpp"
+#include "core/tolerance.hpp"
 
 namespace sysuq::perception {
 
@@ -18,11 +20,10 @@ BayesClassifier::BayesClassifier(std::size_t k, double sigma, double prior_tau,
       priors_(std::move(class_priors)),
       n_(k, 0),
       sum_(k, Feature{}) {
-  if (k < 2) throw std::invalid_argument("BayesClassifier: need >= 2 classes");
-  if (!(sigma > 0.0) || !(prior_tau > 0.0))
-    throw std::invalid_argument("BayesClassifier: sigma, prior_tau > 0");
-  if (priors_.size() != k)
-    throw std::invalid_argument("BayesClassifier: prior size mismatch");
+  SYSUQ_EXPECT(k >= 2, "BayesClassifier: need >= 2 classes");
+  SYSUQ_EXPECT(sigma > 0.0 && prior_tau > 0.0,
+               "BayesClassifier: sigma, prior_tau > 0");
+  SYSUQ_EXPECT(priors_.size() == k, "BayesClassifier: prior size mismatch");
 }
 
 void BayesClassifier::train(std::size_t label, const Feature& f) {
@@ -71,7 +72,8 @@ prob::Categorical BayesClassifier::posterior(const Feature& f) const {
   std::vector<double> logp(k_);
   double maxv = -std::numeric_limits<double>::infinity();
   for (std::size_t c = 0; c < k_; ++c) {
-    logp[c] = std::log(std::max(priors_.p(c), 1e-300)) + log_predictive(c, f);
+    logp[c] = std::log(std::max(priors_.p(c), tolerance::kUnderflow)) +
+              log_predictive(c, f);
     maxv = std::max(maxv, logp[c]);
   }
   std::vector<double> w(k_);
@@ -83,7 +85,8 @@ prob::EntropyDecomposition BayesClassifier::decompose(const Feature& f,
                                                       std::size_t members,
                                                       prob::Rng& rng) const {
   if (members == 0)
-    throw std::invalid_argument("BayesClassifier::decompose: zero members");
+    throw contracts::ContractViolation(
+        "BayesClassifier::decompose: zero members");
   std::vector<prob::Categorical> ensemble;
   ensemble.reserve(members);
   for (std::size_t m = 0; m < members; ++m) {
@@ -96,7 +99,7 @@ prob::EntropyDecomposition BayesClassifier::decompose(const Feature& f,
       const double tau = posterior_tau(c);
       const Feature sampled{rng.gaussian(mu.x, tau), rng.gaussian(mu.y, tau)};
       const double dx = f.x - sampled.x, dy = f.y - sampled.y;
-      logp[c] = std::log(std::max(priors_.p(c), 1e-300)) -
+      logp[c] = std::log(std::max(priors_.p(c), tolerance::kUnderflow)) -
                 0.5 * (dx * dx + dy * dy) / (sigma_ * sigma_) -
                 std::log(2.0 * M_PI * sigma_ * sigma_);
       maxv = std::max(maxv, logp[c]);
@@ -121,10 +124,9 @@ double BayesClassifier::ood_score(const Feature& f) const {
 
 std::size_t BayesClassifier::classify(const Feature& f, double ood_threshold,
                                       double min_confidence) const {
-  if (!(ood_threshold > 0.0))
-    throw std::invalid_argument("BayesClassifier::classify: ood_threshold");
-  if (min_confidence < 0.0 || min_confidence > 1.0)
-    throw std::invalid_argument("BayesClassifier::classify: min_confidence");
+  SYSUQ_EXPECT(ood_threshold > 0.0, "BayesClassifier::classify: ood_threshold");
+  SYSUQ_EXPECT(contracts::is_probability(min_confidence),
+               "BayesClassifier::classify: min_confidence");
   if (ood_score(f) > ood_threshold) return k_;
   const auto post = posterior(f);
   const std::size_t map = post.argmax();

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "evidence/mass.hpp"
+#include "core/contracts.hpp"
 
 namespace sysuq::perception {
 
@@ -81,15 +82,12 @@ std::size_t fuse_dempster(const RedundantArchitecture& arch,
 FusionOutcome fuse_once(const RedundantArchitecture& arch,
                         const TrueWorld& world, const Encounter& encounter,
                         prob::Rng& rng) {
-  if (arch.sensors.empty())
-    throw std::invalid_argument("fuse_once: no sensors");
+  SYSUQ_EXPECT(!arch.sensors.empty(), "fuse_once: no sensors");
   const std::size_t k = arch.sensors[0].modeled_classes();
   for (const auto& s : arch.sensors) {
-    if (s.modeled_classes() != k)
-      throw std::invalid_argument("fuse_once: sensor shape mismatch");
+    SYSUQ_EXPECT(s.modeled_classes() == k, "fuse_once: sensor shape mismatch");
   }
-  if (arch.common_cause_rate < 0.0 || arch.common_cause_rate > 1.0)
-    throw std::invalid_argument("fuse_once: common_cause_rate outside [0,1]");
+  SYSUQ_ASSERT_PROB(arch.common_cause_rate, "fuse_once: common_cause_rate");
 
   std::vector<std::size_t> labels(arch.sensors.size());
   if (arch.common_cause_rate > 0.0 && rng.bernoulli(arch.common_cause_rate)) {
@@ -123,17 +121,16 @@ FusionOutcome fuse_once(const RedundantArchitecture& arch,
 }
 
 BnFusion::BnFusion(const RedundantArchitecture& arch, const TrueWorld& world) {
-  if (arch.sensors.empty())
-    throw std::invalid_argument("BnFusion: no sensors");
+  SYSUQ_EXPECT(!arch.sensors.empty(), "BnFusion: no sensors");
   classes_ = arch.sensors[0].modeled_classes();
   sensors_ = arch.sensors.size();
   for (const auto& s : arch.sensors) {
-    if (s.modeled_classes() != classes_)
-      throw std::invalid_argument("BnFusion: sensor shape mismatch");
+    SYSUQ_EXPECT(s.modeled_classes() == classes_,
+                 "BnFusion: sensor shape mismatch");
   }
   const WorldModel& model = world.modeled();
-  if (model.class_count() != classes_)
-    throw std::invalid_argument("BnFusion: world/sensor class mismatch");
+  SYSUQ_EXPECT(model.class_count() == classes_,
+               "BnFusion: world/sensor class mismatch");
 
   std::vector<std::string> truth_states;
   for (std::size_t c = 0; c < classes_; ++c)
@@ -159,7 +156,8 @@ BnFusion::BnFusion(const RedundantArchitecture& arch, const TrueWorld& world) {
 prob::Categorical BnFusion::posterior(
     const std::vector<std::size_t>& labels) const {
   if (labels.size() != sensors_)
-    throw std::invalid_argument("BnFusion::posterior: label count mismatch");
+    throw contracts::ContractViolation(
+        "BnFusion::posterior: label count mismatch");
   bayesnet::Evidence evidence;
   for (std::size_t s = 0; s < sensors_; ++s) {
     if (labels[s] > classes_)  // 0..k-1 class, k = none
@@ -182,7 +180,7 @@ std::size_t BnFusion::fuse(const std::vector<std::size_t>& labels) const {
 FusionMetrics simulate_fusion(const RedundantArchitecture& arch,
                               const TrueWorld& world, std::size_t n,
                               prob::Rng& rng) {
-  if (n == 0) throw std::invalid_argument("simulate_fusion: n == 0");
+  SYSUQ_EXPECT(n != 0, "simulate_fusion: n == 0");
   FusionMetrics m{};
   m.encounters = n;
   std::size_t modeled = 0, correct = 0, hazard = 0, none = 0;

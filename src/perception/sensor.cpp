@@ -3,28 +3,28 @@
 #include <stdexcept>
 
 #include "prob/distribution.hpp"
+#include "core/contracts.hpp"
 
 namespace sysuq::perception {
 
 ConfusionSensor::ConfusionSensor(std::size_t modeled_classes,
                                  std::vector<prob::Categorical> rows)
     : k_(modeled_classes), rows_(std::move(rows)) {
-  if (k_ == 0) throw std::invalid_argument("ConfusionSensor: zero classes");
-  if (rows_.size() < k_)
-    throw std::invalid_argument(
-        "ConfusionSensor: need at least one row per modeled class");
+  SYSUQ_EXPECT(k_ != 0, "ConfusionSensor: zero classes");
+  SYSUQ_EXPECT(rows_.size() >= k_,
+               "ConfusionSensor: need at least one row per modeled class");
   for (const auto& r : rows_) {
-    if (r.size() != k_ + 1)
-      throw std::invalid_argument(
-          "ConfusionSensor: rows must cover classes + none");
+    SYSUQ_EXPECT(r.size() == k_ + 1,
+                 "ConfusionSensor: rows must cover classes + none");
   }
 }
 
 ConfusionSensor ConfusionSensor::make_default(std::size_t modeled_classes,
                                               std::size_t novel_classes,
                                               double acc, double novel_none) {
-  if (acc < 0.0 || acc > 1.0 || novel_none < 0.0 || novel_none > 1.0)
-    throw std::invalid_argument("ConfusionSensor::make_default: bad rates");
+  SYSUQ_EXPECT(contracts::is_probability(acc) &&
+                   contracts::is_probability(novel_none),
+               "ConfusionSensor::make_default: bad rates");
   const std::size_t k = modeled_classes;
   std::vector<prob::Categorical> rows;
   rows.reserve(k + novel_classes);
@@ -63,12 +63,11 @@ SensorOutput ConfusionSensor::classify(ClassId true_class, prob::Rng& rng) const
 
 EnsembleClassifier::EnsembleClassifier(std::vector<ConfusionSensor> members)
     : members_(std::move(members)) {
-  if (members_.empty())
-    throw std::invalid_argument("EnsembleClassifier: empty ensemble");
+  SYSUQ_EXPECT(!members_.empty(), "EnsembleClassifier: empty ensemble");
   for (const auto& m : members_) {
-    if (m.modeled_classes() != members_[0].modeled_classes() ||
-        m.row_count() != members_[0].row_count())
-      throw std::invalid_argument("EnsembleClassifier: member shape mismatch");
+    SYSUQ_EXPECT(m.modeled_classes() == members_[0].modeled_classes() &&
+                     m.row_count() == members_[0].row_count(),
+                 "EnsembleClassifier: member shape mismatch");
   }
 }
 
@@ -76,9 +75,8 @@ EnsembleClassifier EnsembleClassifier::perturbed(const ConfusionSensor& nominal,
                                                  std::size_t n,
                                                  double concentration,
                                                  prob::Rng& rng) {
-  if (n == 0) throw std::invalid_argument("EnsembleClassifier: n == 0");
-  if (!(concentration > 0.0))
-    throw std::invalid_argument("EnsembleClassifier: concentration <= 0");
+  SYSUQ_EXPECT(n != 0, "EnsembleClassifier: n == 0");
+  SYSUQ_EXPECT(concentration > 0.0, "EnsembleClassifier: concentration <= 0");
   std::vector<ConfusionSensor> members;
   members.reserve(n);
   for (std::size_t m = 0; m < n; ++m) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 #include <unordered_set>
+#include "core/contracts.hpp"
 
 namespace sysuq::perception {
 
@@ -10,9 +11,9 @@ WorldModel::WorldModel(std::vector<std::string> class_names,
                        std::vector<double> priors)
     : names_(std::move(class_names)),
       priors_(prob::Categorical::normalized(std::move(priors))) {
-  if (names_.empty()) throw std::invalid_argument("WorldModel: no classes");
-  if (names_.size() != priors_.size())
-    throw std::invalid_argument("WorldModel: class/prior count mismatch");
+  SYSUQ_EXPECT(!names_.empty(), "WorldModel: no classes");
+  SYSUQ_EXPECT(names_.size() == priors_.size(),
+               "WorldModel: class/prior count mismatch");
   std::unordered_set<std::string> seen;
   for (const auto& n : names_) {
     if (n.empty() || !seen.insert(n).second)
@@ -34,7 +35,7 @@ ClassId WorldModel::class_id(const std::string& name) const {
 
 std::pair<WorldModel, double> WorldModel::restricted(
     const std::vector<ClassId>& keep) const {
-  if (keep.empty()) throw std::invalid_argument("WorldModel::restricted: empty");
+  SYSUQ_EXPECT(!keep.empty(), "WorldModel::restricted: empty");
   std::vector<std::string> names;
   std::vector<double> priors;
   double kept_mass = 0.0;
@@ -48,8 +49,7 @@ std::pair<WorldModel, double> WorldModel::restricted(
     priors.push_back(priors_.p(c));
     kept_mass += priors_.p(c);
   }
-  if (!(kept_mass > 0.0))
-    throw std::invalid_argument("WorldModel::restricted: zero kept mass");
+  SYSUQ_EXPECT(kept_mass > 0.0, "WorldModel::restricted: zero kept mass");
   return {WorldModel(std::move(names), std::move(priors)), 1.0 - kept_mass};
 }
 
@@ -58,10 +58,10 @@ TrueWorld::TrueWorld(WorldModel modeled, std::vector<std::string> novel_names,
     : modeled_(std::move(modeled)),
       novel_names_(std::move(novel_names)),
       novel_rate_(novel_rate) {
-  if (novel_rate < 0.0 || novel_rate >= 1.0)
-    throw std::invalid_argument("TrueWorld: novel_rate outside [0, 1)");
-  if (novel_rate > 0.0 && novel_names_.empty())
-    throw std::invalid_argument("TrueWorld: novel_rate > 0 with no novel classes");
+  SYSUQ_EXPECT(novel_rate >= 0.0 && novel_rate < 1.0,
+               "TrueWorld: novel_rate outside [0, 1)");
+  SYSUQ_EXPECT(!(novel_rate > 0.0) || !novel_names_.empty(),
+               "TrueWorld: novel_rate > 0 with no novel classes");
 }
 
 Encounter TrueWorld::sample(prob::Rng& rng) const {

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "prob/special.hpp"
 
 namespace sysuq::prob {
@@ -13,39 +14,27 @@ namespace sysuq::prob {
 // ------------------------------------------------------------ Categorical
 
 Categorical::Categorical(std::vector<double> probs) : p_(std::move(probs)) {
-  if (p_.empty()) throw std::invalid_argument("Categorical: empty");
-  double sum = 0.0;
-  for (double v : p_) {
-    if (!std::isfinite(v) || v < 0.0)
-      throw std::invalid_argument("Categorical: probabilities must be finite "
-                                  "and non-negative");
-    sum += v;
-  }
-  if (std::fabs(sum - 1.0) > 1e-9)
-    throw std::invalid_argument("Categorical: probabilities must sum to 1");
+  SYSUQ_ASSERT_PROB_VEC(p_, "Categorical");
 }
 
 Categorical Categorical::normalized(std::vector<double> weights) {
-  double sum = 0.0;
-  for (double v : weights) {
-    if (!std::isfinite(v) || v < 0.0)
-      throw std::invalid_argument(
-          "Categorical::normalized: weights must be finite and non-negative");
-    sum += v;
-  }
-  if (!(sum > 0.0))
-    throw std::invalid_argument("Categorical::normalized: all weights zero");
+  SYSUQ_EXPECT(contracts::is_finite_nonneg(weights),
+               "Categorical::normalized: weights must be finite and "
+               "non-negative");
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  SYSUQ_EXPECT(sum > 0.0, "Categorical::normalized: all weights zero");
+  SYSUQ_EXPECT(std::isfinite(sum), "Categorical::normalized: weight sum overflow");
   for (double& v : weights) v /= sum;
   return Categorical(std::move(weights));
 }
 
 Categorical Categorical::uniform(std::size_t k) {
-  if (k == 0) throw std::invalid_argument("Categorical::uniform: k == 0");
+  SYSUQ_EXPECT(k != 0, "Categorical::uniform: k == 0");
   return Categorical(std::vector<double>(k, 1.0 / static_cast<double>(k)));
 }
 
 Categorical Categorical::delta(std::size_t i, std::size_t k) {
-  if (i >= k) throw std::invalid_argument("Categorical::delta: i >= k");
+  SYSUQ_EXPECT(i < k, "Categorical::delta: i >= k");
   std::vector<double> p(k, 0.0);
   p[i] = 1.0;
   return Categorical(std::move(p));
@@ -74,18 +63,16 @@ double Categorical::max_prob() const { return *std::max_element(p_.begin(), p_.e
 std::size_t Categorical::sample(Rng& rng) const { return rng.categorical(p_); }
 
 double Categorical::total_variation(const Categorical& other) const {
-  if (other.size() != size())
-    throw std::invalid_argument("Categorical::total_variation: size mismatch");
+  SYSUQ_EXPECT(other.size() == size(),
+               "Categorical::total_variation: size mismatch");
   double tv = 0.0;
   for (std::size_t i = 0; i < p_.size(); ++i) tv += std::fabs(p_[i] - other.p_[i]);
   return 0.5 * tv;
 }
 
 Categorical Categorical::mixed(const Categorical& other, double w) const {
-  if (other.size() != size())
-    throw std::invalid_argument("Categorical::mixed: size mismatch");
-  if (w < 0.0 || w > 1.0)
-    throw std::invalid_argument("Categorical::mixed: w outside [0, 1]");
+  SYSUQ_EXPECT(other.size() == size(), "Categorical::mixed: size mismatch");
+  SYSUQ_ASSERT_PROB(w, "Categorical::mixed: w");
   std::vector<double> m(p_.size());
   for (std::size_t i = 0; i < p_.size(); ++i)
     m[i] = (1.0 - w) * p_[i] + w * other.p_[i];
@@ -94,10 +81,7 @@ Categorical Categorical::mixed(const Categorical& other, double w) const {
 
 // -------------------------------------------------------------- Bernoulli
 
-Bernoulli::Bernoulli(double p) : p_(p) {
-  if (!(p >= 0.0 && p <= 1.0))
-    throw std::invalid_argument("Bernoulli: p outside [0, 1]");
-}
+Bernoulli::Bernoulli(double p) : p_(p) { SYSUQ_ASSERT_PROB(p_, "Bernoulli: p"); }
 
 double Bernoulli::entropy() const {
   auto term = [](double q) { return q > 0.0 ? -q * std::log(q) : 0.0; };
@@ -109,8 +93,7 @@ bool Bernoulli::sample(Rng& rng) const { return rng.bernoulli(p_); }
 // --------------------------------------------------------------- Binomial
 
 Binomial::Binomial(std::size_t n, double p) : n_(n), p_(p) {
-  if (!(p >= 0.0 && p <= 1.0))
-    throw std::invalid_argument("Binomial: p outside [0, 1]");
+  SYSUQ_ASSERT_PROB(p_, "Binomial: p");
 }
 
 double Binomial::pmf(std::size_t k) const {
@@ -120,8 +103,8 @@ double Binomial::pmf(std::size_t k) const {
 
 double Binomial::log_pmf(std::size_t k) const {
   if (k > n_) return -std::numeric_limits<double>::infinity();
-  if (p_ == 0.0) return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
-  if (p_ == 1.0) return k == n_ ? 0.0 : -std::numeric_limits<double>::infinity();
+  if (p_ == 0.0) return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();  // sysuq-lint-allow(float-eq): degenerate p exactly 0
+  if (p_ == 1.0) return k == n_ ? 0.0 : -std::numeric_limits<double>::infinity();  // sysuq-lint-allow(float-eq): degenerate p exactly 1
   return log_binomial_coeff(n_, k) + static_cast<double>(k) * std::log(p_) +
          static_cast<double>(n_ - k) * std::log1p(-p_);
 }
@@ -142,7 +125,7 @@ std::size_t Binomial::sample(Rng& rng) const {
 // ---------------------------------------------------------------- Poisson
 
 Poisson::Poisson(double lambda) : lambda_(lambda) {
-  if (!(lambda > 0.0)) throw std::invalid_argument("Poisson: lambda <= 0");
+  SYSUQ_EXPECT(std::isfinite(lambda_) && lambda_ > 0.0, "Poisson: lambda <= 0");
 }
 
 double Poisson::pmf(std::size_t k) const { return std::exp(log_pmf(k)); }
@@ -171,7 +154,7 @@ std::size_t Poisson::sample(Rng& rng) const {
 // ----------------------------------------------------- CategoricalCounter
 
 CategoricalCounter::CategoricalCounter(std::size_t k) : counts_(k, 0) {
-  if (k == 0) throw std::invalid_argument("CategoricalCounter: k == 0");
+  SYSUQ_EXPECT(k != 0, "CategoricalCounter: k == 0");
 }
 
 void CategoricalCounter::observe(std::size_t i) { observe(i, 1); }
@@ -184,8 +167,7 @@ void CategoricalCounter::observe(std::size_t i, std::size_t n) {
 }
 
 Categorical CategoricalCounter::mle() const {
-  if (total_ == 0)
-    throw std::logic_error("CategoricalCounter::mle: no observations");
+  SYSUQ_EXPECT(total_ != 0, "CategoricalCounter::mle: no observations");
   std::vector<double> p(counts_.size());
   for (std::size_t i = 0; i < counts_.size(); ++i)
     p[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
@@ -193,8 +175,7 @@ Categorical CategoricalCounter::mle() const {
 }
 
 Categorical CategoricalCounter::smoothed(double smoothing) const {
-  if (!(smoothing > 0.0))
-    throw std::invalid_argument("CategoricalCounter::smoothed: smoothing <= 0");
+  SYSUQ_EXPECT(smoothing > 0.0, "CategoricalCounter::smoothed: smoothing <= 0");
   std::vector<double> w(counts_.size());
   for (std::size_t i = 0; i < counts_.size(); ++i)
     w[i] = static_cast<double>(counts_[i]) + smoothing;

@@ -15,8 +15,9 @@ namespace sysuq::prob {
 
 /// A probability mass function over {0, .., k-1}.
 ///
-/// Invariant: probabilities are non-negative and sum to 1 within 1e-9
-/// (validated at construction; `normalized` relaxes the input).
+/// Invariant: probabilities are non-negative and sum to 1 within
+/// tolerance::kProbSum (a contract checked at construction; `normalized`
+/// relaxes the input).
 class Categorical {
  public:
   /// Constructs from probabilities that must already sum to one.

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+#include "core/tolerance.hpp"
 #include "prob/special.hpp"
 
 namespace sysuq::prob {
@@ -13,23 +15,24 @@ namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 void check_prob_arg(double p, const char* who) {
-  if (!(p > 0.0 && p < 1.0)) {
-    throw std::invalid_argument(std::string(who) + ": p must be in (0, 1)");
+  if (contracts::enforced() && !(p > 0.0 && p < 1.0)) {
+    contracts::fail("precondition", "p > 0 && p < 1",
+                    (std::string(who) + ": p must be in (0, 1)").c_str());
   }
 }
 }  // namespace
 
 std::pair<double, double> ContinuousDistribution::central_interval(
     double alpha) const {
-  if (!(alpha > 0.0 && alpha < 1.0))
-    throw std::invalid_argument("central_interval: alpha must be in (0, 1)");
+  SYSUQ_EXPECT(alpha > 0.0 && alpha < 1.0,
+               "central_interval: alpha must be in (0, 1)");
   return {quantile(alpha / 2.0), quantile(1.0 - alpha / 2.0)};
 }
 
 // ---------------------------------------------------------------- Uniform
 
 Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
-  if (!(lo < hi)) throw std::invalid_argument("Uniform: require lo < hi");
+  SYSUQ_EXPECT(lo < hi, "Uniform: require lo < hi");
 }
 
 double Uniform::pdf(double x) const {
@@ -62,7 +65,7 @@ double Uniform::entropy() const { return std::log(hi_ - lo_); }
 // ----------------------------------------------------------------- Normal
 
 Normal::Normal(double mean, double sigma) : mu_(mean), sigma_(sigma) {
-  if (!(sigma > 0.0)) throw std::invalid_argument("Normal: require sigma > 0");
+  SYSUQ_EXPECT(sigma > 0.0, "Normal: require sigma > 0");
 }
 
 double Normal::pdf(double x) const { return std::exp(log_pdf(x)); }
@@ -88,7 +91,7 @@ double Normal::entropy() const {
 // ------------------------------------------------------------ Exponential
 
 Exponential::Exponential(double rate) : rate_(rate) {
-  if (!(rate > 0.0)) throw std::invalid_argument("Exponential: require rate > 0");
+  SYSUQ_EXPECT(rate > 0.0, "Exponential: require rate > 0");
 }
 
 double Exponential::pdf(double x) const {
@@ -115,8 +118,8 @@ double Exponential::entropy() const { return 1.0 - std::log(rate_); }
 
 Triangular::Triangular(double lo, double mode, double hi)
     : lo_(lo), mode_(mode), hi_(hi) {
-  if (!(lo <= mode && mode <= hi && lo < hi))
-    throw std::invalid_argument("Triangular: require lo <= mode <= hi, lo < hi");
+  SYSUQ_EXPECT(lo <= mode && mode <= hi && lo < hi,
+               "Triangular: require lo <= mode <= hi, lo < hi");
 }
 
 double Triangular::pdf(double x) const {
@@ -173,8 +176,7 @@ double Triangular::entropy() const { return 0.5 + std::log(0.5 * (hi_ - lo_)); }
 // ------------------------------------------------------------------- Beta
 
 Beta::Beta(double a, double b) : a_(a), b_(b) {
-  if (!(a > 0.0) || !(b > 0.0))
-    throw std::invalid_argument("Beta: require a, b > 0");
+  SYSUQ_EXPECT(a > 0.0 && b > 0.0, "Beta: require a, b > 0");
 }
 
 double Beta::pdf(double x) const {
@@ -184,10 +186,10 @@ double Beta::pdf(double x) const {
 
 double Beta::log_pdf(double x) const {
   if (x < 0.0 || x > 1.0) return kNegInf;
-  if ((x == 0.0 && a_ < 1.0) || (x == 1.0 && b_ < 1.0))
+  if ((x == 0.0 && a_ < 1.0) || (x == 1.0 && b_ < 1.0))  // sysuq-lint-allow(float-eq): support boundary
     return std::numeric_limits<double>::infinity();
-  if (x == 0.0 && a_ > 1.0) return kNegInf;
-  if (x == 1.0 && b_ > 1.0) return kNegInf;
+  if (x == 0.0 && a_ > 1.0) return kNegInf;  // sysuq-lint-allow(float-eq): support boundary
+  if (x == 1.0 && b_ > 1.0) return kNegInf;  // sysuq-lint-allow(float-eq): support boundary
   return (a_ - 1.0) * std::log(x) + (b_ - 1.0) * std::log1p(-x) -
          log_beta(a_, b_);
 }
@@ -234,16 +236,15 @@ Beta Beta::updated(std::size_t successes, std::size_t failures) const {
 // ------------------------------------------------------------------ Gamma
 
 Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
-  if (!(shape > 0.0) || !(scale > 0.0))
-    throw std::invalid_argument("Gamma: require shape, scale > 0");
+  SYSUQ_EXPECT(shape > 0.0 && scale > 0.0, "Gamma: require shape, scale > 0");
 }
 
 double Gamma::pdf(double x) const { return x < 0.0 ? 0.0 : std::exp(log_pdf(x)); }
 
 double Gamma::log_pdf(double x) const {
   if (x < 0.0) return kNegInf;
-  if (x == 0.0) return shape_ < 1.0 ? std::numeric_limits<double>::infinity()
-                                    : (shape_ == 1.0 ? -std::log(scale_) : kNegInf);
+  if (x == 0.0) return shape_ < 1.0 ? std::numeric_limits<double>::infinity()  // sysuq-lint-allow(float-eq): support boundary
+                                    : (shape_ == 1.0 ? -std::log(scale_) : kNegInf);  // sysuq-lint-allow(float-eq): exact shape-1 special case
   return (shape_ - 1.0) * std::log(x) - x / scale_ - log_gamma(shape_) -
          shape_ * std::log(scale_);
 }
@@ -266,7 +267,7 @@ double Gamma::quantile(double p) const {
     } else {
       hi = mid;
     }
-    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+    if (hi - lo < tolerance::kSolver * (1.0 + hi)) break;
   }
   return 0.5 * (lo + hi);
 }
@@ -285,13 +286,13 @@ double Gamma::entropy() const {
 // ---------------------------------------------------------------- Weibull
 
 Weibull::Weibull(double shape, double scale) : k_(shape), lambda_(scale) {
-  if (!(shape > 0.0) || !(scale > 0.0))
-    throw std::invalid_argument("Weibull: require shape, scale > 0");
+  SYSUQ_EXPECT(shape > 0.0 && scale > 0.0,
+               "Weibull: require shape, scale > 0");
 }
 
 double Weibull::pdf(double x) const {
   if (x < 0.0) return 0.0;
-  if (x == 0.0) return k_ > 1.0 ? 0.0 : (k_ == 1.0 ? 1.0 / lambda_ : 0.0);
+  if (x == 0.0) return k_ > 1.0 ? 0.0 : (k_ == 1.0 ? 1.0 / lambda_ : 0.0);  // sysuq-lint-allow(float-eq): support boundary
   return std::exp(log_pdf(x));
 }
 
@@ -331,14 +332,14 @@ double Weibull::entropy() const {
 }
 
 double Weibull::hazard(double t) const {
-  if (!(t > 0.0)) throw std::invalid_argument("Weibull::hazard: t <= 0");
+  SYSUQ_EXPECT(t > 0.0, "Weibull::hazard: t <= 0");
   return (k_ / lambda_) * std::pow(t / lambda_, k_ - 1.0);
 }
 
 // -------------------------------------------------------------- LogNormal
 
 LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
-  if (!(sigma > 0.0)) throw std::invalid_argument("LogNormal: sigma <= 0");
+  SYSUQ_EXPECT(sigma > 0.0, "LogNormal: sigma <= 0");
 }
 
 double LogNormal::pdf(double x) const {
@@ -385,10 +386,9 @@ double LogNormal::error_factor() const {
 // -------------------------------------------------------------- Dirichlet
 
 Dirichlet::Dirichlet(std::vector<double> alpha) : alpha_(std::move(alpha)) {
-  if (alpha_.size() < 2)
-    throw std::invalid_argument("Dirichlet: need at least 2 categories");
+  SYSUQ_EXPECT(alpha_.size() >= 2, "Dirichlet: need at least 2 categories");
   for (double a : alpha_) {
-    if (!(a > 0.0)) throw std::invalid_argument("Dirichlet: require alpha_i > 0");
+    SYSUQ_EXPECT(a > 0.0, "Dirichlet: require alpha_i > 0");
   }
 }
 
@@ -418,9 +418,9 @@ double Dirichlet::log_pdf(const std::vector<double>& x) const {
     if (x[i] < 0.0) return kNegInf;
     sum += x[i];
     lognorm += log_gamma(alpha_[i]);
-    lp += (alpha_[i] - 1.0) * std::log(std::max(x[i], 1e-300));
+    lp += (alpha_[i] - 1.0) * std::log(std::max(x[i], tolerance::kUnderflow));
   }
-  if (std::fabs(sum - 1.0) > 1e-9) return kNegInf;
+  if (std::fabs(sum - 1.0) > tolerance::kProbSum) return kNegInf;
   return lp - lognorm;
 }
 

@@ -2,7 +2,11 @@
 
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
+
+#include "core/contracts.hpp"
+#include "core/tolerance.hpp"
 
 namespace sysuq::prob {
 
@@ -12,26 +16,25 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 JointTable::JointTable(std::vector<std::vector<double>> table)
     : t_(std::move(table)) {
-  if (t_.empty() || t_[0].empty())
-    throw std::invalid_argument("JointTable: empty table");
+  SYSUQ_EXPECT(!t_.empty() && !t_[0].empty(), "JointTable: empty table");
+  if (!contracts::enforced()) return;
   const std::size_t cols = t_[0].size();
   double sum = 0.0;
   for (const auto& row : t_) {
-    if (row.size() != cols)
-      throw std::invalid_argument("JointTable: ragged rows");
+    SYSUQ_EXPECT(row.size() == cols, "JointTable: ragged rows");
     for (double v : row) {
-      if (v < 0.0) throw std::invalid_argument("JointTable: negative entry");
+      SYSUQ_EXPECT(std::isfinite(v) && v >= 0.0, "JointTable: negative entry");
       sum += v;
     }
   }
-  if (std::fabs(sum - 1.0) > 1e-9)
-    throw std::invalid_argument("JointTable: entries must sum to 1");
+  SYSUQ_EXPECT(std::fabs(sum - 1.0) <= tolerance::kProbSum,
+               "JointTable: entries must sum to 1");
 }
 
 JointTable JointTable::from_conditional(
     const Categorical& px, const std::vector<Categorical>& py_given_x) {
-  if (py_given_x.size() != px.size())
-    throw std::invalid_argument("JointTable::from_conditional: row mismatch");
+  SYSUQ_EXPECT(py_given_x.size() == px.size(),
+               "JointTable::from_conditional: row mismatch");
   const std::size_t cols = py_given_x.empty() ? 0 : py_given_x[0].size();
   std::vector<std::vector<double>> t(px.size(), std::vector<double>(cols, 0.0));
   for (std::size_t x = 0; x < px.size(); ++x) {
@@ -76,12 +79,11 @@ Categorical JointTable::conditional_x_given_y(std::size_t y) const {
 double entropy(const Categorical& p) { return p.entropy(); }
 
 double cross_entropy(const Categorical& p, const Categorical& q) {
-  if (p.size() != q.size())
-    throw std::invalid_argument("cross_entropy: size mismatch");
+  SYSUQ_EXPECT(p.size() == q.size(), "cross_entropy: size mismatch");
   double h = 0.0;
   for (std::size_t i = 0; i < p.size(); ++i) {
     if (p.p(i) > 0.0) {
-      if (q.p(i) == 0.0) return kInf;
+      if (q.p(i) == 0.0) return kInf;  // sysuq-lint-allow(float-eq): KL infinite on exact zero
       h -= p.p(i) * std::log(q.p(i));
     }
   }
@@ -125,21 +127,16 @@ double mutual_information(const JointTable& joint) {
 
 EntropyDecomposition decompose_ensemble_entropy(
     const std::vector<Categorical>& members, const std::vector<double>* weights) {
-  if (members.empty())
-    throw std::invalid_argument("decompose_ensemble_entropy: empty ensemble");
+  SYSUQ_EXPECT(!members.empty(), "decompose_ensemble_entropy: empty ensemble");
   const std::size_t k = members[0].size();
   std::vector<double> w;
   if (weights != nullptr) {
-    if (weights->size() != members.size())
-      throw std::invalid_argument("decompose_ensemble_entropy: weight mismatch");
-    double sum = 0.0;
-    for (double v : *weights) {
-      if (v < 0.0)
-        throw std::invalid_argument("decompose_ensemble_entropy: negative weight");
-      sum += v;
-    }
-    if (!(sum > 0.0))
-      throw std::invalid_argument("decompose_ensemble_entropy: zero weights");
+    SYSUQ_EXPECT(weights->size() == members.size(),
+                 "decompose_ensemble_entropy: weight mismatch");
+    SYSUQ_EXPECT(contracts::is_finite_nonneg(*weights),
+                 "decompose_ensemble_entropy: negative weight");
+    const double sum = std::accumulate(weights->begin(), weights->end(), 0.0);
+    SYSUQ_EXPECT(sum > 0.0, "decompose_ensemble_entropy: zero weights");
     w = *weights;
     for (double& v : w) v /= sum;
   } else {
@@ -149,8 +146,8 @@ EntropyDecomposition decompose_ensemble_entropy(
   std::vector<double> mean(k, 0.0);
   double expected_h = 0.0;
   for (std::size_t m = 0; m < members.size(); ++m) {
-    if (members[m].size() != k)
-      throw std::invalid_argument("decompose_ensemble_entropy: size mismatch");
+    SYSUQ_EXPECT(members[m].size() == k,
+                 "decompose_ensemble_entropy: size mismatch");
     expected_h += w[m] * members[m].entropy();
     for (std::size_t i = 0; i < k; ++i) mean[i] += w[m] * members[m].p(i);
   }

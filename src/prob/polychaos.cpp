@@ -42,13 +42,13 @@ std::vector<double> poly_roots(PolyBasis basis, std::size_t n) {
     const double x1 =
         -bound + 2.0 * bound * static_cast<double>(i) / static_cast<double>(grid);
     const double f1 = poly_value(basis, n, x1);
-    if (f0 == 0.0) roots.push_back(x0);
+    if (f0 == 0.0) roots.push_back(x0);  // sysuq-lint-allow(float-eq): exact root hit
     if (f0 * f1 < 0.0) {
       double lo = x0, hi = x1;
       for (int it = 0; it < 100; ++it) {
         const double mid = 0.5 * (lo + hi);
         const double fm = poly_value(basis, n, mid);
-        if (fm == 0.0) {
+        if (fm == 0.0) {  // sysuq-lint-allow(float-eq): exact root hit
           lo = hi = mid;
           break;
         }
@@ -244,7 +244,7 @@ double PolynomialChaosND::variance() const {
 double PolynomialChaosND::sobol_first(std::size_t i) const {
   if (i >= dim_) throw std::out_of_range("PolynomialChaosND: input index");
   const double total = variance();
-  if (total == 0.0) return 0.0;
+  if (total == 0.0) return 0.0;  // sysuq-lint-allow(float-eq): zero total guard
   double v = 0.0;
   for (std::size_t t = 0; t < indices_.size(); ++t) {
     bool only_i = indices_[t][i] > 0;
@@ -259,7 +259,7 @@ double PolynomialChaosND::sobol_first(std::size_t i) const {
 double PolynomialChaosND::sobol_total(std::size_t i) const {
   if (i >= dim_) throw std::out_of_range("PolynomialChaosND: input index");
   const double total = variance();
-  if (total == 0.0) return 0.0;
+  if (total == 0.0) return 0.0;  // sysuq-lint-allow(float-eq): zero total guard
   double v = 0.0;
   for (std::size_t t = 0; t < indices_.size(); ++t) {
     if (indices_[t][i] > 0) v += coeff_[t] * coeff_[t] * term_norm2(t);

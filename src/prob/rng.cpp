@@ -42,7 +42,7 @@ double Rng::gaussian() {
 
 double Rng::gaussian(double mean, double sigma) {
   if (sigma < 0.0) throw std::invalid_argument("Rng::gaussian: sigma < 0");
-  if (sigma == 0.0) return mean;
+  if (sigma == 0.0) return mean;  // sysuq-lint-allow(float-eq): degenerate sigma = 0
   return std::normal_distribution<double>(mean, sigma)(engine_);
 }
 

@@ -4,10 +4,14 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
+#include "core/tolerance.hpp"
+
 namespace sysuq::prob {
 namespace {
 
-constexpr double kEps = 1e-15;
+constexpr double kEps = tolerance::kSeries;
+constexpr double kFpMin = tolerance::kUnderflow;
 constexpr int kMaxIter = 300;
 
 // Continued-fraction evaluation of the incomplete beta function
@@ -18,23 +22,23 @@ double beta_continued_fraction(double a, double b, double x) {
   const double qam = a - 1.0;
   double c = 1.0;
   double d = 1.0 - qab * x / qap;
-  if (std::fabs(d) < 1e-300) d = 1e-300;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
   d = 1.0 / d;
   double h = d;
   for (int m = 1; m <= kMaxIter; ++m) {
     const double m2 = 2.0 * m;
     double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
     d = 1.0 + aa * d;
-    if (std::fabs(d) < 1e-300) d = 1e-300;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
     c = 1.0 + aa / c;
-    if (std::fabs(c) < 1e-300) c = 1e-300;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
     d = 1.0 / d;
     h *= d * c;
     aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
     d = 1.0 + aa * d;
-    if (std::fabs(d) < 1e-300) d = 1e-300;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
     c = 1.0 + aa / c;
-    if (std::fabs(c) < 1e-300) c = 1e-300;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
     d = 1.0 / d;
     const double del = d * c;
     h *= del;
@@ -60,16 +64,16 @@ double gamma_series(double a, double x) {
 // Continued fraction of Q(a, x) for x >= a + 1.
 double gamma_continued_fraction(double a, double x) {
   double b = x + 1.0 - a;
-  double c = 1.0 / 1e-300;
+  double c = 1.0 / kFpMin;
   double d = 1.0 / b;
   double h = d;
   for (int i = 1; i <= kMaxIter; ++i) {
     const double an = -i * (i - a);
     b += 2.0;
     d = an * d + b;
-    if (std::fabs(d) < 1e-300) d = 1e-300;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
     c = b + an / c;
-    if (std::fabs(c) < 1e-300) c = 1e-300;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
     d = 1.0 / d;
     const double del = d * c;
     h *= del;
@@ -81,7 +85,7 @@ double gamma_continued_fraction(double a, double x) {
 }  // namespace
 
 double log_gamma(double x) {
-  if (!(x > 0.0)) throw std::invalid_argument("log_gamma: x must be > 0");
+  SYSUQ_EXPECT(x > 0.0, "log_gamma: x must be > 0");
   return std::lgamma(x);
 }
 
@@ -90,9 +94,8 @@ double log_beta(double a, double b) {
 }
 
 double reg_lower_gamma(double a, double x) {
-  if (!(a > 0.0) || x < 0.0)
-    throw std::invalid_argument("reg_lower_gamma: require a > 0, x >= 0");
-  if (x == 0.0) return 0.0;
+  SYSUQ_EXPECT(a > 0.0 && x >= 0.0, "reg_lower_gamma: require a > 0, x >= 0");
+  if (x == 0.0) return 0.0;  // sysuq-lint-allow(float-eq): exact zero
   if (x < a + 1.0) return gamma_series(a, x);
   return 1.0 - gamma_continued_fraction(a, x);
 }
@@ -100,12 +103,10 @@ double reg_lower_gamma(double a, double x) {
 double reg_upper_gamma(double a, double x) { return 1.0 - reg_lower_gamma(a, x); }
 
 double reg_inc_beta(double a, double b, double x) {
-  if (!(a > 0.0) || !(b > 0.0))
-    throw std::invalid_argument("reg_inc_beta: require a, b > 0");
-  if (x < 0.0 || x > 1.0)
-    throw std::invalid_argument("reg_inc_beta: require x in [0, 1]");
-  if (x == 0.0) return 0.0;
-  if (x == 1.0) return 1.0;
+  SYSUQ_EXPECT(a > 0.0 && b > 0.0, "reg_inc_beta: require a, b > 0");
+  SYSUQ_EXPECT(x >= 0.0 && x <= 1.0, "reg_inc_beta: require x in [0, 1]");
+  if (x == 0.0) return 0.0;  // sysuq-lint-allow(float-eq): support boundary
+  if (x == 1.0) return 1.0;  // sysuq-lint-allow(float-eq): support boundary
   const double ln_front =
       a * std::log(x) + b * std::log(1.0 - x) - log_beta(a, b);
   const double front = std::exp(ln_front);
@@ -117,10 +118,9 @@ double reg_inc_beta(double a, double b, double x) {
 }
 
 double inv_reg_inc_beta(double a, double b, double p) {
-  if (p < 0.0 || p > 1.0)
-    throw std::invalid_argument("inv_reg_inc_beta: require p in [0, 1]");
-  if (p == 0.0) return 0.0;
-  if (p == 1.0) return 1.0;
+  SYSUQ_ASSERT_PROB(p, "inv_reg_inc_beta: p");
+  if (p == 0.0) return 0.0;  // sysuq-lint-allow(float-eq): support boundary
+  if (p == 1.0) return 1.0;  // sysuq-lint-allow(float-eq): support boundary
   // Bisection with Newton acceleration; the CDF is strictly monotone.
   double lo = 0.0, hi = 1.0;
   double x = a / (a + b);  // start at the mean
@@ -135,9 +135,9 @@ double inv_reg_inc_beta(double a, double b, double p) {
     const double ln_pdf =
         (a - 1.0) * std::log(x) + (b - 1.0) * std::log(1.0 - x) - log_beta(a, b);
     const double pdf = std::exp(ln_pdf);
-    double nx = (pdf > 1e-300) ? x - f / pdf : 0.5 * (lo + hi);
+    double nx = (pdf > kFpMin) ? x - f / pdf : 0.5 * (lo + hi);
     if (!(nx > lo && nx < hi)) nx = 0.5 * (lo + hi);
-    if (std::fabs(nx - x) < 1e-14) return nx;
+    if (std::fabs(nx - x) < tolerance::kRoot) return nx;
     x = nx;
   }
   return x;
@@ -146,8 +146,7 @@ double inv_reg_inc_beta(double a, double b, double p) {
 double std_normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
 
 double std_normal_quantile(double p) {
-  if (!(p > 0.0 && p < 1.0))
-    throw std::invalid_argument("std_normal_quantile: require p in (0, 1)");
+  SYSUQ_EXPECT(p > 0.0 && p < 1.0, "std_normal_quantile: require p in (0, 1)");
   // Acklam's rational approximation.
   static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
                              -2.759285104469687e+02, 1.383577518672690e+02,
@@ -189,7 +188,7 @@ double erf(double x) { return std::erf(x); }
 double log_factorial(std::size_t n) { return log_gamma(static_cast<double>(n) + 1.0); }
 
 double log_binomial_coeff(std::size_t n, std::size_t k) {
-  if (k > n) throw std::invalid_argument("log_binomial_coeff: k > n");
+  SYSUQ_EXPECT(k <= n, "log_binomial_coeff: k > n");
   return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
 }
 

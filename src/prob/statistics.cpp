@@ -107,7 +107,7 @@ double pearson_correlation(const std::vector<double>& x,
     cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
   cov /= static_cast<double>(x.size() - 1);
   const double denom = sx.stddev() * sy.stddev();
-  if (denom == 0.0) throw std::invalid_argument("pearson_correlation: zero variance");
+  if (denom == 0.0) throw std::invalid_argument("pearson_correlation: zero variance");  // sysuq-lint-allow(float-eq): exact zero variance guard
   return cov / denom;
 }
 

@@ -1,0 +1,242 @@
+// sysuq_lint: repo-specific static checks for src/.
+//
+// Rules (suppress a line with `// sysuq-lint-allow(<rule>): <reason>`):
+//   rng-discipline  rand()/srand()/raw mt19937 outside src/prob/rng.* —
+//                   all randomness must flow through prob::Rng so streams
+//                   stay seedable and splittable.
+//   float-eq        == or != against a floating-point literal; compare
+//                   against a tolerance instead, or annotate why an exact
+//                   bit comparison is intended.
+//   magic-epsilon   floating literal with exponent <= -8 outside
+//                   src/core/tolerance.hpp; use the named constants so
+//                   every module agrees on what "equal" means.
+//   include-hygiene quoted includes must be module-qualified ("mod/file.hpp",
+//                   never "../"), and a .cpp file must include its own
+//                   header first so headers stay self-contained.
+//
+// Lines are matched after stripping string literals and comments, so
+// documentation may mention rand() or 1e-12 freely. Exit code is 0 when
+// clean, 1 when any violation is reported, 2 on usage/IO errors.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// Replaces string/char literal bodies and comments with spaces, keeping
+// column positions stable. `in_block` carries /* ... */ state across lines.
+std::string strip_noncode(const std::string& line, bool& in_block) {
+  std::string out(line.size(), ' ');
+  bool in_string = false, in_char = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_block) {
+      if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block = false;
+        ++i;
+      }
+      continue;
+    }
+    if (in_string || in_char) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if ((in_string && c == '"') || (in_char && c == '\'')) {
+        in_string = in_char = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      out[i] = c;  // keep the delimiter so #include "..." stays visible
+      continue;
+    }
+    if (c == '\'') {
+      // Distinguish a char literal from a digit separator (1'000'000).
+      const bool digit_sep = i > 0 && std::isdigit(static_cast<unsigned char>(line[i - 1])) &&
+                             i + 1 < line.size() &&
+                             std::isdigit(static_cast<unsigned char>(line[i + 1]));
+      if (digit_sep) {
+        out[i] = c;
+        continue;
+      }
+      in_char = true;
+      continue;
+    }
+    if (c == '/' && i + 1 < line.size()) {
+      if (line[i + 1] == '/') break;  // rest of line is a comment
+      if (line[i + 1] == '*') {
+        in_block = true;
+        ++i;
+        continue;
+      }
+    }
+    out[i] = c;
+  }
+  // Trim trailing spaces introduced by the comment cut.
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+bool allows(const std::string& raw_line, const std::string& rule) {
+  const std::string marker = "sysuq-lint-allow(" + rule + ")";
+  return raw_line.find(marker) != std::string::npos;
+}
+
+// The include check needs the path quoted in the directive.
+std::string quoted_include(const std::string& code) {
+  static const std::regex re(R"(^\s*#\s*include\s*\"([^\"]+)\")");
+  std::smatch m;
+  if (std::regex_search(code, m, re)) return m[1].str();
+  return {};
+}
+
+class Linter {
+ public:
+  explicit Linter(fs::path src_root) : root_(std::move(src_root)) {}
+
+  void lint_file(const fs::path& path) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "sysuq_lint: cannot read " << path << "\n";
+      io_error_ = true;
+      return;
+    }
+    const std::string rel = fs::relative(path, root_).generic_string();
+    const bool is_rng = rel.rfind("prob/rng", 0) == 0;
+    const bool is_tolerance = rel == "core/tolerance.hpp";
+    const bool is_cpp = path.extension() == ".cpp";
+    // Own header: core/contracts.cpp must include "core/contracts.hpp" first.
+    std::string own_header;
+    if (is_cpp) {
+      fs::path hpp = path;
+      hpp.replace_extension(".hpp");
+      if (fs::exists(hpp)) {
+        own_header = fs::relative(hpp, root_).generic_string();
+      }
+    }
+
+    static const std::regex rng_re(R"((^|[^\w:.])(s?rand\s*\(|mt19937))");
+    static const std::regex float_lit_eq(
+        R"((==|!=)\s*-?(\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+))");
+    static const std::regex float_eq_lit(
+        R"((\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)(f|F)?\s*(==|!=))");
+    static const std::regex epsilon_re(R"((\d+(\.\d*)?|\.\d+)[eE]-(\d+))");
+
+    std::string raw;
+    bool in_block = false;
+    bool saw_first_include = false;
+    for (std::size_t lineno = 1; std::getline(in, raw); ++lineno) {
+      const std::string code = strip_noncode(raw, in_block);
+      if (code.empty()) continue;
+
+      if (const std::string inc = quoted_include(code); !inc.empty()) {
+        if (!allows(raw, "include-hygiene")) {
+          if (inc.find("../") != std::string::npos) {
+            report(rel, lineno, "include-hygiene",
+                   "relative include \"" + inc + "\"; use the module-qualified path");
+          } else if (inc.find('/') == std::string::npos) {
+            report(rel, lineno, "include-hygiene",
+                   "unqualified include \"" + inc + "\"; write \"<module>/" + inc + "\"");
+          }
+          if (!saw_first_include && !own_header.empty() && inc != own_header) {
+            report(rel, lineno, "include-hygiene",
+                   "first include must be the file's own header \"" + own_header + "\"");
+          }
+        }
+        saw_first_include = true;
+        continue;
+      }
+
+      if (!is_rng && !allows(raw, "rng-discipline") &&
+          std::regex_search(code, rng_re)) {
+        report(rel, lineno, "rng-discipline",
+               "raw rand()/mt19937; use prob::Rng (src/prob/rng.hpp)");
+      }
+
+      if (!allows(raw, "float-eq") &&
+          (std::regex_search(code, float_lit_eq) ||
+           std::regex_search(code, float_eq_lit))) {
+        report(rel, lineno, "float-eq",
+               "floating-point ==/!=; compare against a tolerance or annotate");
+      }
+
+      if (!is_tolerance && !allows(raw, "magic-epsilon")) {
+        for (std::sregex_iterator it(code.begin(), code.end(), epsilon_re), end;
+             it != end; ++it) {
+          if (std::stoi((*it)[3].str()) >= 8) {
+            report(rel, lineno, "magic-epsilon",
+                   "tolerance-sized literal " + it->str() +
+                       "; use a named constant from core/tolerance.hpp");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  int run() {
+    if (!fs::is_directory(root_)) {
+      std::cerr << "sysuq_lint: not a directory: " << root_ << "\n";
+      return 2;
+    }
+    std::size_t files = 0;
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(root_)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext == ".cpp" || ext == ".hpp") paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const auto& p : paths) {
+      lint_file(p);
+      ++files;
+    }
+    if (io_error_) return 2;
+    if (violations_.empty()) {
+      std::cout << "sysuq_lint: OK (" << files << " files)\n";
+      return 0;
+    }
+    for (const auto& v : violations_) {
+      std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+                << v.message << "\n";
+    }
+    std::cout << "sysuq_lint: " << violations_.size() << " violation(s) in "
+              << files << " files\n";
+    return 1;
+  }
+
+ private:
+  void report(const std::string& file, std::size_t line, const std::string& rule,
+              const std::string& message) {
+    violations_.push_back({file, line, rule, message});
+  }
+
+  fs::path root_;
+  std::vector<Violation> violations_;
+  bool io_error_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::cerr << "usage: sysuq_lint [src-root]\n";
+    return 2;
+  }
+  const fs::path root = argc == 2 ? fs::path(argv[1]) : fs::path("src");
+  return Linter(root).run();
+}
