@@ -12,9 +12,14 @@
 // with queries/sec for the seed loop, the 1-thread engine and the
 // 4-thread engine, the resulting speedups, the ordering-cache hit rate,
 // and whether pooled results were byte-identical to sequential ones.
+//
+// With `--manifest out.json`, also writes a run manifest: the workload
+// parameters plus a full snapshot of the obs metrics registry (so the
+// run's bayesnet.engine.* instruments travel with the numbers).
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <list>
 #include <set>
 #include <string>
@@ -22,6 +27,7 @@
 
 #include "bayesnet/engine.hpp"
 #include "bayesnet/inference.hpp"
+#include "obs/registry.hpp"
 #include "perception/table1.hpp"
 
 namespace {
@@ -140,8 +146,20 @@ sysuq::bayesnet::BayesianNetwork make_chain(std::size_t stages) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sysuq;
+
+  std::string manifest_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--manifest" && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_engine_batch [--manifest out.json]\n");
+      return 2;
+    }
+  }
 
   std::puts("==== engine batch throughput: InferenceEngine vs seed "
             "VariableElimination loop ====\n");
@@ -251,5 +269,19 @@ int main() {
       net.size(), kBatch, qps_seed, qps_ve, qps1, qps4, qps1 / qps_seed,
       qps4 / qps_seed, stats.hit_rate(), stats.entries,
       byte_identical ? "true" : "false", max_abs_vs_ve);
+
+  if (!manifest_path.empty()) {
+    std::ofstream out(manifest_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_engine_batch: cannot write manifest '%s'\n",
+                   manifest_path.c_str());
+      return 2;
+    }
+    out << "{\"bench\":\"engine_batch\",\"variables\":" << net.size()
+        << ",\"batch\":" << kBatch
+        << ",\"metrics\":" << obs::Registry::global().to_json() << "}\n";
+    std::printf("manifest written to %s\n", manifest_path.c_str());
+  }
+
   return byte_identical && max_abs_vs_ve < 1e-9 ? 0 : 1;
 }

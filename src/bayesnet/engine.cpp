@@ -9,9 +9,45 @@
 #include <thread>
 
 #include "bayesnet/inference.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "prob/rng.hpp"
 
 namespace sysuq::bayesnet {
+
+namespace {
+
+// Engine instruments, registered once on first use. Counters aggregate
+// across every engine in the process; per-engine windows come from
+// cache_stats().
+struct EngineMetrics {
+  obs::Histogram& query_seconds;
+  obs::Histogram& elimination_width;
+  obs::Counter& queries;
+  obs::Counter& batch_queries;
+  obs::Counter& sampled_queries;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Gauge& cache_entries;
+
+  static EngineMetrics& instance() {
+    auto& reg = obs::Registry::global();
+    static EngineMetrics m{
+        reg.histogram("bayesnet.engine.query_seconds", obs::seconds_buckets()),
+        reg.histogram("bayesnet.engine.elimination_width",
+                      {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0}),
+        reg.counter("bayesnet.engine.queries"),
+        reg.counter("bayesnet.engine.batch_queries"),
+        reg.counter("bayesnet.engine.sampled_queries"),
+        reg.counter("bayesnet.engine.ordering_cache.hits"),
+        reg.counter("bayesnet.engine.ordering_cache.misses"),
+        reg.gauge("bayesnet.engine.ordering_cache.entries"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 // A fixed pool of background workers plus the calling thread. `run` hands
 // out task indices through an atomic counter, so work distribution adapts
@@ -143,21 +179,27 @@ std::shared_ptr<const EliminationOrdering> InferenceEngine::ordering_for(
   key.reserve(evidence.size());
   for (const auto& [v, _] : evidence) key.push_back(v);  // map: sorted
 
+  auto& metrics = EngineMetrics::instance();
   std::lock_guard<std::mutex> lk(cache_mu_);
   if (const auto it = cache_.find(key); it != cache_.end()) {
     ++cache_hits_;
+    metrics.cache_hits.inc();
     return it->second;
   }
   ++cache_misses_;
+  metrics.cache_misses.inc();
   auto ordering = std::make_shared<const EliminationOrdering>(
       compute_elimination_order(net_, /*keep=*/{}, key, options_.heuristic));
   cache_.emplace(std::move(key), ordering);
+  metrics.cache_entries.set(static_cast<double>(cache_.size()));
   return ordering;
 }
 
 Factor InferenceEngine::eliminate_all_but(const std::vector<VariableId>& keep,
                                           const Evidence& evidence) const {
   const auto ordering = ordering_for(evidence);
+  EngineMetrics::instance().elimination_width.observe(
+      static_cast<double>(ordering->induced_width));
   std::vector<Factor> factors;
   factors.reserve(cpt_factors_.size());
   for (const Factor& base : cpt_factors_) {
@@ -184,6 +226,10 @@ Factor InferenceEngine::eliminate_all_but(const std::vector<VariableId>& keep,
 
 prob::Categorical InferenceEngine::query(VariableId query,
                                          const Evidence& evidence) const {
+  auto& metrics = EngineMetrics::instance();
+  const obs::Span span("bayesnet.engine.query");
+  const obs::HistogramTimer timer(metrics.query_seconds);
+  metrics.queries.inc();
   if (query >= net_.size())
     throw std::out_of_range("InferenceEngine::query: variable id");
   if (evidence.contains(query)) {
@@ -226,6 +272,8 @@ prob::JointTable InferenceEngine::joint(VariableId a, VariableId b,
 
 std::vector<prob::Categorical> InferenceEngine::query_batch(
     const std::vector<QuerySpec>& batch) const {
+  const obs::Span span("bayesnet.engine.query_batch");
+  EngineMetrics::instance().batch_queries.inc(batch.size());
   std::vector<std::optional<prob::Categorical>> results(batch.size());
   std::vector<std::exception_ptr> errors(batch.size());
   const std::function<void(std::size_t)> task = [&](std::size_t i) {
@@ -252,6 +300,8 @@ std::vector<prob::Categorical> InferenceEngine::query_batch(
 std::vector<prob::Categorical> InferenceEngine::sample_batch(
     const std::vector<QuerySpec>& batch, std::size_t samples,
     std::uint64_t seed) const {
+  const obs::Span span("bayesnet.engine.sample_batch");
+  EngineMetrics::instance().sampled_queries.inc(batch.size());
   std::vector<std::optional<prob::Categorical>> results(batch.size());
   std::vector<std::exception_ptr> errors(batch.size());
   const std::function<void(std::size_t)> task = [&](std::size_t i) {
@@ -286,6 +336,12 @@ InferenceEngine::CacheStats InferenceEngine::cache_stats() const {
   s.misses = cache_misses_;
   s.entries = cache_.size();
   return s;
+}
+
+void InferenceEngine::reset_cache_stats() {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  cache_hits_ = 0;
+  cache_misses_ = 0;
 }
 
 void InferenceEngine::clear_cache() {

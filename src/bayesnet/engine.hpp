@@ -52,13 +52,18 @@ class InferenceEngine {
     OrderingHeuristic heuristic = OrderingHeuristic::kMinFill;
   };
 
+  /// A point-in-time view of this engine's ordering-cache counters.
+  /// The process-wide aggregates live on the obs registry
+  /// (`bayesnet.engine.ordering_cache.*`); this struct is the
+  /// per-engine window over the same events.
   struct CacheStats {
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t entries = 0;
     [[nodiscard]] double hit_rate() const {
-      const std::size_t total = hits + misses;
-      return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+      const std::size_t lookups = hits + misses;
+      if (lookups == 0) return 0.0;
+      return static_cast<double>(hits) / static_cast<double>(lookups);
     }
   };
 
@@ -98,8 +103,15 @@ class InferenceEngine {
       const std::vector<QuerySpec>& batch, std::size_t samples,
       std::uint64_t seed) const;
 
-  /// Ordering-cache statistics since construction / the last clear.
+  /// Ordering-cache statistics since construction / the last clear /
+  /// the last reset_cache_stats().
   [[nodiscard]] CacheStats cache_stats() const;
+
+  /// Zeroes the hit/miss counters without dropping cached orderings, so
+  /// long-running batch loops can window their stats per batch. The
+  /// process-wide obs counters are unaffected (they aggregate forever).
+  void reset_cache_stats();
+
   void clear_cache();
 
  private:

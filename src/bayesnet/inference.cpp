@@ -3,12 +3,51 @@
 #include "core/contracts.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <stdexcept>
+#include <string>
 
 #include "bayesnet/ordering.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace sysuq::bayesnet {
+
+namespace {
+
+// Instruments resolved once; hot paths touch only the atomics.
+struct VeMetrics {
+  obs::Counter& queries;
+  obs::Histogram& query_seconds;
+
+  static VeMetrics& instance() {
+    static VeMetrics m{
+        obs::Registry::global().counter("bayesnet.ve.queries"),
+        obs::Registry::global().histogram("bayesnet.ve.query_seconds",
+                                          obs::seconds_buckets())};
+    return m;
+  }
+};
+
+struct SamplingMetrics {
+  obs::Gauge& effective_sample_size;
+  obs::Counter& zero_weight_samples;
+  obs::Counter& degenerate_failures;
+  obs::Counter& rejected_samples;
+
+  static SamplingMetrics& instance() {
+    auto& registry = obs::Registry::global();
+    static SamplingMetrics m{
+        registry.gauge("bayesnet.sampling.effective_sample_size"),
+        registry.counter("bayesnet.sampling.zero_weight_samples"),
+        registry.counter("bayesnet.sampling.degenerate_failures"),
+        registry.counter("bayesnet.sampling.rejected_samples")};
+    return m;
+  }
+};
+
+}  // namespace
 
 std::string impossible_evidence_message(const BayesianNetwork& net,
                                         const Evidence& evidence) {
@@ -57,6 +96,10 @@ Factor VariableElimination::eliminate_all_but(
 
 prob::Categorical VariableElimination::query(VariableId query,
                                              const Evidence& evidence) const {
+  auto& metrics = VeMetrics::instance();
+  const obs::Span span("bayesnet.ve.query");
+  const obs::HistogramTimer timer(metrics.query_seconds);
+  metrics.queries.inc();
   if (evidence.contains(query)) {
     // Querying an observed variable returns its point mass.
     return prob::Categorical::delta(evidence.at(query),
@@ -182,9 +225,14 @@ prob::Categorical likelihood_weighting(const BayesianNetwork& net,
                                        std::size_t samples, prob::Rng& rng) {
   SYSUQ_EXPECT(samples != 0, "likelihood_weighting: zero samples");
   net.validate();
+  auto& metrics = SamplingMetrics::instance();
+  const obs::Span span("bayesnet.sampling.likelihood_weighting");
   const auto order = net.topological_order();
   std::vector<double> weights(net.variable(query).cardinality(), 0.0);
   std::vector<std::size_t> state(net.size(), 0);
+  double sum_w = 0.0;
+  double sum_w2 = 0.0;
+  std::uint64_t zero_weight = 0;
   for (std::size_t s = 0; s < samples; ++s) {
     double w = 1.0;
     for (VariableId v : order) {
@@ -201,14 +249,25 @@ prob::Categorical likelihood_weighting(const BayesianNetwork& net,
       }
     }
     weights[state[query]] += w;
+    sum_w += w;
+    sum_w2 += w * w;
+    if (w == 0.0) ++zero_weight;  // sysuq-lint-allow(float-eq): exact zero-mass draw
   }
+  metrics.zero_weight_samples.inc(zero_weight);
   // Every sample weighted zero: the evidence hit zero CPT rows along all
   // sampled parent configurations. Normalizing would divide by zero — fail
-  // loudly, naming the evidence (mirrors rejection sampling's zero-accept
-  // behaviour).
-  if (std::all_of(weights.begin(), weights.end(),
-                  [](double w) { return w == 0.0; }))  // sysuq-lint-allow(float-eq): detect exactly-zero weights
-    throw std::domain_error(impossible_evidence_message(net, evidence));
+  // loudly, naming the evidence and how many draws were attempted (mirrors
+  // rejection sampling's zero-accept behaviour).
+  if (zero_weight == samples) {
+    metrics.degenerate_failures.inc();
+    throw std::domain_error(impossible_evidence_message(net, evidence) +
+                            " (likelihood weighting: all " +
+                            std::to_string(samples) +
+                            " samples had weight zero)");
+  }
+  // Kish effective sample size (sum w)^2 / sum w^2 — how many unweighted
+  // draws this weighted run is worth.
+  metrics.effective_sample_size.set(sum_w * sum_w / sum_w2);
   return prob::Categorical::normalized(std::move(weights));
 }
 
@@ -217,6 +276,8 @@ prob::Categorical rejection_sampling(const BayesianNetwork& net, VariableId quer
                                      prob::Rng& rng, std::size_t* accepted) {
   SYSUQ_EXPECT(samples != 0, "rejection_sampling: zero samples");
   net.validate();
+  auto& metrics = SamplingMetrics::instance();
+  const obs::Span span("bayesnet.sampling.rejection_sampling");
   std::vector<double> counts(net.variable(query).cardinality(), 0.0);
   std::size_t acc = 0;
   for (std::size_t s = 0; s < samples; ++s) {
@@ -225,9 +286,12 @@ prob::Categorical rejection_sampling(const BayesianNetwork& net, VariableId quer
     counts[state[query]] += 1.0;
     ++acc;
   }
+  metrics.rejected_samples.inc(samples - acc);
   if (accepted != nullptr) *accepted = acc;
-  if (acc == 0)
+  if (acc == 0) {
+    metrics.degenerate_failures.inc();
     throw std::domain_error(impossible_evidence_message(net, evidence));
+  }
   return prob::Categorical::normalized(std::move(counts));
 }
 

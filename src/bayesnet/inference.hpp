@@ -22,14 +22,16 @@ namespace sysuq::bayesnet {
 /// The one impossible-evidence error message used across every inference
 /// entry point (`VariableElimination::query`/`joint`, `InferenceEngine`
 /// queries, `enumerate_posterior`, `enumerate_mpe`, `likelihood_weighting`,
-/// `rejection_sampling`). All of them throw `std::domain_error` with
-/// exactly this text when P(evidence) = 0 (or, for the samplers, when no
-/// draw is consistent with the evidence):
+/// `rejection_sampling`). All of them throw `std::domain_error` with a
+/// message that starts with exactly this text when P(evidence) = 0 (or,
+/// for the samplers, when no draw is consistent with the evidence):
 ///
 ///   "bayesnet: impossible evidence (P(e) = 0): name=state[, name=state...]"
 ///
 /// Evidence entries are listed in VariableId order using the network's
 /// variable and state names; empty evidence renders as "(none)".
+/// `likelihood_weighting` appends a suffix naming the attempted sample
+/// count; every other entry point throws the text verbatim.
 [[nodiscard]] std::string impossible_evidence_message(
     const BayesianNetwork& net, const Evidence& evidence);
 
@@ -83,8 +85,12 @@ struct MpeResult {
                                       const Evidence& evidence = {});
 
 /// Approximate posterior by likelihood weighting with `samples` draws.
-/// Throws std::domain_error with `impossible_evidence_message` if every
-/// sample receives weight zero (evidence hitting zero CPT rows).
+/// Throws std::domain_error if every sample receives weight zero
+/// (evidence hitting zero CPT rows); the message is
+/// `impossible_evidence_message` plus a " (likelihood weighting: all N
+/// samples had weight zero)" suffix naming the attempted sample count.
+/// Records the Kish effective sample size of each successful run on the
+/// obs gauge `bayesnet.sampling.effective_sample_size`.
 [[nodiscard]] prob::Categorical likelihood_weighting(const BayesianNetwork& net,
                                                      VariableId query,
                                                      const Evidence& evidence,

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 #include "core/contracts.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace sysuq::core {
 
@@ -95,6 +97,11 @@ std::vector<LoopCheckpoint> CyberneticLoop::run(
     SYSUQ_EXPECT(checkpoints[i] > checkpoints[i - 1],
                  "CyberneticLoop::run: not increasing");
   }
+  auto& registry = obs::Registry::global();
+  obs::Counter& encounters = registry.counter("core.cybernetic.encounters");
+  obs::Counter& checkpoint_counter =
+      registry.counter("core.cybernetic.checkpoints");
+  const obs::Span span("core.cybernetic.run");
   std::vector<LoopCheckpoint> out;
   constexpr std::size_t kEvalSamples = 20000;
   for (const std::size_t target : checkpoints) {
@@ -105,7 +112,9 @@ std::vector<LoopCheckpoint> CyberneticLoop::run(
       // post-hoc against its ontology enter the codified model.
       if (enc.modeled) counts_[enc.true_class][obs.label] += 1;
       ++seen_;
+      encounters.inc();
     }
+    checkpoint_counter.inc();
     LoopCheckpoint cp{};
     cp.observations = seen_;
     cp.model_gap = model_gap();

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace sysuq::evidence {
 
 bayesnet::Variable powerset_variable(const std::string& name,
@@ -44,10 +46,21 @@ std::size_t powerset_state_index(const Frame& frame, FocalSet s) {
   return static_cast<std::size_t>(s) - 1;
 }
 
+namespace {
+
+obs::Counter& engine_query_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("evidence.network.engine_queries");
+  return c;
+}
+
+}  // namespace
+
 prob::ProbInterval engine_belief_plausibility(
     const bayesnet::InferenceEngine& engine, const Frame& frame,
     bayesnet::VariableId node, FocalSet query,
     const bayesnet::Evidence& evidence) {
+  engine_query_counter().inc();
   return belief_plausibility(frame, engine.query(node, evidence), query);
 }
 
@@ -55,6 +68,7 @@ MassFunction engine_posterior_mass(const bayesnet::InferenceEngine& engine,
                                    const Frame& frame,
                                    bayesnet::VariableId node,
                                    const bayesnet::Evidence& evidence) {
+  engine_query_counter().inc();
   return categorical_to_mass(frame, engine.query(node, evidence));
 }
 

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace sysuq::fta {
 
 CompiledNetwork compile_to_bayesnet(const FaultTree& tree) {
@@ -58,6 +61,12 @@ TopEventDiagnosis diagnose_top_event(const CompiledNetwork& compiled,
   if (&engine.network() != &compiled.network)
     throw std::invalid_argument(
         "diagnose_top_event: engine not built over compiled.network");
+
+  auto& registry = obs::Registry::global();
+  const obs::Span span("fta.diagnose_top_event");
+  const obs::HistogramTimer timer(
+      registry.histogram("fta.diagnosis.seconds", obs::seconds_buckets()));
+  registry.counter("fta.diagnosis.runs").inc();
 
   TopEventDiagnosis out;
   out.top_probability = engine.query(compiled.top).p(1);

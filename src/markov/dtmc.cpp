@@ -7,8 +7,19 @@
 #include <stdexcept>
 #include "core/contracts.hpp"
 #include "core/tolerance.hpp"
+#include "obs/registry.hpp"
 
 namespace sysuq::markov {
+
+namespace {
+
+// Iterations-to-convergence per fixed-point solve; a solve that exhausts
+// max_iters lands in the same histogram, visibly at the top bucket.
+obs::Histogram& iteration_histogram(std::string_view name) {
+  return obs::Registry::global().histogram(name, obs::count_buckets());
+}
+
+}  // namespace
 
 void Dtmc::check(StateId s) const {
   if (s >= names_.size()) throw std::out_of_range("Dtmc: bad state id");
@@ -72,7 +83,9 @@ std::vector<double> Dtmc::reachability(const std::vector<StateId>& targets,
   }
   std::vector<double> x(size(), 0.0);
   for (StateId s = 0; s < size(); ++s) x[s] = is_target[s] ? 1.0 : 0.0;
+  std::size_t iters = 0;
   for (std::size_t it = 0; it < max_iters; ++it) {
+    ++iters;
     double delta = 0.0;
     std::vector<double> nx(size());
     for (StateId s = 0; s < size(); ++s) {
@@ -88,6 +101,8 @@ std::vector<double> Dtmc::reachability(const std::vector<StateId>& targets,
     x = std::move(nx);
     if (delta < tol) break;
   }
+  iteration_histogram("markov.dtmc.reachability_iterations")
+      .observe(static_cast<double>(iters));
   return x;
 }
 
@@ -130,7 +145,9 @@ std::vector<double> Dtmc::bounded_until(const std::vector<bool>& safe,
 std::vector<double> Dtmc::stationary(double tol, std::size_t max_iters) const {
   validate();
   std::vector<double> x(size(), 1.0 / static_cast<double>(size()));
+  std::size_t iters = 0;
   for (std::size_t it = 0; it < max_iters; ++it) {
+    ++iters;
     std::vector<double> nx(size(), 0.0);
     for (StateId s = 0; s < size(); ++s) {
       for (StateId t = 0; t < size(); ++t) nx[t] += x[s] * p_[s][t];
@@ -140,6 +157,8 @@ std::vector<double> Dtmc::stationary(double tol, std::size_t max_iters) const {
     x = std::move(nx);
     if (delta < tol) break;
   }
+  iteration_histogram("markov.dtmc.stationary_iterations")
+      .observe(static_cast<double>(iters));
   return x;
 }
 
@@ -155,7 +174,9 @@ std::vector<double> Dtmc::expected_steps_to(const std::vector<StateId>& targets,
   for (StateId s = 0; s < size(); ++s) {
     if (!is_target[s] && reach[s] < 1.0 - tolerance::kProbSum) x[s] = kInf;
   }
+  std::size_t iters = 0;
   for (std::size_t it = 0; it < max_iters; ++it) {
+    ++iters;
     double delta = 0.0;
     std::vector<double> nx(size(), 0.0);
     for (StateId s = 0; s < size(); ++s) {
@@ -180,6 +201,8 @@ std::vector<double> Dtmc::expected_steps_to(const std::vector<StateId>& targets,
     x = std::move(nx);
     if (delta < tol) break;
   }
+  iteration_histogram("markov.dtmc.expected_steps_iterations")
+      .observe(static_cast<double>(iters));
   return x;
 }
 

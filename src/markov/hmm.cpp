@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include "core/contracts.hpp"
 #include "core/tolerance.hpp"
+#include "obs/registry.hpp"
 
 namespace sysuq::markov {
 
@@ -212,13 +213,18 @@ HmmFit Hmm::fit(const std::vector<std::size_t>& obs, std::size_t max_iters,
   if (max_iters == 0) throw std::invalid_argument("Hmm::fit: zero iterations");
   Hmm current = *this;
   double prev_ll = -std::numeric_limits<double>::infinity();
+  std::size_t iters = 0;
   for (std::size_t it = 0; it < max_iters; ++it) {
+    ++iters;
     auto step = current.baum_welch_step(obs, smoothing);
     const double gain = step.log_likelihood - prev_ll;
     prev_ll = step.log_likelihood;
     current = std::move(step.model);
     if (it > 0 && gain < tol) break;
   }
+  obs::Registry::global()
+      .histogram("markov.hmm.fit_iterations", obs::count_buckets())
+      .observe(static_cast<double>(iters));
   // Report the likelihood of the *final* model.
   const double final_ll = current.filter(obs).log_likelihood;
   return HmmFit{std::move(current), final_ll};

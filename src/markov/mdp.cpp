@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include "core/contracts.hpp"
 #include "core/tolerance.hpp"
+#include "obs/registry.hpp"
 
 namespace sysuq::markov {
 
@@ -118,7 +119,9 @@ std::vector<double> Mdp::reachability(const std::vector<StateId>& targets,
   }
   std::vector<double> x(size(), 0.0);
   for (StateId s = 0; s < size(); ++s) x[s] = is_target[s] ? 1.0 : 0.0;
+  std::size_t iters = 0;
   for (std::size_t it = 0; it < max_iters; ++it) {
+    ++iters;
     double delta = 0.0;
     std::vector<double> nx(size());
     for (StateId s = 0; s < size(); ++s) {
@@ -137,6 +140,9 @@ std::vector<double> Mdp::reachability(const std::vector<StateId>& targets,
     x = std::move(nx);
     if (delta < tol) break;
   }
+  obs::Registry::global()
+      .histogram("markov.mdp.value_iterations", obs::count_buckets())
+      .observe(static_cast<double>(iters));
   return x;
 }
 

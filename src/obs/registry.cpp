@@ -1,0 +1,257 @@
+#include "obs/registry.hpp"
+
+#if !defined(SYSUQ_OBS_OFF)
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+
+#include "core/contracts.hpp"
+
+namespace sysuq::obs {
+
+namespace {
+
+// Shortest decimal representation that round-trips (so "1.5" stays
+// "1.5", not "1.5000000000000000"), for exporters and goldens.
+std::string fmt_double(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+bool strictly_increasing_finite(const std::vector<double>& b) {
+  if (b.empty()) return false;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (!std::isfinite(b[i])) return false;
+    if (i > 0 && !(b[i] > b[i - 1])) return false;
+  }
+  return true;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), '.', '_');
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  SYSUQ_EXPECT(strictly_increasing_finite(bounds_),
+               "obs::Histogram: bucket bounds must be non-empty, finite "
+               "and strictly increasing");
+}
+
+void Histogram::observe(double x) noexcept {
+  if (!metrics_enabled()) return;
+  std::size_t b = 0;
+  while (b < bounds_.size() && x > bounds_[b]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  SYSUQ_EXPECT(valid_metric_name(name),
+               "obs: metric name '" + std::string(name) +
+                   "' must be dot-separated snake_case "
+                   "(module.subsystem.name)");
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = Kind::kCounter;
+    e.counter = std::make_unique<Counter>();
+    it = entries_.emplace(std::string(name), std::move(e)).first;
+  }
+  SYSUQ_EXPECT(it->second.kind == Kind::kCounter,
+               "obs: '" + std::string(name) +
+                   "' is already registered as a different instrument kind");
+  if (it->second.kind != Kind::kCounter) {
+    // Contracts compiled out / mode off: degrade to a process-wide
+    // scratch instrument instead of dereferencing the wrong member.
+    static Counter scratch;
+    return scratch;
+  }
+  return *it->second.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  SYSUQ_EXPECT(valid_metric_name(name),
+               "obs: metric name '" + std::string(name) +
+                   "' must be dot-separated snake_case "
+                   "(module.subsystem.name)");
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = Kind::kGauge;
+    e.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(std::string(name), std::move(e)).first;
+  }
+  SYSUQ_EXPECT(it->second.kind == Kind::kGauge,
+               "obs: '" + std::string(name) +
+                   "' is already registered as a different instrument kind");
+  if (it->second.kind != Kind::kGauge) {
+    static Gauge scratch;
+    return scratch;
+  }
+  return *it->second.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> upper_bounds) {
+  SYSUQ_EXPECT(valid_metric_name(name),
+               "obs: metric name '" + std::string(name) +
+                   "' must be dot-separated snake_case "
+                   "(module.subsystem.name)");
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = Kind::kHistogram;
+    e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+    it = entries_.emplace(std::string(name), std::move(e)).first;
+    return *it->second.histogram;
+  }
+  SYSUQ_EXPECT(it->second.kind == Kind::kHistogram,
+               "obs: '" + std::string(name) +
+                   "' is already registered as a different instrument kind");
+  if (it->second.kind != Kind::kHistogram) {
+    static Histogram scratch({1.0});
+    return scratch;
+  }
+  SYSUQ_EXPECT(it->second.histogram->bounds() == upper_bounds,
+               "obs: histogram '" + std::string(name) +
+                   "' re-registered with different bucket bounds");
+  return *it->second.histogram;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter: e.counter->reset(); break;
+      case Kind::kGauge: e.gauge->reset(); break;
+      case Kind::kHistogram: e.histogram->reset(); break;
+    }
+  }
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  for (const auto& [name, e] : entries_) {
+    const std::string pn = prometheus_name(name);
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + pn + " counter\n";
+        out += pn + " " + std::to_string(e.counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + pn + " gauge\n";
+        out += pn + " " + fmt_double(e.gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const auto& h = *e.histogram;
+        const auto counts = h.counts();
+        out += "# TYPE " + pn + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += counts[i];
+          out += pn + "_bucket{le=\"" + fmt_double(h.bounds()[i]) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        cumulative += counts.back();
+        out += pn + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+        out += pn + "_sum " + fmt_double(h.sum()) + "\n";
+        out += pn + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    if (e.kind != Kind::kCounter) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(e.counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, e] : entries_) {
+    if (e.kind != Kind::kGauge) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + fmt_double(e.gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, e] : entries_) {
+    if (e.kind != Kind::kHistogram) continue;
+    if (!first) out += ",";
+    first = false;
+    const auto& h = *e.histogram;
+    out += "\"" + name + "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i > 0) out += ",";
+      out += fmt_double(h.bounds()[i]);
+    }
+    out += "],\"counts\":[";
+    const auto counts = h.counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(counts[i]);
+    }
+    out += "],\"count\":" + std::to_string(h.count()) +
+           ",\"sum\":" + fmt_double(h.sum()) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::vector<double> seconds_buckets() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+std::vector<double> count_buckets() {
+  return {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 10000.0, 100000.0};
+}
+
+}  // namespace sysuq::obs
+
+#endif  // !SYSUQ_OBS_OFF

@@ -1,0 +1,325 @@
+// sysuq::obs — process-wide metrics for the inference stack.
+//
+// The paper's cybernetic reading (Fig. 1) is that a regulator can only
+// regulate what it observes about the system under its control; this
+// layer applies the same standard to the library itself. A `Registry`
+// holds named instruments — monotonic `Counter`s, last-value `Gauge`s
+// and fixed-bucket `Histogram`s — that the hot paths update with single
+// relaxed atomic operations (no lock on the increment path; the registry
+// mutex is taken only when an instrument is first registered or when an
+// exporter snapshots).
+//
+// Naming contract: instrument names follow `module.subsystem.name` —
+// lowercase snake-case segments joined by dots, at least two segments
+// (e.g. `bayesnet.engine.query_seconds`). Names are contract-checked at
+// registration and linted at the call site (`sysuq_lint`, rule
+// `obs-naming`). The Prometheus exporter rewrites dots to underscores.
+//
+// Build modes: with `-DSYSUQ_OBS=OFF` (CMake) this header swaps every
+// class for an inline no-op — instruments never register, exporters
+// return empty documents, and call sites compile unchanged with zero
+// recording cost. At runtime, `set_metrics_enabled(false)` suspends
+// recording (a relaxed load + branch per update) so batch loops can
+// window or A/B their own overhead.
+//
+// Thread safety: every member function of every class here is safe to
+// call concurrently. Instrument references returned by the registry are
+// stable for the registry's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if !defined(SYSUQ_OBS_OFF)
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace sysuq::obs {
+
+/// True when `name` follows the `module.subsystem.name` style: two or
+/// more dot-separated segments, each matching [a-z][a-z0-9_]*.
+[[nodiscard]] constexpr bool valid_metric_name(std::string_view name) noexcept {
+  bool seen_dot = false;
+  bool segment_start = true;
+  for (const char c : name) {
+    if (segment_start) {
+      if (c < 'a' || c > 'z') return false;
+      segment_start = false;
+      continue;
+    }
+    if (c == '.') {
+      seen_dot = true;
+      segment_start = true;
+      continue;
+    }
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return seen_dot && !segment_start && !name.empty();
+}
+
+#if !defined(SYSUQ_OBS_OFF)
+
+namespace detail {
+/// Process-wide recording switch; relaxed because instrument updates are
+/// statistics, not synchronization.
+inline std::atomic<bool> g_metrics_enabled{true};
+}  // namespace detail
+
+/// True when instrument updates are recorded (default). Exporters and
+/// `value()` readers work regardless of the switch.
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Suspends / resumes recording process-wide. Intended for overhead
+/// A/B runs and for hosts that want to window their own collection; not
+/// a substitute for the compile-time `SYSUQ_OBS=OFF` mode.
+inline void set_metrics_enabled(bool on) noexcept {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Monotonic event count. Increment is one relaxed atomic add.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void inc(std::uint64_t n = 1) noexcept {
+    if (metrics_enabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value instrument (e.g. cache size, effective sample size).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept {
+    if (metrics_enabled()) v_.store(v, std::memory_order_relaxed);
+  }
+  void add(double d) noexcept {
+    if (!metrics_enabled()) return;
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` semantics: a sample lands
+/// in the first bucket whose upper bound is >= the value; samples above
+/// every bound land in the implicit +Inf bucket. Observation is a linear
+/// scan over a handful of bounds plus three relaxed atomic updates.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty, finite, and strictly increasing
+  /// (contract-checked).
+  explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket counts; the last entry is the +Inf bucket.
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named-instrument registry. `global()` is the process-wide instance
+/// every library module registers into; independent instances exist only
+/// for tests and embedding hosts.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& global();
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. Contract-checked: `name` must satisfy `valid_metric_name` and
+  /// must not already name an instrument of a different kind.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// As above; re-registration must repeat the identical bucket bounds.
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Zeroes every instrument, keeping all registrations.
+  void reset();
+
+  /// Prometheus text exposition (names with dots rewritten to
+  /// underscores), instruments in name order.
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// One-line JSON document:
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with
+  /// instruments in name order — the run-manifest format.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind = Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// RAII scoped timer: observes the elapsed wall seconds into `h` at
+/// destruction. When recording is disabled at construction the clock is
+/// never read.
+class HistogramTimer {
+ public:
+  explicit HistogramTimer(Histogram& h) noexcept
+      : h_(metrics_enabled() ? &h : nullptr) {
+    if (h_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  HistogramTimer(const HistogramTimer&) = delete;
+  HistogramTimer& operator=(const HistogramTimer&) = delete;
+  ~HistogramTimer() {
+    if (h_ != nullptr) {
+      h_->observe(std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count());
+    }
+  }
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Log-spaced latency buckets, 1 microsecond .. 10 seconds.
+[[nodiscard]] std::vector<double> seconds_buckets();
+
+/// Log-spaced magnitude buckets, 1 .. 100000 (iteration counts, widths).
+[[nodiscard]] std::vector<double> count_buckets();
+
+#else  // SYSUQ_OBS_OFF — every class is an inline no-op.
+
+[[nodiscard]] inline bool metrics_enabled() noexcept { return false; }
+inline void set_metrics_enabled(bool) noexcept {}
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+  void inc(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+  void set(double) noexcept {}
+  void add(double) noexcept {}
+  [[nodiscard]] double value() const noexcept { return 0.0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> = {}) noexcept {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+  void observe(double) noexcept {}
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    static const std::vector<double> kEmpty;
+    return kEmpty;
+  }
+  [[nodiscard]] std::vector<std::uint64_t> counts() const { return {}; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
+  [[nodiscard]] double sum() const noexcept { return 0.0; }
+  void reset() noexcept {}
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  static Registry& global() {
+    static Registry r;
+    return r;
+  }
+  Counter& counter(std::string_view) {
+    static Counter c;
+    return c;
+  }
+  Gauge& gauge(std::string_view) {
+    static Gauge g;
+    return g;
+  }
+  Histogram& histogram(std::string_view, std::vector<double> = {}) {
+    static Histogram h;
+    return h;
+  }
+  [[nodiscard]] std::size_t size() const { return 0; }
+  void reset() {}
+  [[nodiscard]] std::string to_prometheus() const { return {}; }
+  [[nodiscard]] std::string to_json() const { return "{}"; }
+};
+
+class HistogramTimer {
+ public:
+  explicit HistogramTimer(Histogram&) noexcept {}
+  HistogramTimer(const HistogramTimer&) = delete;
+  HistogramTimer& operator=(const HistogramTimer&) = delete;
+};
+
+[[nodiscard]] inline std::vector<double> seconds_buckets() { return {}; }
+[[nodiscard]] inline std::vector<double> count_buckets() { return {}; }
+
+#endif  // SYSUQ_OBS_OFF
+
+}  // namespace sysuq::obs

@@ -1,0 +1,141 @@
+#include "obs/trace.hpp"
+
+#if !defined(SYSUQ_OBS_OFF)
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "core/contracts.hpp"
+
+namespace sysuq::obs {
+
+namespace {
+
+// Nesting depth of the calling thread's live spans.
+thread_local std::uint32_t t_span_depth = 0;
+
+std::uint64_t current_tid() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+// Minimal JSON string escaping; span names are code-controlled literals,
+// so only the characters that would break the document are handled.
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t trace_now_us() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+TraceSink& TraceSink::global() {
+  static TraceSink sink;
+  return sink;
+}
+
+TraceSink::TraceSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  SYSUQ_EXPECT(capacity != 0, "obs::TraceSink: zero capacity");
+  ring_.resize(capacity_);
+}
+
+void TraceSink::record(std::string_view name, std::uint64_t start_us,
+                       std::uint64_t dur_us, std::uint32_t depth) {
+  record(name, start_us, dur_us, depth, current_tid());
+}
+
+void TraceSink::record(std::string_view name, std::uint64_t start_us,
+                       std::uint64_t dur_us, std::uint32_t depth,
+                       std::uint64_t tid) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  TraceEvent& slot = ring_[seq_ % capacity_];
+  slot.name.assign(name);
+  slot.start_us = start_us;
+  slot.dur_us = dur_us;
+  slot.depth = depth;
+  slot.tid = tid;
+  slot.seq = seq_;
+  ++seq_;
+}
+
+std::vector<TraceEvent> TraceSink::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t buffered = seq_ < capacity_ ? seq_ : capacity_;
+  std::vector<TraceEvent> out;
+  out.reserve(buffered);
+  // Oldest surviving event first: seq_ - buffered .. seq_ - 1.
+  for (std::uint64_t s = seq_ - buffered; s < seq_; ++s)
+    out.push_back(ring_[s % capacity_]);
+  return out;
+}
+
+std::uint64_t TraceSink::recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return seq_;
+}
+
+std::uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return seq_ > capacity_ ? seq_ - capacity_ : 0;
+}
+
+void TraceSink::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& e : ring_) e = TraceEvent{};
+  seq_ = 0;
+}
+
+std::string TraceSink::to_chrome_json() const {
+  const auto events = snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"sysuq\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(e.tid) + ",\"ts\":" + std::to_string(e.start_us) +
+           ",\"dur\":" + std::to_string(e.dur_us) +
+           ",\"args\":{\"depth\":" + std::to_string(e.depth) + "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Span::Span(std::string_view name, TraceSink& sink) noexcept
+    : sink_(sink.enabled() ? &sink : nullptr), name_(name) {
+  if (sink_ != nullptr) {
+    depth_ = ++t_span_depth;
+    start_us_ = trace_now_us();
+  }
+}
+
+Span::~Span() {
+  if (sink_ != nullptr) {
+    const std::uint64_t end_us = trace_now_us();
+    sink_->record(name_, start_us_, end_us - start_us_, depth_);
+    --t_span_depth;
+  }
+}
+
+}  // namespace sysuq::obs
+
+#endif  // !SYSUQ_OBS_OFF

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include "core/contracts.hpp"
+#include "obs/registry.hpp"
 
 namespace sysuq::orbit {
 
@@ -52,11 +53,17 @@ double KalmanFilter2D::update_axis(Axis& a, double z) const {
 
 void KalmanFilter2D::predict(double dt) {
   SYSUQ_EXPECT(dt > 0.0, "KalmanFilter2D: dt <= 0");
+  static obs::Counter& predicts =
+      obs::Registry::global().counter("orbit.kalman.predicts");
+  predicts.inc();
   predict_axis(ax_, dt);
   predict_axis(ay_, dt);
 }
 
 double KalmanFilter2D::update(Vec2 measured_position) {
+  static obs::Counter& updates =
+      obs::Registry::global().counter("orbit.kalman.updates");
+  updates.inc();
   // Axes are independent: the 2-dof NIS is the sum of the per-axis terms.
   return update_axis(ax_, measured_position.x) +
          update_axis(ay_, measured_position.y);

@@ -6,10 +6,24 @@
 
 #include "evidence/mass.hpp"
 #include "core/contracts.hpp"
+#include "obs/registry.hpp"
 
 namespace sysuq::perception {
 
 namespace {
+
+struct FusionMetricsInstruments {
+  obs::Counter& posterior_queries;
+  obs::Counter& abstentions;
+
+  static FusionMetricsInstruments& instance() {
+    auto& registry = obs::Registry::global();
+    static FusionMetricsInstruments m{
+        registry.counter("perception.fusion.posterior_queries"),
+        registry.counter("perception.fusion.abstentions")};
+    return m;
+  }
+};
 
 std::size_t fuse_majority(const std::vector<std::size_t>& labels,
                           std::size_t none_label) {
@@ -155,6 +169,7 @@ BnFusion::BnFusion(const RedundantArchitecture& arch, const TrueWorld& world) {
 
 prob::Categorical BnFusion::posterior(
     const std::vector<std::size_t>& labels) const {
+  FusionMetricsInstruments::instance().posterior_queries.inc();
   if (labels.size() != sensors_)
     throw contracts::ContractViolation(
         "BnFusion::posterior: label count mismatch");
@@ -168,11 +183,15 @@ prob::Categorical BnFusion::posterior(
 }
 
 std::size_t BnFusion::fuse(const std::vector<std::size_t>& labels) const {
+  auto& metrics = FusionMetricsInstruments::instance();
   try {
     const auto post = posterior(labels);
     const std::size_t best = post.argmax();
-    return post.p(best) >= 0.5 ? best : classes_;
+    if (post.p(best) >= 0.5) return best;
+    metrics.abstentions.inc();
+    return classes_;
   } catch (const std::domain_error&) {
+    metrics.abstentions.inc();
     return classes_;  // jointly impossible outputs -> abstain
   }
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace sysuq::prob {
 
 std::uint64_t splitmix64(std::uint64_t& state) {
@@ -80,6 +82,9 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::split(std::uint64_t salt) {
+  static obs::Counter& splits =
+      obs::Registry::global().counter("prob.rng.splits");
+  splits.inc();
   std::uint64_t s = seed_ ^ (salt * 0xD6E8FEB86659FD93ULL);
   const std::uint64_t child_seed = splitmix64(s) ^ next_u64();
   return Rng(child_seed);

@@ -213,6 +213,30 @@ TEST(Engine, OrderingCacheKeyedByEvidenceSignature) {
   EXPECT_EQ(stats.entries, 0u);
 }
 
+TEST(Engine, ResetCacheStatsWindowsWithoutDroppingPlans) {
+  const auto net = paper_network();
+  bn::InferenceEngine engine(net, {.threads = 1});
+  for (std::size_t i = 0; i < 4; ++i) (void)engine.query(0, {{1, i % 4}});
+  auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+
+  // Zero the window; cached plans survive, so the next same-signature
+  // query is a pure hit (a clear_cache would have made it a miss).
+  engine.reset_cache_stats();
+  stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hit_rate(), 0.0);  // no lookups in the new window
+
+  (void)engine.query(0, {{1, 0}});
+  stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.hit_rate(), 1.0);
+}
+
 TEST(Engine, JointMatchesVariableElimination) {
   const auto net = paper_network();
   bn::InferenceEngine engine(net);
@@ -318,7 +342,9 @@ TEST(EngineErrors, LikelihoodWeightingAllZeroWeightsThrows) {
   // Regression: evidence landing on an unreachable state gives every
   // sample weight zero; the seed code forwarded the all-zero vector into
   // Categorical::normalized (invalid_argument). It must name the evidence
-  // in a domain_error, like rejection sampling's zero-accept path.
+  // in a domain_error, like rejection sampling's zero-accept path — and,
+  // so the caller can judge the sampling effort, the attempted sample
+  // count.
   const auto net = unreachable_state_network();
   const bn::Evidence impossible{{1, 1}};
   pr::Rng rng(17);
@@ -327,7 +353,8 @@ TEST(EngineErrors, LikelihoodWeightingAllZeroWeightsThrows) {
     FAIL() << "expected std::domain_error";
   } catch (const std::domain_error& e) {
     EXPECT_EQ(std::string(e.what()),
-              "bayesnet: impossible evidence (P(e) = 0): b=1");
+              "bayesnet: impossible evidence (P(e) = 0): b=1 "
+              "(likelihood weighting: all 1000 samples had weight zero)");
   }
   // Exact engines agree on the semantics for the same evidence.
   bn::VariableElimination ve(net);

@@ -1,0 +1,375 @@
+// sysuq::obs — registry, instruments, exporters, and tracing.
+//
+// The same file carries two suites: the real one (default build) and a
+// SYSUQ_OBS_OFF suite proving the no-op mode compiles against the same
+// call sites and registers nothing. Golden-output tests use local
+// Registry / TraceSink instances so they stay independent of whatever
+// the instrumented library code has put on the global registry.
+#include "obs/registry.hpp"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bayesnet/engine.hpp"
+#include "bayesnet/network.hpp"
+#include "core/contracts.hpp"
+#include "obs/trace.hpp"
+#include "prob/discrete.hpp"
+
+namespace obs = sysuq::obs;
+namespace bn = sysuq::bayesnet;
+namespace pr = sysuq::prob;
+
+namespace {
+
+// Two-node chain a -> b, enough to drive the instrumented engine.
+bn::BayesianNetwork tiny_network() {
+  bn::BayesianNetwork net;
+  const auto a = net.add_variable("a", {"a0", "a1"});
+  const auto b = net.add_variable("b", {"b0", "b1"});
+  net.set_cpt(a, {}, {pr::Categorical({0.6, 0.4})});
+  net.set_cpt(b, {a},
+              {pr::Categorical({0.9, 0.1}), pr::Categorical({0.2, 0.8})});
+  return net;
+}
+
+}  // namespace
+
+TEST(ObsNaming, ValidMetricNames) {
+  EXPECT_TRUE(obs::valid_metric_name("bayesnet.engine.query_seconds"));
+  EXPECT_TRUE(obs::valid_metric_name("a.b"));
+  EXPECT_TRUE(obs::valid_metric_name("markov.dtmc.reachability_iterations"));
+  EXPECT_TRUE(obs::valid_metric_name("prob.rng2.splits"));
+
+  EXPECT_FALSE(obs::valid_metric_name(""));
+  EXPECT_FALSE(obs::valid_metric_name("nodots"));
+  EXPECT_FALSE(obs::valid_metric_name("Upper.case"));
+  EXPECT_FALSE(obs::valid_metric_name("trailing.dot."));
+  EXPECT_FALSE(obs::valid_metric_name(".leading.dot"));
+  EXPECT_FALSE(obs::valid_metric_name("double..dot"));
+  EXPECT_FALSE(obs::valid_metric_name("1starts.with_digit"));
+  EXPECT_FALSE(obs::valid_metric_name("has.dash-es"));
+  EXPECT_FALSE(obs::valid_metric_name("has.spa ce"));
+}
+
+#if !defined(SYSUQ_OBS_OFF)
+
+TEST(ObsRegistry, SameNameReturnsSameInstrument) {
+  obs::Registry reg;
+  obs::Counter& c1 = reg.counter("test.registry.hits");
+  obs::Counter& c2 = reg.counter("test.registry.hits");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(reg.size(), 1u);
+  c1.inc(3);
+  EXPECT_EQ(c2.value(), 3u);
+}
+
+TEST(ObsRegistry, RejectsInvalidNames) {
+  obs::Registry reg;
+  EXPECT_THROW((void)reg.counter("NoDots"),
+               sysuq::contracts::ContractViolation);
+  EXPECT_THROW((void)reg.gauge("Bad.Name"),
+               sysuq::contracts::ContractViolation);
+  EXPECT_THROW((void)reg.histogram("also_bad", {1.0}),
+               sysuq::contracts::ContractViolation);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(ObsRegistry, KindMismatchIsAContractViolation) {
+  obs::Registry reg;
+  (void)reg.counter("test.registry.mixed");
+  EXPECT_THROW((void)reg.gauge("test.registry.mixed"),
+               sysuq::contracts::ContractViolation);
+  EXPECT_THROW((void)reg.histogram("test.registry.mixed", {1.0}),
+               sysuq::contracts::ContractViolation);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ObsRegistry, HistogramReRegistrationMustRepeatBounds) {
+  obs::Registry reg;
+  (void)reg.histogram("test.registry.h", {1.0, 2.0});
+  EXPECT_NO_THROW((void)reg.histogram("test.registry.h", {1.0, 2.0}));
+  EXPECT_THROW((void)reg.histogram("test.registry.h", {1.0, 3.0}),
+               sysuq::contracts::ContractViolation);
+}
+
+TEST(ObsHistogram, RejectsBadBounds) {
+  EXPECT_THROW(obs::Histogram({}), sysuq::contracts::ContractViolation);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}),
+               sysuq::contracts::ContractViolation);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}),
+               sysuq::contracts::ContractViolation);
+}
+
+TEST(ObsHistogram, BucketEdgesFollowLeSemantics) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // <= 1         -> bucket 0
+  h.observe(1.0);  // == bound     -> bucket 0 (le semantics: inclusive)
+  h.observe(1.5);  //              -> bucket 1
+  h.observe(4.0);  // == last bound-> bucket 2
+  h.observe(9.0);  // above all    -> +Inf bucket
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + +Inf
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+}
+
+TEST(ObsCounter, ConcurrentIncrementsAreLossFree) {
+  obs::Counter c;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::size_t i = 0; i < kIncrements; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kIncrements);
+}
+
+TEST(ObsHistogram, ConcurrentObservationsAreLossFree) {
+  obs::Histogram h({1.0, 10.0});
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kObservations = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::size_t i = 0; i < kObservations; ++i)
+        h.observe(static_cast<double>(t));  // 0, 1 -> bucket 0; 2, 3 -> 1
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kObservations);
+  const auto counts = h.counts();
+  EXPECT_EQ(counts[0], 2 * kObservations);
+  EXPECT_EQ(counts[1], 2 * kObservations);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(ObsGauge, SetAddReset) {
+  obs::Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsRuntime, KillSwitchSuspendsRecording) {
+  ASSERT_TRUE(obs::metrics_enabled());  // library default
+  obs::Counter c;
+  obs::Histogram h({1.0});
+  obs::set_metrics_enabled(false);
+  c.inc();
+  h.observe(0.5);
+  {
+    const obs::HistogramTimer timer(h);  // disabled at construction
+  }
+  obs::set_metrics_enabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(ObsRuntime, HistogramTimerObservesElapsedSeconds) {
+  obs::Histogram h(obs::seconds_buckets());
+  {
+    const obs::HistogramTimer timer(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+  EXPECT_LT(h.sum(), 1.0);  // a scope exit takes well under a second
+}
+
+TEST(ObsTrace, SpanNestingRecordsDepthsInnerFirst) {
+  obs::TraceSink sink(16);
+  sink.set_enabled(true);
+  {
+    const obs::Span outer("test.outer", sink);
+    {
+      const obs::Span inner("test.inner", sink);
+    }
+  }
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans record at destruction: the inner span closes first.
+  EXPECT_EQ(events[0].name, "test.inner");
+  EXPECT_EQ(events[0].depth, 2u);
+  EXPECT_EQ(events[1].name, "test.outer");
+  EXPECT_EQ(events[1].depth, 1u);
+  // The outer span covers the inner one.
+  EXPECT_LE(events[1].start_us, events[0].start_us);
+  EXPECT_GE(events[1].start_us + events[1].dur_us,
+            events[0].start_us + events[0].dur_us);
+}
+
+TEST(ObsTrace, DisabledSinkRecordsNothingAndIsCheap) {
+  obs::TraceSink sink(16);
+  ASSERT_FALSE(sink.enabled());
+  {
+    const obs::Span span("test.ignored", sink);
+  }
+  sink.record("test.direct", 0, 1, 1);
+  EXPECT_EQ(sink.recorded(), 0u);
+  EXPECT_TRUE(sink.snapshot().empty());
+}
+
+TEST(ObsTrace, RingBufferDropsOldestEvents) {
+  obs::TraceSink sink(4);
+  sink.set_enabled(true);
+  for (std::uint64_t i = 0; i < 6; ++i)
+    sink.record("test.event", i * 10, 5, 1, /*tid=*/7);
+  EXPECT_EQ(sink.recorded(), 6u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest surviving first: seq 2..5.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 2);
+    EXPECT_EQ(events[i].start_us, (i + 2) * 10);
+  }
+  sink.clear();
+  EXPECT_EQ(sink.recorded(), 0u);
+  EXPECT_TRUE(sink.snapshot().empty());
+}
+
+TEST(ObsExport, PrometheusGolden) {
+  obs::Registry reg;
+  reg.counter("test.prom.hits").inc(7);
+  reg.gauge("test.prom.level").set(2.5);
+  obs::Histogram& h = reg.histogram("test.prom.latency", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  EXPECT_EQ(reg.to_prometheus(),
+            "# TYPE test_prom_hits counter\n"
+            "test_prom_hits 7\n"
+            "# TYPE test_prom_latency histogram\n"
+            "test_prom_latency_bucket{le=\"1\"} 1\n"
+            "test_prom_latency_bucket{le=\"2\"} 2\n"
+            "test_prom_latency_bucket{le=\"+Inf\"} 3\n"
+            "test_prom_latency_sum 11\n"
+            "test_prom_latency_count 3\n"
+            "# TYPE test_prom_level gauge\n"
+            "test_prom_level 2.5\n");
+}
+
+TEST(ObsExport, JsonGolden) {
+  obs::Registry reg;
+  reg.counter("test.json.hits").inc(7);
+  reg.gauge("test.json.level").set(2.5);
+  obs::Histogram& h = reg.histogram("test.json.latency", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(9.0);
+  EXPECT_EQ(reg.to_json(),
+            "{\"counters\":{\"test.json.hits\":7},"
+            "\"gauges\":{\"test.json.level\":2.5},"
+            "\"histograms\":{\"test.json.latency\":{\"bounds\":[1,2],"
+            "\"counts\":[1,0,1],\"count\":2,\"sum\":9.5}}}");
+}
+
+TEST(ObsExport, ChromeTraceGolden) {
+  obs::TraceSink sink(8);
+  sink.set_enabled(true);
+  sink.record("alpha", 10, 5, 1, /*tid=*/1);
+  sink.record("beta \"quoted\"", 12, 2, 2, /*tid=*/1);
+  EXPECT_EQ(sink.to_chrome_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+            "{\"name\":\"alpha\",\"cat\":\"sysuq\",\"ph\":\"X\",\"pid\":1,"
+            "\"tid\":1,\"ts\":10,\"dur\":5,\"args\":{\"depth\":1}},"
+            "{\"name\":\"beta \\\"quoted\\\"\",\"cat\":\"sysuq\",\"ph\":\"X\","
+            "\"pid\":1,\"tid\":1,\"ts\":12,\"dur\":2,\"args\":{\"depth\":2}}"
+            "]}");
+}
+
+TEST(ObsExport, RegistryResetZeroesButKeepsRegistrations) {
+  obs::Registry reg;
+  reg.counter("test.reset.hits").inc(5);
+  reg.gauge("test.reset.level").set(1.0);
+  reg.histogram("test.reset.latency", {1.0}).observe(0.5);
+  reg.reset();
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.counter("test.reset.hits").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("test.reset.level").value(), 0.0);
+  EXPECT_EQ(reg.histogram("test.reset.latency", {1.0}).count(), 0u);
+}
+
+// End-to-end: the instrumented engine populates the global registry with
+// the manifest's required instruments (acceptance criterion).
+TEST(ObsIntegration, EngineQueriesPopulateGlobalRegistry) {
+  auto& reg = obs::Registry::global();
+  const auto net = tiny_network();
+  bn::InferenceEngine engine(net, {.threads = 1});
+  for (std::size_t i = 0; i < 4; ++i) (void)engine.query(1, {{0, i % 2}});
+
+  obs::Counter& hits = reg.counter("bayesnet.engine.ordering_cache.hits");
+  obs::Counter& queries = reg.counter("bayesnet.engine.queries");
+  obs::Histogram& latency =
+      reg.histogram("bayesnet.engine.query_seconds", obs::seconds_buckets());
+  EXPECT_GE(queries.value(), 4u);
+  EXPECT_GE(hits.value(), 3u);  // one signature: 1 miss, then hits
+  EXPECT_GE(latency.count(), 4u);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"bayesnet.engine.query_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"bayesnet.engine.ordering_cache.hits\""),
+            std::string::npos);
+}
+
+#else  // SYSUQ_OBS_OFF — the no-op layer must compile and record nothing.
+
+TEST(ObsOffMode, RegistryIsInertAndEmpty) {
+  auto& reg = obs::Registry::global();
+  obs::Counter& c = reg.counter("test.off.hits");
+  obs::Gauge& g = reg.gauge("test.off.level");
+  obs::Histogram& h = reg.histogram("test.off.latency", {1.0, 2.0});
+  c.inc(10);
+  g.set(3.0);
+  h.observe(0.5);
+  {
+    const obs::HistogramTimer timer(h);
+  }
+  EXPECT_FALSE(obs::metrics_enabled());
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(reg.to_prometheus(), "");
+  EXPECT_EQ(reg.to_json(), "{}");
+}
+
+TEST(ObsOffMode, TracingIsInert) {
+  auto& sink = obs::TraceSink::global();
+  sink.set_enabled(true);  // ignored in no-op mode
+  EXPECT_FALSE(sink.enabled());
+  {
+    const obs::Span span("test.off.span", sink);
+  }
+  sink.record("test.off.direct", 0, 1, 1);
+  EXPECT_EQ(sink.recorded(), 0u);
+  EXPECT_TRUE(sink.snapshot().empty());
+  EXPECT_EQ(sink.to_chrome_json(), "{}");
+}
+
+TEST(ObsOffMode, InstrumentedEngineStillAnswersQueries) {
+  const auto net = tiny_network();
+  bn::InferenceEngine engine(net, {.threads = 1});
+  const auto posterior = engine.query(1, {{0, 0}});
+  EXPECT_NEAR(posterior.p(0), 0.9, 1e-12);
+  // The whole instrumentation sweep registered nothing.
+  EXPECT_EQ(obs::Registry::global().size(), 0u);
+}
+
+#endif  // SYSUQ_OBS_OFF

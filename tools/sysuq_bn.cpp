@@ -1,11 +1,19 @@
 // sysuq_bn — command-line front end for the Bayesian-network layer.
 //
 // Usage:
+//   sysuq_bn [--metrics] [--trace <out.json>] <command> ...
+//
 //   sysuq_bn describe <model.bn>
 //   sysuq_bn dot <model.bn>
 //   sysuq_bn marginal <model.bn> <variable> [ev_var=state ...]
 //   sysuq_bn sensitivity <model.bn> <variable> <state> [ev_var=state ...]
 //   sysuq_bn table1 > model.bn        # emit the paper's Table I network
+//
+// Global flags:
+//   --metrics          after the command, print the obs registry in
+//                      Prometheus text format to stderr
+//   --trace <file>     enable the global trace sink and write the run's
+//                      spans as Chrome trace_event JSON to <file>
 //
 // Models use the sysuq-bayesnet text format (see bayesnet/serialize.hpp).
 #include <cstdio>
@@ -13,11 +21,14 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bayesnet/inference.hpp"
 #include "bayesnet/io.hpp"
 #include "bayesnet/sensitivity.hpp"
 #include "bayesnet/serialize.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "perception/table1.hpp"
 
 namespace {
@@ -26,12 +37,16 @@ using namespace sysuq;
 
 int usage() {
   std::fputs(
-      "usage:\n"
+      "usage: sysuq_bn [--metrics] [--trace <out.json>] <command> ...\n"
       "  sysuq_bn describe <model.bn>\n"
       "  sysuq_bn dot <model.bn>\n"
       "  sysuq_bn marginal <model.bn> <variable> [ev=state ...]\n"
       "  sysuq_bn sensitivity <model.bn> <variable> <state> [ev=state ...]\n"
-      "  sysuq_bn table1\n",
+      "  sysuq_bn table1\n"
+      "flags:\n"
+      "  --metrics        print the obs metrics registry (Prometheus text)\n"
+      "                   to stderr after the command\n"
+      "  --trace <file>   write the run's spans as Chrome trace JSON\n",
       stderr);
   return 2;
 }
@@ -59,9 +74,51 @@ bayesnet::Evidence parse_evidence(const bayesnet::BayesianNetwork& net,
   return ev;
 }
 
+// The actual command dispatch; main() wraps it with the global
+// --metrics / --trace flag handling so every command is observable.
+int run(int argc, char** argv);
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool print_metrics = false;
+  std::string trace_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string tok = argv[i];
+    if (i > 0 && tok == "--metrics") {
+      print_metrics = true;
+    } else if (i > 0 && tok == "--trace") {
+      if (i + 1 >= argc) return usage();
+      trace_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
+  if (!trace_path.empty()) obs::TraceSink::global().set_enabled(true);
+  const int rc = run(argc, argv);
+
+  if (print_metrics)
+    std::fputs(obs::Registry::global().to_prometheus().c_str(), stderr);
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "sysuq_bn: cannot write trace '%s'\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    out << obs::TraceSink::global().to_chrome_json() << "\n";
+  }
+  return rc;
+}
+
+namespace {
+
+int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -121,3 +178,5 @@ int main(int argc, char** argv) {
     return 1;
   }
 }
+
+}  // namespace

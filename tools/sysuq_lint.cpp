@@ -13,6 +13,11 @@
 //   include-hygiene quoted includes must be module-qualified ("mod/file.hpp",
 //                   never "../"), and a .cpp file must include its own
 //                   header first so headers stay self-contained.
+//   obs-naming      obs instrument/span name literals (counter(), gauge(),
+//                   histogram(), Span) must follow module.subsystem.name:
+//                   two or more dot-separated lowercase snake_case
+//                   segments, mirroring obs::valid_metric_name so bad
+//                   names fail the lint before they fail the contract.
 //
 // Lines are matched after stripping string literals and comments, so
 // documentation may mention rand() or 1e-12 freely. Exit code is 0 when
@@ -104,6 +109,28 @@ std::string quoted_include(const std::string& code) {
   return {};
 }
 
+// Mirror of obs::valid_metric_name (the lint binary links no sysuq
+// libraries): two or more dot-separated segments, each [a-z][a-z0-9_]*.
+bool valid_obs_name(const std::string& name) {
+  bool seen_dot = false;
+  bool segment_start = true;
+  for (const char c : name) {
+    if (segment_start) {
+      if (c < 'a' || c > 'z') return false;
+      segment_start = false;
+      continue;
+    }
+    if (c == '.') {
+      seen_dot = true;
+      segment_start = true;
+      continue;
+    }
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return seen_dot && !segment_start && !name.empty();
+}
+
 class Linter {
  public:
   explicit Linter(fs::path src_root) : root_(std::move(src_root)) {}
@@ -181,6 +208,27 @@ class Linter {
             report(rel, lineno, "magic-epsilon",
                    "tolerance-sized literal " + it->str() +
                        "; use a named constant from core/tolerance.hpp");
+            break;
+          }
+        }
+      }
+
+      // obs-naming runs over the raw line (string bodies are blanked in
+      // `code`), then checks the stripped code at the match position so
+      // names quoted in comments stay free.
+      static const std::regex obs_name_re(
+          R"((\.\s*(counter|gauge|histogram)|Span\b[^(="]*)\(\s*\"([^\"]*)\")");
+      if (!allows(raw, "obs-naming")) {
+        for (std::sregex_iterator it(raw.begin(), raw.end(), obs_name_re), end;
+             it != end; ++it) {
+          const auto pos = static_cast<std::size_t>(it->position(0));
+          if (pos >= code.size() || code[pos] == ' ') continue;  // comment
+          const std::string name = (*it)[3].str();
+          if (!valid_obs_name(name)) {
+            report(rel, lineno, "obs-naming",
+                   "obs name \"" + name +
+                       "\" must be dot-separated snake_case "
+                       "(module.subsystem.name)");
             break;
           }
         }
