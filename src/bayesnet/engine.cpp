@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <condition_variable>
 #include <functional>
+#include <limits>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <thread>
 
@@ -29,6 +32,10 @@ struct EngineMetrics {
   obs::Counter& cache_hits;
   obs::Counter& cache_misses;
   obs::Gauge& cache_entries;
+  obs::Counter& jt_queries;
+  obs::Counter& jt_cache_hits;
+  obs::Counter& jt_cache_misses;
+  obs::Gauge& jt_cache_entries;
 
   static EngineMetrics& instance() {
     auto& reg = obs::Registry::global();
@@ -42,6 +49,10 @@ struct EngineMetrics {
         reg.counter("bayesnet.engine.ordering_cache.hits"),
         reg.counter("bayesnet.engine.ordering_cache.misses"),
         reg.gauge("bayesnet.engine.ordering_cache.entries"),
+        reg.counter("bayesnet.jt.queries"),
+        reg.counter("bayesnet.jt.cache.hits"),
+        reg.counter("bayesnet.jt.cache.misses"),
+        reg.gauge("bayesnet.jt.cache.entries"),
     };
     return m;
   }
@@ -224,6 +235,41 @@ Factor InferenceEngine::eliminate_all_but(const std::vector<VariableId>& keep,
   return eliminate_with_order(std::move(factors), order);
 }
 
+std::shared_ptr<const JunctionTree> InferenceEngine::calibrated_tree_for(
+    const Evidence& evidence) const {
+  TreeKey key(evidence.begin(), evidence.end());  // map: sorted pairs
+  auto& metrics = EngineMetrics::instance();
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    if (const auto it = jt_cache_.find(key); it != jt_cache_.end()) {
+      ++jt_cache_hits_;
+      metrics.jt_cache_hits.inc();
+      return it->second;
+    }
+    ++jt_cache_misses_;
+    metrics.jt_cache_misses.inc();
+  }
+  // Calibrated outside the lock so concurrent batch groups build in
+  // parallel; a racing builder produces an identical tree (construction
+  // is deterministic), so first-insert-wins is harmless.
+  auto tree =
+      std::make_shared<const JunctionTree>(net_, evidence, options_.heuristic);
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  const auto it = jt_cache_.emplace(std::move(key), std::move(tree)).first;
+  metrics.jt_cache_entries.set(static_cast<double>(jt_cache_.size()));
+  return it->second;
+}
+
+prob::Categorical InferenceEngine::query_ve(VariableId query,
+                                            const Evidence& evidence) const {
+  Factor f = eliminate_all_but({query}, evidence);
+  if (f.scope().size() != 1 || f.scope()[0] != query)
+    throw std::logic_error("InferenceEngine: unexpected result scope");
+  if (!(f.total() > 0.0))
+    throw std::domain_error(impossible_evidence_message(net_, evidence));
+  return prob::Categorical::normalized(f.values());
+}
+
 prob::Categorical InferenceEngine::query(VariableId query,
                                          const Evidence& evidence) const {
   auto& metrics = EngineMetrics::instance();
@@ -236,16 +282,40 @@ prob::Categorical InferenceEngine::query(VariableId query,
     return prob::Categorical::delta(evidence.at(query),
                                     net_.variable(query).cardinality());
   }
-  Factor f = eliminate_all_but({query}, evidence);
-  if (f.scope().size() != 1 || f.scope()[0] != query)
-    throw std::logic_error("InferenceEngine: unexpected result scope");
-  if (!(f.total() > 0.0))
-    throw std::domain_error(impossible_evidence_message(net_, evidence));
-  return prob::Categorical::normalized(f.values());
+  if (options_.backend == Backend::kJunctionTree) {
+    metrics.jt_queries.inc();
+    return calibrated_tree_for(evidence)->query(query);
+  }
+  return query_ve(query, evidence);
+}
+
+std::vector<prob::Categorical> InferenceEngine::all_marginals(
+    const Evidence& evidence) const {
+  const obs::Span span("bayesnet.engine.all_marginals");
+  if (options_.backend == Backend::kVariableElimination) {
+    std::vector<prob::Categorical> out;
+    out.reserve(net_.size());
+    for (VariableId v = 0; v < net_.size(); ++v)
+      out.push_back(query(v, evidence));
+    return out;
+  }
+  const auto tree = calibrated_tree_for(evidence);
+  EngineMetrics::instance().jt_queries.inc(net_.size());
+  return tree->all_marginals();
 }
 
 double InferenceEngine::evidence_probability(const Evidence& evidence) const {
+  if (options_.backend == Backend::kJunctionTree)
+    return calibrated_tree_for(evidence)->evidence_probability();
   return eliminate_all_but({}, evidence).total();
+}
+
+double InferenceEngine::log_evidence_probability(
+    const Evidence& evidence) const {
+  if (options_.backend != Backend::kVariableElimination)
+    return calibrated_tree_for(evidence)->log_evidence_probability();
+  const double p = eliminate_all_but({}, evidence).total();
+  return p > 0.0 ? std::log(p) : -std::numeric_limits<double>::infinity();
 }
 
 prob::JointTable InferenceEngine::joint(VariableId a, VariableId b,
@@ -273,20 +343,77 @@ prob::JointTable InferenceEngine::joint(VariableId a, VariableId b,
 std::vector<prob::Categorical> InferenceEngine::query_batch(
     const std::vector<QuerySpec>& batch) const {
   const obs::Span span("bayesnet.engine.query_batch");
-  EngineMetrics::instance().batch_queries.inc(batch.size());
+  auto& metrics = EngineMetrics::instance();
+  metrics.batch_queries.inc(batch.size());
+
+  // Backend resolution: group the batch by full evidence assignment and
+  // route each group to the junction tree when the backend (or the kAuto
+  // distinct-query threshold) says one calibration will amortize. Every
+  // remaining index stays on the per-query VE path.
+  std::vector<std::size_t> ve_indices;
+  std::vector<std::vector<std::size_t>> jt_groups;
+  if (options_.backend == Backend::kVariableElimination) {
+    ve_indices.resize(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) ve_indices[i] = i;
+  } else {
+    std::map<TreeKey, std::vector<std::size_t>> by_evidence;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      by_evidence[TreeKey(batch[i].evidence.begin(), batch[i].evidence.end())]
+          .push_back(i);
+    }
+    for (auto& [key, indices] : by_evidence) {
+      bool use_jt = options_.backend == Backend::kJunctionTree;
+      if (!use_jt) {
+        std::set<VariableId> distinct;
+        for (const std::size_t i : indices) distinct.insert(batch[i].query);
+        use_jt = distinct.size() >= options_.jt_batch_threshold;
+      }
+      if (use_jt) {
+        jt_groups.push_back(std::move(indices));
+      } else {
+        ve_indices.insert(ve_indices.end(), indices.begin(), indices.end());
+      }
+    }
+  }
+
   std::vector<std::optional<prob::Categorical>> results(batch.size());
   std::vector<std::exception_ptr> errors(batch.size());
-  const std::function<void(std::size_t)> task = [&](std::size_t i) {
+  // One unit per VE query plus one per JT group; result slots stay fixed
+  // per batch index, so scheduling cannot perturb the output.
+  const std::function<void(std::size_t)> task = [&](std::size_t u) {
+    if (u < ve_indices.size()) {
+      const std::size_t i = ve_indices[u];
+      try {
+        results[i] = query(batch[i].query, batch[i].evidence);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      return;
+    }
+    const auto& group = jt_groups[u - ve_indices.size()];
+    std::shared_ptr<const JunctionTree> tree;
     try {
-      results[i] = query(batch[i].query, batch[i].evidence);
+      tree = calibrated_tree_for(batch[group.front()].evidence);
     } catch (...) {
-      errors[i] = std::current_exception();
+      for (const std::size_t i : group) errors[i] = std::current_exception();
+      return;
+    }
+    metrics.jt_queries.inc(group.size());
+    for (const std::size_t i : group) {
+      try {
+        if (batch[i].query >= net_.size())
+          throw std::out_of_range("InferenceEngine::query: variable id");
+        results[i] = tree->query(batch[i].query);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
     }
   };
+  const std::size_t units = ve_indices.size() + jt_groups.size();
   if (pool_) {
-    pool_->run(batch.size(), task);
+    pool_->run(units, task);
   } else {
-    for (std::size_t i = 0; i < batch.size(); ++i) task(i);
+    for (std::size_t u = 0; u < units; ++u) task(u);
   }
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);
@@ -338,10 +465,21 @@ InferenceEngine::CacheStats InferenceEngine::cache_stats() const {
   return s;
 }
 
+InferenceEngine::CacheStats InferenceEngine::jt_cache_stats() const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  CacheStats s;
+  s.hits = jt_cache_hits_;
+  s.misses = jt_cache_misses_;
+  s.entries = jt_cache_.size();
+  return s;
+}
+
 void InferenceEngine::reset_cache_stats() {
   std::lock_guard<std::mutex> lk(cache_mu_);
   cache_hits_ = 0;
   cache_misses_ = 0;
+  jt_cache_hits_ = 0;
+  jt_cache_misses_ = 0;
 }
 
 void InferenceEngine::clear_cache() {
@@ -349,6 +487,9 @@ void InferenceEngine::clear_cache() {
   cache_.clear();
   cache_hits_ = 0;
   cache_misses_ = 0;
+  jt_cache_.clear();
+  jt_cache_hits_ = 0;
+  jt_cache_misses_ = 0;
 }
 
 }  // namespace sysuq::bayesnet

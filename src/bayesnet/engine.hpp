@@ -1,6 +1,8 @@
 // The production inference engine: batched, multithreaded posterior
-// queries over one Bayesian network, with elimination orderings computed
-// once per evidence-keys signature and cached.
+// queries over one Bayesian network, with two exact backends behind one
+// contract — per-query variable elimination and calibrated junction
+// trees — plus elimination orderings computed once per evidence-keys
+// signature and cached.
 //
 // Relationship to VariableElimination: same exact-inference contract and
 // identical error semantics, plus
@@ -9,6 +11,13 @@
 //  * elimination orderings (min-fill by default) are cached by the set of
 //    evidence *keys* — repeated queries that observe the same variables
 //    (with any values and any query variable) reuse the plan;
+//  * calibrated junction trees are cached by the full evidence
+//    *assignment* (keys and values): an all-marginals workload pays one
+//    message pass instead of one elimination per query. The `Backend`
+//    option selects the strategy; `kAuto` (default) keeps single queries
+//    on VE and switches a batch group to the junction tree once it has
+//    `jt_batch_threshold` distinct query variables under one evidence
+//    assignment;
 //  * `query_batch` fans a vector of (query, evidence) pairs across a
 //    fixed thread pool; results are deterministic and independent of the
 //    thread count because every query's slot and arithmetic are fixed up
@@ -18,9 +27,10 @@
 //    posteriors regardless of scheduling.
 //
 // Thread safety: all query methods are const and safe to call from
-// multiple threads concurrently; the ordering cache is internally locked.
-// The engine holds a reference to the network — the network must outlive
-// the engine and must not be mutated while queries run.
+// multiple threads concurrently; the ordering and junction-tree caches
+// are internally locked. The engine holds a reference to the network —
+// the network must outlive the engine and must not be mutated while
+// queries run.
 #pragma once
 
 #include <cstddef>
@@ -31,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "bayesnet/junction_tree.hpp"
 #include "bayesnet/network.hpp"
 #include "bayesnet/ordering.hpp"
 #include "prob/discrete.hpp"
@@ -44,12 +55,24 @@ struct QuerySpec {
   Evidence evidence;
 };
 
+/// Which exact backend answers engine queries.
+enum class Backend {
+  kVariableElimination,  ///< one elimination run per query (the PR-1 path)
+  kJunctionTree,         ///< every query reads a calibrated clique tree
+  kAuto,  ///< VE per query; JT for batch groups with many distinct queries
+};
+
 class InferenceEngine {
  public:
   struct Options {
     /// Worker threads for the batch APIs. 0 = hardware concurrency.
     std::size_t threads = 0;
     OrderingHeuristic heuristic = OrderingHeuristic::kMinFill;
+    Backend backend = Backend::kAuto;
+    /// Under kAuto, a batch group switches to the junction tree once it
+    /// holds at least this many *distinct* query variables under one
+    /// evidence assignment (one calibration then amortizes across them).
+    std::size_t jt_batch_threshold = 8;
   };
 
   /// A point-in-time view of this engine's ordering-cache counters.
@@ -82,8 +105,19 @@ class InferenceEngine {
   [[nodiscard]] prob::Categorical query(VariableId query,
                                         const Evidence& evidence = {}) const;
 
+  /// Exact posteriors of *every* variable given `evidence`, indexed by
+  /// VariableId (observed variables hold their deltas). Under the
+  /// kJunctionTree and kAuto backends this is one calibrated message
+  /// pass; under kVariableElimination it loops `query`. Throws like
+  /// `query` on impossible evidence.
+  [[nodiscard]] std::vector<prob::Categorical> all_marginals(
+      const Evidence& evidence = {}) const;
+
   /// Probability of the evidence, P(e).
   [[nodiscard]] double evidence_probability(const Evidence& evidence) const;
+
+  /// log P(e); -infinity when the evidence is impossible (no throw).
+  [[nodiscard]] double log_evidence_probability(const Evidence& evidence) const;
 
   /// Exact joint of two distinct unobserved variables given evidence.
   [[nodiscard]] prob::JointTable joint(VariableId a, VariableId b,
@@ -107,9 +141,16 @@ class InferenceEngine {
   /// the last reset_cache_stats().
   [[nodiscard]] CacheStats cache_stats() const;
 
-  /// Zeroes the hit/miss counters without dropping cached orderings, so
-  /// long-running batch loops can window their stats per batch. The
-  /// process-wide obs counters are unaffected (they aggregate forever).
+  /// Calibrated-tree cache statistics (same windowing rules). Unlike the
+  /// ordering cache, entries here are keyed by the *full* evidence
+  /// assignment — two evidence maps sharing keys but differing in any
+  /// value never share a calibrated tree.
+  [[nodiscard]] CacheStats jt_cache_stats() const;
+
+  /// Zeroes the hit/miss counters (ordering and junction-tree caches)
+  /// without dropping cached plans or calibrated trees, so long-running
+  /// batch loops can window their stats per batch. The process-wide obs
+  /// counters are unaffected (they aggregate forever).
   void reset_cache_stats();
 
   void clear_cache();
@@ -121,6 +162,10 @@ class InferenceEngine {
   // unobserved variable; queries skip their kept variables at execution
   // time, so one plan serves all queries sharing an evidence signature.
   using OrderingKey = std::vector<VariableId>;
+  // Key: the full evidence assignment (sorted key/value pairs). Exact —
+  // calibrated beliefs depend on evidence values, so signatures that a
+  // lossy hash would conflate stay distinct by construction.
+  using TreeKey = std::vector<std::pair<VariableId, std::size_t>>;
 
   const BayesianNetwork& net_;
   Options options_;
@@ -132,11 +177,19 @@ class InferenceEngine {
   mutable std::map<OrderingKey, std::shared_ptr<const EliminationOrdering>> cache_;
   mutable std::size_t cache_hits_ = 0;
   mutable std::size_t cache_misses_ = 0;
+  mutable std::map<TreeKey, std::shared_ptr<const JunctionTree>> jt_cache_;
+  mutable std::size_t jt_cache_hits_ = 0;
+  mutable std::size_t jt_cache_misses_ = 0;
 
   [[nodiscard]] std::shared_ptr<const EliminationOrdering> ordering_for(
       const Evidence& evidence) const;
   [[nodiscard]] Factor eliminate_all_but(const std::vector<VariableId>& keep,
                                          const Evidence& evidence) const;
+  /// The calibrated tree for `evidence`, built on a miss and memoized.
+  [[nodiscard]] std::shared_ptr<const JunctionTree> calibrated_tree_for(
+      const Evidence& evidence) const;
+  [[nodiscard]] prob::Categorical query_ve(VariableId query,
+                                           const Evidence& evidence) const;
 };
 
 }  // namespace sysuq::bayesnet

@@ -1,5 +1,6 @@
 #include "bayesnet/ordering.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <optional>
 #include <set>
@@ -23,6 +24,29 @@ std::size_t fill_cost(const std::vector<std::set<VariableId>>& adj,
   return fill;
 }
 
+// Moral graph: each CPT family {v} ∪ parents(v) forms a clique. Evidence
+// vertices are deleted (their factors are reduced before elimination);
+// the rest of each family stays pairwise connected.
+std::vector<std::set<VariableId>> moral_graph(const BayesianNetwork& net,
+                                              const std::vector<char>& is_evidence) {
+  const std::size_t n = net.size();
+  std::vector<std::set<VariableId>> adj(n);
+  for (VariableId v = 0; v < n; ++v) {
+    std::vector<VariableId> family;
+    if (!is_evidence[v]) family.push_back(v);
+    for (VariableId p : net.parents(v)) {
+      if (!is_evidence[p]) family.push_back(p);
+    }
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      for (std::size_t j = i + 1; j < family.size(); ++j) {
+        adj[family[i]].insert(family[j]);
+        adj[family[j]].insert(family[i]);
+      }
+    }
+  }
+  return adj;
+}
+
 }  // namespace
 
 EliminationOrdering compute_elimination_order(
@@ -40,23 +64,7 @@ EliminationOrdering compute_elimination_order(
     is_kept[v] = 1;
   }
 
-  // Moral graph: each CPT family {v} ∪ parents(v) forms a clique. Evidence
-  // vertices are deleted (their factors are reduced before elimination);
-  // the rest of each family stays pairwise connected.
-  std::vector<std::set<VariableId>> adj(n);
-  for (VariableId v = 0; v < n; ++v) {
-    std::vector<VariableId> family;
-    if (!is_evidence[v]) family.push_back(v);
-    for (VariableId p : net.parents(v)) {
-      if (!is_evidence[p]) family.push_back(p);
-    }
-    for (std::size_t i = 0; i < family.size(); ++i) {
-      for (std::size_t j = i + 1; j < family.size(); ++j) {
-        adj[family[i]].insert(family[j]);
-        adj[family[j]].insert(family[i]);
-      }
-    }
-  }
+  std::vector<std::set<VariableId>> adj = moral_graph(net, is_evidence);
 
   std::vector<char> pending(n, 0);
   std::size_t remaining = 0;
@@ -103,6 +111,44 @@ EliminationOrdering compute_elimination_order(
     --remaining;
   }
   return out;
+}
+
+std::vector<std::vector<VariableId>> elimination_cliques(
+    const BayesianNetwork& net, const std::vector<VariableId>& evidence_keys,
+    const std::vector<VariableId>& order) {
+  net.validate();
+  const std::size_t n = net.size();
+  std::vector<char> is_evidence(n, 0);
+  for (VariableId v : evidence_keys) {
+    if (v >= n) throw std::out_of_range("elimination_cliques: evidence id");
+    is_evidence[v] = 1;
+  }
+  std::vector<std::set<VariableId>> adj = moral_graph(net, is_evidence);
+
+  std::vector<std::vector<VariableId>> cliques;
+  cliques.reserve(order.size());
+  for (VariableId v : order) {
+    if (v >= n) throw std::out_of_range("elimination_cliques: order id");
+    std::vector<VariableId> clique;
+    clique.reserve(adj[v].size() + 1);
+    clique.push_back(v);
+    clique.insert(clique.end(), adj[v].begin(), adj[v].end());
+    std::sort(clique.begin(), clique.end());
+    cliques.push_back(std::move(clique));
+
+    // Same incremental update as the ordering pass: fill in the
+    // neighbourhood, then delete the vertex.
+    for (auto a = adj[v].begin(); a != adj[v].end(); ++a) {
+      auto b = a;
+      for (++b; b != adj[v].end(); ++b) {
+        adj[*a].insert(*b);
+        adj[*b].insert(*a);
+      }
+    }
+    for (VariableId nb : adj[v]) adj[nb].erase(v);
+    adj[v].clear();
+  }
+  return cliques;
 }
 
 Factor eliminate_with_order(std::vector<Factor> factors,

@@ -50,4 +50,15 @@ struct EliminationOrdering {
 [[nodiscard]] Factor eliminate_with_order(std::vector<Factor> factors,
                                           const std::vector<VariableId>& order);
 
+/// Replays `order` over the moral graph of `net` (with `evidence_keys`
+/// deleted, exactly as `compute_elimination_order` builds it) and returns
+/// one elimination clique per step: the eliminated vertex plus its live
+/// neighbours at elimination time, sorted by VariableId. These are the
+/// cliques of the triangulation induced by the ordering — the raw
+/// material of the junction tree. `order` must cover every non-evidence
+/// variable exactly once (the `keep = {}` form of the ordering).
+[[nodiscard]] std::vector<std::vector<VariableId>> elimination_cliques(
+    const BayesianNetwork& net, const std::vector<VariableId>& evidence_keys,
+    const std::vector<VariableId>& order);
+
 }  // namespace sysuq::bayesnet

@@ -1,0 +1,349 @@
+// Differential tests (label: differential): the junction-tree backend is
+// checked against VariableElimination over hundreds of generated
+// network/evidence pairs, likelihood weighting agrees within sampling
+// tolerance, every backend throws the identical impossible-evidence
+// message, and the Table I perception figures are pinned to hard-coded
+// golden values under both exact backends.
+//
+// The generator is seeded from SYSUQ_DIFFERENTIAL_SEED (decimal) so CI
+// can sweep several fixed seeds; unset, it uses a fixed default.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bayesnet/engine.hpp"
+#include "bayesnet/inference.hpp"
+#include "bayesnet/junction_tree.hpp"
+#include "core/decomposition.hpp"
+#include "core/tolerance.hpp"
+#include "perception/table1.hpp"
+#include "prob/rng.hpp"
+
+namespace bn = sysuq::bayesnet;
+namespace pr = sysuq::prob;
+
+namespace {
+
+std::uint64_t differential_seed() {
+  if (const char* env = std::getenv("SYSUQ_DIFFERENTIAL_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20260805ULL;
+}
+
+enum class Topology { kChain, kTree, kDense };
+
+// Random network with 2-6 states per variable and a topology-controlled
+// parent structure. All CPT entries are strictly positive, so every
+// evidence assignment has P(e) > 0 (impossible evidence is exercised by
+// dedicated networks below).
+bn::BayesianNetwork random_network(pr::Rng& rng, Topology topo,
+                                   std::size_t n) {
+  bn::BayesianNetwork net;
+  std::vector<std::size_t> cards;
+  cards.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t card = 2 + rng.uniform_index(5);  // 2..6 states
+    cards.push_back(card);
+    std::vector<std::string> states;
+    states.reserve(card);
+    for (std::size_t s = 0; s < card; ++s)
+      states.push_back("s" + std::to_string(s));
+    net.add_variable("v" + std::to_string(i), std::move(states));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<bn::VariableId> parents;
+    switch (topo) {
+      case Topology::kChain:
+        if (i > 0) parents.push_back(i - 1);
+        break;
+      case Topology::kTree:
+        if (i > 0) parents.push_back(rng.uniform_index(i));
+        break;
+      case Topology::kDense:
+        for (std::size_t j = 0; j < i && parents.size() < 3; ++j) {
+          if (rng.bernoulli(0.5)) parents.push_back(j);
+        }
+        break;
+    }
+    std::size_t rows = 1;
+    for (const auto p : parents) rows *= cards[p];
+    std::vector<pr::Categorical> cpt;
+    cpt.reserve(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::vector<double> w(cards[i]);
+      for (double& x : w) x = rng.uniform() + 0.05;
+      cpt.push_back(pr::Categorical::normalized(std::move(w)));
+    }
+    net.set_cpt(i, std::move(parents), std::move(cpt));
+  }
+  return net;
+}
+
+bn::Evidence random_evidence(pr::Rng& rng, const bn::BayesianNetwork& net,
+                             std::size_t count) {
+  bn::Evidence ev;
+  for (std::size_t k = 0; k < count; ++k) {
+    const bn::VariableId v = rng.uniform_index(net.size());
+    ev[v] = rng.uniform_index(net.variable(v).cardinality());
+  }
+  return ev;
+}
+
+// Chain a -> b where b = 1 is unreachable, as in the engine tests.
+bn::BayesianNetwork unreachable_state_network() {
+  bn::BayesianNetwork net;
+  const auto a = net.add_variable("a", {"0", "1"});
+  const auto b = net.add_variable("b", {"0", "1"});
+  net.set_cpt(a, {}, {pr::Categorical({0.5, 0.5})});
+  net.set_cpt(b, {a},
+              {pr::Categorical({1.0, 0.0}), pr::Categorical({1.0, 0.0})});
+  return net;
+}
+
+constexpr Topology kTopologies[] = {Topology::kChain, Topology::kTree,
+                                    Topology::kDense};
+
+}  // namespace
+
+// ---- VE vs JT over generated network/evidence pairs ----
+
+TEST(Differential, JunctionTreeMatchesVariableElimination) {
+  pr::Rng rng(differential_seed());
+  std::size_t pairs = 0;
+  for (const Topology topo : kTopologies) {
+    const std::size_t nets = 23;
+    for (std::size_t t = 0; t < nets; ++t) {
+      const std::size_t n = topo == Topology::kDense
+                                ? 5 + rng.uniform_index(3)   // 5..7
+                                : 6 + rng.uniform_index(5);  // 6..10
+      const auto net = random_network(rng, topo, n);
+      bn::VariableElimination ve(net);
+      // Evidence cases: none, one observed variable, two observed.
+      for (std::size_t ec = 0; ec < 3; ++ec) {
+        const auto ev = random_evidence(rng, net, ec);
+        const bn::JunctionTree jt(net, ev);
+        ++pairs;
+        ASSERT_NEAR(jt.evidence_probability(), ve.evidence_probability(ev),
+                    sysuq::tolerance::kProbSum)
+            << "topo " << static_cast<int>(topo) << " net " << t;
+        const auto& marginals = jt.all_marginals();
+        ASSERT_EQ(marginals.size(), net.size());
+        for (bn::VariableId q = 0; q < net.size(); ++q) {
+          if (ev.contains(q)) {
+            // Observed variables hold their deltas.
+            EXPECT_EQ(marginals[q].p(ev.at(q)), 1.0);
+            continue;
+          }
+          const auto exact = ve.query(q, ev);
+          ASSERT_EQ(marginals[q].size(), exact.size());
+          for (std::size_t s = 0; s < exact.size(); ++s) {
+            ASSERT_NEAR(marginals[q].p(s), exact.p(s),
+                        sysuq::tolerance::kProbSum)
+                << "topo " << static_cast<int>(topo) << " net " << t
+                << " var " << q << " state " << s;
+          }
+        }
+      }
+    }
+  }
+  // The acceptance bar: at least 200 generated network/evidence pairs.
+  EXPECT_GE(pairs, 200u);
+}
+
+TEST(Differential, EngineBackendsAgreeOnBatches) {
+  pr::Rng rng(differential_seed() + 1);
+  for (const Topology topo : kTopologies) {
+    const auto net = random_network(rng, topo, 7);
+    const auto ev = random_evidence(rng, net, 1);
+    std::vector<bn::QuerySpec> batch;
+    for (bn::VariableId q = 0; q < net.size(); ++q) {
+      if (!ev.contains(q)) batch.push_back({q, ev});
+    }
+    bn::InferenceEngine ve_engine(
+        net, {.threads = 2, .backend = bn::Backend::kVariableElimination});
+    bn::InferenceEngine jt_engine(
+        net, {.threads = 2, .backend = bn::Backend::kJunctionTree});
+    bn::InferenceEngine auto_engine(
+        net, {.threads = 2, .backend = bn::Backend::kAuto,
+              .jt_batch_threshold = 2});
+    const auto a = ve_engine.query_batch(batch);
+    const auto b = jt_engine.query_batch(batch);
+    const auto c = auto_engine.query_batch(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      for (std::size_t s = 0; s < a[i].size(); ++s) {
+        ASSERT_NEAR(a[i].p(s), b[i].p(s), sysuq::tolerance::kProbSum) << i;
+        ASSERT_NEAR(a[i].p(s), c[i].p(s), sysuq::tolerance::kProbSum) << i;
+      }
+    }
+    // The Auto engine actually took the junction-tree path.
+    EXPECT_GE(auto_engine.jt_cache_stats().entries, 1u);
+  }
+}
+
+// ---- likelihood weighting within sampling tolerance ----
+
+TEST(Differential, LikelihoodWeightingWithinSamplingTolerance) {
+  pr::Rng rng(differential_seed() + 2);
+  for (const Topology topo : kTopologies) {
+    const auto net = random_network(rng, topo, 6);
+    const auto ev = random_evidence(rng, net, 1);
+    const bn::JunctionTree jt(net, ev);
+    for (bn::VariableId q = 0; q < net.size(); ++q) {
+      if (ev.contains(q)) continue;
+      pr::Rng sample_rng(differential_seed() + 100 + q);
+      const auto approx =
+          bn::likelihood_weighting(net, q, ev, 120000, sample_rng);
+      const auto exact = jt.query(q);
+      for (std::size_t s = 0; s < exact.size(); ++s) {
+        // ~15 standard errors at this sample count: robust across the CI
+        // seed sweep while still catching systematic disagreement.
+        ASSERT_NEAR(approx.p(s), exact.p(s), 0.03)
+            << "topo " << static_cast<int>(topo) << " var " << q;
+      }
+      break;  // one query per network keeps the sampling budget bounded
+    }
+  }
+}
+
+// ---- impossible-evidence parity across every backend ----
+
+TEST(Differential, ImpossibleEvidenceMessageIdenticalAcrossBackends) {
+  // Two shapes: the minimal unreachable-state chain, and a generated
+  // network extended with a child whose second state is unreachable.
+  pr::Rng rng(differential_seed() + 3);
+  std::vector<std::pair<bn::BayesianNetwork, bn::Evidence>> cases;
+  cases.emplace_back(unreachable_state_network(), bn::Evidence{{1, 1}});
+  {
+    auto net = random_network(rng, Topology::kTree, 5);
+    const auto child = net.add_variable("stuck", {"lo", "hi"});
+    std::vector<pr::Categorical> rows;
+    for (std::size_t r = 0; r < net.variable(0).cardinality(); ++r)
+      rows.push_back(pr::Categorical({1.0, 0.0}));
+    net.set_cpt(child, {0}, std::move(rows));
+    cases.emplace_back(std::move(net), bn::Evidence{{child, 1}});
+  }
+
+  for (const auto& [net, impossible] : cases) {
+    const std::string expected =
+        bn::impossible_evidence_message(net, impossible);
+    const bn::VariableId query = 0;  // never the observed variable
+
+    const auto expect_throws = [&](auto&& fn, const char* tag) {
+      try {
+        fn();
+        FAIL() << tag << ": expected std::domain_error";
+      } catch (const std::domain_error& e) {
+        EXPECT_EQ(std::string(e.what()), expected) << tag;
+      }
+    };
+
+    bn::VariableElimination ve(net);
+    expect_throws([&] { (void)ve.query(query, impossible); }, "ve");
+
+    const bn::JunctionTree jt(net, impossible);
+    EXPECT_EQ(jt.log_evidence_probability(),
+              -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(jt.evidence_probability(), 0.0);
+    expect_throws([&] { (void)jt.query(query); }, "jt.query");
+    expect_throws([&] { (void)jt.all_marginals(); }, "jt.all_marginals");
+
+    for (const auto backend :
+         {bn::Backend::kVariableElimination, bn::Backend::kJunctionTree,
+          bn::Backend::kAuto}) {
+      bn::InferenceEngine engine(net, {.threads = 1, .backend = backend});
+      expect_throws([&] { (void)engine.query(query, impossible); },
+                    "engine.query");
+      expect_throws([&] { (void)engine.all_marginals(impossible); },
+                    "engine.all_marginals");
+      expect_throws([&] { (void)engine.query_batch({{query, impossible}}); },
+                    "engine.query_batch");
+      EXPECT_NEAR(engine.evidence_probability(impossible), 0.0, 1e-15);
+      EXPECT_EQ(engine.log_evidence_probability(impossible),
+                -std::numeric_limits<double>::infinity());
+    }
+
+    // Likelihood weighting shares the message prefix (it appends its
+    // sampling-effort suffix, covered by the engine tests).
+    pr::Rng lw_rng(7);
+    try {
+      (void)bn::likelihood_weighting(net, query, impossible, 500, lw_rng);
+      FAIL() << "expected std::domain_error";
+    } catch (const std::domain_error& e) {
+      EXPECT_EQ(std::string(e.what()).rfind(expected, 0), 0u)
+          << e.what();
+    }
+  }
+}
+
+// ---- Table I golden regression, both exact backends ----
+
+TEST(Differential, Table1GoldenPosteriorsUnderBothBackends) {
+  // Hard-coded Bayes inversions of the paper's Table I CPT with the
+  // Sec. V priors (0.6 / 0.3 / 0.1), default deficit->none repair.
+  // Any backend drift — ordering, clique construction, normalization —
+  // breaks these digits.
+  const double kPrior[4] = {0.5415, 0.273, 0.065, 0.1205};
+  const double kPosterior[4][3] = {
+      {0.99722991689750706, 0.0027700831024930748, 0.0},  // perc = car
+      {0.010989010989010988, 0.98901098901098905, 0.0},   // perc = ped
+      {0.46153846153846151, 0.23076923076923075,
+       0.30769230769230776},  // perc = car/ped
+      {0.22406639004149373, 0.11203319502074686,
+       0.66390041493775931},  // perc = none
+  };
+  const double kLogEvidenceCar = -0.61341221254109179;
+
+  const auto net = sysuq::perception::table1_network();
+  for (const auto backend :
+       {bn::Backend::kVariableElimination, bn::Backend::kJunctionTree}) {
+    SCOPED_TRACE(backend == bn::Backend::kVariableElimination ? "ve" : "jt");
+    bn::InferenceEngine engine(net, {.threads = 1, .backend = backend});
+
+    const auto prior = engine.query(net.id_of("perception"));
+    for (std::size_t s = 0; s < 4; ++s)
+      EXPECT_NEAR(prior.p(s), kPrior[s], 1e-12) << s;
+
+    for (std::size_t o = 0; o < 4; ++o) {
+      const auto post = engine.query(0, {{1, o}});
+      for (std::size_t s = 0; s < 3; ++s)
+        EXPECT_NEAR(post.p(s), kPosterior[o][s], 1e-12) << o << "/" << s;
+    }
+
+    const auto all = engine.all_marginals({{1, 0}});
+    for (std::size_t s = 0; s < 3; ++s)
+      EXPECT_NEAR(all[0].p(s), kPosterior[0][s], 1e-12) << s;
+    EXPECT_EQ(all[1].p(0), 1.0);  // observed variable holds its delta
+
+    EXPECT_NEAR(engine.log_evidence_probability({{1, 0}}), kLogEvidenceCar,
+                1e-12);
+  }
+}
+
+TEST(Differential, Table1GoldenDecompositionFigures) {
+  // The uncertainty-attribution figures bench_table1_perception_cpt
+  // prints for the default repair policy, pinned to full precision.
+  const auto net = sysuq::perception::table1_network();
+  bn::VariableElimination ve(net);
+  const auto joint = ve.joint(1, 0);
+  EXPECT_NEAR(net.cpt_rows(0)[0].entropy(), 0.8979457248567797, 1e-12);
+  EXPECT_NEAR(sysuq::core::surprise_factor(joint), 0.19831888266846187,
+              1e-12);
+  EXPECT_NEAR(sysuq::core::normalized_surprise(joint), 0.22085842961175994,
+              1e-12);
+  // Epistemic indicator mass and the ontological prior/posterior pair.
+  EXPECT_NEAR(ve.query(1).p(sysuq::perception::kPercCarPedestrian), 0.065,
+              1e-12);
+  EXPECT_NEAR(net.cpt_rows(0)[0].p(sysuq::perception::kGtUnknown), 0.1,
+              1e-12);
+  const auto none_post =
+      ve.query(0, {{1, sysuq::perception::kPercNone}});
+  EXPECT_NEAR(none_post.p(sysuq::perception::kGtUnknown),
+              0.66390041493775931, 1e-12);
+}

@@ -7,10 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
 #include "bayesnet/inference.hpp"
+#include "bayesnet/junction_tree.hpp"
 #include "bayesnet/ordering.hpp"
 #include "evidence/evidential_network.hpp"
 #include "fta/analysis.hpp"
@@ -248,6 +251,169 @@ TEST(Engine, JointMatchesVariableElimination) {
       EXPECT_DOUBLE_EQ(a.p(i, j), b.p(i, j));
   EXPECT_THROW((void)engine.joint(0, 0), std::invalid_argument);
   EXPECT_THROW((void)engine.joint(0, 1, {{1, 0}}), std::invalid_argument);
+}
+
+// ---- junction-tree backend ----
+
+TEST(EngineBackends, JunctionTreeStructureOnChain) {
+  // A pure chain triangulates into n-1 pairwise cliques of size two.
+  bn::BayesianNetwork net;
+  const std::size_t n = 6;
+  for (std::size_t i = 0; i < n; ++i)
+    net.add_variable("c" + std::to_string(i), {"0", "1"});
+  net.set_cpt(0, {}, {pr::Categorical({0.4, 0.6})});
+  for (std::size_t i = 1; i < n; ++i)
+    net.set_cpt(i, {i - 1},
+                {pr::Categorical({0.8, 0.2}), pr::Categorical({0.3, 0.7})});
+
+  const bn::JunctionTree jt(net);
+  EXPECT_EQ(jt.clique_count(), n - 1);
+  EXPECT_EQ(jt.max_clique_size(), 2u);
+  // Deterministic: a rebuild yields the identical clique list.
+  const bn::JunctionTree again(net);
+  EXPECT_EQ(jt.cliques(), again.cliques());
+}
+
+TEST(EngineBackends, JunctionTreeBackendMatchesDefaultEngine) {
+  pr::Rng rng(41);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto net = random_network(rng, 6);
+    bn::InferenceEngine ve_engine(
+        net, {.threads = 1, .backend = bn::Backend::kVariableElimination});
+    bn::InferenceEngine jt_engine(
+        net, {.threads = 1, .backend = bn::Backend::kJunctionTree});
+    const bn::Evidence ev{{0, 0}};
+    for (bn::VariableId q = 1; q < net.size(); ++q) {
+      const auto a = ve_engine.query(q, ev);
+      const auto b = jt_engine.query(q, ev);
+      for (std::size_t s = 0; s < a.size(); ++s)
+        ASSERT_NEAR(a.p(s), b.p(s), 1e-12) << "trial " << trial;
+    }
+    ASSERT_NEAR(ve_engine.evidence_probability(ev),
+                jt_engine.evidence_probability(ev), 1e-12);
+  }
+}
+
+TEST(EngineBackends, AllMarginalsMatchesPerQueryLoop) {
+  const auto net = paper_network();
+  for (const auto backend :
+       {bn::Backend::kVariableElimination, bn::Backend::kJunctionTree,
+        bn::Backend::kAuto}) {
+    bn::InferenceEngine engine(net, {.threads = 1, .backend = backend});
+    const bn::Evidence ev{{1, 3}};
+    const auto all = engine.all_marginals(ev);
+    ASSERT_EQ(all.size(), net.size());
+    EXPECT_EQ(all[1].p(3), 1.0);  // observed variable holds its delta
+    const auto direct = engine.query(0, ev);
+    for (std::size_t s = 0; s < direct.size(); ++s)
+      EXPECT_NEAR(all[0].p(s), direct.p(s), 1e-12);
+  }
+}
+
+TEST(EngineBackends, LogEvidenceProbabilityAcrossBackends) {
+  const auto net = paper_network();
+  const bn::Evidence possible{{1, 0}};
+  const bn::Evidence impossible{{0, 2}, {1, 0}};
+  for (const auto backend :
+       {bn::Backend::kVariableElimination, bn::Backend::kJunctionTree}) {
+    bn::InferenceEngine engine(net, {.threads = 1, .backend = backend});
+    EXPECT_NEAR(engine.log_evidence_probability(possible),
+                std::log(engine.evidence_probability(possible)), 1e-12);
+    // Impossible evidence reports -inf without throwing.
+    EXPECT_EQ(engine.log_evidence_probability(impossible),
+              -std::numeric_limits<double>::infinity());
+  }
+}
+
+TEST(EngineBackends, AutoSwitchesToJunctionTreeAtBatchThreshold) {
+  // Build a network wide enough that a batch can hold many distinct
+  // query variables under one evidence assignment.
+  pr::Rng rng(43);
+  const auto net = random_network(rng, 12);
+  const bn::Evidence ev{{0, 0}};
+  std::vector<bn::QuerySpec> wide;
+  for (bn::VariableId q = 1; q < net.size(); ++q) wide.push_back({q, ev});
+
+  // Below the threshold the Auto engine stays on VE: no tree is built.
+  bn::InferenceEngine small_auto(
+      net, {.threads = 2, .backend = bn::Backend::kAuto,
+            .jt_batch_threshold = 64});
+  (void)small_auto.query_batch(wide);
+  EXPECT_EQ(small_auto.jt_cache_stats().entries, 0u);
+  EXPECT_EQ(small_auto.jt_cache_stats().misses, 0u);
+
+  // At the threshold it calibrates exactly one tree for the signature,
+  // and a repeat batch is a pure cache hit.
+  bn::InferenceEngine big_auto(
+      net, {.threads = 2, .backend = bn::Backend::kAuto,
+            .jt_batch_threshold = 4});
+  const auto a = big_auto.query_batch(wide);
+  EXPECT_EQ(big_auto.jt_cache_stats().entries, 1u);
+  EXPECT_EQ(big_auto.jt_cache_stats().misses, 1u);
+  const auto b = big_auto.query_batch(wide);
+  EXPECT_EQ(big_auto.jt_cache_stats().entries, 1u);
+  EXPECT_EQ(big_auto.jt_cache_stats().hits, 1u);
+
+  // Both paths agree with the sequential VE engine, byte-identically
+  // across the repeat (same tree, same reads).
+  bn::InferenceEngine ve_engine(
+      net, {.threads = 1, .backend = bn::Backend::kVariableElimination});
+  for (std::size_t i = 0; i < wide.size(); ++i) {
+    const auto ref = ve_engine.query(wide[i].query, wide[i].evidence);
+    for (std::size_t s = 0; s < ref.size(); ++s) {
+      ASSERT_NEAR(a[i].p(s), ref.p(s), 1e-12) << i;
+      ASSERT_EQ(a[i].p(s), b[i].p(s)) << i;
+    }
+  }
+}
+
+TEST(EngineBackends, TreeCacheKeyedByFullAssignmentNotSignature) {
+  // Cache-collision stress: evidence maps engineered to look alike —
+  // identical key sets and identical value *multisets*, differing only
+  // in which value sits on which key. The ordering cache may (and
+  // should) share one plan across them; the calibrated-tree cache must
+  // not, or one evidence's posteriors would answer the other's queries.
+  const auto net = paper_network();
+  auto wide = net;  // add a child so there is something to query
+  const auto monitor = wide.add_variable("monitor", {"quiet", "alarm"});
+  wide.set_cpt(monitor, {0},
+               {pr::Categorical({0.9, 0.1}), pr::Categorical({0.5, 0.5}),
+                pr::Categorical({0.1, 0.9})});
+
+  const bn::Evidence e1{{0, 0}, {1, 1}};
+  const bn::Evidence e2{{0, 1}, {1, 0}};  // same keys, swapped values
+
+  bn::InferenceEngine engine(
+      wide, {.threads = 1, .backend = bn::Backend::kJunctionTree});
+  const auto m1 = engine.query(monitor, e1);
+  const auto m2 = engine.query(monitor, e2);
+
+  // Two distinct calibrated trees, one shared ordering signature.
+  EXPECT_EQ(engine.jt_cache_stats().entries, 2u);
+  EXPECT_EQ(engine.jt_cache_stats().misses, 2u);
+
+  // Each answer matches its own evidence's exact posterior - and the
+  // two posteriors genuinely differ, so sharing would have been caught.
+  bn::VariableElimination ve(wide);
+  const auto x1 = ve.query(monitor, e1);
+  const auto x2 = ve.query(monitor, e2);
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_NEAR(m1.p(s), x1.p(s), 1e-12);
+    EXPECT_NEAR(m2.p(s), x2.p(s), 1e-12);
+  }
+  EXPECT_GT(std::fabs(x1.p(0) - x2.p(0)), 0.05);
+
+  // Re-query both: pure hits, no new calibration.
+  (void)engine.query(monitor, e1);
+  (void)engine.query(monitor, e2);
+  EXPECT_EQ(engine.jt_cache_stats().entries, 2u);
+  EXPECT_EQ(engine.jt_cache_stats().hits, 2u);
+
+  // clear_cache drops calibrated trees too.
+  engine.clear_cache();
+  EXPECT_EQ(engine.jt_cache_stats().entries, 0u);
+  EXPECT_EQ(engine.jt_cache_stats().hits, 0u);
+  EXPECT_EQ(engine.jt_cache_stats().misses, 0u);
 }
 
 // ---- unified impossible-evidence error semantics ----

@@ -1,0 +1,7 @@
+// Companion header for the bad fixture: its presence arms the lint's
+// own-header-first check for junction_tree.cc. Never compiled.
+#pragma once
+
+namespace sysuq::bayesnet {
+void fixture_violations();
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,16 @@
+// Lint self-test fixture: the clean twin of ../../bad. Follows every
+// rule — own header first, module-qualified includes, a well-formed obs
+// name — so a false positive in the lint fails `ctest -L lint` here.
+// Never compiled.
+#include "bayesnet/junction_tree.hpp"
+
+#include "obs/registry.hpp"
+
+namespace sysuq::bayesnet {
+
+void fixture_clean() {
+  auto& builds = sysuq::obs::Registry::global().counter("bayesnet.jt.builds");
+  builds.inc();
+}
+
+}  // namespace sysuq::bayesnet

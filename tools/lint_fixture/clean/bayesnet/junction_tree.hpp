@@ -1,0 +1,6 @@
+// Companion header for the clean fixture. Never compiled.
+#pragma once
+
+namespace sysuq::bayesnet {
+void fixture_clean();
+}  // namespace sysuq::bayesnet

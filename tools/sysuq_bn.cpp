@@ -1,11 +1,13 @@
 // sysuq_bn — command-line front end for the Bayesian-network layer.
 //
 // Usage:
-//   sysuq_bn [--metrics] [--trace <out.json>] <command> ...
+//   sysuq_bn [--metrics] [--trace <out.json>] [--backend ve|jt|auto]
+//            <command> ...
 //
 //   sysuq_bn describe <model.bn>
 //   sysuq_bn dot <model.bn>
 //   sysuq_bn marginal <model.bn> <variable> [ev_var=state ...]
+//   sysuq_bn marginals <model.bn> [ev_var=state ...]
 //   sysuq_bn sensitivity <model.bn> <variable> <state> [ev_var=state ...]
 //   sysuq_bn table1 > model.bn        # emit the paper's Table I network
 //
@@ -14,6 +16,9 @@
 //                      Prometheus text format to stderr
 //   --trace <file>     enable the global trace sink and write the run's
 //                      spans as Chrome trace_event JSON to <file>
+//   --backend <name>   exact-inference backend for the query commands:
+//                      ve (per-query variable elimination), jt (calibrated
+//                      junction tree), or auto (default)
 //
 // Models use the sysuq-bayesnet text format (see bayesnet/serialize.hpp).
 #include <cstdio>
@@ -23,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bayesnet/engine.hpp"
 #include "bayesnet/inference.hpp"
 #include "bayesnet/io.hpp"
 #include "bayesnet/sensitivity.hpp"
@@ -37,18 +43,39 @@ using namespace sysuq;
 
 int usage() {
   std::fputs(
-      "usage: sysuq_bn [--metrics] [--trace <out.json>] <command> ...\n"
+      "usage: sysuq_bn [--metrics] [--trace <out.json>] "
+      "[--backend ve|jt|auto] <command> ...\n"
       "  sysuq_bn describe <model.bn>\n"
       "  sysuq_bn dot <model.bn>\n"
       "  sysuq_bn marginal <model.bn> <variable> [ev=state ...]\n"
+      "  sysuq_bn marginals <model.bn> [ev=state ...]\n"
       "  sysuq_bn sensitivity <model.bn> <variable> <state> [ev=state ...]\n"
       "  sysuq_bn table1\n"
       "flags:\n"
       "  --metrics        print the obs metrics registry (Prometheus text)\n"
       "                   to stderr after the command\n"
-      "  --trace <file>   write the run's spans as Chrome trace JSON\n",
+      "  --trace <file>   write the run's spans as Chrome trace JSON\n"
+      "  --backend <b>    ve | jt | auto (default auto) for the query\n"
+      "                   commands (marginal, marginals)\n",
       stderr);
   return 2;
+}
+
+// Selected by the global --backend flag; the query commands route their
+// InferenceEngine through it.
+bayesnet::Backend g_backend = bayesnet::Backend::kAuto;
+
+bool parse_backend(const std::string& name) {
+  if (name == "ve") {
+    g_backend = bayesnet::Backend::kVariableElimination;
+  } else if (name == "jt") {
+    g_backend = bayesnet::Backend::kJunctionTree;
+  } else if (name == "auto") {
+    g_backend = bayesnet::Backend::kAuto;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 bayesnet::BayesianNetwork load(const std::string& path) {
@@ -92,6 +119,8 @@ int main(int argc, char** argv) {
     } else if (i > 0 && tok == "--trace") {
       if (i + 1 >= argc) return usage();
       trace_path = argv[++i];
+    } else if (i > 0 && tok == "--backend") {
+      if (i + 1 >= argc || !parse_backend(argv[++i])) return usage();
     } else {
       args.push_back(argv[i]);
     }
@@ -146,12 +175,34 @@ int run(int argc, char** argv) {
       if (argc < 4) return usage();
       const auto query = net.id_of(argv[3]);
       const auto ev = parse_evidence(net, argc, argv, 4);
-      bayesnet::VariableElimination engine(net);
+      bayesnet::InferenceEngine engine(
+          net, {.threads = 1, .backend = g_backend});
       const auto m = engine.query(query, ev);
       for (std::size_t s = 0; s < m.size(); ++s) {
         std::printf("P(%s = %s%s) = %.6g\n", net.variable(query).name().c_str(),
                     net.variable(query).state_name(s).c_str(),
                     ev.empty() ? "" : " | evidence", m.p(s));
+      }
+      return 0;
+    }
+    if (cmd == "marginals") {
+      // Every posterior marginal in one pass — the all-marginals workload
+      // the junction-tree backend exists for.
+      const auto ev = parse_evidence(net, argc, argv, 3);
+      bayesnet::InferenceEngine engine(
+          net, {.threads = 1, .backend = g_backend});
+      const auto all = engine.all_marginals(ev);
+      if (!ev.empty())
+        std::printf("P(e) = %.6g\n", engine.evidence_probability(ev));
+      for (bayesnet::VariableId v = 0; v < net.size(); ++v) {
+        const bool observed = ev.contains(v);
+        std::printf("%s%s:", net.variable(v).name().c_str(),
+                    observed ? " (observed)" : "");
+        for (std::size_t s = 0; s < all[v].size(); ++s) {
+          std::printf(" %s=%.6g", net.variable(v).state_name(s).c_str(),
+                      all[v].p(s));
+        }
+        std::printf("\n");
       }
       return 0;
     }

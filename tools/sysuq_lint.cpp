@@ -20,8 +20,11 @@
 //                   names fail the lint before they fail the contract.
 //
 // Lines are matched after stripping string literals and comments, so
-// documentation may mention rand() or 1e-12 freely. Exit code is 0 when
-// clean, 1 when any violation is reported, 2 on usage/IO errors.
+// documentation may mention rand() or 1e-12 freely. Every C++ extension
+// is covered (.cpp/.cc/.cxx and .hpp/.h/.hxx), so a new source file is
+// linted out of the box whatever spelling it picks; the fixtures under
+// tools/lint_fixture/ self-test this (ctest -L lint). Exit code is 0
+// when clean, 1 when any violation is reported, 2 on usage/IO errors.
 
 #include <cstdio>
 #include <filesystem>
@@ -101,11 +104,16 @@ bool allows(const std::string& raw_line, const std::string& rule) {
   return raw_line.find(marker) != std::string::npos;
 }
 
-// The include check needs the path quoted in the directive.
-std::string quoted_include(const std::string& code) {
-  static const std::regex re(R"(^\s*#\s*include\s*\"([^\"]+)\")");
+// The include check needs the path's actual text, which the stripper
+// blanks along with every other string body. So: detect the directive on
+// the stripped code (a commented-out #include is blanked there and
+// cannot match), then read the path from the raw line.
+std::string quoted_include(const std::string& code, const std::string& raw) {
+  static const std::regex directive_re(R"(^\s*#\s*include\s*\")");
+  if (!std::regex_search(code, directive_re)) return {};
+  static const std::regex path_re(R"(^\s*#\s*include\s*\"([^\"]+)\")");
   std::smatch m;
-  if (std::regex_search(code, m, re)) return m[1].str();
+  if (std::regex_search(raw, m, path_re)) return m[1].str();
   return {};
 }
 
@@ -145,18 +153,24 @@ class Linter {
     const std::string rel = fs::relative(path, root_).generic_string();
     const bool is_rng = rel.rfind("prob/rng", 0) == 0;
     const bool is_tolerance = rel == "core/tolerance.hpp";
-    const bool is_cpp = path.extension() == ".cpp";
+    const auto ext = path.extension();
+    const bool is_cpp = ext == ".cpp" || ext == ".cc" || ext == ".cxx";
     // Own header: core/contracts.cpp must include "core/contracts.hpp" first.
     std::string own_header;
     if (is_cpp) {
-      fs::path hpp = path;
-      hpp.replace_extension(".hpp");
-      if (fs::exists(hpp)) {
-        own_header = fs::relative(hpp, root_).generic_string();
+      for (const char* hdr_ext : {".hpp", ".h", ".hxx"}) {
+        fs::path hpp = path;
+        hpp.replace_extension(hdr_ext);
+        if (fs::exists(hpp)) {
+          own_header = fs::relative(hpp, root_).generic_string();
+          break;
+        }
       }
     }
 
-    static const std::regex rng_re(R"((^|[^\w:.])(s?rand\s*\(|mt19937))");
+    // `:` is not excluded before the token, so the qualified std::mt19937
+    // spelling is caught as well as the bare one.
+    static const std::regex rng_re(R"((^|[^\w.])(s?rand\s*\(|mt19937))");
     static const std::regex float_lit_eq(
         R"((==|!=)\s*-?(\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+))");
     static const std::regex float_eq_lit(
@@ -170,7 +184,7 @@ class Linter {
       const std::string code = strip_noncode(raw, in_block);
       if (code.empty()) continue;
 
-      if (const std::string inc = quoted_include(code); !inc.empty()) {
+      if (const std::string inc = quoted_include(code, raw); !inc.empty()) {
         if (!allows(raw, "include-hygiene")) {
           if (inc.find("../") != std::string::npos) {
             report(rel, lineno, "include-hygiene",
@@ -246,7 +260,9 @@ class Linter {
     for (const auto& entry : fs::recursive_directory_iterator(root_)) {
       if (!entry.is_regular_file()) continue;
       const auto ext = entry.path().extension();
-      if (ext == ".cpp" || ext == ".hpp") paths.push_back(entry.path());
+      const bool lintable = ext == ".cpp" || ext == ".hpp" || ext == ".cc" ||
+                            ext == ".h" || ext == ".cxx" || ext == ".hxx";
+      if (lintable) paths.push_back(entry.path());
     }
     std::sort(paths.begin(), paths.end());
     for (const auto& p : paths) {
