@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bayesnet/engine.hpp"
+#include "core/tolerance.hpp"
 #include "bayesnet/inference.hpp"
 #include "obs/registry.hpp"
 #include "perception/table1.hpp"
@@ -332,8 +333,8 @@ int main(int argc, char** argv) {
 
   // The junction tree must beat per-query elimination by >= 2x on the
   // all-marginals workload while staying within exact-inference tolerance.
-  return byte_identical && max_abs_vs_ve < 1e-9 && jt_max_abs < 1e-9 &&
-                 jt_speedup >= 2.0
+  return byte_identical && max_abs_vs_ve < sysuq::tolerance::kProbSum &&
+                 jt_max_abs < sysuq::tolerance::kProbSum && jt_speedup >= 2.0
              ? 0
              : 1;
 }

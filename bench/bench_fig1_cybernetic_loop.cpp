@@ -8,7 +8,7 @@
 // theorem predicts they fall together.
 #include <cstdio>
 
-#include "core/cybernetic.hpp"
+#include "sys/cybernetic.hpp"
 #include "prob/statistics.hpp"
 
 int main() {
@@ -22,10 +22,10 @@ int main() {
                                  {0.45, 0.25, 0.2, 0.1});
   const perception::TrueWorld world(modeled, {"unknown_object"}, 0.05);
   const auto sensor = perception::ConfusionSensor::make_default(4, 1, 0.65, 0.8);
-  const core::DecisionCosts costs{1.0, 0.15, 0.0};
+  const sys::DecisionCosts costs{1.0, 0.15, 0.0};
 
   std::puts("observations  model gap (TV)  actual cost  oracle cost   regret");
-  core::CyberneticLoop loop(world, sensor, costs);
+  sys::CyberneticLoop loop(world, sensor, costs);
   prob::Rng rng(20200311);
   const auto trace =
       loop.run({10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000}, rng);

@@ -9,7 +9,7 @@
 //   * "removal during use is better suited [for ontological]".
 #include <cstdio>
 
-#include "core/means.hpp"
+#include "sys/means.hpp"
 #include "core/taxonomy.hpp"
 #include "perception/table1.hpp"
 
@@ -55,7 +55,7 @@ int main() {
 
   // PREVENTION: ODD restriction suppresses unknown encounters 5x.
   {
-    const auto rep = core::apply_odd_restriction(world, {0, 1}, 0.2);
+    const auto rep = sys::apply_odd_restriction(world, {0, 1}, 0.2);
     const perception::TrueWorld odd_world(world.modeled(), {"unknown_object"},
                                           rep.novel_rate_after);
     prob::Rng r = rng.split(2);
@@ -74,7 +74,7 @@ int main() {
     deployed.update_cpt_rows(1, {prob::Categorical::uniform(4),
                                  prob::Categorical::uniform(4),
                                  prob::Categorical::uniform(4)});
-    core::RemovalLoop loop(truth, deployed, 1, perception::kGtUnknown);
+    sys::RemovalLoop loop(truth, deployed, 1, perception::kGtUnknown);
     prob::Rng r = rng.split(3);
     const auto trace = loop.run({500, 50000}, r);
     std::printf("  %-34s epistemic width %.4f -> %.4f; model gap %.4f -> %.4f\n",
@@ -89,7 +89,7 @@ int main() {
         {sensor, sensor, sensor}, perception::FusionRule::kMajorityVote, 0.0,
         0.1};
     prob::Rng r = rng.split(4);
-    const auto report = core::compare_tolerance(baseline, triple, world, kN, r);
+    const auto report = sys::compare_tolerance(baseline, triple, world, kN, r);
     std::printf("  %-34s hazard=%.4f acc=%.4f (reduction x%.2f)\n",
                 "tolerance (3x diverse redundancy)",
                 report.redundant.hazard_rate, report.redundant.accuracy,
@@ -102,15 +102,15 @@ int main() {
 
   // FORECASTING: when would the release criteria pass?
   {
-    core::ReleaseCriteria criteria;
+    sys::ReleaseCriteria criteria;
     std::size_t needed = 0;
     for (const std::size_t n : {1000u, 10000u, 100000u}) {
-      core::ReleaseEvidence e;
+      sys::ReleaseEvidence e;
       e.field_observations = n;
       e.epistemic_width = 1.0 / std::sqrt(static_cast<double>(n));  // ~Dirichlet
       e.missing_mass = 30.0 / static_cast<double>(n);  // singleton decay
       e.hazardous_events = static_cast<std::size_t>(1e-4 * n);
-      if (core::assess_release(e, criteria).ready && needed == 0) needed = n;
+      if (sys::assess_release(e, criteria).ready && needed == 0) needed = n;
     }
     std::printf("  %-34s criteria first met at N=%zu field observations\n",
                 "forecasting (release assessment)", needed);

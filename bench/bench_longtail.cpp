@@ -7,10 +7,10 @@
 // the discovery rate (the marginal value of one more test mile).
 #include <cstdio>
 
-#include "core/longtail.hpp"
+#include "sys/longtail.hpp"
 
 int main() {
-  using namespace sysuq::core;
+  using namespace sysuq::sys;
 
   std::puts("==== the long-tail validation challenge ====\n");
   constexpr std::size_t kScenarios = 100000;

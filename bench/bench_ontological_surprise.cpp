@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/decomposition.hpp"
+#include "sys/decomposition.hpp"
 #include "orbit/kalman.hpp"
 #include "orbit/two_planet.hpp"
 #include "prob/information.hpp"
@@ -102,6 +102,8 @@ int main() {
     return std::min<std::size_t>(s, 7);
   };
   for (const char* phase : {"before injection (t<30)", "after injection (t>30)"}) {
+    // sysuq-lint-allow(magic-epsilon): Laplace-style smoothing pseudocount
+    // seeding the co-occurrence table, not a comparison tolerance.
     std::vector<std::vector<double>> counts(8, std::vector<double>(8, 1e-9));
     for (int i = 0; i < 30000; ++i) {
       u.advance(1e-3);
@@ -116,7 +118,7 @@ int main() {
       for (double& v : row) v /= total;
     const prob::JointTable joint(counts);
     std::printf("  %-26s H = %.4f nats (normalized %.4f)\n", phase,
-                core::surprise_factor(joint), core::normalized_surprise(joint));
+                sys::surprise_factor(joint), sys::normalized_surprise(joint));
   }
   std::puts("\n  -> shape: near-zero conditional entropy while the model is");
   std::puts("     correct; a jump after the unmodeled planet appears — the");

@@ -9,7 +9,7 @@
 
 #include "bayesnet/inference.hpp"
 #include "bayesnet/io.hpp"
-#include "core/decomposition.hpp"
+#include "sys/decomposition.hpp"
 #include "perception/table1.hpp"
 
 namespace {
@@ -73,7 +73,7 @@ int main() {
     std::printf("ontological prior / posterior : %.4f -> %.4f given 'none'\n",
                 onto_prior, none_post.p(perception::kGtUnknown));
     std::printf("surprise factor H(gt | perc)  : %.4f nats (normalized %.4f)\n",
-                core::surprise_factor(joint), core::normalized_surprise(joint));
+                sys::surprise_factor(joint), sys::normalized_surprise(joint));
   }
 
   std::puts("\npaper-vs-measured: priors and CPT entries match Table I by");

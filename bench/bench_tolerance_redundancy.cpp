@@ -54,6 +54,8 @@ int main() {
         0.1};
     prob::Rng rr = rng.split(1000 + static_cast<std::size_t>(cc * 100));
     const auto m = perception::simulate_fusion(arch, world, kN, rr);
+    // sysuq-lint-allow(float-eq): cc iterates a literal list; comparing
+    // against the exact first element is well-defined.
     if (cc == 0.0) independent_hazard = m.hazard_rate;
     std::printf("  %17.1f   %.5f        x%.2f\n", cc, m.hazard_rate,
                 m.hazard_rate / independent_hazard);

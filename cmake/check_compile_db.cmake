@@ -1,0 +1,15 @@
+# Helper for the `tidy` target: verify the compilation database exists
+# before clang-tidy runs, so a missing export fails with a real message
+# instead of a wall of "error reading compile commands" noise.
+if(NOT DEFINED DB OR NOT DEFINED STAMP)
+  message(FATAL_ERROR "check_compile_db.cmake: pass -DDB=<path> -DSTAMP=<path>")
+endif()
+if(NOT EXISTS "${DB}")
+  message(FATAL_ERROR
+    "tidy: ${DB} not found.\n"
+    "clang-tidy needs the compilation database. Re-configure this build "
+    "directory with CMAKE_EXPORT_COMPILE_COMMANDS=ON (the top-level "
+    "CMakeLists.txt sets it by default):\n"
+    "  cmake --preset default")
+endif()
+file(TOUCH "${STAMP}")

@@ -7,7 +7,7 @@
 
 #include "bayesnet/inference.hpp"
 #include "bayesnet/io.hpp"
-#include "core/decomposition.hpp"
+#include "sys/decomposition.hpp"
 #include "perception/table1.hpp"
 
 int main() {
@@ -38,13 +38,13 @@ int main() {
   const auto joint = ve.joint(1, 0);
   std::printf("surprise factor H(truth | perception) = %.4f nats "
               "(normalized %.3f)\n\n",
-              core::surprise_factor(joint), core::normalized_surprise(joint));
+              sys::surprise_factor(joint), sys::normalized_surprise(joint));
 
   // 5. Uncertainty budget for the ambiguous car/pedestrian output state.
   const bayesnet::Evidence cp{{net.id_of("perception"),
                                perception::kPercCarPedestrian}};
   const auto amb = ve.query(net.id_of("ground_truth"), cp);
-  const auto budget = core::decompose({amb}, /*ontological_mass=*/amb.p(2));
+  const auto budget = sys::decompose({amb}, /*ontological_mass=*/amb.p(2));
   std::printf("given 'car/pedestrian': aleatory=%.3f nats, ontological "
               "mass=%.3f -> dominant: %s\n",
               budget.aleatory, budget.ontological, budget.dominant().c_str());

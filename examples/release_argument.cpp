@@ -5,11 +5,11 @@
 //   * long-tail analysis of the scenario distribution (ontological
 //     exposure forecast),
 //   * a subjective-logic assurance case over the collected evidence,
-//   * the formal release criteria of core::assess_release.
+//   * the formal release criteria of sys::assess_release.
 #include <cstdio>
 
-#include "core/longtail.hpp"
-#include "core/means.hpp"
+#include "sys/longtail.hpp"
+#include "sys/means.hpp"
 #include "evidence/subjective.hpp"
 #include "perception/table1.hpp"
 
@@ -17,14 +17,14 @@ int main() {
   using namespace sysuq;
 
   std::puts("== 1. scenario exposure forecast (long tail) ==");
-  const auto scenarios = core::zipf_distribution(50000, 1.3);
+  const auto scenarios = sys::zipf_distribution(50000, 1.3);
   const std::size_t fleet_miles = 2'000'000;
-  const double unseen = core::expected_missing_mass(scenarios, fleet_miles);
+  const double unseen = sys::expected_missing_mass(scenarios, fleet_miles);
   std::printf("fleet exposure %zu encounters -> expected unseen scenario "
               "mass %.5f\n",
               fleet_miles, unseen);
   std::printf("exposure needed for <= 0.001: %zu encounters\n\n",
-              core::observations_for_missing_mass(scenarios, 0.001));
+              sys::observations_for_missing_mass(scenarios, 0.001));
 
   std::puts("== 2. assurance case over the collected evidence ==");
   evidence::AssuranceCase ac;
@@ -46,12 +46,12 @@ int main() {
   std::printf("weakest leaf: \"%s\"\n\n", ac.claim(ac.weakest_leaf(root)).c_str());
 
   std::puts("== 3. formal release criteria ==");
-  core::ReleaseEvidence ev;
+  sys::ReleaseEvidence ev;
   ev.field_observations = 100000;
   ev.epistemic_width = 0.008;   // from the Dirichlet CPT posteriors
   ev.missing_mass = unseen;     // the long-tail forecast above
   ev.hazardous_events = 7;
-  const auto decision = core::assess_release(ev, core::ReleaseCriteria{});
+  const auto decision = sys::assess_release(ev, sys::ReleaseCriteria{});
   std::printf("hazard-rate 95%% upper bound: %.2e\n", decision.hazard_rate_upper);
   std::printf("decision: %s\n", decision.ready ? "RELEASE" : "HOLD");
   for (const auto& blocker : decision.blockers)

@@ -9,7 +9,7 @@
 //   * The run ends with a release assessment (uncertainty forecasting).
 #include <cstdio>
 
-#include "core/means.hpp"
+#include "sys/means.hpp"
 #include "perception/table1.hpp"
 #include "prob/discrete.hpp"
 
@@ -25,7 +25,7 @@ int main() {
                                prob::Categorical::uniform(4),
                                prob::Categorical::uniform(4)});
 
-  core::RemovalLoop loop(truth, deployed, 1, perception::kGtUnknown);
+  sys::RemovalLoop loop(truth, deployed, 1, perception::kGtUnknown);
   std::puts("== field observation loop: epistemic width & model gap ==");
   std::puts("     N     epistemic_width   TV(model, truth)   ontological_events");
   const auto trace = loop.run({100, 300, 1000, 3000, 10000, 30000, 100000}, rng);
@@ -56,12 +56,12 @@ int main() {
 
   // Release decision (uncertainty forecasting, Sec. IV).
   std::puts("\n== release assessment ==");
-  core::ReleaseEvidence evidence;
+  sys::ReleaseEvidence evidence;
   evidence.field_observations = trace.back().observations;
   evidence.epistemic_width = trace.back().epistemic_width;
   evidence.missing_mass = counter.good_turing_missing_mass();
   evidence.hazardous_events = 9;  // observed hazardous misperceptions
-  const auto decision = core::assess_release(evidence, core::ReleaseCriteria{});
+  const auto decision = sys::assess_release(evidence, sys::ReleaseCriteria{});
   std::printf("ready for release: %s\n", decision.ready ? "YES" : "NO");
   std::printf("hazard-rate 95%% upper bound: %.3g\n", decision.hazard_rate_upper);
   for (const auto& blocker : decision.blockers)

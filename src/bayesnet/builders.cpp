@@ -94,6 +94,8 @@ std::vector<prob::Categorical> ranked_node_cpt(
 
 std::size_t full_cpt_parameter_count(const std::vector<std::size_t>& parent_cards,
                                      std::size_t child_card) {
+  SYSUQ_EXPECT(child_card >= 1,
+               "full_cpt_parameter_count: child cardinality must be >= 1");
   std::size_t rows = 1;
   for (std::size_t c : parent_cards) rows *= c;
   return rows * (child_card - 1);

@@ -107,7 +107,8 @@ class InferenceEngine::Pool {
       // counts workers inside work(); drain them before returning.
       std::unique_lock<std::mutex> lk(mu_);
       cv_done_.wait(lk, [&] {
-        return completed_.load() == total_ && active_ == 0;
+        return completed_.load(std::memory_order_relaxed) == total_ &&
+               active_ == 0;
       });
       fn_ = nullptr;
     }
@@ -135,7 +136,10 @@ class InferenceEngine::Pool {
       --active_;
       // Signal on both conditions from under the lock: all indices done
       // and this worker no longer references fn.
-      if (completed_.load() == total_ && active_ == 0) cv_done_.notify_all();
+      if (completed_.load(std::memory_order_relaxed) == total_ &&
+          active_ == 0) {
+        cv_done_.notify_all();
+      }
     }
   }
 

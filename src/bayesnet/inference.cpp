@@ -3,12 +3,14 @@
 #include "core/contracts.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <stdexcept>
 #include <string>
 
 #include "bayesnet/ordering.hpp"
+#include "core/tolerance.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -200,6 +202,12 @@ double enumerate_evidence_probability(const BayesianNetwork& net,
   for_each_joint(net, [&](const std::vector<std::size_t>& state, double p) {
     if (consistent(state, evidence)) total += p;
   });
+  // Summing up to prod(cardinalities) joint terms accumulates rounding,
+  // so the result may land a few ulp outside [0, 1]; tolerate kProbSum.
+  SYSUQ_ENSURE(std::isfinite(total) &&
+                   total >= -tolerance::kProbSum &&
+                   total <= 1.0 + tolerance::kProbSum,
+               "enumerate_evidence_probability: result outside [0, 1]");
   return total;
 }
 

@@ -30,6 +30,7 @@ class Variable {
   [[nodiscard]] std::size_t state_index(const std::string& label) const;
 
   /// True if the label names a state of this variable.
+  // sysuq-lint-allow(contract-coverage): total boolean query over any label
   [[nodiscard]] bool has_state(const std::string& label) const;
 
  private:

@@ -1,7 +1,7 @@
 // The library's shared numeric tolerances.
 //
 // Every epsilon the code compares against lives here under a name that
-// says what kind of slack it grants. The repo lint (tools/sysuq_lint.cpp)
+// says what kind of slack it grants. The analyzer (tools/sysuq_analyze/)
 // rejects raw tolerance-sized literals (1e-8 and smaller) anywhere else
 // in src/, so a new tolerance must be added — and justified — in this
 // file rather than inlined at a call site. That is the paper's

@@ -46,6 +46,7 @@ class MassFunction {
   }
 
   /// m(A) — 0 if A is not focal.
+  // sysuq-lint-allow(contract-coverage): total by definition - unlisted focal sets carry zero mass
   [[nodiscard]] double mass(FocalSet a) const;
 
   /// Belief Bel(A) = Σ_{B ⊆ A} m(B).

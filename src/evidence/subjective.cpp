@@ -103,6 +103,8 @@ Opinion Opinion::conjoin(const Opinion& o) const {
   const double d = std::clamp(1.0 - b - u, 0.0, 1.0);
   // Renormalize against rounding.
   const double total = b + d + u;
+  SYSUQ_ENSURE(std::isfinite(total) && total > 0.0,
+               "Opinion::conjoin: degenerate mass total");
   return {b / total, d / total, u / total, a1 * a2};
 }
 
@@ -121,6 +123,8 @@ Opinion Opinion::disjoin(const Opinion& o) const {
   }
   const double b = std::clamp(1.0 - d - u, 0.0, 1.0);
   const double total = b + d + u;
+  SYSUQ_ENSURE(std::isfinite(total) && total > 0.0,
+               "Opinion::disjoin: degenerate mass total");
   return {b / total, d / total, u / total, std::clamp(a_or, 0.0, 1.0)};
 }
 

@@ -81,16 +81,17 @@ Counter& Registry::counter(std::string_view name) {
                    "(module.subsystem.name)");
   std::lock_guard<std::mutex> lk(mu_);
   auto it = entries_.find(name);
+  // Validate the existing entry before inserting anything, so a kind
+  // clash never leaves a half-registered instrument behind.
+  SYSUQ_EXPECT(it == entries_.end() || it->second.kind == Kind::kCounter,
+               "obs: '" + std::string(name) +
+                   "' is already registered as a different instrument kind");
   if (it == entries_.end()) {
     Entry e;
     e.kind = Kind::kCounter;
     e.counter = std::make_unique<Counter>();
     it = entries_.emplace(std::string(name), std::move(e)).first;
-  }
-  SYSUQ_EXPECT(it->second.kind == Kind::kCounter,
-               "obs: '" + std::string(name) +
-                   "' is already registered as a different instrument kind");
-  if (it->second.kind != Kind::kCounter) {
+  } else if (it->second.kind != Kind::kCounter) {
     // Contracts compiled out / mode off: degrade to a process-wide
     // scratch instrument instead of dereferencing the wrong member.
     static Counter scratch;
@@ -106,16 +107,15 @@ Gauge& Registry::gauge(std::string_view name) {
                    "(module.subsystem.name)");
   std::lock_guard<std::mutex> lk(mu_);
   auto it = entries_.find(name);
+  SYSUQ_EXPECT(it == entries_.end() || it->second.kind == Kind::kGauge,
+               "obs: '" + std::string(name) +
+                   "' is already registered as a different instrument kind");
   if (it == entries_.end()) {
     Entry e;
     e.kind = Kind::kGauge;
     e.gauge = std::make_unique<Gauge>();
     it = entries_.emplace(std::string(name), std::move(e)).first;
-  }
-  SYSUQ_EXPECT(it->second.kind == Kind::kGauge,
-               "obs: '" + std::string(name) +
-                   "' is already registered as a different instrument kind");
-  if (it->second.kind != Kind::kGauge) {
+  } else if (it->second.kind != Kind::kGauge) {
     static Gauge scratch;
     return scratch;
   }
@@ -130,23 +130,23 @@ Histogram& Registry::histogram(std::string_view name,
                    "(module.subsystem.name)");
   std::lock_guard<std::mutex> lk(mu_);
   auto it = entries_.find(name);
+  SYSUQ_EXPECT(it == entries_.end() || it->second.kind == Kind::kHistogram,
+               "obs: '" + std::string(name) +
+                   "' is already registered as a different instrument kind");
+  SYSUQ_EXPECT(it == entries_.end() ||
+                   it->second.kind != Kind::kHistogram ||
+                   it->second.histogram->bounds() == upper_bounds,
+               "obs: histogram '" + std::string(name) +
+                   "' re-registered with different bucket bounds");
   if (it == entries_.end()) {
     Entry e;
     e.kind = Kind::kHistogram;
     e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
     it = entries_.emplace(std::string(name), std::move(e)).first;
-    return *it->second.histogram;
-  }
-  SYSUQ_EXPECT(it->second.kind == Kind::kHistogram,
-               "obs: '" + std::string(name) +
-                   "' is already registered as a different instrument kind");
-  if (it->second.kind != Kind::kHistogram) {
+  } else if (it->second.kind != Kind::kHistogram) {
     static Histogram scratch({1.0});
     return scratch;
   }
-  SYSUQ_EXPECT(it->second.histogram->bounds() == upper_bounds,
-               "obs: histogram '" + std::string(name) +
-                   "' re-registered with different bucket bounds");
   return *it->second.histogram;
 }
 

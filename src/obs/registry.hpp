@@ -12,7 +12,7 @@
 // Naming contract: instrument names follow `module.subsystem.name` —
 // lowercase snake-case segments joined by dots, at least two segments
 // (e.g. `bayesnet.engine.query_seconds`). Names are contract-checked at
-// registration and linted at the call site (`sysuq_lint`, rule
+// registration and linted at the call site (`sysuq_analyze`, rule
 // `obs-naming`). The Prometheus exporter rewrites dots to underscores.
 //
 // Build modes: with `-DSYSUQ_OBS=OFF` (CMake) this header swaps every

@@ -68,11 +68,13 @@ class TraceSink {
 
   /// Records one completed span on behalf of the calling thread.
   /// Ignored while the sink is disabled.
+  // sysuq-lint-allow(contract-coverage): hot path gated by enabled(); any name/timing is recordable
   void record(std::string_view name, std::uint64_t start_us,
               std::uint64_t dur_us, std::uint32_t depth);
 
   /// As above with an explicit thread id — for replaying events into a
   /// sink deterministically (exporter goldens, merging foreign traces).
+  // sysuq-lint-allow(contract-coverage): hot path gated by enabled(); any name/timing is recordable
   void record(std::string_view name, std::uint64_t start_us,
               std::uint64_t dur_us, std::uint32_t depth, std::uint64_t tid);
 

@@ -1,6 +1,8 @@
 #include "orbit/kalman.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
 #include "core/contracts.hpp"
 #include "obs/registry.hpp"
 
@@ -18,6 +20,9 @@ KalmanFilter2D::KalmanFilter2D(double process_noise, double measurement_noise,
 }
 
 void KalmanFilter2D::initialize(Vec2 position, Vec2 velocity) {
+  SYSUQ_EXPECT(std::isfinite(position.x) && std::isfinite(position.y) &&
+                   std::isfinite(velocity.x) && std::isfinite(velocity.y),
+               "KalmanFilter2D::initialize: non-finite state");
   ax_.pos = position.x;
   ay_.pos = position.y;
   ax_.vel = velocity.x;

@@ -141,6 +141,8 @@ SystemState make_circular_binary(double m1, double m2, double separation,
 
 double circular_binary_period(double m1, double m2, double separation,
                               const GravityParams& params) {
+  SYSUQ_EXPECT(m1 + m2 > 0.0 && separation > 0.0 && params.g > 0.0,
+               "circular_binary_period: require positive mass, separation, G");
   const double omega = std::sqrt(params.g * (m1 + m2) /
                                  (separation * separation * separation));
   return 2.0 * M_PI / omega;

@@ -60,6 +60,7 @@ void simulate(SystemState& state, double dt, std::size_t steps,
                                   const GravityParams& params);
 
 /// Total linear momentum.
+// sysuq-lint-allow(contract-coverage): linear sum, total over any system state
 [[nodiscard]] Vec2 total_momentum(const SystemState& state);
 
 /// Center of mass.

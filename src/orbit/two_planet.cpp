@@ -11,6 +11,8 @@ TwoPlanetUniverse::TwoPlanetUniverse(const UniverseConfig& config)
     : config_(config),
       state_(make_circular_binary(config.m1, config.m2, config.separation,
                                   config.gravity)) {
+  SYSUQ_EXPECT(config.oblateness2 >= 0.0,
+               "TwoPlanetUniverse: oblateness must be >= 0");
   state_.bodies[1].oblateness = config.oblateness2;
   if (config_.third && config_.third->injection_time <= 0.0) {
     state_.bodies.push_back(Body{config_.third->mass, config_.third->position,
@@ -47,7 +49,10 @@ Vec2 TwoPlanetUniverse::observe_position(std::size_t i, prob::Rng& rng,
 DeterministicModel::DeterministicModel(double m1, double m2, double separation,
                                        const GravityParams& gravity)
     : state_(make_circular_binary(m1, m2, separation, gravity)),
-      gravity_(gravity) {}
+      gravity_(gravity) {
+  SYSUQ_ENSURE(state_.bodies.size() == 2,
+               "DeterministicModel: binary construction failed");
+}
 
 void DeterministicModel::advance(double dt) {
   SYSUQ_EXPECT(dt > 0.0, "DeterministicModel: dt <= 0");

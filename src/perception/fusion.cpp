@@ -4,6 +4,9 @@
 #include <map>
 #include <stdexcept>
 
+// sysuq-lint-allow(layering): Dempster-Shafer fusion deliberately maps
+// sensor reports onto evidence-theory mass functions; this is the one
+// sanctioned perception -> evidence edge (both sit on layer 3).
 #include "evidence/mass.hpp"
 #include "core/contracts.hpp"
 #include "obs/registry.hpp"

@@ -19,6 +19,7 @@ class TriangularFuzzy {
   TriangularFuzzy(double a, double m, double b);
 
   /// Crisp (degenerate) fuzzy number.
+  // sysuq-lint-allow(contract-coverage): any real value is a valid crisp number
   [[nodiscard]] static TriangularFuzzy crisp(double value);
 
   [[nodiscard]] double low() const { return a_; }
@@ -26,6 +27,7 @@ class TriangularFuzzy {
   [[nodiscard]] double high() const { return b_; }
 
   /// Membership degree mu(x) in [0, 1].
+  // sysuq-lint-allow(contract-coverage): total over the reals by construction
   [[nodiscard]] double membership(double x) const;
 
   /// Alpha-cut: the interval {x : mu(x) >= alpha}. alpha in (0, 1].
@@ -45,6 +47,7 @@ class TriangularFuzzy {
   [[nodiscard]] TriangularFuzzy complement() const;
 
   /// Fuzzy AND-gate probability: product of operands.
+  // sysuq-lint-allow(contract-coverage): delegates to operator*, which validates support
   [[nodiscard]] static TriangularFuzzy fuzzy_and(const TriangularFuzzy& x,
                                                  const TriangularFuzzy& y);
   /// Fuzzy OR-gate probability: 1 - (1-x)(1-y).

@@ -34,6 +34,7 @@ class ProbInterval {
   /// True if p lies within [lo, hi].
   [[nodiscard]] bool contains(double p) const { return p >= lo_ && p <= hi_; }
   /// True if the two intervals overlap.
+  // sysuq-lint-allow(contract-coverage): total predicate on intervals validated at construction
   [[nodiscard]] bool intersects(const ProbInterval& other) const;
 
   /// Interval sum, clamped into [0, 1].
@@ -48,6 +49,7 @@ class ProbInterval {
   [[nodiscard]] ProbInterval hull(const ProbInterval& other) const;
 
   /// Noisy-OR-style union for independent events: 1 - (1-a)(1-b).
+  // sysuq-lint-allow(contract-coverage): closed form on endpoints validated at construction
   [[nodiscard]] ProbInterval independent_or(const ProbInterval& o) const;
 
   [[nodiscard]] bool operator==(const ProbInterval& o) const = default;

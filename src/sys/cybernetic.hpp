@@ -1,0 +1,76 @@
+// The cybernetic development loop of the paper's Fig. 1, executable.
+//
+// Controlled system: a perception chain operating in a TrueWorld.
+// Controlling system: the development organization, whose codified model
+// is a learned confusion CPT; its control action is choosing the
+// abstention policy that minimizes expected cost *under its own model*.
+//
+// Conant & Ashby's good-regulator theorem predicts: regulation quality
+// (actual cost vs the omniscient policy) improves exactly as the
+// organization's model approaches the true system. The simulation
+// measures that correspondence.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "perception/sensor.hpp"
+#include "perception/world.hpp"
+#include "prob/rng.hpp"
+
+namespace sysuq::sys {
+
+/// Costs of perception-driven decisions (per encounter).
+struct DecisionCosts {
+  double wrong_label = 1.0;   ///< acting on a misclassification (hazard)
+  double abstention = 0.1;    ///< degraded service when abstaining ("none")
+  double correct = 0.0;       ///< acting on the right label
+};
+
+/// One iteration record of the development loop.
+struct LoopCheckpoint {
+  std::size_t observations;   ///< cumulative field observations
+  double model_gap;           ///< mean TV distance model CPT vs true CPT
+  double actual_cost;         ///< mean cost of the model-derived policy
+  double oracle_cost;         ///< mean cost of the true-model policy
+  double regret;              ///< actual - oracle (regulation shortfall)
+};
+
+/// Simulates the Fig. 1 loop: observe the deployed system, update the
+/// codified model, re-derive the operating policy, measure regulation.
+class CyberneticLoop {
+ public:
+  /// `world`/`sensor` define the controlled system; costs parameterize
+  /// the organization's decision problem. The organization starts from a
+  /// uniform (ignorant) model of the sensor.
+  CyberneticLoop(const perception::TrueWorld& world,
+                 const perception::ConfusionSensor& sensor,
+                 const DecisionCosts& costs);
+
+  /// Runs the loop, recording a checkpoint at each cumulative
+  /// observation count (increasing).
+  [[nodiscard]] std::vector<LoopCheckpoint> run(
+      const std::vector<std::size_t>& checkpoints, prob::Rng& rng);
+
+ private:
+  const perception::TrueWorld& world_;
+  const perception::ConfusionSensor& sensor_;
+  DecisionCosts costs_;
+
+  /// Per-(true-class, output) observation counts.
+  std::vector<std::vector<std::size_t>> counts_;
+  std::size_t seen_ = 0;
+
+  /// The policy implied by a confusion model: for each sensor output,
+  /// act on the MAP class if its posterior exceeds the cost-derived
+  /// threshold, else abstain. Returns expected cost under the TRUE model.
+  [[nodiscard]] double policy_cost(
+      const std::vector<prob::Categorical>& model_rows, prob::Rng& rng,
+      std::size_t eval_samples) const;
+
+  [[nodiscard]] std::vector<prob::Categorical> learned_rows() const;
+  [[nodiscard]] std::vector<prob::Categorical> true_rows() const;
+  [[nodiscard]] double model_gap() const;
+};
+
+}  // namespace sysuq::sys

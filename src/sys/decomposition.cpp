@@ -1,0 +1,37 @@
+#include "sys/decomposition.hpp"
+
+#include <stdexcept>
+#include "core/contracts.hpp"
+
+namespace sysuq::sys {
+
+std::string UncertaintyBudget::dominant(double onto_threshold) const {
+  SYSUQ_ASSERT_PROB(onto_threshold, "UncertaintyBudget::dominant: threshold");
+  if (ontological > onto_threshold) return "ontological";
+  return epistemic > aleatory ? "epistemic" : "aleatory";
+}
+
+UncertaintyBudget decompose(
+    const std::vector<prob::Categorical>& ensemble_predictions,
+    double ontological_mass) {
+  SYSUQ_ASSERT_PROB(ontological_mass, "decompose: ontological_mass");
+  const auto d = prob::decompose_ensemble_entropy(ensemble_predictions);
+  UncertaintyBudget b;
+  b.aleatory = d.aleatory;
+  b.epistemic = d.epistemic;
+  b.ontological = ontological_mass;
+  return b;
+}
+
+double surprise_factor(const prob::JointTable& model_vs_system) {
+  // Convention: X = model prediction (rows), Y = system outcome (cols).
+  return prob::conditional_entropy_y_given_x(model_vs_system);
+}
+
+double normalized_surprise(const prob::JointTable& model_vs_system) {
+  const double h_system = model_vs_system.marginal_y().entropy();
+  if (h_system == 0.0) return 0.0;  // a deterministic system is never surprising  // sysuq-lint-allow(float-eq): exact-zero entropy
+  return surprise_factor(model_vs_system) / h_system;
+}
+
+}  // namespace sysuq::sys

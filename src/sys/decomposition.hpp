@@ -1,0 +1,53 @@
+// Quantitative decomposition of predictive uncertainty into the paper's
+// three types, and the conditional-entropy "surprise factor".
+//
+// Mapping (Sec. III + the library's measurement choices, documented in
+// DESIGN.md):
+//   aleatory    — expected entropy of the predictive distribution under
+//                 the model posterior (irreducible data noise);
+//   epistemic   — mutual information between prediction and model
+//                 (ensemble disagreement / credible-interval width);
+//   ontological — probability mass the model cannot represent at all:
+//                 out-of-model event rate, estimated online via the
+//                 Good-Turing missing mass or an explicit unknown state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "prob/discrete.hpp"
+#include "prob/information.hpp"
+
+namespace sysuq::sys {
+
+/// A scalar budget of the three uncertainty types (units: nats for the
+/// first two, probability for the ontological component).
+struct UncertaintyBudget {
+  double aleatory = 0.0;
+  double epistemic = 0.0;
+  double ontological = 0.0;
+
+  /// The dominant component's name ("aleatory"/"epistemic"/"ontological"),
+  /// comparing aleatory/epistemic in nats and treating the ontological
+  /// probability as dominant when it exceeds `onto_threshold`.
+  [[nodiscard]] std::string dominant(double onto_threshold = 0.1) const;
+};
+
+/// Decomposes an ensemble's predictive uncertainty (aleatory + epistemic
+/// via the entropy decomposition) and attaches an ontological estimate
+/// supplied by the caller (missing mass, unknown-state posterior, or
+/// out-of-domain rate).
+[[nodiscard]] UncertaintyBudget decompose(
+    const std::vector<prob::Categorical>& ensemble_predictions,
+    double ontological_mass);
+
+/// The paper's surprise factor: conditional entropy H(system | model) of
+/// a joint (model prediction, system outcome) table. Low = the model
+/// explains the system; a rise flags epistemic/ontological gaps.
+[[nodiscard]] double surprise_factor(const prob::JointTable& model_vs_system);
+
+/// Normalized surprise in [0, 1]: H(system|model) / H(system). 0 = model
+/// fully predicts the system; 1 = model carries no information.
+[[nodiscard]] double normalized_surprise(const prob::JointTable& model_vs_system);
+
+}  // namespace sysuq::sys

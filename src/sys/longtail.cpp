@@ -1,0 +1,68 @@
+#include "sys/longtail.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include "core/contracts.hpp"
+
+namespace sysuq::sys {
+
+prob::Categorical zipf_distribution(std::size_t n, double s) {
+  SYSUQ_EXPECT(n >= 2, "zipf_distribution: n < 2");
+  SYSUQ_EXPECT(s > 0.0, "zipf_distribution: s <= 0");
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i)
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  return prob::Categorical::normalized(std::move(w));
+}
+
+double expected_missing_mass(const prob::Categorical& p, std::size_t n) {
+  double mass = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double pi = p.p(i);
+    if (pi > 0.0) {
+      // (1 - p)^n via expm1/log1p for numerical stability at large n.
+      mass += pi * std::exp(static_cast<double>(n) * std::log1p(-pi));
+    }
+  }
+  return mass;
+}
+
+double expected_distinct(const prob::Categorical& p, std::size_t n) {
+  double distinct = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double pi = p.p(i);
+    if (pi > 0.0) {
+      distinct += 1.0 - std::exp(static_cast<double>(n) * std::log1p(-pi));
+    }
+  }
+  return distinct;
+}
+
+std::size_t observations_for_missing_mass(const prob::Categorical& p,
+                                          double target, std::size_t max_n) {
+  SYSUQ_EXPECT(target > 0.0 && target < 1.0,
+               "observations_for_missing_mass: target in (0,1)");
+  if (expected_missing_mass(p, max_n) > target)
+    throw std::domain_error(
+        "observations_for_missing_mass: target unreachable below max_n");
+  std::size_t lo = 0, hi = 1;
+  while (expected_missing_mass(p, hi) > target) {
+    lo = hi;
+    hi = std::min(hi * 2, max_n);
+  }
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (expected_missing_mass(p, mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double discovery_rate(const prob::Categorical& p, std::size_t n) {
+  return expected_missing_mass(p, n) - expected_missing_mass(p, n + 1);
+}
+
+}  // namespace sysuq::sys

@@ -1,0 +1,43 @@
+// Long-tail validation mathematics (paper refs [30], [31]: "the long tail
+// validation challenge", Koopman's "heavy tail safety ceiling").
+//
+// Given a (possibly heavy-tailed) scenario distribution, these functions
+// answer the release questions exactly: how much probability mass is
+// still unseen after N observations, how many distinct scenarios will N
+// observations discover, and how many observations a target residual
+// requires — the quantitative backbone of uncertainty forecasting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "prob/discrete.hpp"
+
+namespace sysuq::sys {
+
+/// Zipf(s) scenario distribution over n ranked scenario classes:
+/// p_i proportional to 1 / (i + 1)^s.
+[[nodiscard]] prob::Categorical zipf_distribution(std::size_t n, double s);
+
+/// Expected probability mass of never-seen categories after N i.i.d.
+/// observations: sum_i p_i (1 - p_i)^N. This is the quantity the
+/// Good–Turing estimator tracks empirically.
+[[nodiscard]] double expected_missing_mass(const prob::Categorical& p,
+                                           std::size_t n);
+
+/// Expected number of distinct categories seen after N observations.
+[[nodiscard]] double expected_distinct(const prob::Categorical& p, std::size_t n);
+
+/// Smallest N with expected missing mass <= target (exponential search +
+/// bisection; throws if the target is not reachable below `max_n`).
+[[nodiscard]] std::size_t observations_for_missing_mass(
+    const prob::Categorical& p, double target,
+    std::size_t max_n = 1'000'000'000);
+
+/// The marginal value of the next observation: expected_missing_mass(N) -
+/// expected_missing_mass(N+1) — the discovery rate, which for heavy tails
+/// decays so slowly that validation by driving alone stalls (the paper's
+/// "long furry tail").
+[[nodiscard]] double discovery_rate(const prob::Categorical& p, std::size_t n);
+
+}  // namespace sysuq::sys

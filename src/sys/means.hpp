@@ -1,0 +1,130 @@
+// Executable engines for the four means of the paper's taxonomy
+// (Sec. IV): prevention, removal, tolerance, forecasting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bayesnet/learning.hpp"
+#include "bayesnet/network.hpp"
+#include "perception/fusion.hpp"
+#include "perception/world.hpp"
+#include "prob/rng.hpp"
+
+namespace sysuq::sys {
+
+// ---------------------------------------------------------------------
+// Uncertainty PREVENTION: restriction of the operational design domain.
+// ---------------------------------------------------------------------
+
+/// Effect of an ODD restriction on the uncertainty exposure of a system.
+struct PreventionReport {
+  double excluded_encounter_fraction;  ///< modeled encounters removed by ODD
+  double novel_rate_before;            ///< ontological exposure before
+  double novel_rate_after;             ///< ontological exposure after
+  double epistemic_parameter_fraction; ///< fraction of CPT parameters still
+                                       ///< exercised inside the ODD
+};
+
+/// Analyses an ODD restriction: keeping only `keep` classes of the
+/// modeled world and scaling the novel-encounter rate by
+/// `novel_suppression` (a geo-fenced/structured ODD encounters fewer
+/// unknowns). Prevention trades coverage for reduced uncertainty.
+[[nodiscard]] PreventionReport apply_odd_restriction(
+    const perception::TrueWorld& world, const std::vector<perception::ClassId>& keep,
+    double novel_suppression);
+
+// ---------------------------------------------------------------------
+// Uncertainty REMOVAL: field observation refining the codified model.
+// ---------------------------------------------------------------------
+
+/// One checkpoint of the removal loop.
+struct RemovalCheckpoint {
+  std::size_t observations;     ///< cumulative field observations
+  double epistemic_width;       ///< mean 95% credible width over CPT rows
+  double model_gap;             ///< mean TV distance learned CPT vs truth
+  std::size_t ontological_events;  ///< unknown-ground-truth encounters seen
+};
+
+/// Simulates uncertainty removal during use: the organization starts from
+/// an ignorant CPT for `child` in `deployed` and refines it from samples
+/// of `truth` (same structure). Checkpoints are recorded at the given
+/// observation counts (must be increasing).
+class RemovalLoop {
+ public:
+  /// `truth` provides ground-truth samples; `deployed` is refined
+  /// in place at each checkpoint. `unknown_state` is the ground-truth
+  /// state index counted as an ontological event (e.g. kGtUnknown).
+  RemovalLoop(const bayesnet::BayesianNetwork& truth,
+              bayesnet::BayesianNetwork& deployed, bayesnet::VariableId child,
+              std::size_t unknown_state, double prior_alpha = 1.0);
+
+  /// Runs until `total` observations, recording a checkpoint at each
+  /// count in `checkpoints` (increasing; last must equal `total`).
+  [[nodiscard]] std::vector<RemovalCheckpoint> run(
+      const std::vector<std::size_t>& checkpoints, prob::Rng& rng);
+
+ private:
+  const bayesnet::BayesianNetwork& truth_;
+  bayesnet::BayesianNetwork& deployed_;
+  bayesnet::VariableId child_;
+  std::size_t unknown_state_;
+  bayesnet::CptLearner learner_;
+
+  [[nodiscard]] double model_gap() const;
+};
+
+// ---------------------------------------------------------------------
+// Uncertainty TOLERANCE: redundancy with diverse uncertainties.
+// ---------------------------------------------------------------------
+
+/// Comparison of a single-channel and a redundant architecture.
+struct ToleranceReport {
+  perception::FusionMetrics single;
+  perception::FusionMetrics redundant;
+  /// hazard(single) / hazard(redundant); > 1 means redundancy helps.
+  double hazard_reduction_factor;
+};
+
+/// Simulates both architectures on the same world and reports the hazard
+/// reduction achieved by the redundant one.
+[[nodiscard]] ToleranceReport compare_tolerance(
+    const perception::RedundantArchitecture& single,
+    const perception::RedundantArchitecture& redundant,
+    const perception::TrueWorld& world, std::size_t encounters, prob::Rng& rng);
+
+// ---------------------------------------------------------------------
+// Uncertainty FORECASTING: residual uncertainty and release decisions.
+// ---------------------------------------------------------------------
+
+/// Evidence gathered before release.
+struct ReleaseEvidence {
+  std::size_t field_observations = 0;
+  double epistemic_width = 1.0;      ///< residual CPT credible width
+  double missing_mass = 1.0;         ///< Good-Turing ontological forecast
+  std::size_t hazardous_events = 0;  ///< observed hazardous outcomes
+};
+
+/// Thresholds a release argument must meet.
+struct ReleaseCriteria {
+  double max_epistemic_width = 0.05;
+  double max_missing_mass = 0.01;
+  double max_hazard_rate_upper = 1e-3;  ///< Wilson 95% upper bound
+  std::size_t min_observations = 1000;
+};
+
+/// Outcome of the forecasting assessment.
+struct ReleaseDecision {
+  bool ready = false;
+  double hazard_rate_upper = 1.0;  ///< Wilson upper bound on hazard rate
+  std::vector<std::string> blockers;  ///< unmet criteria, human-readable
+};
+
+/// Assesses the residual uncertainty against the criteria — the paper's
+/// "estimation of residual uncertainty ... relevant to make a decision
+/// about the release of a product".
+[[nodiscard]] ReleaseDecision assess_release(const ReleaseEvidence& evidence,
+                                             const ReleaseCriteria& criteria);
+
+}  // namespace sysuq::sys

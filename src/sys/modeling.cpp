@@ -1,0 +1,66 @@
+#include "sys/modeling.hpp"
+
+#include <stdexcept>
+
+#include "sys/decomposition.hpp"
+#include "core/contracts.hpp"
+
+namespace sysuq::sys {
+
+ModelFidelityTracker::ModelFidelityTracker(std::size_t prediction_states,
+                                           std::size_t outcome_states)
+    : rows_(prediction_states),
+      cols_(outcome_states),
+      counts_(prediction_states, std::vector<std::size_t>(outcome_states, 0)) {
+  SYSUQ_EXPECT(prediction_states >= 2 && outcome_states >= 2,
+               "ModelFidelityTracker: need >= 2 states");
+}
+
+void ModelFidelityTracker::observe(std::size_t predicted, std::size_t observed) {
+  if (predicted >= rows_ || observed >= cols_)
+    throw std::out_of_range("ModelFidelityTracker::observe: state index");
+  counts_[predicted][observed] += 1;
+  ++total_;
+}
+
+prob::JointTable ModelFidelityTracker::joint() const {
+  if (total_ == 0)
+    throw std::logic_error("ModelFidelityTracker: no observations");
+  std::vector<std::vector<double>> t(rows_, std::vector<double>(cols_, 0.0));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t[r][c] = static_cast<double>(counts_[r][c]) / static_cast<double>(total_);
+    }
+  }
+  return prob::JointTable(std::move(t));
+}
+
+double ModelFidelityTracker::surprise() const { return surprise_factor(joint()); }
+
+double ModelFidelityTracker::normalized() const {
+  return normalized_surprise(joint());
+}
+
+double ModelFidelityTracker::agreement() const {
+  if (rows_ != cols_)
+    throw std::logic_error("ModelFidelityTracker::agreement: state mismatch");
+  if (total_ == 0)
+    throw std::logic_error("ModelFidelityTracker: no observations");
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < rows_; ++i) agree += counts_[i][i];
+  return static_cast<double>(agree) / static_cast<double>(total_);
+}
+
+std::string ModelFidelityTracker::verdict(double epistemic_threshold,
+                                          double ontological_threshold) const {
+  SYSUQ_EXPECT(epistemic_threshold > 0.0 &&
+                   epistemic_threshold < ontological_threshold &&
+                   ontological_threshold < 1.0,
+               "ModelFidelityTracker::verdict: thresholds");
+  const double ns = normalized();
+  if (ns < epistemic_threshold) return "adequate";
+  if (ns < ontological_threshold) return "epistemic gap (refine the model)";
+  return "ontological gap (extend the model)";
+}
+
+}  // namespace sysuq::sys

@@ -1,0 +1,55 @@
+// The modeling relation (Sec. II.A, after Rosen), executable: given
+// paired (model prediction, system outcome) observations, quantify how
+// well the formal system encodes the physical one and classify the
+// residual gap along the paper's taxonomy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "prob/information.hpp"
+
+namespace sysuq::sys {
+
+/// Accumulates paired categorical observations of a model's prediction
+/// and the system's actual outcome, then reports the fidelity measures
+/// the taxonomy needs.
+class ModelFidelityTracker {
+ public:
+  /// `prediction_states` x `outcome_states` contingency table.
+  ModelFidelityTracker(std::size_t prediction_states, std::size_t outcome_states);
+
+  /// Records one (predicted, observed) pair.
+  void observe(std::size_t predicted, std::size_t observed);
+
+  [[nodiscard]] std::size_t observation_count() const { return total_; }
+
+  /// The empirical joint P(prediction, outcome); throws if empty.
+  [[nodiscard]] prob::JointTable joint() const;
+
+  /// Surprise factor H(outcome | prediction) in nats — the paper's
+  /// formal epistemic/ontological boundary measure.
+  [[nodiscard]] double surprise() const;
+
+  /// Normalized surprise H(outcome | prediction) / H(outcome) in [0, 1].
+  [[nodiscard]] double normalized() const;
+
+  /// Agreement rate: fraction of pairs with predicted == observed
+  /// (requires equal state counts).
+  [[nodiscard]] double agreement() const;
+
+  /// A verdict string per the paper's rule of thumb: a model whose
+  /// normalized surprise is below `epistemic_threshold` is "adequate";
+  /// between the thresholds "epistemic gap (refine the model)"; above
+  /// `ontological_threshold` "ontological gap (extend the model)".
+  [[nodiscard]] std::string verdict(double epistemic_threshold = 0.1,
+                                    double ontological_threshold = 0.5) const;
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::vector<std::size_t>> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sysuq::sys

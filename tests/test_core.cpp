@@ -4,15 +4,16 @@
 
 #include <cmath>
 
-#include "core/cybernetic.hpp"
-#include "core/decomposition.hpp"
-#include "core/means.hpp"
-#include "core/modeling.hpp"
+#include "sys/cybernetic.hpp"
+#include "sys/decomposition.hpp"
+#include "sys/means.hpp"
+#include "sys/modeling.hpp"
 #include "core/taxonomy.hpp"
 #include "bayesnet/inference.hpp"
 #include "perception/table1.hpp"
 
 namespace co = sysuq::core;
+namespace sy = sysuq::sys;
 namespace pc = sysuq::perception;
 namespace bn = sysuq::bayesnet;
 namespace pr = sysuq::prob;
@@ -75,20 +76,20 @@ TEST(Taxonomy, RegistryValidation) {
 
 TEST(Decomposition, BudgetAndDominance) {
   const pr::Categorical agree({0.9, 0.1});
-  const auto b = co::decompose({agree, agree}, 0.02);
+  const auto b = sy::decompose({agree, agree}, 0.02);
   EXPECT_NEAR(b.epistemic, 0.0, 1e-12);
   EXPECT_GT(b.aleatory, 0.0);
   EXPECT_DOUBLE_EQ(b.ontological, 0.02);
   EXPECT_EQ(b.dominant(), "aleatory");
 
-  const auto conflict = co::decompose(
+  const auto conflict = sy::decompose(
       {pr::Categorical({1.0, 0.0}), pr::Categorical({0.0, 1.0})}, 0.02);
   EXPECT_EQ(conflict.dominant(), "epistemic");
 
-  const auto onto = co::decompose({agree, agree}, 0.5);
+  const auto onto = sy::decompose({agree, agree}, 0.5);
   EXPECT_EQ(onto.dominant(), "ontological");
 
-  EXPECT_THROW((void)co::decompose({agree}, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)sy::decompose({agree}, 1.5), std::invalid_argument);
 }
 
 TEST(Decomposition, SurpriseFactorOnPaperNetwork) {
@@ -97,8 +98,8 @@ TEST(Decomposition, SurpriseFactorOnPaperNetwork) {
   const auto net = pc::table1_network();
   bn::VariableElimination ve(net);
   const auto joint = ve.joint(1, 0);  // X = perception, Y = ground truth
-  const double s = co::surprise_factor(joint);
-  const double ns = co::normalized_surprise(joint);
+  const double s = sy::surprise_factor(joint);
+  const double ns = sy::normalized_surprise(joint);
   EXPECT_GT(s, 0.0);
   EXPECT_GT(ns, 0.0);
   EXPECT_LT(ns, 1.0);
@@ -110,18 +111,18 @@ TEST(Decomposition, SurpriseFactorOnPaperNetwork) {
                             pr::Categorical::uniform(4)});
   bn::VariableElimination ve2(blind);
   const auto joint2 = ve2.joint(1, 0);
-  EXPECT_GT(co::surprise_factor(joint2), s);
-  EXPECT_NEAR(co::normalized_surprise(joint2), 1.0, 1e-9);
+  EXPECT_GT(sy::surprise_factor(joint2), s);
+  EXPECT_NEAR(sy::normalized_surprise(joint2), 1.0, 1e-9);
 }
 
 TEST(Prevention, OddRestrictionReducesExposure) {
   const auto world = paper_world(0.1);
-  const auto r = co::apply_odd_restriction(world, {0}, 0.2);
+  const auto r = sy::apply_odd_restriction(world, {0}, 0.2);
   EXPECT_NEAR(r.excluded_encounter_fraction, 1.0 / 3.0, 1e-12);
   EXPECT_DOUBLE_EQ(r.novel_rate_before, 0.1);
   EXPECT_NEAR(r.novel_rate_after, 0.02, 1e-12);
   EXPECT_NEAR(r.epistemic_parameter_fraction, 0.5, 1e-12);
-  EXPECT_THROW((void)co::apply_odd_restriction(world, {0}, 1.5),
+  EXPECT_THROW((void)sy::apply_odd_restriction(world, {0}, 1.5),
                std::invalid_argument);
 }
 
@@ -132,7 +133,7 @@ TEST(Removal, LoopShrinksEpistemicAndGap) {
   deployed.update_cpt_rows(1, {pr::Categorical::uniform(4),
                                pr::Categorical::uniform(4),
                                pr::Categorical::uniform(4)});
-  co::RemovalLoop loop(truth, deployed, 1, pc::kGtUnknown);
+  sy::RemovalLoop loop(truth, deployed, 1, pc::kGtUnknown);
   pr::Rng rng(2027);
   const auto trace = loop.run({100, 1000, 10000, 50000}, rng);
   ASSERT_EQ(trace.size(), 4u);
@@ -151,7 +152,7 @@ TEST(Removal, LoopShrinksEpistemicAndGap) {
 TEST(Removal, Validation) {
   const auto truth = pc::table1_network();
   auto deployed = pc::table1_network();
-  co::RemovalLoop loop(truth, deployed, 1, pc::kGtUnknown);
+  sy::RemovalLoop loop(truth, deployed, 1, pc::kGtUnknown);
   pr::Rng rng(1);
   EXPECT_THROW((void)loop.run({}, rng), std::invalid_argument);
   EXPECT_THROW((void)loop.run({10, 10}, rng), std::invalid_argument);
@@ -165,33 +166,33 @@ TEST(Tolerance, RedundancyReportShowsGain) {
   pc::RedundantArchitecture triple{{sensor, sensor, sensor},
                                    pc::FusionRule::kMajorityVote, 0.0, 0.1};
   pr::Rng rng(2028);
-  const auto report = co::compare_tolerance(single, triple, world, 40000, rng);
+  const auto report = sy::compare_tolerance(single, triple, world, 40000, rng);
   EXPECT_GT(report.hazard_reduction_factor, 1.0);
   EXPECT_GT(report.redundant.accuracy, report.single.accuracy);
 }
 
 TEST(Forecasting, ReleaseDecisionLogic) {
-  co::ReleaseCriteria criteria;  // defaults
+  sy::ReleaseCriteria criteria;  // defaults
   // Insufficient evidence: everything blocks.
-  co::ReleaseEvidence weak;
-  const auto d1 = co::assess_release(weak, criteria);
+  sy::ReleaseEvidence weak;
+  const auto d1 = sy::assess_release(weak, criteria);
   EXPECT_FALSE(d1.ready);
   EXPECT_GE(d1.blockers.size(), 3u);
 
   // Strong evidence: release.
-  co::ReleaseEvidence strong;
+  sy::ReleaseEvidence strong;
   strong.field_observations = 100000;
   strong.epistemic_width = 0.01;
   strong.missing_mass = 0.001;
   strong.hazardous_events = 10;  // rate 1e-4, Wilson upper ~1.9e-4
-  const auto d2 = co::assess_release(strong, criteria);
+  const auto d2 = sy::assess_release(strong, criteria);
   EXPECT_TRUE(d2.ready) << (d2.blockers.empty() ? "" : d2.blockers[0]);
   EXPECT_LT(d2.hazard_rate_upper, criteria.max_hazard_rate_upper);
 
   // One criterion failing blocks with a specific reason.
   auto partial = strong;
   partial.missing_mass = 0.2;
-  const auto d3 = co::assess_release(partial, criteria);
+  const auto d3 = sy::assess_release(partial, criteria);
   EXPECT_FALSE(d3.ready);
   ASSERT_EQ(d3.blockers.size(), 1u);
   EXPECT_NE(d3.blockers[0].find("ontological"), std::string::npos);
@@ -203,8 +204,8 @@ TEST(Cybernetic, GoodRegulatorRegretShrinksWithModelFidelity) {
   // the oracle policy.
   const auto world = paper_world(0.05);
   const auto sensor = pc::ConfusionSensor::make_default(2, 1, 0.85, 0.8);
-  co::DecisionCosts costs{1.0, 0.1, 0.0};
-  co::CyberneticLoop loop(world, sensor, costs);
+  sy::DecisionCosts costs{1.0, 0.1, 0.0};
+  sy::CyberneticLoop loop(world, sensor, costs);
   pr::Rng rng(2029);
   const auto trace = loop.run({20, 500, 20000}, rng);
   ASSERT_EQ(trace.size(), 3u);
@@ -218,34 +219,34 @@ TEST(Cybernetic, GoodRegulatorRegretShrinksWithModelFidelity) {
 TEST(Cybernetic, Validation) {
   const auto world = paper_world(0.05);
   const auto sensor = pc::ConfusionSensor::make_default(2, 1, 0.85, 0.8);
-  EXPECT_THROW(co::CyberneticLoop(world, sensor, {0.0, 0.1, 0.0}),
+  EXPECT_THROW(sy::CyberneticLoop(world, sensor, {0.0, 0.1, 0.0}),
                std::invalid_argument);
-  co::CyberneticLoop loop(world, sensor, {1.0, 0.1, 0.0});
+  sy::CyberneticLoop loop(world, sensor, {1.0, 0.1, 0.0});
   pr::Rng rng(4);
   EXPECT_THROW((void)loop.run({}, rng), std::invalid_argument);
   EXPECT_THROW((void)loop.run({5, 5}, rng), std::invalid_argument);
   // Sensor lacking novel-class rows is rejected.
   const auto short_sensor = pc::ConfusionSensor::make_default(2, 0, 0.85, 0.8);
-  EXPECT_THROW(co::CyberneticLoop(world, short_sensor, {1.0, 0.1, 0.0}),
+  EXPECT_THROW(sy::CyberneticLoop(world, short_sensor, {1.0, 0.1, 0.0}),
                std::invalid_argument);
 }
 
 TEST(ModelFidelity, TracksAgreementAndSurprise) {
   // Perfect model: prediction == outcome always.
-  co::ModelFidelityTracker perfect(3, 3);
+  sy::ModelFidelityTracker perfect(3, 3);
   for (int i = 0; i < 300; ++i) perfect.observe(i % 3, i % 3);
   EXPECT_DOUBLE_EQ(perfect.agreement(), 1.0);
   EXPECT_NEAR(perfect.surprise(), 0.0, 1e-12);
   EXPECT_EQ(perfect.verdict(), "adequate");
 
   // Useless model: outcome independent of prediction.
-  co::ModelFidelityTracker blind(2, 2);
+  sy::ModelFidelityTracker blind(2, 2);
   for (int i = 0; i < 400; ++i) blind.observe(i % 2, (i / 2) % 2);
   EXPECT_NEAR(blind.normalized(), 1.0, 1e-9);
   EXPECT_EQ(blind.verdict(), "ontological gap (extend the model)");
 
   // Mostly-right model lands in the epistemic band.
-  co::ModelFidelityTracker decent(2, 2);
+  sy::ModelFidelityTracker decent(2, 2);
   for (int i = 0; i < 1000; ++i) {
     const std::size_t pred = i % 2;
     decent.observe(pred, i % 10 == 0 ? 1 - pred : pred);
@@ -255,8 +256,8 @@ TEST(ModelFidelity, TracksAgreementAndSurprise) {
 }
 
 TEST(ModelFidelity, Validation) {
-  EXPECT_THROW(co::ModelFidelityTracker(1, 2), std::invalid_argument);
-  co::ModelFidelityTracker t(2, 3);
+  EXPECT_THROW(sy::ModelFidelityTracker(1, 2), std::invalid_argument);
+  sy::ModelFidelityTracker t(2, 3);
   EXPECT_THROW(t.observe(2, 0), std::out_of_range);
   EXPECT_THROW((void)t.joint(), std::logic_error);
   t.observe(0, 0);
@@ -269,8 +270,8 @@ TEST(ModelFidelity, MatchesVariableEliminationJoint) {
   // pairs converges to the exact joint's surprise factor.
   const auto net = pc::table1_network();
   bn::VariableElimination ve(net);
-  const double exact = co::surprise_factor(ve.joint(1, 0));
-  co::ModelFidelityTracker tracker(4, 3);
+  const double exact = sy::surprise_factor(ve.joint(1, 0));
+  sy::ModelFidelityTracker tracker(4, 3);
   pr::Rng rng(13579);
   for (int i = 0; i < 200000; ++i) {
     const auto s = net.sample(rng);

@@ -20,7 +20,7 @@
 #include "bayesnet/engine.hpp"
 #include "bayesnet/inference.hpp"
 #include "bayesnet/junction_tree.hpp"
-#include "core/decomposition.hpp"
+#include "sys/decomposition.hpp"
 #include "core/tolerance.hpp"
 #include "perception/table1.hpp"
 #include "prob/rng.hpp"
@@ -333,9 +333,9 @@ TEST(Differential, Table1GoldenDecompositionFigures) {
   bn::VariableElimination ve(net);
   const auto joint = ve.joint(1, 0);
   EXPECT_NEAR(net.cpt_rows(0)[0].entropy(), 0.8979457248567797, 1e-12);
-  EXPECT_NEAR(sysuq::core::surprise_factor(joint), 0.19831888266846187,
+  EXPECT_NEAR(sysuq::sys::surprise_factor(joint), 0.19831888266846187,
               1e-12);
-  EXPECT_NEAR(sysuq::core::normalized_surprise(joint), 0.22085842961175994,
+  EXPECT_NEAR(sysuq::sys::normalized_surprise(joint), 0.22085842961175994,
               1e-12);
   // Epistemic indicator mass and the ontological prior/posterior pair.
   EXPECT_NEAR(ve.query(1).p(sysuq::perception::kPercCarPedestrian), 0.065,

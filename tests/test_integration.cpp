@@ -8,9 +8,9 @@
 #include "bayesnet/inference.hpp"
 #include "bayesnet/learning.hpp"
 #include "bayesnet/sensitivity.hpp"
-#include "core/decomposition.hpp"
-#include "core/longtail.hpp"
-#include "core/means.hpp"
+#include "sys/decomposition.hpp"
+#include "sys/longtail.hpp"
+#include "sys/means.hpp"
 #include "evidence/credal.hpp"
 #include "evidence/mass.hpp"
 #include "evidence/subjective.hpp"
@@ -33,7 +33,7 @@ TEST(Integration, FieldLoopToCredalToRelease) {
   deployed.update_cpt_rows(1, {prob::Categorical::uniform(4),
                                prob::Categorical::uniform(4),
                                prob::Categorical::uniform(4)});
-  core::RemovalLoop loop(truth, deployed, 1, perception::kGtUnknown);
+  sys::RemovalLoop loop(truth, deployed, 1, perception::kGtUnknown);
   prob::Rng rng(9001);
   const auto trace = loop.run({200, 20000}, rng);
 
@@ -57,12 +57,12 @@ TEST(Integration, FieldLoopToCredalToRelease) {
   }
 
   // Release evidence from the same run.
-  core::ReleaseEvidence evd;
+  sys::ReleaseEvidence evd;
   evd.field_observations = trace.back().observations;
   evd.epistemic_width = trace.back().epistemic_width;
   evd.missing_mass = 0.001;
   evd.hazardous_events = 1;
-  const auto decision = core::assess_release(evd, core::ReleaseCriteria{});
+  const auto decision = sys::assess_release(evd, sys::ReleaseCriteria{});
   EXPECT_TRUE(decision.ready) << (decision.blockers.empty()
                                       ? ""
                                       : decision.blockers.front());
@@ -167,7 +167,7 @@ TEST(Integration, DecompositionConsistentAcrossLayers) {
   }
   prob::Rng r1(717);
   const auto d = clf.decompose({2.0, 0.0}, 100, r1);
-  const auto budget = core::decompose(
+  const auto budget = sys::decompose(
       {prob::Categorical({0.5, 0.5, 0.0}), prob::Categorical({0.5, 0.5, 0.0})},
       0.0);
   // Sanity relations, not equality: both decompose total = aleatory +
@@ -180,12 +180,12 @@ TEST(Integration, DecompositionConsistentAcrossLayers) {
 TEST(Integration, LongTailForecastMatchesCounterEstimate) {
   // The analytic expected missing mass and the empirical Good-Turing
   // estimate agree on a heavy-tailed scenario stream.
-  const auto scenarios = core::zipf_distribution(200, 1.3);
+  const auto scenarios = sys::zipf_distribution(200, 1.3);
   prob::Rng rng(818);
   prob::CategoricalCounter counter(200);
   const std::size_t n = 5000;
   for (std::size_t i = 0; i < n; ++i) counter.observe(scenarios.sample(rng));
-  const double analytic = core::expected_missing_mass(scenarios, n);
+  const double analytic = sys::expected_missing_mass(scenarios, n);
   const double good_turing = counter.good_turing_missing_mass();
   EXPECT_NEAR(good_turing, analytic, 0.01);
 }

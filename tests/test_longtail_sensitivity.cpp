@@ -4,48 +4,48 @@
 #include <cmath>
 
 #include "bayesnet/sensitivity.hpp"
-#include "core/longtail.hpp"
+#include "sys/longtail.hpp"
 #include "perception/table1.hpp"
 #include "prob/rng.hpp"
 #include "prob/statistics.hpp"
 
-namespace co = sysuq::core;
+namespace sy = sysuq::sys;
 namespace bn = sysuq::bayesnet;
 namespace pr = sysuq::prob;
 
 TEST(LongTail, ZipfShape) {
-  const auto z = co::zipf_distribution(100, 1.0);
+  const auto z = sy::zipf_distribution(100, 1.0);
   EXPECT_EQ(z.size(), 100u);
   // Monotone decreasing, ratio p1/p2 = 2 for s = 1.
   EXPECT_NEAR(z.p(0) / z.p(1), 2.0, 1e-9);
   for (std::size_t i = 1; i < 100; ++i) EXPECT_LE(z.p(i), z.p(i - 1));
-  EXPECT_THROW((void)co::zipf_distribution(1, 1.0), std::invalid_argument);
-  EXPECT_THROW((void)co::zipf_distribution(10, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)sy::zipf_distribution(1, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)sy::zipf_distribution(10, 0.0), std::invalid_argument);
 }
 
 TEST(LongTail, MissingMassExactSmallCase) {
   // Two categories (0.7, 0.3), N = 2:
   // E[missing] = 0.7*0.3^2 + 0.3*0.7^2 = 0.063 + 0.147 = 0.21.
   const pr::Categorical p({0.7, 0.3});
-  EXPECT_NEAR(co::expected_missing_mass(p, 2), 0.7 * 0.09 + 0.3 * 0.49, 1e-12);
-  EXPECT_DOUBLE_EQ(co::expected_missing_mass(p, 0), 1.0);
+  EXPECT_NEAR(sy::expected_missing_mass(p, 2), 0.7 * 0.09 + 0.3 * 0.49, 1e-12);
+  EXPECT_DOUBLE_EQ(sy::expected_missing_mass(p, 0), 1.0);
   // Distinct: 2 - (0.3^2 + 0.7^2) ... E[distinct after 2] =
   // (1-0.3^2)+(1-0.7^2).
-  EXPECT_NEAR(co::expected_distinct(p, 2), (1 - 0.09) + (1 - 0.49), 1e-12);
+  EXPECT_NEAR(sy::expected_distinct(p, 2), (1 - 0.09) + (1 - 0.49), 1e-12);
 }
 
 TEST(LongTail, MissingMassMonotoneDecreasing) {
-  const auto z = co::zipf_distribution(1000, 1.2);
+  const auto z = sy::zipf_distribution(1000, 1.2);
   double prev = 1.0;
   for (const std::size_t n : {1u, 10u, 100u, 1000u, 10000u, 100000u}) {
-    const double m = co::expected_missing_mass(z, n);
+    const double m = sy::expected_missing_mass(z, n);
     EXPECT_LT(m, prev);
     prev = m;
   }
 }
 
 TEST(LongTail, MatchesMonteCarlo) {
-  const auto z = co::zipf_distribution(50, 1.5);
+  const auto z = sy::zipf_distribution(50, 1.5);
   pr::Rng rng(2121);
   const std::size_t n = 200;
   pr::RunningStats missing;
@@ -58,7 +58,7 @@ TEST(LongTail, MatchesMonteCarlo) {
     }
     missing.add(m);
   }
-  EXPECT_NEAR(missing.mean(), co::expected_missing_mass(z, n), 0.005);
+  EXPECT_NEAR(missing.mean(), sy::expected_missing_mass(z, n), 0.005);
 }
 
 TEST(LongTail, ObservationsForTargetAndHeavyTailPenalty) {
@@ -67,22 +67,22 @@ TEST(LongTail, ObservationsForTargetAndHeavyTailPenalty) {
   // its mass in events of probability ~1e-6 each, so driving down the
   // unseen mass takes orders of magnitude more exposure than for the
   // light tail — the paper's "long tail validation challenge".
-  const auto light = co::zipf_distribution(100000, 2.5);
-  const auto heavy = co::zipf_distribution(100000, 1.01);
-  const std::size_t n_light = co::observations_for_missing_mass(light, 0.02);
-  const std::size_t n_heavy = co::observations_for_missing_mass(heavy, 0.02);
+  const auto light = sy::zipf_distribution(100000, 2.5);
+  const auto heavy = sy::zipf_distribution(100000, 1.01);
+  const std::size_t n_light = sy::observations_for_missing_mass(light, 0.02);
+  const std::size_t n_heavy = sy::observations_for_missing_mass(heavy, 0.02);
   EXPECT_GT(n_heavy, 100 * n_light);
   // Returned N actually achieves the target, N-1 does not.
-  EXPECT_LE(co::expected_missing_mass(heavy, n_heavy), 0.02);
-  EXPECT_GT(co::expected_missing_mass(heavy, n_heavy - 1), 0.02);
-  EXPECT_THROW((void)co::observations_for_missing_mass(heavy, 0.0),
+  EXPECT_LE(sy::expected_missing_mass(heavy, n_heavy), 0.02);
+  EXPECT_GT(sy::expected_missing_mass(heavy, n_heavy - 1), 0.02);
+  EXPECT_THROW((void)sy::observations_for_missing_mass(heavy, 0.0),
                std::invalid_argument);
 }
 
 TEST(LongTail, DiscoveryRateDecays) {
-  const auto z = co::zipf_distribution(500, 1.1);
-  EXPECT_GT(co::discovery_rate(z, 10), co::discovery_rate(z, 1000));
-  EXPECT_GT(co::discovery_rate(z, 1000), 0.0);
+  const auto z = sy::zipf_distribution(500, 1.1);
+  EXPECT_GT(sy::discovery_rate(z, 10), sy::discovery_rate(z, 1000));
+  EXPECT_GT(sy::discovery_rate(z, 1000), 0.0);
 }
 
 TEST(Sensitivity, DerivativeSignAndMagnitude) {

@@ -1,0 +1,33 @@
+# Golden test for sysuq_analyze --sarif: run the layering pass over the
+# bad layering fixture and require byte-exact SARIF. Invoked by ctest as
+#   cmake -DANALYZER=... -DWORK_DIR=... -DGOLDEN=... -DOUT=... -P this
+foreach(var ANALYZER WORK_DIR GOLDEN OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sarif_golden.cmake: ${var} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${ANALYZER} --only layering --sarif ${OUT} lint_fixture/bad/layering
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+# Exit 1 = violations found, which is exactly what the fixture packs;
+# anything else (0 = pass stopped firing, 2 = IO error) is a bug.
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR
+    "sysuq_analyze exited ${rc} (want 1) on the layering fixture\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  file(READ ${OUT} actual)
+  message(FATAL_ERROR
+    "SARIF output drifted from the golden file ${GOLDEN}.\n"
+    "If the change is intentional, copy the new output over the golden "
+    "file.\nActual output:\n${actual}")
+endif()

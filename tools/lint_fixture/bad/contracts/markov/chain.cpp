@@ -1,0 +1,15 @@
+// Contract-coverage fixture: definitions with no SYSUQ_EXPECT /
+// SYSUQ_ASSERT_PROB* anywhere — one member function, one free function.
+// Never compiled.
+#include "markov/chain.hpp"
+
+namespace sysuq::markov {
+
+double Chain::advance(double p) {
+  state_ = state_ * (1.0 - p) + p;
+  return state_;
+}
+
+double mix(double a, double b) { return 0.5 * (a + b); }
+
+}  // namespace sysuq::markov

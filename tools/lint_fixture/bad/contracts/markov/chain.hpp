@@ -1,0 +1,18 @@
+// Contract-coverage fixture: both public entry points declared here are
+// defined in chain.cpp without executing any contract macro, so the
+// contracts pass must flag both definitions. Never compiled.
+#pragma once
+
+namespace sysuq::markov {
+
+class Chain {
+ public:
+  double advance(double p);
+
+ private:
+  double state_ = 0.0;
+};
+
+double mix(double a, double b);
+
+}  // namespace sysuq::markov

@@ -1,0 +1,11 @@
+// Layering fixture: a synthetic back-edge. `core` is the bottom layer
+// of the module DAG, so including anything from `bayesnet` here must be
+// rejected by the layering pass. Never compiled.
+#pragma once
+
+#include "bayesnet/engine.hpp"
+#include "prob/distribution.hpp"
+
+namespace sysuq::core {
+inline int fixture_backedge() { return 0; }
+}  // namespace sysuq::core

@@ -1,0 +1,21 @@
+// Lint self-test fixture: a junction-tree source file that violates one
+// rule per line below. `ctest -L lint` runs sysuq_analyze over this tree
+// with WILL_FAIL, so the suite breaks if any rule stops firing — or if
+// the .cc spelling ever falls out of the file glob. Never compiled.
+#include "../junction_tree.hpp"
+#include "bayesnet/junction_tree.hpp"
+
+#include <random>
+
+namespace sysuq::bayesnet {
+
+void fixture_violations() {
+  std::mt19937 raw_generator(42);
+  auto& builds = registry().counter("JT Builds");
+  const double eps = 1e-9;
+  if (eps == 0.5) return;
+  (void)raw_generator;
+  (void)builds;
+}
+
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,16 @@
+// Validate-before-mutate fixture: p_ is written before q is validated.
+// Never compiled.
+#include "prob/dist.hpp"
+
+#include "core/contracts.hpp"
+
+namespace sysuq::prob {
+
+void Dist::set_p(double p, double q) {
+  SYSUQ_ASSERT_PROB(p, "p");
+  p_ = p;  // mutation precedes the q check below
+  SYSUQ_ASSERT_PROB(q, "q");
+  q_ = q;
+}
+
+}  // namespace sysuq::prob

@@ -1,0 +1,17 @@
+// Validate-before-mutate fixture: set_p in dist.cpp mutates a member
+// before its last precondition check, so a throwing contract leaves the
+// object half-mutated — the pass must flag it. Never compiled.
+#pragma once
+
+namespace sysuq::prob {
+
+class Dist {
+ public:
+  void set_p(double p, double q);
+
+ private:
+  double p_ = 0.0;
+  double q_ = 0.0;
+};
+
+}  // namespace sysuq::prob

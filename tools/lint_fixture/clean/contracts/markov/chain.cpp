@@ -1,0 +1,16 @@
+// Contract-coverage fixture, clean twin. Never compiled.
+#include "markov/chain.hpp"
+
+#include "core/contracts.hpp"
+
+namespace sysuq::markov {
+
+double Chain::advance(double p) {
+  SYSUQ_ASSERT_PROB(p, "transition probability");
+  state_ = state_ * (1.0 - p) + p;
+  return state_;
+}
+
+double mix(double a, double b) { return 0.5 * (a + b); }
+
+}  // namespace sysuq::markov

@@ -1,0 +1,19 @@
+// Contract-coverage fixture, clean twin: one definition carries a real
+// contract, the other carries a reasoned allow marker on its
+// declaration — both paths must satisfy the pass. Never compiled.
+#pragma once
+
+namespace sysuq::markov {
+
+class Chain {
+ public:
+  double advance(double p);
+
+ private:
+  double state_ = 0.0;
+};
+
+// sysuq-lint-allow(contract-coverage): pure arithmetic, no domain to check
+double mix(double a, double b);
+
+}  // namespace sysuq::markov

@@ -1,0 +1,12 @@
+// Layering fixture, clean twin: `bayesnet` may include `core` and
+// `prob` (strictly lower layers) and `obs` (cross-cutting). A false
+// positive on any of these edges fails `ctest -L lint`. Never compiled.
+#pragma once
+
+#include "core/contracts.hpp"
+#include "obs/registry.hpp"
+#include "prob/distribution.hpp"
+
+namespace sysuq::bayesnet {
+inline int fixture_downward_edges() { return 0; }
+}  // namespace sysuq::bayesnet

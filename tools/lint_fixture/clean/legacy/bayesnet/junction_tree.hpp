@@ -1,0 +1,7 @@
+// Companion header for the clean fixture. Never compiled.
+#pragma once
+
+namespace sysuq::bayesnet {
+// sysuq-lint-allow(contract-coverage): lint fixture, no domain to check
+void fixture_clean();
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,28 @@
+// Lock-discipline fixture, clean twin: writes happen under a
+// lock_guard, loads stay within each member's declared memory-order
+// ceiling (relaxed by default; `ready_` raises its ceiling to acquire
+// with a sysuq-atomic-order marker). Never compiled.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+namespace sysuq::obs {
+
+class Cache {
+ public:
+  // sysuq-lint-allow(contract-coverage): lock fixture, contracts out of scope
+  void put(int v);
+  // sysuq-lint-allow(contract-coverage): lock fixture, contracts out of scope
+  int approx() const;
+  // sysuq-lint-allow(contract-coverage): lock fixture, contracts out of scope
+  bool ready() const;
+
+ private:
+  mutable std::mutex mu_;
+  int last_ = 0;
+  std::atomic<long> hits_{0};
+  std::atomic<bool> ready_{false};  // sysuq-atomic-order(acquire)
+};
+
+}  // namespace sysuq::obs

@@ -1,0 +1,19 @@
+// Validate-before-mutate fixture, clean twin: all preconditions are
+// checked before the first member write, and a SYSUQ_ENSURE after the
+// writes is fine (postconditions naturally follow mutation). Never
+// compiled.
+#include "prob/dist.hpp"
+
+#include "core/contracts.hpp"
+
+namespace sysuq::prob {
+
+void Dist::set_p(double p, double q) {
+  SYSUQ_ASSERT_PROB(p, "p");
+  SYSUQ_ASSERT_PROB(q, "q");
+  p_ = p;
+  q_ = q;
+  SYSUQ_ENSURE(p_ + q_ >= 0.0, "state sane");
+}
+
+}  // namespace sysuq::prob

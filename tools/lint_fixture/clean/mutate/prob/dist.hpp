@@ -1,0 +1,15 @@
+// Validate-before-mutate fixture, clean twin. Never compiled.
+#pragma once
+
+namespace sysuq::prob {
+
+class Dist {
+ public:
+  void set_p(double p, double q);
+
+ private:
+  double p_ = 0.0;
+  double q_ = 0.0;
+};
+
+}  // namespace sysuq::prob

@@ -1,0 +1,200 @@
+// sysuq_analyze — project-aware static analyzer for the sysuq codebase.
+//
+//   sysuq_analyze [--sarif FILE] [--only rule1,rule2] [root...]
+//
+// Each root is scanned recursively for C++ sources/headers; the default
+// root is `src`. Paths are reported relative to the invocation, so run
+// it from the repository root (CI does). Exit codes: 0 clean,
+// 1 violations, 2 usage/IO error — same protocol as the old sysuq_lint.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sysuq_analyze/lexer.hpp"
+#include "sysuq_analyze/model.hpp"
+#include "sysuq_analyze/passes.hpp"
+#include "sysuq_analyze/sarif.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace sysuq_analyze;
+
+// Modules whose first path component makes a file part of the layered
+// tree; anything else (tests/, bench/, tools/...) is linted but takes
+// no part in layering/contract bookkeeping.
+const std::set<std::string>& known_modules() {
+  static const std::set<std::string> kModules = {
+      "core", "prob",   "bayesnet", "evidence", "perception",
+      "fta",  "markov", "obs",      "orbit",    "sys"};
+  return kModules;
+}
+
+bool has_cpp_ext(const fs::path& p, bool& is_header, bool& is_source) {
+  const std::string ext = p.extension().string();
+  is_header = ext == ".hpp" || ext == ".h" || ext == ".hxx";
+  is_source = ext == ".cpp" || ext == ".cc" || ext == ".cxx";
+  return is_header || is_source;
+}
+
+// Fixture trees are full of deliberate violations: skip them during
+// recursion unless the scan root itself points inside one (which is how
+// the fixture ctests invoke us).
+bool skip_dir(const fs::path& dir) {
+  const std::string name = dir.filename().string();
+  if (name.empty()) return false;
+  if (name[0] == '.') return true;
+  if (name.rfind("build", 0) == 0) return true;
+  if (name == "lint_fixture") return true;
+  return false;
+}
+
+bool root_inside_fixture(const fs::path& root) {
+  for (const auto& part : root) {
+    if (part.string() == "lint_fixture") return true;
+  }
+  return false;
+}
+
+int collect(const std::string& root_arg, std::vector<LexedFile>& out) {
+  const fs::path root(root_arg);
+  std::error_code ec;
+  if (!fs::exists(root, ec) || ec) {
+    std::cerr << "sysuq_analyze: no such path: " << root_arg << "\n";
+    return 2;
+  }
+  const bool in_fixture = root_inside_fixture(fs::absolute(root));
+
+  std::vector<fs::path> paths;
+  if (fs::is_regular_file(root)) {
+    paths.push_back(root);
+  } else {
+    fs::recursive_directory_iterator it(
+        root, fs::directory_options::skip_permission_denied, ec);
+    const fs::recursive_directory_iterator end;
+    for (; it != end; it.increment(ec)) {
+      if (ec) {
+        std::cerr << "sysuq_analyze: walk error under " << root_arg << ": "
+                  << ec.message() << "\n";
+        return 2;
+      }
+      if (it->is_directory() && !in_fixture && skip_dir(it->path())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      bool h = false, s = false;
+      if (it->is_regular_file() && has_cpp_ext(it->path(), h, s))
+        paths.push_back(it->path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  for (const auto& p : paths) {
+    LexedFile f;
+    f.abs_path = fs::absolute(p);
+    f.root = fs::is_regular_file(root) ? std::string() : root_arg;
+    const fs::path rel =
+        fs::is_regular_file(root) ? p.filename() : p.lexically_relative(root);
+    f.rel = rel.generic_string();
+    has_cpp_ext(p, f.is_header, f.is_source);
+    const auto first = rel.begin();
+    if (first != rel.end() && known_modules().count(first->string()) > 0)
+      f.module_name = first->string();
+    if (!lex_file(p, f)) return 2;
+    out.push_back(std::move(f));
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: sysuq_analyze [--sarif FILE] [--only rule1,rule2] "
+               "[root...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string sarif_path;
+  Reporter rep;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--sarif") {
+      if (++a >= argc) return usage();
+      sarif_path = argv[a];
+    } else if (arg == "--only") {
+      if (++a >= argc) return usage();
+      std::string rules = argv[a];
+      std::size_t pos = 0;
+      while (pos <= rules.size()) {
+        const std::size_t comma = rules.find(',', pos);
+        const std::string rule =
+            rules.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!rule.empty()) rep.only.insert(rule);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) roots.emplace_back("src");
+
+  Project project;
+  for (const auto& root : roots) {
+    std::vector<LexedFile> files;
+    if (const int rc = collect(root, files); rc != 0) return rc;
+    for (auto& f : files) {
+      AnalyzedFile af;
+      af.lex = std::move(f);
+      af.model = build_model(af.lex);
+      project.files.push_back(std::move(af));
+    }
+  }
+  project.index();
+
+  pass_layering(project, rep);
+  pass_contracts(project, rep);
+  pass_locks(project, rep);
+  pass_mutate(project, rep);
+  pass_legacy(project, rep);
+
+  std::sort(rep.violations.begin(), rep.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.path, a.line, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.rule, b.message);
+            });
+  std::set<std::string> files_hit;
+  for (const auto& v : rep.violations) {
+    std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+    files_hit.insert(v.path);
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream os(sarif_path);
+    if (!os || !write_sarif(os, rep.violations)) {
+      std::cerr << "sysuq_analyze: cannot write SARIF to " << sarif_path
+                << "\n";
+      return 2;
+    }
+  }
+
+  if (rep.violations.empty()) {
+    std::cout << "sysuq_analyze: OK (" << project.files.size() << " files)\n";
+    return 0;
+  }
+  std::cout << "sysuq_analyze: " << rep.violations.size()
+            << " violation(s) in " << files_hit.size() << " file(s)\n";
+  return 1;
+}

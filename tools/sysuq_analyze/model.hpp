@@ -1,0 +1,80 @@
+// Structural model over the token stream: classes with their members
+// and access levels, public function declarations in headers, and
+// function definitions with their body token ranges. This is what lets
+// sysuq_analyze express project-wide rules (contract coverage, lock
+// discipline, validate-before-mutate) that a line lint cannot.
+//
+// The parser is a heuristic scanner, not a C++ front end: it tracks
+// namespace/class nesting by brace matching and recognizes function
+// declarators by the `( ... ) trailer ; | {` shape. That is enough for
+// this codebase's style (and the fixtures pin the cases it must get
+// right); it does not try to be correct for arbitrary C++.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sysuq_analyze/lexer.hpp"
+
+namespace sysuq_analyze {
+
+/// A non-static data member of a class.
+struct MemberVar {
+  std::string name;
+  std::string type_text;  ///< joined tokens left of the name
+  bool is_atomic = false;
+  bool is_mutex = false;
+  std::size_t line = 0;
+  /// Declared memory-order ceiling for atomics, from a
+  /// `// sysuq-atomic-order(<order>)` marker; empty means relaxed.
+  std::string declared_order;
+};
+
+/// A member-function (or free-function) declaration without a body.
+struct FunctionDecl {
+  std::string name;
+  std::size_t line = 0;
+  bool is_public = true;
+};
+
+/// A class/struct with the facts the passes need.
+struct ClassInfo {
+  std::string module_name;
+  std::string name;
+  std::string file_rel;  ///< file holding the class body
+  std::vector<MemberVar> members;
+  std::vector<FunctionDecl> public_decls;  ///< no-body, non-inline, public
+  bool owns_mutex = false;
+
+  [[nodiscard]] const MemberVar* member(const std::string& n) const {
+    for (const auto& m : members)
+      if (m.name == n) return &m;
+    return nullptr;
+  }
+};
+
+/// A function definition (body present).
+struct FunctionDef {
+  std::string class_name;  ///< enclosing class or out-of-line qualifier; ""
+  std::string name;
+  std::size_t line = 0;        ///< line of the name token
+  std::size_t body_begin = 0;  ///< token index of '{'
+  std::size_t body_end = 0;    ///< token index one past matching '}'
+  bool is_ctor = false;
+  bool is_dtor = false;
+  bool in_header = false;
+  bool has_params = false;  ///< parameter list is not `()` / `(void)`
+};
+
+/// Everything extracted from one file.
+struct FileModel {
+  std::vector<ClassInfo> classes;
+  std::vector<FunctionDecl> free_decls;  ///< namespace-scope, headers
+  std::vector<FunctionDef> defs;
+};
+
+/// Parses the structural model of `file`.
+[[nodiscard]] FileModel build_model(const LexedFile& file);
+
+}  // namespace sysuq_analyze

@@ -1,0 +1,64 @@
+// Layering pass: the include graph over a module tree must respect the
+// module DAG
+//
+//   core -> prob -> bayesnet -> {evidence, perception, fta, markov,
+//   orbit} -> sys
+//
+// (an arrow means "may be included by"): a module may include itself
+// and modules at strictly lower layers. `obs` is the cross-cutting
+// exception — includable by every module, but itself including only
+// core. Back-edges, sibling edges and cycles are all errors; an
+// intentional exception carries a reasoned
+// `// sysuq-lint-allow(layering): ...` on the include line.
+#include "sysuq_analyze/passes.hpp"
+
+#include <map>
+#include <string>
+
+namespace sysuq_analyze {
+
+namespace {
+
+const std::map<std::string, int>& layers() {
+  static const std::map<std::string, int> kLayers = {
+      {"core", 0}, {"prob", 1},       {"bayesnet", 2}, {"evidence", 3},
+      {"fta", 3},  {"perception", 3}, {"markov", 3},   {"orbit", 3},
+      {"sys", 4},  {"obs", 0}};  // obs layer unused; handled specially
+  return kLayers;
+}
+
+}  // namespace
+
+void pass_layering(const Project& project, Reporter& rep) {
+  for (const auto& af : project.files) {
+    const LexedFile& f = af.lex;
+    const std::string& from = f.module_name;
+    if (from.empty()) continue;
+    for (const auto& inc : f.includes) {
+      if (inc.angled) continue;
+      const std::size_t slash = inc.path.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string to = inc.path.substr(0, slash);
+      if (layers().count(to) == 0) continue;
+      if (to == from) continue;
+      if (to == "obs" && from != "obs") continue;  // everyone may use obs
+      bool ok;
+      if (from == "obs") {
+        ok = to == "core";  // obs stays below everything but core
+      } else {
+        ok = layers().at(to) < layers().at(from);
+      }
+      if (!ok) {
+        rep.report(f, inc.line, "layering",
+                   "module '" + from + "' must not include '" + to + "' (\"" +
+                       inc.path +
+                       "\"): violates the module DAG core -> prob -> "
+                       "bayesnet -> {evidence, perception, fta, markov, "
+                       "orbit} -> sys (obs: includable by all, includes "
+                       "only core)");
+      }
+    }
+  }
+}
+
+}  // namespace sysuq_analyze

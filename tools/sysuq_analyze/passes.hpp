@@ -1,0 +1,102 @@
+// Pass registry for sysuq_analyze.
+//
+// Passes:
+//   legacy       — the five PR-4 line-lint rules, re-homed onto the
+//                  lexer: rng-discipline, float-eq, magic-epsilon,
+//                  include-hygiene, obs-naming.
+//   layering     — include graph over module trees; enforces the module
+//                  DAG core -> prob -> bayesnet -> {evidence,
+//                  perception, fta, markov, orbit} -> sys, with obs
+//                  includable by everyone but including only core.
+//   contracts    — every non-inline public function declared in a
+//                  module header executes a SYSUQ_EXPECT /
+//                  SYSUQ_ASSERT_PROB* / SYSUQ_ENSURE in its definition.
+//   locks        — in files owning a std::mutex: non-atomic member
+//                  writes outside a lock scope, and .load/.store with a
+//                  stricter-than-declared memory order.
+//   mutate       — member mutations preceding the last precondition
+//                  check in a function (the PR-2 set_cpt bug class).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sysuq_analyze/lexer.hpp"
+#include "sysuq_analyze/model.hpp"
+
+namespace sysuq_analyze {
+
+struct Violation {
+  std::string path;  ///< root-joined display path (also the SARIF uri)
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Collects violations, honouring `sysuq-lint-allow` markers and the
+/// --only rule filter.
+class Reporter {
+ public:
+  /// Empty = all rules enabled.
+  std::set<std::string> only;
+
+  [[nodiscard]] bool enabled(const std::string& rule) const {
+    return only.empty() || only.count(rule) > 0;
+  }
+
+  /// Files a violation unless the rule is filtered out or the line
+  /// carries an allow marker for it.
+  void report(const LexedFile& f, std::size_t line, const std::string& rule,
+              const std::string& message);
+
+  /// As above, but also honours a marker on any of `extra_lines`
+  /// (e.g. the header declaration of a flagged definition).
+  void report_multi(const LexedFile& f, std::size_t line,
+                    const std::vector<const LexedFile*>& extra_files,
+                    const std::vector<std::size_t>& extra_lines,
+                    const std::string& rule, const std::string& message);
+
+  std::vector<Violation> violations;
+};
+
+/// One analyzed file: tokens plus structural model.
+struct AnalyzedFile {
+  LexedFile lex;
+  FileModel model;
+};
+
+/// The project under analysis: all files from all roots, plus a class
+/// index so passes can resolve `Class::method` definitions to the class
+/// body parsed from another file of the same module.
+class Project {
+ public:
+  std::vector<AnalyzedFile> files;
+
+  /// Builds the class index; call once after `files` is filled.
+  void index();
+
+  /// Resolves `name` to a class: the defining file first, then any file
+  /// of the same (root, module).
+  [[nodiscard]] const ClassInfo* find_class(const AnalyzedFile& from,
+                                            const std::string& name) const;
+
+ private:
+  std::map<std::tuple<std::string, std::string, std::string>,
+           const ClassInfo*>
+      by_name_;
+};
+
+void pass_legacy(const Project& project, Reporter& rep);
+void pass_layering(const Project& project, Reporter& rep);
+void pass_contracts(const Project& project, Reporter& rep);
+void pass_locks(const Project& project, Reporter& rep);
+void pass_mutate(const Project& project, Reporter& rep);
+
+/// Display path for a file (root-joined, generic separators).
+[[nodiscard]] std::string display_path(const LexedFile& f);
+
+}  // namespace sysuq_analyze

@@ -1,0 +1,83 @@
+#include "sysuq_analyze/passes.hpp"
+
+#include <algorithm>
+
+namespace sysuq_analyze {
+
+namespace {
+
+// A marker suppresses on its own line, or from anywhere in the
+// contiguous block of comment lines directly above the reported line —
+// reasoned suppressions are encouraged to span several lines.
+bool suppressed(const LexedFile& f, std::size_t line, const std::string& rule) {
+  if (f.allowed(line, rule)) return true;
+  for (std::size_t l = line; l > 1;) {
+    --l;
+    const std::string& text = l - 1 < f.lines.size() ? f.lines[l - 1] : "";
+    const std::size_t first = text.find_first_not_of(" \t");
+    if (first == std::string::npos || text.compare(first, 2, "//") != 0)
+      return false;
+    if (f.allowed(l, rule)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string display_path(const LexedFile& f) {
+  if (f.root.empty() || f.root == ".") return f.rel;
+  std::string r = f.root;
+  while (!r.empty() && r.back() == '/') r.pop_back();
+  return r + "/" + f.rel;
+}
+
+void Reporter::report(const LexedFile& f, std::size_t line,
+                      const std::string& rule, const std::string& message) {
+  report_multi(f, line, {}, {}, rule, message);
+}
+
+void Reporter::report_multi(const LexedFile& f, std::size_t line,
+                            const std::vector<const LexedFile*>& extra_files,
+                            const std::vector<std::size_t>& extra_lines,
+                            const std::string& rule,
+                            const std::string& message) {
+  if (!enabled(rule)) return;
+  // A marker on the line itself or in the comment block above
+  // suppresses; so does one on any companion location (e.g. the header
+  // declaration of a flagged definition).
+  if (suppressed(f, line, rule)) return;
+  for (std::size_t k = 0; k < extra_lines.size(); ++k) {
+    const LexedFile* ef = k < extra_files.size() ? extra_files[k] : &f;
+    if (suppressed(*ef, extra_lines[k], rule)) return;
+  }
+  violations.push_back({display_path(f), line, rule, message});
+}
+
+void Project::index() {
+  for (const auto& af : files) {
+    for (const auto& ci : af.model.classes) {
+      if (ci.name.empty()) continue;
+      const auto key =
+          std::make_tuple(af.lex.root, af.lex.module_name, ci.name);
+      const auto it = by_name_.find(key);
+      // Prefer the parse that saw the class body (most members/decls).
+      if (it == by_name_.end() ||
+          it->second->members.size() + it->second->public_decls.size() <
+              ci.members.size() + ci.public_decls.size()) {
+        by_name_[key] = &ci;
+      }
+    }
+  }
+}
+
+const ClassInfo* Project::find_class(const AnalyzedFile& from,
+                                     const std::string& name) const {
+  for (const auto& ci : from.model.classes)
+    if (ci.name == name && (!ci.members.empty() || !ci.public_decls.empty()))
+      return &ci;
+  const auto it =
+      by_name_.find(std::make_tuple(from.lex.root, from.lex.module_name, name));
+  return it != by_name_.end() ? it->second : nullptr;
+}
+
+}  // namespace sysuq_analyze

@@ -1,0 +1,134 @@
+#include "sysuq_analyze/sarif.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <string>
+#include <tuple>
+
+namespace sysuq_analyze {
+
+namespace {
+
+struct RuleDoc {
+  const char* id;
+  const char* description;
+};
+
+// The full catalog, in catalog order (docs/analyzer_rules.md mirrors
+// this). Every rule appears in tool.driver.rules even when it produced
+// no results, so SARIF consumers can show what was checked.
+constexpr std::array<RuleDoc, 9> kRules = {{
+    {"layering",
+     "Includes must respect the module DAG core -> prob -> bayesnet -> "
+     "{evidence, perception, fta, markov, orbit} -> sys; obs is includable "
+     "by all modules but itself includes only core."},
+    {"contract-coverage",
+     "Every non-inline public function declared in a module header must "
+     "execute SYSUQ_EXPECT / SYSUQ_ASSERT_PROB* / SYSUQ_ENSURE in its "
+     "definition."},
+    {"lock-discipline",
+     "In classes owning a std::mutex: no non-atomic member writes outside "
+     "a lock_guard/unique_lock scope, and no .load()/.store() with a "
+     "memory order stricter than the member's declared ceiling."},
+    {"validate-before-mutate",
+     "No member mutation may precede the function's last precondition "
+     "check; a throwing contract must not leave the object half-mutated."},
+    {"rng-discipline",
+     "No raw rand()/srand()/std::mt19937 outside prob/rng.*; use "
+     "prob::Rng."},
+    {"float-eq",
+     "No ==/!= against floating-point literals; compare against a "
+     "tolerance."},
+    {"magic-epsilon",
+     "No inline tolerance-sized literals (decimal exponent <= -8); use a "
+     "named constant from core/tolerance.hpp."},
+    {"include-hygiene",
+     "Project includes must be module-qualified, never relative (../), "
+     "and a .cpp's first include must be its own header."},
+    {"obs-naming",
+     "Metric and span names must be dot-separated snake_case "
+     "(module.subsystem.name)."},
+}};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::ostream& write_sarif(std::ostream& os,
+                          std::vector<Violation> violations) {
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.path, a.line, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.rule, b.message);
+            });
+
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"sysuq_analyze\",\n"
+     << "          \"informationUri\": "
+        "\"https://example.invalid/sysuq/docs/analyzer_rules.md\",\n"
+     << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < kRules.size(); ++i) {
+    os << "            {\n"
+       << "              \"id\": \"" << kRules[i].id << "\",\n"
+       << "              \"shortDescription\": { \"text\": \""
+       << json_escape(kRules[i].description) << "\" }\n"
+       << "            }" << (i + 1 < kRules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    os << "        {\n"
+       << "          \"ruleId\": \"" << json_escape(v.rule) << "\",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": { \"text\": \"" << json_escape(v.message)
+       << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": \""
+       << json_escape(v.path) << "\" },\n"
+       << "                \"region\": { \"startLine\": " << v.line << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < violations.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os;
+}
+
+}  // namespace sysuq_analyze

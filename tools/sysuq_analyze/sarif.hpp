@@ -1,0 +1,17 @@
+// SARIF 2.1.0 writer for sysuq_analyze, so CI can upload findings as a
+// code-scanning artifact. Output is deterministic: results sorted by
+// (uri, line, rule, message), two-space pretty printing, no timestamps.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "sysuq_analyze/passes.hpp"
+
+namespace sysuq_analyze {
+
+/// Writes `violations` as a single-run SARIF 2.1.0 log. Returns the
+/// stream so callers can check for write failure via `os.good()`.
+std::ostream& write_sarif(std::ostream& os, std::vector<Violation> violations);
+
+}  // namespace sysuq_analyze
