@@ -319,14 +319,33 @@ int main(int argc, char** argv) {
       am_qps_ve, am_qps_jt, jt_speedup, jt_max_abs);
 
   if (!manifest_path.empty()) {
+    // BENCH_engine_batch.json: the tracked perf-trajectory manifest
+    // (docs/bench_trajectory.md). Raw qps numbers are machine-specific
+    // and recorded for the trajectory; tools/bench_compare.py gates CI
+    // on the machine-relative ratios (speedup_1t, speedup_4t,
+    // jt_speedup) and the correctness figures only.
     std::ofstream out(manifest_path);
     if (!out) {
       std::fprintf(stderr, "bench_engine_batch: cannot write manifest '%s'\n",
                    manifest_path.c_str());
       return 2;
     }
-    out << "{\"bench\":\"engine_batch\",\"variables\":" << net.size()
+    char results[1024];
+    std::snprintf(
+        results, sizeof(results),
+        "{\"qps_seed\":%.1f,\"qps_ve\":%.1f,\"qps_engine_1t\":%.1f,"
+        "\"qps_engine_4t\":%.1f,\"speedup_1t\":%.2f,\"speedup_4t\":%.2f,"
+        "\"qps_allmarg_ve\":%.1f,\"qps_allmarg_jt\":%.1f,\"jt_speedup\":%.2f,"
+        "\"byte_identical\":%s,\"max_abs_err\":%.3e,\"jt_max_abs_err\":%.3e,"
+        "\"cache_hit_rate\":%.4f,\"cache_entries\":%zu}",
+        qps_seed, qps_ve, qps1, qps4, qps1 / qps_seed, qps4 / qps_seed,
+        am_qps_ve, am_qps_jt, jt_speedup, byte_identical ? "true" : "false",
+        max_abs_vs_ve, jt_max_abs, stats.hit_rate(), stats.entries);
+    out << "{\"bench\":\"engine_batch\",\"schema\":1"
+        << ",\"workload\":{\"variables\":" << net.size()
         << ",\"batch\":" << kBatch
+        << ",\"allmarg_queries\":" << am_batch.size() << ",\"reps\":" << kReps
+        << "},\"results\":" << results
         << ",\"metrics\":" << obs::Registry::global().to_json() << "}\n";
     std::printf("manifest written to %s\n", manifest_path.c_str());
   }

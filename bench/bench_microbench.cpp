@@ -1,10 +1,24 @@
 // Google-benchmark microbenchmarks of the library's hot paths: factor
-// products, variable elimination, Dempster combination, fault-tree
-// evaluation and credal propagation. Complements the paper-shaped
-// experiment benches (E1-E11) with per-operation cost curves.
+// products (owning Factor API and the flat strided kernels underneath),
+// variable elimination, Dempster combination, fault-tree evaluation and
+// credal propagation. Complements the paper-shaped experiment benches
+// (E1-E11) with per-operation cost curves.
+//
+// With `--manifest out.json`, writes BENCH_microbench.json — the
+// tracked perf-trajectory manifest (docs/bench_trajectory.md): one
+// entry per benchmark (adjusted cpu/real ns per iteration) plus a
+// snapshot of the obs metrics registry.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "bayesnet/inference.hpp"
+#include "bayesnet/kernels.hpp"
+#include "obs/registry.hpp"
 #include "evidence/credal.hpp"
 #include "evidence/mass.hpp"
 #include "fta/analysis.hpp"
@@ -35,6 +49,66 @@ void BM_FactorProduct(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FactorProduct)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_KernelProductArena(benchmark::State& state) {
+  // The same two-factor product as BM_FactorProduct, but through the
+  // strided kernel straight into the per-thread bump arena — the cost
+  // the inference backends actually pay per elimination round, with no
+  // owning-Factor allocation on the result.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  prob::Rng rng(1);
+  std::vector<bayesnet::VariableId> sa, sb;
+  for (std::size_t i = 0; i < n; ++i) sa.push_back(i);
+  for (std::size_t i = n - 1; i < 2 * n - 1; ++i) sb.push_back(i);
+  std::vector<std::size_t> cards(n, 2);
+  std::vector<double> va(std::size_t{1} << n), vb(std::size_t{1} << n);
+  for (double& v : va) v = rng.uniform();
+  for (double& v : vb) v = rng.uniform();
+  const bayesnet::Factor a(sa, cards, va), b(sb, cards, vb);
+  const auto av = bayesnet::kernels::view_of(a);
+  const auto bv = bayesnet::kernels::view_of(b);
+  auto& arena = bayesnet::kernels::thread_scratch();
+  for (auto _ : state) {
+    arena.reset();
+    auto t = bayesnet::kernels::product(av, bv, arena);
+    benchmark::DoNotOptimize(t.values);
+  }
+  arena.reset();
+}
+BENCHMARK(BM_KernelProductArena)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_EliminateScaledChain(benchmark::State& state) {
+  // Scaled elimination over a binary chain: the underflow-proof VE path
+  // end to end (stride tables, arena intermediates, rescale checks).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  prob::Rng rng(2);
+  std::vector<bayesnet::Factor> factors;
+  factors.reserve(n);
+  factors.emplace_back(std::vector<bayesnet::VariableId>{0},
+                       std::vector<std::size_t>{2},
+                       std::vector<double>{0.5, 0.5});
+  for (bayesnet::VariableId v = 1; v < n; ++v) {
+    std::vector<double> t(4);
+    for (double& x : t) x = rng.uniform() + 0.05;
+    factors.emplace_back(std::vector<bayesnet::VariableId>{v - 1, v},
+                         std::vector<std::size_t>{2, 2}, t);
+  }
+  std::vector<bayesnet::VariableId> order;
+  for (bayesnet::VariableId v = 0; v + 1 < n; ++v) order.push_back(v);
+  auto& arena = bayesnet::kernels::thread_scratch();
+  for (auto _ : state) {
+    arena.reset();
+    std::vector<bayesnet::kernels::View> views;
+    views.reserve(factors.size());
+    for (const auto& f : factors)
+      views.push_back(bayesnet::kernels::view_of(f));
+    auto sf = bayesnet::kernels::eliminate_scaled(std::move(views), order,
+                                                  arena);
+    benchmark::DoNotOptimize(sf.log_scale);
+    arena.reset();
+  }
+}
+BENCHMARK(BM_EliminateScaledChain)->Arg(32)->Arg(128);
 
 void BM_VariableEliminationTable1(benchmark::State& state) {
   const auto net = perception::table1_network();
@@ -145,6 +219,75 @@ void BM_Pce1DProjection(benchmark::State& state) {
 }
 BENCHMARK(BM_Pce1DProjection)->Arg(4)->Arg(8)->Arg(16);
 
+// Console reporter that also records every run for the manifest.
+class ManifestReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double cpu_ns = 0.0;
+    double real_ns = 0.0;
+    std::int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      entries_.push_back({run.benchmark_name(), run.GetAdjustedCPUTime(),
+                          run.GetAdjustedRealTime(), run.iterations});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --manifest before google-benchmark sees the arguments.
+  std::string manifest_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--manifest" && i + 1 < argc) {
+      manifest_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+
+  ManifestReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!manifest_path.empty()) {
+    std::ofstream out(manifest_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_microbench: cannot write manifest '%s'\n",
+                   manifest_path.c_str());
+      return 2;
+    }
+    out << "{\"bench\":\"microbench\",\"schema\":1,\"results\":[";
+    const char* sep = "";
+    for (const auto& e : reporter.entries()) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"name\":\"%s\",\"cpu_ns_per_iter\":%.1f,"
+                    "\"real_ns_per_iter\":%.1f,\"iterations\":%lld}",
+                    sep, e.name.c_str(), e.cpu_ns, e.real_ns,
+                    static_cast<long long>(e.iterations));
+      out << buf;
+      sep = ",";
+    }
+    out << "],\"metrics\":" << sysuq::obs::Registry::global().to_json()
+        << "}\n";
+    std::printf("manifest written to %s\n", manifest_path.c_str());
+  }
+  return 0;
+}

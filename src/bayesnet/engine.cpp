@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <optional>
@@ -210,33 +211,38 @@ std::shared_ptr<const EliminationOrdering> InferenceEngine::ordering_for(
   return ordering;
 }
 
-Factor InferenceEngine::eliminate_all_but(const std::vector<VariableId>& keep,
-                                          const Evidence& evidence) const {
+kernels::ScaledFactor InferenceEngine::eliminate_all_but(
+    const std::vector<VariableId>& keep, const Evidence& evidence) const {
   const auto ordering = ordering_for(evidence);
   EngineMetrics::instance().elimination_width.observe(
       static_cast<double>(ordering->induced_width));
-  std::vector<Factor> factors;
-  factors.reserve(cpt_factors_.size());
+  // Cached CPT factors are viewed in place; only evidence-bearing ones
+  // are reduced (into the arena). No per-query deep copies.
+  Arena& arena = kernels::thread_scratch();
+  arena.reset();
+  std::vector<kernels::View> views;
+  views.reserve(cpt_factors_.size());
   for (const Factor& base : cpt_factors_) {
-    Factor f = base;
+    kernels::View view = kernels::view_of(base);
     for (const auto& [ev, state] : evidence) {
-      if (f.contains(ev)) f = f.reduce(ev, state);
+      if (view.contains(ev))
+        view = kernels::reduce(view, ev, state, arena).view();
     }
-    factors.push_back(std::move(f));
+    views.push_back(view);
   }
   // The cached plan eliminates every unobserved variable; skipping the
   // kept ones at execution time keeps them in the result scope (any
   // suffix-restricted order is still exact).
-  if (keep.empty()) {
-    return eliminate_with_order(std::move(factors), ordering->order);
-  }
   std::vector<VariableId> order;
   order.reserve(ordering->order.size());
   for (VariableId v : ordering->order) {
-    if (std::find(keep.begin(), keep.end(), v) == keep.end())
+    if (keep.empty() || std::find(keep.begin(), keep.end(), v) == keep.end())
       order.push_back(v);
   }
-  return eliminate_with_order(std::move(factors), order);
+  kernels::ScaledFactor out =
+      kernels::eliminate_scaled(std::move(views), order, arena);
+  arena.reset();
+  return out;
 }
 
 std::shared_ptr<const JunctionTree> InferenceEngine::calibrated_tree_for(
@@ -266,11 +272,12 @@ std::shared_ptr<const JunctionTree> InferenceEngine::calibrated_tree_for(
 
 prob::Categorical InferenceEngine::query_ve(VariableId query,
                                             const Evidence& evidence) const {
-  Factor f = eliminate_all_but({query}, evidence);
+  const kernels::ScaledFactor sf = eliminate_all_but({query}, evidence);
+  if (sf.impossible())
+    throw std::domain_error(impossible_evidence_message(net_, evidence));
+  const Factor& f = sf.factor;
   if (f.scope().size() != 1 || f.scope()[0] != query)
     throw std::logic_error("InferenceEngine: unexpected result scope");
-  if (!(f.total() > 0.0))
-    throw std::domain_error(impossible_evidence_message(net_, evidence));
   return prob::Categorical::normalized(f.values());
 }
 
@@ -278,7 +285,14 @@ prob::Categorical InferenceEngine::query(VariableId query,
                                          const Evidence& evidence) const {
   auto& metrics = EngineMetrics::instance();
   const obs::Span span("bayesnet.engine.query");
-  const obs::HistogramTimer timer(metrics.query_seconds);
+  // Latency is sampled 1-in-8: a kernel-backed query runs in
+  // single-digit microseconds, so timing every one (two clock reads +
+  // an observe) would alone breach the documented 2% obs budget. The
+  // `queries` counter stays exact; only the histogram is sampled.
+  static std::atomic<std::uint64_t> sample_seq{0};
+  std::optional<obs::HistogramTimer> timer;
+  if ((sample_seq.fetch_add(1, std::memory_order_relaxed) & 7u) == 0)
+    timer.emplace(metrics.query_seconds);
   metrics.queries.inc();
   if (query >= net_.size())
     throw std::out_of_range("InferenceEngine::query: variable id");
@@ -311,15 +325,19 @@ std::vector<prob::Categorical> InferenceEngine::all_marginals(
 double InferenceEngine::evidence_probability(const Evidence& evidence) const {
   if (options_.backend == Backend::kJunctionTree)
     return calibrated_tree_for(evidence)->evidence_probability();
-  return eliminate_all_but({}, evidence).total();
+  const kernels::ScaledFactor sf = eliminate_all_but({}, evidence);
+  // exp(log_scale) is exactly 1 unless a rescale fired, so the common
+  // case returns the unscaled total bit for bit.
+  return sf.factor.total() * std::exp(sf.log_scale);
 }
 
 double InferenceEngine::log_evidence_probability(
     const Evidence& evidence) const {
   if (options_.backend != Backend::kVariableElimination)
     return calibrated_tree_for(evidence)->log_evidence_probability();
-  const double p = eliminate_all_but({}, evidence).total();
-  return p > 0.0 ? std::log(p) : -std::numeric_limits<double>::infinity();
+  // The scaled path keeps log P(e) finite even when the linear value
+  // underflows a double (deep evidence chains).
+  return eliminate_all_but({}, evidence).log_total();
 }
 
 prob::JointTable InferenceEngine::joint(VariableId a, VariableId b,
@@ -328,10 +346,10 @@ prob::JointTable InferenceEngine::joint(VariableId a, VariableId b,
   if (evidence.contains(a) || evidence.contains(b))
     throw std::invalid_argument(
         "InferenceEngine::joint: query variable in evidence");
-  Factor f = eliminate_all_but({a, b}, evidence);
-  if (!(f.total() > 0.0))
+  const kernels::ScaledFactor sf = eliminate_all_but({a, b}, evidence);
+  if (sf.impossible())
     throw std::domain_error(impossible_evidence_message(net_, evidence));
-  f = f.normalized();
+  const Factor f = sf.factor.normalized();
   const std::size_t ca = net_.variable(a).cardinality();
   const std::size_t cb = net_.variable(b).cardinality();
   const bool a_first = a < b;

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "bayesnet/junction_tree.hpp"
+#include "bayesnet/kernels.hpp"
 #include "bayesnet/network.hpp"
 #include "bayesnet/ordering.hpp"
 #include "prob/discrete.hpp"
@@ -183,8 +184,13 @@ class InferenceEngine {
 
   [[nodiscard]] std::shared_ptr<const EliminationOrdering> ordering_for(
       const Evidence& evidence) const;
-  [[nodiscard]] Factor eliminate_all_but(const std::vector<VariableId>& keep,
-                                         const Evidence& evidence) const;
+  /// Scaled elimination over views of the cached CPT factors (no
+  /// per-query deep copies); evidence reductions and all intermediates
+  /// live in the per-thread scratch arena. The log normalizer lets the
+  /// impossible-evidence checks distinguish genuine zero mass from
+  /// deep-chain underflow.
+  [[nodiscard]] kernels::ScaledFactor eliminate_all_but(
+      const std::vector<VariableId>& keep, const Evidence& evidence) const;
   /// The calibrated tree for `evidence`, built on a miss and memoized.
   [[nodiscard]] std::shared_ptr<const JunctionTree> calibrated_tree_for(
       const Evidence& evidence) const;

@@ -1,10 +1,9 @@
 #include "bayesnet/factor.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <numeric>
 #include <stdexcept>
 
+#include "bayesnet/kernels.hpp"
 #include "core/contracts.hpp"
 
 namespace sysuq::bayesnet {
@@ -18,11 +17,8 @@ Factor::Factor(std::vector<VariableId> scope, std::vector<std::size_t> cards,
     SYSUQ_EXPECT(scope_[i - 1] < scope_[i],
                  "Factor: scope must be strictly increasing");
   }
-  std::size_t expect = 1;
-  for (std::size_t c : cards_) {
-    SYSUQ_EXPECT(c != 0, "Factor: zero cardinality");
-    expect *= c;
-  }
+  const std::size_t expect = kernels::checked_table_size(
+      cards_.data(), cards_.size(), "Factor: table size overflows size_t");
   SYSUQ_EXPECT(values_.size() == expect, "Factor: value count mismatch");
   SYSUQ_EXPECT(contracts::is_finite_nonneg(values_),
                "Factor: values must be finite and >= 0");
@@ -51,9 +47,13 @@ double Factor::at(const std::vector<std::size_t>& states) const {
 }
 
 Factor Factor::product(const Factor& other) const {
-  // Merge scopes (both sorted).
+  // Merge scopes (both sorted). Kept here rather than delegated to
+  // kernels::merge_scopes so the documented std::invalid_argument on a
+  // cardinality mismatch holds even with contracts compiled out.
   std::vector<VariableId> merged;
   std::vector<std::size_t> merged_cards;
+  merged.reserve(scope_.size() + other.scope_.size());
+  merged_cards.reserve(merged.capacity());
   {
     std::size_t i = 0, j = 0;
     while (i < scope_.size() || j < other.scope_.size()) {
@@ -77,37 +77,13 @@ Factor Factor::product(const Factor& other) const {
     }
   }
 
-  // Map merged positions back into each operand's scope.
-  std::vector<std::size_t> map_a(merged.size(), SIZE_MAX),
-      map_b(merged.size(), SIZE_MAX);
-  for (std::size_t k = 0; k < merged.size(); ++k) {
-    const auto ia = std::lower_bound(scope_.begin(), scope_.end(), merged[k]);
-    if (ia != scope_.end() && *ia == merged[k])
-      map_a[k] = static_cast<std::size_t>(ia - scope_.begin());
-    const auto ib =
-        std::lower_bound(other.scope_.begin(), other.scope_.end(), merged[k]);
-    if (ib != other.scope_.end() && *ib == merged[k])
-      map_b[k] = static_cast<std::size_t>(ib - other.scope_.begin());
-  }
-
-  std::size_t total_size = 1;
-  for (std::size_t c : merged_cards) total_size *= c;
-
+  const std::size_t total_size = kernels::checked_table_size(
+      merged_cards.data(), merged_cards.size(),
+      "Factor::product: table size overflows size_t");
   std::vector<double> out(total_size);
-  std::vector<std::size_t> assign(merged.size(), 0);
-  std::vector<std::size_t> sa(scope_.size(), 0), sb(other.scope_.size(), 0);
-  for (std::size_t flat = 0; flat < total_size; ++flat) {
-    for (std::size_t k = 0; k < merged.size(); ++k) {
-      if (map_a[k] != SIZE_MAX) sa[map_a[k]] = assign[k];
-      if (map_b[k] != SIZE_MAX) sb[map_b[k]] = assign[k];
-    }
-    out[flat] = at(sa) * other.at(sb);
-    // Increment mixed-radix counter (last variable fastest).
-    for (std::size_t k = merged.size(); k-- > 0;) {
-      if (++assign[k] < merged_cards[k]) break;
-      assign[k] = 0;
-    }
-  }
+  kernels::product_into(kernels::view_of(*this), kernels::view_of(other),
+                        merged.data(), merged_cards.data(), merged.size(),
+                        out.data());
   return Factor(std::move(merged), std::move(merged_cards), std::move(out));
 }
 
@@ -124,23 +100,8 @@ Factor Factor::marginalize(VariableId v) const {
     new_scope.push_back(scope_[i]);
     new_cards.push_back(cards_[i]);
   }
-  std::size_t new_size = 1;
-  for (std::size_t c : new_cards) new_size *= c;
-  std::vector<double> out(new_size, 0.0);
-
-  std::vector<std::size_t> assign(scope_.size(), 0);
-  for (std::size_t flat = 0; flat < values_.size(); ++flat) {
-    std::size_t nidx = 0;
-    for (std::size_t i = 0; i < scope_.size(); ++i) {
-      if (i == pos) continue;
-      nidx = nidx * cards_[i] + assign[i];
-    }
-    out[nidx] += values_[flat];
-    for (std::size_t k = scope_.size(); k-- > 0;) {
-      if (++assign[k] < cards_[k]) break;
-      assign[k] = 0;
-    }
-  }
+  std::vector<double> out(values_.size() / cards_[pos]);
+  kernels::marginalize_into(kernels::view_of(*this), pos, out.data());
   return Factor(std::move(new_scope), std::move(new_cards), std::move(out));
 }
 
@@ -159,25 +120,8 @@ Factor Factor::reduce(VariableId v, std::size_t state) const {
     new_scope.push_back(scope_[i]);
     new_cards.push_back(cards_[i]);
   }
-  std::size_t new_size = 1;
-  for (std::size_t c : new_cards) new_size *= c;
-  std::vector<double> out(new_size, 0.0);
-
-  std::vector<std::size_t> assign(scope_.size(), 0);
-  for (std::size_t flat = 0; flat < values_.size(); ++flat) {
-    if (assign[pos] == state) {
-      std::size_t nidx = 0;
-      for (std::size_t i = 0; i < scope_.size(); ++i) {
-        if (i == pos) continue;
-        nidx = nidx * cards_[i] + assign[i];
-      }
-      out[nidx] = values_[flat];
-    }
-    for (std::size_t k = scope_.size(); k-- > 0;) {
-      if (++assign[k] < cards_[k]) break;
-      assign[k] = 0;
-    }
-  }
+  std::vector<double> out(values_.size() / cards_[pos]);
+  kernels::reduce_into(kernels::view_of(*this), pos, state, out.data());
   return Factor(std::move(new_scope), std::move(new_cards), std::move(out));
 }
 
@@ -191,7 +135,7 @@ Factor Factor::normalized() const {
 }
 
 double Factor::total() const {
-  return std::accumulate(values_.begin(), values_.end(), 0.0);
+  return kernels::total(values_.data(), values_.size());
 }
 
 }  // namespace sysuq::bayesnet

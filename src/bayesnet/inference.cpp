@@ -74,17 +74,26 @@ VariableElimination::VariableElimination(const BayesianNetwork& net) : net_(net)
   net_.validate();
 }
 
-Factor VariableElimination::eliminate_all_but(
+kernels::ScaledFactor VariableElimination::eliminate_all_but(
     const std::vector<VariableId>& keep, const Evidence& evidence) const {
-  // Collect CPT factors, reduced by evidence.
-  std::vector<Factor> factors;
-  factors.reserve(net_.size());
+  // Collect CPT factors; evidence-bearing ones are reduced into the
+  // per-thread arena, the rest are viewed in place. Only the final
+  // result is materialized (by eliminate_scaled), so the arena can be
+  // reset before returning.
+  Arena& arena = kernels::thread_scratch();
+  arena.reset();
+  std::vector<Factor> owned;
+  owned.reserve(net_.size());
+  std::vector<kernels::View> views;
+  views.reserve(net_.size());
   for (VariableId v = 0; v < net_.size(); ++v) {
-    Factor f = net_.cpt_factor(v);
+    owned.push_back(net_.cpt_factor(v));
+    kernels::View view = kernels::view_of(owned.back());
     for (const auto& [ev, state] : evidence) {
-      if (f.contains(ev)) f = f.reduce(ev, state);
+      if (view.contains(ev))
+        view = kernels::reduce(view, ev, state, arena).view();
     }
-    factors.push_back(std::move(f));
+    views.push_back(view);
   }
 
   std::vector<VariableId> evidence_keys;
@@ -93,7 +102,10 @@ Factor VariableElimination::eliminate_all_but(
 
   const EliminationOrdering ordering =
       compute_elimination_order(net_, keep, evidence_keys);
-  return eliminate_with_order(std::move(factors), ordering.order);
+  kernels::ScaledFactor out =
+      kernels::eliminate_scaled(std::move(views), ordering.order, arena);
+  arena.reset();
+  return out;
 }
 
 prob::Categorical VariableElimination::query(VariableId query,
@@ -107,17 +119,22 @@ prob::Categorical VariableElimination::query(VariableId query,
     return prob::Categorical::delta(evidence.at(query),
                                     net_.variable(query).cardinality());
   }
-  const Factor f = eliminate_all_but({query}, evidence);
+  const kernels::ScaledFactor sf = eliminate_all_but({query}, evidence);
+  if (sf.impossible())
+    throw std::domain_error(impossible_evidence_message(net_, evidence));
+  const Factor& f = sf.factor;
   if (f.scope().size() != 1 || f.scope()[0] != query)
     throw std::logic_error("VariableElimination: unexpected result scope");
-  if (!(f.total() > 0.0))
-    throw std::domain_error(impossible_evidence_message(net_, evidence));
   return prob::Categorical(f.normalized().values());
 }
 
 double VariableElimination::evidence_probability(const Evidence& evidence) const {
-  const Factor f = eliminate_all_but({}, evidence);
-  return f.total();
+  const kernels::ScaledFactor sf = eliminate_all_but({}, evidence);
+  // exp(log_scale) is exactly 1 unless a rescale fired, so ordinary
+  // queries return the unscaled total bit for bit; rescaled runs may
+  // still underflow the linear return value (a double cannot represent
+  // P(e) ~ 1e-800), but no longer report a hard zero as impossible.
+  return sf.factor.total() * std::exp(sf.log_scale);
 }
 
 prob::JointTable VariableElimination::joint(VariableId a, VariableId b,
@@ -126,10 +143,10 @@ prob::JointTable VariableElimination::joint(VariableId a, VariableId b,
   if (evidence.contains(a) || evidence.contains(b))
     throw std::invalid_argument(
         "VariableElimination::joint: query variable in evidence");
-  Factor f = eliminate_all_but({a, b}, evidence);
-  if (!(f.total() > 0.0))
+  const kernels::ScaledFactor sf = eliminate_all_but({a, b}, evidence);
+  if (sf.impossible())
     throw std::domain_error(impossible_evidence_message(net_, evidence));
-  f = f.normalized();
+  const Factor f = sf.factor.normalized();
   const std::size_t ca = net_.variable(a).cardinality();
   const std::size_t cb = net_.variable(b).cardinality();
   // Factor scope is sorted; map into (a-rows, b-cols).
@@ -198,15 +215,26 @@ prob::Categorical enumerate_posterior(const BayesianNetwork& net,
 
 double enumerate_evidence_probability(const BayesianNetwork& net,
                                       const Evidence& evidence) {
+  // Neumaier compensated summation: the correction term recovers the
+  // low-order bits a naive left fold sheds over prod(cardinalities)
+  // terms, so the postcondition can use the degeneracy guard kTiny
+  // instead of the kProbSum slack PR 5 had to grant the naive sum.
   double total = 0.0;
+  double comp = 0.0;
   for_each_joint(net, [&](const std::vector<std::size_t>& state, double p) {
-    if (consistent(state, evidence)) total += p;
+    if (!consistent(state, evidence)) return;
+    const double t = total + p;
+    if (std::abs(total) >= std::abs(p)) {
+      comp += (total - t) + p;
+    } else {
+      comp += (p - t) + total;
+    }
+    total = t;
   });
-  // Summing up to prod(cardinalities) joint terms accumulates rounding,
-  // so the result may land a few ulp outside [0, 1]; tolerate kProbSum.
+  total += comp;
   SYSUQ_ENSURE(std::isfinite(total) &&
-                   total >= -tolerance::kProbSum &&
-                   total <= 1.0 + tolerance::kProbSum,
+                   total >= -tolerance::kTiny &&
+                   total <= 1.0 + tolerance::kTiny,
                "enumerate_evidence_probability: result outside [0, 1]");
   return total;
 }

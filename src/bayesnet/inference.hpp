@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "bayesnet/kernels.hpp"
 #include "bayesnet/network.hpp"
 #include "prob/discrete.hpp"
 #include "prob/information.hpp"
@@ -59,8 +60,11 @@ class VariableElimination {
  private:
   const BayesianNetwork& net_;
 
-  [[nodiscard]] Factor eliminate_all_but(const std::vector<VariableId>& keep,
-                                         const Evidence& evidence) const;
+  /// Scaled elimination of everything but `keep`: the returned factor
+  /// carries a log normalizer so deep-evidence chains cannot underflow
+  /// the linear total to exact zero (see kernels::eliminate_scaled).
+  [[nodiscard]] kernels::ScaledFactor eliminate_all_but(
+      const std::vector<VariableId>& keep, const Evidence& evidence) const;
 };
 
 /// Exact posterior by full joint enumeration — O(prod of cardinalities).

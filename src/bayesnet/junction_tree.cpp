@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "bayesnet/inference.hpp"
+#include "bayesnet/kernels.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -38,20 +39,18 @@ struct JtMetrics {
 
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
-// Sums out every scope variable not in `keep` (keep is sorted).
-Factor marginalize_to(Factor f, const std::vector<VariableId>& keep) {
-  std::vector<VariableId> drop;
-  for (VariableId v : f.scope()) {
-    if (!std::binary_search(keep.begin(), keep.end(), v)) drop.push_back(v);
+// Sums out every scope variable not in `keep` (keep is sorted) in one
+// strided pass; the result's scope is scope ∩ keep.
+kernels::Table marginalize_to(const kernels::View& f,
+                              const std::vector<VariableId>& keep,
+                              Arena& arena) {
+  VariableId kept[kernels::kMaxRank];
+  std::size_t nkept = 0;
+  for (std::size_t i = 0; i < f.rank; ++i) {
+    if (std::binary_search(keep.begin(), keep.end(), f.scope[i]))
+      kept[nkept++] = f.scope[i];
   }
-  for (VariableId v : drop) f = f.marginalize(v);
-  return f;
-}
-
-Factor scaled(const Factor& f, double factor) {
-  std::vector<double> values = f.values();
-  for (double& x : values) x *= factor;
-  return Factor(f.scope(), f.cardinalities(), std::move(values));
+  return kernels::marginalize_keep(f, kept, nkept, arena);
 }
 
 std::size_t intersection_size(const std::vector<VariableId>& a,
@@ -192,50 +191,63 @@ void JunctionTree::calibrate(OrderingHeuristic heuristic) {
     sep[i] = intersection(cliques_[i], cliques_[parent[i]]);
   }
 
+  // Potentials, messages, and beliefs are strided arena tables; only
+  // the per-variable marginals are materialized at the end. One arena
+  // frame spans the whole calibration (beliefs reference the messages).
+  Arena& arena = kernels::thread_scratch();
+  arena.reset();
+
   // 4: evidence absorption — every CPT factor, reduced by the evidence,
   // lands in the first clique covering its reduced scope (one exists:
   // each reduced family is a clique of the evidence-deleted moral graph).
-  std::vector<Factor> potential(m, Factor::unit());
+  std::vector<Factor> owned;
+  owned.reserve(n);
+  std::vector<kernels::View> potential(m, kernels::unit_view());
   for (VariableId v = 0; v < n; ++v) {
-    Factor f = net_.cpt_factor(v);
+    owned.push_back(net_.cpt_factor(v));
+    kernels::View f = kernels::view_of(owned.back());
     for (const auto& [ev, state] : evidence_) {
-      if (f.contains(ev)) f = f.reduce(ev, state);
+      if (f.contains(ev)) f = kernels::reduce(f, ev, state, arena).view();
     }
     std::size_t home = kNone;
     for (std::size_t c = 0; c < m && home == kNone; ++c) {
-      if (std::includes(cliques_[c].begin(), cliques_[c].end(),
-                        f.scope().begin(), f.scope().end())) {
+      if (std::includes(cliques_[c].begin(), cliques_[c].end(), f.scope,
+                        f.scope + f.rank)) {
         home = c;
       }
     }
     if (home == kNone)
       throw std::logic_error("JunctionTree: factor scope not covered");
-    potential[home] = potential[home].product(f);
+    potential[home] = kernels::product(potential[home], f, arena).view();
   }
 
   // 5a: collect — leaves toward the root (reverse insertion order).
   // Each message is normalized as it flows and its log-normalizer
   // accumulated, so P(e) never underflows; an all-zero message means the
   // evidence is impossible (zeros only propagate outward).
-  std::vector<Factor> up(m, Factor::unit());
+  std::vector<kernels::View> up(m, kernels::unit_view());
   const auto give_up = [&] {
     impossible_ = true;
     log_evidence_ = -std::numeric_limits<double>::infinity();
+    kernels::thread_scratch().reset();
   };
   for (std::size_t idx = m; idx-- > 1;) {
     const std::size_t i = order[idx];
-    Factor b = potential[i];
-    for (const std::size_t c : children[i]) b = b.product(up[c]);
-    Factor msg = marginalize_to(std::move(b), sep[i]);
-    const double t = msg.total();
+    kernels::View b = potential[i];
+    for (const std::size_t c : children[i])
+      b = kernels::product(b, up[c], arena).view();
+    kernels::Table msg = marginalize_to(b, sep[i], arena);
+    const double t = kernels::total(msg.values, msg.size);
     if (!(t > 0.0)) return give_up();
     log_evidence_ += std::log(t);
-    up[i] = scaled(msg, 1.0 / t);
+    kernels::scale(msg.values, msg.size, 1.0 / t);
+    up[i] = msg.view();
   }
   {
-    Factor root = potential[order[0]];
-    for (const std::size_t c : children[order[0]]) root = root.product(up[c]);
-    const double t = root.total();
+    kernels::View root = potential[order[0]];
+    for (const std::size_t c : children[order[0]])
+      root = kernels::product(root, up[c], arena).view();
+    const double t = kernels::total(root.values, root.size);
     if (!(t > 0.0)) return give_up();
     log_evidence_ += std::log(t);
   }
@@ -243,30 +255,33 @@ void JunctionTree::calibrate(OrderingHeuristic heuristic) {
   // 5b: distribute — root toward the leaves (insertion order). Messages
   // are normalized for stability only; per-variable marginals are
   // normalized at extraction, so the constants cancel.
-  std::vector<Factor> down(m, Factor::unit());
+  std::vector<kernels::View> down(m, kernels::unit_view());
   for (const std::size_t i : order) {
     if (children[i].empty()) continue;
-    const Factor base = potential[i].product(down[i]);
+    const kernels::View base =
+        kernels::product(potential[i], down[i], arena).view();
     for (const std::size_t c : children[i]) {
-      Factor b = base;
+      kernels::View b = base;
       for (const std::size_t c2 : children[i]) {
-        if (c2 != c) b = b.product(up[c2]);
+        if (c2 != c) b = kernels::product(b, up[c2], arena).view();
       }
-      Factor msg = marginalize_to(std::move(b), sep[c]);
-      const double t = msg.total();
+      kernels::Table msg = marginalize_to(b, sep[c], arena);
+      const double t = kernels::total(msg.values, msg.size);
       if (!(t > 0.0)) return give_up();  // unreachable when P(e) > 0
-      down[c] = scaled(msg, 1.0 / t);
+      kernels::scale(msg.values, msg.size, 1.0 / t);
+      down[c] = msg.view();
     }
   }
 
   // 6: calibrated beliefs and eager marginal extraction. Each variable
   // reads off the first clique containing it.
-  std::vector<Factor> belief;
+  std::vector<kernels::View> belief;
   belief.reserve(m);
   for (std::size_t i = 0; i < m; ++i) {
-    Factor b = potential[i].product(down[i]);
-    for (const std::size_t c : children[i]) b = b.product(up[c]);
-    belief.push_back(std::move(b));
+    kernels::View b = kernels::product(potential[i], down[i], arena).view();
+    for (const std::size_t c : children[i])
+      b = kernels::product(b, up[c], arena).view();
+    belief.push_back(b);
   }
   std::vector<std::size_t> home(n, kNone);
   for (std::size_t c = 0; c < m; ++c) {
@@ -283,9 +298,11 @@ void JunctionTree::calibrate(OrderingHeuristic heuristic) {
     }
     if (home[v] == kNone)
       throw std::logic_error("JunctionTree: variable in no clique");
-    const Factor f = marginalize_to(belief[home[v]], {v});
-    marginals_.push_back(prob::Categorical::normalized(f.values()));
+    const kernels::Table f = marginalize_to(belief[home[v]], {v}, arena);
+    marginals_.push_back(prob::Categorical::normalized(
+        std::vector<double>(f.values, f.values + f.size)));
   }
+  arena.reset();
 }
 
 void JunctionTree::throw_impossible() const {

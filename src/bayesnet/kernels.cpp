@@ -1,0 +1,584 @@
+#include "bayesnet/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "core/contracts.hpp"
+#include "core/tolerance.hpp"
+
+namespace sysuq::bayesnet::kernels {
+
+namespace {
+
+constexpr double kUnitValue[1] = {1.0};
+
+// Row-major strides of a table (last dimension fastest → stride 1).
+void own_strides(const std::size_t* cards, std::size_t rank,
+                 std::size_t* strides) noexcept {
+  std::size_t acc = 1;
+  for (std::size_t i = rank; i-- > 0;) {
+    strides[i] = acc;
+    acc *= cards[i];
+  }
+}
+
+// Maps each merged dimension onto the operand's stride (0 when the
+// operand does not contain the variable). Returns the number of operand
+// dimensions matched, which must equal the operand's rank.
+std::size_t map_strides(const View& op, const VariableId* scope,
+                        std::size_t rank, const std::size_t* op_strides,
+                        std::size_t* out) noexcept {
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < rank; ++k) {
+    if (pos < op.rank && op.scope[pos] == scope[k]) {
+      out[k] = op_strides[pos];
+      ++pos;
+    } else {
+      out[k] = 0;
+    }
+  }
+  return pos;
+}
+
+// Shared skeleton of the linear and log-space products. Because scopes
+// are sorted, the merged inner (fastest) dimension has stride 1 in each
+// operand that contains it and 0 otherwise, so every inner loop is a
+// contiguous combine or a broadcast.
+template <typename Op>
+void combine_into(const View& a, const View& b, const VariableId* scope,
+                  const std::size_t* cards, std::size_t rank, double* out,
+                  Op op, const char* what) {
+  SYSUQ_EXPECT(rank <= kMaxRank, "factor kernels: rank exceeds kMaxRank");
+  if (rank == 0) {
+    out[0] = op(a.values[0], b.values[0]);
+    return;
+  }
+  std::size_t oa[kMaxRank], ob[kMaxRank];
+  own_strides(a.cards, a.rank, oa);
+  own_strides(b.cards, b.rank, ob);
+  std::size_t sa[kMaxRank], sb[kMaxRank];
+  SYSUQ_EXPECT(map_strides(a, scope, rank, oa, sa) == a.rank, what);
+  SYSUQ_EXPECT(map_strides(b, scope, rank, ob, sb) == b.rank, what);
+
+  const std::size_t total_cells = checked_table_size(cards, rank, what);
+  const std::size_t inner = rank - 1;
+  const std::size_t cin = cards[inner];
+  const bool a_in = sa[inner] != 0;  // stride is 1 when present (sorted)
+  const bool b_in = sb[inner] != 0;
+  SYSUQ_EXPECT(a_in || b_in, what);
+
+  std::size_t idx[kMaxRank];
+  std::fill(idx, idx + rank, std::size_t{0});
+  const double* av = a.values;
+  const double* bv = b.values;
+  std::size_t ia = 0, ib = 0;
+  const std::size_t blocks = total_cells / cin;
+  for (std::size_t blk = 0;;) {
+    const double* pa = av + ia;
+    const double* pb = bv + ib;
+    if (a_in && b_in) {
+      for (std::size_t j = 0; j < cin; ++j) out[j] = op(pa[j], pb[j]);
+    } else if (a_in) {
+      const double vb = *pb;
+      for (std::size_t j = 0; j < cin; ++j) out[j] = op(pa[j], vb);
+    } else {
+      const double va = *pa;
+      for (std::size_t j = 0; j < cin; ++j) out[j] = op(va, pb[j]);
+    }
+    out += cin;
+    if (++blk == blocks) break;
+    for (std::size_t k = inner; k-- > 0;) {
+      ia += sa[k];
+      ib += sb[k];
+      if (++idx[k] < cards[k]) break;
+      ia -= sa[k] * cards[k];
+      ib -= sb[k] * cards[k];
+      idx[k] = 0;
+    }
+  }
+}
+
+Factor materialize(const View& v) {
+  return Factor(std::vector<VariableId>(v.scope, v.scope + v.rank),
+                std::vector<std::size_t>(v.cards, v.cards + v.rank),
+                std::vector<double>(v.values, v.values + v.size));
+}
+
+// Sums `v` out of `acc` (which must contain it) into a fresh arena
+// table over the remaining scope.
+Table marginalize_out_one(const View& acc, VariableId v, Arena& arena) {
+  VariableId keep[kMaxRank];
+  std::size_t nkeep = 0;
+  for (std::size_t i = 0; i < acc.rank; ++i) {
+    if (acc.scope[i] != v) keep[nkeep++] = acc.scope[i];
+  }
+  SYSUQ_EXPECT(nkeep + 1 == acc.rank,
+               "factor kernels: eliminated variable not in scope");
+  return marginalize_keep(acc, keep, nkeep, arena);
+}
+
+struct ElimOutcome {
+  View result;
+  double log_scale = 0.0;
+  bool impossible = false;
+};
+
+// Core elimination loop shared by the scaled and legacy paths. With
+// `rescale`, every fresh intermediate whose total leaves
+// [kRescaleFloor, 1/kRescaleFloor] is renormalized and the log of the
+// factored-out total accumulated; an exactly-zero intermediate short-
+// circuits as impossible (zeros only propagate outward in a product of
+// non-negative factors).
+ElimOutcome eliminate_core(std::vector<View>& live,
+                           const std::vector<VariableId>& order, Arena& arena,
+                           bool rescale) {
+  ElimOutcome out;
+  const auto rescale_table = [&](Table& t) -> bool {
+    const double mass = total(t.values, t.size);
+    if (!(mass > 0.0)) return false;
+    if (mass < tolerance::kRescaleFloor || mass > 1.0 / tolerance::kRescaleFloor) {
+      scale(t.values, t.size, 1.0 / mass);
+      out.log_scale += std::log(mass);
+    }
+    return true;
+  };
+
+  for (const VariableId v : order) {
+    View acc;
+    bool have = false;
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (live[i].contains(v)) {
+        if (!have) {
+          acc = live[i];
+          have = true;
+        } else {
+          acc = product(acc, live[i], arena).view();
+        }
+      } else {
+        live[w++] = live[i];
+      }
+    }
+    if (!have) continue;  // variable absent from every live factor
+    live.resize(w);
+    Table m = marginalize_out_one(acc, v, arena);
+    if (rescale && !rescale_table(m)) {
+      out.impossible = true;
+      return out;
+    }
+    live.push_back(m.view());
+  }
+
+  if (live.empty()) {
+    out.result = unit_view();
+    return out;
+  }
+  View acc = live.front();
+  for (std::size_t i = 1; i < live.size(); ++i) {
+    Table t = product(acc, live[i], arena);
+    if (rescale && !rescale_table(t)) {
+      out.impossible = true;
+      return out;
+    }
+    acc = t.view();
+  }
+  out.result = acc;
+  return out;
+}
+
+}  // namespace
+
+bool mul_overflows(std::size_t a, std::size_t b) noexcept {
+  return b != 0 && a > SIZE_MAX / b;
+}
+
+std::size_t checked_table_size(const std::size_t* cards, std::size_t rank,
+                               const char* what) {
+  std::size_t size = 1;
+  for (std::size_t i = 0; i < rank; ++i) {
+    SYSUQ_EXPECT(cards[i] != 0, what);
+    SYSUQ_EXPECT(!mul_overflows(size, cards[i]), what);
+    size *= cards[i];
+  }
+  return size;
+}
+
+bool View::contains(VariableId v) const noexcept {
+  return std::binary_search(scope, scope + rank, v);
+}
+
+View view_of(const Factor& f) {
+  return View{f.scope().data(), f.cardinalities().data(), f.values().data(),
+              f.scope().size(), f.values().size()};
+}
+
+View unit_view() noexcept { return View{nullptr, nullptr, kUnitValue, 0, 1}; }
+
+Table make_table(const VariableId* scope, const std::size_t* cards,
+                 std::size_t rank, Arena& arena) {
+  SYSUQ_EXPECT(rank <= kMaxRank, "kernels::make_table: rank exceeds kMaxRank");
+  Table t;
+  t.rank = rank;
+  t.size = checked_table_size(cards, rank, "kernels::make_table: table size");
+  t.scope = arena.alloc<VariableId>(rank);
+  t.cards = arena.alloc<std::size_t>(rank);
+  t.values = arena.alloc<double>(t.size);
+  std::copy(scope, scope + rank, t.scope);
+  std::copy(cards, cards + rank, t.cards);
+  return t;
+}
+
+std::size_t merge_scopes(const View& a, const View& b, VariableId* scope,
+                         std::size_t* cards) {
+  std::size_t i = 0, j = 0, k = 0;
+  while (i < a.rank || j < b.rank) {
+    if (j == b.rank || (i < a.rank && a.scope[i] < b.scope[j])) {
+      scope[k] = a.scope[i];
+      cards[k] = a.cards[i];
+      ++i;
+    } else if (i == a.rank || b.scope[j] < a.scope[i]) {
+      scope[k] = b.scope[j];
+      cards[k] = b.cards[j];
+      ++j;
+    } else {
+      SYSUQ_EXPECT(a.cards[i] == b.cards[j],
+                   "kernels::merge_scopes: cardinality mismatch on shared "
+                   "variable");
+      scope[k] = a.scope[i];
+      cards[k] = a.cards[i];
+      ++i;
+      ++j;
+    }
+    ++k;
+  }
+  return k;
+}
+
+void product_into(const View& a, const View& b, const VariableId* scope,
+                  const std::size_t* cards, std::size_t rank, double* out) {
+  SYSUQ_EXPECT(a.rank <= rank && b.rank <= rank,
+               "kernels::product_into: operand rank exceeds merged rank");
+  combine_into(
+      a, b, scope, cards, rank, out,
+      [](double x, double y) { return x * y; },
+      "kernels::product_into: operand scopes must be subsets of the merged "
+      "scope");
+}
+
+Table product(const View& a, const View& b, Arena& arena) {
+  SYSUQ_EXPECT(a.rank + b.rank <= 2 * kMaxRank,
+               "kernels::product: combined rank exceeds kMaxRank");
+  VariableId scope[2 * kMaxRank];
+  std::size_t cards[2 * kMaxRank];
+  const std::size_t rank = merge_scopes(a, b, scope, cards);
+  SYSUQ_EXPECT(rank <= kMaxRank, "kernels::product: merged rank exceeds kMaxRank");
+  Table t = make_table(scope, cards, rank, arena);
+  product_into(a, b, t.scope, t.cards, rank, t.values);
+  return t;
+}
+
+void marginalize_into(const View& f, std::size_t drop_pos, double* out) {
+  SYSUQ_EXPECT(drop_pos < f.rank, "kernels::marginalize_into: position");
+  VariableId keep[kMaxRank];
+  std::size_t nkeep = 0;
+  for (std::size_t i = 0; i < f.rank; ++i) {
+    if (i != drop_pos) keep[nkeep++] = f.scope[i];
+  }
+  marginalize_keep_into(f, keep, nkeep, out);
+}
+
+void marginalize_keep_into(const View& f, const VariableId* keep,
+                           std::size_t nkeep, double* out) {
+  SYSUQ_EXPECT(f.rank <= kMaxRank,
+               "kernels::marginalize_keep_into: rank exceeds kMaxRank");
+  // Kept flags + per-input-dimension output strides (0 for summed-out
+  // dimensions), validated once: `keep` must be a sorted subset of the
+  // scope.
+  bool kept[kMaxRank];
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < f.rank; ++i) {
+    if (pos < nkeep && f.scope[i] == keep[pos]) {
+      kept[i] = true;
+      ++pos;
+    } else {
+      kept[i] = false;
+    }
+  }
+  SYSUQ_EXPECT(pos == nkeep,
+               "kernels::marginalize_keep_into: keep must be a sorted subset "
+               "of the scope");
+  std::size_t out_stride[kMaxRank];
+  std::size_t out_size = 1;
+  for (std::size_t i = f.rank; i-- > 0;) {
+    if (kept[i]) {
+      out_stride[i] = out_size;
+      out_size *= f.cards[i];
+    } else {
+      out_stride[i] = 0;
+    }
+  }
+  std::fill(out, out + out_size, 0.0);
+  if (f.rank == 0) {
+    out[0] = f.values[0];
+    return;
+  }
+
+  const std::size_t inner = f.rank - 1;
+  const std::size_t cin = f.cards[inner];
+  const bool inner_kept = kept[inner];
+  std::size_t idx[kMaxRank];
+  std::fill(idx, idx + f.rank, std::size_t{0});
+  const double* v = f.values;
+  std::size_t o = 0;
+  const std::size_t blocks = f.size / cin;
+  for (std::size_t blk = 0;;) {
+    if (inner_kept) {
+      double* po = out + o;
+      for (std::size_t j = 0; j < cin; ++j) po[j] += v[j];
+    } else {
+      double s = 0.0;
+      for (std::size_t j = 0; j < cin; ++j) s += v[j];
+      out[o] += s;
+    }
+    v += cin;
+    if (++blk == blocks) break;
+    for (std::size_t k = inner; k-- > 0;) {
+      o += out_stride[k];
+      if (++idx[k] < f.cards[k]) break;
+      o -= out_stride[k] * f.cards[k];
+      idx[k] = 0;
+    }
+  }
+}
+
+Table marginalize_keep(const View& f, const VariableId* keep,
+                       std::size_t nkeep, Arena& arena) {
+  std::size_t kcards[kMaxRank];
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < f.rank && pos < nkeep; ++i) {
+    if (f.scope[i] == keep[pos]) kcards[pos++] = f.cards[i];
+  }
+  SYSUQ_EXPECT(pos == nkeep,
+               "kernels::marginalize_keep: keep must be a sorted subset of "
+               "the scope");
+  Table t = make_table(keep, kcards, nkeep, arena);
+  marginalize_keep_into(f, keep, nkeep, t.values);
+  return t;
+}
+
+void reduce_into(const View& f, std::size_t pos, std::size_t state,
+                 double* out) {
+  SYSUQ_EXPECT(pos < f.rank && f.rank <= kMaxRank,
+               "kernels::reduce_into: position out of range");
+  SYSUQ_EXPECT(state < f.cards[pos], "kernels::reduce_into: state out of range");
+  std::size_t strides[kMaxRank];
+  own_strides(f.cards, f.rank, strides);
+  if (f.rank == 1) {
+    out[0] = f.values[state];
+    return;
+  }
+  // Output dimensions are the input dimensions minus `pos`; walk the
+  // output in row-major order while tracking the input index
+  // incrementally through the input strides.
+  std::size_t ocards[kMaxRank], istr[kMaxRank];
+  std::size_t orank = 0;
+  for (std::size_t i = 0; i < f.rank; ++i) {
+    if (i == pos) continue;
+    ocards[orank] = f.cards[i];
+    istr[orank] = strides[i];
+    ++orank;
+  }
+  const std::size_t out_size = f.size / f.cards[pos];
+  const std::size_t inner = orank - 1;
+  const std::size_t cin = ocards[inner];
+  const std::size_t sin = istr[inner];
+  std::size_t idx[kMaxRank];
+  std::fill(idx, idx + orank, std::size_t{0});
+  std::size_t in = state * strides[pos];
+  const double* v = f.values;
+  const std::size_t blocks = out_size / cin;
+  for (std::size_t blk = 0;;) {
+    const double* pv = v + in;
+    if (sin == 1) {
+      for (std::size_t j = 0; j < cin; ++j) out[j] = pv[j];
+    } else {
+      for (std::size_t j = 0; j < cin; ++j) out[j] = pv[j * sin];
+    }
+    out += cin;
+    if (++blk == blocks) break;
+    for (std::size_t k = inner; k-- > 0;) {
+      in += istr[k];
+      if (++idx[k] < ocards[k]) break;
+      in -= istr[k] * ocards[k];
+      idx[k] = 0;
+    }
+  }
+}
+
+Table reduce(const View& f, VariableId v, std::size_t state, Arena& arena) {
+  const VariableId* it = std::lower_bound(f.scope, f.scope + f.rank, v);
+  SYSUQ_EXPECT(it != f.scope + f.rank && *it == v,
+               "kernels::reduce: variable not in scope");
+  const auto pos = static_cast<std::size_t>(it - f.scope);
+  VariableId nscope[kMaxRank];
+  std::size_t ncards[kMaxRank];
+  std::size_t orank = 0;
+  for (std::size_t i = 0; i < f.rank; ++i) {
+    if (i == pos) continue;
+    nscope[orank] = f.scope[i];
+    ncards[orank] = f.cards[i];
+    ++orank;
+  }
+  Table t = make_table(nscope, ncards, orank, arena);
+  reduce_into(f, pos, state, t.values);
+  return t;
+}
+
+double total(const double* values, std::size_t n) noexcept {
+  if (n <= 32) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += values[i];
+    return s;
+  }
+  const std::size_t h = n / 2;
+  return total(values, h) + total(values + h, n - h);
+}
+
+void scale(double* values, std::size_t n, double s) noexcept {
+  for (std::size_t i = 0; i < n; ++i) values[i] *= s;
+}
+
+void to_log(const double* in, std::size_t n, double* out) {
+  SYSUQ_EXPECT(std::all_of(in, in + n, [](double x) { return x >= 0.0; }),
+               "kernels::to_log: values must be non-negative");
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::log(in[i]);
+}
+
+void from_log(const double* in, std::size_t n, double* out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(in[i]);
+}
+
+void log_product_into(const View& a, const View& b, const VariableId* scope,
+                      const std::size_t* cards, std::size_t rank,
+                      double* out) {
+  SYSUQ_EXPECT(a.rank <= rank && b.rank <= rank,
+               "kernels::log_product_into: operand rank exceeds merged rank");
+  combine_into(
+      a, b, scope, cards, rank, out,
+      [](double x, double y) { return x + y; },
+      "kernels::log_product_into: operand scopes must be subsets of the "
+      "merged scope");
+}
+
+void log_marginalize_keep_into(const View& f, const VariableId* keep,
+                               std::size_t nkeep, Arena& arena, double* out) {
+  SYSUQ_EXPECT(f.rank <= kMaxRank,
+               "kernels::log_marginalize_keep_into: rank exceeds kMaxRank");
+  bool kept[kMaxRank];
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < f.rank; ++i) {
+    if (pos < nkeep && f.scope[i] == keep[pos]) {
+      kept[i] = true;
+      ++pos;
+    } else {
+      kept[i] = false;
+    }
+  }
+  SYSUQ_EXPECT(pos == nkeep,
+               "kernels::log_marginalize_keep_into: keep must be a sorted "
+               "subset of the scope");
+  std::size_t out_stride[kMaxRank];
+  std::size_t out_size = 1;
+  for (std::size_t i = f.rank; i-- > 0;) {
+    if (kept[i]) {
+      out_stride[i] = out_size;
+      out_size *= f.cards[i];
+    } else {
+      out_stride[i] = 0;
+    }
+  }
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  if (f.rank == 0) {
+    out[0] = f.values[0];
+    return;
+  }
+  // Max-shifted log-sum-exp per output cell, two passes over the input
+  // with the same incremental output index walk as the linear kernel.
+  double* cell_max = arena.alloc<double>(out_size);
+  double* cell_acc = arena.alloc<double>(out_size);
+  std::fill(cell_max, cell_max + out_size, kNegInf);
+  std::fill(cell_acc, cell_acc + out_size, 0.0);
+
+  const std::size_t inner = f.rank - 1;
+  const std::size_t cin = f.cards[inner];
+  const std::size_t sin_out = kept[inner] ? 1 : 0;
+  const auto sweep = [&](auto&& visit) {
+    std::size_t idx[kMaxRank];
+    std::fill(idx, idx + f.rank, std::size_t{0});
+    const double* v = f.values;
+    std::size_t o = 0;
+    const std::size_t blocks = f.size / cin;
+    for (std::size_t blk = 0;;) {
+      for (std::size_t j = 0; j < cin; ++j) visit(o + j * sin_out, v[j]);
+      v += cin;
+      if (++blk == blocks) break;
+      for (std::size_t k = inner; k-- > 0;) {
+        o += out_stride[k];
+        if (++idx[k] < f.cards[k]) break;
+        o -= out_stride[k] * f.cards[k];
+        idx[k] = 0;
+      }
+    }
+  };
+  sweep([&](std::size_t o, double x) {
+    if (x > cell_max[o]) cell_max[o] = x;
+  });
+  sweep([&](std::size_t o, double x) {
+    if (x > kNegInf) cell_acc[o] += std::exp(x - cell_max[o]);
+  });
+  for (std::size_t o = 0; o < out_size; ++o) {
+    out[o] = cell_acc[o] > 0.0 ? cell_max[o] + std::log(cell_acc[o]) : kNegInf;
+  }
+}
+
+double log_total(const double* values, std::size_t n) noexcept {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  double m = kNegInf;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, values[i]);
+  if (!(m > kNegInf)) return kNegInf;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (values[i] > kNegInf) acc += std::exp(values[i] - m);
+  }
+  return m + std::log(acc);
+}
+
+double ScaledFactor::log_total() const {
+  return log_scale + std::log(factor.total());
+}
+
+ScaledFactor eliminate_scaled(std::vector<View> factors,
+                              const std::vector<VariableId>& order,
+                              Arena& arena) {
+  ElimOutcome outcome = eliminate_core(factors, order, arena, /*rescale=*/true);
+  if (outcome.impossible) {
+    return ScaledFactor{Factor({}, {}, {0.0}),
+                        -std::numeric_limits<double>::infinity()};
+  }
+  return ScaledFactor{materialize(outcome.result), outcome.log_scale};
+}
+
+Factor eliminate_linear(std::vector<View> factors,
+                        const std::vector<VariableId>& order, Arena& arena) {
+  ElimOutcome outcome =
+      eliminate_core(factors, order, arena, /*rescale=*/false);
+  return materialize(outcome.result);
+}
+
+Arena& thread_scratch() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace sysuq::bayesnet::kernels

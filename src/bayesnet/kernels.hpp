@@ -1,0 +1,209 @@
+// Flat strided factor kernels.
+//
+// Factor product / marginalize / reduce is the hot path under every
+// inference backend. The Factor class keeps its safe, owning API; the
+// kernels here are the engine room it delegates to: contiguous tables
+// addressed through precomputed stride tables, so the inner loops touch
+// memory linearly with no per-cell index recomputation and no per-cell
+// bounds checks. Scopes are validated once at kernel entry
+// (SYSUQ_EXPECT), never per cell.
+//
+// Layout contract (same as Factor): a table over a sorted scope is
+// row-major with the *last* scope variable varying fastest. Because
+// scopes are sorted, the fastest-varying dimension of any merged scope
+// is also the fastest-varying dimension of each operand that contains
+// it — every inner loop is contiguous (stride 1) or a broadcast
+// (stride 0), which is what the auto-vectorizer needs.
+//
+// Intermediate tables live in a bump Arena (bayesnet/arena.hpp); only
+// final results are materialized as owning Factors. Log-space variants
+// (log_product / log_marginalize = log-sum-exp) and scaled elimination
+// (per-round renormalization with an accumulated log normalizer) let
+// callers survive deep-evidence underflow without paying repeated
+// normalization in the linear hot path.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "bayesnet/arena.hpp"
+#include "bayesnet/factor.hpp"
+
+namespace sysuq::bayesnet::kernels {
+
+/// Maximum factor rank the kernels accept (stride/counter tables are
+/// stack-allocated). A table over this many non-trivial variables could
+/// not fit in memory anyway; checked once per kernel call.
+inline constexpr std::size_t kMaxRank = 64;
+
+/// True when a * b overflows std::size_t.
+// sysuq-lint-allow(contract-coverage): total predicate over any two sizes
+[[nodiscard]] bool mul_overflows(std::size_t a, std::size_t b) noexcept;
+
+/// Product of `cards[0..rank)` with an overflow contract: SYSUQ_EXPECT
+/// fires (naming `what`) instead of silently wrapping size_t.
+[[nodiscard]] std::size_t checked_table_size(const std::size_t* cards,
+                                             std::size_t rank,
+                                             const char* what);
+
+/// Non-owning view of a factor table: sorted scope, parallel
+/// cardinalities, row-major values (last variable fastest).
+struct View {
+  const VariableId* scope = nullptr;
+  const std::size_t* cards = nullptr;
+  const double* values = nullptr;
+  std::size_t rank = 0;
+  std::size_t size = 0;
+
+  /// True if `v` appears in the (sorted) scope.
+  [[nodiscard]] bool contains(VariableId v) const noexcept;
+};
+
+/// View of an owning Factor (valid while the Factor lives).
+// sysuq-lint-allow(contract-coverage): total over any Factor (its ctor already validated)
+[[nodiscard]] View view_of(const Factor& f);
+
+/// The constant-1 scalar view (rank 0). Backed by static storage.
+[[nodiscard]] View unit_view() noexcept;
+
+/// Arena-owned table: mutable values plus scope metadata, all allocated
+/// from the Arena. Valid until the arena is reset.
+struct Table {
+  VariableId* scope = nullptr;
+  std::size_t* cards = nullptr;
+  double* values = nullptr;
+  std::size_t rank = 0;
+  std::size_t size = 0;
+
+  [[nodiscard]] View view() const noexcept {
+    return View{scope, cards, values, rank, size};
+  }
+};
+
+/// Allocates an uninitialized table over `scope`/`cards` (copied into
+/// the arena). Size is overflow-checked.
+[[nodiscard]] Table make_table(const VariableId* scope,
+                               const std::size_t* cards, std::size_t rank,
+                               Arena& arena);
+
+/// Merges two sorted scopes into `scope`/`cards` (caller buffers of
+/// capacity a.rank + b.rank); returns the merged rank. SYSUQ_EXPECT on
+/// cardinality mismatch of shared variables.
+[[nodiscard]] std::size_t merge_scopes(const View& a, const View& b,
+                                       VariableId* scope, std::size_t* cards);
+
+/// Pointwise product over the merged scope `scope`/`cards[0..rank)`
+/// (as produced by merge_scopes); writes prod(cards) values to `out`.
+void product_into(const View& a, const View& b, const VariableId* scope,
+                  const std::size_t* cards, std::size_t rank, double* out);
+
+/// Arena-allocated product (merged scope computed internally).
+[[nodiscard]] Table product(const View& a, const View& b, Arena& arena);
+
+/// Sums out the scope variable at position `drop_pos`; `out` must hold
+/// f.size / f.cards[drop_pos] values (zero-initialized by the kernel).
+void marginalize_into(const View& f, std::size_t drop_pos, double* out);
+
+/// Sums out every scope variable NOT in `keep` (sorted, a subset of the
+/// scope) in one pass; `out` must hold prod(kept cards) values
+/// (zero-initialized by the kernel).
+void marginalize_keep_into(const View& f, const VariableId* keep,
+                           std::size_t nkeep, double* out);
+
+/// Arena-allocated multi-variable marginalization.
+[[nodiscard]] Table marginalize_keep(const View& f, const VariableId* keep,
+                                     std::size_t nkeep, Arena& arena);
+
+/// Restricts the scope variable at position `pos` to `state`; the
+/// variable leaves the scope. `out` must hold f.size / f.cards[pos]
+/// values.
+void reduce_into(const View& f, std::size_t pos, std::size_t state,
+                 double* out);
+
+/// Arena-allocated reduction by VariableId (must be in the scope).
+[[nodiscard]] Table reduce(const View& f, VariableId v, std::size_t state,
+                           Arena& arena);
+
+/// Sum of `n` values by pairwise (cascade) summation: error grows
+/// O(log n) in the term count instead of O(n) for a naive left fold.
+// sysuq-lint-allow(contract-coverage): total linear sum over any span
+[[nodiscard]] double total(const double* values, std::size_t n) noexcept;
+
+/// Multiplies every value by `s` in place.
+// sysuq-lint-allow(contract-coverage): total in-place map over any span
+void scale(double* values, std::size_t n, double s) noexcept;
+
+// ---------------------------------------------------------------------
+// Log-space kernels. Tables hold log-potentials; zero mass is -inf.
+
+/// Elementwise log: log(0) = -inf. SYSUQ_EXPECT rejects negatives.
+void to_log(const double* in, std::size_t n, double* out);
+
+/// Elementwise exp into `out`.
+// sysuq-lint-allow(contract-coverage): total elementwise map over any span
+void from_log(const double* in, std::size_t n, double* out) noexcept;
+
+/// Log-space product (elementwise addition) over the merged scope, as
+/// product_into.
+void log_product_into(const View& a, const View& b, const VariableId* scope,
+                      const std::size_t* cards, std::size_t rank, double* out);
+
+/// Log-space marginalization of every variable not in `keep`: per output
+/// cell a max-shifted log-sum-exp, so P(e) ~ 1e-5000 stays finite.
+/// Uses `arena` for the per-cell running-max scratch.
+void log_marginalize_keep_into(const View& f, const VariableId* keep,
+                               std::size_t nkeep, Arena& arena, double* out);
+
+/// log(sum(exp(values))) with max shifting; -inf for an all - (-inf)
+/// table.
+[[nodiscard]] double log_total(const double* values, std::size_t n) noexcept;
+
+// ---------------------------------------------------------------------
+// Scaled elimination: the production path under VE.
+
+/// Result of a scaled elimination run: `factor` is the eliminated
+/// table with `log_scale` = log of the total mass factored out by the
+/// per-round renormalizations, so the true (linear) result is
+/// factor * exp(log_scale). Rescaling triggers only when an
+/// intermediate total leaves [kRescaleFloor, 1/kRescaleFloor], so
+/// ordinary queries reproduce the unscaled arithmetic bit for bit while
+/// deep-evidence chains cannot underflow to exact zero.
+struct ScaledFactor {
+  Factor factor;
+  double log_scale = 0.0;
+
+  /// log of the true total mass: log_scale + log(factor.total()).
+  [[nodiscard]] double log_total() const;
+
+  /// True when the evidence baked into the eliminated factors has
+  /// exactly zero probability (a genuinely all-zero message, not
+  /// underflow): log_total() == -inf.
+  [[nodiscard]] bool impossible() const {
+    return !(log_total() > -std::numeric_limits<double>::infinity());
+  }
+};
+
+/// Runs variable elimination over `factors` following `order` with
+/// per-round rescaling (see ScaledFactor). Views must outlive the call;
+/// intermediates live in `arena` (caller resets it afterwards). An
+/// all-zero intermediate short-circuits to an impossible result (a zero
+/// scalar factor with log_scale = -inf).
+[[nodiscard]] ScaledFactor eliminate_scaled(std::vector<View> factors,
+                                            const std::vector<VariableId>& order,
+                                            Arena& arena);
+
+/// Legacy-semantics elimination: no rescaling, no short-circuit; the
+/// returned factor's total is the raw linear mass (which may underflow,
+/// exactly as the historical mixed-radix path did). Kept for
+/// eliminate_with_order compatibility.
+[[nodiscard]] Factor eliminate_linear(std::vector<View> factors,
+                                      const std::vector<VariableId>& order,
+                                      Arena& arena);
+
+/// Per-thread scratch arena for the inference hot paths. Reset it at
+/// the top of each query/calibration frame; never hold tables across a
+/// frame boundary or share them between threads.
+[[nodiscard]] Arena& thread_scratch();
+
+}  // namespace sysuq::bayesnet::kernels

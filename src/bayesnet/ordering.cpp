@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <limits>
-#include <optional>
 #include <set>
 #include <stdexcept>
+
+#include "bayesnet/kernels.hpp"
 
 namespace sysuq::bayesnet {
 
@@ -153,36 +154,16 @@ std::vector<std::vector<VariableId>> elimination_cliques(
 
 Factor eliminate_with_order(std::vector<Factor> factors,
                             const std::vector<VariableId>& order) {
-  std::vector<std::optional<Factor>> live;
-  live.reserve(factors.size() + order.size());
-  for (Factor& f : factors) live.emplace_back(std::move(f));
-
-  for (VariableId v : order) {
-    std::optional<Factor> combined;
-    for (auto& slot : live) {
-      if (slot && slot->contains(v)) {
-        if (combined) {
-          combined = combined->product(*slot);
-        } else {
-          combined = std::move(*slot);
-        }
-        slot.reset();
-      }
-    }
-    if (!combined) continue;  // variable absent from every live factor
-    live.emplace_back(combined->marginalize(v));
-  }
-
-  std::optional<Factor> result;
-  for (auto& slot : live) {
-    if (!slot) continue;
-    if (result) {
-      result = result->product(*slot);
-    } else {
-      result = std::move(*slot);
-    }
-  }
-  return result ? std::move(*result) : Factor::unit();
+  // All intermediates live in the per-thread scratch arena; only the
+  // final result is materialized as an owning Factor.
+  Arena& arena = kernels::thread_scratch();
+  arena.reset();
+  std::vector<kernels::View> views;
+  views.reserve(factors.size());
+  for (const Factor& f : factors) views.push_back(kernels::view_of(f));
+  Factor result = kernels::eliminate_linear(std::move(views), order, arena);
+  arena.reset();
+  return result;
 }
 
 }  // namespace sysuq::bayesnet

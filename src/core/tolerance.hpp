@@ -50,4 +50,14 @@ inline constexpr double kSeries = 1e-15;
 /// Recipes' FPMIN idiom).
 inline constexpr double kUnderflow = 1e-300;
 
+/// Rescaling trigger for scaled variable elimination: an intermediate
+/// factor whose total mass leaves [kRescaleFloor, 1/kRescaleFloor] is
+/// renormalized and the factored-out mass accumulated as a log
+/// normalizer. 1e-100 sits ~200 decades above the subnormal cliff, so a
+/// product of several not-yet-rescaled intermediates still cannot
+/// underflow to exact zero, while ordinary queries (masses near 1)
+/// never trigger a rescale and reproduce the unscaled arithmetic bit
+/// for bit.
+inline constexpr double kRescaleFloor = 1e-100;
+
 }  // namespace sysuq::tolerance

@@ -9,6 +9,7 @@
 // can sweep several fixed seeds; unset, it uses a fixed default.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <limits>
@@ -280,6 +281,63 @@ TEST(Differential, ImpossibleEvidenceMessageIdenticalAcrossBackends) {
           << e.what();
     }
   }
+}
+
+// ---- deep-evidence underflow regression ----
+
+TEST(Differential, DeepEvidenceChainIsNotSpuriouslyImpossible) {
+  // 400-variable binary chain where state 1 is rare (~1e-3) everywhere;
+  // observing 150 of those rare states puts P(e) near 1e-420, far below
+  // the smallest double. The legacy linear impossible-evidence check
+  // (!(total > 0)) saw the underflowed product of reduced factors and
+  // threw the domain_error spuriously; the scaled kernels must answer
+  // the query, keep log P(e) finite, and agree with the junction tree
+  // (whose per-message normalization never underflowed on this shape).
+  const std::size_t n = 400;
+  bn::BayesianNetwork net;
+  for (std::size_t i = 0; i < n; ++i)
+    net.add_variable("x" + std::to_string(i), {"0", "1"});
+  net.set_cpt(0, {}, {pr::Categorical({0.5, 0.5})});
+  for (bn::VariableId v = 1; v < n; ++v) {
+    net.set_cpt(v, {v - 1}, {pr::Categorical({0.999, 0.001}),
+                             pr::Categorical({0.998, 0.002})});
+  }
+  bn::Evidence deep;
+  for (bn::VariableId v = 2; v <= 300; v += 2) deep[v] = 1;
+  ASSERT_EQ(deep.size(), 150u);
+
+  // VE query: previously threw the impossible-evidence domain_error.
+  bn::VariableElimination ve(net);
+  const pr::Categorical posterior = ve.query(0, deep);
+
+  // P(e) underflows the linear double return — but must not throw.
+  EXPECT_EQ(ve.evidence_probability(deep), 0.0);
+
+  // Engine VE backend: query works and log P(e) stays finite, matching
+  // the junction tree's per-message log accumulation.
+  bn::InferenceEngine engine(
+      net, {.threads = 1, .backend = bn::Backend::kVariableElimination});
+  const pr::Categorical engine_posterior = engine.query(0, deep);
+  EXPECT_NEAR(engine_posterior.p(0), posterior.p(0), 1e-12);
+  const double ve_log = engine.log_evidence_probability(deep);
+  EXPECT_TRUE(std::isfinite(ve_log));
+  EXPECT_LT(ve_log, -900.0);  // genuinely below linear-double range
+
+  const bn::JunctionTree jt(net, deep);
+  const double jt_log = jt.log_evidence_probability();
+  EXPECT_TRUE(std::isfinite(jt_log));
+  EXPECT_NEAR(ve_log, jt_log, 1e-6 * std::abs(jt_log));
+  const pr::Categorical jt_posterior = jt.query(0);
+  EXPECT_NEAR(jt_posterior.p(0), posterior.p(0), 1e-9);
+
+  // Genuinely impossible evidence on the same chain still throws: state
+  // 1 of x1 is unreachable once the transition to it carries zero mass.
+  bn::BayesianNetwork hard = net;
+  hard.set_cpt(1, {0},
+               {pr::Categorical({1.0, 0.0}), pr::Categorical({1.0, 0.0})});
+  bn::VariableElimination hard_ve(hard);
+  EXPECT_THROW((void)hard_ve.query(0, bn::Evidence{{1, 1}}),
+               std::domain_error);
 }
 
 // ---- Table I golden regression, both exact backends ----

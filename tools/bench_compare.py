@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Compare a freshly emitted BENCH_*.json manifest against its committed
+baseline (bench/baselines/) and fail on perf regressions.
+
+Raw queries/sec and ns/iter are machine-specific, so the gate never
+compares them across machines directly:
+
+* engine_batch: gates on the machine-relative ratios the bench itself
+  computes (speedup_1t, speedup_4t, jt_speedup — current must stay
+  within `--tolerance` of the baseline ratio) plus the correctness
+  figures (byte_identical, max_abs_err, jt_max_abs_err).
+* microbench: computes the per-benchmark runtime ratio current/baseline,
+  takes the median ratio as the machine-speed factor, and flags any
+  benchmark whose ratio exceeds the median by more than `--tolerance`
+  (a benchmark that got slower *relative to the rest of the suite*).
+
+Exit status: 0 = within band, 1 = regression, 2 = usage/schema error.
+See docs/bench_trajectory.md for the manifest schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+# engine_batch keys gated as higher-is-better machine-relative ratios.
+ENGINE_RATIO_KEYS = ("speedup_1t", "speedup_4t", "jt_speedup")
+# engine_batch keys gated as absolute correctness bounds.
+ENGINE_ABS_KEYS = {"max_abs_err": 1e-9, "jt_max_abs_err": 1e-9}
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def compare_engine_batch(cur: dict, base: dict, tol: float) -> list[str]:
+    failures = []
+    cr, br = cur.get("results", {}), base.get("results", {})
+    for key in ENGINE_RATIO_KEYS:
+        if key not in cr or key not in br:
+            failures.append(f"results.{key}: missing from manifest")
+            continue
+        floor = br[key] * (1.0 - tol)
+        status = "OK" if cr[key] >= floor else "REGRESSION"
+        print(f"  {key:<12} baseline {br[key]:8.2f}  current {cr[key]:8.2f}"
+              f"  floor {floor:8.2f}  {status}")
+        if cr[key] < floor:
+            failures.append(
+                f"results.{key}: {cr[key]:.2f} below {floor:.2f} "
+                f"(baseline {br[key]:.2f} - {tol:.0%})")
+    if cr.get("byte_identical") is not True:
+        failures.append("results.byte_identical: pooled results diverged "
+                        "from sequential ones")
+    for key, bound in ENGINE_ABS_KEYS.items():
+        val = cr.get(key)
+        if val is None or val > bound:
+            failures.append(f"results.{key}: {val} exceeds {bound}")
+    return failures
+
+
+def compare_microbench(cur: dict, base: dict, tol: float) -> list[str]:
+    # A benchmark that ran < 8 iterations on either side has no
+    # statistics behind its ns/iter (google-benchmark could not repeat
+    # it); report it but never gate on it.
+    min_iters = 8
+    cur_ns, base_ns = {}, {}
+    for manifest, ns in ((cur, cur_ns), (base, base_ns)):
+        for r in manifest.get("results", []):
+            if r.get("iterations", 0) >= min_iters:
+                ns[r["name"]] = r["cpu_ns_per_iter"]
+            else:
+                print(f"  {r['name']}: only {r.get('iterations', 0)} "
+                      f"iteration(s), reported but not gated "
+                      f"({r['cpu_ns_per_iter']:.1f} ns)")
+    shared = sorted(set(cur_ns) & set(base_ns))
+    if not shared:
+        return ["microbench: no shared benchmark names with the baseline"]
+    # Benchmarks only present on one side are reported, never gated: a
+    # new benchmark has no baseline yet, a removed one no current run.
+    for name in sorted(set(cur_ns) ^ set(base_ns)):
+        side = "baseline" if name in base_ns else "current"
+        print(f"  {name}: only in {side} manifest, skipped")
+    ratios = {n: cur_ns[n] / base_ns[n] for n in shared if base_ns[n] > 0}
+    machine = statistics.median(ratios.values())
+    print(f"  machine-speed factor (median current/baseline): {machine:.3f}")
+    failures = []
+    for name in shared:
+        rel = ratios[name] / machine
+        status = "OK" if rel <= 1.0 + tol else "REGRESSION"
+        print(f"  {name:<34} baseline {base_ns[name]:12.1f} ns"
+              f"  current {cur_ns[name]:12.1f} ns  relative {rel:5.2f}  "
+              f"{status}")
+        if rel > 1.0 + tol:
+            failures.append(
+                f"{name}: {rel:.2f}x the suite median ratio "
+                f"(band {1.0 + tol:.2f}x) — slower relative to the rest "
+                f"of the suite")
+    return failures
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="freshly emitted BENCH_*.json")
+    ap.add_argument("baseline", help="committed baseline BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed relative regression (default 0.20)")
+    args = ap.parse_args()
+
+    cur, base = load(args.current), load(args.baseline)
+    for which, m in (("current", cur), ("baseline", base)):
+        if "bench" not in m or "results" not in m:
+            print(f"bench_compare: {which} manifest lacks bench/results "
+                  "(schema in docs/bench_trajectory.md)", file=sys.stderr)
+            return 2
+    if cur["bench"] != base["bench"]:
+        print(f"bench_compare: bench mismatch: current '{cur['bench']}' vs "
+              f"baseline '{base['bench']}'", file=sys.stderr)
+        return 2
+
+    print(f"bench_compare: {cur['bench']} (tolerance {args.tolerance:.0%})")
+    if cur["bench"] == "engine_batch":
+        failures = compare_engine_batch(cur, base, args.tolerance)
+    elif cur["bench"] == "microbench":
+        failures = compare_microbench(cur, base, args.tolerance)
+    else:
+        print(f"bench_compare: unknown bench '{cur['bench']}'",
+              file=sys.stderr)
+        return 2
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+    print("\nall metrics within band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
