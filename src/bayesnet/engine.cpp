@@ -107,7 +107,7 @@ class InferenceEngine::Pool {
       // worker can still dereference it — a use-after-free. active_
       // counts workers inside work(); drain them before returning.
       std::unique_lock<std::mutex> lk(mu_);
-      cv_done_.wait(lk, [&] {
+      cv_done_.wait(lk, [&] {  // sysuq-lint-allow(lock-order): run_mu_ only serializes run() callers; workers signalling cv_done_ never take it, so holding it across the wait cannot deadlock
         return completed_.load(std::memory_order_relaxed) == total_ &&
                active_ == 0;
       });
@@ -196,19 +196,27 @@ std::shared_ptr<const EliminationOrdering> InferenceEngine::ordering_for(
   for (const auto& [v, _] : evidence) key.push_back(v);  // map: sorted
 
   auto& metrics = EngineMetrics::instance();
-  std::lock_guard<std::mutex> lk(cache_mu_);
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    ++cache_hits_;
-    metrics.cache_hits.inc();
-    return it->second;
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      ++cache_hits_;
+      metrics.cache_hits.inc();
+      return it->second;
+    }
   }
-  ++cache_misses_;
-  metrics.cache_misses.inc();
+  // Miss. The ordering heuristics walk the whole moral graph — far too
+  // slow to run under cache_mu_, where a cold cache would serialize
+  // every concurrent query. Compute unlocked; on a race the first
+  // insert wins and the duplicate ordering is dropped (both threads
+  // ran the same deterministic heuristic, so the results are equal).
   auto ordering = std::make_shared<const EliminationOrdering>(
       compute_elimination_order(net_, /*keep=*/{}, key, options_.heuristic));
-  cache_.emplace(std::move(key), ordering);
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  ++cache_misses_;
+  metrics.cache_misses.inc();
+  const auto [it, inserted] = cache_.emplace(std::move(key), std::move(ordering));
   metrics.cache_entries.set(static_cast<double>(cache_.size()));
-  return ordering;
+  return it->second;
 }
 
 kernels::ScaledFactor InferenceEngine::eliminate_all_but(

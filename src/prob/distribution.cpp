@@ -349,7 +349,7 @@ double LogNormal::pdf(double x) const {
 double LogNormal::log_pdf(double x) const {
   if (x <= 0.0) return kNegInf;
   const double z = (std::log(x) - mu_) / sigma_;
-  return -0.5 * z * z - std::log(x * sigma_) - 0.5 * std::log(2.0 * M_PI);
+  return -0.5 * z * z - std::log(x * sigma_) - 0.5 * std::log(2.0 * M_PI);  // sysuq-lint-allow(log-domain): z is a standardized residual of log x, not a log-probability
 }
 
 double LogNormal::cdf(double x) const {
@@ -429,7 +429,7 @@ std::vector<double> Dirichlet::sample(Rng& rng) const {
   double total = 0.0;
   for (std::size_t i = 0; i < alpha_.size(); ++i) {
     g[i] = rng.gamma(alpha_[i], 1.0);
-    total += g[i];
+    total += g[i];  // sysuq-lint-allow(log-domain): summing gamma variates for normalization, not a probability mass
   }
   for (double& v : g) v /= total;
   return g;

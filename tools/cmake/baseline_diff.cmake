@@ -1,0 +1,33 @@
+# Baseline diff gate: scan tests/ (not yet violation-free), then fail
+# only on findings that are NOT in the committed baseline — incremental
+# adoption without a big-bang cleanup.
+#   cmake -DANALYZER=... -DPYTHON=... -DREPO_ROOT=... -DOUT=... -P this
+foreach(var ANALYZER PYTHON REPO_ROOT OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "baseline_diff.cmake: ${var} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${ANALYZER} --sarif ${OUT} tests
+  WORKING_DIRECTORY ${REPO_ROOT}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_VARIABLE err)
+# 0 (clean) and 1 (known findings) are both fine here; the baseline
+# diff below is the actual gate.
+if(rc EQUAL 2)
+  message(FATAL_ERROR "sysuq_analyze IO/usage error scanning tests:\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${REPO_ROOT}/tools/sarif_diff.py
+          ${REPO_ROOT}/tools/analyze_baseline.sarif ${OUT}
+  RESULT_VARIABLE diff_rc
+  OUTPUT_VARIABLE diff_out
+  ERROR_VARIABLE diff_err)
+message(STATUS "${diff_out}")
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "new analyzer findings vs tools/analyze_baseline.sarif:\n"
+    "${diff_out}\n${diff_err}")
+endif()

@@ -1,0 +1,44 @@
+# Regression test for --only argument validation: an unknown rule name
+# must be rejected with exit code 2 and a message listing the valid
+# rules (a typo must not silently disable the filter's target).
+#   cmake -DANALYZER=... -DWORK_DIR=... -P this
+foreach(var ANALYZER WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "only_validation.cmake: ${var} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${ANALYZER} --only no-such-rule lint_fixture/clean/legacy
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR
+    "sysuq_analyze exited ${rc} (want 2) for --only no-such-rule\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT err MATCHES "unknown rule" OR NOT err MATCHES "valid rules:")
+  message(FATAL_ERROR
+    "missing diagnostic for --only no-such-rule; stderr was:\n${err}")
+endif()
+if(NOT err MATCHES "arena-escape" OR NOT err MATCHES "lock-order"
+   OR NOT err MATCHES "log-domain")
+  message(FATAL_ERROR
+    "valid-rule list is missing the dataflow rules; stderr was:\n${err}")
+endif()
+
+# A valid rule set must still be accepted (exit 0 on a clean fixture).
+execute_process(
+  COMMAND ${ANALYZER} --only arena-escape,lock-order,log-domain
+          lint_fixture/clean/legacy
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc2
+  OUTPUT_VARIABLE out2
+  ERROR_VARIABLE err2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR
+    "sysuq_analyze exited ${rc2} (want 0) for a valid --only set\n"
+    "stdout:\n${out2}\nstderr:\n${err2}")
+endif()

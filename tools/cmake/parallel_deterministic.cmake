@@ -1,0 +1,41 @@
+# The worker-pool scanner must produce byte-identical SARIF to a
+# serial run (fixed result slots + pre-sorted work list guarantee it;
+# this test pins the guarantee).
+#   cmake -DANALYZER=... -DWORK_DIR=<repo root> -DOUT_DIR=... -P this
+foreach(var ANALYZER WORK_DIR OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "parallel_deterministic.cmake: ${var} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${ANALYZER} --jobs 1 --sarif ${OUT_DIR}/serial.sarif src tools bench
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc_serial
+  OUTPUT_QUIET ERROR_VARIABLE err_serial)
+execute_process(
+  COMMAND ${ANALYZER} --jobs 8 --sarif ${OUT_DIR}/parallel.sarif src tools bench
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc_parallel
+  OUTPUT_QUIET ERROR_VARIABLE err_parallel)
+
+if(rc_serial EQUAL 2 OR rc_parallel EQUAL 2)
+  message(FATAL_ERROR
+    "sysuq_analyze IO/usage error (serial rc=${rc_serial}, parallel "
+    "rc=${rc_parallel})\n${err_serial}\n${err_parallel}")
+endif()
+if(NOT rc_serial EQUAL rc_parallel)
+  message(FATAL_ERROR
+    "serial and parallel runs disagree on exit code: "
+    "${rc_serial} vs ${rc_parallel}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${OUT_DIR}/serial.sarif ${OUT_DIR}/parallel.sarif
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "parallel scan is not byte-identical to the serial scan "
+    "(${OUT_DIR}/serial.sarif vs ${OUT_DIR}/parallel.sarif)")
+endif()

@@ -1,14 +1,16 @@
-# Golden test for sysuq_analyze --sarif: run the layering pass over the
-# bad layering fixture and require byte-exact SARIF. Invoked by ctest as
-#   cmake -DANALYZER=... -DWORK_DIR=... -DGOLDEN=... -DOUT=... -P this
-foreach(var ANALYZER WORK_DIR GOLDEN OUT)
+# Golden test for sysuq_analyze --sarif: run one rule over its bad
+# fixture and require byte-exact SARIF. Invoked by ctest as
+#   cmake -DANALYZER=... -DWORK_DIR=... -DGOLDEN=... -DOUT=...
+#         -DONLY=<rule> -DROOT=<fixture root, relative to WORK_DIR>
+#         -P this
+foreach(var ANALYZER WORK_DIR GOLDEN OUT ONLY ROOT)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "sarif_golden.cmake: ${var} not set")
   endif()
 endforeach()
 
 execute_process(
-  COMMAND ${ANALYZER} --only layering --sarif ${OUT} lint_fixture/bad/layering
+  COMMAND ${ANALYZER} --only ${ONLY} --sarif ${OUT} ${ROOT}
   WORKING_DIRECTORY ${WORK_DIR}
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE out
@@ -17,7 +19,7 @@ execute_process(
 # anything else (0 = pass stopped firing, 2 = IO error) is a bug.
 if(NOT rc EQUAL 1)
   message(FATAL_ERROR
-    "sysuq_analyze exited ${rc} (want 1) on the layering fixture\n"
+    "sysuq_analyze exited ${rc} (want 1) on ${ROOT} with --only ${ONLY}\n"
     "stdout:\n${out}\nstderr:\n${err}")
 endif()
 

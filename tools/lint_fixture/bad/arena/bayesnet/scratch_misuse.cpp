@@ -1,0 +1,43 @@
+// arena-escape fixture, bad twin. Never compiled.
+#include "bayesnet/scratch_misuse.hpp"
+
+namespace sysuq::bayesnet {
+
+// Use after reset: `probs` points into the arena that is recycled one
+// line before the read.
+double ScratchCache::stale_total(const kernels::View& lhs,
+                                 const kernels::View& rhs) {
+  kernels::Arena& arena = kernels::thread_scratch();
+  kernels::View probs = kernels::product(lhs, rhs, arena);
+  arena.reset();
+  return probs.total();
+}
+
+// View stored into a member: `view_` outlives the next reset().
+void ScratchCache::remember(const kernels::View& v) {
+  view_ = v;
+}
+
+// Arena view captured by a thread-pool callback: the arena belongs to
+// the dispatching thread, the callback runs on a worker.
+void ScratchCache::prefetch(std::size_t n) {
+  kernels::Arena& arena = kernels::thread_scratch();
+  kernels::View scope = kernels::reduce(batch_, 0, 0, arena);
+  pool_->run(n, [this, scope] { view_ = scope; });
+}
+
+// Interprocedural: slice() provably returns arena storage, so the
+// pointer goes stale at the reset even though the alloc happened one
+// call away.
+double* slice(kernels::Arena& arena, std::size_t n) {
+  return arena.alloc<double>(n);
+}
+
+double ScratchCache::interprocedural(std::size_t n) {
+  kernels::Arena& arena = kernels::thread_scratch();
+  double* p = slice(arena, n);
+  arena.reset();
+  return p[0];
+}
+
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,35 @@
+// arena-escape fixture: every function in scratch_misuse.cpp leaks
+// per-thread bump-arena storage past its lifetime — use after reset(),
+// a view stored into a member, a view captured by a pool callback, and
+// an interprocedural use-after-reset through a view-returning helper.
+// Never compiled.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bayesnet/arena.hpp"
+#include "bayesnet/kernels.hpp"
+
+namespace sysuq::bayesnet {
+
+struct Pool {
+  void run(std::size_t jobs, int task) {}
+};
+
+class ScratchCache {
+ public:
+  double stale_total(const kernels::View& lhs, const kernels::View& rhs);
+  void remember(const kernels::View& v);
+  void prefetch(std::size_t n);
+  double interprocedural(std::size_t n);
+
+ private:
+  kernels::View view_;
+  kernels::View batch_;
+  Pool* pool_ = nullptr;
+};
+
+double* slice(kernels::Arena& arena, std::size_t n);
+
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,36 @@
+// lock-order fixture, bad twin. Never compiled.
+#include "sys/scheduler.hpp"
+
+namespace sysuq::sys {
+
+// Acquires queue_mu_ then state_mu_ ...
+void Scheduler::submit(int job) {
+  std::lock_guard<std::mutex> q(queue_mu_);
+  std::lock_guard<std::mutex> s(state_mu_);
+  pending_ += static_cast<std::size_t>(job != 0);
+}
+
+// ... while drain acquires state_mu_ then queue_mu_: a cycle in the
+// acquisition graph — two concurrent callers deadlock.
+void Scheduler::drain() {
+  std::lock_guard<std::mutex> s(state_mu_);
+  std::lock_guard<std::mutex> q(queue_mu_);
+  done_ = pending_;
+}
+
+// The wait releases state_mu_ but queue_mu_ stays locked for the whole
+// sleep, blocking every submitter.
+void Scheduler::wait_done() {
+  std::lock_guard<std::mutex> q(queue_mu_);
+  std::unique_lock<std::mutex> lk(state_mu_);
+  cv_.wait(lk);
+}
+
+// Dispatching into the pool with queue_mu_ held: a worker contending
+// for the same lock deadlocks against us.
+void Scheduler::flush(Pool& worker_pool) {
+  std::lock_guard<std::mutex> q(queue_mu_);
+  worker_pool.run(4, 0);
+}
+
+}  // namespace sysuq::sys

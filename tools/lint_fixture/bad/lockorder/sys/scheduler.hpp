@@ -1,0 +1,32 @@
+// lock-order fixture: scheduler.cpp acquires queue_mu_ and state_mu_
+// in opposite orders from two entry points (a lock-order cycle), waits
+// on a condition variable while a second mutex stays locked, and
+// dispatches to a thread pool with a lock held. Never compiled.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace sysuq::sys {
+
+struct Pool {
+  void run(std::size_t jobs, int task) {}
+};
+
+class Scheduler {
+ public:
+  void submit(int job);
+  void drain();
+  void wait_done();
+  void flush(Pool& worker_pool);
+
+ private:
+  std::mutex queue_mu_;
+  std::mutex state_mu_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  std::size_t done_ = 0;
+};
+
+}  // namespace sysuq::sys

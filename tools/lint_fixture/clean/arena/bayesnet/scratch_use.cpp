@@ -1,0 +1,39 @@
+// arena-escape fixture, clean twin. Never compiled.
+#include "bayesnet/scratch_use.hpp"
+
+#include "core/contracts.hpp"
+
+namespace sysuq::bayesnet {
+
+// The view goes stale at the reset, but the owning ScaledFactor was
+// materialized first — nothing arena-backed survives the reset.
+kernels::ScaledFactor Materializer::eliminate(const kernels::Factor& f0) {
+  SYSUQ_EXPECT(f0.size > 0, "eliminate needs a non-empty factor");
+  kernels::Arena& arena = kernels::thread_scratch();
+  arena.reset();
+  const auto give_up = [] { kernels::thread_scratch().reset(); };
+  kernels::View reduced = kernels::reduce(kernels::view_of(f0), 0, 0, arena);
+  const double t = reduced.total();
+  if (t <= 0.0) {
+    give_up();
+  }
+  kernels::ScaledFactor out = kernels::eliminate_scaled(reduced, arena);
+  arena.reset();
+  return out;
+}
+
+// Member stores are fine when the right-hand side materializes an
+// owning copy out of the view first.
+void Materializer::remember_mass(const kernels::View& v, std::size_t n) {
+  SYSUQ_EXPECT(n > 0, "remember_mass needs elements");
+  mass_ = std::vector<double>(v.values, v.values + n);
+}
+
+// Pool callbacks may capture owning storage freely.
+void Materializer::prefetch_owned(std::size_t n) {
+  SYSUQ_EXPECT(n > 0, "prefetch_owned needs slots");
+  std::vector<double> owned(n, 0.0);
+  pool_->run(n, [&owned](std::size_t i) { owned[i] = 1.0; });
+}
+
+}  // namespace sysuq::bayesnet

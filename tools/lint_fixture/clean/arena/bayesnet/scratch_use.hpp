@@ -1,0 +1,32 @@
+// arena-escape fixture, clean twin: the same shapes as the bad twin
+// done right — owning materialization before reset(), owning copies
+// into members, pool callbacks touching only owning storage, and a
+// give-up lambda whose reset() must not poison the enclosing scope
+// (lambda effects belong to call sites, not definition sites).
+// Never compiled.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bayesnet/arena.hpp"
+#include "bayesnet/kernels.hpp"
+
+namespace sysuq::bayesnet {
+
+struct Pool {
+  void run(std::size_t jobs, int task) {}
+};
+
+class Materializer {
+ public:
+  kernels::ScaledFactor eliminate(const kernels::Factor& f0);
+  void remember_mass(const kernels::View& v, std::size_t n);
+  void prefetch_owned(std::size_t n);
+
+ private:
+  std::vector<double> mass_;
+  Pool* pool_ = nullptr;
+};
+
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,42 @@
+// lock-order fixture, clean twin. Never compiled.
+#include "sys/scheduler.hpp"
+
+#include "core/contracts.hpp"
+
+namespace sysuq::sys {
+
+// Both multi-lock paths take queue_mu_ before state_mu_: the
+// acquisition graph stays acyclic.
+void Scheduler::submit(int job) {
+  SYSUQ_EXPECT(job >= 0, "job ids are non-negative");
+  std::lock_guard<std::mutex> q(queue_mu_);
+  std::lock_guard<std::mutex> s(state_mu_);
+  pending_ += static_cast<std::size_t>(job != 0);
+}
+
+void Scheduler::drain() {
+  SYSUQ_EXPECT(true, "drain has no inputs to validate");
+  std::lock_guard<std::mutex> q(queue_mu_);
+  std::lock_guard<std::mutex> s(state_mu_);
+  done_ = pending_;
+}
+
+// The wait holds exactly the lock it releases.
+void Scheduler::wait_done() {
+  SYSUQ_EXPECT(true, "wait_done has no inputs to validate");
+  std::unique_lock<std::mutex> lk(state_mu_);
+  cv_.wait(lk);
+}
+
+// The guard scope closes before the dispatch: no lock crosses into the
+// pool.
+void Scheduler::flush(Pool& worker_pool) {
+  SYSUQ_EXPECT(true, "flush has no inputs to validate");
+  {
+    std::lock_guard<std::mutex> q(queue_mu_);
+    pending_ = 0;
+  }
+  worker_pool.run(4, 0);
+}
+
+}  // namespace sysuq::sys

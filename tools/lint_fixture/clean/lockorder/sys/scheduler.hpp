@@ -1,0 +1,32 @@
+// lock-order fixture, clean twin: one global acquisition order
+// (queue_mu_ before state_mu_) from every entry point, waits that hold
+// only the lock they release, and dispatch after the guard scope has
+// closed. Never compiled.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace sysuq::sys {
+
+struct Pool {
+  void run(std::size_t jobs, int task) {}
+};
+
+class Scheduler {
+ public:
+  void submit(int job);
+  void drain();
+  void wait_done();
+  void flush(Pool& worker_pool);
+
+ private:
+  std::mutex queue_mu_;
+  std::mutex state_mu_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  std::size_t done_ = 0;
+};
+
+}  // namespace sysuq::sys

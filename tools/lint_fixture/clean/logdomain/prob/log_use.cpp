@@ -1,0 +1,45 @@
+// log-domain fixture, clean twin. Never compiled.
+#include "prob/log_use.hpp"
+
+#include <cmath>
+
+#include "core/contracts.hpp"
+
+namespace sysuq::prob {
+
+// Log values accumulate with `+` in log space and convert with exp()
+// before they meet a probability contract or linear arithmetic.
+double LogSafe::posterior(const std::vector<double>& p) {
+  SYSUQ_EXPECT(p.size() > 1, "posterior needs at least two terms");
+  double log_joint = std::log(p[0]) + std::log(p[1]);
+  const double mass = std::exp(log_joint);
+  SYSUQ_ASSERT_PROB(mass, "posterior mass");
+  log_evidence_ += log_joint;
+  return mass;
+}
+
+double LogSafe::evidence(const std::vector<double>& p) {
+  SYSUQ_EXPECT(!p.empty(), "evidence needs terms");
+  const double total = compensated_total(p);
+  return std::exp(log_evidence_) * total;
+}
+
+// Neumaier-compensated summation: the `comp +=` line adds a corrected
+// term, not a bare indexed read, so the accumulation rule stays quiet.
+double compensated_total(const std::vector<double>& p) {
+  SYSUQ_EXPECT(!p.empty(), "total needs terms");
+  double sum = 0.0;
+  double comp = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double t = sum + p[i];
+    if (std::abs(sum) >= std::abs(p[i])) {
+      comp += (sum - t) + p[i];
+    } else {
+      comp += (p[i] - t) + sum;
+    }
+    sum = t;
+  }
+  return sum + comp;
+}
+
+}  // namespace sysuq::prob

@@ -1,0 +1,24 @@
+// log-domain fixture, clean twin: log values are exp()-converted
+// before linear arithmetic or probability contracts, log-to-log `+=`
+// stays in log space, and the summation loop carries a Neumaier
+// compensation term (which the naive-accumulation rule must not flag —
+// it IS the recommended fix). Never compiled.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sysuq::prob {
+
+class LogSafe {
+ public:
+  double posterior(const std::vector<double>& p);
+  double evidence(const std::vector<double>& p);
+
+ private:
+  double log_evidence_ = 0.0;
+};
+
+double compensated_total(const std::vector<double>& p);
+
+}  // namespace sysuq::prob

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Diff two sysuq_analyze SARIF logs; fail only on NEW findings.
+
+Usage: sarif_diff.py BASELINE.sarif CURRENT.sarif
+
+A finding is keyed on (ruleId, file URI, message text). Line numbers are
+deliberately NOT part of the key so unrelated edits that shift a known
+finding up or down do not trip the gate; the analyzer's messages embed
+enough context (names, mutex chains) to keep keys distinct in practice.
+Duplicate keys are counted, so adding a second instance of an
+already-baselined finding still fails.
+
+Exit codes: 0 = no new findings, 1 = new findings, 2 = usage/IO error.
+"""
+
+import json
+import sys
+from collections import Counter
+
+
+def load_findings(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"sarif_diff: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    keys = Counter()
+    for run in doc.get("runs", []):
+        for result in run.get("results", []):
+            rule = result.get("ruleId", "")
+            message = result.get("message", {}).get("text", "")
+            uri = ""
+            for loc in result.get("locations", []):
+                phys = loc.get("physicalLocation", {})
+                uri = phys.get("artifactLocation", {}).get("uri", "")
+                break
+            keys[(rule, uri, message)] += 1
+    return keys
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline = load_findings(argv[1])
+    current = load_findings(argv[2])
+
+    new = current - baseline
+    resolved = baseline - current
+
+    for key, count in sorted(resolved.items()):
+        rule, uri, message = key
+        suffix = f" (x{count})" if count > 1 else ""
+        print(f"resolved: [{rule}] {uri}: {message}{suffix}")
+    if resolved:
+        print(
+            f"{sum(resolved.values())} baselined finding(s) resolved; "
+            "regenerate tools/analyze_baseline.sarif to lock in the progress."
+        )
+
+    if not new:
+        print(
+            f"no new findings ({sum(current.values())} current, "
+            f"{sum(baseline.values())} baselined)"
+        )
+        return 0
+
+    for key, count in sorted(new.items()):
+        rule, uri, message = key
+        suffix = f" (x{count})" if count > 1 else ""
+        print(f"NEW: [{rule}] {uri}: {message}{suffix}")
+    print(
+        f"{sum(new.values())} new finding(s) vs baseline; fix them or, "
+        "for accepted debt, regenerate tools/analyze_baseline.sarif."
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

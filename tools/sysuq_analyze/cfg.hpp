@@ -1,0 +1,64 @@
+// Per-function control-flow graphs over the token stream.
+//
+// The structural model (model.hpp) gives every function definition a
+// body token range; this layer carves that range into statements and
+// links them into basic blocks with successor edges for if/else,
+// while/for/do loops, switch, break/continue and return. The dataflow
+// passes (arena-escape, log-domain) run gen/kill transfer functions to
+// a fixpoint over these graphs; the lock-order pass walks statements
+// with a scope stack instead (RAII guard lifetimes follow braces, not
+// edges).
+//
+// Like the model parser this is a heuristic scanner, not a front end:
+// it must never crash or loop on arbitrary input, and on input it does
+// not understand it degrades to a linear block (which only ever makes
+// the may-analyses more conservative upstream of a fixpoint, never
+// less sound for the patterns the fixtures pin).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sysuq_analyze/lexer.hpp"
+#include "sysuq_analyze/model.hpp"
+
+namespace sysuq_analyze {
+
+/// One statement: a token range [begin, end) inside the function body.
+/// Control statements keep only their header tokens (the condition of
+/// an `if`/`while`, the three clauses of a `for`); their sub-statements
+/// become blocks of their own.
+struct Stmt {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  /// Brace depth of the statement relative to the function body (the
+  /// body's top level is 1). Scope-stack walkers use this to pop RAII
+  /// state when a block closes.
+  std::size_t depth = 0;
+};
+
+/// A basic block: statements executed in order, then a jump to any of
+/// the successor blocks. Exit blocks have no successors.
+struct BasicBlock {
+  std::vector<Stmt> stmts;
+  std::vector<std::size_t> succs;
+};
+
+/// CFG of one function definition. Block 0 is the entry; `exit_block`
+/// is a distinguished empty block every return edge targets.
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  std::size_t exit_block = 0;
+};
+
+/// Builds the CFG of `def`'s body inside `file`. Always returns a
+/// well-formed graph (at minimum entry -> exit).
+[[nodiscard]] Cfg build_cfg(const LexedFile& file, const FunctionDef& def);
+
+/// Statements of the whole body in source order with scope depths —
+/// the linear view used by scope-stack passes (lock-order). Identical
+/// statement ranges to the CFG's blocks.
+[[nodiscard]] std::vector<Stmt> linear_statements(const LexedFile& file,
+                                                  const FunctionDef& def);
+
+}  // namespace sysuq_analyze

@@ -1,17 +1,28 @@
 // sysuq_analyze — project-aware static analyzer for the sysuq codebase.
 //
-//   sysuq_analyze [--sarif FILE] [--only rule1,rule2] [root...]
+//   sysuq_analyze [--sarif FILE] [--only rule1,rule2] [--jobs N] [root...]
 //
 // Each root is scanned recursively for C++ sources/headers; the default
 // root is `src`. Paths are reported relative to the invocation, so run
 // it from the repository root (CI does). Exit codes: 0 clean,
 // 1 violations, 2 usage/IO error — same protocol as the old sysuq_lint.
+//
+// Lexing and model building fan out over a worker pool (the engine's
+// fixed-slot pattern: an atomic cursor over a pre-sorted work list,
+// results landing in index-addressed slots), so output stays
+// byte-identical to a serial run. A cross-root cache keyed by canonical
+// absolute path tokenizes each file once even when scan roots overlap.
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sysuq_analyze/lexer.hpp"
@@ -60,7 +71,16 @@ bool root_inside_fixture(const fs::path& root) {
   return false;
 }
 
-int collect(const std::string& root_arg, std::vector<LexedFile>& out) {
+/// One file waiting to be lexed: where it is and which scan root claims
+/// it (a file can be queued once per root that reaches it; the lex
+/// cache makes the second tokenization free).
+struct PendingFile {
+  fs::path path;
+  std::string root_arg;
+  bool file_root = false;  ///< the root itself was a regular file
+};
+
+int collect_paths(const std::string& root_arg, std::vector<PendingFile>& out) {
   const fs::path root(root_arg);
   std::error_code ec;
   if (!fs::exists(root, ec) || ec) {
@@ -71,48 +91,85 @@ int collect(const std::string& root_arg, std::vector<LexedFile>& out) {
 
   std::vector<fs::path> paths;
   if (fs::is_regular_file(root)) {
-    paths.push_back(root);
-  } else {
-    fs::recursive_directory_iterator it(
-        root, fs::directory_options::skip_permission_denied, ec);
-    const fs::recursive_directory_iterator end;
-    for (; it != end; it.increment(ec)) {
-      if (ec) {
-        std::cerr << "sysuq_analyze: walk error under " << root_arg << ": "
-                  << ec.message() << "\n";
-        return 2;
-      }
-      if (it->is_directory() && !in_fixture && skip_dir(it->path())) {
-        it.disable_recursion_pending();
-        continue;
-      }
-      bool h = false, s = false;
-      if (it->is_regular_file() && has_cpp_ext(it->path(), h, s))
-        paths.push_back(it->path());
+    out.push_back({root, root_arg, /*file_root=*/true});
+    return 0;
+  }
+  fs::recursive_directory_iterator it(
+      root, fs::directory_options::skip_permission_denied, ec);
+  const fs::recursive_directory_iterator end;
+  for (; it != end; it.increment(ec)) {
+    if (ec) {
+      std::cerr << "sysuq_analyze: walk error under " << root_arg << ": "
+                << ec.message() << "\n";
+      return 2;
     }
+    if (it->is_directory() && !in_fixture && skip_dir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    bool h = false, s = false;
+    if (it->is_regular_file() && has_cpp_ext(it->path(), h, s))
+      paths.push_back(it->path());
   }
   std::sort(paths.begin(), paths.end());
-
-  for (const auto& p : paths) {
-    LexedFile f;
-    f.abs_path = fs::absolute(p);
-    f.root = fs::is_regular_file(root) ? std::string() : root_arg;
-    const fs::path rel =
-        fs::is_regular_file(root) ? p.filename() : p.lexically_relative(root);
-    f.rel = rel.generic_string();
-    has_cpp_ext(p, f.is_header, f.is_source);
-    const auto first = rel.begin();
-    if (first != rel.end() && known_modules().count(first->string()) > 0)
-      f.module_name = first->string();
-    if (!lex_file(p, f)) return 2;
-    out.push_back(std::move(f));
-  }
+  for (const auto& p : paths) out.push_back({p, root_arg, false});
   return 0;
+}
+
+/// Tokenized-file cache shared by the workers: key is the canonical
+/// absolute path, value the root-independent lex result. Headers
+/// reached through several scan roots (or listed twice on the command
+/// line) tokenize exactly once.
+class LexCache {
+ public:
+  /// Returns the cached lex of `abs`, tokenizing on miss. Null when the
+  /// file cannot be read.
+  std::shared_ptr<const LexedFile> get(const fs::path& abs) {
+    const std::string key = abs.string();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = by_path_.find(key);
+      if (it != by_path_.end()) return it->second;
+    }
+    auto fresh = std::make_shared<LexedFile>();
+    fresh->abs_path = abs;
+    const bool ok = lex_file(abs, *fresh);
+    std::shared_ptr<const LexedFile> stored = ok ? fresh : nullptr;
+    std::lock_guard<std::mutex> lock(mu_);
+    by_path_.emplace(key, stored);
+    return stored;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const LexedFile>> by_path_;
+};
+
+/// Lexes and models `pending[i]` into `slots[i]`. Returns false on
+/// read failure (already reported by lex_file).
+bool analyze_one(const PendingFile& pf, LexCache& cache, AnalyzedFile& slot) {
+  const fs::path abs = fs::absolute(pf.path);
+  const std::shared_ptr<const LexedFile> lexed = cache.get(abs);
+  if (lexed == nullptr) return false;
+  LexedFile f = *lexed;  // per-root fields differ; tokens are shared work
+  f.root = pf.file_root ? std::string() : pf.root_arg;
+  const fs::path rel = pf.file_root
+                           ? pf.path.filename()
+                           : pf.path.lexically_relative(pf.root_arg);
+  f.rel = rel.generic_string();
+  has_cpp_ext(pf.path, f.is_header, f.is_source);
+  f.module_name.clear();
+  const auto first = rel.begin();
+  if (first != rel.end() && known_modules().count(first->string()) > 0)
+    f.module_name = first->string();
+  slot.lex = std::move(f);
+  slot.model = build_model(slot.lex);
+  return true;
 }
 
 int usage() {
   std::cerr << "usage: sysuq_analyze [--sarif FILE] [--only rule1,rule2] "
-               "[root...]\n";
+               "[--jobs N] [root...]\n";
   return 2;
 }
 
@@ -121,6 +178,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   std::string sarif_path;
+  unsigned jobs = std::max(1u, std::min(8u, std::thread::hardware_concurrency()));
   Reporter rep;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -139,6 +197,14 @@ int main(int argc, char** argv) {
         if (comma == std::string::npos) break;
         pos = comma + 1;
       }
+    } else if (arg == "--jobs") {
+      if (++a >= argc) return usage();
+      try {
+        jobs = static_cast<unsigned>(std::stoul(argv[a]));
+      } catch (...) {
+        return usage();
+      }
+      if (jobs == 0) jobs = 1;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -150,17 +216,55 @@ int main(int argc, char** argv) {
   }
   if (roots.empty()) roots.emplace_back("src");
 
-  Project project;
-  for (const auto& root : roots) {
-    std::vector<LexedFile> files;
-    if (const int rc = collect(root, files); rc != 0) return rc;
-    for (auto& f : files) {
-      AnalyzedFile af;
-      af.lex = std::move(f);
-      af.model = build_model(af.lex);
-      project.files.push_back(std::move(af));
+  // Unknown rule names in --only are a usage error: a typo would
+  // otherwise silently disable the filter's target and pass CI.
+  {
+    std::set<std::string> known;
+    for (const RuleDoc& r : rule_catalog()) known.insert(r.id);
+    std::vector<std::string> bad;
+    for (const std::string& r : rep.only)
+      if (known.count(r) == 0) bad.push_back(r);
+    if (!bad.empty()) {
+      std::cerr << "sysuq_analyze: unknown rule(s) in --only:";
+      for (const std::string& r : bad) std::cerr << " " << r;
+      std::cerr << "\nvalid rules:";
+      for (const RuleDoc& r : rule_catalog()) std::cerr << " " << r.id;
+      std::cerr << "\n";
+      return 2;
     }
   }
+
+  std::vector<PendingFile> pending;
+  for (const auto& root : roots) {
+    if (const int rc = collect_paths(root, pending); rc != 0) return rc;
+  }
+
+  // Fan out: fixed result slots, atomic cursor, byte-identical to the
+  // serial order because slot i always holds pending[i]'s result.
+  Project project;
+  project.files.resize(pending.size());
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  LexCache cache;
+  const unsigned nthreads =
+      static_cast<unsigned>(std::min<std::size_t>(jobs, pending.size()));
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1);
+      if (i >= pending.size()) return;
+      if (!analyze_one(pending[i], cache, project.files[i]))
+        failed.store(true);
+    }
+  };
+  if (nthreads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (unsigned i = 0; i < nthreads; ++i) threads.emplace_back(worker);
+    for (auto& th : threads) th.join();
+  }
+  if (failed.load()) return 2;
   project.index();
 
   pass_layering(project, rep);
@@ -168,6 +272,9 @@ int main(int argc, char** argv) {
   pass_locks(project, rep);
   pass_mutate(project, rep);
   pass_legacy(project, rep);
+  pass_arena(project, rep);
+  pass_lockorder(project, rep);
+  pass_logdomain(project, rep);
 
   std::sort(rep.violations.begin(), rep.violations.end(),
             [](const Violation& a, const Violation& b) {

@@ -402,6 +402,8 @@ class Parser {
       def.line = name_line;
       def.body_begin = j;
       def.body_end = skip_balanced(j, "{", "}");
+      def.params_begin = paren;
+      def.params_end = skip_balanced(paren, "(", ")");
       def.is_ctor = is_ctor;
       def.is_dtor = is_dtor;
       def.in_header = f_.is_header;

@@ -58,9 +58,11 @@ struct ClassInfo {
 struct FunctionDef {
   std::string class_name;  ///< enclosing class or out-of-line qualifier; ""
   std::string name;
-  std::size_t line = 0;        ///< line of the name token
-  std::size_t body_begin = 0;  ///< token index of '{'
-  std::size_t body_end = 0;    ///< token index one past matching '}'
+  std::size_t line = 0;          ///< line of the name token
+  std::size_t body_begin = 0;    ///< token index of '{'
+  std::size_t body_end = 0;      ///< token index one past matching '}'
+  std::size_t params_begin = 0;  ///< token index of the declarator '('
+  std::size_t params_end = 0;    ///< one past the matching ')'
   bool is_ctor = false;
   bool is_dtor = false;
   bool in_header = false;

@@ -1,0 +1,483 @@
+// lock-order: builds a global lock-acquisition graph across all
+// mutex-owning classes and reports
+//
+//   1. cycles in the acquisition order (potential deadlock: two
+//      threads taking the same pair of mutexes in opposite orders),
+//   2. a condition_variable wait entered while holding a mutex other
+//      than the one the wait releases (the held one stays locked for
+//      the whole sleep),
+//   3. any mutex held across a thread-pool dispatch, std::thread
+//      construction, async launch, or join (the child may need the
+//      same lock: instant deadlock under contention).
+//
+// Unlike arena-escape/log-domain this pass does not run on the CFG:
+// RAII guard lifetimes follow brace scopes, so a linear statement walk
+// with a scope stack (statement depths from cfg.hpp's
+// linear_statements) models exactly when a lock_guard releases.
+// Acquisition edges are interprocedural through per-root transitive
+// acquires-summaries over the name-granular call graph, so
+// `lock(a); f();` with `f` locking `b` still yields the edge a -> b.
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sysuq_analyze/cfg.hpp"
+#include "sysuq_analyze/dataflow.hpp"
+#include "sysuq_analyze/lexer.hpp"
+#include "sysuq_analyze/model.hpp"
+#include "sysuq_analyze/passes.hpp"
+
+namespace sysuq_analyze {
+
+namespace {
+
+constexpr const char* kRule = "lock-order";
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+bool guard_type(const std::string& n) {
+  return n == "lock_guard" || n == "unique_lock" || n == "scoped_lock" ||
+         n == "shared_lock";
+}
+
+bool dispatch_method(const std::string& n) {
+  return n == "run" || n == "submit" || n == "enqueue" || n == "post" ||
+         n == "dispatch";
+}
+
+/// Effective token indices of [b, e) with lambda bodies skipped — a
+/// guard declared inside a callback is scoped to the callback, not to
+/// the enclosing function's walk.
+std::vector<std::size_t> effective(const LexedFile& f, std::size_t b,
+                                   std::size_t e) {
+  std::vector<std::size_t> out;
+  const auto& t = f.tokens;
+  for (std::size_t i = b; i < e && i < t.size(); ++i) {
+    if (t[i].kind == TokKind::kPunct && t[i].text == "[") {
+      const std::size_t past = lambda_end(f, i, e);
+      if (past != i) {
+        i = past - 1;
+        continue;
+      }
+    }
+    out.push_back(i);
+  }
+  return out;
+}
+
+/// Canonical name of the mutex spelled by the identifier chain that
+/// ENDS at effective index `last` (inclusive): walks back through
+/// `a.b`/`a->b`/`A::b` links. Members resolve to `Class::name` so the
+/// same mutex spells identically from every method; anything else
+/// keeps its joined chain.
+std::string canonical_mutex(const Project& project, const AnalyzedFile& af,
+                            const FunctionDef& def, const LexedFile& f,
+                            const std::vector<std::size_t>& eff,
+                            std::size_t last) {
+  const auto& t = f.tokens;
+  std::vector<std::string> chain;
+  std::ptrdiff_t k = static_cast<std::ptrdiff_t>(last);
+  while (k >= 0) {
+    const Token& tok = t[eff[static_cast<std::size_t>(k)]];
+    if (tok.kind != TokKind::kIdent) break;
+    chain.push_back(tok.text);
+    if (k < 2) break;
+    const Token& link = t[eff[static_cast<std::size_t>(k - 1)]];
+    if (link.kind != TokKind::kPunct ||
+        (link.text != "." && link.text != "->" && link.text != "::"))
+      break;
+    k -= 2;
+  }
+  std::reverse(chain.begin(), chain.end());
+  if (!chain.empty() && chain.front() == "this") chain.erase(chain.begin());
+  if (chain.empty()) return "";
+  const std::string& name = chain.back();
+  if (chain.size() == 1) {
+    std::string cls = def.class_name;
+    const bool memberish =
+        (!cls.empty() &&
+         [&] {
+           const ClassInfo* ci = project.find_class(af, cls);
+           return ci != nullptr && ci->member(name) != nullptr;
+         }()) ||
+        (!name.empty() && name.back() == '_');
+    if (memberish && !cls.empty()) return cls + "::" + name;
+    if (memberish) return f.module_name + "::" + name;
+    return name;
+  }
+  std::string joined;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i != 0) joined += ".";
+    joined += chain[i];
+  }
+  return joined;
+}
+
+struct Witness {
+  const LexedFile* file = nullptr;
+  std::size_t line = 0;
+};
+
+struct Held {
+  std::string mutex;
+  std::size_t depth = 0;     ///< statement depth of the acquisition
+  std::string guard;         ///< guard variable name, "" for .lock()
+  bool scoped = true;        ///< pops when the brace scope closes
+};
+
+struct WalkCtx {
+  const Project* project = nullptr;
+  const AnalyzedFile* af = nullptr;
+  const FunctionDef* def = nullptr;
+  Reporter* rep = nullptr;
+  /// Global acquisition graph: from -> to -> first witness.
+  std::map<std::string, std::map<std::string, Witness>>* edges = nullptr;
+  /// Transitive acquires-summary of this root (may be null on the
+  /// summary-collection walk).
+  const std::map<std::string, std::set<std::string>>* summary = nullptr;
+  /// Direct acquisitions collected on the first walk.
+  std::set<std::string>* direct = nullptr;
+};
+
+void add_edges(WalkCtx& ctx, const std::vector<Held>& held,
+               const std::string& to, const LexedFile& f, std::size_t line) {
+  if (ctx.edges == nullptr) return;
+  for (const Held& h : held) {
+    if (h.mutex == to) continue;
+    auto& row = (*ctx.edges)[h.mutex];
+    if (row.count(to) == 0) row[to] = Witness{&f, line};
+  }
+}
+
+/// One statement of the scope walk. Returns via `held` / `guards`.
+void walk_stmt(WalkCtx& ctx, const Stmt& s, std::vector<Held>& held,
+               std::map<std::string, std::string>& guards) {
+  const LexedFile& f = ctx.af->lex;
+  const auto& t = f.tokens;
+  const std::vector<std::size_t> eff = effective(f, s.begin, s.end);
+  if (eff.empty()) return;
+  const std::size_t line = t[eff[0]].line;
+
+  // Scope exit: guards acquired deeper than this statement are gone.
+  held.erase(std::remove_if(held.begin(), held.end(),
+                            [&](const Held& h) {
+                              return h.scoped && h.depth > s.depth;
+                            }),
+             held.end());
+
+  const auto hold = [&](const std::string& mu, const std::string& guard,
+                        bool scoped) {
+    add_edges(ctx, held, mu, f, line);
+    if (ctx.direct != nullptr) ctx.direct->insert(mu);
+    for (const Held& h : held)
+      if (h.mutex == mu) return;  // re-entrant spelling; keep one
+    held.push_back(Held{mu, s.depth, guard, scoped});
+  };
+
+  for (std::size_t k = 0; k < eff.size(); ++k) {
+    const Token& tok = t[eff[k]];
+    if (tok.kind != TokKind::kIdent) continue;
+
+    // Guard declaration: lock_guard<...> name(mu, ...).
+    if (guard_type(tok.text)) {
+      std::size_t j = k + 1;
+      if (j < eff.size() && is_punct(t[eff[j]], "<")) {
+        int d = 0;
+        for (; j < eff.size(); ++j) {
+          if (is_punct(t[eff[j]], "<")) ++d;
+          else if (is_punct(t[eff[j]], ">") && --d == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      if (j + 1 >= eff.size() || t[eff[j]].kind != TokKind::kIdent ||
+          !is_punct(t[eff[j + 1]], "("))
+        continue;
+      const std::string guard_name = t[eff[j]].text;
+      // Arguments: top-level comma split; each argument's trailing
+      // identifier chain names a mutex.
+      int d = 0;
+      std::size_t arg_last = 0;
+      bool have_arg = false, deferred = false;
+      std::vector<std::size_t> arg_ends;
+      std::size_t close = eff.size();
+      for (std::size_t a = j + 1; a < eff.size(); ++a) {
+        const Token& at = t[eff[a]];
+        if (at.kind == TokKind::kPunct) {
+          if (at.text == "(") {
+            ++d;
+            continue;
+          }
+          if (at.text == ")") {
+            if (--d == 0) {
+              if (have_arg) arg_ends.push_back(arg_last);
+              close = a;
+              break;
+            }
+            continue;
+          }
+          if (at.text == "," && d == 1) {
+            if (have_arg) arg_ends.push_back(arg_last);
+            have_arg = false;
+            continue;
+          }
+        }
+        if (d == 1 && at.kind == TokKind::kIdent) {
+          arg_last = a;
+          have_arg = true;
+        }
+      }
+      for (const std::size_t a : arg_ends) {
+        const std::string& word = t[eff[a]].text;
+        if (word == "defer_lock") {
+          deferred = true;
+          continue;
+        }
+        if (word == "adopt_lock" || word == "try_to_lock") continue;
+        const std::string mu = canonical_mutex(*ctx.project, *ctx.af,
+                                               *ctx.def, f, eff, a);
+        if (mu.empty()) continue;
+        guards[guard_name] = mu;
+        if (!deferred) hold(mu, guard_name, /*scoped=*/true);
+      }
+      k = close;
+      continue;
+    }
+
+    // Method calls on an identifier chain: X.lock() / X.unlock() /
+    // cv.wait(lk) / pool->run(...) / t.join().
+    const bool methodish = k >= 2 && t[eff[k - 1]].kind == TokKind::kPunct &&
+                           (t[eff[k - 1]].text == "." ||
+                            t[eff[k - 1]].text == "->") &&
+                           k + 1 < eff.size() && is_punct(t[eff[k + 1]], "(");
+    if (methodish && tok.text == "lock") {
+      const std::string recv = t[eff[k - 2]].text;
+      const auto g = guards.find(recv);
+      const std::string mu =
+          g != guards.end()
+              ? g->second
+              : canonical_mutex(*ctx.project, *ctx.af, *ctx.def, f, eff,
+                                k - 2);
+      if (!mu.empty())
+        hold(mu, g != guards.end() ? recv : "", /*scoped=*/g != guards.end());
+      continue;
+    }
+    if (methodish && tok.text == "unlock") {
+      const std::string recv = t[eff[k - 2]].text;
+      const auto g = guards.find(recv);
+      const std::string mu = g != guards.end()
+                                 ? g->second
+                                 : canonical_mutex(*ctx.project, *ctx.af,
+                                                   *ctx.def, f, eff, k - 2);
+      held.erase(std::remove_if(held.begin(), held.end(),
+                                [&](const Held& h) { return h.mutex == mu; }),
+                 held.end());
+      continue;
+    }
+    if (methodish && (tok.text == "wait" || tok.text == "wait_for" ||
+                      tok.text == "wait_until")) {
+      // First argument: the unique_lock the wait releases.
+      std::string released;
+      if (k + 2 < eff.size() && t[eff[k + 2]].kind == TokKind::kIdent) {
+        const std::string& arg = t[eff[k + 2]].text;
+        const auto g = guards.find(arg);
+        released = g != guards.end()
+                       ? g->second
+                       : canonical_mutex(*ctx.project, *ctx.af, *ctx.def, f,
+                                         eff, k + 2);
+      }
+      if (ctx.rep != nullptr) {
+        for (const Held& h : held) {
+          if (h.mutex == released) continue;
+          ctx.rep->report(
+              f, line, kRule,
+              "condition_variable wait releases '" + released +
+                  "' but '" + h.mutex +
+                  "' stays locked for the whole sleep; drop it before "
+                  "waiting or the sleeping thread blocks every peer");
+        }
+      }
+      continue;
+    }
+    if (methodish && tok.text == "join") {
+      if (ctx.rep != nullptr && !held.empty()) {
+        ctx.rep->report(f, line, kRule,
+                        "'" + held.front().mutex +
+                            "' held across a thread join; the joined "
+                            "thread may need that lock to finish — "
+                            "release before joining");
+      }
+      continue;
+    }
+    if (methodish && dispatch_method(tok.text)) {
+      const std::string recv = t[eff[k - 2]].text;
+      if (recv.find("pool") != std::string::npos && ctx.rep != nullptr &&
+          !held.empty()) {
+        ctx.rep->report(f, line, kRule,
+                        "'" + held.front().mutex +
+                            "' held across a thread-pool dispatch; pool "
+                            "workers contending for it deadlock against "
+                            "the dispatching thread — release first");
+      }
+      // Fall through: `run` may also be a summarized callee below.
+    }
+
+    // std::thread t(...) / async(...) construction under a lock.
+    if ((tok.text == "thread" || tok.text == "async" || tok.text == "jthread")
+        && ctx.rep != nullptr && !held.empty()) {
+      const bool std_qualified =
+          k >= 2 && is_punct(t[eff[k - 1]], "::") &&
+          t[eff[k - 2]].kind == TokKind::kIdent && t[eff[k - 2]].text == "std";
+      if (std_qualified) {
+        ctx.rep->report(f, line, kRule,
+                        "'" + held.front().mutex +
+                            "' held across a std::" + tok.text +
+                            " launch; the new thread may need that lock "
+                            "immediately — release before spawning");
+        continue;
+      }
+    }
+
+    // Interprocedural edges through the acquires-summary.
+    const bool called = k + 1 < eff.size() && is_punct(t[eff[k + 1]], "(") &&
+                        !(k >= 1 && t[eff[k - 1]].kind == TokKind::kPunct &&
+                          t[eff[k - 1]].text == "::" && k >= 2 &&
+                          t[eff[k - 2]].text == "std");
+    if (called && ctx.summary != nullptr && !held.empty() &&
+        tok.text != ctx.def->name) {
+      const auto it = ctx.summary->find(tok.text);
+      if (it != ctx.summary->end())
+        for (const std::string& mu : it->second) add_edges(ctx, held, mu, f, line);
+    }
+  }
+}
+
+void walk_def(WalkCtx& ctx) {
+  std::vector<Held> held;
+  std::map<std::string, std::string> guards;
+  for (const Stmt& s :
+       linear_statements(ctx.af->lex, *ctx.def))
+    walk_stmt(ctx, s, held, guards);
+}
+
+}  // namespace
+
+void pass_lockorder(const Project& project, Reporter& rep) {
+  if (!rep.enabled(kRule)) return;
+
+  // Phase 1: per-function direct acquisitions, per root.
+  std::map<std::string, std::map<std::string, std::set<std::string>>>
+      acquires;  // root -> fn -> mutexes
+  for (const auto& af : project.files) {
+    for (const auto& def : af.model.defs) {
+      WalkCtx ctx;
+      ctx.project = &project;
+      ctx.af = &af;
+      ctx.def = &def;
+      ctx.direct = &acquires[af.lex.root][def.name];
+      walk_def(ctx);
+    }
+  }
+
+  // Phase 2: transitive closure over the name-granular call graph.
+  const CallGraph cg = build_call_graph(project);
+  for (auto& [root, per_fn] : acquires) {
+    const auto cg_it = cg.callees_by_root.find(root);
+    if (cg_it == cg.callees_by_root.end()) continue;
+    for (bool grew = true; grew;) {
+      grew = false;
+      for (auto& [fn, mus] : per_fn) {
+        const auto callees = cg_it->second.find(fn);
+        if (callees == cg_it->second.end()) continue;
+        for (const std::string& callee : callees->second) {
+          if (callee == fn) continue;
+          const auto c = per_fn.find(callee);
+          if (c == per_fn.end()) continue;
+          for (const std::string& mu : c->second)
+            if (mus.insert(mu).second) grew = true;
+        }
+      }
+    }
+  }
+
+  // Phase 3: edge collection + local violations (waits, dispatches).
+  std::map<std::string, std::map<std::string, Witness>> edges;
+  for (const auto& af : project.files) {
+    const auto& summary = acquires[af.lex.root];
+    for (const auto& def : af.model.defs) {
+      WalkCtx ctx;
+      ctx.project = &project;
+      ctx.af = &af;
+      ctx.def = &def;
+      ctx.rep = &rep;
+      ctx.edges = &edges;
+      ctx.summary = &summary;
+      walk_def(ctx);
+    }
+  }
+
+  // Phase 4: cycle detection over the acquisition graph. Each cycle is
+  // reported once, anchored at the witness of its first edge, with the
+  // cycle rotated so its lexicographically smallest mutex leads
+  // (deterministic across runs and file orders).
+  std::set<std::string> seen_cycles;
+  std::vector<std::string> nodes;
+  for (const auto& [from, row] : edges) {
+    nodes.push_back(from);
+    (void)row;
+  }
+  for (const std::string& start : nodes) {
+    std::vector<std::string> path{start};
+    std::set<std::string> on_path{start};
+    // Bounded DFS: graphs here are tiny; the caps are a safety net.
+    std::function<void(const std::string&)> dfs =
+        [&](const std::string& node) {
+          if (path.size() > 8 || seen_cycles.size() > 32) return;
+          const auto row = edges.find(node);
+          if (row == edges.end()) return;
+          for (const auto& [next, wit] : row->second) {
+            (void)wit;
+            if (next == start) {
+              // Only report with the smallest node leading.
+              if (*std::min_element(path.begin(), path.end()) != start)
+                continue;
+              std::string desc = start;
+              for (std::size_t i = 1; i < path.size(); ++i)
+                desc += " -> " + path[i];
+              desc += " -> " + start;
+              if (!seen_cycles.insert(desc).second) continue;
+              // Anchor at the first edge of the cycle when available.
+              const Witness* w = &wit;
+              if (path.size() > 1) {
+                const auto r0 = edges.find(start);
+                if (r0 != edges.end()) {
+                  const auto e0 = r0->second.find(path[1]);
+                  if (e0 != r0->second.end()) w = &e0->second;
+                }
+              }
+              rep.report(*w->file, w->line, kRule,
+                         "potential deadlock: lock-order cycle " + desc +
+                             "; pick one global acquisition order and "
+                             "stick to it");
+              continue;
+            }
+            if (on_path.count(next) > 0 || next < start) continue;
+            path.push_back(next);
+            on_path.insert(next);
+            dfs(next);
+            path.pop_back();
+            on_path.erase(next);
+          }
+        };
+    dfs(start);
+  }
+}
+
+}  // namespace sysuq_analyze

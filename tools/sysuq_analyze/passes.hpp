@@ -16,6 +16,14 @@
 //                  stricter-than-declared memory order.
 //   mutate       — member mutations preceding the last precondition
 //                  check in a function (the PR-2 set_cpt bug class).
+//   arena        — arena-escape dataflow: thread_scratch()/Arena views
+//                  used after reset(), stored into members, or captured
+//                  by thread-pool callbacks (cfg.hpp + dataflow.hpp).
+//   lockorder    — global lock-acquisition graph with cycle detection,
+//                  plus no-mutex-across-cv-wait/dispatch/join.
+//   logdomain    — log-domain values flowing into linear arithmetic or
+//                  SYSUQ_ASSERT_PROB* without exp()/from_log(), and
+//                  naive += accumulation over probability arrays.
 #pragma once
 
 #include <cstddef>
@@ -95,6 +103,9 @@ void pass_layering(const Project& project, Reporter& rep);
 void pass_contracts(const Project& project, Reporter& rep);
 void pass_locks(const Project& project, Reporter& rep);
 void pass_mutate(const Project& project, Reporter& rep);
+void pass_arena(const Project& project, Reporter& rep);
+void pass_lockorder(const Project& project, Reporter& rep);
+void pass_logdomain(const Project& project, Reporter& rep);
 
 /// Display path for a file (root-joined, generic separators).
 [[nodiscard]] std::string display_path(const LexedFile& f);

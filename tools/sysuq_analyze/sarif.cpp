@@ -10,15 +10,10 @@ namespace sysuq_analyze {
 
 namespace {
 
-struct RuleDoc {
-  const char* id;
-  const char* description;
-};
-
 // The full catalog, in catalog order (docs/analyzer_rules.md mirrors
 // this). Every rule appears in tool.driver.rules even when it produced
 // no results, so SARIF consumers can show what was checked.
-constexpr std::array<RuleDoc, 9> kRules = {{
+constexpr std::array<RuleDoc, 12> kRules = {{
     {"layering",
      "Includes must respect the module DAG core -> prob -> bayesnet -> "
      "{evidence, perception, fta, markov, orbit} -> sys; obs is includable "
@@ -49,6 +44,20 @@ constexpr std::array<RuleDoc, 9> kRules = {{
     {"obs-naming",
      "Metric and span names must be dot-separated snake_case "
      "(module.subsystem.name)."},
+    {"arena-escape",
+     "Values backed by the per-thread bump arena (kernels::"
+     "thread_scratch() / Arena::alloc) must not be used after a reset(), "
+     "stored into class members, or captured by thread-pool callbacks."},
+    {"lock-order",
+     "Mutexes must be acquired in one global order (no cycles in the "
+     "acquisition graph), and no mutex may be held across a "
+     "condition_variable wait on another lock, a thread-pool dispatch, "
+     "or a thread spawn/join."},
+    {"log-domain",
+     "Log-domain values (log_total, to_log, std::log, log_* names) must "
+     "not reach SYSUQ_ASSERT_PROB* or linear `*`/`/` arithmetic without "
+     "an explicit exp()/from_log() conversion; prefer the "
+     "Neumaier-compensated kernels::total() over naive `+=` loops."},
 }};
 
 std::string json_escape(const std::string& s) {
@@ -75,6 +84,11 @@ std::string json_escape(const std::string& s) {
 }
 
 }  // namespace
+
+const std::vector<RuleDoc>& rule_catalog() {
+  static const std::vector<RuleDoc> kCatalog(kRules.begin(), kRules.end());
+  return kCatalog;
+}
 
 std::ostream& write_sarif(std::ostream& os,
                           std::vector<Violation> violations) {

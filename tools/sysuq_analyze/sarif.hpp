@@ -10,6 +10,17 @@
 
 namespace sysuq_analyze {
 
+/// One catalog entry: rule id plus its one-line description.
+struct RuleDoc {
+  const char* id;
+  const char* description;
+};
+
+/// The full rule catalog in catalog order — the single source of truth
+/// for the SARIF driver.rules block, the --only validation in main,
+/// and docs/analyzer_rules.md (which mirrors it).
+[[nodiscard]] const std::vector<RuleDoc>& rule_catalog();
+
 /// Writes `violations` as a single-run SARIF 2.1.0 log. Returns the
 /// stream so callers can check for write failure via `os.good()`.
 std::ostream& write_sarif(std::ostream& os, std::vector<Violation> violations);
