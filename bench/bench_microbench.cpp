@@ -209,6 +209,31 @@ void BM_HmmFilter(benchmark::State& state) {
 }
 BENCHMARK(BM_HmmFilter)->Arg(100)->Arg(1000);
 
+void BM_HistogramObserve(benchmark::State& state) {
+  // The bucket lookup in obs::Histogram::observe — a branchless binary
+  // search over the bound ladder (registry.cpp). Arg = bucket count.
+  // The observed values sweep the full ladder in a pseudo-random order
+  // so every bucket is hit and the predictor cannot memorize one path,
+  // which is exactly the regime the branchless form is for.
+  const auto buckets = static_cast<std::size_t>(state.range(0));
+  std::vector<double> bounds;
+  bounds.reserve(buckets);
+  double edge = 1e-6;
+  for (std::size_t i = 0; i < buckets; ++i, edge *= 1.7) bounds.push_back(edge);
+  obs::Registry registry;
+  obs::Histogram& histogram = registry.histogram(
+      "bench.microbench.histogram_observe", bounds);
+  prob::Rng rng(13);
+  std::vector<double> values(4096);
+  for (double& v : values)
+    v = bounds.back() * 1.1 * rng.uniform();  // ~9% land in the +Inf bucket
+  std::size_t i = 0;
+  for (auto _ : state) {
+    histogram.observe(values[i++ & 4095]);
+  }
+}
+BENCHMARK(BM_HistogramObserve)->Arg(8)->Arg(32)->Arg(128);
+
 void BM_Pce1DProjection(benchmark::State& state) {
   const auto order = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bayesnet/engine.hpp"
+#include "obs/context.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "perception/table1.hpp"
@@ -61,6 +62,18 @@ double run_queries(const sysuq::bayesnet::InferenceEngine& engine,
   const auto t0 = Clock::now();
   for (std::size_t i = 0; i < n; ++i)
     (void)engine.query(i % 2, {{leaf, i % 4}});
+  return seconds_since(t0);
+}
+
+// The pooled batch path: every dispatch captures the caller's
+// TraceContext and re-installs it on the worker (engine.cpp), so this
+// also times the cross-thread context propagation added for query-level
+// tracing.
+double run_batches(const sysuq::bayesnet::InferenceEngine& engine,
+                   const std::vector<sysuq::bayesnet::QuerySpec>& batch,
+                   std::size_t reps) {
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < reps; ++i) (void)engine.query_batch(batch);
   return seconds_since(t0);
 }
 
@@ -132,7 +145,52 @@ int main() {
   const double on_s = median_off + median_delta;
 
   const double overhead_pct = std::max(0.0, 100.0 * median_delta / median_off);
-  const bool within_budget = overhead_pct <= 2.0;
+
+  // Same A/B over the pooled batch path, which additionally pays the
+  // TraceContext capture per dispatch and one ContextScope install per
+  // worker task. The budget is shared: the whole obs layer — recording
+  // plus propagation — must stay within 2% of the batch hot path too.
+  const bayesnet::InferenceEngine batch_engine(net, {.threads = 4});
+  std::vector<bayesnet::QuerySpec> batch;
+  constexpr std::size_t kBatchQueries = 256;
+  batch.reserve(kBatchQueries);
+  for (std::size_t i = 0; i < kBatchQueries; ++i)
+    batch.push_back({i % 2, {{leaf, i % 4}}});
+  constexpr std::size_t kBatchReps = 6;
+  constexpr int kBatchPairs = 31;
+  (void)run_batches(batch_engine, batch, 2);  // warm caches + pool
+  std::vector<double> batch_deltas;
+  std::vector<double> batch_off_times;
+  batch_deltas.reserve(kBatchPairs);
+  batch_off_times.reserve(kBatchPairs);
+  for (int pair = 0; pair < kBatchPairs; ++pair) {
+    double on_slice;
+    double off_slice;
+    if (pair % 2 == 0) {
+      obs::set_metrics_enabled(false);
+      off_slice = run_batches(batch_engine, batch, kBatchReps);
+      obs::set_metrics_enabled(true);
+      on_slice = run_batches(batch_engine, batch, kBatchReps);
+    } else {
+      obs::set_metrics_enabled(true);
+      on_slice = run_batches(batch_engine, batch, kBatchReps);
+      obs::set_metrics_enabled(false);
+      off_slice = run_batches(batch_engine, batch, kBatchReps);
+      obs::set_metrics_enabled(true);
+    }
+    batch_deltas.push_back(on_slice - off_slice);
+    batch_off_times.push_back(off_slice);
+  }
+  std::sort(batch_deltas.begin(), batch_deltas.end());
+  std::sort(batch_off_times.begin(), batch_off_times.end());
+  const double batch_median_delta = batch_deltas[batch_deltas.size() / 2];
+  const double batch_median_off = batch_off_times[batch_off_times.size() / 2];
+  const double batch_overhead_pct =
+      std::max(0.0, 100.0 * batch_median_delta / batch_median_off);
+  const double batch_qps =
+      static_cast<double>(kBatchQueries) * kBatchReps / batch_median_off;
+
+  const bool within_budget = overhead_pct <= 2.0 && batch_overhead_pct <= 2.0;
 
   // Per-primitive costs (recording enabled; the trace sink for the span
   // cost is disabled, which is the library default and the hot-path
@@ -153,6 +211,12 @@ int main() {
   const double span_ns = ns_per_op(kOps, [&](std::size_t) {
     const obs::Span span("bench.obs.span", disabled_sink);
   });
+  // One cross-thread handoff's worth of context work: read the caller's
+  // context, install it, restore on scope exit (two thread-local copies).
+  const double context_ns = ns_per_op(kOps, [&](std::size_t) {
+    const obs::TraceContext ctx = obs::current_context();
+    const obs::ContextScope scope(ctx);
+  });
 
   std::printf(
       "workload: %d interleaved pairs of %zu queries over %zu variables, "
@@ -162,24 +226,37 @@ int main() {
               kQueriesPerSlice / off_s);
   std::printf("  %-32s %10.1f queries/s\n", "recording enabled",
               kQueriesPerSlice / on_s);
-  std::printf("  overhead: %.2f%% (budget: 2%%) -> %s\n\n", overhead_pct,
+  std::printf("  overhead: %.2f%% (budget: 2%%)\n\n", overhead_pct);
+  std::printf(
+      "batch workload: %d interleaved pairs of %zu pooled query_batch "
+      "dispatches (%zu queries each, 4 workers, context propagation)\n",
+      kBatchPairs, kBatchReps, kBatchQueries);
+  std::printf("  %-32s %10.1f queries/s\n", "recording suspended", batch_qps);
+  std::printf("  overhead: %.2f%% (budget: 2%%)\n\n", batch_overhead_pct);
+  std::printf("verdict: %s\n\n",
               within_budget ? "within budget" : "OVER BUDGET");
   std::printf("per-primitive costs (recording enabled):\n");
   std::printf("  %-32s %8.1f ns\n", "Counter::inc", counter_ns);
   std::printf("  %-32s %8.1f ns\n", "Gauge::set", gauge_ns);
   std::printf("  %-32s %8.1f ns\n", "Histogram::observe", histogram_ns);
   std::printf("  %-32s %8.1f ns\n", "Span (disabled sink)", span_ns);
+  std::printf("  %-32s %8.1f ns\n", "ContextScope handoff", context_ns);
 
   std::printf(
       "BENCH {\"bench\":\"obs_overhead\",\"queries\":%zu,"
       "\"qps_recording_off\":%.1f,\"qps_recording_on\":%.1f,"
-      "\"overhead_pct\":%.3f,\"budget_pct\":2.0,"
+      "\"overhead_pct\":%.3f,"
+      "\"batch_queries\":%zu,\"batch_qps_recording_off\":%.1f,"
+      "\"batch_overhead_pct\":%.3f,\"budget_pct\":2.0,"
       "\"counter_inc_ns\":%.1f,\"gauge_set_ns\":%.1f,"
       "\"histogram_observe_ns\":%.1f,\"span_disabled_ns\":%.1f,"
+      "\"context_scope_ns\":%.1f,"
       "\"within_budget\":%s}\n",
       static_cast<std::size_t>(kPairs) * kQueriesPerSlice,
       kQueriesPerSlice / off_s, kQueriesPerSlice / on_s, overhead_pct,
-      counter_ns, gauge_ns, histogram_ns, span_ns,
+      static_cast<std::size_t>(kBatchPairs) * kBatchReps * kBatchQueries,
+      batch_qps, batch_overhead_pct,
+      counter_ns, gauge_ns, histogram_ns, span_ns, context_ns,
       within_budget ? "true" : "false");
   return within_budget ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdint>
@@ -13,6 +14,7 @@
 #include <thread>
 
 #include "bayesnet/inference.hpp"
+#include "obs/context.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "prob/rng.hpp"
@@ -249,6 +251,8 @@ kernels::ScaledFactor InferenceEngine::eliminate_all_but(
   }
   kernels::ScaledFactor out =
       kernels::eliminate_scaled(std::move(views), order, arena);
+  last_ve_arena_high_water_.store(arena.bytes_used(),
+                                  std::memory_order_relaxed);
   arena.reset();
   return out;
 }
@@ -373,6 +377,10 @@ prob::JointTable InferenceEngine::joint(VariableId a, VariableId b,
 std::vector<prob::Categorical> InferenceEngine::query_batch(
     const std::vector<QuerySpec>& batch) const {
   const obs::Span span("bayesnet.engine.query_batch");
+  // Capture the batch span's context *after* opening it, so every task
+  // — on workers and on this thread — parents into this batch's trace
+  // instead of fragmenting into per-worker roots.
+  const obs::TraceContext trace_ctx = obs::current_context();
   auto& metrics = EngineMetrics::instance();
   metrics.batch_queries.inc(batch.size());
 
@@ -411,6 +419,7 @@ std::vector<prob::Categorical> InferenceEngine::query_batch(
   // One unit per VE query plus one per JT group; result slots stay fixed
   // per batch index, so scheduling cannot perturb the output.
   const std::function<void(std::size_t)> task = [&](std::size_t u) {
+    const obs::ContextScope trace_scope(trace_ctx);
     if (u < ve_indices.size()) {
       const std::size_t i = ve_indices[u];
       try {
@@ -458,10 +467,12 @@ std::vector<prob::Categorical> InferenceEngine::sample_batch(
     const std::vector<QuerySpec>& batch, std::size_t samples,
     std::uint64_t seed) const {
   const obs::Span span("bayesnet.engine.sample_batch");
+  const obs::TraceContext trace_ctx = obs::current_context();
   EngineMetrics::instance().sampled_queries.inc(batch.size());
   std::vector<std::optional<prob::Categorical>> results(batch.size());
   std::vector<std::exception_ptr> errors(batch.size());
   const std::function<void(std::size_t)> task = [&](std::size_t i) {
+    const obs::ContextScope trace_scope(trace_ctx);
     try {
       // Stream (seed, i) is independent of which thread runs the query.
       prob::Rng base(seed);
@@ -484,6 +495,99 @@ std::vector<prob::Categorical> InferenceEngine::sample_batch(
   out.reserve(batch.size());
   for (auto& r : results) out.push_back(std::move(*r));
   return out;
+}
+
+bool InferenceEngine::ordering_cached(const Evidence& evidence) const {
+  OrderingKey key;
+  key.reserve(evidence.size());
+  for (const auto& [v, _] : evidence) key.push_back(v);  // map: sorted
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return cache_.find(key) != cache_.end();
+}
+
+bool InferenceEngine::tree_cached(const Evidence& evidence) const {
+  const TreeKey key(evidence.begin(), evidence.end());
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return jt_cache_.find(key) != jt_cache_.end();
+}
+
+QueryProfile InferenceEngine::explain(VariableId query,
+                                      const Evidence& evidence) const {
+  using clock = std::chrono::steady_clock;
+  const auto since = [](clock::time_point a, clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  if (query >= net_.size())
+    throw std::out_of_range("InferenceEngine::query: variable id");
+
+  const obs::Span span("bayesnet.engine.explain");
+  QueryProfile p;
+  p.query = net_.variable(query).name();
+  for (const auto& [v, state] : evidence) {
+    if (v >= net_.size())
+      throw std::out_of_range("InferenceEngine::explain: evidence variable id");
+    p.evidence.emplace_back(net_.variable(v).name(),
+                            net_.variable(v).state_name(state));
+  }
+  p.states = net_.variable(query).states();
+
+  const auto t0 = clock::now();
+  if (evidence.contains(query)) {
+    p.backend = "evidence_delta";
+    p.backend_reason =
+        "query variable is observed; the posterior is its evidence delta";
+    const auto d = prob::Categorical::delta(
+        evidence.at(query), net_.variable(query).cardinality());
+    p.posterior = d.probs();
+    p.total_seconds = since(t0, clock::now());
+    return p;
+  }
+
+  if (options_.backend == Backend::kJunctionTree) {
+    p.backend = "junction_tree";
+    p.backend_reason =
+        "Backend::kJunctionTree routes every query through the calibrated "
+        "clique tree";
+    p.jt_cache_hit = tree_cached(evidence);
+    const auto t_cal0 = clock::now();
+    const auto tree = calibrated_tree_for(evidence);
+    const auto t_cal1 = clock::now();
+    for (const auto& clique : tree->cliques())
+      p.clique_sizes.push_back(clique.size());
+    p.max_clique_size = tree->max_clique_size();
+    p.calibration_seconds = tree->build_seconds();
+    p.arena_high_water_bytes = tree->arena_high_water_bytes();
+    const auto posterior = tree->query(query);  // throws when P(e) = 0
+    const auto t_read = clock::now();
+    p.stages.push_back({"calibrate", since(t_cal0, t_cal1)});
+    p.stages.push_back({"read_marginal", since(t_cal1, t_read)});
+    p.posterior = posterior.probs();
+  } else {
+    p.backend = "variable_elimination";
+    p.backend_reason =
+        options_.backend == Backend::kVariableElimination
+            ? "Backend::kVariableElimination runs one elimination per query"
+            : "Backend::kAuto keeps single queries on variable elimination "
+              "(the junction tree amortizes only across batch groups)";
+    p.ordering_cache_hit = ordering_cached(evidence);
+    const auto t_plan0 = clock::now();
+    const auto ordering = ordering_for(evidence);
+    const auto t_plan1 = clock::now();
+    p.induced_width = ordering->induced_width;
+    p.fill_edges = ordering->fill_edges;
+    p.steps = simulate_elimination(net_, evidence, ordering->order, {query});
+    const auto t_sim = clock::now();
+    const auto posterior = query_ve(query, evidence);  // throws when P(e) = 0
+    const auto t_exec = clock::now();
+    p.arena_high_water_bytes =
+        last_ve_arena_high_water_.load(std::memory_order_relaxed);
+    p.stages.push_back({"plan", since(t_plan0, t_plan1)});
+    p.stages.push_back({"analyze", since(t_plan1, t_sim)});
+    p.stages.push_back({"execute", since(t_sim, t_exec)});
+    p.posterior = posterior.probs();
+  }
+  p.total_seconds = since(t0, clock::now());
+  return p;
 }
 
 InferenceEngine::CacheStats InferenceEngine::cache_stats() const {

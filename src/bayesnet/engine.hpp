@@ -41,10 +41,13 @@
 #include <utility>
 #include <vector>
 
+#include <atomic>
+
 #include "bayesnet/junction_tree.hpp"
 #include "bayesnet/kernels.hpp"
 #include "bayesnet/network.hpp"
 #include "bayesnet/ordering.hpp"
+#include "bayesnet/profile.hpp"
 #include "prob/discrete.hpp"
 #include "prob/information.hpp"
 
@@ -105,6 +108,17 @@ class InferenceEngine {
   /// `impossible_evidence_message` if P(evidence) = 0.
   [[nodiscard]] prob::Categorical query(VariableId query,
                                         const Evidence& evidence = {}) const;
+
+  /// EXPLAIN ANALYZE for one query: answers it on the same code path as
+  /// `query` and returns the full cost attribution — backend chosen and
+  /// why, the elimination plan (per-step factor widths and table sizes)
+  /// or the calibrated tree's clique structure, ordering/JT cache hit
+  /// flags, the scratch-arena high-water mark, and wall seconds per
+  /// stage. Throws exactly like `query` (unknown id, impossible
+  /// evidence). Structure fields are deterministic; see
+  /// `QueryProfile::zero_costs` for byte-reproducible rendering.
+  [[nodiscard]] QueryProfile explain(VariableId query,
+                                     const Evidence& evidence = {}) const;
 
   /// Exact posteriors of *every* variable given `evidence`, indexed by
   /// VariableId (observed variables hold their deltas). Under the
@@ -181,6 +195,10 @@ class InferenceEngine {
   mutable std::map<TreeKey, std::shared_ptr<const JunctionTree>> jt_cache_;
   mutable std::size_t jt_cache_hits_ = 0;
   mutable std::size_t jt_cache_misses_ = 0;
+  // Arena bytes live at the peak of the most recent VE elimination on
+  // any thread (captured before the final arena reset). Relaxed: a
+  // diagnostic figure for explain(), not synchronization.
+  mutable std::atomic<std::size_t> last_ve_arena_high_water_{0};
 
   [[nodiscard]] std::shared_ptr<const EliminationOrdering> ordering_for(
       const Evidence& evidence) const;
@@ -196,6 +214,9 @@ class InferenceEngine {
       const Evidence& evidence) const;
   [[nodiscard]] prob::Categorical query_ve(VariableId query,
                                            const Evidence& evidence) const;
+  /// Cache peeks for explain()'s hit attribution (no stats recorded).
+  [[nodiscard]] bool ordering_cached(const Evidence& evidence) const;
+  [[nodiscard]] bool tree_cached(const Evidence& evidence) const;
 };
 
 }  // namespace sysuq::bayesnet

@@ -1,6 +1,7 @@
 #include "bayesnet/junction_tree.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <iterator>
 #include <limits>
@@ -95,7 +96,14 @@ JunctionTree::JunctionTree(const BayesianNetwork& net, const Evidence& evidence,
   const obs::Span span("bayesnet.jt.calibrate");
   auto& metrics = JtMetrics::instance();
   const obs::HistogramTimer timer(metrics.calibration_seconds);
+  // Timed directly as well: the obs histogram aggregates across trees,
+  // while build_seconds() attributes this one build (and stays live
+  // under SYSUQ_OBS=OFF for `explain`).
+  const auto t0 = std::chrono::steady_clock::now();
   calibrate(heuristic);
+  build_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   metrics.builds.inc();
   metrics.cliques.observe(static_cast<double>(cliques_.size()));
   metrics.max_clique_size.observe(static_cast<double>(max_clique_size_));
@@ -229,6 +237,7 @@ void JunctionTree::calibrate(OrderingHeuristic heuristic) {
   const auto give_up = [&] {
     impossible_ = true;
     log_evidence_ = -std::numeric_limits<double>::infinity();
+    arena_high_water_ = kernels::thread_scratch().bytes_used();
     kernels::thread_scratch().reset();
   };
   for (std::size_t idx = m; idx-- > 1;) {
@@ -302,6 +311,7 @@ void JunctionTree::calibrate(OrderingHeuristic heuristic) {
     marginals_.push_back(prob::Categorical::normalized(
         std::vector<double>(f.values, f.values + f.size)));
   }
+  arena_high_water_ = arena.bytes_used();
   arena.reset();
 }
 

@@ -79,6 +79,15 @@ class JunctionTree {
   [[nodiscard]] std::size_t clique_count() const { return cliques_.size(); }
   /// Variables in the largest clique (treewidth + 1 of the triangulation).
   [[nodiscard]] std::size_t max_clique_size() const { return max_clique_size_; }
+  /// Wall seconds the constructor spent calibrating this tree. Measured
+  /// directly (not via obs), so `InferenceEngine::explain` can attribute
+  /// calibration cost in every build mode.
+  [[nodiscard]] double build_seconds() const { return build_seconds_; }
+  /// Scratch-arena bytes live at the calibration's peak (captured before
+  /// the final reset).
+  [[nodiscard]] std::size_t arena_high_water_bytes() const {
+    return arena_high_water_;
+  }
 
  private:
   const BayesianNetwork& net_;
@@ -88,6 +97,8 @@ class JunctionTree {
   std::size_t max_clique_size_ = 0;
   double log_evidence_ = 0.0;
   bool impossible_ = false;
+  double build_seconds_ = 0.0;
+  std::size_t arena_high_water_ = 0;
 
   void calibrate(OrderingHeuristic heuristic);
   [[noreturn]] void throw_impossible() const;

@@ -1,0 +1,215 @@
+#include "bayesnet/profile.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "core/contracts.hpp"
+
+namespace sysuq::bayesnet {
+
+namespace {
+
+// Shortest decimal representation that round-trips, matching the obs
+// exporters so manifests embedding both stay stylistically consistent.
+std::string fmt_double(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+  }
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  append_escaped(out, s);
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::vector<EliminationStepProfile> simulate_elimination(
+    const BayesianNetwork& net, const Evidence& evidence,
+    const std::vector<VariableId>& order, const std::vector<VariableId>& keep) {
+  for (const VariableId v : order) {
+    SYSUQ_EXPECT(v < net.size(),
+                 "simulate_elimination: order names an unknown variable");
+  }
+  // Live scopes: one per CPT, with evidence variables reduced away.
+  // Scopes are kept as sorted VariableId vectors.
+  std::vector<std::vector<VariableId>> scopes;
+  scopes.reserve(net.size());
+  for (VariableId v = 0; v < net.size(); ++v) {
+    std::vector<VariableId> scope = net.parents(v);
+    scope.push_back(v);
+    std::sort(scope.begin(), scope.end());
+    scope.erase(std::remove_if(scope.begin(), scope.end(),
+                               [&](VariableId s) { return evidence.contains(s); }),
+                scope.end());
+    if (!scope.empty()) scopes.push_back(std::move(scope));
+  }
+
+  std::vector<EliminationStepProfile> steps;
+  for (const VariableId v : order) {
+    if (std::find(keep.begin(), keep.end(), v) != keep.end()) continue;
+    // Merge every live scope containing v into the step's product scope.
+    std::vector<VariableId> product;
+    std::vector<std::vector<VariableId>> survivors;
+    survivors.reserve(scopes.size());
+    for (auto& scope : scopes) {
+      if (std::find(scope.begin(), scope.end(), v) == scope.end()) {
+        survivors.push_back(std::move(scope));
+        continue;
+      }
+      std::vector<VariableId> merged;
+      std::set_union(product.begin(), product.end(), scope.begin(), scope.end(),
+                     std::back_inserter(merged));
+      product = std::move(merged);
+    }
+    if (product.empty()) continue;  // variable already summed away
+
+    EliminationStepProfile step;
+    step.variable = v;
+    step.name = net.variable(v).name();
+    step.width = product.size() - 1;
+    step.table_cells = 1;
+    for (const VariableId s : product)
+      step.table_cells *= net.variable(s).cardinality();
+    steps.push_back(std::move(step));
+
+    product.erase(std::remove(product.begin(), product.end(), v),
+                  product.end());
+    if (!product.empty()) survivors.push_back(std::move(product));
+    scopes = std::move(survivors);
+  }
+  return steps;
+}
+
+void QueryProfile::zero_costs() {
+  calibration_seconds = 0.0;
+  arena_high_water_bytes = 0;
+  for (auto& s : stages) s.seconds = 0.0;
+  total_seconds = 0.0;
+}
+
+std::string QueryProfile::to_json() const {
+  std::string out = "{\"query\":" + quoted(query) + ",\"evidence\":[";
+  bool first = true;
+  for (const auto& [var, state] : evidence) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"variable\":" + quoted(var) + ",\"state\":" + quoted(state) + "}";
+  }
+  out += "],\"backend\":" + quoted(backend) +
+         ",\"reason\":" + quoted(backend_reason) + ",\"plan\":{";
+  if (backend == "variable_elimination") {
+    out += "\"ordering_cache_hit\":";
+    out += ordering_cache_hit ? "true" : "false";
+    out += ",\"induced_width\":" + std::to_string(induced_width) +
+           ",\"fill_edges\":" + std::to_string(fill_edges) + ",\"steps\":[";
+    first = true;
+    for (const auto& s : steps) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"eliminate\":" + quoted(s.name) +
+             ",\"width\":" + std::to_string(s.width) +
+             ",\"table_cells\":" + std::to_string(s.table_cells) + "}";
+    }
+    out += "]";
+  } else if (backend == "junction_tree") {
+    out += "\"jt_cache_hit\":";
+    out += jt_cache_hit ? "true" : "false";
+    out += ",\"cliques\":[";
+    first = true;
+    for (const std::size_t c : clique_sizes) {
+      if (!first) out += ",";
+      first = false;
+      out += std::to_string(c);
+    }
+    out += "],\"max_clique_size\":" + std::to_string(max_clique_size) +
+           ",\"calibration_seconds\":" + fmt_double(calibration_seconds);
+  }
+  out += "},\"cost\":{\"arena_high_water_bytes\":" +
+         std::to_string(arena_high_water_bytes) + ",\"stages\":[";
+  first = true;
+  for (const auto& s : stages) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"stage\":" + quoted(s.stage) +
+           ",\"seconds\":" + fmt_double(s.seconds) + "}";
+  }
+  out += "],\"total_seconds\":" + fmt_double(total_seconds) +
+         "},\"posterior\":[";
+  first = true;
+  for (std::size_t i = 0; i < posterior.size(); ++i) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"state\":" + quoted(i < states.size() ? states[i] : "") +
+           ",\"p\":" + fmt_double(posterior[i]) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string QueryProfile::to_plan() const {
+  std::string out = "EXPLAIN P(" + query;
+  if (!evidence.empty()) {
+    out += " | ";
+    bool first = true;
+    for (const auto& [var, state] : evidence) {
+      if (!first) out += ", ";
+      first = false;
+      out += var + "=" + state;
+    }
+  }
+  out += ")\nbackend: " + backend + " — " + backend_reason + "\n";
+  if (backend == "variable_elimination") {
+    out += "plan: induced width " + std::to_string(induced_width) + ", " +
+           std::to_string(fill_edges) + " fill edges, ordering cache " +
+           (ordering_cache_hit ? "HIT" : "MISS") + "\n";
+    std::size_t n = 0;
+    for (const auto& s : steps) {
+      out += "  step " + std::to_string(++n) + ": eliminate " + s.name +
+             "  width " + std::to_string(s.width) + "  " +
+             std::to_string(s.table_cells) + " cells\n";
+    }
+  } else if (backend == "junction_tree") {
+    out += "plan: " + std::to_string(clique_sizes.size()) +
+           " cliques (max size " + std::to_string(max_clique_size) +
+           "), tree cache " + (jt_cache_hit ? "HIT" : "MISS") +
+           ", calibration " + fmt_double(calibration_seconds) + " s\n";
+    out += "  clique sizes:";
+    for (const std::size_t c : clique_sizes) out += " " + std::to_string(c);
+    out += "\n";
+  }
+  out += "cost: arena high-water " + std::to_string(arena_high_water_bytes) +
+         " bytes\n";
+  for (const auto& s : stages) {
+    out += "  " + s.stage;
+    out.append(s.stage.size() < 12 ? 12 - s.stage.size() : 1, ' ');
+    out += fmt_double(s.seconds) + " s\n";
+  }
+  out += "  total";
+  out.append(7, ' ');
+  out += fmt_double(total_seconds) + " s\n";
+  out += "posterior:";
+  for (std::size_t i = 0; i < posterior.size(); ++i) {
+    out += " " + (i < states.size() ? states[i] : std::to_string(i)) + "=" +
+           fmt_double(posterior[i]);
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,98 @@
+// Query profiling: the structured result of `InferenceEngine::explain`.
+//
+// A `QueryProfile` is the engine's EXPLAIN ANALYZE — it answers the
+// query *and* attributes its cost: which backend ran and why, the
+// elimination plan step by step (factor widths and table sizes) or the
+// calibrated tree's clique structure, whether the plan/tree came out of
+// a cache, the scratch-arena high-water mark, and wall time per stage.
+// Rendered two ways: `to_json()` (one line, fixed key order) for
+// manifests and goldens, `to_plan()` for humans.
+//
+// Structure fields are deterministic for a fixed network, query and
+// backend; the wall-clock and arena figures are measured and vary run
+// to run — `zero_costs()` blanks exactly those, which is what the CLI's
+// `--deterministic` flag and the byte-exact golden tests use.
+//
+// This header is plain data over the bayesnet layer: it works
+// identically under `-DSYSUQ_OBS=OFF` (profiling is pull-based and
+// costs nothing unless `explain` is called, so there is nothing to
+// compile out).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bayesnet/network.hpp"
+
+namespace sysuq::bayesnet {
+
+/// One step of a variable-elimination run: the product factor
+/// materialized when `variable` is summed out.
+struct EliminationStepProfile {
+  VariableId variable = 0;
+  std::string name;             ///< variable name
+  std::size_t width = 0;        ///< scope of the product factor minus the eliminated var
+  std::size_t table_cells = 0;  ///< cells of the product factor (cost of the step)
+};
+
+/// One timed stage of answering a query (plan, execute, ...).
+struct StageProfile {
+  std::string stage;
+  double seconds = 0.0;
+};
+
+/// The full cost attribution of one query. Produced by
+/// `InferenceEngine::explain`; see the class comment for determinism.
+struct QueryProfile {
+  std::string query;  ///< query variable name
+  std::vector<std::pair<std::string, std::string>> evidence;  ///< (var, state) names
+  std::string backend;  ///< "variable_elimination" | "junction_tree" | "evidence_delta"
+  std::string backend_reason;
+
+  // Variable-elimination plan (empty under the other backends).
+  bool ordering_cache_hit = false;
+  std::size_t induced_width = 0;
+  std::size_t fill_edges = 0;
+  std::vector<EliminationStepProfile> steps;
+
+  // Junction-tree plan (empty under the other backends).
+  bool jt_cache_hit = false;
+  std::vector<std::size_t> clique_sizes;  ///< one per clique, tree order
+  std::size_t max_clique_size = 0;
+  double calibration_seconds = 0.0;  ///< the tree's build cost (0 when unknown)
+
+  // Measured cost.
+  std::size_t arena_high_water_bytes = 0;
+  std::vector<StageProfile> stages;
+  double total_seconds = 0.0;
+
+  // The answer (explain runs the query, EXPLAIN ANALYZE style).
+  std::vector<std::string> states;
+  std::vector<double> posterior;
+
+  /// Blanks every measured figure (stage/total/calibration seconds and
+  /// the arena high-water mark), keeping the plan; the result renders
+  /// byte-identically across runs.
+  void zero_costs();
+
+  /// One-line JSON, fixed key order, shortest round-trip doubles.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Human-readable plan, one stanza per section.
+  [[nodiscard]] std::string to_plan() const;
+};
+
+/// Symbolic replay of a variable-elimination run: starting from the
+/// network's CPT scopes with `evidence` variables reduced away, each
+/// `order` variable not in `keep` is eliminated — every live scope
+/// containing it merges into the step's product factor — and the step's
+/// width and table size are recorded. This mirrors what
+/// `kernels::eliminate_scaled` materializes without touching any
+/// factor data, so `explain` can cost a plan exactly.
+[[nodiscard]] std::vector<EliminationStepProfile> simulate_elimination(
+    const BayesianNetwork& net, const Evidence& evidence,
+    const std::vector<VariableId>& order, const std::vector<VariableId>& keep);
+
+}  // namespace sysuq::bayesnet

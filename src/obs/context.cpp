@@ -1,0 +1,43 @@
+#include "obs/context.hpp"
+
+#if !defined(SYSUQ_OBS_OFF)
+
+#include <atomic>
+
+namespace sysuq::obs {
+
+namespace {
+
+// The calling thread's position in a trace. Maintained by Span (adopt +
+// install on construction, restore on destruction) and by ContextScope
+// (explicit cross-thread handoff).
+thread_local TraceContext t_context{};
+
+std::atomic<std::uint64_t> g_next_trace{0};
+std::atomic<std::uint64_t> g_next_span{0};
+
+}  // namespace
+
+TraceContext current_context() noexcept { return t_context; }
+
+std::uint64_t new_trace_id() noexcept {
+  return g_next_trace.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::uint64_t new_span_id() noexcept {
+  return g_next_span.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+namespace detail {
+
+TraceContext exchange_context(const TraceContext& ctx) noexcept {
+  const TraceContext old = t_context;
+  t_context = ctx;
+  return old;
+}
+
+}  // namespace detail
+
+}  // namespace sysuq::obs
+
+#endif  // !SYSUQ_OBS_OFF

@@ -1,0 +1,90 @@
+// sysuq::obs — trace-context propagation across threads.
+//
+// A `TraceContext` names a position inside a query's trace: the trace
+// it belongs to and the span that any new child span should parent to.
+// Every thread carries a current context in thread-local storage; a
+// `Span` opened on that thread adopts it (same trace, parented to the
+// innermost live span) and installs itself as the context for the
+// span's lifetime. A thread with no context starts a fresh trace, so
+// each top-level query roots its own trace.
+//
+// The context does not cross threads by itself — that is the point.
+// Code that dispatches work onto other threads (the engine's pool)
+// captures `current_context()` before the dispatch and installs it in
+// each task with a `ContextScope`, so worker-side spans parent into the
+// originating query's trace instead of fragmenting into disconnected
+// per-worker roots.
+//
+// With `-DSYSUQ_OBS=OFF` everything here is an inline no-op; the
+// `TraceContext` value type itself stays available so call sites
+// compile unchanged.
+#pragma once
+
+#include <cstdint>
+
+namespace sysuq::obs {
+
+/// A position inside a trace: which trace, and which span new children
+/// should parent to. `trace_id == 0` means "no active trace".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;  ///< span id of the innermost live span
+
+  [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
+};
+
+#if !defined(SYSUQ_OBS_OFF)
+
+/// The calling thread's current context ({0, 0} when no span is live
+/// and no context has been installed).
+[[nodiscard]] TraceContext current_context() noexcept;
+
+/// Process-unique ids; never 0 (0 is the "none" sentinel).
+[[nodiscard]] std::uint64_t new_trace_id() noexcept;
+[[nodiscard]] std::uint64_t new_span_id() noexcept;
+
+namespace detail {
+/// Installs `ctx` as the calling thread's context, returning the
+/// previous one. Used by `Span` and `ContextScope`; not a public API.
+// sysuq-lint-allow(contract-coverage): hot-path TL swap; any context
+// value (including the inactive {0,0}) is installable by design
+TraceContext exchange_context(const TraceContext& ctx) noexcept;
+}  // namespace detail
+
+/// RAII handoff: installs a captured context on the calling thread and
+/// restores the previous one on destruction. Intended for the body of
+/// pooled tasks:
+///
+///   const obs::TraceContext ctx = obs::current_context();
+///   pool.run(n, [&](std::size_t i) {
+///     const obs::ContextScope scope(ctx);   // worker joins the trace
+///     ...                                   // spans parent into it
+///   });
+class ContextScope {
+ public:
+  explicit ContextScope(const TraceContext& ctx) noexcept
+      : saved_(detail::exchange_context(ctx)) {}
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+  ~ContextScope() { (void)detail::exchange_context(saved_); }
+
+ private:
+  TraceContext saved_;
+};
+
+#else  // SYSUQ_OBS_OFF — inline no-ops.
+
+[[nodiscard]] inline TraceContext current_context() noexcept { return {}; }
+[[nodiscard]] inline std::uint64_t new_trace_id() noexcept { return 0; }
+[[nodiscard]] inline std::uint64_t new_span_id() noexcept { return 0; }
+
+class ContextScope {
+ public:
+  explicit ContextScope(const TraceContext&) noexcept {}
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+};
+
+#endif  // SYSUQ_OBS_OFF
+
+}  // namespace sysuq::obs

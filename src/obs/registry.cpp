@@ -46,8 +46,25 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 
 void Histogram::observe(double x) noexcept {
   if (!metrics_enabled()) return;
-  std::size_t b = 0;
-  while (b < bounds_.size() && x > bounds_[b]) ++b;
+  // Branchless binary search for the first bound >= x (`le` semantics).
+  // The halving step compiles to a conditional move, so bucket choice
+  // costs log2(bounds) data-independent steps instead of a linear scan
+  // whose branch predictor is at the mercy of the value distribution.
+  // NaN compares false everywhere and lands in bucket 0, exactly as the
+  // old scan did.
+  const double* base = bounds_.data();
+  std::size_t n = bounds_.size();
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    base += (base[half - 1] < x) ? half : 0;
+    n -= half;
+  }
+  // n == 0 only when the bounds contract was compiled out; everything
+  // then lands in the single (+Inf) bucket.
+  const std::size_t b =
+      n == 0 ? 0
+             : static_cast<std::size_t>(base - bounds_.data()) +
+                   ((*base < x) ? 1 : 0);
   buckets_[b].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   double cur = sum_.load(std::memory_order_relaxed);
@@ -153,6 +170,31 @@ Histogram& Registry::histogram(std::string_view name,
 std::size_t Registry::size() const {
   std::lock_guard<std::mutex> lk(mu_);
   return entries_.size();
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  RegistrySnapshot snap;
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        snap.counters.emplace(name, e.counter->value());
+        break;
+      case Kind::kGauge:
+        snap.gauges.emplace(name, e.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot h;
+        h.bounds = e.histogram->bounds();
+        h.counts = e.histogram->counts();
+        h.count = e.histogram->count();
+        h.sum = e.histogram->sum();
+        snap.histograms.emplace(name, std::move(h));
+        break;
+      }
+    }
+  }
+  return snap;
 }
 
 void Registry::reset() {

@@ -30,18 +30,36 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #if !defined(SYSUQ_OBS_OFF)
 #include <chrono>
-#include <map>
 #include <memory>
 #include <mutex>
 #endif
 
 namespace sysuq::obs {
+
+/// Point-in-time copy of one histogram's state. Plain data — available
+/// in both build modes so snapshot-consuming code compiles unchanged.
+struct HistogramSnapshot {
+  std::vector<double> bounds;          ///< upper bounds, ascending
+  std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 (+Inf last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of a whole registry, keyed by instrument name.
+/// Produced by `Registry::snapshot()`; two snapshots subtract into a
+/// window via `snapshot_delta` (obs/slo.hpp).
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
 
 /// True when `name` follows the `module.subsystem.name` style: two or
 /// more dot-separated segments, each matching [a-z][a-z0-9_]*.
@@ -133,8 +151,9 @@ class Gauge {
 
 /// Fixed-bucket histogram with Prometheus `le` semantics: a sample lands
 /// in the first bucket whose upper bound is >= the value; samples above
-/// every bound land in the implicit +Inf bucket. Observation is a linear
-/// scan over a handful of bounds plus three relaxed atomic updates.
+/// every bound land in the implicit +Inf bucket. Observation is a
+/// branchless binary search over the sorted bounds plus three relaxed
+/// atomic updates.
 class Histogram {
  public:
   /// `upper_bounds` must be non-empty, finite, and strictly increasing
@@ -185,6 +204,12 @@ class Registry {
   Histogram& histogram(std::string_view name, std::vector<double> upper_bounds);
 
   [[nodiscard]] std::size_t size() const;
+
+  /// Point-in-time copy of every instrument, for windowed collection:
+  /// snapshot before and after a workload, subtract with
+  /// `snapshot_delta` (obs/slo.hpp), and report quantiles over the
+  /// window alone.
+  [[nodiscard]] RegistrySnapshot snapshot() const;
 
   /// Zeroes every instrument, keeping all registrations.
   void reset();
@@ -305,6 +330,7 @@ class Registry {
     return h;
   }
   [[nodiscard]] std::size_t size() const { return 0; }
+  [[nodiscard]] RegistrySnapshot snapshot() const { return {}; }
   void reset() {}
   [[nodiscard]] std::string to_prometheus() const { return {}; }
   [[nodiscard]] std::string to_json() const { return "{}"; }

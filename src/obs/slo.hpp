@@ -1,0 +1,74 @@
+// sysuq::obs — SLO quantiles and windowed reporting.
+//
+// Service-level objectives are stated over latency quantiles ("p99
+// query latency under 1 ms"), but the registry's histograms only store
+// bucket counts. This layer estimates quantiles the Prometheus
+// `histogram_quantile` way — find the bucket the target rank falls in,
+// then interpolate linearly inside it — and packages the three SLO
+// quantiles (p50/p95/p99) of every histogram into a deterministic JSON
+// manifest section, `slo_report()`.
+//
+// Windowing: `Registry::snapshot()` copies every instrument; two
+// snapshots subtract into a window with `snapshot_delta`, so a serving
+// host can report "quantiles over the last N seconds" instead of
+// process-lifetime totals.
+//
+// With `-DSYSUQ_OBS=OFF` everything degrades to inline stubs (empty
+// snapshots, 0-valued quantiles, an empty report object).
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace sysuq::obs {
+
+#if !defined(SYSUQ_OBS_OFF)
+
+/// Estimated `q`-quantile (0 <= q <= 1, contract-checked) of a
+/// histogram snapshot, by cumulative-bucket linear interpolation:
+/// the bucket containing rank q*count is located, and the value is
+/// interpolated between the bucket's lower and upper bounds by the
+/// rank's position inside it. Ranks landing in the +Inf bucket clamp
+/// to the largest finite bound; an empty histogram yields 0.0.
+[[nodiscard]] double quantile(const HistogramSnapshot& h, double q);
+
+/// As above over a live histogram (snapshots it first).
+[[nodiscard]] double quantile(const Histogram& h, double q);
+
+/// The window between two snapshots of the same registry: counters and
+/// histogram tallies subtract (clamped at zero, so an instrument reset
+/// mid-window degrades to "seen this period" rather than underflowing),
+/// gauges take the later value, and instruments that appear only in
+/// `later` are kept as-is.
+// sysuq-lint-allow(contract-coverage): total function — any snapshot
+// pair is a valid window; mismatches degrade per the clamping above
+[[nodiscard]] RegistrySnapshot snapshot_delta(const RegistrySnapshot& earlier,
+                                              const RegistrySnapshot& later);
+
+/// One-line JSON object mapping every histogram to its SLO figures:
+/// {"name":{"count":N,"sum":S,"p50":...,"p95":...,"p99":...},...} in
+/// name order — the manifest section a serving host exports per model.
+[[nodiscard]] std::string slo_report(const RegistrySnapshot& snap);
+
+/// `slo_report` over the global registry's current totals.
+[[nodiscard]] std::string slo_report();
+
+#else  // SYSUQ_OBS_OFF — inline no-ops.
+
+[[nodiscard]] inline double quantile(const HistogramSnapshot&, double) {
+  return 0.0;
+}
+[[nodiscard]] inline double quantile(const Histogram&, double) { return 0.0; }
+[[nodiscard]] inline RegistrySnapshot snapshot_delta(const RegistrySnapshot&,
+                                                     const RegistrySnapshot&) {
+  return {};
+}
+[[nodiscard]] inline std::string slo_report(const RegistrySnapshot&) {
+  return "{}";
+}
+[[nodiscard]] inline std::string slo_report() { return "{}"; }
+
+#endif  // SYSUQ_OBS_OFF
+
+}  // namespace sysuq::obs

@@ -23,6 +23,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/context.hpp"
+
 #if !defined(SYSUQ_OBS_OFF)
 #include <atomic>
 #include <mutex>
@@ -39,6 +41,9 @@ struct TraceEvent {
   std::uint32_t depth = 0;  ///< 1 = top-level span within its thread
   std::uint64_t tid = 0;
   std::uint64_t seq = 0;  ///< global record order
+  std::uint64_t trace_id = 0;     ///< query trace this span belongs to (0 = untraced)
+  std::uint64_t span_id = 0;      ///< process-unique id of this span (0 = unassigned)
+  std::uint64_t parent_span = 0;  ///< span id of the parent (0 = trace root)
 };
 
 #if !defined(SYSUQ_OBS_OFF)
@@ -78,6 +83,12 @@ class TraceSink {
   void record(std::string_view name, std::uint64_t start_us,
               std::uint64_t dur_us, std::uint32_t depth, std::uint64_t tid);
 
+  /// Full-control record: every field except `seq` (assigned by the
+  /// sink) is taken from `proto`. Used by `Span` to carry trace/span
+  /// ids, and by tests replaying pinned events.
+  // sysuq-lint-allow(contract-coverage): hot path gated by enabled(); any event is recordable
+  void record(const TraceEvent& proto);
+
   /// Buffered events, oldest first (ascending `seq`).
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
 
@@ -90,6 +101,14 @@ class TraceSink {
 
   /// Chrome trace_event JSON ("X" complete events, ts/dur in
   /// microseconds); loadable in chrome://tracing and Perfetto.
+  ///
+  /// Traced events are grouped per trace: each distinct `trace_id`
+  /// becomes its own Chrome "process" (pid 2, 3, ... in first-seen
+  /// order, named via `process_name` metadata), untraced events stay
+  /// under pid 1. Each slice carries `args.{depth,trace,span,parent}`,
+  /// and a parent/child pair recorded on *different* threads emits a
+  /// flow-event arrow ("s"/"f" pair keyed by the child span id) so the
+  /// cross-thread handoff is visible in chrome://tracing.
   [[nodiscard]] std::string to_chrome_json() const;
 
  private:
@@ -103,6 +122,12 @@ class TraceSink {
 /// RAII scoped timer recording into a sink at destruction. `name` must
 /// outlive the span (string literals in practice). Construction against
 /// a disabled sink costs one relaxed load; the clock is never read.
+///
+/// A span joins the calling thread's current `TraceContext`: it adopts
+/// the context's trace and parents to the innermost live span, or roots
+/// a brand-new trace when no context is active. While live, it is the
+/// context (children parent to it); destruction restores the previous
+/// context.
 class Span {
  public:
   explicit Span(std::string_view name, TraceSink& sink = TraceSink::global()) noexcept;
@@ -115,6 +140,10 @@ class Span {
   std::string_view name_;
   std::uint64_t start_us_ = 0;
   std::uint32_t depth_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_ = 0;
+  TraceContext saved_{};  // context to restore at destruction
 };
 
 #else  // SYSUQ_OBS_OFF — inline no-ops.
@@ -137,6 +166,7 @@ class TraceSink {
               std::uint32_t) noexcept {}
   void record(std::string_view, std::uint64_t, std::uint64_t, std::uint32_t,
               std::uint64_t) noexcept {}
+  void record(const TraceEvent&) noexcept {}
   [[nodiscard]] std::vector<TraceEvent> snapshot() const { return {}; }
   [[nodiscard]] std::size_t capacity() const noexcept { return 0; }
   [[nodiscard]] std::uint64_t recorded() const noexcept { return 0; }

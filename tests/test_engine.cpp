@@ -418,6 +418,123 @@ TEST(EngineBackends, TreeCacheKeyedByFullAssignmentNotSignature) {
 
 // ---- unified impossible-evidence error semantics ----
 
+// ---- EXPLAIN / QueryProfile ----
+
+namespace {
+
+// Pinned three-node chain a -> b -> c with dyadic CPTs, so the explain
+// goldens are byte-exact (every posterior value formats finitely).
+bn::BayesianNetwork explain_network() {
+  bn::BayesianNetwork net;
+  const auto a = net.add_variable("a", {"a0", "a1"});
+  const auto b = net.add_variable("b", {"b0", "b1"});
+  const auto c = net.add_variable("c", {"c0", "c1"});
+  net.set_cpt(a, {}, {pr::Categorical({0.5, 0.5})});
+  net.set_cpt(b, {a},
+              {pr::Categorical({0.75, 0.25}), pr::Categorical({0.25, 0.75})});
+  net.set_cpt(c, {b},
+              {pr::Categorical({1.0, 0.0}), pr::Categorical({0.0, 1.0})});
+  return net;
+}
+
+}  // namespace
+
+TEST(EngineExplain, MatchesQueryAndAttributesCaches) {
+  const auto net = explain_network();
+  const bn::InferenceEngine engine(net, {.threads = 1});
+  const bn::Evidence ev{{0, 0}};
+
+  auto profile = engine.explain(2, ev);
+  EXPECT_EQ(profile.backend, "variable_elimination");
+  EXPECT_FALSE(profile.ordering_cache_hit);  // nothing warmed it yet
+  const auto posterior = engine.query(2, ev);
+  ASSERT_EQ(profile.posterior.size(), posterior.size());
+  for (std::size_t s = 0; s < posterior.size(); ++s)
+    EXPECT_DOUBLE_EQ(profile.posterior[s], posterior.p(s));
+
+  // The explain itself answered the query, so the plan is now cached.
+  EXPECT_TRUE(engine.explain(2, ev).ordering_cache_hit);
+}
+
+TEST(EngineExplain, VariableEliminationJsonGolden) {
+  const auto net = explain_network();
+  const bn::InferenceEngine engine(
+      net, {.threads = 1, .backend = bn::Backend::kVariableElimination});
+  auto profile = engine.explain(2, {{0, 0}});
+  profile.zero_costs();  // structure stays; measured figures blank out
+  EXPECT_EQ(profile.to_json(),
+            "{\"query\":\"c\",\"evidence\":[{\"variable\":\"a\","
+            "\"state\":\"a0\"}],\"backend\":\"variable_elimination\","
+            "\"reason\":\"Backend::kVariableElimination runs one elimination "
+            "per query\",\"plan\":{\"ordering_cache_hit\":false,"
+            "\"induced_width\":1,\"fill_edges\":0,\"steps\":["
+            "{\"eliminate\":\"b\",\"width\":1,\"table_cells\":4}]},"
+            "\"cost\":{\"arena_high_water_bytes\":0,\"stages\":["
+            "{\"stage\":\"plan\",\"seconds\":0},"
+            "{\"stage\":\"analyze\",\"seconds\":0},"
+            "{\"stage\":\"execute\",\"seconds\":0}],\"total_seconds\":0},"
+            "\"posterior\":[{\"state\":\"c0\",\"p\":0.75},"
+            "{\"state\":\"c1\",\"p\":0.25}]}");
+}
+
+TEST(EngineExplain, JunctionTreeJsonGolden) {
+  const auto net = explain_network();
+  const bn::InferenceEngine engine(
+      net, {.threads = 1, .backend = bn::Backend::kJunctionTree});
+  auto profile = engine.explain(2, {{0, 0}});
+  profile.zero_costs();
+  EXPECT_EQ(profile.to_json(),
+            "{\"query\":\"c\",\"evidence\":[{\"variable\":\"a\","
+            "\"state\":\"a0\"}],\"backend\":\"junction_tree\","
+            "\"reason\":\"Backend::kJunctionTree routes every query through "
+            "the calibrated clique tree\",\"plan\":{\"jt_cache_hit\":false,"
+            "\"cliques\":[2],\"max_clique_size\":2,"
+            "\"calibration_seconds\":0},"
+            "\"cost\":{\"arena_high_water_bytes\":0,\"stages\":["
+            "{\"stage\":\"calibrate\",\"seconds\":0},"
+            "{\"stage\":\"read_marginal\",\"seconds\":0}],"
+            "\"total_seconds\":0},"
+            "\"posterior\":[{\"state\":\"c0\",\"p\":0.75},"
+            "{\"state\":\"c1\",\"p\":0.25}]}");
+}
+
+TEST(EngineExplain, HumanPlanGolden) {
+  const auto net = explain_network();
+  const bn::InferenceEngine engine(
+      net, {.threads = 1, .backend = bn::Backend::kVariableElimination});
+  auto profile = engine.explain(2, {{0, 0}});
+  profile.zero_costs();
+  EXPECT_EQ(profile.to_plan(),
+            "EXPLAIN P(c | a=a0)\n"
+            "backend: variable_elimination \xE2\x80\x94 "
+            "Backend::kVariableElimination runs one elimination per query\n"
+            "plan: induced width 1, 0 fill edges, ordering cache MISS\n"
+            "  step 1: eliminate b  width 1  4 cells\n"
+            "cost: arena high-water 0 bytes\n"
+            "  plan        0 s\n"
+            "  analyze     0 s\n"
+            "  execute     0 s\n"
+            "  total       0 s\n"
+            "posterior: c0=0.75 c1=0.25\n");
+}
+
+TEST(EngineExplain, ObservedQueryIsEvidenceDelta) {
+  const auto net = explain_network();
+  const bn::InferenceEngine engine(net, {.threads = 1});
+  const auto profile = engine.explain(0, {{0, 1}});
+  EXPECT_EQ(profile.backend, "evidence_delta");
+  ASSERT_EQ(profile.posterior.size(), 2u);
+  EXPECT_DOUBLE_EQ(profile.posterior[0], 0.0);
+  EXPECT_DOUBLE_EQ(profile.posterior[1], 1.0);
+}
+
+TEST(EngineExplain, ThrowsLikeQuery) {
+  const auto net = explain_network();
+  const bn::InferenceEngine engine(net, {.threads = 1});
+  EXPECT_THROW((void)engine.explain(99), std::out_of_range);
+  EXPECT_THROW((void)engine.explain(0, {{99, 0}}), std::out_of_range);
+}
+
 TEST(EngineErrors, UnifiedImpossibleEvidenceMessage) {
   const auto net = paper_network();
   // gt = unknown AND perception = car has probability zero under Table I.

@@ -16,6 +16,8 @@
 #include "bayesnet/engine.hpp"
 #include "bayesnet/network.hpp"
 #include "core/contracts.hpp"
+#include "obs/context.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "prob/discrete.hpp"
 
@@ -285,13 +287,211 @@ TEST(ObsExport, ChromeTraceGolden) {
   sink.set_enabled(true);
   sink.record("alpha", 10, 5, 1, /*tid=*/1);
   sink.record("beta \"quoted\"", 12, 2, 2, /*tid=*/1);
+  // Replayed events carry no trace/span ids, so both slices land in the
+  // pid-1 "untraced" group.
   EXPECT_EQ(sink.to_chrome_json(),
             "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+            "\"args\":{\"name\":\"untraced\"}},"
             "{\"name\":\"alpha\",\"cat\":\"sysuq\",\"ph\":\"X\",\"pid\":1,"
-            "\"tid\":1,\"ts\":10,\"dur\":5,\"args\":{\"depth\":1}},"
+            "\"tid\":1,\"ts\":10,\"dur\":5,\"args\":{\"depth\":1,"
+            "\"trace\":0,\"span\":0,\"parent\":0}},"
             "{\"name\":\"beta \\\"quoted\\\"\",\"cat\":\"sysuq\",\"ph\":\"X\","
-            "\"pid\":1,\"tid\":1,\"ts\":12,\"dur\":2,\"args\":{\"depth\":2}}"
+            "\"pid\":1,\"tid\":1,\"ts\":12,\"dur\":2,\"args\":{\"depth\":2,"
+            "\"trace\":0,\"span\":0,\"parent\":0}}"
             "]}");
+}
+
+TEST(ObsExport, ChromeTraceGroupsTracesAndEmitsFlowArrows) {
+  obs::TraceSink sink(8);
+  sink.set_enabled(true);
+  obs::TraceEvent root;
+  root.name = "root";
+  root.start_us = 10;
+  root.dur_us = 20;
+  root.depth = 1;
+  root.tid = 1;
+  root.trace_id = 7;
+  root.span_id = 100;
+  obs::TraceEvent task;
+  task.name = "task";
+  task.start_us = 12;
+  task.dur_us = 5;
+  task.depth = 1;
+  task.tid = 2;  // crossed a thread: the exporter draws a flow arrow
+  task.trace_id = 7;
+  task.span_id = 101;
+  task.parent_span = 100;
+  sink.record(root);
+  sink.record(task);
+  EXPECT_EQ(sink.to_chrome_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+            "\"args\":{\"name\":\"trace 7\"}},"
+            "{\"name\":\"root\",\"cat\":\"sysuq\",\"ph\":\"X\",\"pid\":2,"
+            "\"tid\":1,\"ts\":10,\"dur\":20,\"args\":{\"depth\":1,"
+            "\"trace\":7,\"span\":100,\"parent\":0}},"
+            "{\"name\":\"task\",\"cat\":\"sysuq\",\"ph\":\"X\",\"pid\":2,"
+            "\"tid\":2,\"ts\":12,\"dur\":5,\"args\":{\"depth\":1,"
+            "\"trace\":7,\"span\":101,\"parent\":100}},"
+            "{\"name\":\"handoff\",\"cat\":\"sysuq\",\"ph\":\"s\",\"id\":101,"
+            "\"pid\":2,\"tid\":1,\"ts\":10},"
+            "{\"name\":\"handoff\",\"cat\":\"sysuq\",\"ph\":\"f\",\"bp\":\"e\","
+            "\"id\":101,\"pid\":2,\"tid\":2,\"ts\":12}"
+            "]}");
+}
+
+TEST(ObsContext, SpanAdoptsInstallsAndRestoresContext) {
+  obs::TraceSink sink(8);
+  sink.set_enabled(true);
+  EXPECT_FALSE(obs::current_context().active());
+  {
+    const obs::Span outer("test.ctx.outer", sink);
+    const obs::TraceContext outer_ctx = obs::current_context();
+    EXPECT_TRUE(outer_ctx.active());
+    {
+      const obs::Span inner("test.ctx.inner", sink);
+      const obs::TraceContext inner_ctx = obs::current_context();
+      EXPECT_EQ(inner_ctx.trace_id, outer_ctx.trace_id);  // same trace
+      EXPECT_NE(inner_ctx.parent_span, outer_ctx.parent_span);
+    }
+    // The inner span restored the outer context on destruction.
+    EXPECT_EQ(obs::current_context().parent_span, outer_ctx.parent_span);
+  }
+  EXPECT_FALSE(obs::current_context().active());
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "test.ctx.inner");
+  EXPECT_EQ(events[0].trace_id, events[1].trace_id);
+  EXPECT_EQ(events[0].parent_span, events[1].span_id);
+  EXPECT_EQ(events[1].name, "test.ctx.outer");
+  EXPECT_EQ(events[1].parent_span, 0u);  // trace root
+}
+
+TEST(ObsContext, TopLevelSpansRootDistinctTraces) {
+  obs::TraceSink sink(8);
+  sink.set_enabled(true);
+  {
+    const obs::Span first("test.ctx.first", sink);
+  }
+  {
+    const obs::Span second("test.ctx.second", sink);
+  }
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].trace_id, 0u);
+  EXPECT_NE(events[1].trace_id, 0u);
+  EXPECT_NE(events[0].trace_id, events[1].trace_id);
+  EXPECT_NE(events[0].span_id, events[1].span_id);
+}
+
+TEST(ObsContext, ContextScopeCarriesTraceAcrossThreads) {
+  obs::TraceSink sink(8);
+  sink.set_enabled(true);
+  {
+    const obs::Span root("test.ctx.root", sink);
+    const obs::TraceContext ctx = obs::current_context();
+    ASSERT_TRUE(ctx.active());
+    std::thread worker([&sink, ctx] {
+      const obs::ContextScope scope(ctx);  // the pool-task handoff
+      const obs::Span child("test.ctx.child", sink);
+    });
+    worker.join();
+  }
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "test.ctx.child");
+  EXPECT_EQ(events[1].name, "test.ctx.root");
+  EXPECT_EQ(events[0].trace_id, events[1].trace_id);
+  EXPECT_EQ(events[0].parent_span, events[1].span_id);
+}
+
+TEST(ObsSlo, QuantileInterpolatesWithinBuckets) {
+  obs::HistogramSnapshot h;
+  h.bounds = {0.1, 0.5, 1.0};
+  h.counts = {10, 80, 10, 0};
+  h.count = 100;
+  h.sum = 40.0;
+  EXPECT_DOUBLE_EQ(obs::quantile(h, 0.50), 0.3);
+  EXPECT_DOUBLE_EQ(obs::quantile(h, 0.95), 0.75);
+  EXPECT_DOUBLE_EQ(obs::quantile(h, 0.99), 0.95);
+  EXPECT_DOUBLE_EQ(obs::quantile(h, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(obs::quantile(h, 1.0), 1.0);
+}
+
+TEST(ObsSlo, QuantileEdgeCases) {
+  const obs::HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(obs::quantile(empty, 0.5), 0.0);
+  EXPECT_THROW((void)obs::quantile(empty, 1.5),
+               sysuq::contracts::ContractViolation);
+  // Every observation above the ladder: the rank lands in +Inf and the
+  // estimate clamps to the largest finite bound.
+  obs::HistogramSnapshot inf;
+  inf.bounds = {1.0, 2.0};
+  inf.counts = {0, 0, 5};
+  inf.count = 5;
+  inf.sum = 50.0;
+  EXPECT_DOUBLE_EQ(obs::quantile(inf, 0.99), 2.0);
+  // The live-histogram overload snapshots and agrees.
+  obs::Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  EXPECT_DOUBLE_EQ(obs::quantile(h, 0.5), 1.0);
+}
+
+TEST(ObsSlo, RegistrySnapshotCopiesEveryInstrument) {
+  obs::Registry reg;
+  reg.counter("test.slo.hits").inc(5);
+  reg.gauge("test.slo.level").set(1.5);
+  obs::Histogram& h = reg.histogram("test.slo.latency", {1.0, 2.0});
+  h.observe(0.5);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("test.slo.hits"), 5u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.slo.level"), 1.5);
+  const auto& hs = snap.histograms.at("test.slo.latency");
+  EXPECT_EQ(hs.bounds, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(hs.counts, (std::vector<std::uint64_t>{1, 0, 0}));
+  EXPECT_EQ(hs.count, 1u);
+  EXPECT_DOUBLE_EQ(hs.sum, 0.5);
+}
+
+TEST(ObsSlo, SnapshotDeltaWindowsInstruments) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("test.slo.hits");
+  obs::Gauge& g = reg.gauge("test.slo.level");
+  obs::Histogram& h = reg.histogram("test.slo.latency", {1.0, 2.0});
+  c.inc(5);
+  g.set(1.0);
+  h.observe(0.5);
+  const auto before = reg.snapshot();
+  c.inc(3);
+  g.set(7.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  const auto window = obs::snapshot_delta(before, reg.snapshot());
+  EXPECT_EQ(window.counters.at("test.slo.hits"), 3u);
+  EXPECT_DOUBLE_EQ(window.gauges.at("test.slo.level"), 7.5);  // last value
+  const auto& wh = window.histograms.at("test.slo.latency");
+  EXPECT_EQ(wh.counts, (std::vector<std::uint64_t>{0, 1, 1}));
+  EXPECT_EQ(wh.count, 2u);
+  EXPECT_DOUBLE_EQ(wh.sum, 10.5);
+  // A reset mid-window clamps to zero instead of underflowing.
+  reg.reset();
+  const auto clamped = obs::snapshot_delta(window, reg.snapshot());
+  EXPECT_EQ(clamped.counters.at("test.slo.hits"), 0u);
+  EXPECT_EQ(clamped.histograms.at("test.slo.latency").count, 0u);
+}
+
+TEST(ObsSlo, SloReportGolden) {
+  obs::Registry reg;
+  reg.counter("test.slo.ignored").inc(9);  // only histograms are reported
+  obs::Histogram& h = reg.histogram("test.slo.latency", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(9.0);
+  EXPECT_EQ(obs::slo_report(reg.snapshot()),
+            "{\"test.slo.latency\":{\"count\":2,\"sum\":9.5,"
+            "\"p50\":1,\"p95\":2,\"p99\":2}}");
+  EXPECT_EQ(obs::slo_report(obs::RegistrySnapshot{}), "{}");
 }
 
 TEST(ObsExport, RegistryResetZeroesButKeepsRegistrations) {
@@ -328,6 +528,41 @@ TEST(ObsIntegration, EngineQueriesPopulateGlobalRegistry) {
   EXPECT_NE(json.find("\"bayesnet.engine.query_seconds\""), std::string::npos);
   EXPECT_NE(json.find("\"bayesnet.engine.ordering_cache.hits\""),
             std::string::npos);
+}
+
+// The tentpole acceptance test: a pooled query_batch forms ONE trace —
+// every worker-side query span carries the batch span's trace id and
+// parents directly to it, because the dispatch hands the TraceContext
+// across the pool. Runs under the tsan preset with the rest of `obs`.
+TEST(ObsIntegration, QueryBatchFormsOneTraceAcrossWorkers) {
+  const auto net = tiny_network();
+  const bn::InferenceEngine engine(net, {.threads = 4});
+  auto& sink = obs::TraceSink::global();
+  sink.clear();
+  sink.set_enabled(true);
+  std::vector<bn::QuerySpec> batch;
+  for (std::size_t i = 0; i < 64; ++i)
+    batch.push_back({i % 2, {{(i + 1) % 2, (i / 2) % 2}}});
+  (void)engine.query_batch(batch);
+  sink.set_enabled(false);
+  const auto events = sink.snapshot();
+  sink.clear();
+
+  const obs::TraceEvent* root = nullptr;
+  for (const auto& e : events)
+    if (e.name == "bayesnet.engine.query_batch") root = &e;
+  ASSERT_NE(root, nullptr);
+  EXPECT_NE(root->trace_id, 0u);
+  EXPECT_EQ(root->parent_span, 0u);  // the batch roots the trace
+
+  std::size_t query_spans = 0;
+  for (const auto& e : events) {
+    if (e.name != "bayesnet.engine.query") continue;
+    ++query_spans;
+    EXPECT_EQ(e.trace_id, root->trace_id);
+    EXPECT_EQ(e.parent_span, root->span_id);
+  }
+  EXPECT_EQ(query_spans, batch.size());
 }
 
 #else  // SYSUQ_OBS_OFF — the no-op layer must compile and record nothing.
@@ -372,6 +607,41 @@ TEST(ObsOffMode, InstrumentedEngineStillAnswersQueries) {
   EXPECT_NEAR(posterior.p(0), 0.9, 1e-12);
   // The whole instrumentation sweep registered nothing.
   EXPECT_EQ(obs::Registry::global().size(), 0u);
+}
+
+TEST(ObsOffMode, ContextIsInert) {
+  EXPECT_FALSE(obs::current_context().active());
+  EXPECT_EQ(obs::new_trace_id(), 0u);
+  EXPECT_EQ(obs::new_span_id(), 0u);
+  {
+    const obs::ContextScope scope(obs::TraceContext{42, 7});
+  }
+  EXPECT_FALSE(obs::current_context().active());
+}
+
+TEST(ObsOffMode, SloLayerIsInert) {
+  obs::HistogramSnapshot h;
+  h.count = 100;  // ignored: the stub never reads it
+  EXPECT_DOUBLE_EQ(obs::quantile(h, 0.99), 0.0);
+  const obs::RegistrySnapshot snap = obs::Registry::global().snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_TRUE(obs::snapshot_delta(snap, snap).histograms.empty());
+  EXPECT_EQ(obs::slo_report(snap), "{}");
+  EXPECT_EQ(obs::slo_report(), "{}");
+}
+
+TEST(ObsOffMode, ExplainStillProfilesQueries) {
+  // QueryProfile is plain bayesnet data: EXPLAIN keeps working with the
+  // obs layer compiled out (measured figures simply read as zero-ish).
+  const auto net = tiny_network();
+  bn::InferenceEngine engine(net, {.threads = 1});
+  auto profile = engine.explain(1, {{0, 0}});
+  EXPECT_EQ(profile.backend, "variable_elimination");
+  profile.zero_costs();
+  EXPECT_NE(profile.to_json().find("\"posterior\""), std::string::npos);
+  EXPECT_NE(profile.to_plan().find("EXPLAIN"), std::string::npos);
 }
 
 #endif  // SYSUQ_OBS_OFF

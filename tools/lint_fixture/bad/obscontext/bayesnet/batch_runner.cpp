@@ -1,0 +1,23 @@
+// obs-context fixture, bad twin: a span is opened, work fans out to
+// the pool, and no TraceContext crosses the dispatch — the worker-side
+// spans will root disconnected traces. Never compiled.
+#include "bayesnet/batch_runner.hpp"
+
+#include "core/contracts.hpp"
+#include "obs/trace.hpp"
+
+namespace sysuq::bayesnet {
+
+void BatchRunner::run_batch(std::size_t n) {
+  SYSUQ_EXPECT(n > 0, "run_batch needs work");
+  const obs::Span span("bayesnet.batch_runner.run_batch");
+  pool_->run(n, 0);  // no current_context()/ContextScope handoff
+}
+
+void BatchRunner::run_batch_member(std::size_t n) {
+  SYSUQ_EXPECT(n > 0, "run_batch_member needs work");
+  const obs::Span span("bayesnet.batch_runner.run_batch_member");
+  worker_pool_.run(n, 0);  // member pool, same missing handoff
+}
+
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,22 @@
+// obs-context fixture, bad twin. Never compiled.
+#pragma once
+
+#include <cstddef>
+
+namespace sysuq::bayesnet {
+
+struct Pool {
+  void run(std::size_t jobs, int task) {}
+};
+
+class BatchRunner {
+ public:
+  void run_batch(std::size_t n);
+  void run_batch_member(std::size_t n);
+
+ private:
+  Pool* pool_ = nullptr;
+  Pool worker_pool_;
+};
+
+}  // namespace sysuq::bayesnet

@@ -1,0 +1,27 @@
+// obs-context fixture, clean twin: the same dispatch shapes done
+// right — the batch span's context is captured before the dispatch and
+// installed in the task, and a pool dispatch with no span in scope
+// needs no handoff at all. Never compiled.
+#include "bayesnet/batch_runner.hpp"
+
+#include "core/contracts.hpp"
+#include "obs/context.hpp"
+#include "obs/trace.hpp"
+
+namespace sysuq::bayesnet {
+
+void BatchRunner::run_batch(std::size_t n) {
+  SYSUQ_EXPECT(n > 0, "run_batch needs work");
+  const obs::Span span("bayesnet.batch_runner.run_batch");
+  const obs::TraceContext ctx = obs::current_context();
+  pool_->run(n, 0);  // tasks install ctx with obs::ContextScope
+}
+
+// No span in this function: workers rooting their own traces is the
+// correct behaviour, so the dispatch needs no handoff.
+void BatchRunner::run_unspanned(std::size_t n) {
+  SYSUQ_EXPECT(n > 0, "run_unspanned needs work");
+  pool_->run(n, 0);
+}
+
+}  // namespace sysuq::bayesnet

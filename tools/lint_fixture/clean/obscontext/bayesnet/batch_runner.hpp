@@ -1,0 +1,21 @@
+// obs-context fixture, clean twin. Never compiled.
+#pragma once
+
+#include <cstddef>
+
+namespace sysuq::bayesnet {
+
+struct Pool {
+  void run(std::size_t jobs, int task) {}
+};
+
+class BatchRunner {
+ public:
+  void run_batch(std::size_t n);
+  void run_unspanned(std::size_t n);
+
+ private:
+  Pool* pool_ = nullptr;
+};
+
+}  // namespace sysuq::bayesnet

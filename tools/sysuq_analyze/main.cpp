@@ -275,6 +275,7 @@ int main(int argc, char** argv) {
   pass_arena(project, rep);
   pass_lockorder(project, rep);
   pass_logdomain(project, rep);
+  pass_obscontext(project, rep);
 
   std::sort(rep.violations.begin(), rep.violations.end(),
             [](const Violation& a, const Violation& b) {

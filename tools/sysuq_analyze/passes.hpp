@@ -24,6 +24,10 @@
 //   logdomain    — log-domain values flowing into linear arithmetic or
 //                  SYSUQ_ASSERT_PROB* without exp()/from_log(), and
 //                  naive += accumulation over probability arrays.
+//   obscontext   — a function opening an obs::Span and dispatching onto
+//                  a thread pool must hand the TraceContext to the
+//                  tasks (current_context() + ContextScope), so worker
+//                  spans parent into the query's trace.
 #pragma once
 
 #include <cstddef>
@@ -106,6 +110,7 @@ void pass_mutate(const Project& project, Reporter& rep);
 void pass_arena(const Project& project, Reporter& rep);
 void pass_lockorder(const Project& project, Reporter& rep);
 void pass_logdomain(const Project& project, Reporter& rep);
+void pass_obscontext(const Project& project, Reporter& rep);
 
 /// Display path for a file (root-joined, generic separators).
 [[nodiscard]] std::string display_path(const LexedFile& f);

@@ -13,7 +13,7 @@ namespace {
 // The full catalog, in catalog order (docs/analyzer_rules.md mirrors
 // this). Every rule appears in tool.driver.rules even when it produced
 // no results, so SARIF consumers can show what was checked.
-constexpr std::array<RuleDoc, 12> kRules = {{
+constexpr std::array<RuleDoc, 13> kRules = {{
     {"layering",
      "Includes must respect the module DAG core -> prob -> bayesnet -> "
      "{evidence, perception, fta, markov, orbit} -> sys; obs is includable "
@@ -58,6 +58,12 @@ constexpr std::array<RuleDoc, 12> kRules = {{
      "not reach SYSUQ_ASSERT_PROB* or linear `*`/`/` arithmetic without "
      "an explicit exp()/from_log() conversion; prefer the "
      "Neumaier-compensated kernels::total() over naive `+=` loops."},
+    {"obs-context",
+     "A function that opens an obs::Span and dispatches work onto a "
+     "thread pool must hand the TraceContext to the tasks: capture "
+     "obs::current_context() before the dispatch and install it in each "
+     "task with obs::ContextScope, so worker spans parent into the "
+     "query's trace."},
 }};
 
 std::string json_escape(const std::string& s) {

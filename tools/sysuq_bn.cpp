@@ -1,13 +1,15 @@
 // sysuq_bn — command-line front end for the Bayesian-network layer.
 //
 // Usage:
-//   sysuq_bn [--metrics] [--trace <out.json>] [--backend ve|jt|auto]
+//   sysuq_bn [--metrics] [--trace <out.json>] [--manifest <out.json>]
+//            [--backend ve|jt|auto] [--json] [--deterministic]
 //            <command> ...
 //
 //   sysuq_bn describe <model.bn>
 //   sysuq_bn dot <model.bn>
 //   sysuq_bn marginal <model.bn> <variable> [ev_var=state ...]
 //   sysuq_bn marginals <model.bn> [ev_var=state ...]
+//   sysuq_bn explain <model.bn> <variable> [ev_var=state ...]
 //   sysuq_bn sensitivity <model.bn> <variable> <state> [ev_var=state ...]
 //   sysuq_bn table1 > model.bn        # emit the paper's Table I network
 //
@@ -16,9 +18,16 @@
 //                      Prometheus text format to stderr
 //   --trace <file>     enable the global trace sink and write the run's
 //                      spans as Chrome trace_event JSON to <file>
+//   --manifest <file>  after the command, write a JSON run manifest:
+//                      the obs registry, its SLO quantile report, and —
+//                      when `explain` ran — the QueryProfile
 //   --backend <name>   exact-inference backend for the query commands:
 //                      ve (per-query variable elimination), jt (calibrated
 //                      junction tree), or auto (default)
+//   --json             `explain` prints the QueryProfile as JSON instead
+//                      of the human-readable plan
+//   --deterministic    `explain` zeroes its measured figures (wall times,
+//                      arena bytes) so the output is byte-reproducible
 //
 // Models use the sysuq-bayesnet text format (see bayesnet/serialize.hpp).
 #include <cstdio>
@@ -34,6 +43,7 @@
 #include "bayesnet/sensitivity.hpp"
 #include "bayesnet/serialize.hpp"
 #include "obs/registry.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "perception/table1.hpp"
 
@@ -44,19 +54,25 @@ using namespace sysuq;
 int usage() {
   std::fputs(
       "usage: sysuq_bn [--metrics] [--trace <out.json>] "
-      "[--backend ve|jt|auto] <command> ...\n"
+      "[--manifest <out.json>] [--backend ve|jt|auto] [--json] "
+      "[--deterministic] <command> ...\n"
       "  sysuq_bn describe <model.bn>\n"
       "  sysuq_bn dot <model.bn>\n"
       "  sysuq_bn marginal <model.bn> <variable> [ev=state ...]\n"
       "  sysuq_bn marginals <model.bn> [ev=state ...]\n"
+      "  sysuq_bn explain <model.bn> <variable> [ev=state ...]\n"
       "  sysuq_bn sensitivity <model.bn> <variable> <state> [ev=state ...]\n"
       "  sysuq_bn table1\n"
       "flags:\n"
       "  --metrics        print the obs metrics registry (Prometheus text)\n"
       "                   to stderr after the command\n"
       "  --trace <file>   write the run's spans as Chrome trace JSON\n"
+      "  --manifest <f>   write a JSON run manifest (metrics + SLO\n"
+      "                   quantiles + the explain profile, when one ran)\n"
       "  --backend <b>    ve | jt | auto (default auto) for the query\n"
-      "                   commands (marginal, marginals)\n",
+      "                   commands (marginal, marginals, explain)\n"
+      "  --json           explain: print the QueryProfile as JSON\n"
+      "  --deterministic  explain: zero measured wall times / arena bytes\n",
       stderr);
   return 2;
 }
@@ -64,6 +80,14 @@ int usage() {
 // Selected by the global --backend flag; the query commands route their
 // InferenceEngine through it.
 bayesnet::Backend g_backend = bayesnet::Backend::kAuto;
+
+// --json / --deterministic, consumed by the explain command.
+bool g_json = false;
+bool g_deterministic = false;
+
+// The last explain profile's JSON, embedded in the --manifest output
+// (empty when no explain ran this invocation).
+std::string g_explain_json;
 
 bool parse_backend(const std::string& name) {
   if (name == "ve") {
@@ -110,6 +134,7 @@ int run(int argc, char** argv);
 int main(int argc, char** argv) {
   bool print_metrics = false;
   std::string trace_path;
+  std::string manifest_path;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -119,8 +144,15 @@ int main(int argc, char** argv) {
     } else if (i > 0 && tok == "--trace") {
       if (i + 1 >= argc) return usage();
       trace_path = argv[++i];
+    } else if (i > 0 && tok == "--manifest") {
+      if (i + 1 >= argc) return usage();
+      manifest_path = argv[++i];
     } else if (i > 0 && tok == "--backend") {
       if (i + 1 >= argc || !parse_backend(argv[++i])) return usage();
+    } else if (i > 0 && tok == "--json") {
+      g_json = true;
+    } else if (i > 0 && tok == "--deterministic") {
+      g_deterministic = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -141,6 +173,19 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << obs::TraceSink::global().to_chrome_json() << "\n";
+  }
+  if (!manifest_path.empty()) {
+    std::ofstream out(manifest_path);
+    if (!out) {
+      std::fprintf(stderr, "sysuq_bn: cannot write manifest '%s'\n",
+                   manifest_path.c_str());
+      return 1;
+    }
+    out << "{\"tool\":\"sysuq_bn\",\"schema\":1,\"command\":\""
+        << (argc > 1 ? argv[1] : "") << "\",\"explain\":"
+        << (g_explain_json.empty() ? "null" : g_explain_json)
+        << ",\"slo\":" << obs::slo_report()
+        << ",\"metrics\":" << obs::Registry::global().to_json() << "}\n";
   }
   return rc;
 }
@@ -203,6 +248,24 @@ int run(int argc, char** argv) {
                       all[v].p(s));
         }
         std::printf("\n");
+      }
+      return 0;
+    }
+    if (cmd == "explain") {
+      // EXPLAIN ANALYZE for one query: runs it and prints the cost
+      // attribution (plan, cache hits, arena high-water, stage times).
+      if (argc < 4) return usage();
+      const auto query = net.id_of(argv[3]);
+      const auto ev = parse_evidence(net, argc, argv, 4);
+      bayesnet::InferenceEngine engine(
+          net, {.threads = 1, .backend = g_backend});
+      auto profile = engine.explain(query, ev);
+      if (g_deterministic) profile.zero_costs();
+      g_explain_json = profile.to_json();
+      if (g_json) {
+        std::printf("%s\n", g_explain_json.c_str());
+      } else {
+        std::fputs(profile.to_plan().c_str(), stdout);
       }
       return 0;
     }
