@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "bayesnet/inference.hpp"
+#include "core/contracts.hpp"
 #include "obs/context.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -39,6 +40,11 @@ struct EngineMetrics {
   obs::Counter& jt_cache_hits;
   obs::Counter& jt_cache_misses;
   obs::Gauge& jt_cache_entries;
+  obs::Counter& bp_queries;
+  obs::Counter& bp_escalations;
+  obs::Counter& bp_cache_hits;
+  obs::Counter& bp_cache_misses;
+  obs::Gauge& bp_cache_entries;
 
   static EngineMetrics& instance() {
     auto& reg = obs::Registry::global();
@@ -56,6 +62,11 @@ struct EngineMetrics {
         reg.counter("bayesnet.jt.cache.hits"),
         reg.counter("bayesnet.jt.cache.misses"),
         reg.gauge("bayesnet.jt.cache.entries"),
+        reg.counter("bayesnet.bp.queries"),
+        reg.counter("bayesnet.bp.escalations"),
+        reg.counter("bayesnet.bp.cache.hits"),
+        reg.counter("bayesnet.bp.cache.misses"),
+        reg.gauge("bayesnet.bp.cache.entries"),
     };
     return m;
   }
@@ -282,6 +293,90 @@ std::shared_ptr<const JunctionTree> InferenceEngine::calibrated_tree_for(
   return it->second;
 }
 
+std::shared_ptr<const LoopyBP> InferenceEngine::bp_for(
+    const Evidence& evidence) const {
+  TreeKey key(evidence.begin(), evidence.end());  // map: sorted pairs
+  auto& metrics = EngineMetrics::instance();
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    if (const auto it = bp_cache_.find(key); it != bp_cache_.end()) {
+      ++bp_cache_hits_;
+      metrics.bp_cache_hits.inc();
+      return it->second;
+    }
+    ++bp_cache_misses_;
+    metrics.bp_cache_misses.inc();
+  }
+  // Run outside the lock (first insert wins; the schedule is
+  // deterministic, so racing builders agree byte for byte). A run that
+  // oscillates under the configured damping gets one deterministic
+  // retry at damping 0.5 — the standard fix for flooding-schedule
+  // limit cycles — and the converged run is kept.
+  auto bp = std::make_shared<const LoopyBP>(net_, evidence, options_.bp);
+  if (!bp->converged() && options_.bp.damping < 0.5) {
+    LoopyBP::Options damped = options_.bp;
+    damped.damping = 0.5;
+    auto retry = std::make_shared<const LoopyBP>(net_, evidence, damped);
+    if (retry->converged()) bp = std::move(retry);
+  }
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  const auto it = bp_cache_.emplace(std::move(key), std::move(bp)).first;
+  metrics.bp_cache_entries.set(static_cast<double>(bp_cache_.size()));
+  return it->second;
+}
+
+std::size_t InferenceEngine::exact_plan_max_cells(
+    const Evidence& evidence) const {
+  OrderingKey key;
+  key.reserve(evidence.size());
+  for (const auto& [v, _] : evidence) key.push_back(v);  // map: sorted
+  std::shared_ptr<const EliminationOrdering> cached;
+  {
+    std::lock_guard<std::mutex> lk(cache_mu_);
+    if (const auto it = plan_cells_.find(key); it != plan_cells_.end())
+      return it->second;
+    if (const auto it = cache_.find(key); it != cache_.end())
+      cached = it->second;
+  }
+  // One symbolic replay of the full-elimination plan per evidence-keys
+  // signature. Stats-invisible by design: an already-cached ordering is
+  // read without counting, and a cold signature runs the heuristic
+  // privately without inserting — the guard is a pre-flight check, and
+  // the documented ordering-cache accounting stays owned by the query
+  // paths alone.
+  EliminationOrdering local;
+  const EliminationOrdering* ordering = cached.get();
+  if (ordering == nullptr) {
+    local = compute_elimination_order(net_, /*keep=*/{}, key,
+                                      options_.heuristic);
+    ordering = &local;
+  }
+  const auto steps = simulate_elimination(net_, evidence, ordering->order, {});
+  std::size_t max_cells = 0;
+  for (const auto& step : steps) max_cells = std::max(max_cells, step.table_cells);
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return plan_cells_.emplace(std::move(key), max_cells).first->second;
+}
+
+bool InferenceEngine::auto_escalates_to_bp(const Evidence& evidence) const {
+  if (options_.backend != Backend::kAuto) return false;
+  const std::size_t cells = exact_plan_max_cells(evidence);
+  if (cells <= options_.max_exact_table_cells) return false;
+  if (!options_.enable_bp) {
+    contracts::fail(
+        "precondition", "exact_plan_max_cells <= max_exact_table_cells",
+        "InferenceEngine: exact inference is infeasible (largest elimination "
+        "table needs " +
+            std::to_string(cells) + " cells, ceiling " +
+            std::to_string(options_.max_exact_table_cells) +
+            ") and Options::enable_bp is false — raise max_exact_table_cells "
+            "or enable the loopy-BP escalation");
+    return false;  // contracts::Mode::kOff: fall through to the exact path
+  }
+  EngineMetrics::instance().bp_escalations.inc();
+  return true;
+}
+
 prob::Categorical InferenceEngine::query_ve(VariableId query,
                                             const Evidence& evidence) const {
   const kernels::ScaledFactor sf = eliminate_all_but({query}, evidence);
@@ -316,7 +411,27 @@ prob::Categorical InferenceEngine::query(VariableId query,
     metrics.jt_queries.inc();
     return calibrated_tree_for(evidence)->query(query);
   }
+  if (options_.backend == Backend::kLoopyBP || auto_escalates_to_bp(evidence)) {
+    metrics.bp_queries.inc();
+    return bp_for(evidence)->query(query).point;
+  }
   return query_ve(query, evidence);
+}
+
+BoundedPosterior InferenceEngine::query_bounded(VariableId query,
+                                                const Evidence& evidence) const {
+  const obs::Span span("bayesnet.engine.query_bounded");
+  EngineMetrics::instance().bp_queries.inc();
+  if (query >= net_.size())
+    throw std::out_of_range("InferenceEngine::query: variable id");
+  return bp_for(evidence)->query(query);
+}
+
+std::vector<BoundedPosterior> InferenceEngine::all_marginals_bounded(
+    const Evidence& evidence) const {
+  const obs::Span span("bayesnet.engine.all_marginals_bounded");
+  EngineMetrics::instance().bp_queries.inc(net_.size());
+  return bp_for(evidence)->all_marginals();
 }
 
 std::vector<prob::Categorical> InferenceEngine::all_marginals(
@@ -327,6 +442,14 @@ std::vector<prob::Categorical> InferenceEngine::all_marginals(
     out.reserve(net_.size());
     for (VariableId v = 0; v < net_.size(); ++v)
       out.push_back(query(v, evidence));
+    return out;
+  }
+  if (options_.backend == Backend::kLoopyBP || auto_escalates_to_bp(evidence)) {
+    EngineMetrics::instance().bp_queries.inc(net_.size());
+    const auto& bounded = bp_for(evidence)->all_marginals();
+    std::vector<prob::Categorical> out;
+    out.reserve(bounded.size());
+    for (const auto& b : bounded) out.push_back(b.point);
     return out;
   }
   const auto tree = calibrated_tree_for(evidence);
@@ -390,6 +513,7 @@ std::vector<prob::Categorical> InferenceEngine::query_batch(
   // remaining index stays on the per-query VE path.
   std::vector<std::size_t> ve_indices;
   std::vector<std::vector<std::size_t>> jt_groups;
+  std::vector<std::vector<std::size_t>> bp_groups;
   if (options_.backend == Backend::kVariableElimination) {
     ve_indices.resize(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) ve_indices[i] = i;
@@ -400,6 +524,11 @@ std::vector<prob::Categorical> InferenceEngine::query_batch(
           .push_back(i);
     }
     for (auto& [key, indices] : by_evidence) {
+      if (options_.backend == Backend::kLoopyBP ||
+          auto_escalates_to_bp(batch[indices.front()].evidence)) {
+        bp_groups.push_back(std::move(indices));
+        continue;
+      }
       bool use_jt = options_.backend == Backend::kJunctionTree;
       if (!use_jt) {
         std::set<VariableId> distinct;
@@ -429,26 +558,48 @@ std::vector<prob::Categorical> InferenceEngine::query_batch(
       }
       return;
     }
-    const auto& group = jt_groups[u - ve_indices.size()];
-    std::shared_ptr<const JunctionTree> tree;
+    if (u < ve_indices.size() + jt_groups.size()) {
+      const auto& group = jt_groups[u - ve_indices.size()];
+      std::shared_ptr<const JunctionTree> tree;
+      try {
+        tree = calibrated_tree_for(batch[group.front()].evidence);
+      } catch (...) {
+        for (const std::size_t i : group) errors[i] = std::current_exception();
+        return;
+      }
+      metrics.jt_queries.inc(group.size());
+      for (const std::size_t i : group) {
+        try {
+          if (batch[i].query >= net_.size())
+            throw std::out_of_range("InferenceEngine::query: variable id");
+          results[i] = tree->query(batch[i].query);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+      return;
+    }
+    const auto& group = bp_groups[u - ve_indices.size() - jt_groups.size()];
+    std::shared_ptr<const LoopyBP> bp;
     try {
-      tree = calibrated_tree_for(batch[group.front()].evidence);
+      bp = bp_for(batch[group.front()].evidence);
     } catch (...) {
       for (const std::size_t i : group) errors[i] = std::current_exception();
       return;
     }
-    metrics.jt_queries.inc(group.size());
+    metrics.bp_queries.inc(group.size());
     for (const std::size_t i : group) {
       try {
         if (batch[i].query >= net_.size())
           throw std::out_of_range("InferenceEngine::query: variable id");
-        results[i] = tree->query(batch[i].query);
+        results[i] = bp->query(batch[i].query).point;
       } catch (...) {
         errors[i] = std::current_exception();
       }
     }
   };
-  const std::size_t units = ve_indices.size() + jt_groups.size();
+  const std::size_t units =
+      ve_indices.size() + jt_groups.size() + bp_groups.size();
   if (pool_) {
     pool_->run(units, task);
   } else {
@@ -511,6 +662,12 @@ bool InferenceEngine::tree_cached(const Evidence& evidence) const {
   return jt_cache_.find(key) != jt_cache_.end();
 }
 
+bool InferenceEngine::bp_cached(const Evidence& evidence) const {
+  const TreeKey key(evidence.begin(), evidence.end());
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return bp_cache_.find(key) != bp_cache_.end();
+}
+
 QueryProfile InferenceEngine::explain(VariableId query,
                                       const Evidence& evidence) const {
   using clock = std::chrono::steady_clock;
@@ -543,7 +700,33 @@ QueryProfile InferenceEngine::explain(VariableId query,
     return p;
   }
 
-  if (options_.backend == Backend::kJunctionTree) {
+  if (options_.backend == Backend::kLoopyBP || auto_escalates_to_bp(evidence)) {
+    p.backend = "loopy_bp";
+    p.backend_reason =
+        options_.backend == Backend::kLoopyBP
+            ? "Backend::kLoopyBP routes every query through flooding belief "
+              "propagation with certified bounds"
+            : "Backend::kAuto escalated: the exact elimination plan exceeds "
+              "Options::max_exact_table_cells (largest table " +
+                  std::to_string(exact_plan_max_cells(evidence)) + " cells)";
+    p.bp_cache_hit = bp_cached(evidence);
+    const auto t_prop0 = clock::now();
+    const auto bp = bp_for(evidence);
+    const auto t_prop1 = clock::now();
+    p.schedule = LoopyBP::schedule();
+    p.bp_iterations = bp->iterations();
+    p.bp_converged = bp->converged();
+    p.bp_damping = options_.bp.damping;
+    p.final_residual = bp->final_residual();
+    p.bound_width = bp->max_bound_width();
+    p.propagation_seconds = bp->build_seconds();
+    p.arena_high_water_bytes = bp->arena_high_water_bytes();
+    const auto& posterior = bp->query(query);  // throws when P(e) = 0
+    const auto t_read = clock::now();
+    p.stages.push_back({"propagate", since(t_prop0, t_prop1)});
+    p.stages.push_back({"read_marginal", since(t_prop1, t_read)});
+    p.posterior = posterior.point.probs();
+  } else if (options_.backend == Backend::kJunctionTree) {
     p.backend = "junction_tree";
     p.backend_reason =
         "Backend::kJunctionTree routes every query through the calibrated "
@@ -608,12 +791,23 @@ InferenceEngine::CacheStats InferenceEngine::jt_cache_stats() const {
   return s;
 }
 
+InferenceEngine::CacheStats InferenceEngine::bp_cache_stats() const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  CacheStats s;
+  s.hits = bp_cache_hits_;
+  s.misses = bp_cache_misses_;
+  s.entries = bp_cache_.size();
+  return s;
+}
+
 void InferenceEngine::reset_cache_stats() {
   std::lock_guard<std::mutex> lk(cache_mu_);
   cache_hits_ = 0;
   cache_misses_ = 0;
   jt_cache_hits_ = 0;
   jt_cache_misses_ = 0;
+  bp_cache_hits_ = 0;
+  bp_cache_misses_ = 0;
 }
 
 void InferenceEngine::clear_cache() {
@@ -624,6 +818,10 @@ void InferenceEngine::clear_cache() {
   jt_cache_.clear();
   jt_cache_hits_ = 0;
   jt_cache_misses_ = 0;
+  bp_cache_.clear();
+  bp_cache_hits_ = 0;
+  bp_cache_misses_ = 0;
+  plan_cells_.clear();
 }
 
 }  // namespace sysuq::bayesnet

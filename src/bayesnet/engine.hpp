@@ -45,6 +45,7 @@
 
 #include "bayesnet/junction_tree.hpp"
 #include "bayesnet/kernels.hpp"
+#include "bayesnet/loopy_bp.hpp"
 #include "bayesnet/network.hpp"
 #include "bayesnet/ordering.hpp"
 #include "bayesnet/profile.hpp"
@@ -59,11 +60,13 @@ struct QuerySpec {
   Evidence evidence;
 };
 
-/// Which exact backend answers engine queries.
+/// Which backend answers engine queries.
 enum class Backend {
   kVariableElimination,  ///< one elimination run per query (the PR-1 path)
   kJunctionTree,         ///< every query reads a calibrated clique tree
-  kAuto,  ///< VE per query; JT for batch groups with many distinct queries
+  kAuto,  ///< VE per query; JT for batch groups with many distinct queries;
+          ///< escalates to loopy BP when the exact plan is infeasible
+  kLoopyBP,  ///< approximate loopy belief propagation with certified bounds
 };
 
 class InferenceEngine {
@@ -77,6 +80,20 @@ class InferenceEngine {
     /// holds at least this many *distinct* query variables under one
     /// evidence assignment (one calibration then amortizes across them).
     std::size_t jt_batch_threshold = 8;
+    /// Under kAuto, the feasibility ceiling for exact inference: when
+    /// the cached elimination plan's largest intermediate table would
+    /// exceed this many cells (simulate_elimination's estimate, also a
+    /// proxy for the junction tree's largest clique), the query
+    /// escalates to loopy BP instead of materializing it — or throws a
+    /// ContractViolation when `enable_bp` is false. The default is 2^24
+    /// cells (128 MiB of doubles per table).
+    std::size_t max_exact_table_cells = std::size_t{1} << 24;
+    /// Permits the kAuto escalation to loopy BP. When false, a query
+    /// whose exact plan exceeds `max_exact_table_cells` fails fast with
+    /// a ContractViolation instead of silently approximating.
+    bool enable_bp = true;
+    /// Loopy-BP options, used by Backend::kLoopyBP and kAuto escalations.
+    LoopyBP::Options bp = {};
   };
 
   /// A point-in-time view of this engine's ordering-cache counters.
@@ -128,6 +145,18 @@ class InferenceEngine {
   [[nodiscard]] std::vector<prob::Categorical> all_marginals(
       const Evidence& evidence = {}) const;
 
+  /// Bounded posterior of one query via loopy BP: the point estimate
+  /// plus a certified interval containing the true P(query | evidence).
+  /// Available under every backend (the BP run is cached by evidence
+  /// assignment); throws like `query` on impossible evidence.
+  [[nodiscard]] BoundedPosterior query_bounded(
+      VariableId query, const Evidence& evidence = {}) const;
+
+  /// Bounded posteriors of every variable via loopy BP, indexed by
+  /// VariableId (observed variables hold zero-width deltas).
+  [[nodiscard]] std::vector<BoundedPosterior> all_marginals_bounded(
+      const Evidence& evidence = {}) const;
+
   /// Probability of the evidence, P(e).
   [[nodiscard]] double evidence_probability(const Evidence& evidence) const;
 
@@ -162,6 +191,10 @@ class InferenceEngine {
   /// value never share a calibrated tree.
   [[nodiscard]] CacheStats jt_cache_stats() const;
 
+  /// Loopy-BP run cache statistics (same windowing rules; keyed by the
+  /// full evidence assignment like the junction-tree cache).
+  [[nodiscard]] CacheStats bp_cache_stats() const;
+
   /// Zeroes the hit/miss counters (ordering and junction-tree caches)
   /// without dropping cached plans or calibrated trees, so long-running
   /// batch loops can window their stats per batch. The process-wide obs
@@ -195,6 +228,13 @@ class InferenceEngine {
   mutable std::map<TreeKey, std::shared_ptr<const JunctionTree>> jt_cache_;
   mutable std::size_t jt_cache_hits_ = 0;
   mutable std::size_t jt_cache_misses_ = 0;
+  mutable std::map<TreeKey, std::shared_ptr<const LoopyBP>> bp_cache_;
+  mutable std::size_t bp_cache_hits_ = 0;
+  mutable std::size_t bp_cache_misses_ = 0;
+  // kAuto feasibility guard memo: largest simulated elimination table
+  // (cells) per evidence-keys signature — one symbolic replay per
+  // signature, not per query.
+  mutable std::map<OrderingKey, std::size_t> plan_cells_;
   // Arena bytes live at the peak of the most recent VE elimination on
   // any thread (captured before the final arena reset). Relaxed: a
   // diagnostic figure for explain(), not synchronization.
@@ -212,11 +252,23 @@ class InferenceEngine {
   /// The calibrated tree for `evidence`, built on a miss and memoized.
   [[nodiscard]] std::shared_ptr<const JunctionTree> calibrated_tree_for(
       const Evidence& evidence) const;
+  /// The loopy-BP run for `evidence`, built on a miss and memoized. A
+  /// run that fails to converge under the configured damping is retried
+  /// once at damping 0.5 (deterministic), keeping whichever converged.
+  [[nodiscard]] std::shared_ptr<const LoopyBP> bp_for(
+      const Evidence& evidence) const;
+  /// kAuto feasibility guard: largest intermediate table (cells) of the
+  /// cached elimination plan under `evidence` (memoized per signature).
+  [[nodiscard]] std::size_t exact_plan_max_cells(const Evidence& evidence) const;
+  /// True when kAuto must leave the exact backends for `evidence`;
+  /// throws ContractViolation when escalation is needed but disabled.
+  [[nodiscard]] bool auto_escalates_to_bp(const Evidence& evidence) const;
   [[nodiscard]] prob::Categorical query_ve(VariableId query,
                                            const Evidence& evidence) const;
   /// Cache peeks for explain()'s hit attribution (no stats recorded).
   [[nodiscard]] bool ordering_cached(const Evidence& evidence) const;
   [[nodiscard]] bool tree_cached(const Evidence& evidence) const;
+  [[nodiscard]] bool bp_cached(const Evidence& evidence) const;
 };
 
 }  // namespace sysuq::bayesnet

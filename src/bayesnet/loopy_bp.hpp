@@ -1,0 +1,187 @@
+// Loopy belief propagation with certified per-marginal error bounds.
+//
+// Third backend family next to VariableElimination and JunctionTree:
+// flooding-schedule (synchronous / Jacobi) sum-product message passing
+// on the factor graph of the evidence-reduced CPTs. Where the exact
+// backends pay for treewidth — table sizes exponential in the largest
+// clique — BP's cost is linear in the total CPT size per iteration, so
+// it keeps answering on the treewidth-hostile networks where
+// `simulate_elimination` predicts the exact backends would die
+// (bench_cpt_explosion's regime, ROADMAP item 2).
+//
+// The price is exactness: on graphs with cycles the BP fixpoint is an
+// approximation. Every posterior is therefore surfaced as a
+// `BoundedPosterior` — the BP point estimate plus a *certified*
+// interval guaranteed to contain the true posterior P(v | e):
+//
+//  * Markov-blanket convexity box (sound on every graph): by the law
+//    of total probability, P(v=i | e) is a convex combination over
+//    blanket configurations b of P(v=i | B=b, e), and the conditional
+//    given the full blanket depends only on the factors touching v. We
+//    enumerate blanket configurations exactly up to
+//    `Options::max_blanket_configs` and take the min/max envelope;
+//    past the cap a per-factor min/max relaxation bounds the same
+//    quantity from outside.
+//  * Dobrushin-style contraction estimate: per-factor dynamic ranges
+//    D_f = max psi / min psi give contraction rates (D-1)/(D+1) and
+//    log-range caps log D (Ihler-style strength bounds). Propagating
+//    the final undamped message residuals through that contraction
+//    system bounds the log-distance from the current messages to the
+//    BP fixpoint. On an acyclic factor graph the fixpoint *is* the
+//    true posterior, so there the contraction box certifies too and is
+//    intersected with the blanket box; on loopy graphs it is reported
+//    only through the interval when it agrees (the blanket box alone
+//    is the certificate).
+//
+// The final interval is hulled with the point estimate, so the BP
+// point always lies inside its own certified interval by construction.
+//
+// Schedule and determinism: one iteration updates every factor->var
+// message from the previous iteration's var->factor messages (in
+// factor-index, then scope-position order), then every var->factor
+// message from the fresh factor->var messages. Damping
+// m' = (1-lambda)*update + lambda*m applies to the factor->var half.
+// The schedule is sequential and fixed, so posteriors are
+// byte-identical across runs and independent of any thread count.
+//
+// Impossible evidence (P(e) = 0) is detected when a message or belief
+// normalizes to zero mass (generalized arc consistency — sound, since
+// message supports only shrink from factor zeros); the accessors then
+// throw std::domain_error with `impossible_evidence_message`, the same
+// per-query semantics as VE and the junction tree.
+//
+// Thread safety: all accessors are const and safe to call concurrently
+// once the constructor returns (marginals and bounds are extracted
+// eagerly). The object holds a reference to the network — the network
+// must outlive it and must not be mutated while it is in use.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bayesnet/factor.hpp"
+#include "bayesnet/network.hpp"
+#include "core/tolerance.hpp"
+#include "prob/discrete.hpp"
+
+namespace sysuq::bayesnet {
+
+/// A posterior point estimate plus a certified interval that contains
+/// the true posterior: lo[i] <= P(v = i | e) <= hi[i] for every state.
+struct BoundedPosterior {
+  /// The BP marginal estimate (default: a trivial one-state mass, so
+  /// the struct is default-constructible for container use).
+  prob::Categorical point{std::vector<double>{1.0}};
+  std::vector<double> lo;   ///< certified lower bound per state
+  std::vector<double> hi;   ///< certified upper bound per state
+  bool converged = false;   ///< message passing reached tolerance
+
+  /// Largest per-state interval width, max_i (hi[i] - lo[i]).
+  [[nodiscard]] double width() const;
+
+  /// True when every probs[i] lies inside [lo[i], hi[i]] (inclusive,
+  /// within `slack` for floating-point edges).
+  [[nodiscard]] bool contains(const std::vector<double>& probs,
+                              double slack = tolerance::kTiny) const;
+};
+
+class LoopyBP {
+ public:
+  struct Options {
+    /// Hard cap on flooding iterations (>= 1).
+    std::size_t max_iterations = 500;
+    /// Damping factor in [0, 1): m' = (1-damping)*update + damping*m.
+    /// 0 is pure Jacobi; raise toward 0.5 on oscillating graphs.
+    double damping = 0.0;
+    /// Convergence threshold on the max absolute (undamped) message
+    /// delta per iteration; must be > 0.
+    double tolerance = sysuq::tolerance::kBpMessageDelta;
+    /// Blanket configurations enumerated exactly for the convexity box
+    /// before falling back to the per-factor relaxation (>= 1).
+    std::size_t max_blanket_configs = 4096;
+  };
+
+  /// Runs message passing and bound extraction for `net` under
+  /// `evidence`. Throws std::out_of_range for unknown evidence ids or
+  /// states; evidence with probability zero surfaces as
+  /// std::domain_error from the posterior accessors.
+  explicit LoopyBP(const BayesianNetwork& net, const Evidence& evidence = {});
+  LoopyBP(const BayesianNetwork& net, const Evidence& evidence,
+          Options options);
+
+  [[nodiscard]] const BayesianNetwork& network() const { return net_; }
+  [[nodiscard]] const Evidence& evidence() const { return evidence_; }
+
+  /// Bounded posterior of `v` (an observed variable returns its delta
+  /// with a zero-width interval). Throws std::domain_error with
+  /// `impossible_evidence_message` if P(evidence) = 0.
+  [[nodiscard]] const BoundedPosterior& query(VariableId v) const;
+
+  /// All bounded posteriors, indexed by VariableId. Throws like
+  /// `query` on impossible evidence.
+  [[nodiscard]] const std::vector<BoundedPosterior>& all_marginals() const;
+
+  // --- run diagnostics, for explain()/obs/benches ---
+
+  /// True when the last residual fell below Options::tolerance before
+  /// the iteration cap.
+  [[nodiscard]] bool converged() const { return converged_; }
+  /// Flooding iterations actually run.
+  [[nodiscard]] std::size_t iterations() const { return iterations_; }
+  /// Max absolute undamped message delta of the final iteration.
+  [[nodiscard]] double final_residual() const { return final_residual_; }
+  /// Largest certified interval width over all unobserved variables
+  /// (0 when the evidence is impossible).
+  [[nodiscard]] double max_bound_width() const { return max_bound_width_; }
+  /// True when the evidence-reduced factor graph is acyclic (BP exact).
+  [[nodiscard]] bool acyclic() const { return acyclic_; }
+  /// The fixed message schedule's name ("flooding").
+  [[nodiscard]] static const char* schedule() { return "flooding"; }
+  /// Wall seconds the constructor spent in message passing + bounds.
+  [[nodiscard]] double build_seconds() const { return build_seconds_; }
+  /// Scratch-arena bytes live at the run's peak.
+  [[nodiscard]] std::size_t arena_high_water_bytes() const {
+    return arena_high_water_;
+  }
+
+ private:
+  // One directed edge pair of the factor graph: factor `factor` <->
+  // variable `var` (position `pos` in the factor's reduced scope).
+  struct Edge {
+    std::size_t factor = 0;
+    VariableId var = 0;
+    std::size_t pos = 0;
+    std::vector<double> to_var;     // m_{factor -> var}, normalized
+    std::vector<double> to_factor;  // m_{var -> factor}, normalized
+    // Log dynamic range of factor `factor` restricted as seen from
+    // this edge, and the final undamped update's log-range residual —
+    // inputs to the contraction system.
+    double residual_log_range = 0.0;
+    double fixpoint_eps = 0.0;  // certified log-range to the fixpoint
+  };
+
+  const BayesianNetwork& net_;
+  Evidence evidence_;
+  Options options_;
+  std::vector<Factor> factors_;        // evidence-reduced, scalars dropped
+  std::vector<Edge> edges_;            // factor-index then scope order
+  std::vector<std::vector<std::size_t>> edges_of_var_;  // var -> edge ids
+  std::vector<BoundedPosterior> marginals_;             // one per variable
+  bool impossible_ = false;
+  bool converged_ = false;
+  bool acyclic_ = false;
+  std::size_t iterations_ = 0;
+  double final_residual_ = 0.0;
+  double max_bound_width_ = 0.0;
+  double build_seconds_ = 0.0;
+  std::size_t arena_high_water_ = 0;
+
+  void build_factor_graph();
+  void run_message_passing();
+  void extract_marginals();
+  void certify_bounds();
+  [[noreturn]] void throw_impossible() const;
+};
+
+}  // namespace sysuq::bayesnet

@@ -98,6 +98,7 @@ std::vector<EliminationStepProfile> simulate_elimination(
 
 void QueryProfile::zero_costs() {
   calibration_seconds = 0.0;
+  propagation_seconds = 0.0;
   arena_high_water_bytes = 0;
   for (auto& s : stages) s.seconds = 0.0;
   total_seconds = 0.0;
@@ -139,6 +140,17 @@ std::string QueryProfile::to_json() const {
     }
     out += "],\"max_clique_size\":" + std::to_string(max_clique_size) +
            ",\"calibration_seconds\":" + fmt_double(calibration_seconds);
+  } else if (backend == "loopy_bp") {
+    out += "\"bp_cache_hit\":";
+    out += bp_cache_hit ? "true" : "false";
+    out += ",\"schedule\":" + quoted(schedule) +
+           ",\"iterations\":" + std::to_string(bp_iterations) +
+           ",\"converged\":";
+    out += bp_converged ? "true" : "false";
+    out += ",\"damping\":" + fmt_double(bp_damping) +
+           ",\"final_residual\":" + fmt_double(final_residual) +
+           ",\"bound_width\":" + fmt_double(bound_width) +
+           ",\"propagation_seconds\":" + fmt_double(propagation_seconds);
   }
   out += "},\"cost\":{\"arena_high_water_bytes\":" +
          std::to_string(arena_high_water_bytes) + ",\"stages\":[";
@@ -192,6 +204,15 @@ std::string QueryProfile::to_plan() const {
     out += "  clique sizes:";
     for (const std::size_t c : clique_sizes) out += " " + std::to_string(c);
     out += "\n";
+  } else if (backend == "loopy_bp") {
+    out += "plan: " + schedule + " schedule, " +
+           std::to_string(bp_iterations) + " iterations (" +
+           (bp_converged ? "converged" : "iteration cap") + "), damping " +
+           fmt_double(bp_damping) + ", run cache " +
+           (bp_cache_hit ? "HIT" : "MISS") + "\n";
+    out += "  final residual " + fmt_double(final_residual) +
+           ", certified bound width " + fmt_double(bound_width) +
+           ", propagation " + fmt_double(propagation_seconds) + " s\n";
   }
   out += "cost: arena high-water " + std::to_string(arena_high_water_bytes) +
          " bytes\n";

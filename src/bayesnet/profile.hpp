@@ -48,7 +48,8 @@ struct StageProfile {
 struct QueryProfile {
   std::string query;  ///< query variable name
   std::vector<std::pair<std::string, std::string>> evidence;  ///< (var, state) names
-  std::string backend;  ///< "variable_elimination" | "junction_tree" | "evidence_delta"
+  /// "variable_elimination" | "junction_tree" | "loopy_bp" | "evidence_delta"
+  std::string backend;
   std::string backend_reason;
 
   // Variable-elimination plan (empty under the other backends).
@@ -62,6 +63,18 @@ struct QueryProfile {
   std::vector<std::size_t> clique_sizes;  ///< one per clique, tree order
   std::size_t max_clique_size = 0;
   double calibration_seconds = 0.0;  ///< the tree's build cost (0 when unknown)
+
+  // Loopy-BP plan (empty under the other backends). Structure and
+  // convergence figures are deterministic for fixed options; only
+  // propagation_seconds is measured.
+  bool bp_cache_hit = false;
+  std::string schedule;          ///< "flooding"
+  std::size_t bp_iterations = 0;
+  bool bp_converged = false;
+  double bp_damping = 0.0;
+  double final_residual = 0.0;   ///< last iteration's max message delta
+  double bound_width = 0.0;      ///< largest certified interval width
+  double propagation_seconds = 0.0;  ///< the BP run's build cost
 
   // Measured cost.
   std::size_t arena_high_water_bytes = 0;

@@ -37,6 +37,13 @@ inline constexpr double kIteration = 1e-10;
 /// Fixed-point termination for credal/optimization lambda iterations.
 inline constexpr double kFixpoint = 1e-13;
 
+/// Convergence threshold for loopy-BP flooding sweeps: the largest
+/// absolute change of any normalized (linear-domain) message entry
+/// between successive iterations. Looser than kSolver because one
+/// sweep touches every edge of the factor graph and the certified
+/// bounds absorb the residual explicitly.
+inline constexpr double kBpMessageDelta = 1e-10;
+
 /// Step-size termination for scalar root refinement (inverse CDFs,
 /// inverse error function Halley/Newton steps).
 inline constexpr double kRoot = 1e-14;

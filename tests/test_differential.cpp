@@ -1,14 +1,19 @@
 // Differential tests (label: differential): the junction-tree backend is
 // checked against VariableElimination over hundreds of generated
-// network/evidence pairs, likelihood weighting agrees within sampling
-// tolerance, every backend throws the identical impossible-evidence
-// message, and the Table I perception figures are pinned to hard-coded
-// golden values under both exact backends.
+// network/evidence pairs, loopy BP's certified intervals must contain
+// the exact posteriors on the same pairs with its points tracking
+// VE==JT inside a topology-banded tolerance, likelihood weighting
+// agrees within sampling tolerance, every backend throws the identical
+// impossible-evidence message, and the Table I perception figures are
+// pinned to hard-coded golden values under both exact backends. A
+// pinned treewidth-hostile grid checks that Backend::kAuto escalates
+// to BP and keeps answering where the exact plans are infeasible.
 //
 // The generator is seeded from SYSUQ_DIFFERENTIAL_SEED (decimal) so CI
 // can sweep several fixed seeds; unset, it uses a fixed default.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -18,9 +23,12 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "bayesnet/engine.hpp"
 #include "bayesnet/inference.hpp"
 #include "bayesnet/junction_tree.hpp"
+#include "bayesnet/loopy_bp.hpp"
 #include "sys/decomposition.hpp"
 #include "core/tolerance.hpp"
 #include "perception/table1.hpp"
@@ -111,6 +119,36 @@ bn::BayesianNetwork unreachable_state_network() {
 constexpr Topology kTopologies[] = {Topology::kChain, Topology::kTree,
                                     Topology::kDense};
 
+// w x h binary grid, parents = left and up neighbors; weakly coupled,
+// strictly positive CPTs. Treewidth grows with min(w, h): by 25x25 the
+// min-fill plan's largest table is ~2^26 cells, past the engine's
+// default feasibility ceiling, so exact inference is off the table.
+bn::BayesianNetwork grid_network(std::size_t w, std::size_t h) {
+  bn::BayesianNetwork net;
+  for (std::size_t r = 0; r < h; ++r)
+    for (std::size_t c = 0; c < w; ++c)
+      net.add_variable("g" + std::to_string(r) + "_" + std::to_string(c),
+                       {"0", "1"});
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      const bn::VariableId v = r * w + c;
+      std::vector<bn::VariableId> parents;
+      if (c > 0) parents.push_back(v - 1);  // left
+      if (r > 0) parents.push_back(v - w);  // up
+      std::vector<pr::Categorical> cpt;
+      const std::size_t rows = std::size_t{1} << parents.size();
+      for (std::size_t row = 0; row < rows; ++row) {
+        double p1 = 0.35;
+        for (std::size_t k = 0; k < parents.size(); ++k)
+          if ((row >> k) & 1u) p1 += 0.1;
+        cpt.push_back(pr::Categorical({1.0 - p1, p1}));
+      }
+      net.set_cpt(v, std::move(parents), std::move(cpt));
+    }
+  }
+  return net;
+}
+
 }  // namespace
 
 // ---- VE vs JT over generated network/evidence pairs ----
@@ -158,6 +196,88 @@ TEST(Differential, JunctionTreeMatchesVariableElimination) {
   EXPECT_GE(pairs, 200u);
 }
 
+// ---- loopy BP vs VE==JT: certified containment + tolerance bands ----
+
+TEST(Differential, LoopyBpCertifiedAndBandedAgainstExactBackends) {
+  // Three-way harness over the same generated network/evidence pairs as
+  // the VE-vs-JT sweep (same seed, same generator calls => the same 207
+  // pairs). For every unobserved variable:
+  //  * the certified interval must contain the exact posterior (both
+  //    the VE and JT renditions) — this is the hard guarantee, asserted
+  //    whether or not BP converged;
+  //  * the BP point must lie inside its own interval;
+  //  * a converged point must track VE==JT within a topology-banded
+  //    tolerance: exactness (kProbSum) on the acyclic chain/tree
+  //    topologies where BP is exact, a loose band on the loopy dense
+  //    ones where it is an approximation.
+  pr::Rng rng(differential_seed());
+  std::size_t pairs = 0;
+  std::size_t nonconverged = 0;
+  for (const Topology topo : kTopologies) {
+    const std::size_t nets = 23;
+    for (std::size_t t = 0; t < nets; ++t) {
+      const std::size_t n = topo == Topology::kDense
+                                ? 5 + rng.uniform_index(3)   // 5..7
+                                : 6 + rng.uniform_index(5);  // 6..10
+      const auto net = random_network(rng, topo, n);
+      bn::VariableElimination ve(net);
+      for (std::size_t ec = 0; ec < 3; ++ec) {
+        const auto ev = random_evidence(rng, net, ec);
+        const bn::JunctionTree jt(net, ev);
+        auto bp = std::make_unique<bn::LoopyBP>(net, ev);
+        if (!bp->converged()) {
+          // Mirror the engine's deterministic retry: damp the flooding
+          // updates when pure Jacobi oscillates on a loopy graph.
+          bn::LoopyBP::Options damped;
+          damped.damping = 0.5;
+          damped.max_iterations = 2000;
+          bp = std::make_unique<bn::LoopyBP>(net, ev, damped);
+        }
+        ++pairs;
+        if (topo != Topology::kDense) {
+          ASSERT_TRUE(bp->acyclic())
+              << "topo " << static_cast<int>(topo) << " net " << t;
+          ASSERT_TRUE(bp->converged())
+              << "topo " << static_cast<int>(topo) << " net " << t;
+        }
+        if (!bp->converged()) ++nonconverged;
+        const auto& jt_marginals = jt.all_marginals();
+        for (bn::VariableId q = 0; q < net.size(); ++q) {
+          const auto& bounded = bp->query(q);
+          if (ev.contains(q)) {
+            EXPECT_EQ(bounded.point.p(ev.at(q)), 1.0);
+            EXPECT_EQ(bounded.width(), 0.0);
+            continue;
+          }
+          const auto exact = ve.query(q, ev);
+          ASSERT_TRUE(bounded.contains(exact.probs()))
+              << "topo " << static_cast<int>(topo) << " net " << t
+              << " var " << q << " width " << bounded.width();
+          ASSERT_TRUE(bounded.contains(jt_marginals[q].probs()))
+              << "topo " << static_cast<int>(topo) << " net " << t
+              << " var " << q;
+          ASSERT_TRUE(bounded.contains(bounded.point.probs()))
+              << "topo " << static_cast<int>(topo) << " net " << t
+              << " var " << q;
+          if (!bp->converged()) continue;  // band applies to fixpoints
+          const double band = topo == Topology::kDense
+                                  ? 0.25
+                                  : sysuq::tolerance::kProbSum;
+          for (std::size_t s = 0; s < exact.size(); ++s) {
+            ASSERT_NEAR(bounded.point.p(s), exact.p(s), band)
+                << "topo " << static_cast<int>(topo) << " net " << t
+                << " var " << q << " state " << s;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(pairs, 200u);
+  // Flooding (with the damped retry) must converge on almost all of the
+  // generated pairs — these are small, weakly coupled networks.
+  EXPECT_LE(nonconverged, pairs / 20);
+}
+
 TEST(Differential, EngineBackendsAgreeOnBatches) {
   pr::Rng rng(differential_seed() + 1);
   for (const Topology topo : kTopologies) {
@@ -186,6 +306,51 @@ TEST(Differential, EngineBackendsAgreeOnBatches) {
     // The Auto engine actually took the junction-tree path.
     EXPECT_GE(auto_engine.jt_cache_stats().entries, 1u);
   }
+}
+
+// ---- treewidth-hostile grid: kAuto must escalate, not die ----
+
+TEST(Differential, AutoEscalatesOnTreewidthHostileGrid) {
+  // Pinned 25x25 binary grid (625 variables, parents = left + up).
+  // The min-fill plan's largest intermediate table exceeds the default
+  // Options::max_exact_table_cells ceiling (2^24 cells), so exact
+  // inference is infeasible; Backend::kAuto must escalate to loopy BP
+  // and return converged, finitely bounded posteriors without throwing.
+  const auto net = grid_network(25, 25);
+  bn::InferenceEngine engine(net,
+                             {.threads = 2, .backend = bn::Backend::kAuto});
+  const bn::Evidence ev{{0, 1}, {net.size() - 1, 0}};
+
+  // The guard is load-bearing: the plain query path must route to BP.
+  const bn::VariableId center = 12 * 25 + 12;
+  const auto point = engine.query(center, ev);
+  EXPECT_NEAR(point.p(0) + point.p(1), 1.0, sysuq::tolerance::kProbSum);
+  EXPECT_GE(engine.bp_cache_stats().entries, 1u);
+
+  const auto profile = engine.explain(center, ev);
+  EXPECT_EQ(profile.backend, "loopy_bp");
+  EXPECT_NE(profile.backend_reason.find("escalated"), std::string::npos);
+  EXPECT_TRUE(profile.bp_converged);
+
+  const auto bounded = engine.all_marginals_bounded(ev);
+  ASSERT_EQ(bounded.size(), net.size());
+  double max_width = 0.0;
+  for (bn::VariableId v = 0; v < net.size(); ++v) {
+    const auto& b = bounded[v];
+    EXPECT_TRUE(b.converged) << v;
+    ASSERT_EQ(b.lo.size(), 2u);
+    for (std::size_t s = 0; s < 2; ++s) {
+      EXPECT_TRUE(std::isfinite(b.lo[s]) && std::isfinite(b.hi[s])) << v;
+      EXPECT_GE(b.lo[s], 0.0) << v;
+      EXPECT_LE(b.hi[s], 1.0) << v;
+      EXPECT_LE(b.lo[s], b.hi[s]) << v;
+    }
+    EXPECT_TRUE(b.contains(b.point.probs())) << v;
+    max_width = std::max(max_width, b.width());
+  }
+  // Finite, non-vacuous certification: the blanket box must beat the
+  // trivial [0, 1] interval everywhere on this weakly coupled grid.
+  EXPECT_LT(max_width, 1.0);
 }
 
 // ---- likelihood weighting within sampling tolerance ----

@@ -6,7 +6,9 @@
 #include <cmath>
 
 #include "bayesnet/inference.hpp"
+#include "bayesnet/loopy_bp.hpp"
 #include "bayesnet/serialize.hpp"
+#include "core/tolerance.hpp"
 #include "evidence/credal.hpp"
 #include "evidence/mass.hpp"
 #include "evidence/subjective.hpp"
@@ -138,6 +140,74 @@ TEST_P(FtaBnProperty, CompiledNetworkMatchesExactProbability) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FtaBnProperty,
                          ::testing::Values(3, 17, 23, 47, 91, 133, 777, 4096));
+
+// ---------------------------------------------------------------------
+// Loopy BP: the certified interval always contains the exact posterior.
+// ---------------------------------------------------------------------
+
+class LoopyBpProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LoopyBpProperty, CertifiedIntervalContainsExactPosterior) {
+  // Random feasible networks (strictly positive CPTs, so P(e) > 0 for
+  // every assignment), mixing trees and loopy structures: whatever the
+  // graph shape and whether or not BP converged, every certified
+  // interval must contain the exact VE posterior and BP's own point.
+  prob::Rng rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t n = 5 + rng.uniform_index(4);  // 5..8 variables
+    bayesnet::BayesianNetwork net;
+    std::vector<std::size_t> cards;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t card = 2 + rng.uniform_index(3);  // 2..4 states
+      cards.push_back(card);
+      std::vector<std::string> states;
+      for (std::size_t s = 0; s < card; ++s)
+        states.push_back("s" + std::to_string(s));
+      net.add_variable("v" + std::to_string(i), std::move(states));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<bayesnet::VariableId> parents;
+      for (std::size_t j = 0; j < i && parents.size() < 2; ++j)
+        if (rng.bernoulli(0.4)) parents.push_back(j);
+      std::size_t rows = 1;
+      for (const auto p : parents) rows *= cards[p];
+      std::vector<prob::Categorical> cpt;
+      for (std::size_t r = 0; r < rows; ++r) {
+        std::vector<double> w(cards[i]);
+        for (double& x : w) x = rng.uniform() + 0.05;
+        cpt.push_back(prob::Categorical::normalized(std::move(w)));
+      }
+      net.set_cpt(i, std::move(parents), std::move(cpt));
+    }
+    bayesnet::Evidence ev;
+    const std::size_t observed = rng.uniform_index(3);  // 0..2 observed
+    for (std::size_t k = 0; k < observed; ++k) {
+      const bayesnet::VariableId v = rng.uniform_index(n);
+      ev[v] = rng.uniform_index(cards[v]);
+    }
+
+    bayesnet::VariableElimination ve(net);
+    const bayesnet::LoopyBP bp(net, ev);
+    for (bayesnet::VariableId q = 0; q < n; ++q) {
+      if (ev.contains(q)) continue;
+      const auto& bounded = bp.query(q);
+      const auto exact = ve.query(q, ev);
+      EXPECT_TRUE(bounded.contains(exact.probs()))
+          << "round " << round << " var " << q
+          << " width " << bounded.width();
+      EXPECT_TRUE(bounded.contains(bounded.point.probs()))
+          << "round " << round << " var " << q;
+      for (std::size_t s = 0; s < bounded.lo.size(); ++s) {
+        EXPECT_GE(bounded.lo[s], 0.0);
+        EXPECT_LE(bounded.hi[s], 1.0);
+        EXPECT_LE(bounded.lo[s], bounded.hi[s] + tolerance::kTiny);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LoopyBpProperty,
+                         ::testing::Values(1, 7, 21, 99, 1234, 5150, 90210));
 
 // ---------------------------------------------------------------------
 // Credal chain: sharpness — the bounds are attained, not just valid.

@@ -13,6 +13,12 @@ compares them across machines directly:
   takes the median ratio as the machine-speed factor, and flags any
   benchmark whose ratio exceeds the median by more than `--tolerance`
   (a benchmark that got slower *relative to the rest of the suite*).
+* cpt_explosion: gates on loopy BP's correctness figures — BP converged
+  on every workload, the certified intervals contain the exact
+  posteriors, the point gap stays under an absolute bound — and keeps
+  the deterministic iteration counts and the grid's certified bound
+  width within `--tolerance` of the baseline (raw ms are trajectory
+  records, never gated).
 
 Exit status: 0 = within band, 1 = regression, 2 = usage/schema error.
 See docs/bench_trajectory.md for the manifest schema.
@@ -29,6 +35,14 @@ import sys
 ENGINE_RATIO_KEYS = ("speedup_1t", "speedup_4t", "jt_speedup")
 # engine_batch keys gated as absolute correctness bounds.
 ENGINE_ABS_KEYS = {"max_abs_err": 1e-9, "jt_max_abs_err": 1e-9}
+
+# cpt_explosion: BP's point estimate must track the exact posterior on
+# the feasible (near-tree) workloads within this absolute gap.
+CPT_ABS_GAP_BOUND = 0.05
+# cpt_explosion keys gated as lower-is-better deterministic figures
+# (iteration counts and certified bound width are machine-independent).
+CPT_CEILING_KEYS = ("feasible_max_iterations", "grid_iterations",
+                    "grid_max_bound_width")
 
 
 def load(path: str) -> dict:
@@ -62,6 +76,36 @@ def compare_engine_batch(cur: dict, base: dict, tol: float) -> list[str]:
         val = cr.get(key)
         if val is None or val > bound:
             failures.append(f"results.{key}: {val} exceeds {bound}")
+    return failures
+
+
+def compare_cpt_explosion(cur: dict, base: dict, tol: float) -> list[str]:
+    failures = []
+    cr, br = cur.get("results", {}), base.get("results", {})
+    for key in ("bp_converged", "grid_converged"):
+        if cr.get(key) is not True:
+            failures.append(f"results.{key}: loopy BP did not converge")
+    if cr.get("feasible_intervals_contain_exact") is not True:
+        failures.append("results.feasible_intervals_contain_exact: a "
+                        "certified interval missed the exact posterior")
+    gap = cr.get("feasible_max_abs_gap")
+    if gap is None or gap > CPT_ABS_GAP_BOUND:
+        failures.append(f"results.feasible_max_abs_gap: {gap} exceeds "
+                        f"{CPT_ABS_GAP_BOUND}")
+    else:
+        print(f"  feasible_max_abs_gap {gap:.3e} within {CPT_ABS_GAP_BOUND}")
+    for key in CPT_CEILING_KEYS:
+        if key not in cr or key not in br:
+            failures.append(f"results.{key}: missing from manifest")
+            continue
+        ceiling = br[key] * (1.0 + tol)
+        status = "OK" if cr[key] <= ceiling else "REGRESSION"
+        print(f"  {key:<24} baseline {br[key]:8.3f}  current {cr[key]:8.3f}"
+              f"  ceiling {ceiling:8.3f}  {status}")
+        if cr[key] > ceiling:
+            failures.append(
+                f"results.{key}: {cr[key]:.3f} above {ceiling:.3f} "
+                f"(baseline {br[key]:.3f} + {tol:.0%})")
     return failures
 
 
@@ -127,6 +171,8 @@ def main() -> int:
     print(f"bench_compare: {cur['bench']} (tolerance {args.tolerance:.0%})")
     if cur["bench"] == "engine_batch":
         failures = compare_engine_batch(cur, base, args.tolerance)
+    elif cur["bench"] == "cpt_explosion":
+        failures = compare_cpt_explosion(cur, base, args.tolerance)
     elif cur["bench"] == "microbench":
         failures = compare_microbench(cur, base, args.tolerance)
     else:

@@ -2,7 +2,7 @@
 //
 // Usage:
 //   sysuq_bn [--metrics] [--trace <out.json>] [--manifest <out.json>]
-//            [--backend ve|jt|auto] [--json] [--deterministic]
+//            [--backend ve|jt|bp|auto] [--json] [--deterministic]
 //            <command> ...
 //
 //   sysuq_bn describe <model.bn>
@@ -21,9 +21,12 @@
 //   --manifest <file>  after the command, write a JSON run manifest:
 //                      the obs registry, its SLO quantile report, and —
 //                      when `explain` ran — the QueryProfile
-//   --backend <name>   exact-inference backend for the query commands:
+//   --backend <name>   inference backend for the query commands:
 //                      ve (per-query variable elimination), jt (calibrated
-//                      junction tree), or auto (default)
+//                      junction tree), bp (loopy belief propagation with
+//                      certified bounds), or auto (default: exact, with
+//                      the BP escalation when the exact plan is
+//                      infeasible)
 //   --json             `explain` prints the QueryProfile as JSON instead
 //                      of the human-readable plan
 //   --deterministic    `explain` zeroes its measured figures (wall times,
@@ -54,7 +57,7 @@ using namespace sysuq;
 int usage() {
   std::fputs(
       "usage: sysuq_bn [--metrics] [--trace <out.json>] "
-      "[--manifest <out.json>] [--backend ve|jt|auto] [--json] "
+      "[--manifest <out.json>] [--backend ve|jt|bp|auto] [--json] "
       "[--deterministic] <command> ...\n"
       "  sysuq_bn describe <model.bn>\n"
       "  sysuq_bn dot <model.bn>\n"
@@ -69,7 +72,7 @@ int usage() {
       "  --trace <file>   write the run's spans as Chrome trace JSON\n"
       "  --manifest <f>   write a JSON run manifest (metrics + SLO\n"
       "                   quantiles + the explain profile, when one ran)\n"
-      "  --backend <b>    ve | jt | auto (default auto) for the query\n"
+      "  --backend <b>    ve | jt | bp | auto (default auto) for the query\n"
       "                   commands (marginal, marginals, explain)\n"
       "  --json           explain: print the QueryProfile as JSON\n"
       "  --deterministic  explain: zero measured wall times / arena bytes\n",
@@ -94,6 +97,8 @@ bool parse_backend(const std::string& name) {
     g_backend = bayesnet::Backend::kVariableElimination;
   } else if (name == "jt") {
     g_backend = bayesnet::Backend::kJunctionTree;
+  } else if (name == "bp") {
+    g_backend = bayesnet::Backend::kLoopyBP;
   } else if (name == "auto") {
     g_backend = bayesnet::Backend::kAuto;
   } else {
