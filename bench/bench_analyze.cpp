@@ -1,0 +1,201 @@
+// bench_analyze — wall-time of the sysuq_analyze parallel scanner.
+//
+//   bench_analyze [--manifest out.json] [--analyzer PATH] [--jobs N]
+//
+// Spawns the real analyzer CLI (the binary CMake baked in via
+// SYSUQ_ANALYZE_BIN, overridable with --analyzer) over the real tree
+// (`src tools bench`), once serial (--jobs 1) and once parallel
+// (--jobs N), best-of-kReps each, and checks the two SARIF logs are
+// byte-identical — the scanner's fixed-slot fan-out must never change
+// output, only wall time. Run from the repository root, the way CI
+// runs every bench.
+//
+// Raw milliseconds are machine-specific trajectory records;
+// tools/bench_compare.py gates on the machine-relative speedup and the
+// byte_identical flag only (docs/bench_trajectory.md).
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <sys/wait.h>
+
+#ifndef SYSUQ_ANALYZE_BIN
+#define SYSUQ_ANALYZE_BIN "build/tools/sysuq_analyze"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kReps = 3;  // best-of to damp scheduler noise
+const char* const kRoots = "src tools bench";
+
+double seconds_since(const Clock::time_point& t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One timed analyzer invocation via popen: wall seconds, captured
+/// stdout+stderr, and the process exit status.
+struct Run {
+  double seconds = 0.0;
+  std::string output;
+  int exit_code = -1;
+};
+
+Run run_analyzer(const std::string& analyzer, unsigned jobs,
+                 const fs::path& sarif_out) {
+  Run r;
+  std::ostringstream cmd;
+  cmd << "'" << analyzer << "' --jobs " << jobs << " --sarif '"
+      << sarif_out.string() << "' " << kRoots << " 2>&1";
+  const auto t0 = Clock::now();
+  std::FILE* pipe = ::popen(cmd.str().c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf;
+  std::size_t n = 0;
+  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    r.output.append(buf.data(), n);
+  const int status = ::pclose(pipe);
+  r.seconds = seconds_since(t0);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+/// Parses "sysuq_analyze: OK (167 files)" for the scanned-file count;
+/// 0 when the line is missing (the caller already fails on exit code).
+std::size_t parse_file_count(const std::string& output) {
+  const std::string tag = "OK (";
+  const std::size_t at = output.find(tag);
+  if (at == std::string::npos) return 0;
+  return static_cast<std::size_t>(
+      std::strtoul(output.c_str() + at + tag.size(), nullptr, 10));
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string manifest_path;
+  std::string analyzer = SYSUQ_ANALYZE_BIN;
+  // At least two worker threads even on a single-core box, so the
+  // parallel code path (thread fan-out + shared lex cache) is always
+  // the thing being measured and byte-compared.
+  unsigned jobs_n =
+      std::clamp(std::thread::hardware_concurrency(), 2u, 8u);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--manifest" && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else if (arg == "--analyzer" && i + 1 < argc) {
+      analyzer = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs_n = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (jobs_n < 2) jobs_n = 2;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_analyze [--manifest out.json] "
+                   "[--analyzer PATH] [--jobs N]\n");
+      return 2;
+    }
+  }
+
+  std::error_code ec;
+  if (!fs::exists("src", ec) || !fs::exists("tools", ec)) {
+    std::fprintf(stderr,
+                 "bench_analyze: run from the repository root "
+                 "(scans '%s')\n",
+                 kRoots);
+    return 2;
+  }
+  if (!fs::exists(analyzer, ec)) {
+    std::fprintf(stderr, "bench_analyze: analyzer binary not found: %s\n",
+                 analyzer.c_str());
+    return 2;
+  }
+
+  std::printf("==== analyzer wall time over '%s': --jobs 1 vs --jobs %u "
+              "====\n\n",
+              kRoots, jobs_n);
+
+  const fs::path tmp = fs::temp_directory_path();
+  const fs::path sarif1 = tmp / "bench_analyze_jobs1.sarif";
+  const fs::path sarifN = tmp / "bench_analyze_jobsN.sarif";
+
+  Run best1, bestN;
+  best1.seconds = 1e300;
+  bestN.seconds = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Run r1 = run_analyzer(analyzer, 1, sarif1);
+    Run rn = run_analyzer(analyzer, jobs_n, sarifN);
+    for (const Run* r : {&r1, &rn}) {
+      if (r->exit_code != 0) {
+        std::fprintf(stderr,
+                     "bench_analyze: analyzer exited %d (tree not "
+                     "clean?):\n%s",
+                     r->exit_code, r->output.c_str());
+        return 2;
+      }
+    }
+    if (r1.seconds < best1.seconds) best1 = std::move(r1);
+    if (rn.seconds < bestN.seconds) bestN = std::move(rn);
+  }
+
+  const std::size_t files = parse_file_count(best1.output);
+  const bool byte_identical = slurp(sarif1) == slurp(sarifN);
+  const double ms1 = best1.seconds * 1e3;
+  const double msN = bestN.seconds * 1e3;
+  const double speedup = msN > 0.0 ? ms1 / msN : 0.0;
+
+  std::printf("files scanned       %zu\n", files);
+  std::printf("--jobs 1            %8.1f ms (best of %d)\n", ms1, kReps);
+  std::printf("--jobs %-2u           %8.1f ms (best of %d)\n", jobs_n, msN,
+              kReps);
+  std::printf("speedup             %8.2fx\n", speedup);
+  std::printf("byte identical      %s\n", byte_identical ? "yes" : "NO");
+
+  fs::remove(sarif1, ec);
+  fs::remove(sarifN, ec);
+
+  if (!manifest_path.empty()) {
+    // BENCH_analyze.json: the tracked perf-trajectory manifest
+    // (docs/bench_trajectory.md). Raw ms are machine-specific and
+    // recorded for the trajectory; tools/bench_compare.py gates CI on
+    // the machine-relative speedup and byte_identical only.
+    std::ofstream out(manifest_path);
+    if (!out) {
+      std::fprintf(stderr, "bench_analyze: cannot write manifest '%s'\n",
+                   manifest_path.c_str());
+      return 2;
+    }
+    char results[512];
+    std::snprintf(results, sizeof(results),
+                  "{\"files\":%zu,\"ms_jobs1\":%.1f,\"ms_jobsN\":%.1f,"
+                  "\"jobs_n\":%u,\"speedup\":%.2f,\"byte_identical\":%s}",
+                  files, ms1, msN, jobs_n, speedup,
+                  byte_identical ? "true" : "false");
+    out << "{\"bench\":\"analyze\",\"schema\":1"
+        << ",\"workload\":{\"roots\":\"" << kRoots
+        << "\",\"files\":" << files << ",\"reps\":" << kReps
+        << "},\"results\":" << results << ",\"metrics\":{}}\n";
+    std::printf("manifest written to %s\n", manifest_path.c_str());
+  }
+
+  // The parallel scanner must agree with the serial one byte-for-byte;
+  // wall-time regressions are gated relative to the committed baseline
+  // by tools/bench_compare.py, not here.
+  return byte_identical ? 0 : 1;
+}

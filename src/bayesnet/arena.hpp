@@ -22,6 +22,7 @@ namespace sysuq::bayesnet {
 /// destruction. Not thread-safe — use one Arena per query / calibration
 /// (the inference paths keep one per thread), never share across
 /// threads.
+// sysuq-thread-confined(owner)
 class Arena {
  public:
   /// Default capacity of the first chunk (bytes).

@@ -129,6 +129,7 @@ class InferenceEngine::Pool {
   }
 
  private:
+  // sysuq-excludes(mu_)
   void work() {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t total = 0;
@@ -174,14 +175,16 @@ class InferenceEngine::Pool {
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t total_ = 0;
+  const std::function<void(std::size_t)>* fn_ = nullptr;  // sysuq-guarded-by(mu_)
+  std::size_t total_ = 0;                                 // sysuq-guarded-by(mu_)
   std::atomic<std::size_t> next_{0};
   std::atomic<std::size_t> completed_{0};
-  std::uint64_t generation_ = 0;
-  std::size_t active_ = 0;  // workers inside work() holding fn_; under mu_
-  bool stop_ = false;
-  std::vector<std::thread> threads_;
+  std::uint64_t generation_ = 0;  // sysuq-guarded-by(mu_)
+  // Workers inside work() holding fn_.  sysuq-guarded-by(mu_)
+  std::size_t active_ = 0;
+  bool stop_ = false;  // sysuq-guarded-by(mu_)
+  // Joined in the destructor, never resized after construction.
+  std::vector<std::thread> threads_;  // sysuq-thread-confined(init)
 };
 
 InferenceEngine::InferenceEngine(const BayesianNetwork& net)

@@ -215,31 +215,37 @@ class InferenceEngine {
   // lossy hash would conflate stay distinct by construction.
   using TreeKey = std::vector<std::pair<VariableId, std::size_t>>;
 
-  const BayesianNetwork& net_;
-  Options options_;
-  std::size_t threads_;
-  std::vector<Factor> cpt_factors_;  // one per variable, built once
-  std::unique_ptr<Pool> pool_;
+  const BayesianNetwork& net_;              // sysuq-thread-confined(init)
+  Options options_;                         // sysuq-thread-confined(init)
+  std::size_t threads_;                     // sysuq-thread-confined(init)
+  // One per variable, built once.  sysuq-thread-confined(init)
+  std::vector<Factor> cpt_factors_;
+  std::unique_ptr<Pool> pool_;              // sysuq-thread-confined(init)
 
   mutable std::mutex cache_mu_;
+  // sysuq-guarded-by(cache_mu_)
   mutable std::map<OrderingKey, std::shared_ptr<const EliminationOrdering>> cache_;
-  mutable std::size_t cache_hits_ = 0;
-  mutable std::size_t cache_misses_ = 0;
+  mutable std::size_t cache_hits_ = 0;      // sysuq-guarded-by(cache_mu_)
+  mutable std::size_t cache_misses_ = 0;    // sysuq-guarded-by(cache_mu_)
+  // sysuq-guarded-by(cache_mu_)
   mutable std::map<TreeKey, std::shared_ptr<const JunctionTree>> jt_cache_;
-  mutable std::size_t jt_cache_hits_ = 0;
-  mutable std::size_t jt_cache_misses_ = 0;
+  mutable std::size_t jt_cache_hits_ = 0;   // sysuq-guarded-by(cache_mu_)
+  mutable std::size_t jt_cache_misses_ = 0; // sysuq-guarded-by(cache_mu_)
+  // sysuq-guarded-by(cache_mu_)
   mutable std::map<TreeKey, std::shared_ptr<const LoopyBP>> bp_cache_;
-  mutable std::size_t bp_cache_hits_ = 0;
-  mutable std::size_t bp_cache_misses_ = 0;
+  mutable std::size_t bp_cache_hits_ = 0;   // sysuq-guarded-by(cache_mu_)
+  mutable std::size_t bp_cache_misses_ = 0; // sysuq-guarded-by(cache_mu_)
   // kAuto feasibility guard memo: largest simulated elimination table
   // (cells) per evidence-keys signature — one symbolic replay per
-  // signature, not per query.
+  // signature, not per query.  sysuq-guarded-by(cache_mu_)
   mutable std::map<OrderingKey, std::size_t> plan_cells_;
   // Arena bytes live at the peak of the most recent VE elimination on
   // any thread (captured before the final arena reset). Relaxed: a
   // diagnostic figure for explain(), not synchronization.
   mutable std::atomic<std::size_t> last_ve_arena_high_water_{0};
 
+  // Takes cache_mu_ itself; calling it with the lock held self-deadlocks.
+  // sysuq-excludes(cache_mu_)
   [[nodiscard]] std::shared_ptr<const EliminationOrdering> ordering_for(
       const Evidence& evidence) const;
   /// Scaled elimination over views of the cached CPT factors (no
@@ -250,15 +256,18 @@ class InferenceEngine {
   [[nodiscard]] kernels::ScaledFactor eliminate_all_but(
       const std::vector<VariableId>& keep, const Evidence& evidence) const;
   /// The calibrated tree for `evidence`, built on a miss and memoized.
+  // sysuq-excludes(cache_mu_)
   [[nodiscard]] std::shared_ptr<const JunctionTree> calibrated_tree_for(
       const Evidence& evidence) const;
   /// The loopy-BP run for `evidence`, built on a miss and memoized. A
   /// run that fails to converge under the configured damping is retried
   /// once at damping 0.5 (deterministic), keeping whichever converged.
+  // sysuq-excludes(cache_mu_)
   [[nodiscard]] std::shared_ptr<const LoopyBP> bp_for(
       const Evidence& evidence) const;
   /// kAuto feasibility guard: largest intermediate table (cells) of the
   /// cached elimination plan under `evidence` (memoized per signature).
+  // sysuq-excludes(cache_mu_)
   [[nodiscard]] std::size_t exact_plan_max_cells(const Evidence& evidence) const;
   /// True when kAuto must leave the exact backends for `evidence`;
   /// throws ContractViolation when escalation is needed but disabled.

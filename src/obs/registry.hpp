@@ -233,7 +233,7 @@ class Registry {
   };
 
   mutable std::mutex mu_;
-  std::map<std::string, Entry, std::less<>> entries_;
+  std::map<std::string, Entry, std::less<>> entries_;  // sysuq-guarded-by(mu_)
 };
 
 /// RAII scoped timer: observes the elapsed wall seconds into `h` at

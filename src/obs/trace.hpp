@@ -113,9 +113,10 @@ class TraceSink {
 
  private:
   mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  std::size_t capacity_;
-  std::uint64_t seq_ = 0;  // == events accepted; next slot is seq_ % capacity_
+  std::vector<TraceEvent> ring_;  // sysuq-guarded-by(mu_)
+  std::size_t capacity_;          // sysuq-thread-confined(init)
+  // == events accepted; next slot is seq_ % capacity_.  sysuq-guarded-by(mu_)
+  std::uint64_t seq_ = 0;
   std::atomic<bool> enabled_{false};
 };
 

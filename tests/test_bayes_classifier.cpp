@@ -8,6 +8,9 @@
 #include <cmath>
 
 #include "prob/statistics.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace pc = sysuq::perception;
 namespace pr = sysuq::prob;
@@ -58,7 +61,7 @@ TEST(BayesClassifier, PosteriorTauShrinksAsSqrtN) {
   pr::Rng rng(45);
   pc::BayesClassifier clf(3, 0.5, 10.0, pr::Categorical::uniform(3));
   double prev = clf.posterior_tau(0);
-  EXPECT_NEAR(prev, 10.0, 1e-9);  // prior
+  EXPECT_NEAR(prev, 10.0, tol::kProbSum);  // prior
   std::size_t n = 0;
   for (const std::size_t target : {1u, 4u, 16u, 64u, 256u}) {
     while (n < target) {

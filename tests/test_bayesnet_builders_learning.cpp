@@ -8,6 +8,9 @@
 #include "bayesnet/learning.hpp"
 #include "bayesnet/network.hpp"
 #include "perception/table1.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace bn = sysuq::bayesnet;
 namespace pr = sysuq::prob;
@@ -16,16 +19,16 @@ TEST(NoisyOr, TwoParentKnownValues) {
   const auto rows = bn::noisy_or_cpt({0.8, 0.6});
   ASSERT_EQ(rows.size(), 4u);
   // Rows ordered with last parent fastest: (0,0), (0,1), (1,0), (1,1).
-  EXPECT_NEAR(rows[0].p(1), 0.0, 1e-12);                    // neither active
-  EXPECT_NEAR(rows[1].p(1), 0.6, 1e-12);                    // only parent 2
-  EXPECT_NEAR(rows[2].p(1), 0.8, 1e-12);                    // only parent 1
-  EXPECT_NEAR(rows[3].p(1), 1.0 - 0.2 * 0.4, 1e-12);        // both
+  EXPECT_NEAR(rows[0].p(1), 0.0, tol::kTiny);                    // neither active
+  EXPECT_NEAR(rows[1].p(1), 0.6, tol::kTiny);                    // only parent 2
+  EXPECT_NEAR(rows[2].p(1), 0.8, tol::kTiny);                    // only parent 1
+  EXPECT_NEAR(rows[3].p(1), 1.0 - 0.2 * 0.4, tol::kTiny);        // both
 }
 
 TEST(NoisyOr, LeakFloorsActivation) {
   const auto rows = bn::noisy_or_cpt({0.5}, 0.1);
-  EXPECT_NEAR(rows[0].p(1), 0.1, 1e-12);
-  EXPECT_NEAR(rows[1].p(1), 1.0 - 0.9 * 0.5, 1e-12);
+  EXPECT_NEAR(rows[0].p(1), 0.1, tol::kTiny);
+  EXPECT_NEAR(rows[1].p(1), 1.0 - 0.9 * 0.5, tol::kTiny);
 }
 
 TEST(NoisyOr, Validation) {

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "prob/rng.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace bn = sysuq::bayesnet;
 namespace pr = sysuq::prob;
@@ -99,7 +102,7 @@ TEST(Factor, ProductCommutes) {
     const auto ba = b.product(a);
     ASSERT_EQ(ab.scope(), ba.scope());
     for (std::size_t i = 0; i < ab.size(); ++i)
-      EXPECT_NEAR(ab.values()[i], ba.values()[i], 1e-12);
+      EXPECT_NEAR(ab.values()[i], ba.values()[i], tol::kTiny);
   }
 }
 
@@ -112,7 +115,7 @@ TEST(Factor, ProductAssociates) {
   const auto right = a.product(b.product(c));
   ASSERT_EQ(left.scope(), right.scope());
   for (std::size_t i = 0; i < left.size(); ++i)
-    EXPECT_NEAR(left.values()[i], right.values()[i], 1e-12);
+    EXPECT_NEAR(left.values()[i], right.values()[i], tol::kTiny);
 }
 
 TEST(Factor, MarginalizeSumsOut) {
@@ -134,13 +137,13 @@ TEST(Factor, MarginalizationOrderIrrelevant) {
   const auto b = f.marginalize(2).marginalize(0);
   ASSERT_EQ(a.scope(), b.scope());
   for (std::size_t i = 0; i < a.size(); ++i)
-    EXPECT_NEAR(a.values()[i], b.values()[i], 1e-12);
+    EXPECT_NEAR(a.values()[i], b.values()[i], tol::kTiny);
 }
 
 TEST(Factor, MarginalizePreservesTotal) {
   pr::Rng rng(5);
   const auto f = random_factor(rng, {1, 3, 7}, {3, 2, 4});
-  EXPECT_NEAR(f.marginalize(3).total(), f.total(), 1e-10);
+  EXPECT_NEAR(f.marginalize(3).total(), f.total(), tol::kIteration);
 }
 
 TEST(Factor, ReduceSelectsSlice) {
@@ -162,13 +165,13 @@ TEST(Factor, ReduceThenMarginalizeCommutesWithProduct) {
   const auto rhs = a.reduce(1, 2).product(b.reduce(1, 2));
   ASSERT_EQ(lhs.scope(), rhs.scope());
   for (std::size_t i = 0; i < lhs.size(); ++i)
-    EXPECT_NEAR(lhs.values()[i], rhs.values()[i], 1e-12);
+    EXPECT_NEAR(lhs.values()[i], rhs.values()[i], tol::kTiny);
 }
 
 TEST(Factor, NormalizedSumsToOne) {
   bn::Factor f({0}, {4}, {1, 2, 3, 4});
   const auto n = f.normalized();
-  EXPECT_NEAR(n.total(), 1.0, 1e-12);
+  EXPECT_NEAR(n.total(), 1.0, tol::kTiny);
   EXPECT_DOUBLE_EQ(n.at({3}), 0.4);
   bn::Factor zero({0}, {2}, {0.0, 0.0});
   EXPECT_THROW((void)zero.normalized(), std::domain_error);

@@ -8,6 +8,9 @@
 #include <cmath>
 
 #include "perception/table1.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace bn = sysuq::bayesnet;
 namespace pr = sysuq::prob;
@@ -62,10 +65,10 @@ TEST(Inference, PaperPriorMarginalOfPerception) {
   const auto net = paper_network();
   bn::VariableElimination ve(net);
   const auto m = ve.query(net.id_of("perception"));
-  EXPECT_NEAR(m.p(0), 0.5415, 1e-12);
-  EXPECT_NEAR(m.p(1), 0.273, 1e-12);
-  EXPECT_NEAR(m.p(2), 0.065, 1e-12);
-  EXPECT_NEAR(m.p(3), 0.1205, 1e-12);
+  EXPECT_NEAR(m.p(0), 0.5415, tol::kTiny);
+  EXPECT_NEAR(m.p(1), 0.273, tol::kTiny);
+  EXPECT_NEAR(m.p(2), 0.065, tol::kTiny);
+  EXPECT_NEAR(m.p(3), 0.1205, tol::kTiny);
 }
 
 TEST(Inference, PaperPosteriorGivenNone) {
@@ -76,9 +79,9 @@ TEST(Inference, PaperPosteriorGivenNone) {
   bn::VariableElimination ve(net);
   const bn::Evidence e{{net.id_of("perception"), 3}};
   const auto post = ve.query(net.id_of("ground_truth"), e);
-  EXPECT_NEAR(post.p(0), 0.027 / 0.1205, 1e-12);
-  EXPECT_NEAR(post.p(1), 0.0135 / 0.1205, 1e-12);
-  EXPECT_NEAR(post.p(2), 0.08 / 0.1205, 1e-12);
+  EXPECT_NEAR(post.p(0), 0.027 / 0.1205, tol::kTiny);
+  EXPECT_NEAR(post.p(1), 0.0135 / 0.1205, tol::kTiny);
+  EXPECT_NEAR(post.p(2), 0.08 / 0.1205, tol::kTiny);
   // The unknown state is the most probable explanation of 'none'.
   EXPECT_EQ(post.argmax(), 2u);
 }
@@ -89,17 +92,17 @@ TEST(Inference, PaperPosteriorGivenCarPedestrian) {
   bn::VariableElimination ve(net);
   const bn::Evidence e{{net.id_of("perception"), 2}};
   const auto post = ve.query(net.id_of("ground_truth"), e);
-  EXPECT_NEAR(post.p(0), 0.03 / 0.065, 1e-12);
-  EXPECT_NEAR(post.p(1), 0.015 / 0.065, 1e-12);
-  EXPECT_NEAR(post.p(2), 0.02 / 0.065, 1e-12);
+  EXPECT_NEAR(post.p(0), 0.03 / 0.065, tol::kTiny);
+  EXPECT_NEAR(post.p(1), 0.015 / 0.065, tol::kTiny);
+  EXPECT_NEAR(post.p(2), 0.02 / 0.065, tol::kTiny);
 }
 
 TEST(Inference, EvidenceProbability) {
   const auto net = paper_network();
   bn::VariableElimination ve(net);
-  EXPECT_NEAR(ve.evidence_probability({{1, 3}}), 0.1205, 1e-12);
-  EXPECT_NEAR(ve.evidence_probability({{0, 2}, {1, 0}}), 0.0, 1e-12);
-  EXPECT_NEAR(ve.evidence_probability({}), 1.0, 1e-12);
+  EXPECT_NEAR(ve.evidence_probability({{1, 3}}), 0.1205, tol::kTiny);
+  EXPECT_NEAR(ve.evidence_probability({{0, 2}, {1, 0}}), 0.0, tol::kTiny);
+  EXPECT_NEAR(ve.evidence_probability({}), 1.0, tol::kTiny);
 }
 
 TEST(Inference, ZeroProbabilityEvidenceThrows) {
@@ -116,7 +119,7 @@ TEST(Inference, ZeroProbabilityEvidenceThrows) {
               {pr::Categorical({0.5, 0.5}), pr::Categorical({0.5, 0.5})});
   bn::VariableElimination ve(net);
   EXPECT_THROW((void)ve.query(c, {{b, 1}}), std::domain_error);
-  EXPECT_NEAR(ve.evidence_probability({{b, 1}}), 0.0, 1e-15);
+  EXPECT_NEAR(ve.evidence_probability({{b, 1}}), 0.0, tol::kSeries);
 }
 
 TEST(Inference, QueryObservedVariableReturnsDelta) {
@@ -130,11 +133,11 @@ TEST(Inference, JointMatchesCptComposition) {
   const auto net = paper_network();
   bn::VariableElimination ve(net);
   const auto joint = ve.joint(0, 1);
-  EXPECT_NEAR(joint.p(0, 0), 0.6 * 0.9, 1e-12);
+  EXPECT_NEAR(joint.p(0, 0), 0.6 * 0.9, tol::kTiny);
   // Marginals recover prior and output distribution.
-  EXPECT_NEAR(joint.marginal_x().p(0), 0.6, 1e-12);
-  EXPECT_NEAR(joint.p(2, 3), 0.1 * 0.8, 1e-12);
-  EXPECT_NEAR(joint.marginal_y().p(3), 0.1205, 1e-12);
+  EXPECT_NEAR(joint.marginal_x().p(0), 0.6, tol::kTiny);
+  EXPECT_NEAR(joint.p(2, 3), 0.1 * 0.8, tol::kTiny);
+  EXPECT_NEAR(joint.marginal_y().p(3), 0.1205, tol::kTiny);
   EXPECT_THROW((void)ve.joint(0, 0), std::invalid_argument);
   EXPECT_THROW((void)ve.joint(0, 1, {{1, 0}}), std::invalid_argument);
 }
@@ -152,23 +155,23 @@ TEST(Inference, VariableEliminationMatchesEnumerationOracle) {
       const auto exact = bn::enumerate_posterior(net, q);
       const auto fast = ve.query(q);
       for (std::size_t s = 0; s < exact.size(); ++s)
-        ASSERT_NEAR(fast.p(s), exact.p(s), 1e-9) << "trial " << trial;
+        ASSERT_NEAR(fast.p(s), exact.p(s), tol::kProbSum) << "trial " << trial;
     }
 
     // One random evidence variable.
     const bn::VariableId ev = rng.uniform_index(net.size());
     const std::size_t state = rng.uniform_index(net.variable(ev).cardinality());
-    if (bn::enumerate_evidence_probability(net, {{ev, state}}) > 1e-9) {
+    if (bn::enumerate_evidence_probability(net, {{ev, state}}) > tol::kProbSum) {
       for (bn::VariableId q = 0; q < net.size(); ++q) {
         if (q == ev) continue;
         const auto exact = bn::enumerate_posterior(net, q, {{ev, state}});
         const auto fast = ve.query(q, {{ev, state}});
         for (std::size_t s = 0; s < exact.size(); ++s)
-          ASSERT_NEAR(fast.p(s), exact.p(s), 1e-9) << "trial " << trial;
+          ASSERT_NEAR(fast.p(s), exact.p(s), tol::kProbSum) << "trial " << trial;
       }
       // Evidence probability agrees too.
       ASSERT_NEAR(ve.evidence_probability({{ev, state}}),
-                  bn::enumerate_evidence_probability(net, {{ev, state}}), 1e-9);
+                  bn::enumerate_evidence_probability(net, {{ev, state}}), tol::kProbSum);
     }
   }
 }
@@ -236,12 +239,12 @@ TEST(Inference, MpeOnPaperNetwork) {
   const auto mpe = bn::enumerate_mpe(net);
   EXPECT_EQ(mpe.assignment[0], 0u);
   EXPECT_EQ(mpe.assignment[1], 0u);
-  EXPECT_NEAR(mpe.probability, 0.54, 1e-12);
+  EXPECT_NEAR(mpe.probability, 0.54, tol::kTiny);
   // Given perception = none, the MPE ground truth is unknown:
   // P(unknown, none) = 0.08; conditional = 0.08 / 0.1205.
   const auto diag = bn::enumerate_mpe(net, {{1, 3}});
   EXPECT_EQ(diag.assignment[0], 2u);
-  EXPECT_NEAR(diag.probability, 0.08 / 0.1205, 1e-12);
+  EXPECT_NEAR(diag.probability, 0.08 / 0.1205, tol::kTiny);
 }
 
 TEST(Inference, MpeImpossibleEvidenceThrows) {

@@ -16,6 +16,8 @@
 #include "evidence/mass.hpp"
 #include "prob/discrete.hpp"
 
+namespace tol = sysuq::tolerance;
+
 namespace sysuq {
 namespace {
 
@@ -85,7 +87,7 @@ TEST(Contracts, ProbabilityPredicate) {
 
 TEST(Contracts, FiniteNonnegPredicate) {
   EXPECT_TRUE(contracts::is_finite_nonneg({0.0, 2.5, 1e6}));
-  EXPECT_FALSE(contracts::is_finite_nonneg({0.5, -1e-12}));
+  EXPECT_FALSE(contracts::is_finite_nonneg({0.5, -tol::kTiny}));
   EXPECT_FALSE(contracts::is_finite_nonneg({0.5, kNaN}));
   EXPECT_FALSE(contracts::is_finite_nonneg({0.5, kInf}));
 }

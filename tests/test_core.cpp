@@ -11,6 +11,9 @@
 #include "core/taxonomy.hpp"
 #include "bayesnet/inference.hpp"
 #include "perception/table1.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace co = sysuq::core;
 namespace sy = sysuq::sys;
@@ -77,7 +80,7 @@ TEST(Taxonomy, RegistryValidation) {
 TEST(Decomposition, BudgetAndDominance) {
   const pr::Categorical agree({0.9, 0.1});
   const auto b = sy::decompose({agree, agree}, 0.02);
-  EXPECT_NEAR(b.epistemic, 0.0, 1e-12);
+  EXPECT_NEAR(b.epistemic, 0.0, tol::kTiny);
   EXPECT_GT(b.aleatory, 0.0);
   EXPECT_DOUBLE_EQ(b.ontological, 0.02);
   EXPECT_EQ(b.dominant(), "aleatory");
@@ -112,16 +115,16 @@ TEST(Decomposition, SurpriseFactorOnPaperNetwork) {
   bn::VariableElimination ve2(blind);
   const auto joint2 = ve2.joint(1, 0);
   EXPECT_GT(sy::surprise_factor(joint2), s);
-  EXPECT_NEAR(sy::normalized_surprise(joint2), 1.0, 1e-9);
+  EXPECT_NEAR(sy::normalized_surprise(joint2), 1.0, tol::kProbSum);
 }
 
 TEST(Prevention, OddRestrictionReducesExposure) {
   const auto world = paper_world(0.1);
   const auto r = sy::apply_odd_restriction(world, {0}, 0.2);
-  EXPECT_NEAR(r.excluded_encounter_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.excluded_encounter_fraction, 1.0 / 3.0, tol::kTiny);
   EXPECT_DOUBLE_EQ(r.novel_rate_before, 0.1);
-  EXPECT_NEAR(r.novel_rate_after, 0.02, 1e-12);
-  EXPECT_NEAR(r.epistemic_parameter_fraction, 0.5, 1e-12);
+  EXPECT_NEAR(r.novel_rate_after, 0.02, tol::kTiny);
+  EXPECT_NEAR(r.epistemic_parameter_fraction, 0.5, tol::kTiny);
   EXPECT_THROW((void)sy::apply_odd_restriction(world, {0}, 1.5),
                std::invalid_argument);
 }
@@ -236,13 +239,13 @@ TEST(ModelFidelity, TracksAgreementAndSurprise) {
   sy::ModelFidelityTracker perfect(3, 3);
   for (int i = 0; i < 300; ++i) perfect.observe(i % 3, i % 3);
   EXPECT_DOUBLE_EQ(perfect.agreement(), 1.0);
-  EXPECT_NEAR(perfect.surprise(), 0.0, 1e-12);
+  EXPECT_NEAR(perfect.surprise(), 0.0, tol::kTiny);
   EXPECT_EQ(perfect.verdict(), "adequate");
 
   // Useless model: outcome independent of prediction.
   sy::ModelFidelityTracker blind(2, 2);
   for (int i = 0; i < 400; ++i) blind.observe(i % 2, (i / 2) % 2);
-  EXPECT_NEAR(blind.normalized(), 1.0, 1e-9);
+  EXPECT_NEAR(blind.normalized(), 1.0, tol::kProbSum);
   EXPECT_EQ(blind.verdict(), "ontological gap (extend the model)");
 
   // Mostly-right model lands in the epistemic band.

@@ -34,6 +34,8 @@
 #include "perception/table1.hpp"
 #include "prob/rng.hpp"
 
+namespace tol = sysuq::tolerance;
+
 namespace bn = sysuq::bayesnet;
 namespace pr = sysuq::prob;
 
@@ -430,7 +432,7 @@ TEST(Differential, ImpossibleEvidenceMessageIdenticalAcrossBackends) {
                     "engine.all_marginals");
       expect_throws([&] { (void)engine.query_batch({{query, impossible}}); },
                     "engine.query_batch");
-      EXPECT_NEAR(engine.evidence_probability(impossible), 0.0, 1e-15);
+      EXPECT_NEAR(engine.evidence_probability(impossible), 0.0, tol::kSeries);
       EXPECT_EQ(engine.log_evidence_probability(impossible),
                 -std::numeric_limits<double>::infinity());
     }
@@ -483,7 +485,7 @@ TEST(Differential, DeepEvidenceChainIsNotSpuriouslyImpossible) {
   bn::InferenceEngine engine(
       net, {.threads = 1, .backend = bn::Backend::kVariableElimination});
   const pr::Categorical engine_posterior = engine.query(0, deep);
-  EXPECT_NEAR(engine_posterior.p(0), posterior.p(0), 1e-12);
+  EXPECT_NEAR(engine_posterior.p(0), posterior.p(0), tol::kTiny);
   const double ve_log = engine.log_evidence_probability(deep);
   EXPECT_TRUE(std::isfinite(ve_log));
   EXPECT_LT(ve_log, -900.0);  // genuinely below linear-double range
@@ -493,7 +495,7 @@ TEST(Differential, DeepEvidenceChainIsNotSpuriouslyImpossible) {
   EXPECT_TRUE(std::isfinite(jt_log));
   EXPECT_NEAR(ve_log, jt_log, 1e-6 * std::abs(jt_log));
   const pr::Categorical jt_posterior = jt.query(0);
-  EXPECT_NEAR(jt_posterior.p(0), posterior.p(0), 1e-9);
+  EXPECT_NEAR(jt_posterior.p(0), posterior.p(0), tol::kProbSum);
 
   // Genuinely impossible evidence on the same chain still throws: state
   // 1 of x1 is unreachable once the transition to it carries zero mass.
@@ -531,21 +533,21 @@ TEST(Differential, Table1GoldenPosteriorsUnderBothBackends) {
 
     const auto prior = engine.query(net.id_of("perception"));
     for (std::size_t s = 0; s < 4; ++s)
-      EXPECT_NEAR(prior.p(s), kPrior[s], 1e-12) << s;
+      EXPECT_NEAR(prior.p(s), kPrior[s], tol::kTiny) << s;
 
     for (std::size_t o = 0; o < 4; ++o) {
       const auto post = engine.query(0, {{1, o}});
       for (std::size_t s = 0; s < 3; ++s)
-        EXPECT_NEAR(post.p(s), kPosterior[o][s], 1e-12) << o << "/" << s;
+        EXPECT_NEAR(post.p(s), kPosterior[o][s], tol::kTiny) << o << "/" << s;
     }
 
     const auto all = engine.all_marginals({{1, 0}});
     for (std::size_t s = 0; s < 3; ++s)
-      EXPECT_NEAR(all[0].p(s), kPosterior[0][s], 1e-12) << s;
+      EXPECT_NEAR(all[0].p(s), kPosterior[0][s], tol::kTiny) << s;
     EXPECT_EQ(all[1].p(0), 1.0);  // observed variable holds its delta
 
     EXPECT_NEAR(engine.log_evidence_probability({{1, 0}}), kLogEvidenceCar,
-                1e-12);
+                tol::kTiny);
   }
 }
 
@@ -555,18 +557,18 @@ TEST(Differential, Table1GoldenDecompositionFigures) {
   const auto net = sysuq::perception::table1_network();
   bn::VariableElimination ve(net);
   const auto joint = ve.joint(1, 0);
-  EXPECT_NEAR(net.cpt_rows(0)[0].entropy(), 0.8979457248567797, 1e-12);
+  EXPECT_NEAR(net.cpt_rows(0)[0].entropy(), 0.8979457248567797, tol::kTiny);
   EXPECT_NEAR(sysuq::sys::surprise_factor(joint), 0.19831888266846187,
-              1e-12);
+              tol::kTiny);
   EXPECT_NEAR(sysuq::sys::normalized_surprise(joint), 0.22085842961175994,
-              1e-12);
+              tol::kTiny);
   // Epistemic indicator mass and the ontological prior/posterior pair.
   EXPECT_NEAR(ve.query(1).p(sysuq::perception::kPercCarPedestrian), 0.065,
-              1e-12);
+              tol::kTiny);
   EXPECT_NEAR(net.cpt_rows(0)[0].p(sysuq::perception::kGtUnknown), 0.1,
-              1e-12);
+              tol::kTiny);
   const auto none_post =
       ve.query(0, {{1, sysuq::perception::kPercNone}});
   EXPECT_NEAR(none_post.p(sysuq::perception::kGtUnknown),
-              0.66390041493775931, 1e-12);
+              0.66390041493775931, tol::kTiny);
 }

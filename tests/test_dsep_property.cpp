@@ -8,6 +8,9 @@
 
 #include "bayesnet/inference.hpp"
 #include "prob/rng.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace bn = sysuq::bayesnet;
 namespace pr = sysuq::prob;
@@ -47,7 +50,7 @@ bn::BayesianNetwork random_network(pr::Rng& rng, std::size_t n) {
 bool conditionally_independent(const bn::BayesianNetwork& net, bn::VariableId x,
                                bn::VariableId y, const bn::Evidence& z) {
   const double pz = bn::enumerate_evidence_probability(net, z);
-  if (pz < 1e-12) return true;  // conditioning event never happens
+  if (pz < tol::kTiny) return true;  // conditioning event never happens
   const auto px = bn::enumerate_posterior(net, x, z);
   const auto py = bn::enumerate_posterior(net, y, z);
   for (std::size_t sx = 0; sx < net.variable(x).cardinality(); ++sx) {
@@ -56,7 +59,7 @@ bool conditionally_independent(const bn::BayesianNetwork& net, bn::VariableId x,
       zxy[x] = sx;
       zxy[y] = sy;
       const double joint = bn::enumerate_evidence_probability(net, zxy) / pz;
-      if (std::fabs(joint - px.p(sx) * py.p(sy)) > 1e-9) return false;
+      if (std::fabs(joint - px.p(sx) * py.p(sy)) > tol::kProbSum) return false;
     }
   }
   return true;

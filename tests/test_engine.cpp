@@ -20,6 +20,9 @@
 #include "fta/fta_to_bn.hpp"
 #include "perception/fusion.hpp"
 #include "perception/table1.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace bn = sysuq::bayesnet;
 namespace pr = sysuq::prob;
@@ -97,13 +100,13 @@ TEST(Engine, MatchesVariableEliminationAndOracleOnTable1) {
     const auto oracle = bn::enumerate_posterior(net, 0, e);
     for (std::size_t s = 0; s < exact.size(); ++s) {
       EXPECT_DOUBLE_EQ(fast.p(s), exact.p(s)) << "state " << state;
-      EXPECT_NEAR(fast.p(s), oracle.p(s), 1e-12) << "state " << state;
+      EXPECT_NEAR(fast.p(s), oracle.p(s), tol::kTiny) << "state " << state;
     }
   }
   // Prior marginal (no evidence) agrees too.
   const auto prior = engine.query(net.id_of("perception"));
-  EXPECT_NEAR(prior.p(0), 0.5415, 1e-12);
-  EXPECT_NEAR(prior.p(3), 0.1205, 1e-12);
+  EXPECT_NEAR(prior.p(0), 0.5415, tol::kTiny);
+  EXPECT_NEAR(prior.p(3), 0.1205, tol::kTiny);
 }
 
 TEST(Engine, AgreesWithLikelihoodWeightingOnTable1) {
@@ -127,20 +130,20 @@ TEST(Engine, MatchesOracleOnRandomNetworks) {
       const auto exact = bn::enumerate_posterior(net, q);
       const auto fast = engine.query(q);
       for (std::size_t s = 0; s < exact.size(); ++s)
-        ASSERT_NEAR(fast.p(s), exact.p(s), 1e-9) << "trial " << trial;
+        ASSERT_NEAR(fast.p(s), exact.p(s), tol::kProbSum) << "trial " << trial;
     }
     const bn::VariableId ev = rng.uniform_index(net.size());
     const std::size_t state = rng.uniform_index(net.variable(ev).cardinality());
-    if (bn::enumerate_evidence_probability(net, {{ev, state}}) > 1e-9) {
+    if (bn::enumerate_evidence_probability(net, {{ev, state}}) > tol::kProbSum) {
       for (bn::VariableId q = 0; q < net.size(); ++q) {
         if (q == ev) continue;
         const auto exact = bn::enumerate_posterior(net, q, {{ev, state}});
         const auto fast = engine.query(q, {{ev, state}});
         for (std::size_t s = 0; s < exact.size(); ++s)
-          ASSERT_NEAR(fast.p(s), exact.p(s), 1e-9) << "trial " << trial;
+          ASSERT_NEAR(fast.p(s), exact.p(s), tol::kProbSum) << "trial " << trial;
       }
       ASSERT_NEAR(engine.evidence_probability({{ev, state}}),
-                  bn::enumerate_evidence_probability(net, {{ev, state}}), 1e-9);
+                  bn::enumerate_evidence_probability(net, {{ev, state}}), tol::kProbSum);
     }
   }
 }
@@ -287,10 +290,10 @@ TEST(EngineBackends, JunctionTreeBackendMatchesDefaultEngine) {
       const auto a = ve_engine.query(q, ev);
       const auto b = jt_engine.query(q, ev);
       for (std::size_t s = 0; s < a.size(); ++s)
-        ASSERT_NEAR(a.p(s), b.p(s), 1e-12) << "trial " << trial;
+        ASSERT_NEAR(a.p(s), b.p(s), tol::kTiny) << "trial " << trial;
     }
     ASSERT_NEAR(ve_engine.evidence_probability(ev),
-                jt_engine.evidence_probability(ev), 1e-12);
+                jt_engine.evidence_probability(ev), tol::kTiny);
   }
 }
 
@@ -306,7 +309,7 @@ TEST(EngineBackends, AllMarginalsMatchesPerQueryLoop) {
     EXPECT_EQ(all[1].p(3), 1.0);  // observed variable holds its delta
     const auto direct = engine.query(0, ev);
     for (std::size_t s = 0; s < direct.size(); ++s)
-      EXPECT_NEAR(all[0].p(s), direct.p(s), 1e-12);
+      EXPECT_NEAR(all[0].p(s), direct.p(s), tol::kTiny);
   }
 }
 
@@ -318,7 +321,7 @@ TEST(EngineBackends, LogEvidenceProbabilityAcrossBackends) {
        {bn::Backend::kVariableElimination, bn::Backend::kJunctionTree}) {
     bn::InferenceEngine engine(net, {.threads = 1, .backend = backend});
     EXPECT_NEAR(engine.log_evidence_probability(possible),
-                std::log(engine.evidence_probability(possible)), 1e-12);
+                std::log(engine.evidence_probability(possible)), tol::kTiny);
     // Impossible evidence reports -inf without throwing.
     EXPECT_EQ(engine.log_evidence_probability(impossible),
               -std::numeric_limits<double>::infinity());
@@ -361,7 +364,7 @@ TEST(EngineBackends, AutoSwitchesToJunctionTreeAtBatchThreshold) {
   for (std::size_t i = 0; i < wide.size(); ++i) {
     const auto ref = ve_engine.query(wide[i].query, wide[i].evidence);
     for (std::size_t s = 0; s < ref.size(); ++s) {
-      ASSERT_NEAR(a[i].p(s), ref.p(s), 1e-12) << i;
+      ASSERT_NEAR(a[i].p(s), ref.p(s), tol::kTiny) << i;
       ASSERT_EQ(a[i].p(s), b[i].p(s)) << i;
     }
   }
@@ -398,8 +401,8 @@ TEST(EngineBackends, TreeCacheKeyedByFullAssignmentNotSignature) {
   const auto x1 = ve.query(monitor, e1);
   const auto x2 = ve.query(monitor, e2);
   for (std::size_t s = 0; s < 2; ++s) {
-    EXPECT_NEAR(m1.p(s), x1.p(s), 1e-12);
-    EXPECT_NEAR(m2.p(s), x2.p(s), 1e-12);
+    EXPECT_NEAR(m1.p(s), x1.p(s), tol::kTiny);
+    EXPECT_NEAR(m2.p(s), x2.p(s), tol::kTiny);
   }
   EXPECT_GT(std::fabs(x1.p(0) - x2.p(0)), 0.05);
 
@@ -644,7 +647,7 @@ TEST(EngineErrors, LikelihoodWeightingAllZeroWeightsThrows) {
   EXPECT_THROW((void)ve.query(0, impossible), std::domain_error);
   bn::InferenceEngine engine(net);
   EXPECT_THROW((void)engine.query(0, impossible), std::domain_error);
-  EXPECT_NEAR(engine.evidence_probability(impossible), 0.0, 1e-15);
+  EXPECT_NEAR(engine.evidence_probability(impossible), 0.0, tol::kSeries);
 }
 
 // ---- ordering quality ----
@@ -703,15 +706,15 @@ TEST(EngineWiring, FtaDiagnosisMatchesExactAnalysis) {
   const auto diag = sysuq::fta::diagnose_top_event(compiled, engine);
 
   EXPECT_NEAR(diag.top_probability, sysuq::fta::exact_top_probability(tree),
-              1e-12);
+              tol::kTiny);
   // The top node, conditioned on itself failing, has posterior 1.
-  EXPECT_NEAR(diag.posterior_given_top[top], 1.0, 1e-12);
+  EXPECT_NEAR(diag.posterior_given_top[top], 1.0, tol::kTiny);
   // Diagnosis agrees with the enumeration oracle per node.
   const bn::Evidence ev{{compiled.top, 1}};
   for (sysuq::fta::NodeId i = 0; i < tree.size(); ++i) {
     const auto oracle =
         bn::enumerate_posterior(compiled.network, compiled.node_map[i], ev);
-    EXPECT_NEAR(diag.posterior_given_top[i], oracle.p(1), 1e-9) << i;
+    EXPECT_NEAR(diag.posterior_given_top[i], oracle.p(1), tol::kProbSum) << i;
   }
   // One ordering signature served the whole batch.
   EXPECT_GE(engine.cache_stats().hit_rate(), 0.5);
@@ -740,11 +743,11 @@ TEST(EngineWiring, EvidentialQueriesThroughEngine) {
   const auto interval = ev::engine_belief_plausibility(
       engine, frame, node, frame.singleton(1));
   const auto direct = prior.belief_interval(frame.singleton(1));
-  EXPECT_NEAR(interval.lo(), direct.lo(), 1e-12);
-  EXPECT_NEAR(interval.hi(), direct.hi(), 1e-12);
+  EXPECT_NEAR(interval.lo(), direct.lo(), tol::kTiny);
+  EXPECT_NEAR(interval.hi(), direct.hi(), tol::kTiny);
 
   const auto mass = ev::engine_posterior_mass(engine, frame, node);
-  EXPECT_NEAR(mass.mass(ev::FocalSet(3)), 0.1, 1e-12);
+  EXPECT_NEAR(mass.mass(ev::FocalSet(3)), 0.1, tol::kTiny);
 }
 
 TEST(EngineWiring, BnFusionMatchesNaiveBayesRule) {

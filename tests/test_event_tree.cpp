@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "evidence/mass.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace ft = sysuq::fta;
 namespace pr = sysuq::prob;
@@ -47,13 +50,13 @@ TEST(EventTree, CrispQuantification) {
   ASSERT_EQ(outcomes.size(), 4u);
   // Frequencies: initiator 0.01 x branch products.
   EXPECT_NEAR(t.consequence_frequency("safe stop").mid(), 0.01 * 0.9 * 0.95,
-              1e-12);
+              tol::kTiny);
   EXPECT_NEAR(t.consequence_frequency("collision").mid(), 0.01 * 0.1 * 0.05,
-              1e-12);
+              tol::kTiny);
   // Outcome frequencies sum to the initiator frequency.
   double total = 0.0;
   for (const auto& o : outcomes) total += o.frequency.mid();
-  EXPECT_NEAR(total, 0.01, 1e-12);
+  EXPECT_NEAR(total, 0.01, tol::kTiny);
 }
 
 TEST(EventTree, IntervalBarriersGiveBounds) {
@@ -63,8 +66,8 @@ TEST(EventTree, IntervalBarriersGiveBounds) {
   t.set_consequence({false, false}, "collision");
   const auto coll = t.consequence_frequency("collision");
   // Bounds: 0.02 * [0.05, 0.15] * [0.01, 0.10].
-  EXPECT_NEAR(coll.lo(), 0.02 * 0.05 * 0.01, 1e-12);
-  EXPECT_NEAR(coll.hi(), 0.02 * 0.15 * 0.10, 1e-12);
+  EXPECT_NEAR(coll.lo(), 0.02 * 0.05 * 0.01, tol::kTiny);
+  EXPECT_NEAR(coll.hi(), 0.02 * 0.15 * 0.10, tol::kTiny);
   EXPECT_GT(coll.width(), 0.0);
 }
 
@@ -87,7 +90,7 @@ TEST(EventTree, SharedConsequenceAggregates) {
   t.set_consequence({false, true}, "degraded");
   t.set_consequence({true, false}, "degraded");
   const auto f = t.consequence_frequency("degraded");
-  EXPECT_NEAR(f.mid(), 0.1 * (0.2 * 0.7 + 0.8 * 0.3), 1e-12);
+  EXPECT_NEAR(f.mid(), 0.1 * (0.2 * 0.7 + 0.8 * 0.3), tol::kTiny);
 }
 
 TEST(DsConditioning, MatchesBayesOnBayesianMass) {
@@ -95,8 +98,8 @@ TEST(DsConditioning, MatchesBayesOnBayesianMass) {
   ev::Frame f({"a", "b", "c"});
   const auto m = ev::MassFunction::bayesian(f, pr::Categorical({0.5, 0.3, 0.2}));
   const auto c = m.conditioned(f.make_set({"a", "b"}));
-  EXPECT_NEAR(c.mass(f.singleton("a")), 0.5 / 0.8, 1e-12);
-  EXPECT_NEAR(c.mass(f.singleton("b")), 0.3 / 0.8, 1e-12);
+  EXPECT_NEAR(c.mass(f.singleton("a")), 0.5 / 0.8, tol::kTiny);
+  EXPECT_NEAR(c.mass(f.singleton("b")), 0.3 / 0.8, tol::kTiny);
   EXPECT_DOUBLE_EQ(c.mass(f.singleton("c")), 0.0);
 }
 
@@ -105,8 +108,8 @@ TEST(DsConditioning, IntersectsFocalElements) {
   const ev::MassFunction m(f, {{f.theta(), 0.4}, {f.make_set({"a", "b"}), 0.6}});
   const auto c = m.conditioned(f.make_set({"b", "c"}));
   // Theta ∩ {b,c} = {b,c}; {a,b} ∩ {b,c} = {b}. No conflict.
-  EXPECT_NEAR(c.mass(f.make_set({"b", "c"})), 0.4, 1e-12);
-  EXPECT_NEAR(c.mass(f.singleton("b")), 0.6, 1e-12);
+  EXPECT_NEAR(c.mass(f.make_set({"b", "c"})), 0.4, tol::kTiny);
+  EXPECT_NEAR(c.mass(f.singleton("b")), 0.6, tol::kTiny);
   // Conditioning on an impossible set throws.
   const auto certain_a = ev::MassFunction(f, {{f.singleton("a"), 1.0}});
   EXPECT_THROW((void)certain_a.conditioned(f.singleton("b")),

@@ -9,6 +9,9 @@
 #include "evidence/evidential_network.hpp"
 #include "perception/table1.hpp"
 #include "prob/rng.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace ev = sysuq::evidence;
 namespace bn = sysuq::bayesnet;
@@ -22,7 +25,7 @@ pr::Categorical sample_inside(const ev::IntervalDistribution& d, pr::Rng& rng) {
   for (int tries = 0; tries < 200; ++tries) {
     std::vector<double> w(d.size());
     for (std::size_t i = 0; i < d.size(); ++i)
-      w[i] = rng.uniform(d.bound(i).lo(), d.bound(i).hi()) + 1e-12;
+      w[i] = rng.uniform(d.bound(i).lo(), d.bound(i).hi()) + tol::kTiny;
     auto c = pr::Categorical::normalized(std::move(w));
     if (d.contains(c)) return c;
   }
@@ -71,17 +74,17 @@ TEST(IntervalDistribution, ExpectationBoundsAreSharpAndOrdered) {
   EXPECT_LT(lo, hi);
   // Manual optimum: maximize puts as much mass as possible on state 2
   // (hi 0.4), then state 1: p = (0.1, 0.5, 0.4) -> 1*0.1+2*0.5+3*0.4 = 2.3.
-  EXPECT_NEAR(hi, 2.3, 1e-12);
+  EXPECT_NEAR(hi, 2.3, tol::kTiny);
   // Minimize: p = (0.5, 0.4, 0.1) -> 0.5+0.8+0.3 = 1.6.
-  EXPECT_NEAR(lo, 1.6, 1e-12);
+  EXPECT_NEAR(lo, 1.6, tol::kTiny);
   // Monte-Carlo containment.
   pr::Rng rng(42);
   for (int t = 0; t < 500; ++t) {
     const auto p = sample_inside(d, rng);
     double e = 0.0;
     for (std::size_t i = 0; i < 3; ++i) e += p.p(i) * c[i];
-    EXPECT_GE(e, lo - 1e-9);
-    EXPECT_LE(e, hi + 1e-9);
+    EXPECT_GE(e, lo - tol::kProbSum);
+    EXPECT_LE(e, hi + tol::kProbSum);
   }
 }
 
@@ -96,15 +99,15 @@ TEST(CredalChain, PreciseInputsReproduceExactInference) {
   bn::VariableElimination ve(net);
   const auto exact = ve.query(1);
   for (std::size_t y = 0; y < 4; ++y) {
-    EXPECT_NEAR(marg.bound(y).lo(), exact.p(y), 1e-10) << y;
-    EXPECT_NEAR(marg.bound(y).hi(), exact.p(y), 1e-10) << y;
+    EXPECT_NEAR(marg.bound(y).lo(), exact.p(y), tol::kIteration) << y;
+    EXPECT_NEAR(marg.bound(y).hi(), exact.p(y), tol::kIteration) << y;
   }
 
   const auto post = ev::credal_chain_posterior(prior, cpt, 3);
   const auto exact_post = ve.query(0, {{1, 3}});
   for (std::size_t x = 0; x < 3; ++x) {
-    EXPECT_NEAR(post.bound(x).lo(), exact_post.p(x), 1e-9) << x;
-    EXPECT_NEAR(post.bound(x).hi(), exact_post.p(x), 1e-9) << x;
+    EXPECT_NEAR(post.bound(x).lo(), exact_post.p(x), tol::kProbSum) << x;
+    EXPECT_NEAR(post.bound(x).hi(), exact_post.p(x), tol::kProbSum) << x;
   }
 }
 
@@ -133,13 +136,13 @@ TEST(CredalChain, BoundsContainAllSampledModels) {
     for (std::size_t y = 0; y < 4; ++y) {
       double py = 0.0;
       for (std::size_t x = 0; x < 3; ++x) py += p.p(x) * qrows[x].p(y);
-      EXPECT_GE(py, marg.bound(y).lo() - 1e-9);
-      EXPECT_LE(py, marg.bound(y).hi() + 1e-9);
+      EXPECT_GE(py, marg.bound(y).lo() - tol::kProbSum);
+      EXPECT_LE(py, marg.bound(y).hi() + tol::kProbSum);
     }
     // Point posterior given perception = none.
     double den = 0.0;
     for (std::size_t x = 0; x < 3; ++x) den += p.p(x) * qrows[x].p(3);
-    if (den > 1e-12) {
+    if (den > tol::kTiny) {
       for (std::size_t x = 0; x < 3; ++x) {
         const double px = p.p(x) * qrows[x].p(3) / den;
         EXPECT_GE(px, post.bound(x).lo() - 1e-7);
@@ -196,7 +199,7 @@ TEST(EvidentialNetwork, MassCategoricalRoundTrip) {
   const auto c = ev::mass_to_categorical(m);
   const auto back = ev::categorical_to_mass(f, c);
   for (const ev::FocalSet s : f.all_nonempty_subsets())
-    EXPECT_NEAR(back.mass(s), m.mass(s), 1e-12);
+    EXPECT_NEAR(back.mass(s), m.mass(s), tol::kTiny);
 }
 
 TEST(EvidentialNetwork, TableOneWithIgnoranceStates) {
@@ -218,10 +221,10 @@ TEST(EvidentialNetwork, TableOneWithIgnoranceStates) {
   bn::VariableElimination ve(net);
   const auto marg = ve.query(gt);
   const auto iv = ev::belief_plausibility(f, marg, f.singleton("car"));
-  EXPECT_NEAR(iv.lo(), 0.57, 1e-12);         // Bel
-  EXPECT_NEAR(iv.hi(), 0.57 + 0.05, 1e-12);  // Pl includes the ignorance
+  EXPECT_NEAR(iv.lo(), 0.57, tol::kTiny);         // Bel
+  EXPECT_NEAR(iv.hi(), 0.57 + 0.05, tol::kTiny);  // Pl includes the ignorance
   const auto iv_cp =
       ev::belief_plausibility(f, marg, f.make_set({"car", "pedestrian"}));
-  EXPECT_NEAR(iv_cp.lo(), 0.855, 1e-12);
-  EXPECT_NEAR(iv_cp.hi(), 0.905, 1e-12);
+  EXPECT_NEAR(iv_cp.lo(), 0.855, tol::kTiny);
+  EXPECT_NEAR(iv_cp.hi(), 0.905, tol::kTiny);
 }

@@ -7,6 +7,9 @@
 #include <cmath>
 
 #include "prob/rng.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace ev = sysuq::evidence;
 namespace pr = sysuq::prob;
@@ -96,8 +99,8 @@ TEST(MassFunction, BeliefPlausibilityDuality) {
     for (const ev::FocalSet a : f.all_nonempty_subsets()) {
       const ev::FocalSet comp = f.theta() & ~a;
       if (comp == 0) continue;
-      EXPECT_NEAR(m.plausibility(a), 1.0 - m.belief(comp), 1e-12);
-      EXPECT_LE(m.belief(a), m.plausibility(a) + 1e-12);
+      EXPECT_NEAR(m.plausibility(a), 1.0 - m.belief(comp), tol::kTiny);
+      EXPECT_LE(m.belief(a), m.plausibility(a) + tol::kTiny);
     }
   }
 }
@@ -110,8 +113,8 @@ TEST(MassFunction, BeliefMonotoneUnderInclusion) {
     for (const ev::FocalSet a : f.all_nonempty_subsets()) {
       for (const ev::FocalSet b : f.all_nonempty_subsets()) {
         if (ev::is_subset(a, b)) {
-          EXPECT_LE(m.belief(a), m.belief(b) + 1e-12);
-          EXPECT_LE(m.plausibility(a), m.plausibility(b) + 1e-12);
+          EXPECT_LE(m.belief(a), m.belief(b) + tol::kTiny);
+          EXPECT_LE(m.plausibility(a), m.plausibility(b) + tol::kTiny);
         }
       }
     }
@@ -124,7 +127,7 @@ TEST(MassFunction, CommonalityOfSingletonsEqualsPlausibility) {
   const auto m = random_mass(rng, f, 4);
   for (std::size_t i = 0; i < f.size(); ++i) {
     EXPECT_NEAR(m.commonality(f.singleton(i)), m.plausibility(f.singleton(i)),
-                1e-12);
+                tol::kTiny);
   }
 }
 
@@ -132,10 +135,10 @@ TEST(MassFunction, PignisticPreservesBayesianAndSplitsIgnorance) {
   ev::Frame f({"a", "b"});
   const auto bayes = ev::MassFunction::bayesian(f, pr::Categorical({0.7, 0.3}));
   const auto bp = bayes.pignistic();
-  EXPECT_NEAR(bp.p(0), 0.7, 1e-12);
+  EXPECT_NEAR(bp.p(0), 0.7, tol::kTiny);
   const auto vac = ev::MassFunction::vacuous(f);
   const auto vp = vac.pignistic();
-  EXPECT_NEAR(vp.p(0), 0.5, 1e-12);
+  EXPECT_NEAR(vp.p(0), 0.5, tol::kTiny);
   // Pignistic lies within [Bel, Pl] of every singleton.
   pr::Rng rng(407);
   ev::Frame g({"x", "y", "z"});
@@ -143,8 +146,8 @@ TEST(MassFunction, PignisticPreservesBayesianAndSplitsIgnorance) {
     const auto m = random_mass(rng, g, 4);
     const auto p = m.pignistic();
     for (std::size_t i = 0; i < 3; ++i) {
-      EXPECT_GE(p.p(i) + 1e-12, m.belief(g.singleton(i)));
-      EXPECT_LE(p.p(i) - 1e-12, m.plausibility(g.singleton(i)));
+      EXPECT_GE(p.p(i) + tol::kTiny, m.belief(g.singleton(i)));
+      EXPECT_LE(p.p(i) - tol::kTiny, m.plausibility(g.singleton(i)));
     }
   }
 }
@@ -153,11 +156,11 @@ TEST(MassFunction, DiscountingMovesMassToTheta) {
   ev::Frame f({"a", "b"});
   const auto m = ev::MassFunction::bayesian(f, pr::Categorical({0.8, 0.2}));
   const auto d = m.discounted(0.25);
-  EXPECT_NEAR(d.mass(f.singleton("a")), 0.6, 1e-12);
-  EXPECT_NEAR(d.mass(f.theta()), 0.25, 1e-12);
+  EXPECT_NEAR(d.mass(f.singleton("a")), 0.6, tol::kTiny);
+  EXPECT_NEAR(d.mass(f.theta()), 0.25, tol::kTiny);
   // Full discount is the vacuous function.
   const auto full = m.discounted(1.0);
-  EXPECT_NEAR(full.mass(f.theta()), 1.0, 1e-12);
+  EXPECT_NEAR(full.mass(f.theta()), 1.0, tol::kTiny);
   // Discounting widens belief intervals (uncertainty tolerance via
   // acknowledged source unreliability).
   EXPECT_LT(m.belief_interval(f.singleton("a")).width(),
@@ -168,12 +171,12 @@ TEST(MassFunction, DiscountingMovesMassToTheta) {
 TEST(MassFunction, SimpleSupport) {
   ev::Frame f({"a", "b", "c"});
   const auto m = ev::MassFunction::simple_support(f, f.singleton("b"), 0.7);
-  EXPECT_NEAR(m.mass(f.singleton("b")), 0.7, 1e-12);
-  EXPECT_NEAR(m.mass(f.theta()), 0.3, 1e-12);
+  EXPECT_NEAR(m.mass(f.singleton("b")), 0.7, tol::kTiny);
+  EXPECT_NEAR(m.mass(f.theta()), 0.3, tol::kTiny);
   // s = 1 leaves no ignorance; s = 0 is vacuous.
   EXPECT_NEAR(ev::MassFunction::simple_support(f, f.theta(), 0.0)
                   .mass(f.theta()),
-              1.0, 1e-12);
+              1.0, tol::kTiny);
 }
 
 TEST(Combination, DempsterKnownTwoSensorExample) {
@@ -183,33 +186,33 @@ TEST(Combination, DempsterKnownTwoSensorExample) {
   const auto m2 = ev::MassFunction::simple_support(f, f.singleton("a"), 0.6);
   const auto c = ev::dempster_combine(m1, m2);
   // No conflict here: m({a}) = 1 - 0.2*0.4 = 0.92, m(Theta) = 0.08.
-  EXPECT_NEAR(c.mass(f.singleton("a")), 0.92, 1e-12);
-  EXPECT_NEAR(c.mass(f.theta()), 0.08, 1e-12);
+  EXPECT_NEAR(c.mass(f.singleton("a")), 0.92, tol::kTiny);
+  EXPECT_NEAR(c.mass(f.theta()), 0.08, tol::kTiny);
 }
 
 TEST(Combination, DempsterNormalizesConflict) {
   ev::Frame f({"a", "b"});
   const auto m1 = ev::MassFunction(f, {{f.singleton("a"), 0.9}, {f.theta(), 0.1}});
   const auto m2 = ev::MassFunction(f, {{f.singleton("b"), 0.9}, {f.theta(), 0.1}});
-  EXPECT_NEAR(m1.conflict(m2), 0.81, 1e-12);
+  EXPECT_NEAR(m1.conflict(m2), 0.81, tol::kTiny);
   const auto c = ev::dempster_combine(m1, m2);
   // Masses: a: 0.9*0.1=0.09, b: 0.1*0.9=0.09, Theta: 0.01 -> /0.19.
-  EXPECT_NEAR(c.mass(f.singleton("a")), 0.09 / 0.19, 1e-12);
-  EXPECT_NEAR(c.mass(f.theta()), 0.01 / 0.19, 1e-12);
+  EXPECT_NEAR(c.mass(f.singleton("a")), 0.09 / 0.19, tol::kTiny);
+  EXPECT_NEAR(c.mass(f.theta()), 0.01 / 0.19, tol::kTiny);
 }
 
 TEST(Combination, DempsterTotalConflictThrows) {
   ev::Frame f({"a", "b"});
   const auto m1 = ev::MassFunction(f, {{f.singleton("a"), 1.0}});
   const auto m2 = ev::MassFunction(f, {{f.singleton("b"), 1.0}});
-  EXPECT_NEAR(m1.conflict(m2), 1.0, 1e-12);
+  EXPECT_NEAR(m1.conflict(m2), 1.0, tol::kTiny);
   EXPECT_THROW((void)ev::dempster_combine(m1, m2), std::domain_error);
   // Yager handles it: all mass moves to Theta.
   const auto y = ev::yager_combine(m1, m2);
-  EXPECT_NEAR(y.mass(f.theta()), 1.0, 1e-12);
+  EXPECT_NEAR(y.mass(f.theta()), 1.0, tol::kTiny);
   // Dubois-Prade transfers to the union {a, b} = Theta here.
   const auto dp = ev::dubois_prade_combine(m1, m2);
-  EXPECT_NEAR(dp.mass(f.theta()), 1.0, 1e-12);
+  EXPECT_NEAR(dp.mass(f.theta()), 1.0, tol::kTiny);
 }
 
 TEST(Combination, VacuousIsDempsterNeutralElement) {
@@ -219,7 +222,7 @@ TEST(Combination, VacuousIsDempsterNeutralElement) {
     const auto m = random_mass(rng, f, 4);
     const auto c = ev::dempster_combine(m, ev::MassFunction::vacuous(f));
     for (const ev::FocalSet s : f.all_nonempty_subsets()) {
-      EXPECT_NEAR(c.mass(s), m.mass(s), 1e-12);
+      EXPECT_NEAR(c.mass(s), m.mass(s), tol::kTiny);
     }
   }
 }
@@ -233,7 +236,7 @@ TEST(Combination, DempsterCommutative) {
     const auto ab = ev::dempster_combine(a, b);
     const auto ba = ev::dempster_combine(b, a);
     for (const ev::FocalSet s : f.all_nonempty_subsets())
-      EXPECT_NEAR(ab.mass(s), ba.mass(s), 1e-12);
+      EXPECT_NEAR(ab.mass(s), ba.mass(s), tol::kTiny);
   }
 }
 
@@ -247,7 +250,7 @@ TEST(Combination, DempsterAssociative) {
     const auto left = ev::dempster_combine(ev::dempster_combine(a, b), c);
     const auto right = ev::dempster_combine(a, ev::dempster_combine(b, c));
     for (const ev::FocalSet s : f.all_nonempty_subsets())
-      EXPECT_NEAR(left.mass(s), right.mass(s), 1e-10);
+      EXPECT_NEAR(left.mass(s), right.mass(s), tol::kIteration);
   }
 }
 
@@ -271,9 +274,9 @@ TEST(Combination, DuboisPradePreservesInformationBetweenDempsterAndYager) {
       ev::MassFunction(f, {{f.singleton("b"), 0.8}, {f.theta(), 0.2}});
   const auto dp = ev::dubois_prade_combine(m1, m2);
   // Conflict 0.64 lands on {a, b}, not on Theta.
-  EXPECT_NEAR(dp.mass(f.make_set({"a", "b"})), 0.64, 1e-12);
+  EXPECT_NEAR(dp.mass(f.make_set({"a", "b"})), 0.64, tol::kTiny);
   const auto y = ev::yager_combine(m1, m2);
-  EXPECT_NEAR(y.mass(f.theta()), 0.04 + 0.64, 1e-12);
+  EXPECT_NEAR(y.mass(f.theta()), 0.04 + 0.64, tol::kTiny);
   // DP's {a,b} mass keeps Pl({a}) equal but raises Bel({a,b}).
   EXPECT_GT(dp.belief(f.make_set({"a", "b"})), y.belief(f.make_set({"a", "b"})));
 }
@@ -290,7 +293,7 @@ TEST(Combination, AllRulesPreserveNormalization) {
         (void)s;
         total += m;
       }
-      EXPECT_NEAR(total, 1.0, 1e-10);
+      EXPECT_NEAR(total, 1.0, tol::kIteration);
     }
   }
 }
@@ -303,7 +306,7 @@ TEST(MassFunction, NonspecificityTracksEpistemicImprecision) {
       f, {{f.make_set({"a", "b"}), 0.5}, {f.make_set({"c", "d"}), 0.5}});
   const auto vac = ev::MassFunction::vacuous(f);
   EXPECT_DOUBLE_EQ(bayes.nonspecificity(), 0.0);
-  EXPECT_NEAR(partial.nonspecificity(), 1.0, 1e-12);  // log2(2)
-  EXPECT_NEAR(vac.nonspecificity(), 2.0, 1e-12);      // log2(4)
+  EXPECT_NEAR(partial.nonspecificity(), 1.0, tol::kTiny);  // log2(2)
+  EXPECT_NEAR(vac.nonspecificity(), 2.0, tol::kTiny);      // log2(4)
   EXPECT_LT(bayes.nonspecificity_mass(), partial.nonspecificity_mass());
 }

@@ -12,6 +12,9 @@
 #include "prob/distribution.hpp"
 #include "prob/rng.hpp"
 #include "prob/statistics.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace ft = sysuq::fta;
 namespace bn = sysuq::bayesnet;
@@ -110,7 +113,7 @@ TEST(FaultTree, KooNCutSets) {
 
 TEST(FaultTree, ExactMatchesBruteForce) {
   auto t = redundant_perception_tree();
-  EXPECT_NEAR(ft::exact_top_probability(t), brute_force_top(t), 1e-12);
+  EXPECT_NEAR(ft::exact_top_probability(t), brute_force_top(t), tol::kTiny);
 }
 
 TEST(FaultTree, ExactMatchesBruteForceRandomized) {
@@ -142,7 +145,7 @@ TEST(FaultTree, ExactMatchesBruteForceRandomized) {
     }
     t.set_top(pool.back());
     if (t.is_basic_event(pool.back())) continue;
-    EXPECT_NEAR(ft::exact_top_probability(t), brute_force_top(t), 1e-10)
+    EXPECT_NEAR(ft::exact_top_probability(t), brute_force_top(t), tol::kIteration)
         << "trial " << trial;
   }
 }
@@ -156,7 +159,7 @@ TEST(FaultTree, KooNExactAgainstBinomial) {
   const auto c = t.add_basic_event("c", p);
   t.set_top(t.add_gate("2oo3", ft::GateType::kKooN, {a, b, c}, 2));
   EXPECT_NEAR(ft::exact_top_probability(t), 3 * p * p * (1 - p) + p * p * p,
-              1e-14);
+              tol::kRoot);
 }
 
 TEST(FaultTree, NotGateSupportedInExactOnly) {
@@ -165,7 +168,7 @@ TEST(FaultTree, NotGateSupportedInExactOnly) {
   const auto n = t.add_gate("not_a", ft::GateType::kNot, {a});
   t.set_top(n);
   EXPECT_FALSE(t.is_coherent());
-  EXPECT_NEAR(ft::exact_top_probability(t), 0.7, 1e-14);
+  EXPECT_NEAR(ft::exact_top_probability(t), 0.7, tol::kRoot);
   EXPECT_THROW((void)ft::minimal_cut_sets(t), std::logic_error);
   EXPECT_THROW((void)ft::interval_top_probability(
                    t, {pr::ProbInterval(0.2, 0.4)}),
@@ -177,9 +180,9 @@ TEST(FaultTree, ApproximationsBoundExact) {
   const double exact = ft::exact_top_probability(t);
   const double rare = ft::rare_event_approximation(t);
   const double mcub = ft::min_cut_upper_bound(t);
-  EXPECT_GE(rare, exact - 1e-12);
-  EXPECT_GE(mcub, exact - 1e-12);
-  EXPECT_LE(mcub, rare + 1e-12);  // MCUB is the tighter of the two
+  EXPECT_GE(rare, exact - tol::kTiny);
+  EXPECT_GE(mcub, exact - tol::kTiny);
+  EXPECT_LE(mcub, rare + tol::kTiny);  // MCUB is the tighter of the two
   // For small probabilities all three are close.
   EXPECT_NEAR(rare, exact, 5e-4);
 }
@@ -201,7 +204,7 @@ TEST(FaultTree, ImportanceMeasures) {
     EXPECT_GE(m.birnbaum, 0.0);
     EXPECT_LE(m.birnbaum, 1.0);
     EXPECT_GE(m.fussell_vesely, 0.0);
-    EXPECT_LE(m.fussell_vesely, 1.0 + 1e-12);
+    EXPECT_LE(m.fussell_vesely, 1.0 + tol::kTiny);
   }
   EXPECT_THROW((void)ft::importance(t, t.id_of("no_perception")),
                std::invalid_argument);
@@ -229,8 +232,8 @@ TEST(FaultTree, IntervalEvaluationBracketsPointValues) {
                         rng.uniform(bounds[i].lo(), bounds[i].hi()));
     }
     const double pv = ft::exact_top_probability(w);
-    EXPECT_GE(pv, iv.lo() - 1e-12);
-    EXPECT_LE(pv, iv.hi() + 1e-12);
+    EXPECT_GE(pv, iv.lo() - tol::kTiny);
+    EXPECT_LE(pv, iv.hi() + tol::kTiny);
   }
 }
 
@@ -247,11 +250,11 @@ TEST(FaultTree, FuzzyEvaluationNestsWithAlpha) {
   // the crisp point value.
   for (std::size_t i = 1; i < cuts.size(); ++i) {
     EXPECT_GE(cuts[i - 1].second.width(), cuts[i].second.width());
-    EXPECT_LE(cuts[i - 1].second.lo(), cuts[i].second.lo() + 1e-12);
-    EXPECT_GE(cuts[i - 1].second.hi(), cuts[i].second.hi() - 1e-12);
+    EXPECT_LE(cuts[i - 1].second.lo(), cuts[i].second.lo() + tol::kTiny);
+    EXPECT_GE(cuts[i - 1].second.hi(), cuts[i].second.hi() - tol::kTiny);
   }
-  EXPECT_NEAR(cuts.back().second.mid(), ft::exact_top_probability(t), 1e-9);
-  EXPECT_LT(cuts.back().second.width(), 1e-9);
+  EXPECT_NEAR(cuts.back().second.mid(), ft::exact_top_probability(t), tol::kProbSum);
+  EXPECT_LT(cuts.back().second.width(), tol::kProbSum);
 }
 
 TEST(FtaToBn, CompiledNetworkReproducesExactProbability) {
@@ -259,7 +262,7 @@ TEST(FtaToBn, CompiledNetworkReproducesExactProbability) {
   const auto compiled = ft::compile_to_bayesnet(t);
   bn::VariableElimination ve(compiled.network);
   const auto marginal = ve.query(compiled.top);
-  EXPECT_NEAR(marginal.p(1), ft::exact_top_probability(t), 1e-12);
+  EXPECT_NEAR(marginal.p(1), ft::exact_top_probability(t), tol::kTiny);
 }
 
 TEST(FtaToBn, DiagnosisBeyondFta) {
@@ -288,7 +291,7 @@ TEST(FtaToBn, KooNAndNotGatesCompile) {
   t.set_top(safe);
   const auto compiled = ft::compile_to_bayesnet(t);
   bn::VariableElimination ve(compiled.network);
-  EXPECT_NEAR(ve.query(compiled.top).p(1), ft::exact_top_probability(t), 1e-12);
+  EXPECT_NEAR(ve.query(compiled.top).p(1), ft::exact_top_probability(t), tol::kTiny);
 }
 
 TEST(FaultTree, PraEpistemicPropagation) {

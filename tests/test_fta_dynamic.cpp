@@ -8,6 +8,9 @@
 #include <cmath>
 
 #include "prob/rng.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace ft = sysuq::fta;
 namespace pr = sysuq::prob;
@@ -29,8 +32,8 @@ TEST(Ctmc, TransientMatchesExponential) {
   const ft::Ctmc c({{0.0, lambda}, {0.0, 0.0}});
   for (const double t : {0.0, 0.5, 1.0, 3.0, 10.0}) {
     const auto d = c.transient({1.0, 0.0}, t);
-    EXPECT_NEAR(d[1], 1.0 - std::exp(-lambda * t), 1e-10) << t;
-    EXPECT_NEAR(d[0] + d[1], 1.0, 1e-10);
+    EXPECT_NEAR(d[1], 1.0 - std::exp(-lambda * t), tol::kIteration) << t;
+    EXPECT_NEAR(d[0] + d[1], 1.0, tol::kIteration);
   }
 }
 
@@ -38,7 +41,7 @@ TEST(Ctmc, TransientLongHorizonSegmented) {
   // Large q*t exercises the segmentation path.
   const ft::Ctmc c({{0.0, 50.0}, {0.0, 0.0}});
   const auto d = c.transient({1.0, 0.0}, 20.0);
-  EXPECT_NEAR(d[1], 1.0, 1e-9);
+  EXPECT_NEAR(d[1], 1.0, tol::kProbSum);
 }
 
 TEST(Ctmc, TransientValidation) {
@@ -74,14 +77,14 @@ TEST(DynamicFaultTree, AndOrMatchStaticFormulas) {
     const auto a = d.add_basic_event("a", la);
     const auto b = d.add_basic_event("b", lb);
     d.set_top(d.add_gate("and", ft::DynGateType::kAnd, {a, b}));
-    EXPECT_NEAR(d.unreliability(t), fa * fb, 1e-9);
+    EXPECT_NEAR(d.unreliability(t), fa * fb, tol::kProbSum);
   }
   {
     ft::DynamicFaultTree d;
     const auto a = d.add_basic_event("a", la);
     const auto b = d.add_basic_event("b", lb);
     d.set_top(d.add_gate("or", ft::DynGateType::kOr, {a, b}));
-    EXPECT_NEAR(d.unreliability(t), 1.0 - (1.0 - fa) * (1.0 - fb), 1e-9);
+    EXPECT_NEAR(d.unreliability(t), 1.0 - (1.0 - fa) * (1.0 - fb), tol::kProbSum);
   }
 }
 
@@ -93,7 +96,7 @@ TEST(DynamicFaultTree, KooNMatchesBinomial) {
   const auto b = d.add_basic_event("b", l);
   const auto c = d.add_basic_event("c", l);
   d.set_top(d.add_gate("2oo3", ft::DynGateType::kKooN, {a, b, c}, 2));
-  EXPECT_NEAR(d.unreliability(t), 3 * f * f * (1 - f) + f * f * f, 1e-9);
+  EXPECT_NEAR(d.unreliability(t), 3 * f * f * (1 - f) + f * f * f, tol::kProbSum);
 }
 
 TEST(DynamicFaultTree, PandOrderSemantics) {
@@ -156,7 +159,7 @@ TEST(DynamicFaultTree, ColdSpareHypoexponential) {
   d.set_top(d.add_gate("spare_gate", ft::DynGateType::kSpare, {p, s}, 0, 0.0));
   const double expect =
       1.0 - (l2 * std::exp(-l1 * t) - l1 * std::exp(-l2 * t)) / (l2 - l1);
-  EXPECT_NEAR(d.unreliability(t), expect, 1e-9);
+  EXPECT_NEAR(d.unreliability(t), expect, tol::kProbSum);
 }
 
 TEST(DynamicFaultTree, HotSpareEqualsAnd) {
@@ -171,7 +174,7 @@ TEST(DynamicFaultTree, HotSpareEqualsAnd) {
   const auto a = andd.add_basic_event("a", l1);
   const auto b = andd.add_basic_event("b", l2);
   andd.set_top(andd.add_gate("and", ft::DynGateType::kAnd, {a, b}));
-  EXPECT_NEAR(spare.unreliability(t), andd.unreliability(t), 1e-9);
+  EXPECT_NEAR(spare.unreliability(t), andd.unreliability(t), tol::kProbSum);
 }
 
 TEST(DynamicFaultTree, WarmSpareBetweenColdAndHot) {
@@ -200,7 +203,7 @@ TEST(DynamicFaultTree, UnreliabilityCurveMonotone) {
   const auto curve = d.unreliability_curve({0.0, 0.5, 1.0, 2.0, 4.0, 8.0});
   EXPECT_DOUBLE_EQ(curve.front(), 0.0);
   for (std::size_t i = 1; i < curve.size(); ++i)
-    EXPECT_GE(curve[i], curve[i - 1] - 1e-12);
+    EXPECT_GE(curve[i], curve[i - 1] - tol::kTiny);
   // Asymptote: the PAND may never fire (b-before-a), so F(8) is governed
   // by the OR with c: 1 - e^{-0.2*8} ~ 0.80 plus the PAND contribution.
   EXPECT_GT(curve.back(), 0.85);

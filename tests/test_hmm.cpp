@@ -8,6 +8,9 @@
 #include <cmath>
 
 #include "perception/table1.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace mk = sysuq::markov;
 namespace pr = sysuq::prob;
@@ -64,8 +67,8 @@ TEST(Hmm, SingleStepFilterIsBayesRule) {
   const auto h = weather();
   // P(sunny | dry) = 0.5*0.9 / (0.5*0.9 + 0.5*0.2) = 9/11.
   const auto r = h.filter({0});
-  EXPECT_NEAR(r.filtered[0].p(0), 9.0 / 11.0, 1e-12);
-  EXPECT_NEAR(r.log_likelihood, std::log(0.55), 1e-12);
+  EXPECT_NEAR(r.filtered[0].p(0), 9.0 / 11.0, tol::kTiny);
+  EXPECT_NEAR(r.log_likelihood, std::log(0.55), tol::kTiny);
 }
 
 TEST(Hmm, TwoStepFilterHandComputed) {
@@ -75,8 +78,8 @@ TEST(Hmm, TwoStepFilterHandComputed) {
   // rainy = 9/11*0.2 + 2/11*0.7 = 3.2/11. Update with wet (0.1, 0.8):
   // (0.78/11, 2.56/11) -> normalize.
   const double s = 0.78, rn = 2.56;
-  EXPECT_NEAR(r.filtered[1].p(0), s / (s + rn), 1e-12);
-  EXPECT_NEAR(r.filtered[1].p(1), rn / (s + rn), 1e-12);
+  EXPECT_NEAR(r.filtered[1].p(0), s / (s + rn), tol::kTiny);
+  EXPECT_NEAR(r.filtered[1].p(1), rn / (s + rn), tol::kTiny);
 }
 
 TEST(Hmm, FilterValidation) {
@@ -101,7 +104,7 @@ TEST(Hmm, SmoothingUsesTheFuture) {
   EXPECT_LT(smoothed[0].p(0), filtered[0].p(0));
   // Final step: smoothing == filtering.
   for (std::size_t i = 0; i < 2; ++i)
-    EXPECT_NEAR(smoothed[2].p(i), filtered[2].p(i), 1e-12);
+    EXPECT_NEAR(smoothed[2].p(i), filtered[2].p(i), tol::kTiny);
 }
 
 TEST(Hmm, ViterbiRecoversStickyPath) {

@@ -21,6 +21,9 @@
 #include "perception/bayes_classifier.hpp"
 #include "perception/fusion.hpp"
 #include "perception/table1.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 using namespace sysuq;
 
@@ -89,7 +92,7 @@ TEST(Integration, StaticAndDynamicFtaAgreeOnStaticStructures) {
   const auto dab = dy.add_gate("ab", fta::DynGateType::kAnd, {da, db});
   dy.set_top(dy.add_gate("top", fta::DynGateType::kOr, {dab, dc}));
 
-  EXPECT_NEAR(fta::exact_top_probability(st), dy.unreliability(t), 1e-9);
+  EXPECT_NEAR(fta::exact_top_probability(st), dy.unreliability(t), tol::kProbSum);
 }
 
 TEST(Integration, FtaBnSensitivityAgreesWithBirnbaum) {
@@ -172,9 +175,9 @@ TEST(Integration, DecompositionConsistentAcrossLayers) {
       0.0);
   // Sanity relations, not equality: both decompose total = aleatory +
   // epistemic with non-negative parts.
-  EXPECT_NEAR(d.total, d.aleatory + d.epistemic, 1e-9);
-  EXPECT_NEAR(budget.aleatory, std::log(2.0), 1e-9);
-  EXPECT_NEAR(budget.epistemic, 0.0, 1e-9);
+  EXPECT_NEAR(d.total, d.aleatory + d.epistemic, tol::kProbSum);
+  EXPECT_NEAR(budget.aleatory, std::log(2.0), tol::kProbSum);
+  EXPECT_NEAR(budget.epistemic, 0.0, tol::kProbSum);
 }
 
 TEST(Integration, LongTailForecastMatchesCounterEstimate) {

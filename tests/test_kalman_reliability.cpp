@@ -8,6 +8,9 @@
 #include "orbit/two_planet.hpp"
 #include "prob/distribution.hpp"
 #include "prob/statistics.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace ob = sysuq::orbit;
 namespace pr = sysuq::prob;
@@ -108,21 +111,21 @@ TEST(Weibull, BasicsAndSpecialCases) {
   pr::Weibull w1(1.0, 2.0);
   pr::Exponential e(0.5);
   for (double x : {0.1, 1.0, 3.0}) {
-    EXPECT_NEAR(w1.cdf(x), e.cdf(x), 1e-12) << x;
-    EXPECT_NEAR(w1.pdf(x), e.pdf(x), 1e-12) << x;
+    EXPECT_NEAR(w1.cdf(x), e.cdf(x), tol::kTiny) << x;
+    EXPECT_NEAR(w1.pdf(x), e.pdf(x), tol::kTiny) << x;
   }
   EXPECT_THROW(pr::Weibull(0.0, 1.0), std::invalid_argument);
   pr::Weibull w(2.0, 1.0);
   // mean = Gamma(1.5) = sqrt(pi)/2.
-  EXPECT_NEAR(w.mean(), std::sqrt(M_PI) / 2.0, 1e-10);
-  EXPECT_NEAR(w.cdf(w.quantile(0.3)), 0.3, 1e-10);
+  EXPECT_NEAR(w.mean(), std::sqrt(M_PI) / 2.0, tol::kIteration);
+  EXPECT_NEAR(w.cdf(w.quantile(0.3)), 0.3, tol::kIteration);
 }
 
 TEST(Weibull, HazardShape) {
   // k < 1: decreasing hazard; k > 1: increasing hazard; k = 1: flat.
   pr::Weibull infant(0.5, 1.0), flat(1.0, 1.0), wear(2.5, 1.0);
   EXPECT_GT(infant.hazard(0.1), infant.hazard(1.0));
-  EXPECT_NEAR(flat.hazard(0.1), flat.hazard(5.0), 1e-12);
+  EXPECT_NEAR(flat.hazard(0.1), flat.hazard(5.0), tol::kTiny);
   EXPECT_LT(wear.hazard(0.1), wear.hazard(1.0));
   EXPECT_THROW((void)flat.hazard(0.0), std::invalid_argument);
 }
@@ -138,12 +141,12 @@ TEST(Weibull, SamplingMoments) {
 
 TEST(LogNormal, BasicsAndMoments) {
   pr::LogNormal ln(0.5, 0.8);
-  EXPECT_NEAR(ln.median(), std::exp(0.5), 1e-12);
-  EXPECT_NEAR(ln.mean(), std::exp(0.5 + 0.32), 1e-10);
+  EXPECT_NEAR(ln.median(), std::exp(0.5), tol::kTiny);
+  EXPECT_NEAR(ln.mean(), std::exp(0.5 + 0.32), tol::kIteration);
   EXPECT_DOUBLE_EQ(ln.pdf(-1.0), 0.0);
   EXPECT_DOUBLE_EQ(ln.cdf(0.0), 0.0);
-  EXPECT_NEAR(ln.cdf(ln.median()), 0.5, 1e-12);
-  EXPECT_NEAR(ln.cdf(ln.quantile(0.9)), 0.9, 1e-10);
+  EXPECT_NEAR(ln.cdf(ln.median()), 0.5, tol::kTiny);
+  EXPECT_NEAR(ln.cdf(ln.quantile(0.9)), 0.9, tol::kIteration);
   EXPECT_THROW(pr::LogNormal(0.0, 0.0), std::invalid_argument);
 }
 
@@ -152,7 +155,7 @@ TEST(LogNormal, ErrorFactorSemantics) {
   // sigma = ln(10)/1.645.
   pr::LogNormal ln(-9.0, std::log(10.0) / 1.6448536269514722);
   EXPECT_NEAR(ln.error_factor(), 10.0, 1e-6);
-  EXPECT_NEAR(ln.quantile(0.95) / ln.median(), ln.error_factor(), 1e-9);
+  EXPECT_NEAR(ln.quantile(0.95) / ln.median(), ln.error_factor(), tol::kProbSum);
 }
 
 TEST(LogNormal, SamplingMoments) {

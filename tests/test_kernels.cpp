@@ -23,6 +23,9 @@
 #include "bayesnet/ordering.hpp"
 #include "core/contracts.hpp"
 #include "prob/rng.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace bn = sysuq::bayesnet;
 namespace kn = sysuq::bayesnet::kernels;
@@ -276,7 +279,7 @@ TEST(Kernels, MultiVariableMarginalizeMatchesRepeatedSingle) {
     ASSERT_EQ(got.size, want.size());
     for (std::size_t i = 0; i < got.size; ++i) {
       EXPECT_NEAR(got.values[i], want.values()[i],
-                  1e-12 * std::max(1.0, want.values()[i]));
+                  tol::kTiny * std::max(1.0, want.values()[i]));
     }
   }
 }
@@ -330,7 +333,7 @@ TEST(Kernels, LogProductMatchesLinearProduct) {
       if (want == 0.0) {
         EXPECT_EQ(lout[i], -std::numeric_limits<double>::infinity());
       } else {
-        EXPECT_NEAR(std::exp(lout[i]), want, 1e-12 * want);
+        EXPECT_NEAR(std::exp(lout[i]), want, tol::kTiny * want);
       }
     }
   }
@@ -362,7 +365,7 @@ TEST(Kernels, LogMarginalizeMatchesLinearMarginalize) {
       if (want == 0.0) {
         EXPECT_EQ(lout[i], -std::numeric_limits<double>::infinity());
       } else {
-        EXPECT_NEAR(std::exp(lout[i]), want, 1e-12 * want);
+        EXPECT_NEAR(std::exp(lout[i]), want, tol::kTiny * want);
       }
     }
   }
@@ -375,7 +378,7 @@ TEST(Kernels, LogTotalSurvivesMagnitudesALinearSumCannot) {
   std::vector<double> logs(400, -1840.0);
   const double lt = kn::log_total(logs.data(), logs.size());
   EXPECT_TRUE(std::isfinite(lt));
-  EXPECT_NEAR(lt, -1840.0 + std::log(400.0), 1e-9);
+  EXPECT_NEAR(lt, -1840.0 + std::log(400.0), tol::kProbSum);
   EXPECT_EQ(kn::log_total(nullptr, 0),
             -std::numeric_limits<double>::infinity());
 }
@@ -424,7 +427,7 @@ TEST(Kernels, EliminateLinearMatchesLegacyEliminateWithOrder) {
     ASSERT_EQ(got.scope(), want.scope());
     for (std::size_t i = 0; i < got.size(); ++i) {
       EXPECT_NEAR(got.values()[i], want.values()[i],
-                  1e-12 * std::max(1.0, want.values()[i]));
+                  tol::kTiny * std::max(1.0, want.values()[i]));
     }
 
     std::vector<kn::View> views;
@@ -585,6 +588,6 @@ TEST(KernelsRegression, PairwiseTotalMatchesExactSumOnSmallFactors) {
     const bn::Factor f = random_factor(rng, u, 1 + rng.uniform_index(4));
     long double exact = 0.0L;
     for (const double v : f.values()) exact += v;
-    EXPECT_NEAR(f.total(), static_cast<double>(exact), 1e-13);
+    EXPECT_NEAR(f.total(), static_cast<double>(exact), tol::kFixpoint);
   }
 }

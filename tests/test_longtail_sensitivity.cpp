@@ -8,6 +8,9 @@
 #include "perception/table1.hpp"
 #include "prob/rng.hpp"
 #include "prob/statistics.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace sy = sysuq::sys;
 namespace bn = sysuq::bayesnet;
@@ -17,7 +20,7 @@ TEST(LongTail, ZipfShape) {
   const auto z = sy::zipf_distribution(100, 1.0);
   EXPECT_EQ(z.size(), 100u);
   // Monotone decreasing, ratio p1/p2 = 2 for s = 1.
-  EXPECT_NEAR(z.p(0) / z.p(1), 2.0, 1e-9);
+  EXPECT_NEAR(z.p(0) / z.p(1), 2.0, tol::kProbSum);
   for (std::size_t i = 1; i < 100; ++i) EXPECT_LE(z.p(i), z.p(i - 1));
   EXPECT_THROW((void)sy::zipf_distribution(1, 1.0), std::invalid_argument);
   EXPECT_THROW((void)sy::zipf_distribution(10, 0.0), std::invalid_argument);
@@ -27,11 +30,11 @@ TEST(LongTail, MissingMassExactSmallCase) {
   // Two categories (0.7, 0.3), N = 2:
   // E[missing] = 0.7*0.3^2 + 0.3*0.7^2 = 0.063 + 0.147 = 0.21.
   const pr::Categorical p({0.7, 0.3});
-  EXPECT_NEAR(sy::expected_missing_mass(p, 2), 0.7 * 0.09 + 0.3 * 0.49, 1e-12);
+  EXPECT_NEAR(sy::expected_missing_mass(p, 2), 0.7 * 0.09 + 0.3 * 0.49, tol::kTiny);
   EXPECT_DOUBLE_EQ(sy::expected_missing_mass(p, 0), 1.0);
   // Distinct: 2 - (0.3^2 + 0.7^2) ... E[distinct after 2] =
   // (1-0.3^2)+(1-0.7^2).
-  EXPECT_NEAR(sy::expected_distinct(p, 2), (1 - 0.09) + (1 - 0.49), 1e-12);
+  EXPECT_NEAR(sy::expected_distinct(p, 2), (1 - 0.09) + (1 - 0.49), tol::kTiny);
 }
 
 TEST(LongTail, MissingMassMonotoneDecreasing) {

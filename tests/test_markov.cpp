@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace mk = sysuq::markov;
 namespace pr = sysuq::prob;
@@ -51,9 +54,9 @@ TEST(Dtmc, ReachabilityClosedForm) {
     const auto c = gamblers(p);
     const auto r = c.reachability({c.id_of("win")});
     const double expect = p * p / (1.0 - p + p * p);
-    EXPECT_NEAR(r[c.id_of("s0")], expect, 1e-9) << p;
+    EXPECT_NEAR(r[c.id_of("s0")], expect, tol::kProbSum) << p;
     EXPECT_DOUBLE_EQ(r[c.id_of("win")], 1.0);
-    EXPECT_NEAR(r[c.id_of("lose")], 0.0, 1e-9);
+    EXPECT_NEAR(r[c.id_of("lose")], 0.0, tol::kProbSum);
   }
 }
 
@@ -67,10 +70,10 @@ TEST(Dtmc, BoundedReachabilityMonotoneInK) {
     prev = v;
   }
   // Converges to the unbounded value.
-  EXPECT_NEAR(prev, c.reachability(target)[c.id_of("s0")], 1e-9);
+  EXPECT_NEAR(prev, c.reachability(target)[c.id_of("s0")], tol::kProbSum);
   // Exact small-k values: k=2 is the first chance to win: p*p.
   EXPECT_DOUBLE_EQ(c.bounded_reachability(target, 1)[c.id_of("s0")], 0.0);
-  EXPECT_NEAR(c.bounded_reachability(target, 2)[c.id_of("s0")], 0.25, 1e-12);
+  EXPECT_NEAR(c.bounded_reachability(target, 2)[c.id_of("s0")], 0.25, tol::kTiny);
 }
 
 TEST(Dtmc, BoundedUntilRespectsSafety) {
@@ -87,10 +90,10 @@ TEST(Dtmc, BoundedUntilRespectsSafety) {
   c.set_transition(safe, win, 1.0);
   c.set_transition(win, win, 1.0);
   std::vector<bool> all_safe(c.size(), true);
-  EXPECT_NEAR(c.bounded_until(all_safe, {win}, 2)[s0], 1.0, 1e-12);
+  EXPECT_NEAR(c.bounded_until(all_safe, {win}, 2)[s0], 1.0, tol::kTiny);
   std::vector<bool> no_risky = all_safe;
   no_risky[risky] = false;
-  EXPECT_NEAR(c.bounded_until(no_risky, {win}, 2)[s0], 0.4, 1e-12);
+  EXPECT_NEAR(c.bounded_until(no_risky, {win}, 2)[s0], 0.4, tol::kTiny);
 }
 
 TEST(Dtmc, StationaryTwoState) {
@@ -103,8 +106,8 @@ TEST(Dtmc, StationaryTwoState) {
   c.set_transition(b, a, 0.6);
   c.set_transition(b, b, 0.4);
   const auto pi = c.stationary();
-  EXPECT_NEAR(pi[a], 2.0 / 3.0, 1e-9);
-  EXPECT_NEAR(pi[b], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(pi[a], 2.0 / 3.0, tol::kProbSum);
+  EXPECT_NEAR(pi[b], 1.0 / 3.0, tol::kProbSum);
 }
 
 TEST(Dtmc, ExpectedStepsGeometric) {
@@ -210,8 +213,8 @@ TEST(IntervalDtmc, BoundsContainAllPointChains) {
     point.set_transition(2, 2, 1.0);
     ASSERT_TRUE(ic.contains(point));
     const double v = point.bounded_reachability({2}, k)[0];
-    EXPECT_GE(v, bounds[0].lo() - 1e-9);
-    EXPECT_LE(v, bounds[0].hi() + 1e-9);
+    EXPECT_GE(v, bounds[0].lo() - tol::kProbSum);
+    EXPECT_LE(v, bounds[0].hi() + tol::kProbSum);
   }
 }
 
@@ -226,7 +229,7 @@ TEST(IntervalDtmc, DegenerateIntervalsReproducePointChain) {
   const auto b = ic.bounded_reachability({2}, 50);
   const auto v = c.bounded_reachability({2}, 50);
   for (mk::StateId s = 0; s < 4; ++s) {
-    EXPECT_NEAR(b[s].lo(), v[s], 1e-12);
-    EXPECT_NEAR(b[s].hi(), v[s], 1e-12);
+    EXPECT_NEAR(b[s].lo(), v[s], tol::kTiny);
+    EXPECT_NEAR(b[s].hi(), v[s], tol::kTiny);
   }
 }

@@ -9,6 +9,9 @@
 #include "evidence/mass.hpp"
 #include "markov/mdp.hpp"
 #include "perception/table1.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace mk = sysuq::markov;
 namespace bn = sysuq::bayesnet;
@@ -61,7 +64,7 @@ TEST(Mdp, MinHazardPolicyChoosesMrm) {
   // The risk-averse policy bounds hazard well below the risk-seeking one.
   EXPECT_LT(min_reach[degraded], max_reach[degraded]);
   // Min policy from degraded: mrm gives exactly 0.05.
-  EXPECT_NEAR(min_reach[degraded], 0.05, 1e-9);
+  EXPECT_NEAR(min_reach[degraded], 0.05, tol::kProbSum);
   // Max (adversarial) policy keeps continuing: from degraded,
   // x = 0.10 + 0.65 x_n + 0.25 x; x_n = x (nominal always re-enters
   // degraded eventually) -> x = 1.
@@ -79,7 +82,7 @@ TEST(Mdp, BoundedValuesMonotoneAndBracketed) {
   for (const std::size_t k : {1u, 10u, 100u, 1000u}) {
     const double lo = m.bounded_reachability({hazard}, k, false)[nominal];
     const double hi = m.bounded_reachability({hazard}, k, true)[nominal];
-    EXPECT_LE(lo, hi + 1e-12);
+    EXPECT_LE(lo, hi + tol::kTiny);
     EXPECT_GE(lo, prev_min);
     EXPECT_GE(hi, prev_max);
     prev_min = lo;
@@ -192,7 +195,7 @@ TEST(Serialize, MobiusInversionRoundTrip) {
   const auto back =
       mass_from_belief(f, [&](FocalSet s) { return m.belief(s); });
   for (const FocalSet s : f.all_nonempty_subsets()) {
-    EXPECT_NEAR(back.mass(s), m.mass(s), 1e-12);
+    EXPECT_NEAR(back.mass(s), m.mass(s), tol::kTiny);
   }
   // A plausibility function is NOT a belief function in general.
   EXPECT_THROW((void)mass_from_belief(

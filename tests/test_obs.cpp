@@ -20,6 +20,9 @@
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "prob/discrete.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace obs = sysuq::obs;
 namespace bn = sysuq::bayesnet;
@@ -604,7 +607,7 @@ TEST(ObsOffMode, InstrumentedEngineStillAnswersQueries) {
   const auto net = tiny_network();
   bn::InferenceEngine engine(net, {.threads = 1});
   const auto posterior = engine.query(1, {{0, 0}});
-  EXPECT_NEAR(posterior.p(0), 0.9, 1e-12);
+  EXPECT_NEAR(posterior.p(0), 0.9, tol::kTiny);
   // The whole instrumentation sweep registered nothing.
   EXPECT_EQ(obs::Registry::global().size(), 0u);
 }

@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace ob = sysuq::orbit;
 namespace pr = sysuq::prob;
@@ -18,16 +21,16 @@ TEST(Vec2, Algebra) {
   EXPECT_EQ(2.0 * a, a * 2.0);
   EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
   EXPECT_DOUBLE_EQ(a.norm2(), 5.0);
-  EXPECT_NEAR((a - b).norm(), a.distance(b), 1e-15);
+  EXPECT_NEAR((a - b).norm(), a.distance(b), tol::kSeries);
 }
 
 TEST(NBody, CircularBinaryIsBalanced) {
   const ob::GravityParams g{};
   const auto s = ob::make_circular_binary(1.0, 0.5, 1.0, g);
   // Zero net momentum, barycenter at origin.
-  EXPECT_NEAR(ob::total_momentum(s).norm(), 0.0, 1e-14);
-  EXPECT_NEAR(ob::center_of_mass(s).norm(), 0.0, 1e-14);
-  EXPECT_NEAR(s.bodies[0].position.distance(s.bodies[1].position), 1.0, 1e-14);
+  EXPECT_NEAR(ob::total_momentum(s).norm(), 0.0, tol::kRoot);
+  EXPECT_NEAR(ob::center_of_mass(s).norm(), 0.0, tol::kRoot);
+  EXPECT_NEAR(s.bodies[0].position.distance(s.bodies[1].position), 1.0, tol::kRoot);
   EXPECT_THROW((void)ob::make_circular_binary(0.0, 1.0, 1.0, g),
                std::invalid_argument);
 }
@@ -39,7 +42,7 @@ TEST(NBody, VerletConservesEnergyAndMomentum) {
   ob::simulate(s, 1e-3, 20000, g);
   const double e1 = ob::total_energy(s, g);
   EXPECT_NEAR(e1, e0, std::fabs(e0) * 1e-5);
-  EXPECT_NEAR(ob::total_momentum(s).norm(), 0.0, 1e-10);
+  EXPECT_NEAR(ob::total_momentum(s).norm(), 0.0, tol::kIteration);
 }
 
 TEST(NBody, CircularOrbitClosesAfterOnePeriod) {
@@ -89,7 +92,7 @@ TEST(TwoPlanet, UniverseRunsAndObserves) {
   ob::TwoPlanetUniverse u(cfg);
   EXPECT_FALSE(u.third_planet_present());
   for (int i = 0; i < 100; ++i) u.advance(1e-3);
-  EXPECT_NEAR(u.time(), 0.1, 1e-12);
+  EXPECT_NEAR(u.time(), 0.1, tol::kTiny);
   pr::Rng rng(3);
   const auto exact = u.observe_position(0, rng, 0.0);
   EXPECT_EQ(exact, u.state().bodies[0].position);
@@ -183,8 +186,8 @@ TEST(TwoPlanet, FrameProbabilityIsSane) {
   }
   // Planet 1 orbits within ~0.33 of the origin; the full domain frame has
   // probability ~1, a far-away frame ~0.
-  EXPECT_NEAR(m.frame_probability(-2.0, 2.0, -2.0, 2.0), 1.0, 1e-9);
-  EXPECT_NEAR(m.frame_probability(1.5, 2.0, 1.5, 2.0), 0.0, 1e-9);
+  EXPECT_NEAR(m.frame_probability(-2.0, 2.0, -2.0, 2.0), 1.0, tol::kProbSum);
+  EXPECT_NEAR(m.frame_probability(1.5, 2.0, 1.5, 2.0), 0.0, tol::kProbSum);
   EXPECT_GT(m.frame_probability(-0.5, 0.5, -0.5, 0.5), 0.9);
   EXPECT_DOUBLE_EQ(m.out_of_domain_fraction(), 0.0);
 }

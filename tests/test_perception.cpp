@@ -6,6 +6,9 @@
 #include "perception/sensor.hpp"
 #include "perception/table1.hpp"
 #include "perception/world.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace pc = sysuq::perception;
 namespace pr = sysuq::prob;
@@ -27,7 +30,7 @@ TEST(WorldModel, ConstructionValidation) {
   EXPECT_THROW(pc::WorldModel({"a", "a"}, {1.0, 1.0}), std::invalid_argument);
   EXPECT_THROW(pc::WorldModel({"a"}, {1.0, 1.0}), std::invalid_argument);
   pc::WorldModel w({"car", "ped"}, {3.0, 1.0});
-  EXPECT_NEAR(w.priors().p(0), 0.75, 1e-12);
+  EXPECT_NEAR(w.priors().p(0), 0.75, tol::kTiny);
   EXPECT_EQ(w.class_id("ped"), 1u);
   EXPECT_THROW((void)w.class_id("bike"), std::invalid_argument);
 }
@@ -36,8 +39,8 @@ TEST(WorldModel, RestrictionRenormalizesAndReportsExcluded) {
   pc::WorldModel w({"car", "ped", "bike"}, {0.6, 0.3, 0.1});
   const auto [restricted, excluded] = w.restricted({0, 1});
   EXPECT_EQ(restricted.class_count(), 2u);
-  EXPECT_NEAR(excluded, 0.1, 1e-12);
-  EXPECT_NEAR(restricted.priors().p(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(excluded, 0.1, tol::kTiny);
+  EXPECT_NEAR(restricted.priors().p(0), 2.0 / 3.0, tol::kTiny);
   EXPECT_THROW((void)w.restricted({}), std::invalid_argument);
   EXPECT_THROW((void)w.restricted({0, 0}), std::invalid_argument);
   EXPECT_THROW((void)w.restricted({7}), std::out_of_range);
@@ -66,12 +69,12 @@ TEST(ConfusionSensor, DefaultSensorShape) {
   EXPECT_EQ(s.modeled_classes(), 2u);
   EXPECT_EQ(s.output_cardinality(), 3u);
   EXPECT_EQ(s.row_count(), 3u);
-  EXPECT_NEAR(s.row(0).p(0), 0.9, 1e-12);
-  EXPECT_NEAR(s.row(0).p(1), 0.05, 1e-12);  // confusion
-  EXPECT_NEAR(s.row(0).p(2), 0.05, 1e-12);  // miss
+  EXPECT_NEAR(s.row(0).p(0), 0.9, tol::kTiny);
+  EXPECT_NEAR(s.row(0).p(1), 0.05, tol::kTiny);  // confusion
+  EXPECT_NEAR(s.row(0).p(2), 0.05, tol::kTiny);  // miss
   // Novel row: 0.7 none, 0.15 hallucinated per class.
-  EXPECT_NEAR(s.row(2).p(2), 0.7, 1e-12);
-  EXPECT_NEAR(s.row(2).p(0), 0.15, 1e-12);
+  EXPECT_NEAR(s.row(2).p(2), 0.7, tol::kTiny);
+  EXPECT_NEAR(s.row(2).p(0), 0.15, tol::kTiny);
   EXPECT_THROW((void)s.row(5), std::out_of_range);
 }
 
@@ -205,8 +208,8 @@ TEST(Table1, RepairPolicies) {
   EXPECT_DOUBLE_EQ(cp_row.p(pc::kPercCarPedestrian), 0.3);
   EXPECT_DOUBLE_EQ(cp_row.p(pc::kPercNone), 0.7);
   const auto rn_row = pc::table1_unknown_row(R::kRenormalize);
-  EXPECT_NEAR(rn_row.p(pc::kPercCarPedestrian), 2.0 / 9.0, 1e-12);
-  EXPECT_NEAR(rn_row.p(pc::kPercNone), 7.0 / 9.0, 1e-12);
+  EXPECT_NEAR(rn_row.p(pc::kPercCarPedestrian), 2.0 / 9.0, tol::kTiny);
+  EXPECT_NEAR(rn_row.p(pc::kPercNone), 7.0 / 9.0, tol::kTiny);
   // All repairs build a valid network.
   for (const auto r : {R::kDeficitToNone, R::kDeficitToCarPed, R::kRenormalize}) {
     const auto net = pc::table1_network(r);

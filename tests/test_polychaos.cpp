@@ -8,6 +8,9 @@
 
 #include "prob/rng.hpp"
 #include "prob/statistics.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace pr = sysuq::prob;
 
@@ -19,12 +22,12 @@ TEST(Quadrature, HermiteMatchesGaussianMoments) {
     double m = 0.0;
     for (std::size_t i = 0; i < rule.nodes.size(); ++i)
       m += rule.weights[i] * std::pow(rule.nodes[i], k);
-    EXPECT_NEAR(m, expected[k], 1e-9) << "moment " << k;
+    EXPECT_NEAR(m, expected[k], tol::kProbSum) << "moment " << k;
   }
   // Weights sum to 1 (probability measure).
   double w = 0.0;
   for (double v : rule.weights) w += v;
-  EXPECT_NEAR(w, 1.0, 1e-12);
+  EXPECT_NEAR(w, 1.0, tol::kTiny);
 }
 
 TEST(Quadrature, LegendreMatchesUniformMoments) {
@@ -35,7 +38,7 @@ TEST(Quadrature, LegendreMatchesUniformMoments) {
     for (std::size_t i = 0; i < rule.nodes.size(); ++i)
       m += rule.weights[i] * std::pow(rule.nodes[i], k);
     const double expect = (k % 2 == 0) ? 1.0 / (k + 1.0) : 0.0;
-    EXPECT_NEAR(m, expect, 1e-10) << "moment " << k;
+    EXPECT_NEAR(m, expect, tol::kIteration) << "moment " << k;
   }
   EXPECT_THROW((void)pr::gauss_rule(pr::PolyBasis::kLegendre, 0),
                std::invalid_argument);
@@ -59,11 +62,11 @@ TEST(Quadrature, ExactForDegree2nMinus1) {
 
 TEST(BasisPolynomials, RecurrenceValues) {
   // He_2(x) = x^2 - 1; He_3(x) = x^3 - 3x.
-  EXPECT_NEAR(pr::basis_eval(pr::PolyBasis::kHermite, 2, 2.0), 3.0, 1e-12);
-  EXPECT_NEAR(pr::basis_eval(pr::PolyBasis::kHermite, 3, 2.0), 2.0, 1e-12);
+  EXPECT_NEAR(pr::basis_eval(pr::PolyBasis::kHermite, 2, 2.0), 3.0, tol::kTiny);
+  EXPECT_NEAR(pr::basis_eval(pr::PolyBasis::kHermite, 3, 2.0), 2.0, tol::kTiny);
   // P_2(x) = (3x^2 - 1)/2; P_3(x) = (5x^3 - 3x)/2.
-  EXPECT_NEAR(pr::basis_eval(pr::PolyBasis::kLegendre, 2, 0.5), -0.125, 1e-12);
-  EXPECT_NEAR(pr::basis_eval(pr::PolyBasis::kLegendre, 3, 0.5), -0.4375, 1e-12);
+  EXPECT_NEAR(pr::basis_eval(pr::PolyBasis::kLegendre, 2, 0.5), -0.125, tol::kTiny);
+  EXPECT_NEAR(pr::basis_eval(pr::PolyBasis::kLegendre, 3, 0.5), -0.4375, tol::kTiny);
   // Norms: E[He_k^2] = k!, E[P_k^2] = 1/(2k+1).
   EXPECT_DOUBLE_EQ(pr::basis_norm2(pr::PolyBasis::kHermite, 4), 24.0);
   EXPECT_DOUBLE_EQ(pr::basis_norm2(pr::PolyBasis::kLegendre, 2), 0.2);
@@ -73,15 +76,15 @@ TEST(Pce1D, QuadraticHermiteClosedForm) {
   // f(x) = x^2 = He_2(x) + 1: c0 = 1, c1 = 0, c2 = 1; var = 2.
   const pr::PolynomialChaos1D pce(pr::PolyBasis::kHermite, 3,
                                   [](double x) { return x * x; });
-  EXPECT_NEAR(pce.coefficient(0), 1.0, 1e-10);
-  EXPECT_NEAR(pce.coefficient(1), 0.0, 1e-10);
-  EXPECT_NEAR(pce.coefficient(2), 1.0, 1e-10);
-  EXPECT_NEAR(pce.coefficient(3), 0.0, 1e-10);
-  EXPECT_NEAR(pce.mean(), 1.0, 1e-10);
-  EXPECT_NEAR(pce.variance(), 2.0, 1e-10);
+  EXPECT_NEAR(pce.coefficient(0), 1.0, tol::kIteration);
+  EXPECT_NEAR(pce.coefficient(1), 0.0, tol::kIteration);
+  EXPECT_NEAR(pce.coefficient(2), 1.0, tol::kIteration);
+  EXPECT_NEAR(pce.coefficient(3), 0.0, tol::kIteration);
+  EXPECT_NEAR(pce.mean(), 1.0, tol::kIteration);
+  EXPECT_NEAR(pce.variance(), 2.0, tol::kIteration);
   // Surrogate reproduces the polynomial exactly.
   for (double x : {-2.0, -0.3, 0.0, 1.7}) {
-    EXPECT_NEAR(pce.evaluate(x), x * x, 1e-9) << x;
+    EXPECT_NEAR(pce.evaluate(x), x * x, tol::kProbSum) << x;
   }
 }
 
@@ -89,8 +92,8 @@ TEST(Pce1D, QuadraticLegendreClosedForm) {
   // Under U[-1,1]: E[x^2] = 1/3, Var[x^2] = 1/5 - 1/9 = 4/45.
   const pr::PolynomialChaos1D pce(pr::PolyBasis::kLegendre, 4,
                                   [](double x) { return x * x; });
-  EXPECT_NEAR(pce.mean(), 1.0 / 3.0, 1e-10);
-  EXPECT_NEAR(pce.variance(), 4.0 / 45.0, 1e-10);
+  EXPECT_NEAR(pce.mean(), 1.0 / 3.0, tol::kIteration);
+  EXPECT_NEAR(pce.variance(), 4.0 / 45.0, tol::kIteration);
 }
 
 TEST(Pce1D, SmoothNonPolynomialConvergesSpectrally) {
@@ -103,7 +106,7 @@ TEST(Pce1D, SmoothNonPolynomialConvergesSpectrally) {
                                     [](double x) { return std::exp(x); }, 8);
     const double err = std::fabs(pce.variance() - true_var) +
                        std::fabs(pce.mean() - true_mean);
-    EXPECT_LT(err, prev_err + 1e-12) << order;
+    EXPECT_LT(err, prev_err + tol::kTiny) << order;
     prev_err = err;
   }
   EXPECT_LT(prev_err, 1e-6);
@@ -129,12 +132,12 @@ TEST(PceND, AdditiveModelSobolIndices) {
   const pr::PolynomialChaosND pce(
       pr::PolyBasis::kHermite, 2, 3,
       [](const std::vector<double>& x) { return x[0] + 2.0 * x[1]; });
-  EXPECT_NEAR(pce.mean(), 0.0, 1e-10);
-  EXPECT_NEAR(pce.variance(), 5.0, 1e-9);
-  EXPECT_NEAR(pce.sobol_first(0), 0.2, 1e-9);
-  EXPECT_NEAR(pce.sobol_first(1), 0.8, 1e-9);
-  EXPECT_NEAR(pce.sobol_total(0), 0.2, 1e-9);
-  EXPECT_NEAR(pce.sobol_total(1), 0.8, 1e-9);
+  EXPECT_NEAR(pce.mean(), 0.0, tol::kIteration);
+  EXPECT_NEAR(pce.variance(), 5.0, tol::kProbSum);
+  EXPECT_NEAR(pce.sobol_first(0), 0.2, tol::kProbSum);
+  EXPECT_NEAR(pce.sobol_first(1), 0.8, tol::kProbSum);
+  EXPECT_NEAR(pce.sobol_total(0), 0.2, tol::kProbSum);
+  EXPECT_NEAR(pce.sobol_total(1), 0.8, tol::kProbSum);
 }
 
 TEST(PceND, PureInteractionModel) {
@@ -143,12 +146,12 @@ TEST(PceND, PureInteractionModel) {
   const pr::PolynomialChaosND pce(
       pr::PolyBasis::kHermite, 2, 3,
       [](const std::vector<double>& x) { return x[0] * x[1]; });
-  EXPECT_NEAR(pce.mean(), 0.0, 1e-10);
-  EXPECT_NEAR(pce.variance(), 1.0, 1e-9);
-  EXPECT_NEAR(pce.sobol_first(0), 0.0, 1e-9);
-  EXPECT_NEAR(pce.sobol_first(1), 0.0, 1e-9);
-  EXPECT_NEAR(pce.sobol_total(0), 1.0, 1e-9);
-  EXPECT_NEAR(pce.sobol_total(1), 1.0, 1e-9);
+  EXPECT_NEAR(pce.mean(), 0.0, tol::kIteration);
+  EXPECT_NEAR(pce.variance(), 1.0, tol::kProbSum);
+  EXPECT_NEAR(pce.sobol_first(0), 0.0, tol::kProbSum);
+  EXPECT_NEAR(pce.sobol_first(1), 0.0, tol::kProbSum);
+  EXPECT_NEAR(pce.sobol_total(0), 1.0, tol::kProbSum);
+  EXPECT_NEAR(pce.sobol_total(1), 1.0, tol::kProbSum);
 }
 
 TEST(PceND, IshigamiStyleLegendre) {
@@ -177,9 +180,9 @@ TEST(PceND, IshigamiStyleLegendre) {
   EXPECT_NEAR(pce.sobol_total(2), 5.3503e-5, 5e-6);
   // Totals >= firsts, all within [0, 1].
   for (std::size_t i = 0; i < 3; ++i) {
-    EXPECT_GE(pce.sobol_total(i) + 1e-12, pce.sobol_first(i));
-    EXPECT_GE(pce.sobol_first(i), -1e-12);
-    EXPECT_LE(pce.sobol_total(i), 1.0 + 1e-12);
+    EXPECT_GE(pce.sobol_total(i) + tol::kTiny, pce.sobol_first(i));
+    EXPECT_GE(pce.sobol_first(i), -tol::kTiny);
+    EXPECT_LE(pce.sobol_total(i), 1.0 + tol::kTiny);
   }
 }
 

@@ -6,6 +6,9 @@
 #include <cmath>
 
 #include "prob/statistics.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace pr = sysuq::prob;
 
@@ -18,15 +21,15 @@ TEST(Categorical, ConstructionValidation) {
 
 TEST(Categorical, NormalizedFactory) {
   const auto c = pr::Categorical::normalized({2.0, 3.0, 5.0});
-  EXPECT_NEAR(c.p(0), 0.2, 1e-12);
-  EXPECT_NEAR(c.p(2), 0.5, 1e-12);
+  EXPECT_NEAR(c.p(0), 0.2, tol::kTiny);
+  EXPECT_NEAR(c.p(2), 0.5, tol::kTiny);
   EXPECT_THROW((void)pr::Categorical::normalized({0.0, 0.0}),
                std::invalid_argument);
 }
 
 TEST(Categorical, UniformAndDelta) {
   const auto u = pr::Categorical::uniform(4);
-  EXPECT_NEAR(u.entropy(), std::log(4.0), 1e-12);
+  EXPECT_NEAR(u.entropy(), std::log(4.0), tol::kTiny);
   const auto d = pr::Categorical::delta(2, 4);
   EXPECT_DOUBLE_EQ(d.p(2), 1.0);
   EXPECT_DOUBLE_EQ(d.entropy(), 0.0);
@@ -43,7 +46,7 @@ TEST(Categorical, EntropyMaximalAtUniform) {
 TEST(Categorical, TotalVariation) {
   const pr::Categorical a({0.5, 0.5});
   const pr::Categorical b({0.9, 0.1});
-  EXPECT_NEAR(a.total_variation(b), 0.4, 1e-12);
+  EXPECT_NEAR(a.total_variation(b), 0.4, tol::kTiny);
   EXPECT_DOUBLE_EQ(a.total_variation(a), 0.0);
   const pr::Categorical c({1.0, 0.0});
   const pr::Categorical d({0.0, 1.0});
@@ -54,8 +57,8 @@ TEST(Categorical, MixedIsConvexCombination) {
   const pr::Categorical a({1.0, 0.0});
   const pr::Categorical b({0.0, 1.0});
   const auto m = a.mixed(b, 0.25);
-  EXPECT_NEAR(m.p(0), 0.75, 1e-12);
-  EXPECT_NEAR(m.p(1), 0.25, 1e-12);
+  EXPECT_NEAR(m.p(0), 0.75, tol::kTiny);
+  EXPECT_NEAR(m.p(1), 0.25, tol::kTiny);
   EXPECT_THROW((void)a.mixed(b, 1.5), std::invalid_argument);
 }
 
@@ -74,7 +77,7 @@ TEST(Bernoulli, Basics) {
   pr::Bernoulli b(0.3);
   EXPECT_DOUBLE_EQ(b.pmf(true), 0.3);
   EXPECT_DOUBLE_EQ(b.pmf(false), 0.7);
-  EXPECT_NEAR(b.entropy(), -0.3 * std::log(0.3) - 0.7 * std::log(0.7), 1e-12);
+  EXPECT_NEAR(b.entropy(), -0.3 * std::log(0.3) - 0.7 * std::log(0.7), tol::kTiny);
   EXPECT_THROW(pr::Bernoulli(1.5), std::invalid_argument);
   // Degenerate entropy is zero.
   EXPECT_DOUBLE_EQ(pr::Bernoulli(0.0).entropy(), 0.0);
@@ -85,7 +88,7 @@ TEST(Binomial, PmfSumsToOneAndMatchesKnown) {
   pr::Binomial b(10, 0.3);
   double sum = 0.0;
   for (std::size_t k = 0; k <= 10; ++k) sum += b.pmf(k);
-  EXPECT_NEAR(sum, 1.0, 1e-10);
+  EXPECT_NEAR(sum, 1.0, tol::kIteration);
   // P(X=3) for B(10, 0.3) = C(10,3) 0.3^3 0.7^7 ≈ 0.266827932
   EXPECT_NEAR(b.pmf(3), 0.266827932, 1e-8);
   EXPECT_DOUBLE_EQ(b.pmf(11), 0.0);
@@ -96,7 +99,7 @@ TEST(Binomial, CdfMatchesPartialSums) {
   double acc = 0.0;
   for (std::size_t k = 0; k <= 12; ++k) {
     acc += b.pmf(k);
-    EXPECT_NEAR(b.cdf(k), acc, 1e-9) << k;
+    EXPECT_NEAR(b.cdf(k), acc, tol::kProbSum) << k;
   }
 }
 
@@ -120,11 +123,11 @@ TEST(Binomial, SamplingMean) {
 TEST(Poisson, PmfAndCdf) {
   pr::Poisson p(2.5);
   // P(X=0) = exp(-2.5)
-  EXPECT_NEAR(p.pmf(0), std::exp(-2.5), 1e-12);
+  EXPECT_NEAR(p.pmf(0), std::exp(-2.5), tol::kTiny);
   double acc = 0.0;
   for (std::size_t k = 0; k <= 15; ++k) {
     acc += p.pmf(k);
-    EXPECT_NEAR(p.cdf(k), acc, 1e-9) << k;
+    EXPECT_NEAR(p.cdf(k), acc, tol::kProbSum) << k;
   }
   EXPECT_THROW(pr::Poisson(0.0), std::invalid_argument);
 }
@@ -144,13 +147,13 @@ TEST(CategoricalCounter, MleAndSmoothing) {
   c.observe(0, 6);
   c.observe(1, 4);
   const auto mle = c.mle();
-  EXPECT_NEAR(mle.p(0), 0.6, 1e-12);
-  EXPECT_NEAR(mle.p(1), 0.4, 1e-12);
+  EXPECT_NEAR(mle.p(0), 0.6, tol::kTiny);
+  EXPECT_NEAR(mle.p(1), 0.4, tol::kTiny);
   EXPECT_DOUBLE_EQ(mle.p(2), 0.0);
   // Laplace smoothing pulls unseen categories above zero.
   const auto sm = c.smoothed(1.0);
   EXPECT_GT(sm.p(2), 0.0);
-  EXPECT_NEAR(sm.p(0), 7.0 / 13.0, 1e-12);
+  EXPECT_NEAR(sm.p(0), 7.0 / 13.0, tol::kTiny);
 }
 
 TEST(CategoricalCounter, UnseenAndMissingMass) {
@@ -162,7 +165,7 @@ TEST(CategoricalCounter, UnseenAndMissingMass) {
   c.observe(2, 1);  // singleton
   EXPECT_EQ(c.unseen_categories(), 1u);
   // Good-Turing: 2 singletons / 12 observations
-  EXPECT_NEAR(c.good_turing_missing_mass(), 2.0 / 12.0, 1e-12);
+  EXPECT_NEAR(c.good_turing_missing_mass(), 2.0 / 12.0, tol::kTiny);
 }
 
 TEST(CategoricalCounter, MissingMassDecaysWithSaturation) {

@@ -8,6 +8,9 @@
 #include <memory>
 
 #include "prob/statistics.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace pr = sysuq::prob;
 
@@ -22,7 +25,7 @@ void check_sampling_moments(const pr::ContinuousDistribution& d,
   for (std::size_t i = 0; i < n; ++i) stats.add(d.sample(rng));
   const double se = std::sqrt(d.variance() / static_cast<double>(n));
   EXPECT_NEAR(stats.mean(), d.mean(), 5.0 * se);
-  EXPECT_NEAR(stats.variance(), d.variance(), 0.15 * d.variance() + 1e-12);
+  EXPECT_NEAR(stats.variance(), d.variance(), 0.15 * d.variance() + tol::kTiny);
 }
 
 // Verifies quantile(cdf(x)) == x on a grid inside the support.
@@ -30,7 +33,7 @@ void check_roundtrip(const pr::ContinuousDistribution& d, double lo, double hi) 
   for (int i = 1; i < 20; ++i) {
     const double x = lo + (hi - lo) * i / 20.0;
     const double p = d.cdf(x);
-    if (p > 1e-12 && p < 1.0 - 1e-12) {
+    if (p > tol::kTiny && p < 1.0 - tol::kTiny) {
       EXPECT_NEAR(d.quantile(p), x, 1e-6 * (1.0 + std::fabs(x))) << x;
     }
   }
@@ -46,8 +49,8 @@ TEST(Uniform, BasicsAndErrors) {
   EXPECT_DOUBLE_EQ(u.cdf(6.0), 1.0);
   EXPECT_DOUBLE_EQ(u.cdf(4.0), 0.5);
   EXPECT_DOUBLE_EQ(u.mean(), 4.0);
-  EXPECT_NEAR(u.variance(), 16.0 / 12.0, 1e-12);
-  EXPECT_NEAR(u.entropy(), std::log(4.0), 1e-12);
+  EXPECT_NEAR(u.variance(), 16.0 / 12.0, tol::kTiny);
+  EXPECT_NEAR(u.entropy(), std::log(4.0), tol::kTiny);
   EXPECT_THROW(pr::Uniform(3.0, 3.0), std::invalid_argument);
   check_roundtrip(u, 2.0, 6.0);
   check_sampling_moments(u, 42);
@@ -55,10 +58,10 @@ TEST(Uniform, BasicsAndErrors) {
 
 TEST(Normal, BasicsAndErrors) {
   pr::Normal n(1.0, 2.0);
-  EXPECT_NEAR(n.pdf(1.0), 1.0 / (2.0 * std::sqrt(2.0 * M_PI)), 1e-12);
+  EXPECT_NEAR(n.pdf(1.0), 1.0 / (2.0 * std::sqrt(2.0 * M_PI)), tol::kTiny);
   EXPECT_DOUBLE_EQ(n.cdf(1.0), 0.5);
-  EXPECT_NEAR(n.cdf(1.0 + 2.0 * 1.959963984540054), 0.975, 1e-9);
-  EXPECT_NEAR(n.entropy(), 0.5 * std::log(2.0 * M_PI * M_E * 4.0), 1e-12);
+  EXPECT_NEAR(n.cdf(1.0 + 2.0 * 1.959963984540054), 0.975, tol::kProbSum);
+  EXPECT_NEAR(n.entropy(), 0.5 * std::log(2.0 * M_PI * M_E * 4.0), tol::kTiny);
   EXPECT_THROW(pr::Normal(0.0, 0.0), std::invalid_argument);
   check_roundtrip(n, -5.0, 7.0);
   check_sampling_moments(n, 43);
@@ -75,9 +78,9 @@ TEST(Exponential, BasicsAndErrors) {
   pr::Exponential e(0.5);
   EXPECT_DOUBLE_EQ(e.mean(), 2.0);
   EXPECT_DOUBLE_EQ(e.variance(), 4.0);
-  EXPECT_NEAR(e.cdf(2.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(e.cdf(2.0), 1.0 - std::exp(-1.0), tol::kTiny);
   EXPECT_DOUBLE_EQ(e.pdf(-1.0), 0.0);
-  EXPECT_NEAR(e.quantile(0.5), std::log(2.0) / 0.5, 1e-12);
+  EXPECT_NEAR(e.quantile(0.5), std::log(2.0) / 0.5, tol::kTiny);
   EXPECT_THROW(pr::Exponential(0.0), std::invalid_argument);
   check_roundtrip(e, 0.01, 10.0);
   check_sampling_moments(e, 44);
@@ -85,11 +88,11 @@ TEST(Exponential, BasicsAndErrors) {
 
 TEST(Triangular, BasicsAndErrors) {
   pr::Triangular t(0.0, 0.3, 1.0);
-  EXPECT_NEAR(t.pdf(0.3), 2.0, 1e-12);
+  EXPECT_NEAR(t.pdf(0.3), 2.0, tol::kTiny);
   EXPECT_DOUBLE_EQ(t.cdf(0.0), 0.0);
   EXPECT_DOUBLE_EQ(t.cdf(1.0), 1.0);
-  EXPECT_NEAR(t.cdf(0.3), 0.3, 1e-12);  // F(mode) = (mode-lo)/(hi-lo)
-  EXPECT_NEAR(t.mean(), (0.0 + 0.3 + 1.0) / 3.0, 1e-12);
+  EXPECT_NEAR(t.cdf(0.3), 0.3, tol::kTiny);  // F(mode) = (mode-lo)/(hi-lo)
+  EXPECT_NEAR(t.mean(), (0.0 + 0.3 + 1.0) / 3.0, tol::kTiny);
   EXPECT_THROW(pr::Triangular(0.0, 1.5, 1.0), std::invalid_argument);
   check_roundtrip(t, 0.01, 0.99);
   check_sampling_moments(t, 45);
@@ -98,17 +101,17 @@ TEST(Triangular, BasicsAndErrors) {
 TEST(Triangular, DegenerateSides) {
   // mode == lo and mode == hi are allowed.
   pr::Triangular left(0.0, 0.0, 1.0);
-  EXPECT_NEAR(left.cdf(0.5), 1.0 - 0.25, 1e-12);
+  EXPECT_NEAR(left.cdf(0.5), 1.0 - 0.25, tol::kTiny);
   pr::Triangular right(0.0, 1.0, 1.0);
-  EXPECT_NEAR(right.cdf(0.5), 0.25, 1e-12);
+  EXPECT_NEAR(right.cdf(0.5), 0.25, tol::kTiny);
 }
 
 TEST(Beta, BasicsAndErrors) {
   pr::Beta b(2.0, 3.0);
-  EXPECT_NEAR(b.mean(), 0.4, 1e-12);
-  EXPECT_NEAR(b.variance(), 2.0 * 3.0 / (25.0 * 6.0), 1e-12);
+  EXPECT_NEAR(b.mean(), 0.4, tol::kTiny);
+  EXPECT_NEAR(b.variance(), 2.0 * 3.0 / (25.0 * 6.0), tol::kTiny);
   // pdf of Beta(2,3) at 0.5: x(1-x)^2 / B(2,3) = 0.5*0.25*12 = 1.5
-  EXPECT_NEAR(b.pdf(0.5), 1.5, 1e-9);
+  EXPECT_NEAR(b.pdf(0.5), 1.5, tol::kProbSum);
   EXPECT_DOUBLE_EQ(b.cdf(0.0), 0.0);
   EXPECT_DOUBLE_EQ(b.cdf(1.0), 1.0);
   EXPECT_THROW(pr::Beta(0.0, 1.0), std::invalid_argument);
@@ -119,8 +122,8 @@ TEST(Beta, BasicsAndErrors) {
 TEST(Beta, UniformSpecialCase) {
   pr::Beta b(1.0, 1.0);
   for (double x : {0.1, 0.4, 0.9}) {
-    EXPECT_NEAR(b.pdf(x), 1.0, 1e-10);
-    EXPECT_NEAR(b.cdf(x), x, 1e-10);
+    EXPECT_NEAR(b.pdf(x), 1.0, tol::kIteration);
+    EXPECT_NEAR(b.cdf(x), x, tol::kIteration);
   }
 }
 
@@ -147,7 +150,7 @@ TEST(Gamma, BasicsAndErrors) {
   EXPECT_DOUBLE_EQ(g.variance(), 12.0);
   // Gamma(1, scale) is Exponential(1/scale).
   pr::Gamma g1(1.0, 2.0);
-  EXPECT_NEAR(g1.cdf(2.0), 1.0 - std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(g1.cdf(2.0), 1.0 - std::exp(-1.0), tol::kIteration);
   EXPECT_THROW(pr::Gamma(-1.0, 1.0), std::invalid_argument);
   check_roundtrip(g, 0.5, 20.0);
   check_sampling_moments(g, 47);
@@ -156,16 +159,16 @@ TEST(Gamma, BasicsAndErrors) {
 TEST(Gamma, QuantileRoundTrip) {
   pr::Gamma g(2.5, 1.5);
   for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
-    EXPECT_NEAR(g.cdf(g.quantile(p)), p, 1e-9) << p;
+    EXPECT_NEAR(g.cdf(g.quantile(p)), p, tol::kProbSum) << p;
   }
 }
 
 TEST(Dirichlet, BasicsAndErrors) {
   pr::Dirichlet d({2.0, 3.0, 5.0});
   const auto m = d.mean();
-  EXPECT_NEAR(m[0], 0.2, 1e-12);
-  EXPECT_NEAR(m[1], 0.3, 1e-12);
-  EXPECT_NEAR(m[2], 0.5, 1e-12);
+  EXPECT_NEAR(m[0], 0.2, tol::kTiny);
+  EXPECT_NEAR(m[1], 0.3, tol::kTiny);
+  EXPECT_NEAR(m[2], 0.5, tol::kTiny);
   EXPECT_DOUBLE_EQ(d.total_concentration(), 10.0);
   EXPECT_THROW(pr::Dirichlet({1.0}), std::invalid_argument);
   EXPECT_THROW(pr::Dirichlet({1.0, 0.0}), std::invalid_argument);
@@ -176,7 +179,7 @@ TEST(Dirichlet, MarginalIsBeta) {
   const pr::Beta marg = d.marginal(0);
   EXPECT_DOUBLE_EQ(marg.alpha(), 2.0);
   EXPECT_DOUBLE_EQ(marg.beta(), 8.0);
-  EXPECT_NEAR(d.variance(0), marg.variance(), 1e-12);
+  EXPECT_NEAR(d.variance(0), marg.variance(), tol::kTiny);
 }
 
 TEST(Dirichlet, SamplesLieOnSimplex) {
@@ -189,7 +192,7 @@ TEST(Dirichlet, SamplesLieOnSimplex) {
       EXPECT_GE(v, 0.0);
       sum += v;
     }
-    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_NEAR(sum, 1.0, tol::kProbSum);
   }
 }
 

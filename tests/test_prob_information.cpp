@@ -7,6 +7,9 @@
 #include <cmath>
 
 #include "prob/rng.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace pr = sysuq::prob;
 
@@ -38,14 +41,14 @@ TEST(JointTable, ValidationAndAccess) {
 TEST(JointTable, MarginalsAndConditionals) {
   pr::JointTable j({{0.1, 0.2}, {0.3, 0.4}});
   const auto mx = j.marginal_x();
-  EXPECT_NEAR(mx.p(0), 0.3, 1e-12);
-  EXPECT_NEAR(mx.p(1), 0.7, 1e-12);
+  EXPECT_NEAR(mx.p(0), 0.3, tol::kTiny);
+  EXPECT_NEAR(mx.p(1), 0.7, tol::kTiny);
   const auto my = j.marginal_y();
-  EXPECT_NEAR(my.p(0), 0.4, 1e-12);
+  EXPECT_NEAR(my.p(0), 0.4, tol::kTiny);
   const auto y_given_x0 = j.conditional_y_given_x(0);
-  EXPECT_NEAR(y_given_x0.p(0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(y_given_x0.p(0), 1.0 / 3.0, tol::kTiny);
   const auto x_given_y1 = j.conditional_x_given_y(1);
-  EXPECT_NEAR(x_given_y1.p(1), 0.4 / 0.6, 1e-12);
+  EXPECT_NEAR(x_given_y1.p(1), 0.4 / 0.6, tol::kTiny);
 }
 
 TEST(JointTable, FromConditionalReconstructs) {
@@ -53,10 +56,10 @@ TEST(JointTable, FromConditionalReconstructs) {
   const std::vector<pr::Categorical> rows{pr::Categorical({0.9, 0.1}),
                                           pr::Categorical({0.2, 0.8})};
   const auto j = pr::JointTable::from_conditional(px, rows);
-  EXPECT_NEAR(j.p(0, 0), 0.54, 1e-12);
-  EXPECT_NEAR(j.p(1, 1), 0.32, 1e-12);
+  EXPECT_NEAR(j.p(0, 0), 0.54, tol::kTiny);
+  EXPECT_NEAR(j.p(1, 1), 0.32, tol::kTiny);
   // Recover the conditional.
-  EXPECT_NEAR(j.conditional_y_given_x(0).p(0), 0.9, 1e-12);
+  EXPECT_NEAR(j.conditional_y_given_x(0).p(0), 0.9, tol::kTiny);
 }
 
 TEST(Information, KlProperties) {
@@ -78,13 +81,13 @@ TEST(Information, JsBoundedAndSymmetric) {
     const auto q = random_categorical(rng, 4);
     const double js = pr::js_divergence(p, q);
     EXPECT_GE(js, 0.0);
-    EXPECT_LE(js, std::log(2.0) + 1e-12);
-    EXPECT_NEAR(js, pr::js_divergence(q, p), 1e-12);
+    EXPECT_LE(js, std::log(2.0) + tol::kTiny);
+    EXPECT_NEAR(js, pr::js_divergence(q, p), tol::kTiny);
   }
   // Maximal for disjoint supports.
   const pr::Categorical a({1.0, 0.0});
   const pr::Categorical b({0.0, 1.0});
-  EXPECT_NEAR(pr::js_divergence(a, b), std::log(2.0), 1e-12);
+  EXPECT_NEAR(pr::js_divergence(a, b), std::log(2.0), tol::kTiny);
 }
 
 TEST(Information, ChainRule) {
@@ -97,7 +100,7 @@ TEST(Information, ChainRule) {
     const auto j = pr::JointTable::from_conditional(px, rows);
     EXPECT_NEAR(pr::joint_entropy(j),
                 j.marginal_x().entropy() + pr::conditional_entropy_y_given_x(j),
-                1e-10);
+                tol::kIteration);
   }
 }
 
@@ -110,14 +113,14 @@ TEST(Information, ConditioningReducesEntropy) {
     for (std::size_t i = 0; i < 3; ++i) rows.push_back(random_categorical(rng, 3));
     const auto j = pr::JointTable::from_conditional(px, rows);
     EXPECT_LE(pr::conditional_entropy_y_given_x(j),
-              j.marginal_y().entropy() + 1e-10);
+              j.marginal_y().entropy() + tol::kIteration);
   }
   // Equality in the independent case.
   const auto indep = independent_joint(pr::Categorical({0.3, 0.7}),
                                        pr::Categorical({0.2, 0.5, 0.3}));
   EXPECT_NEAR(pr::conditional_entropy_y_given_x(indep),
-              indep.marginal_y().entropy(), 1e-10);
-  EXPECT_NEAR(pr::mutual_information(indep), 0.0, 1e-10);
+              indep.marginal_y().entropy(), tol::kIteration);
+  EXPECT_NEAR(pr::mutual_information(indep), 0.0, tol::kIteration);
 }
 
 TEST(Information, MutualInformationSymmetric) {
@@ -131,7 +134,7 @@ TEST(Information, MutualInformationSymmetric) {
         j.marginal_y().entropy() - pr::conditional_entropy_y_given_x(j);
     const double mi_yx =
         j.marginal_x().entropy() - pr::conditional_entropy_x_given_y(j);
-    EXPECT_NEAR(mi_xy, mi_yx, 1e-10);
+    EXPECT_NEAR(mi_xy, mi_yx, tol::kIteration);
     EXPECT_GE(pr::mutual_information(j), 0.0);
   }
 }
@@ -144,25 +147,25 @@ TEST(Information, PerfectChannelHasZeroConditionalEntropy) {
                                     pr::Categorical::delta(1, 3),
                                     pr::Categorical::delta(2, 3)};
   const auto j = pr::JointTable::from_conditional(px, rows);
-  EXPECT_NEAR(pr::conditional_entropy_y_given_x(j), 0.0, 1e-12);
-  EXPECT_NEAR(pr::mutual_information(j), px.entropy(), 1e-10);
+  EXPECT_NEAR(pr::conditional_entropy_y_given_x(j), 0.0, tol::kTiny);
+  EXPECT_NEAR(pr::mutual_information(j), px.entropy(), tol::kIteration);
 }
 
 TEST(EnsembleDecomposition, AgreementIsAllAleatory) {
   // Identical members: epistemic = 0, aleatory = member entropy.
   const pr::Categorical m({0.7, 0.3});
   const auto d = pr::decompose_ensemble_entropy({m, m, m});
-  EXPECT_NEAR(d.epistemic, 0.0, 1e-12);
-  EXPECT_NEAR(d.aleatory, m.entropy(), 1e-12);
-  EXPECT_NEAR(d.total, m.entropy(), 1e-12);
+  EXPECT_NEAR(d.epistemic, 0.0, tol::kTiny);
+  EXPECT_NEAR(d.aleatory, m.entropy(), tol::kTiny);
+  EXPECT_NEAR(d.total, m.entropy(), tol::kTiny);
 }
 
 TEST(EnsembleDecomposition, ConfidentDisagreementIsAllEpistemic) {
   // Members certain but contradictory: aleatory = 0, epistemic = log 2.
   const auto d = pr::decompose_ensemble_entropy(
       {pr::Categorical({1.0, 0.0}), pr::Categorical({0.0, 1.0})});
-  EXPECT_NEAR(d.aleatory, 0.0, 1e-12);
-  EXPECT_NEAR(d.epistemic, std::log(2.0), 1e-12);
+  EXPECT_NEAR(d.aleatory, 0.0, tol::kTiny);
+  EXPECT_NEAR(d.epistemic, std::log(2.0), tol::kTiny);
 }
 
 TEST(EnsembleDecomposition, ComponentsAlwaysNonNegativeAndAdditive) {
@@ -174,7 +177,7 @@ TEST(EnsembleDecomposition, ComponentsAlwaysNonNegativeAndAdditive) {
     const auto d = pr::decompose_ensemble_entropy(members);
     EXPECT_GE(d.aleatory, 0.0);
     EXPECT_GE(d.epistemic, 0.0);
-    EXPECT_NEAR(d.total, d.aleatory + d.epistemic, 1e-10);
+    EXPECT_NEAR(d.total, d.aleatory + d.epistemic, tol::kIteration);
   }
 }
 
@@ -184,7 +187,7 @@ TEST(EnsembleDecomposition, WeightsRespected) {
   const std::vector<double> w{3.0, 1.0};  // normalized to 0.75 / 0.25
   const auto d = pr::decompose_ensemble_entropy({a, b}, &w);
   const pr::Categorical mix({0.75, 0.25});
-  EXPECT_NEAR(d.total, mix.entropy(), 1e-12);
+  EXPECT_NEAR(d.total, mix.entropy(), tol::kTiny);
   EXPECT_THROW((void)pr::decompose_ensemble_entropy({a}, &w),
                std::invalid_argument);
 }

@@ -5,6 +5,9 @@
 
 #include "prob/fuzzy.hpp"
 #include "prob/interval.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace pr = sysuq::prob;
 
@@ -63,11 +66,11 @@ TEST(ProbInterval, IntersectAndHull) {
 TEST(ProbInterval, IndependentOr) {
   pr::ProbInterval a(0.1, 0.2), b(0.3, 0.4);
   const auto o = a.independent_or(b);
-  EXPECT_NEAR(o.lo(), 1.0 - 0.9 * 0.7, 1e-12);
-  EXPECT_NEAR(o.hi(), 1.0 - 0.8 * 0.6, 1e-12);
+  EXPECT_NEAR(o.lo(), 1.0 - 0.9 * 0.7, tol::kTiny);
+  EXPECT_NEAR(o.hi(), 1.0 - 0.8 * 0.6, tol::kTiny);
   // Precise degenerate check matches scalar noisy-or.
   pr::ProbInterval x(0.5), y(0.5);
-  EXPECT_NEAR(x.independent_or(y).mid(), 0.75, 1e-12);
+  EXPECT_NEAR(x.independent_or(y).mid(), 0.75, tol::kTiny);
 }
 
 TEST(ProbInterval, ComplementInvolution) {
@@ -81,8 +84,8 @@ TEST(TriangularFuzzy, MembershipShape) {
   EXPECT_DOUBLE_EQ(f.membership(0.1), 0.0);
   EXPECT_DOUBLE_EQ(f.membership(0.8), 0.0);
   EXPECT_DOUBLE_EQ(f.membership(0.0), 0.0);
-  EXPECT_NEAR(f.membership(0.2), 0.5, 1e-12);
-  EXPECT_NEAR(f.membership(0.55), 0.5, 1e-12);
+  EXPECT_NEAR(f.membership(0.2), 0.5, tol::kTiny);
+  EXPECT_NEAR(f.membership(0.55), 0.5, tol::kTiny);
   EXPECT_THROW(pr::TriangularFuzzy(0.5, 0.4, 0.6), std::invalid_argument);
 }
 
@@ -109,20 +112,20 @@ TEST(TriangularFuzzy, GateArithmetic) {
   const auto x = pr::TriangularFuzzy(0.01, 0.02, 0.04);
   const auto y = pr::TriangularFuzzy(0.02, 0.03, 0.05);
   const auto andp = pr::TriangularFuzzy::fuzzy_and(x, y);
-  EXPECT_NEAR(andp.low(), 0.0002, 1e-12);
-  EXPECT_NEAR(andp.mode(), 0.0006, 1e-12);
-  EXPECT_NEAR(andp.high(), 0.002, 1e-12);
+  EXPECT_NEAR(andp.low(), 0.0002, tol::kTiny);
+  EXPECT_NEAR(andp.mode(), 0.0006, tol::kTiny);
+  EXPECT_NEAR(andp.high(), 0.002, tol::kTiny);
   const auto orp = pr::TriangularFuzzy::fuzzy_or(x, y);
-  EXPECT_NEAR(orp.low(), 1.0 - 0.99 * 0.98, 1e-12);
-  EXPECT_NEAR(orp.mode(), 1.0 - 0.98 * 0.97, 1e-12);
-  EXPECT_NEAR(orp.high(), 1.0 - 0.96 * 0.95, 1e-12);
+  EXPECT_NEAR(orp.low(), 1.0 - 0.99 * 0.98, tol::kTiny);
+  EXPECT_NEAR(orp.mode(), 1.0 - 0.98 * 0.97, tol::kTiny);
+  EXPECT_NEAR(orp.high(), 1.0 - 0.96 * 0.95, tol::kTiny);
 }
 
 TEST(TriangularFuzzy, OrOfCrispMatchesScalar) {
   const auto a = pr::TriangularFuzzy::crisp(0.1);
   const auto b = pr::TriangularFuzzy::crisp(0.2);
   const auto o = pr::TriangularFuzzy::fuzzy_or(a, b);
-  EXPECT_NEAR(o.defuzzify(), 1.0 - 0.9 * 0.8, 1e-12);
+  EXPECT_NEAR(o.defuzzify(), 1.0 - 0.9 * 0.8, tol::kTiny);
   EXPECT_DOUBLE_EQ(o.support_width(), 0.0);
 }
 

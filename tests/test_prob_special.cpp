@@ -6,14 +6,17 @@
 
 #include <cmath>
 #include <tuple>
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace sp = sysuq::prob;
 
 TEST(LogGamma, KnownValues) {
-  EXPECT_NEAR(sp::log_gamma(1.0), 0.0, 1e-12);
-  EXPECT_NEAR(sp::log_gamma(2.0), 0.0, 1e-12);
-  EXPECT_NEAR(sp::log_gamma(5.0), std::log(24.0), 1e-10);
-  EXPECT_NEAR(sp::log_gamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  EXPECT_NEAR(sp::log_gamma(1.0), 0.0, tol::kTiny);
+  EXPECT_NEAR(sp::log_gamma(2.0), 0.0, tol::kTiny);
+  EXPECT_NEAR(sp::log_gamma(5.0), std::log(24.0), tol::kIteration);
+  EXPECT_NEAR(sp::log_gamma(0.5), 0.5 * std::log(M_PI), tol::kIteration);
 }
 
 TEST(LogGamma, RejectsNonPositive) {
@@ -22,22 +25,22 @@ TEST(LogGamma, RejectsNonPositive) {
 }
 
 TEST(LogBeta, SymmetryAndKnownValue) {
-  EXPECT_NEAR(sp::log_beta(2.0, 3.0), sp::log_beta(3.0, 2.0), 1e-12);
+  EXPECT_NEAR(sp::log_beta(2.0, 3.0), sp::log_beta(3.0, 2.0), tol::kTiny);
   // B(2,3) = 1/12
-  EXPECT_NEAR(sp::log_beta(2.0, 3.0), std::log(1.0 / 12.0), 1e-10);
+  EXPECT_NEAR(sp::log_beta(2.0, 3.0), std::log(1.0 / 12.0), tol::kIteration);
   // B(1,1) = 1
-  EXPECT_NEAR(sp::log_beta(1.0, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(sp::log_beta(1.0, 1.0), 0.0, tol::kTiny);
 }
 
 TEST(RegLowerGamma, BoundaryAndKnown) {
   EXPECT_DOUBLE_EQ(sp::reg_lower_gamma(2.5, 0.0), 0.0);
   // P(1, x) = 1 - exp(-x)
   for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
-    EXPECT_NEAR(sp::reg_lower_gamma(1.0, x), 1.0 - std::exp(-x), 1e-12) << x;
+    EXPECT_NEAR(sp::reg_lower_gamma(1.0, x), 1.0 - std::exp(-x), tol::kTiny) << x;
   }
   // Complementarity
   EXPECT_NEAR(sp::reg_lower_gamma(3.0, 2.0) + sp::reg_upper_gamma(3.0, 2.0), 1.0,
-              1e-12);
+              tol::kTiny);
 }
 
 TEST(RegLowerGamma, Monotone) {
@@ -54,21 +57,21 @@ TEST(RegLowerGamma, Monotone) {
 TEST(RegIncBeta, KnownValues) {
   // I_x(1, 1) = x
   for (double x : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-    EXPECT_NEAR(sp::reg_inc_beta(1.0, 1.0, x), x, 1e-12) << x;
+    EXPECT_NEAR(sp::reg_inc_beta(1.0, 1.0, x), x, tol::kTiny) << x;
   }
   // I_x(2, 1) = x^2
-  EXPECT_NEAR(sp::reg_inc_beta(2.0, 1.0, 0.3), 0.09, 1e-10);
+  EXPECT_NEAR(sp::reg_inc_beta(2.0, 1.0, 0.3), 0.09, tol::kIteration);
   // I_x(1, 2) = 1 - (1-x)^2 = 2x - x^2
-  EXPECT_NEAR(sp::reg_inc_beta(1.0, 2.0, 0.3), 0.51, 1e-10);
+  EXPECT_NEAR(sp::reg_inc_beta(1.0, 2.0, 0.3), 0.51, tol::kIteration);
   // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a)
   EXPECT_NEAR(sp::reg_inc_beta(3.2, 1.7, 0.4),
-              1.0 - sp::reg_inc_beta(1.7, 3.2, 0.6), 1e-10);
+              1.0 - sp::reg_inc_beta(1.7, 3.2, 0.6), tol::kIteration);
 }
 
 TEST(RegIncBeta, MedianOfSymmetric) {
   // Beta(a, a) has median 0.5.
   for (double a : {0.5, 1.0, 2.0, 7.5}) {
-    EXPECT_NEAR(sp::reg_inc_beta(a, a, 0.5), 0.5, 1e-10) << a;
+    EXPECT_NEAR(sp::reg_inc_beta(a, a, 0.5), 0.5, tol::kIteration) << a;
   }
 }
 
@@ -78,7 +81,7 @@ class InvBetaRoundTrip
 TEST_P(InvBetaRoundTrip, QuantileThenCdfIsIdentity) {
   const auto [a, b, p] = GetParam();
   const double x = sp::inv_reg_inc_beta(a, b, p);
-  EXPECT_NEAR(sp::reg_inc_beta(a, b, x), p, 1e-9);
+  EXPECT_NEAR(sp::reg_inc_beta(a, b, x), p, tol::kProbSum);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -88,9 +91,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0.01, 0.1, 0.5, 0.9, 0.99)));
 
 TEST(StdNormal, CdfKnownValues) {
-  EXPECT_NEAR(sp::std_normal_cdf(0.0), 0.5, 1e-14);
-  EXPECT_NEAR(sp::std_normal_cdf(1.959963984540054), 0.975, 1e-9);
-  EXPECT_NEAR(sp::std_normal_cdf(-1.0), 0.15865525393145707, 1e-12);
+  EXPECT_NEAR(sp::std_normal_cdf(0.0), 0.5, tol::kRoot);
+  EXPECT_NEAR(sp::std_normal_cdf(1.959963984540054), 0.975, tol::kProbSum);
+  EXPECT_NEAR(sp::std_normal_cdf(-1.0), 0.15865525393145707, tol::kTiny);
 }
 
 class ProbitRoundTrip : public ::testing::TestWithParam<double> {};
@@ -113,22 +116,22 @@ TEST(LogFactorial, MatchesDirectProduct) {
   double acc = 0.0;
   for (std::size_t n = 1; n <= 20; ++n) {
     acc += std::log(static_cast<double>(n));
-    EXPECT_NEAR(sp::log_factorial(n), acc, 1e-9) << n;
+    EXPECT_NEAR(sp::log_factorial(n), acc, tol::kProbSum) << n;
   }
-  EXPECT_NEAR(sp::log_factorial(0), 0.0, 1e-14);
+  EXPECT_NEAR(sp::log_factorial(0), 0.0, tol::kRoot);
 }
 
 TEST(LogBinomialCoeff, PascalTriangle) {
-  EXPECT_NEAR(std::exp(sp::log_binomial_coeff(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(sp::log_binomial_coeff(5, 2)), 10.0, tol::kProbSum);
   EXPECT_NEAR(std::exp(sp::log_binomial_coeff(10, 5)), 252.0, 1e-7);
   EXPECT_THROW((void)sp::log_binomial_coeff(3, 4), std::invalid_argument);
 }
 
 TEST(LogAddExp, BasicsAndStability) {
   EXPECT_NEAR(sp::log_add_exp(std::log(2.0), std::log(3.0)), std::log(5.0),
-              1e-12);
+              tol::kTiny);
   // Huge magnitudes must not overflow.
-  EXPECT_NEAR(sp::log_add_exp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(sp::log_add_exp(1000.0, 1000.0), 1000.0 + std::log(2.0), tol::kProbSum);
   const double ninf = -std::numeric_limits<double>::infinity();
   EXPECT_DOUBLE_EQ(sp::log_add_exp(ninf, 3.0), 3.0);
   EXPECT_DOUBLE_EQ(sp::log_add_exp(3.0, ninf), 3.0);

@@ -7,6 +7,9 @@
 
 #include "prob/histogram.hpp"
 #include "prob/rng.hpp"
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace pr = sysuq::prob;
 
@@ -15,7 +18,7 @@ TEST(RunningStats, ExactSmallSample) {
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
   EXPECT_EQ(s.count(), 8u);
   EXPECT_DOUBLE_EQ(s.mean(), 5.0);
-  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, tol::kTiny);  // unbiased
   EXPECT_DOUBLE_EQ(s.min(), 2.0);
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
 }
@@ -39,8 +42,8 @@ TEST(RunningStats, MergeEqualsSequential) {
   }
   a.merge(b);
   EXPECT_EQ(a.count(), whole.count());
-  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
-  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_NEAR(a.mean(), whole.mean(), tol::kIteration);
+  EXPECT_NEAR(a.variance(), whole.variance(), tol::kProbSum);
   EXPECT_DOUBLE_EQ(a.min(), whole.min());
   EXPECT_DOUBLE_EQ(a.max(), whole.max());
 }
@@ -115,9 +118,9 @@ TEST(WilsonInterval, ShrinksWithN) {
 TEST(PearsonCorrelation, Extremes) {
   std::vector<double> x{1, 2, 3, 4, 5};
   std::vector<double> y{2, 4, 6, 8, 10};
-  EXPECT_NEAR(pr::pearson_correlation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pr::pearson_correlation(x, y), 1.0, tol::kTiny);
   std::vector<double> yneg{10, 8, 6, 4, 2};
-  EXPECT_NEAR(pr::pearson_correlation(x, yneg), -1.0, 1e-12);
+  EXPECT_NEAR(pr::pearson_correlation(x, yneg), -1.0, tol::kTiny);
   EXPECT_THROW((void)pr::pearson_correlation(x, {1.0}), std::invalid_argument);
   EXPECT_THROW((void)pr::pearson_correlation({1, 1, 1}, {1, 2, 3}),
                std::invalid_argument);
@@ -129,15 +132,15 @@ TEST(Histogram1D, BinningAndProbabilities) {
   EXPECT_EQ(h.total(), 10u);
   for (std::size_t i = 0; i < 10; ++i) {
     EXPECT_EQ(h.count(i), 1u);
-    EXPECT_NEAR(h.probability(i), 0.1, 1e-12);
-    EXPECT_NEAR(h.density(i), 0.1, 1e-12);
+    EXPECT_NEAR(h.probability(i), 0.1, tol::kTiny);
+    EXPECT_NEAR(h.density(i), 0.1, tol::kTiny);
   }
   h.add(-1.0);
   h.add(10.0);  // hi is exclusive
   EXPECT_EQ(h.underflow(), 1u);
   EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.total(), 10u);
-  EXPECT_NEAR(h.bin_center(0), 0.5, 1e-12);
+  EXPECT_NEAR(h.bin_center(0), 0.5, tol::kTiny);
 }
 
 TEST(Histogram1D, DistributionMatchesCounts) {
@@ -146,8 +149,8 @@ TEST(Histogram1D, DistributionMatchesCounts) {
   h.add(0.1);
   h.add(0.6);
   const auto d = h.distribution();
-  EXPECT_NEAR(d.p(0), 2.0 / 3.0, 1e-12);
-  EXPECT_NEAR(d.p(2), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(d.p(0), 2.0 / 3.0, tol::kTiny);
+  EXPECT_NEAR(d.p(2), 1.0 / 3.0, tol::kTiny);
 }
 
 TEST(Histogram2D, FrameProbabilityExactCells) {
@@ -157,13 +160,13 @@ TEST(Histogram2D, FrameProbabilityExactCells) {
   h.add(1.5, 1.5);   // cell (1,1)
   h.add(1.5, 1.5);   // cell (1,1)
   EXPECT_EQ(h.total(), 4u);
-  EXPECT_NEAR(h.probability(1, 1), 0.5, 1e-12);
+  EXPECT_NEAR(h.probability(1, 1), 0.5, tol::kTiny);
   // Whole domain has probability 1.
-  EXPECT_NEAR(h.frame_probability(0.0, 2.0, 0.0, 2.0), 1.0, 1e-12);
+  EXPECT_NEAR(h.frame_probability(0.0, 2.0, 0.0, 2.0), 1.0, tol::kTiny);
   // Right column only.
-  EXPECT_NEAR(h.frame_probability(1.0, 2.0, 0.0, 2.0), 0.75, 1e-12);
+  EXPECT_NEAR(h.frame_probability(1.0, 2.0, 0.0, 2.0), 0.75, tol::kTiny);
   // Half of cell (0,0) in x: area-fraction weighting.
-  EXPECT_NEAR(h.frame_probability(0.0, 0.5, 0.0, 1.0), 0.125, 1e-12);
+  EXPECT_NEAR(h.frame_probability(0.0, 0.5, 0.0, 1.0), 0.125, tol::kTiny);
 }
 
 TEST(Histogram2D, OutsideCounting) {

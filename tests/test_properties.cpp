@@ -18,6 +18,8 @@
 #include "markov/dtmc.hpp"
 #include "prob/rng.hpp"
 
+namespace tol = sysuq::tolerance;
+
 using namespace sysuq;
 
 // ---------------------------------------------------------------------
@@ -45,7 +47,7 @@ TEST_P(DsProperty, MoebiusInversionIsExactInverse) {
   const auto back = evidence::mass_from_belief(
       f, [&](evidence::FocalSet s) { return m.belief(s); });
   for (const auto s : f.all_nonempty_subsets())
-    ASSERT_NEAR(back.mass(s), m.mass(s), 1e-10);
+    ASSERT_NEAR(back.mass(s), m.mass(s), tol::kIteration);
 }
 
 TEST_P(DsProperty, DempsterOnBayesianMassesIsBayesRule) {
@@ -65,7 +67,7 @@ TEST_P(DsProperty, DempsterOnBayesianMassesIsBayesRule) {
   for (std::size_t i = 0; i < 3; ++i) prod[i] = p1.p(i) * p2.p(i);
   const auto bayes = prob::Categorical::normalized(prod);
   for (std::size_t i = 0; i < 3; ++i)
-    ASSERT_NEAR(fused.mass(f.singleton(i)), bayes.p(i), 1e-12);
+    ASSERT_NEAR(fused.mass(f.singleton(i)), bayes.p(i), tol::kTiny);
 }
 
 TEST_P(DsProperty, PignisticWithinBeliefPlausibility) {
@@ -78,8 +80,8 @@ TEST_P(DsProperty, PignisticWithinBeliefPlausibility) {
     for (std::size_t i = 0; i < f.size(); ++i) {
       if ((s >> i) & 1u) mass += pig.p(i);
     }
-    ASSERT_GE(mass + 1e-12, m.belief(s));
-    ASSERT_LE(mass - 1e-12, m.plausibility(s));
+    ASSERT_GE(mass + tol::kTiny, m.belief(s));
+    ASSERT_LE(mass - tol::kTiny, m.plausibility(s));
   }
 }
 
@@ -90,7 +92,7 @@ TEST_P(DsProperty, DiscountingIsMonotoneInAlpha) {
   double prev_width = -1.0;
   for (const double alpha : {0.0, 0.2, 0.5, 0.9}) {
     const double width = m.discounted(alpha).belief_interval(f.singleton(0)).width();
-    ASSERT_GE(width + 1e-12, prev_width);
+    ASSERT_GE(width + tol::kTiny, prev_width);
     prev_width = width;
   }
 }
@@ -130,12 +132,12 @@ TEST_P(FtaBnProperty, CompiledNetworkMatchesExactProbability) {
   const double exact = fta::exact_top_probability(t);
   const auto compiled = fta::compile_to_bayesnet(t);
   bayesnet::VariableElimination ve(compiled.network);
-  ASSERT_NEAR(ve.query(compiled.top).p(1), exact, 1e-10);
+  ASSERT_NEAR(ve.query(compiled.top).p(1), exact, tol::kIteration);
 
   // Serialization round trip preserves inference on the compiled net.
   const auto back = bayesnet::from_text(bayesnet::to_text(compiled.network));
   bayesnet::VariableElimination ve2(back);
-  ASSERT_NEAR(ve2.query(compiled.top).p(1), exact, 1e-10);
+  ASSERT_NEAR(ve2.query(compiled.top).p(1), exact, tol::kIteration);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FtaBnProperty,
@@ -242,7 +244,7 @@ TEST_P(CredalProperty, MarginalBoundsAreSharp) {
     for (int s = 0; s < 4000; ++s) {
       std::vector<double> p(3);
       for (std::size_t x = 0; x < 3; ++x)
-        p[x] = rng.uniform(prior.bound(x).lo(), prior.bound(x).hi()) + 1e-12;
+        p[x] = rng.uniform(prior.bound(x).lo(), prior.bound(x).hi()) + tol::kTiny;
       auto pc = prob::Categorical::normalized(p);
       if (!prior.contains(pc)) continue;
       double v = 0.0;
@@ -264,8 +266,8 @@ TEST_P(CredalProperty, MarginalBoundsAreSharp) {
       best_lo = std::min(best_lo, v);
       best_hi = std::max(best_hi, v);
       // Validity: every point value inside the bounds.
-      ASSERT_GE(v, marg.bound(y).lo() - 1e-9);
-      ASSERT_LE(v, marg.bound(y).hi() + 1e-9);
+      ASSERT_GE(v, marg.bound(y).lo() - tol::kProbSum);
+      ASSERT_LE(v, marg.bound(y).hi() + tol::kProbSum);
     }
     // Sharpness within search slack.
     EXPECT_NEAR(best_lo, marg.bound(y).lo(), 0.02) << "state " << y;
@@ -331,9 +333,9 @@ TEST_P(OpinionProperty, CumulativeFusionPoolsEvidence) {
   const auto fused = evidence::Opinion::from_evidence(r1, s1).fuse(
       evidence::Opinion::from_evidence(r2, s2));
   const auto pooled = evidence::Opinion::from_evidence(r1 + r2, s1 + s2);
-  ASSERT_NEAR(fused.belief(), pooled.belief(), 1e-9);
-  ASSERT_NEAR(fused.disbelief(), pooled.disbelief(), 1e-9);
-  ASSERT_NEAR(fused.uncertainty(), pooled.uncertainty(), 1e-9);
+  ASSERT_NEAR(fused.belief(), pooled.belief(), tol::kProbSum);
+  ASSERT_NEAR(fused.disbelief(), pooled.disbelief(), tol::kProbSum);
+  ASSERT_NEAR(fused.uncertainty(), pooled.uncertainty(), tol::kProbSum);
 }
 
 TEST_P(OpinionProperty, ConjunctionDisjunctionDeMorganOnProjections) {
@@ -346,10 +348,10 @@ TEST_P(OpinionProperty, ConjunctionDisjunctionDeMorganOnProjections) {
   const auto x = random_opinion();
   const auto y = random_opinion();
   // Projected probabilities behave classically.
-  ASSERT_NEAR(x.conjoin(y).projected(), x.projected() * y.projected(), 1e-9);
+  ASSERT_NEAR(x.conjoin(y).projected(), x.projected() * y.projected(), tol::kProbSum);
   ASSERT_NEAR(x.disjoin(y).projected(),
               x.projected() + y.projected() - x.projected() * y.projected(),
-              1e-9);
+              tol::kProbSum);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OpinionProperty,

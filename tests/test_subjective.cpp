@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include "core/tolerance.hpp"
+
+namespace tol = sysuq::tolerance;
 
 namespace ev = sysuq::evidence;
 
@@ -17,21 +20,21 @@ TEST(Opinion, ConstructionValidation) {
 
 TEST(Opinion, ProjectedProbability) {
   const ev::Opinion o(0.4, 0.3, 0.3, 0.5);
-  EXPECT_NEAR(o.projected(), 0.4 + 0.5 * 0.3, 1e-12);
-  EXPECT_NEAR(ev::Opinion::vacuous(0.7).projected(), 0.7, 1e-12);
-  EXPECT_NEAR(ev::Opinion::dogmatic(0.8).projected(), 0.8, 1e-12);
+  EXPECT_NEAR(o.projected(), 0.4 + 0.5 * 0.3, tol::kTiny);
+  EXPECT_NEAR(ev::Opinion::vacuous(0.7).projected(), 0.7, tol::kTiny);
+  EXPECT_NEAR(ev::Opinion::dogmatic(0.8).projected(), 0.8, tol::kTiny);
 }
 
 TEST(Opinion, FromEvidenceMatchesBeta) {
   // r = 8, s = 2: b = 8/12, d = 2/12, u = 2/12; projected = Beta mean
   // (r+1)/(r+s+2) with a = 0.5: 8/12 + 0.5*2/12 = 9/12 = E[Beta(9, 3)].
   const auto o = ev::Opinion::from_evidence(8, 2);
-  EXPECT_NEAR(o.belief(), 8.0 / 12.0, 1e-12);
-  EXPECT_NEAR(o.uncertainty(), 2.0 / 12.0, 1e-12);
-  EXPECT_NEAR(o.projected(), 9.0 / 12.0, 1e-12);
+  EXPECT_NEAR(o.belief(), 8.0 / 12.0, tol::kTiny);
+  EXPECT_NEAR(o.uncertainty(), 2.0 / 12.0, tol::kTiny);
+  EXPECT_NEAR(o.projected(), 9.0 / 12.0, tol::kTiny);
   // No evidence = vacuous.
   const auto none = ev::Opinion::from_evidence(0, 0);
-  EXPECT_NEAR(none.uncertainty(), 1.0, 1e-12);
+  EXPECT_NEAR(none.uncertainty(), 1.0, tol::kTiny);
   EXPECT_THROW((void)ev::Opinion::from_evidence(-1, 0), std::invalid_argument);
 }
 
@@ -42,7 +45,7 @@ TEST(Opinion, UncertaintyShrinksWithEvidence) {
     EXPECT_LT(o.uncertainty(), prev);
     prev = o.uncertainty();
     // Projected = (b + a*u) = (0.8 n + 0.5 * 2) / (n + 2).
-    EXPECT_NEAR(o.projected(), (0.8 * n + 1.0) / (n + 2.0), 1e-12);
+    EXPECT_NEAR(o.projected(), (0.8 * n + 1.0) / (n + 2.0), tol::kTiny);
   }
 }
 
@@ -54,16 +57,16 @@ TEST(Opinion, FusionReducesUncertainty) {
   EXPECT_LT(f.uncertainty(), b.uncertainty());
   // Cumulative fusion of evidence opinions = opinion of pooled evidence.
   const auto pooled = ev::Opinion::from_evidence(10, 3);
-  EXPECT_NEAR(f.belief(), pooled.belief(), 1e-9);
-  EXPECT_NEAR(f.uncertainty(), pooled.uncertainty(), 1e-9);
+  EXPECT_NEAR(f.belief(), pooled.belief(), tol::kProbSum);
+  EXPECT_NEAR(f.uncertainty(), pooled.uncertainty(), tol::kProbSum);
 }
 
 TEST(Opinion, FusionWithVacuousIsIdentity) {
   const auto a = ev::Opinion(0.5, 0.2, 0.3, 0.4);
   const auto f = a.fuse(ev::Opinion::vacuous(0.4));
-  EXPECT_NEAR(f.belief(), a.belief(), 1e-9);
-  EXPECT_NEAR(f.disbelief(), a.disbelief(), 1e-9);
-  EXPECT_NEAR(f.uncertainty(), a.uncertainty(), 1e-9);
+  EXPECT_NEAR(f.belief(), a.belief(), tol::kProbSum);
+  EXPECT_NEAR(f.disbelief(), a.disbelief(), tol::kProbSum);
+  EXPECT_NEAR(f.uncertainty(), a.uncertainty(), tol::kProbSum);
 }
 
 TEST(Opinion, FusionCommutes) {
@@ -71,8 +74,8 @@ TEST(Opinion, FusionCommutes) {
   const auto b = ev::Opinion(0.2, 0.5, 0.3, 0.5);
   const auto ab = a.fuse(b);
   const auto ba = b.fuse(a);
-  EXPECT_NEAR(ab.belief(), ba.belief(), 1e-12);
-  EXPECT_NEAR(ab.uncertainty(), ba.uncertainty(), 1e-12);
+  EXPECT_NEAR(ab.belief(), ba.belief(), tol::kTiny);
+  EXPECT_NEAR(ab.uncertainty(), ba.uncertainty(), tol::kTiny);
 }
 
 TEST(Opinion, AveragingKeepsMoreUncertaintyThanCumulative) {
@@ -81,33 +84,33 @@ TEST(Opinion, AveragingKeepsMoreUncertaintyThanCumulative) {
   EXPECT_GT(a.average(b).uncertainty(), a.fuse(b).uncertainty());
   // Averaging two identical opinions returns them unchanged.
   const auto avg = a.average(a);
-  EXPECT_NEAR(avg.belief(), a.belief(), 1e-12);
-  EXPECT_NEAR(avg.uncertainty(), a.uncertainty(), 1e-12);
+  EXPECT_NEAR(avg.belief(), a.belief(), tol::kTiny);
+  EXPECT_NEAR(avg.uncertainty(), a.uncertainty(), tol::kTiny);
 }
 
 TEST(Opinion, DiscountingMovesMassToUncertainty) {
   const auto o = ev::Opinion(0.7, 0.2, 0.1, 0.5);
   const auto d = o.discount(0.5);
-  EXPECT_NEAR(d.belief(), 0.35, 1e-12);
-  EXPECT_NEAR(d.disbelief(), 0.10, 1e-12);
-  EXPECT_NEAR(d.uncertainty(), 0.55, 1e-12);
+  EXPECT_NEAR(d.belief(), 0.35, tol::kTiny);
+  EXPECT_NEAR(d.disbelief(), 0.10, tol::kTiny);
+  EXPECT_NEAR(d.uncertainty(), 0.55, tol::kTiny);
   // Full trust = identity; zero trust = vacuous.
-  EXPECT_NEAR(o.discount(1.0).belief(), o.belief(), 1e-12);
-  EXPECT_NEAR(o.discount(0.0).uncertainty(), 1.0, 1e-12);
+  EXPECT_NEAR(o.discount(1.0).belief(), o.belief(), tol::kTiny);
+  EXPECT_NEAR(o.discount(0.0).uncertainty(), 1.0, tol::kTiny);
   EXPECT_THROW((void)o.discount(1.5), std::invalid_argument);
   // Discounting by an opinion uses its projected probability.
   const auto trust = ev::Opinion(0.5, 0.0, 0.5, 0.0);  // projected 0.5
-  EXPECT_NEAR(o.discount_by(trust).belief(), 0.35, 1e-12);
+  EXPECT_NEAR(o.discount_by(trust).belief(), 0.35, tol::kTiny);
 }
 
 TEST(Opinion, ConjunctionMatchesProbabilityForDogmatic) {
   const auto a = ev::Opinion::dogmatic(0.6);
   const auto b = ev::Opinion::dogmatic(0.7);
   const auto c = a.conjoin(b);
-  EXPECT_NEAR(c.projected(), 0.42, 1e-9);
-  EXPECT_NEAR(c.uncertainty(), 0.0, 1e-9);
+  EXPECT_NEAR(c.projected(), 0.42, tol::kProbSum);
+  EXPECT_NEAR(c.uncertainty(), 0.0, tol::kProbSum);
   const auto d = a.disjoin(b);
-  EXPECT_NEAR(d.projected(), 0.6 + 0.7 - 0.42, 1e-9);
+  EXPECT_NEAR(d.projected(), 0.6 + 0.7 - 0.42, tol::kProbSum);
 }
 
 TEST(Opinion, ConjunctionProjectedConsistent) {
@@ -116,11 +119,11 @@ TEST(Opinion, ConjunctionProjectedConsistent) {
   const auto a = ev::Opinion(0.5, 0.2, 0.3, 0.4);
   const auto b = ev::Opinion(0.3, 0.4, 0.3, 0.6);
   const auto c = a.conjoin(b);
-  EXPECT_NEAR(c.projected(), a.projected() * b.projected(), 1e-9);
+  EXPECT_NEAR(c.projected(), a.projected() * b.projected(), tol::kProbSum);
   const auto d = a.disjoin(b);
   EXPECT_NEAR(d.projected(),
               a.projected() + b.projected() - a.projected() * b.projected(),
-              1e-9);
+              tol::kProbSum);
 }
 
 TEST(Opinion, ConjunctionWithVacuousStaysUncertain) {
@@ -162,7 +165,7 @@ TEST(AssuranceCase, DisjunctionStrongerThanWeakestLeg) {
   const auto goal = ac.add_goal("either mitigation works",
                                 ev::AssuranceCase::Kind::kDisjunction,
                                 {weak, strong});
-  EXPECT_GT(ac.evaluate(goal).projected(), ac.evaluate(strong).projected() - 1e-9);
+  EXPECT_GT(ac.evaluate(goal).projected(), ac.evaluate(strong).projected() - tol::kProbSum);
 }
 
 TEST(AssuranceCase, WeakestLeafIdentifiesBottleneck) {

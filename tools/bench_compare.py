@@ -13,6 +13,11 @@ compares them across machines directly:
   takes the median ratio as the machine-speed factor, and flags any
   benchmark whose ratio exceeds the median by more than `--tolerance`
   (a benchmark that got slower *relative to the rest of the suite*).
+* analyze: gates on the serial-vs-parallel scanner speedup (a
+  machine-relative ratio: current must stay within `--tolerance` of the
+  baseline ratio) and on byte_identical — the parallel scanner must
+  agree with the serial one byte-for-byte. Raw ms are trajectory
+  records, never gated.
 * cpt_explosion: gates on loopy BP's correctness figures — BP converged
   on every workload, the certified intervals contain the exact
   posteriors, the point gap stays under an absolute bound — and keeps
@@ -76,6 +81,30 @@ def compare_engine_batch(cur: dict, base: dict, tol: float) -> list[str]:
         val = cr.get(key)
         if val is None or val > bound:
             failures.append(f"results.{key}: {val} exceeds {bound}")
+    return failures
+
+
+def compare_analyze(cur: dict, base: dict, tol: float) -> list[str]:
+    failures = []
+    cr, br = cur.get("results", {}), base.get("results", {})
+    key = "speedup"
+    if key not in cr or key not in br:
+        failures.append(f"results.{key}: missing from manifest")
+    else:
+        floor = br[key] * (1.0 - tol)
+        status = "OK" if cr[key] >= floor else "REGRESSION"
+        print(f"  {key:<12} baseline {br[key]:8.2f}  current {cr[key]:8.2f}"
+              f"  floor {floor:8.2f}  {status}")
+        if cr[key] < floor:
+            failures.append(
+                f"results.{key}: {cr[key]:.2f} below {floor:.2f} "
+                f"(baseline {br[key]:.2f} - {tol:.0%})")
+    if cr.get("byte_identical") is not True:
+        failures.append("results.byte_identical: parallel scanner output "
+                        "diverged from the serial run")
+    for key in ("ms_jobs1", "ms_jobsN", "files"):
+        if key in cr:
+            print(f"  {key:<12} {cr[key]} (trajectory record, not gated)")
     return failures
 
 
@@ -171,6 +200,8 @@ def main() -> int:
     print(f"bench_compare: {cur['bench']} (tolerance {args.tolerance:.0%})")
     if cur["bench"] == "engine_batch":
         failures = compare_engine_batch(cur, base, args.tolerance)
+    elif cur["bench"] == "analyze":
+        failures = compare_analyze(cur, base, args.tolerance)
     elif cur["bench"] == "cpt_explosion":
         failures = compare_cpt_explosion(cur, base, args.tolerance)
     elif cur["bench"] == "microbench":

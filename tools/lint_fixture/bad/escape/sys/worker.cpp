@@ -1,0 +1,30 @@
+// thread-escape fixture: an unguarded worker write, a sysuq-requires
+// violation at a worker call site, and a by-reference capture escaping
+// through a detached thread — three violations. Never compiled.
+#include "sys/worker.hpp"
+
+namespace sysuq::sys {
+
+void Collector::collect(Pool& worker_pool, std::size_t jobs) {
+  worker_pool.run(jobs, [&](std::size_t i) {
+    total_ += i;     // worker-thread write with no lock
+    bump_locked(i);  // requires mu_, not held here
+  });
+  std::lock_guard<std::mutex> lk(mu_);
+  batches_ += 1;
+}
+
+void Collector::spawn_logger() {
+  std::size_t local = 0;
+  std::thread t([&] { local += 1; });
+  t.detach();  // &local dangles once this frame returns
+}
+
+std::size_t Collector::total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+void Collector::bump_locked(std::size_t amount) { total_ += amount; }
+
+}  // namespace sysuq::sys

@@ -1,0 +1,34 @@
+// thread-escape fixture: worker.cpp writes guarded state from a pool
+// worker lambda with no lock while the owner thread reads it under mu_,
+// calls a sysuq-requires function without its lock, and detaches a
+// thread whose lambda captures the stack frame by reference. Never
+// compiled.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <thread>
+
+namespace sysuq::sys {
+
+struct Pool {
+  void run(std::size_t jobs, int task) {}
+};
+
+class Collector {
+ public:
+  void collect(Pool& worker_pool, std::size_t jobs);
+  void spawn_logger();
+  std::size_t total() const;
+
+ private:
+  // Caller holds mu_.
+  // sysuq-requires(mu_)
+  void bump_locked(std::size_t amount);
+
+  mutable std::mutex mu_;
+  std::size_t total_ = 0;    // sysuq-guarded-by(mu_)
+  std::size_t batches_ = 0;  // sysuq-guarded-by(mu_)
+};
+
+}  // namespace sysuq::sys

@@ -1,0 +1,26 @@
+// guard-consistency fixture. Never compiled.
+#include "obs/store.hpp"
+
+namespace sysuq::obs {
+
+void Store::put(double v) {
+  value_ = v;  // guarded write without mu_
+}
+
+void Store::refresh() {
+  std::lock_guard<std::mutex> lk(mu_);
+  rebuild();  // excludes mu_: it takes the lock itself — self-deadlock
+  epoch_ += 1;
+}
+
+double Store::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return value_;
+}
+
+void Store::rebuild() {
+  std::lock_guard<std::mutex> lk(mu_);
+  value_ = 0.0;
+}
+
+}  // namespace sysuq::obs

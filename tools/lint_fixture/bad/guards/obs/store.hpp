@@ -1,0 +1,28 @@
+// guard-consistency fixture: store.cpp writes a guarded member with no
+// lock and calls a sysuq-excludes function while holding the excluded
+// mutex; epoch_ below carries no thread-safety annotation at all —
+// three violations. Never compiled.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+namespace sysuq::obs {
+
+class Store {
+ public:
+  void put(double v);
+  void refresh();
+  double snapshot() const;
+
+ private:
+  // Takes mu_ itself.
+  // sysuq-excludes(mu_)
+  void rebuild();
+
+  mutable std::mutex mu_;
+  double value_ = 0.0;  // sysuq-guarded-by(mu_)
+  std::size_t epoch_ = 0;
+};
+
+}  // namespace sysuq::obs

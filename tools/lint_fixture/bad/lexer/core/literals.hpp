@@ -1,0 +1,12 @@
+// Lexer regression fixture: the digit separator in the hex mask must
+// lex as part of one pp-number. The old scanner only accepted a
+// separator when a *decimal* digit followed, so 0xDEAD'BEEF ended at
+// 0xDEAD and the rest of the line vanished into a bogus char literal —
+// hiding the magic-epsilon violation after it. Never compiled.
+#pragma once
+
+namespace sysuq::core {
+
+constexpr unsigned kMask = 0xDEAD'BEEF; constexpr double kEps = 1e-12;
+
+}  // namespace sysuq::core

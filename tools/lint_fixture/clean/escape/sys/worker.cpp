@@ -1,0 +1,29 @@
+// thread-escape fixture, clean twin. Never compiled.
+#include "sys/worker.hpp"
+
+namespace sysuq::sys {
+
+void Collector::collect(Pool& worker_pool, std::size_t jobs) {
+  worker_pool.run(jobs, [this](std::size_t i) {
+    std::lock_guard<std::mutex> lk(mu_);
+    total_ += i;
+    bump_locked(i);  // mu_ held: the requires-contract is satisfied
+  });
+  std::lock_guard<std::mutex> lk(mu_);
+  batches_ += 1;
+}
+
+void Collector::spawn_logger() {
+  std::size_t local = 0;
+  std::thread t([&] { local += 1; });
+  t.join();  // the frame outlives the worker
+}
+
+std::size_t Collector::total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_;
+}
+
+void Collector::bump_locked(std::size_t amount) { total_ += amount; }
+
+}  // namespace sysuq::sys

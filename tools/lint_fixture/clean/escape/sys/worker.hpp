@@ -1,0 +1,36 @@
+// thread-escape fixture, clean twin: the worker lambda takes the lock
+// before touching guarded state, the sysuq-requires callee is invoked
+// with the lock held, and the spawned thread is joined before the frame
+// it captures returns. Never compiled.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <thread>
+
+namespace sysuq::sys {
+
+struct Pool {
+  void run(std::size_t jobs, int task) {}
+};
+
+class Collector {
+ public:
+  // sysuq-lint-allow(contract-coverage): escape fixture, contracts out of scope
+  void collect(Pool& worker_pool, std::size_t jobs);
+  // sysuq-lint-allow(contract-coverage): escape fixture, contracts out of scope
+  void spawn_logger();
+  // sysuq-lint-allow(contract-coverage): escape fixture, contracts out of scope
+  std::size_t total() const;
+
+ private:
+  // Caller holds mu_.
+  // sysuq-requires(mu_)
+  void bump_locked(std::size_t amount);
+
+  mutable std::mutex mu_;
+  std::size_t total_ = 0;    // sysuq-guarded-by(mu_)
+  std::size_t batches_ = 0;  // sysuq-guarded-by(mu_)
+};
+
+}  // namespace sysuq::sys

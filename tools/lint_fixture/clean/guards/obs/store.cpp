@@ -1,0 +1,29 @@
+// guard-consistency fixture, clean twin. Never compiled.
+#include "obs/store.hpp"
+
+namespace sysuq::obs {
+
+void Store::put(double v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  value_ = v;
+}
+
+void Store::refresh() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    epoch_ += 1;
+  }
+  rebuild();  // the guard scope closed: excludes-contract satisfied
+}
+
+double Store::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return value_;
+}
+
+void Store::rebuild() {
+  std::lock_guard<std::mutex> lk(mu_);
+  value_ = 0.0;
+}
+
+}  // namespace sysuq::obs

@@ -1,0 +1,31 @@
+// guard-consistency fixture, clean twin: every non-atomic member of the
+// mutex-owning class is annotated, guarded accesses happen under the
+// lock, and the sysuq-excludes callee is only invoked after the guard
+// scope has closed. Never compiled.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+namespace sysuq::obs {
+
+class Store {
+ public:
+  // sysuq-lint-allow(contract-coverage): guard fixture, contracts out of scope
+  void put(double v);
+  // sysuq-lint-allow(contract-coverage): guard fixture, contracts out of scope
+  void refresh();
+  // sysuq-lint-allow(contract-coverage): guard fixture, contracts out of scope
+  double snapshot() const;
+
+ private:
+  // Takes mu_ itself.
+  // sysuq-excludes(mu_)
+  void rebuild();
+
+  mutable std::mutex mu_;
+  double value_ = 0.0;     // sysuq-guarded-by(mu_)
+  std::size_t epoch_ = 0;  // sysuq-guarded-by(mu_)
+};
+
+}  // namespace sysuq::obs

@@ -1,0 +1,16 @@
+// Lexer robustness fixture, clean twin: digit separators (decimal and
+// hex) lex as single numbers, and raw-string bodies stay single tokens
+// — the violation bait inside R"(...)" (a float equality and a
+// tolerance-sized literal) must never surface as code. Never compiled.
+#pragma once
+
+namespace sysuq::core {
+
+constexpr unsigned kMask = 0xDEAD'BEEF;
+constexpr long kBudget = 1'000'000;
+
+inline const char* tolerance_doc() {
+  return R"(compare with a tolerance: never x == 0.5, never eps = 1e-30)";
+}
+
+}  // namespace sysuq::core

@@ -25,8 +25,8 @@ class Scheduler {
   std::mutex queue_mu_;
   std::mutex state_mu_;
   std::condition_variable cv_;
-  std::size_t pending_ = 0;
-  std::size_t done_ = 0;
+  std::size_t pending_ = 0;  // sysuq-guarded-by(queue_mu_)
+  std::size_t done_ = 0;     // sysuq-guarded-by(state_mu_)
 };
 
 }  // namespace sysuq::sys

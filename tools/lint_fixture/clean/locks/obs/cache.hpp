@@ -20,7 +20,7 @@ class Cache {
 
  private:
   mutable std::mutex mu_;
-  int last_ = 0;
+  int last_ = 0;  // sysuq-guarded-by(mu_)
   std::atomic<long> hits_{0};
   std::atomic<bool> ready_{false};  // sysuq-atomic-order(acquire)
 };

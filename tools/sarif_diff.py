@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Diff two sysuq_analyze SARIF logs; fail only on NEW findings.
+"""Diff two sysuq_analyze SARIF logs; fail on NEW and on STALE findings.
 
 Usage: sarif_diff.py BASELINE.sarif CURRENT.sarif
 
@@ -10,7 +10,14 @@ enough context (names, mutex chains) to keep keys distinct in practice.
 Duplicate keys are counted, so adding a second instance of an
 already-baselined finding still fails.
 
-Exit codes: 0 = no new findings, 1 = new findings, 2 = usage/IO error.
+Stale baseline entries (baselined findings the current scan no longer
+reports) also fail: a baseline that over-states the debt masks
+regressions, because a new finding can hide in the budget a resolved one
+left behind. Fixing debt therefore requires regenerating the baseline in
+the same change, which keeps it an exact inventory.
+
+Exit codes: 0 = baseline exactly matches, 1 = new or stale findings,
+2 = usage/IO error.
 """
 
 import json
@@ -52,29 +59,31 @@ def main(argv):
     for key, count in sorted(resolved.items()):
         rule, uri, message = key
         suffix = f" (x{count})" if count > 1 else ""
-        print(f"resolved: [{rule}] {uri}: {message}{suffix}")
+        print(f"STALE: [{rule}] {uri}: {message}{suffix}")
     if resolved:
         print(
-            f"{sum(resolved.values())} baselined finding(s) resolved; "
-            "regenerate tools/analyze_baseline.sarif to lock in the progress."
+            f"{sum(resolved.values())} stale baselined finding(s) no longer "
+            "reported; regenerate tools/analyze_baseline.sarif to lock in "
+            "the progress."
         )
-
-    if not new:
-        print(
-            f"no new findings ({sum(current.values())} current, "
-            f"{sum(baseline.values())} baselined)"
-        )
-        return 0
 
     for key, count in sorted(new.items()):
         rule, uri, message = key
         suffix = f" (x{count})" if count > 1 else ""
         print(f"NEW: [{rule}] {uri}: {message}{suffix}")
+    if new:
+        print(
+            f"{sum(new.values())} new finding(s) vs baseline; fix them or, "
+            "for accepted debt, regenerate tools/analyze_baseline.sarif."
+        )
+
+    if new or resolved:
+        return 1
     print(
-        f"{sum(new.values())} new finding(s) vs baseline; fix them or, "
-        "for accepted debt, regenerate tools/analyze_baseline.sarif."
+        f"baseline exact ({sum(current.values())} current, "
+        f"{sum(baseline.values())} baselined)"
     )
-    return 1
+    return 0
 
 
 if __name__ == "__main__":

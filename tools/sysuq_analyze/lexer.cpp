@@ -26,11 +26,37 @@ constexpr std::array<const char*, 24> kPuncts = {
     "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
     "&=", "|="};
 
-// Scans markers on one raw line: sysuq-lint-allow(rule) and
-// sysuq-atomic-order(order).
+// The parenthesized operand of `marker(` on `line`, or "" when absent.
+std::string marker_operand(const std::string& line, const std::string& marker) {
+  const std::size_t pos = line.find(marker);
+  if (pos == std::string::npos) return "";
+  const std::size_t start = pos + marker.size();
+  const std::size_t close = line.find(')', start);
+  if (close == std::string::npos) return "";
+  return line.substr(start, close - start);
+}
+
+// Splits a comma-separated operand list, trimming blanks.
+std::set<std::string> split_operands(const std::string& body) {
+  std::set<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= body.size()) {
+    std::size_t comma = body.find(',', pos);
+    if (comma == std::string::npos) comma = body.size();
+    std::size_t b = pos, e = comma;
+    while (b < e && (body[b] == ' ' || body[b] == '\t')) ++b;
+    while (e > b && (body[e - 1] == ' ' || body[e - 1] == '\t')) --e;
+    if (e > b) out.insert(body.substr(b, e - b));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// Scans the sysuq-* markers on one raw line: lint-allow(rule),
+// atomic-order(order), guarded-by(mutex), requires(mu, ...),
+// excludes(mu, ...) and thread-confined(role).
 void scan_markers(const std::string& line, std::size_t lineno, LexedFile& out) {
   static const std::string kAllow = "sysuq-lint-allow(";
-  static const std::string kOrder = "sysuq-atomic-order(";
   for (std::size_t pos = line.find(kAllow); pos != std::string::npos;
        pos = line.find(kAllow, pos + 1)) {
     const std::size_t start = pos + kAllow.size();
@@ -38,12 +64,21 @@ void scan_markers(const std::string& line, std::size_t lineno, LexedFile& out) {
     if (close != std::string::npos)
       out.allows[lineno].insert(line.substr(start, close - start));
   }
-  if (const std::size_t pos = line.find(kOrder); pos != std::string::npos) {
-    const std::size_t start = pos + kOrder.size();
-    const std::size_t close = line.find(')', start);
-    if (close != std::string::npos)
-      out.atomic_orders[lineno] = line.substr(start, close - start);
-  }
+  if (const std::string v = marker_operand(line, "sysuq-atomic-order(");
+      !v.empty())
+    out.atomic_orders[lineno] = v;
+  if (const std::string v = marker_operand(line, "sysuq-guarded-by(");
+      !v.empty())
+    out.guarded_by[lineno] = v;
+  if (const std::string v = marker_operand(line, "sysuq-requires(");
+      !v.empty())
+    out.requires_locks[lineno] = split_operands(v);
+  if (const std::string v = marker_operand(line, "sysuq-excludes(");
+      !v.empty())
+    out.excludes_locks[lineno] = split_operands(v);
+  if (const std::string v = marker_operand(line, "sysuq-thread-confined(");
+      !v.empty())
+    out.confined[lineno] = v;
 }
 
 struct Scanner {
@@ -262,7 +297,12 @@ void lex(const std::string& text, LexedFile& out) {
           }
           continue;
         }
-        if (d == '\'' && digit(sc.peek())) {  // digit separator
+        // Digit separator. Hex/binary groups can start with a letter
+        // (0xDEAD'BEEF), so any identifier character continues the
+        // number — requiring a decimal digit here used to end the token
+        // at the separator and mis-lex the rest as a char literal that
+        // swallowed everything to the end of the line.
+        if (d == '\'' && ident_char(sc.peek())) {
           sc.advance();
           continue;
         }

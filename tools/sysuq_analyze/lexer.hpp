@@ -57,6 +57,15 @@ struct LexedFile {
   std::map<std::size_t, std::set<std::string>> allows;
   /// line -> declared order from `// sysuq-atomic-order(<order>)`.
   std::map<std::size_t, std::string> atomic_orders;
+  /// line -> mutex named by `// sysuq-guarded-by(<mutex>)` on a member.
+  std::map<std::size_t, std::string> guarded_by;
+  /// line -> locks from `// sysuq-requires(<mu>[, <mu>...])` on a function.
+  std::map<std::size_t, std::set<std::string>> requires_locks;
+  /// line -> locks from `// sysuq-excludes(<mu>[, <mu>...])` on a function.
+  std::map<std::size_t, std::set<std::string>> excludes_locks;
+  /// line -> role from `// sysuq-thread-confined(owner|worker|init)` on a
+  /// member or type.
+  std::map<std::size_t, std::string> confined;
 
   /// True when `rule` is suppressed on `line` (1-based).
   [[nodiscard]] bool allowed(std::size_t line, const std::string& rule) const;

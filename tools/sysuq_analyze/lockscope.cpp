@@ -1,0 +1,329 @@
+#include "sysuq_analyze/lockscope.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace sysuq_analyze {
+
+namespace {
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+bool is_assign_op(const Token& t) {
+  if (t.kind != TokKind::kPunct) return false;
+  const std::string& p = t.text;
+  return p == "=" || p == "+=" || p == "-=" || p == "*=" || p == "/=" ||
+         p == "%=" || p == "&=" || p == "|=" || p == "^=" || p == "<<=" ||
+         p == ">>=" || p == "++" || p == "--";
+}
+
+bool is_mutating_call(const std::string& name) {
+  return name == "clear" || name == "insert" || name == "erase" ||
+         name == "emplace" || name == "emplace_back" || name == "push_back" ||
+         name == "pop_back" || name == "resize" || name == "reserve" ||
+         name == "assign";
+}
+
+std::size_t skip_balanced_tokens(const LexedFile& f, std::size_t i,
+                                 const char* open, const char* close) {
+  int depth = 0;
+  for (; i < f.tokens.size(); ++i) {
+    if (is_punct(f.tokens[i], open)) ++depth;
+    else if (is_punct(f.tokens[i], close) && --depth == 0) return i + 1;
+  }
+  return i;
+}
+
+/// One held lock on the scope stack.
+struct HeldLock {
+  std::string mutex;
+  int depth = 0;      ///< brace depth at acquisition
+  bool scoped = true; ///< pops when its brace scope closes
+};
+
+}  // namespace
+
+bool guard_type_name(const std::string& n) {
+  return n == "lock_guard" || n == "unique_lock" || n == "scoped_lock" ||
+         n == "shared_lock";
+}
+
+bool dispatch_method_name(const std::string& n) {
+  return n == "run" || n == "submit" || n == "enqueue" || n == "post" ||
+         n == "dispatch";
+}
+
+std::string canonical_mutex_at(const Project& project, const AnalyzedFile& af,
+                               const std::string& class_name,
+                               std::size_t last) {
+  const auto& t = af.lex.tokens;
+  if (last >= t.size()) return "";
+  std::vector<std::string> chain;
+  std::ptrdiff_t k = static_cast<std::ptrdiff_t>(last);
+  while (k >= 0) {
+    const Token& tok = t[static_cast<std::size_t>(k)];
+    if (tok.kind != TokKind::kIdent) break;
+    chain.push_back(tok.text);
+    if (k < 2) break;
+    const Token& link = t[static_cast<std::size_t>(k - 1)];
+    if (link.kind != TokKind::kPunct ||
+        (link.text != "." && link.text != "->" && link.text != "::"))
+      break;
+    k -= 2;
+  }
+  std::reverse(chain.begin(), chain.end());
+  if (!chain.empty() && chain.front() == "this") chain.erase(chain.begin());
+  if (chain.empty()) return "";
+  const std::string& name = chain.back();
+  if (chain.size() == 1)
+    return canonical_annotation(project, af, class_name, name);
+  std::string joined;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i != 0) joined += ".";
+    joined += chain[i];
+  }
+  return joined;
+}
+
+std::string canonical_annotation(const Project& project,
+                                 const AnalyzedFile& af,
+                                 const std::string& class_name,
+                                 const std::string& spelled) {
+  if (spelled.empty()) return "";
+  if (spelled.find("::") != std::string::npos ||
+      spelled.find('.') != std::string::npos)
+    return spelled;  // already qualified
+  const bool memberish =
+      (!class_name.empty() &&
+       [&] {
+         const ClassInfo* ci = project.find_class(af, class_name);
+         return ci != nullptr && ci->member(spelled) != nullptr;
+       }()) ||
+      spelled.back() == '_';
+  if (memberish && !class_name.empty()) return class_name + "::" + spelled;
+  if (memberish) return af.lex.module_name + "::" + spelled;
+  return spelled;
+}
+
+void walk_lock_scopes(
+    const Project& project, const AnalyzedFile& af,
+    const std::string& class_name, std::size_t begin, std::size_t end,
+    const std::set<std::string>& entry_held,
+    const std::function<void(std::size_t, const std::set<std::string>&)>&
+        visit) {
+  const auto& t = af.lex.tokens;
+  std::vector<HeldLock> held;
+  for (const std::string& mu : entry_held)
+    held.push_back({mu, 0, /*scoped=*/false});
+  std::map<std::string, std::string> guards;  // guard variable -> mutex
+  int depth = 0;
+  std::set<std::string> cur = entry_held;
+  const auto rebuild = [&] {
+    cur.clear();
+    for (const HeldLock& h : held) cur.insert(h.mutex);
+  };
+  for (std::size_t i = begin; i < end && i < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "{") {
+        ++depth;
+      } else if (tok.text == "}") {
+        --depth;
+        const std::size_t before = held.size();
+        held.erase(std::remove_if(held.begin(), held.end(),
+                                  [&](const HeldLock& h) {
+                                    return h.scoped && h.depth > depth;
+                                  }),
+                   held.end());
+        if (held.size() != before) rebuild();
+      }
+      visit(i, cur);
+      continue;
+    }
+    if (tok.kind != TokKind::kIdent) {
+      visit(i, cur);
+      continue;
+    }
+
+    // Guard declaration: lock_guard<...> name(mu, ...). The declaration
+    // tokens themselves are visited with the pre-acquisition state.
+    if (guard_type_name(tok.text)) {
+      std::size_t j = i + 1;
+      if (j < end && is_punct(t[j], "<")) {
+        int d = 0;
+        for (; j < end; ++j) {
+          if (is_punct(t[j], "<")) ++d;
+          else if (is_punct(t[j], ">") && --d == 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      if (j + 1 >= end || t[j].kind != TokKind::kIdent ||
+          !is_punct(t[j + 1], "(")) {
+        visit(i, cur);
+        continue;
+      }
+      const std::string guard_name = t[j].text;
+      int d = 0;
+      std::size_t arg_last = 0;
+      bool have_arg = false, deferred = false;
+      std::vector<std::size_t> arg_ends;
+      std::size_t close = end - 1;
+      for (std::size_t a = j + 1; a < end; ++a) {
+        const Token& at = t[a];
+        if (at.kind == TokKind::kPunct) {
+          if (at.text == "(") {
+            ++d;
+            continue;
+          }
+          if (at.text == ")") {
+            if (--d == 0) {
+              if (have_arg) arg_ends.push_back(arg_last);
+              close = a;
+              break;
+            }
+            continue;
+          }
+          if (at.text == "," && d == 1) {
+            if (have_arg) arg_ends.push_back(arg_last);
+            have_arg = false;
+            continue;
+          }
+        }
+        if (d == 1 && at.kind == TokKind::kIdent) {
+          arg_last = a;
+          have_arg = true;
+        }
+      }
+      for (std::size_t v = i; v <= close && v < end; ++v) visit(v, cur);
+      for (const std::size_t a : arg_ends) {
+        const std::string& word = t[a].text;
+        if (word == "defer_lock") {
+          deferred = true;
+          continue;
+        }
+        if (word == "adopt_lock" || word == "try_to_lock") continue;
+        const std::string mu =
+            canonical_mutex_at(project, af, class_name, a);
+        if (mu.empty()) continue;
+        guards[guard_name] = mu;
+        if (!deferred && cur.count(mu) == 0) {
+          held.push_back({mu, depth, /*scoped=*/true});
+          cur.insert(mu);
+        }
+      }
+      i = close;
+      continue;
+    }
+
+    // X.lock() / X.unlock() on a guard variable or a raw mutex chain.
+    const bool methodish = i >= 2 && t[i - 1].kind == TokKind::kPunct &&
+                           (t[i - 1].text == "." || t[i - 1].text == "->") &&
+                           i + 1 < end && is_punct(t[i + 1], "(");
+    if (methodish && (tok.text == "lock" || tok.text == "unlock")) {
+      const std::string recv = t[i - 2].text;
+      const auto g = guards.find(recv);
+      const std::string mu =
+          g != guards.end()
+              ? g->second
+              : canonical_mutex_at(project, af, class_name, i - 2);
+      if (!mu.empty()) {
+        if (tok.text == "lock") {
+          if (cur.count(mu) == 0) {
+            held.push_back({mu, depth, /*scoped=*/g != guards.end()});
+            cur.insert(mu);
+          }
+        } else {
+          const std::size_t before = held.size();
+          held.erase(
+              std::remove_if(held.begin(), held.end(),
+                             [&](const HeldLock& h) { return h.mutex == mu; }),
+              held.end());
+          if (held.size() != before) rebuild();
+        }
+      }
+      visit(i, cur);
+      continue;
+    }
+
+    visit(i, cur);
+  }
+}
+
+LockContracts collect_lock_contracts(const Project& project) {
+  LockContracts out;
+  for (const auto& af : project.files) {
+    const std::string& root = af.lex.root;
+    for (const auto& def : af.model.defs) {
+      for (const std::string& mu : def.requires_locks)
+        out.requires_by_root[root][def.name].insert(
+            canonical_annotation(project, af, def.class_name, mu));
+      for (const std::string& mu : def.excludes_locks)
+        out.excludes_by_root[root][def.name].insert(
+            canonical_annotation(project, af, def.class_name, mu));
+    }
+    for (const auto& ci : af.model.classes) {
+      for (const auto& d : ci.lock_contract_decls) {
+        for (const std::string& mu : d.requires_locks)
+          out.requires_by_root[root][d.name].insert(
+              canonical_annotation(project, af, ci.name, mu));
+        for (const std::string& mu : d.excludes_locks)
+          out.excludes_by_root[root][d.name].insert(
+              canonical_annotation(project, af, ci.name, mu));
+      }
+    }
+  }
+  return out;
+}
+
+std::set<std::string> entry_locks(const Project& project,
+                                  const AnalyzedFile& af,
+                                  const FunctionDef& def) {
+  std::set<std::string> out;
+  for (const std::string& mu : def.requires_locks)
+    out.insert(canonical_annotation(project, af, def.class_name, mu));
+  if (!def.class_name.empty()) {
+    if (const ClassInfo* ci = project.find_class(af, def.class_name)) {
+      for (const auto& d : ci->lock_contract_decls) {
+        if (d.name != def.name) continue;
+        for (const std::string& mu : d.requires_locks)
+          out.insert(canonical_annotation(project, af, ci->name, mu));
+      }
+    }
+  }
+  return out;
+}
+
+bool plain_member_access(const LexedFile& f, std::size_t i) {
+  const auto& t = f.tokens;
+  if (i > 0 && t[i - 1].kind == TokKind::kPunct) {
+    const std::string& p = t[i - 1].text;
+    if (p == "." || p == "::") return false;
+    if (p == "->" && !(i > 1 && t[i - 2].text == "this")) return false;
+  }
+  return true;
+}
+
+bool member_write_at(const LexedFile& f, std::size_t i) {
+  const auto& t = f.tokens;
+  if (i > 0 && t[i - 1].kind == TokKind::kPunct &&
+      (t[i - 1].text == "++" || t[i - 1].text == "--"))
+    return true;  // pre-increment
+  std::size_t j = i + 1;
+  if (j < t.size() && is_punct(t[j], "["))
+    j = skip_balanced_tokens(f, j, "[", "]");
+  if (j >= t.size()) return false;
+  if (is_assign_op(t[j])) return true;
+  if ((is_punct(t[j], ".") || is_punct(t[j], "->")) && j + 1 < t.size() &&
+      t[j + 1].kind == TokKind::kIdent && is_mutating_call(t[j + 1].text) &&
+      j + 2 < t.size() && is_punct(t[j + 2], "(")) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace sysuq_analyze

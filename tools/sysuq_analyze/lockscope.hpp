@@ -1,0 +1,94 @@
+// Shared lock-scope machinery for the thread-safety passes
+// (guard-consistency, thread-escape).
+//
+// lock-order walks statements through cfg.hpp's linear view; the
+// annotation passes instead need the held-lock set at every *token* of
+// a body (or of a worker lambda walked in isolation), so this layer
+// provides a token-level walker: RAII guard lifetimes follow brace
+// depth, .lock()/.unlock() pairs are unscoped, and mutex names
+// canonicalize to `Class::member_` exactly like lock-order's graph
+// nodes so annotations, guard declarations and requires-contracts all
+// spell the same lock identically.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "sysuq_analyze/lexer.hpp"
+#include "sysuq_analyze/model.hpp"
+#include "sysuq_analyze/passes.hpp"
+
+namespace sysuq_analyze {
+
+/// True for std::lock_guard / unique_lock / scoped_lock / shared_lock.
+[[nodiscard]] bool guard_type_name(const std::string& n);
+
+/// True for the pool-dispatch method names (run/submit/enqueue/post/
+/// dispatch) the role inference seeds at.
+[[nodiscard]] bool dispatch_method_name(const std::string& n);
+
+/// Canonical name of the mutex spelled by the identifier chain ending
+/// at token index `last` (inclusive): walks back through `a.b` /
+/// `a->b` / `A::b` links. Members of `class_name` (or trailing-`_`
+/// names) resolve to `Class::name`; other chains keep their joined
+/// spelling. Mirrors lock-order's canonicalization.
+[[nodiscard]] std::string canonical_mutex_at(const Project& project,
+                                             const AnalyzedFile& af,
+                                             const std::string& class_name,
+                                             std::size_t last);
+
+/// Canonicalizes a lock name as spelled inside a sysuq-guarded-by /
+/// sysuq-requires / sysuq-excludes marker, against the class the
+/// annotated entity belongs to.
+[[nodiscard]] std::string canonical_annotation(const Project& project,
+                                               const AnalyzedFile& af,
+                                               const std::string& class_name,
+                                               const std::string& spelled);
+
+/// Walks tokens [begin, end) maintaining the set of held canonical
+/// mutex names, calling `visit(i, held)` for every token index in
+/// order. `entry_held` seeds the set (a function's sysuq-requires
+/// contract) and is never popped by scope exits. Lambda bodies are
+/// walked inline: a lambda executing on this thread sees the enclosing
+/// locks, and a guard it declares scopes to its own braces — callers
+/// that dispatch a lambda to another thread must walk that range
+/// separately with an empty entry set.
+void walk_lock_scopes(
+    const Project& project, const AnalyzedFile& af,
+    const std::string& class_name, std::size_t begin, std::size_t end,
+    const std::set<std::string>& entry_held,
+    const std::function<void(std::size_t, const std::set<std::string>&)>&
+        visit);
+
+/// Lock contracts collected from every sysuq-requires / sysuq-excludes
+/// marker in the project, name-granular per scan root (matching the
+/// call-graph granularity): function name -> canonical mutex names.
+struct LockContracts {
+  std::map<std::string, std::map<std::string, std::set<std::string>>>
+      requires_by_root;
+  std::map<std::string, std::map<std::string, std::set<std::string>>>
+      excludes_by_root;
+};
+
+[[nodiscard]] LockContracts collect_lock_contracts(const Project& project);
+
+/// Entry-held set of a definition: its own sysuq-requires markers plus
+/// any on a same-named declaration of its class, canonicalized.
+[[nodiscard]] std::set<std::string> entry_locks(const Project& project,
+                                                const AnalyzedFile& af,
+                                                const FunctionDef& def);
+
+/// True when the identifier at token `i` is a plain access to a member
+/// of the enclosing object — not `other.name` / `ns::name` (a `this->`
+/// prefix still counts).
+[[nodiscard]] bool plain_member_access(const LexedFile& f, std::size_t i);
+
+/// True when the identifier at token `i` is written to: assignment or
+/// compound assignment (through an optional [index] subscript),
+/// pre/post increment/decrement, or a mutating container call.
+[[nodiscard]] bool member_write_at(const LexedFile& f, std::size_t i);
+
+}  // namespace sysuq_analyze

@@ -142,6 +142,7 @@ class LexCache {
 
  private:
   std::mutex mu_;
+  // sysuq-guarded-by(mu_)
   std::map<std::string, std::shared_ptr<const LexedFile>> by_path_;
 };
 
@@ -276,6 +277,8 @@ int main(int argc, char** argv) {
   pass_lockorder(project, rep);
   pass_logdomain(project, rep);
   pass_obscontext(project, rep);
+  pass_threadescape(project, rep);
+  pass_guards(project, rep);
 
   std::sort(rep.violations.begin(), rep.violations.end(),
             [](const Violation& a, const Violation& b) {

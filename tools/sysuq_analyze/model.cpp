@@ -19,6 +19,36 @@ bool is_punct(const Token& t, const char* s) {
 constexpr std::array<const char*, 4> kMutexTypes = {
     "mutex", "shared_mutex", "recursive_mutex", "timed_mutex"};
 
+// Lines a declaration at `line` may carry a marker on: the line itself
+// plus the contiguous block of // comment lines directly above it (the
+// same window the allow-marker suppression uses), so annotations can
+// ride a doc comment instead of stretching the declaration line.
+std::vector<std::size_t> marker_lines(const LexedFile& f, std::size_t line) {
+  std::vector<std::size_t> out{line};
+  for (std::size_t l = line; l > 1;) {
+    --l;
+    const std::string& text = l - 1 < f.lines.size() ? f.lines[l - 1] : "";
+    const std::size_t first = text.find_first_not_of(" \t");
+    if (first == std::string::npos || text.compare(first, 2, "//") != 0) break;
+    out.push_back(l);
+  }
+  return out;
+}
+
+// First marker value found for the declaration at `line` in `map`
+// (declaration line first, then the comment block above, nearest line
+// winning); nullptr when absent.
+template <class Map>
+const typename Map::mapped_type* find_marker(const LexedFile& f,
+                                             const Map& map,
+                                             std::size_t line) {
+  for (const std::size_t l : marker_lines(f, line)) {
+    const auto it = map.find(l);
+    if (it != map.end()) return &it->second;
+  }
+  return nullptr;
+}
+
 struct Scope {
   enum class Kind { kNamespace, kClass };
   Kind kind = Kind::kNamespace;
@@ -195,6 +225,8 @@ class Parser {
     ci.module_name = f_.module_name;
     ci.name = name;
     ci.file_rel = f_.rel;
+    if (const auto* c = find_marker(f_, f_.confined, t[i_].line))
+      ci.confined = *c;
     out_.classes.push_back(ci);
     scopes_.push_back(
         {Scope::Kind::kClass, is_struct, out_.classes.size() - 1, name});
@@ -304,6 +336,10 @@ class Parser {
         if (const auto it = f_.atomic_orders.find(m.line);
             it != f_.atomic_orders.end())
           m.declared_order = it->second;
+        if (const auto* g = find_marker(f_, f_.guarded_by, m.line))
+          m.guarded_by = *g;
+        if (const auto* c = find_marker(f_, f_.confined, m.line))
+          m.confined = *c;
         if (!m.type_text.empty()) {
           auto& ci = out_.classes[cs->class_index];
           ci.members.push_back(m);
@@ -412,6 +448,10 @@ class Parser {
             (is_punct(t[paren + 1], ")") ||
              (is_ident(t[paren + 1], "void") && paren + 2 < t.size() &&
               is_punct(t[paren + 2], ")"))));
+      if (const auto* r = find_marker(f_, f_.requires_locks, name_line))
+        def.requires_locks = *r;
+      if (const auto* e = find_marker(f_, f_.excludes_locks, name_line))
+        def.excludes_locks = *e;
       if (!was_template && !name.empty() && !saw_operator)
         out_.defs.push_back(def);
       i_ = def.body_end;
@@ -424,11 +464,23 @@ class Parser {
                             name != "static_assert" && f_.is_header;
       if (eligible) {
         if (cs != nullptr && cs->public_access) {
-          FunctionDecl d{name, name_line, true};
+          FunctionDecl d{name, name_line, true, {}, {}};
           out_.classes[cs->class_index].public_decls.push_back(d);
         } else if (cs == nullptr && !saw_static) {
-          out_.free_decls.push_back({name, name_line, true});
+          out_.free_decls.push_back({name, name_line, true, {}, {}});
         }
+      }
+      // Lock contracts attach to any member declaration, even ones that
+      // are not contract-coverage-eligible (inline, private, templated):
+      // the thread-safety passes union them with the definition's.
+      if (cs != nullptr && !name.empty()) {
+        FunctionDecl d{name, name_line, cs->public_access, {}, {}};
+        if (const auto* r = find_marker(f_, f_.requires_locks, name_line))
+          d.requires_locks = *r;
+        if (const auto* e = find_marker(f_, f_.excludes_locks, name_line))
+          d.excludes_locks = *e;
+        if (!d.requires_locks.empty() || !d.excludes_locks.empty())
+          out_.classes[cs->class_index].lock_contract_decls.push_back(d);
       }
       i_ = skip_to_semi(j);
       return true;

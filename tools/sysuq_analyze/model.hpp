@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,12 @@ struct MemberVar {
   /// Declared memory-order ceiling for atomics, from a
   /// `// sysuq-atomic-order(<order>)` marker; empty means relaxed.
   std::string declared_order;
+  /// Mutex from a `// sysuq-guarded-by(<mutex>)` marker; empty when
+  /// unannotated.
+  std::string guarded_by;
+  /// Role from `// sysuq-thread-confined(owner|worker|init)`; empty
+  /// when unannotated.
+  std::string confined;
 };
 
 /// A member-function (or free-function) declaration without a body.
@@ -36,6 +43,10 @@ struct FunctionDecl {
   std::string name;
   std::size_t line = 0;
   bool is_public = true;
+  /// Locks named by `// sysuq-requires(...)` / `// sysuq-excludes(...)`
+  /// on (or in the comment block above) the declaration.
+  std::set<std::string> requires_locks;
+  std::set<std::string> excludes_locks;
 };
 
 /// A class/struct with the facts the passes need.
@@ -45,7 +56,14 @@ struct ClassInfo {
   std::string file_rel;  ///< file holding the class body
   std::vector<MemberVar> members;
   std::vector<FunctionDecl> public_decls;  ///< no-body, non-inline, public
+  /// Declarations (any access level) carrying sysuq-requires /
+  /// sysuq-excludes markers — unioned with the definition's own markers
+  /// by the thread-safety passes.
+  std::vector<FunctionDecl> lock_contract_decls;
   bool owns_mutex = false;
+  /// Type-level `// sysuq-thread-confined(<role>)`: every instance of
+  /// the class is confined to the declared thread role.
+  std::string confined;
 
   [[nodiscard]] const MemberVar* member(const std::string& n) const {
     for (const auto& m : members)
@@ -67,6 +85,10 @@ struct FunctionDef {
   bool is_dtor = false;
   bool in_header = false;
   bool has_params = false;  ///< parameter list is not `()` / `(void)`
+  /// Lock contracts from `// sysuq-requires(...)` / `// sysuq-excludes(...)`
+  /// markers on (or in the comment block above) the signature.
+  std::set<std::string> requires_locks;
+  std::set<std::string> excludes_locks;
 };
 
 /// Everything extracted from one file.

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "sysuq_analyze/lockscope.hpp"
+
 namespace sysuq_analyze {
 
 namespace {
@@ -122,10 +124,14 @@ bool is_lock_decl(const Token& t) {
 }
 
 void check_lock_discipline(const LexedFile& f, const FunctionDef& def,
-                           const ClassInfo& ci, Reporter& rep) {
+                           const ClassInfo& ci, bool entry_held,
+                           Reporter& rep) {
   const auto& t = f.tokens;
   int depth = 0;
   std::vector<int> lock_depths;  // scope depth at each active lock
+  // A sysuq-requires contract means the caller already holds a lock:
+  // the whole body is a lock scope (depth -1 never pops).
+  if (entry_held) lock_depths.push_back(-1);
   for (std::size_t i = def.body_begin; i < def.body_end; ++i) {
     const Token& tok = t[i];
     if (tok.kind == TokKind::kPunct) {
@@ -227,7 +233,8 @@ void pass_locks(const Project& project, Reporter& rep) {
       if (def.class_name.empty()) continue;
       const ClassInfo* ci = project.find_class(af, def.class_name);
       if (ci == nullptr || !ci->owns_mutex) continue;
-      check_lock_discipline(af.lex, def, *ci, rep);
+      check_lock_discipline(af.lex, def, *ci,
+                            !entry_locks(project, af, def).empty(), rep);
     }
   }
 }

@@ -28,6 +28,15 @@
 //                  a thread pool must hand the TraceContext to the
 //                  tasks (current_context() + ContextScope), so worker
 //                  spans parent into the query's trace.
+//   threadescape — interprocedural race/escape analysis: thread roles
+//                  inferred from pool-dispatch and std::thread sites,
+//                  two-role members written without their guard, by-ref
+//                  captures outliving the frame, sysuq-requires at call
+//                  sites, sysuq-thread-confined role violations.
+//   guards       — lexical annotation checking: sysuq-guarded-by
+//                  accesses against the held-lock scope stack,
+//                  sysuq-excludes at call sites, and unannotated
+//                  members of mutex-owning classes.
 #pragma once
 
 #include <cstddef>
@@ -111,6 +120,8 @@ void pass_arena(const Project& project, Reporter& rep);
 void pass_lockorder(const Project& project, Reporter& rep);
 void pass_logdomain(const Project& project, Reporter& rep);
 void pass_obscontext(const Project& project, Reporter& rep);
+void pass_threadescape(const Project& project, Reporter& rep);
+void pass_guards(const Project& project, Reporter& rep);
 
 /// Display path for a file (root-joined, generic separators).
 [[nodiscard]] std::string display_path(const LexedFile& f);

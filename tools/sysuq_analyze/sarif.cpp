@@ -13,7 +13,7 @@ namespace {
 // The full catalog, in catalog order (docs/analyzer_rules.md mirrors
 // this). Every rule appears in tool.driver.rules even when it produced
 // no results, so SARIF consumers can show what was checked.
-constexpr std::array<RuleDoc, 13> kRules = {{
+constexpr std::array<RuleDoc, 15> kRules = {{
     {"layering",
      "Includes must respect the module DAG core -> prob -> bayesnet -> "
      "{evidence, perception, fta, markov, orbit} -> sys; obs is includable "
@@ -64,6 +64,19 @@ constexpr std::array<RuleDoc, 13> kRules = {{
      "obs::current_context() before the dispatch and install it in each "
      "task with obs::ContextScope, so worker spans parent into the "
      "query's trace."},
+    {"thread-escape",
+     "State shared across thread roles (inferred from pool-dispatch and "
+     "std::thread sites) must be written with its declared guard held; "
+     "sysuq-requires contracts must hold at every call site, "
+     "sysuq-thread-confined state must stay on its declared role, and "
+     "worker lambdas that outlive the enclosing scope must not capture "
+     "stack state by reference."},
+    {"guard-consistency",
+     "Members annotated // sysuq-guarded-by(mu) may only be touched with "
+     "mu on the lexical lock-scope stack; functions annotated "
+     "// sysuq-excludes(mu) must not be called while mu is held; every "
+     "non-atomic member of a mutex-owning class must carry a "
+     "thread-safety annotation."},
 }};
 
 std::string json_escape(const std::string& s) {
